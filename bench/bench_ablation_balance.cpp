@@ -1,0 +1,50 @@
+// Ablation: the §4.2 static load balancer. Compares the plain 2D
+// block-cyclic mapping against the time-slice balancing pass: maximum rank
+// weight before/after, number of slice swaps, and the modeled numeric time
+// both mappings achieve on the simulated cluster.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace pangulu;
+
+int main() {
+  const double scale = bench::bench_scale();
+  const rank_t ranks = 16;
+  std::cout << "Load-balancer ablation (16 simulated GPUs), scale=" << scale
+            << '\n';
+  TextTable t({"matrix", "max weight (cyclic)", "max weight (balanced)",
+               "swaps", "time cyclic (s)", "time balanced (s)", "gain"});
+  std::vector<double> gains;
+
+  for (const auto& name : bench::bench_matrices()) {
+    bench::PreparedMatrix p = bench::prepare(name, scale);
+    auto grid = block::ProcessGrid::make(ranks);
+
+    block::BlockMatrix bm_c = p.blocks;
+    auto cyc = block::cyclic_mapping(bm_c, grid);
+    runtime::SimOptions so;
+    so.n_ranks = ranks;
+    so.execute_numerics = false;
+    runtime::SimResult res_c;
+    runtime::simulate_factorization(bm_c, p.tasks, cyc, so, &res_c).check();
+
+    block::BlockMatrix bm_b = p.blocks;
+    block::BalanceStats bs;
+    auto bal = block::balanced_mapping(bm_b, p.tasks, grid, cyc, &bs);
+    runtime::SimResult res_b;
+    runtime::simulate_factorization(bm_b, p.tasks, bal, so, &res_b).check();
+
+    const double gain = res_b.makespan > 0 ? res_c.makespan / res_b.makespan : 1;
+    gains.push_back(gain);
+    t.add_row({name, TextTable::fmt_sci(bs.max_weight_before),
+               TextTable::fmt_sci(bs.max_weight_after),
+               std::to_string(bs.swaps), TextTable::fmt(res_c.makespan, 5),
+               TextTable::fmt(res_b.makespan, 5),
+               TextTable::fmt_speedup(gain)});
+  }
+  t.print(std::cout);
+  std::cout << "geomean gain from balancing: "
+            << TextTable::fmt_speedup(geomean(gains)) << '\n';
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Shared plumbing for the experiment harnesses. Every bench binary
+// regenerates one table or figure of the paper (see DESIGN.md §4) and prints
+// the same rows/series the paper reports.
+//
+// PANGULU_BENCH_SCALE (env, default 0.5) scales the synthetic stand-in
+// matrices; PANGULU_BENCH_MATRICES (comma list) restricts the matrix set.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "block/layout.hpp"
+#include "block/mapping.hpp"
+#include "block/tasks.hpp"
+#include "matgen/generators.hpp"
+#include "ordering/reorder.hpp"
+#include "runtime/sim.hpp"
+#include "symbolic/fill.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace pangulu::bench {
+
+inline double bench_scale() {
+  if (const char* s = std::getenv("PANGULU_BENCH_SCALE")) {
+    double v = std::atof(s);
+    if (v > 0) return v;
+  }
+  return 0.5;
+}
+
+inline std::vector<std::string> bench_matrices() {
+  if (const char* s = std::getenv("PANGULU_BENCH_MATRICES")) {
+    std::vector<std::string> out;
+    std::stringstream ss(s);
+    std::string tok;
+    while (std::getline(ss, tok, ',')) {
+      if (!tok.empty()) out.push_back(tok);
+    }
+    if (!out.empty()) return out;
+  }
+  return matgen::paper_matrix_names();
+}
+
+/// Shortened matrix label like the paper's figures ("apa...", "ASI...").
+inline std::string short_name(const std::string& name) {
+  return name.size() <= 6 ? name : name.substr(0, 3) + "...";
+}
+
+/// Reorder + symbolic + blocking, shared by several harnesses.
+struct PreparedMatrix {
+  Csc a;
+  ordering::ReorderResult reorder;
+  symbolic::SymbolicResult symbolic;
+  block::BlockMatrix blocks;           // pattern with A's values (pre-numeric)
+  std::vector<block::Task> tasks;
+  double reorder_seconds = 0;
+  double symbolic_seconds = 0;
+  double blocking_seconds = 0;
+};
+
+inline PreparedMatrix prepare(const std::string& name, double scale,
+                              index_t block_size = 0) {
+  PreparedMatrix p;
+  p.a = matgen::paper_matrix(name, scale);
+  Timer t;
+  ordering::reorder(p.a, {}, &p.reorder).check();
+  p.reorder_seconds = t.seconds();
+  t.reset();
+  symbolic::symbolic_symmetric(p.reorder.permuted, &p.symbolic).check();
+  p.symbolic_seconds = t.seconds();
+  t.reset();
+  const index_t bs =
+      block_size > 0 ? block_size
+                     : block::choose_block_size(p.a.n_cols(), p.symbolic.nnz_lu);
+  p.blocks = block::BlockMatrix::from_filled(p.symbolic.filled, bs);
+  p.tasks = block::enumerate_tasks(p.blocks);
+  p.blocking_seconds = t.seconds();
+  return p;
+}
+
+/// Timing-only DES run for a given rank count / device / policy / schedule.
+inline runtime::SimResult run_sim(const PreparedMatrix& p, rank_t ranks,
+                                  const runtime::DeviceModel& device,
+                                  runtime::KernelPolicy policy,
+                                  runtime::ScheduleMode schedule,
+                                  bool balance = true) {
+  block::BlockMatrix bm = p.blocks;  // copy: values untouched (no numerics)
+  auto grid = block::ProcessGrid::make(ranks);
+  block::Mapping map = block::cyclic_mapping(bm, grid);
+  if (balance)
+    map = block::balanced_mapping(bm, p.tasks, grid, map, nullptr);
+  runtime::SimOptions opts;
+  opts.device = device;
+  opts.n_ranks = ranks;
+  opts.policy = policy;
+  opts.schedule = schedule;
+  opts.execute_numerics = false;
+  runtime::SimResult res;
+  runtime::simulate_factorization(bm, p.tasks, map, opts, &res).check();
+  return res;
+}
+
+}  // namespace pangulu::bench

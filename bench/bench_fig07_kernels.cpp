@@ -1,0 +1,197 @@
+// Figure 7 (and the behaviour behind Figure 8): wall-clock comparison of all
+// 17 sparse kernels on sub-matrix blocks harvested from real factorisations.
+// The paper plots per-kernel execution time against nnz (GETRF/GESSM/TSTRF)
+// or FLOPs (SSSSM); no kernel dominates everywhere, which is what motivates
+// the decision trees.
+//
+// On this host the "G_" kernels run on a thread pool rather than a GPU, so
+// absolute crossover points differ from the paper's; the harness reports
+// measured times per size bucket for every variant, plus what the Figure 8
+// decision trees would have picked.
+#include <iostream>
+#include <map>
+
+#include "bench_common.hpp"
+#include "kernels/calibrate.hpp"
+#include "kernels/getrf.hpp"
+#include "kernels/gessm.hpp"
+#include "kernels/selector.hpp"
+#include "kernels/ssssm.hpp"
+#include "kernels/tstrf.hpp"
+#include "parallel/thread_pool.hpp"
+
+using namespace pangulu;
+using namespace pangulu::kernels;
+
+namespace {
+
+struct Bucketed {
+  std::map<int, std::pair<double, int>> by_bucket;  // log10 bucket -> (sum ms, n)
+  void add(double size_metric, double ms) {
+    int b = size_metric > 0 ? static_cast<int>(std::floor(std::log10(size_metric) * 2))
+                            : 0;
+    auto& e = by_bucket[b];
+    e.first += ms;
+    e.second += 1;
+  }
+};
+
+void print_bucketed(const std::string& title,
+                    const std::map<std::string, Bucketed>& data,
+                    const char* metric) {
+  std::cout << "\n=== " << title << " (mean ms per " << metric
+            << " half-decade bucket) ===\n";
+  // Collect bucket keys.
+  std::map<int, bool> keys;
+  for (const auto& [_, b] : data)
+    for (const auto& [k, __] : b.by_bucket) keys[k] = true;
+  std::vector<std::string> header = {"variant"};
+  for (const auto& [k, _] : keys) {
+    header.push_back("1e" + TextTable::fmt(k / 2.0, 1));
+  }
+  TextTable t(header);
+  for (const auto& [name, b] : data) {
+    std::vector<std::string> row = {name};
+    for (const auto& [k, _] : keys) {
+      auto it = b.by_bucket.find(k);
+      row.push_back(it == b.by_bucket.end()
+                        ? "-"
+                        : TextTable::fmt(it->second.first / it->second.second, 3));
+    }
+    t.add_row(std::move(row));
+  }
+  t.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  const double scale = bench::bench_scale();
+  ThreadPool pool;  // the "device" for G_ kernels
+  std::cout << "Reproducing Figure 7 (kernel performance), scale=" << scale
+            << "; G_ kernels on " << pool.size() << " host threads\n";
+
+  // Harvest blocks from a mix of matrix classes.
+  std::vector<std::string> sources = {"ecology1", "ASIC_680k", "audikw_1",
+                                      "Si87H76"};
+  std::map<std::string, Bucketed> getrf_data, gessm_data, tstrf_data,
+      ssssm_data;
+  std::map<std::string, int> tree_picks;
+  std::vector<PairedSample> getrf_samples;  // CPU-vs-best-GPU crossover refit
+  int harvested_diag = 0, harvested_panel = 0, harvested_update = 0;
+
+  for (const auto& name : sources) {
+    bench::PreparedMatrix p = bench::prepare(name, scale);
+    block::BlockMatrix& bm = p.blocks;
+    Workspace ws;
+
+    // Diagonal blocks: GETRF inputs (restored per variant from the original).
+    for (index_t k = 0; k < bm.nb(); ++k) {
+      const nnz_t dpos = bm.find_block(k, k);
+      const Csc& orig = bm.block(dpos);
+      tree_picks[to_string(select_getrf(orig.nnz()))]++;
+      double t_cpu = 0, t_gpu = 1e300;
+      for (auto v : {GetrfVariant::kCV1, GetrfVariant::kGV1, GetrfVariant::kGV2}) {
+        Csc work = orig;
+        Timer t;
+        getrf(v, work, ws, nullptr, {}, &pool).check();
+        const double ms = t.milliseconds();
+        getrf_data[to_string(v)].add(static_cast<double>(orig.nnz()), ms);
+        if (v == GetrfVariant::kCV1)
+          t_cpu = ms;
+        else
+          t_gpu = std::min(t_gpu, ms);
+      }
+      getrf_samples.push_back(
+          {static_cast<double>(orig.nnz()), t_cpu, t_gpu});
+      ++harvested_diag;
+
+      // Factorise in place so panel harvests below see a real LU diag.
+      getrf(GetrfVariant::kCV1, bm.block(dpos), ws, nullptr).check();
+
+      // Panel blocks in row/col k (only the first elimination step state is
+      // exercised: representative of kernel-level behaviour).
+      for (nnz_t rp = bm.row_begin(k); rp < bm.row_end(k); ++rp) {
+        const index_t bj = bm.row_block_col(rp);
+        if (bj <= k || harvested_panel > 4000) continue;
+        const Csc& b0 = bm.block(bm.row_block_pos(rp));
+        tree_picks["GESSM_" + to_string(select_gessm(
+                                  b0.nnz(), bm.block(dpos).nnz()))]++;
+        for (auto v : {PanelVariant::kCV1, PanelVariant::kCV2, PanelVariant::kGV1,
+                       PanelVariant::kGV2, PanelVariant::kGV3}) {
+          Csc work = b0;
+          Timer t;
+          gessm(v, bm.block(dpos), work, ws, &pool).check();
+          gessm_data["GESSM_" + to_string(v)].add(
+              static_cast<double>(b0.nnz()), t.milliseconds());
+        }
+        ++harvested_panel;
+      }
+      for (nnz_t cp = bm.col_begin(k); cp < bm.col_end(k); ++cp) {
+        const index_t bi = bm.block_row(cp);
+        if (bi <= k || harvested_panel > 8000) continue;
+        const Csc& b0 = bm.block(cp);
+        tree_picks["TSTRF_" + to_string(select_tstrf(
+                                  b0.nnz(), bm.block(dpos).nnz()))]++;
+        for (auto v : {PanelVariant::kCV1, PanelVariant::kCV2, PanelVariant::kGV1,
+                       PanelVariant::kGV2, PanelVariant::kGV3}) {
+          Csc work = b0;
+          Timer t;
+          tstrf(v, bm.block(dpos), work, ws, &pool).check();
+          tstrf_data["TSTRF_" + to_string(v)].add(
+              static_cast<double>(b0.nnz()), t.milliseconds());
+        }
+        ++harvested_panel;
+      }
+    }
+
+    // Schur triples from the task list.
+    for (const auto& task : p.tasks) {
+      if (task.kind != block::TaskKind::kSsssm) continue;
+      if (harvested_update > 3000) break;
+      const Csc& a = bm.block(task.src_a);
+      const Csc& b = bm.block(task.src_b);
+      tree_picks[to_string(select_ssssm(task.weight))]++;
+      for (auto v : {SsssmVariant::kCV1, SsssmVariant::kCV2, SsssmVariant::kGV1,
+                     SsssmVariant::kGV2}) {
+        Csc work = bm.block(task.target);
+        Timer t;
+        ssssm(v, a, b, work, ws, &pool).check();
+        ssssm_data[to_string(v)].add(task.weight, t.milliseconds());
+      }
+      ++harvested_update;
+    }
+  }
+
+  std::cout << "harvested: " << harvested_diag << " GETRF blocks, "
+            << harvested_panel << " panel blocks, " << harvested_update
+            << " Schur triples\n";
+  print_bucketed("GETRF time vs nnz(A)", getrf_data, "nnz");
+  print_bucketed("GESSM time vs nnz(B)", gessm_data, "nnz");
+  print_bucketed("TSTRF time vs nnz(B)", tstrf_data, "nnz");
+  print_bucketed("SSSSM time vs FLOPs", ssssm_data, "FLOPs");
+
+  std::cout << "\n=== Figure 8 decision-tree picks over the harvested blocks ===\n";
+  TextTable t({"kernel choice", "count"});
+  for (const auto& [k, c] : tree_picks) t.add_row({k, std::to_string(c)});
+  t.print(std::cout);
+
+  // Refit the GETRF CPU/GPU crossover from the measured samples — the
+  // calibration step the paper ran to place its 1e3.8 nnz cut-point. On this
+  // host the "GPU" is a thread pool, so the fitted cut differs from the
+  // paper's; the harness reports both.
+  if (!getrf_samples.empty()) {
+    const double fitted = kernels::fit_crossover(getrf_samples);
+    const double fitted_cost = kernels::policy_cost(getrf_samples, fitted);
+    const double paper_cost =
+        kernels::policy_cost(getrf_samples, SelectorThresholds{}.getrf_cpu_nnz);
+    std::cout << "\nGETRF CPU/GPU crossover refit on this host: nnz ~ "
+              << fitted << " (paper tree: 1e3.8 ~ 6310); total kernel time "
+              << TextTable::fmt(fitted_cost, 2) << " ms refit vs "
+              << TextTable::fmt(paper_cost, 2) << " ms with paper thresholds\n";
+  }
+  std::cout << "\nExpected shape (paper): no variant wins everywhere — CPU "
+               "kernels lead on tiny blocks, bin-search GPU kernels mid-range, "
+               "dense-mapping GPU kernels on the largest work.\n";
+  return 0;
+}

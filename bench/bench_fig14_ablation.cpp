@@ -1,0 +1,47 @@
+// Figure 14: ablation of the two optimisations on 128 GPUs —
+//   Baseline           : fixed GPU kernels + level-set scheduling
+//   Kernel selection   : Figure 8 decision trees + level-set scheduling
+//   Selection+SyncFree : decision trees + synchronisation-free scheduling
+// Paper: selection alone gives 1.0-2.2x (1.7x avg); both together give
+// 2.3x-5.4x (3.8x avg).
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace pangulu;
+
+int main() {
+  const double scale = bench::bench_scale();
+  const rank_t ranks = 128;
+  std::cout << "Reproducing Figure 14 (optimisation ablation @128 GPUs), "
+               "scale=" << scale << '\n';
+  TextTable t({"matrix", "baseline", "kernel selection",
+               "selection + sync-free"});
+  std::vector<double> sel_speedup, both_speedup;
+
+  const auto device = runtime::DeviceModel::a100_like();
+  for (const auto& name : bench::bench_matrices()) {
+    bench::PreparedMatrix p = bench::prepare(name, scale);
+    auto base = bench::run_sim(p, ranks, device,
+                               runtime::KernelPolicy::kFixedGpu,
+                               runtime::ScheduleMode::kLevelSet);
+    auto sel = bench::run_sim(p, ranks, device,
+                              runtime::KernelPolicy::kAdaptive,
+                              runtime::ScheduleMode::kLevelSet);
+    auto both = bench::run_sim(p, ranks, device,
+                               runtime::KernelPolicy::kAdaptive,
+                               runtime::ScheduleMode::kSyncFree);
+    const double s1 = base.makespan / sel.makespan;
+    const double s2 = base.makespan / both.makespan;
+    sel_speedup.push_back(s1);
+    both_speedup.push_back(s2);
+    t.add_row({name, "1.00x", TextTable::fmt_speedup(s1),
+               TextTable::fmt_speedup(s2)});
+  }
+  t.print(std::cout);
+  std::cout << "averages: selection " << TextTable::fmt_speedup(geomean(sel_speedup))
+            << " (paper avg 1.7x), selection+sync-free "
+            << TextTable::fmt_speedup(geomean(both_speedup))
+            << " (paper avg 3.8x)\n";
+  return 0;
+}

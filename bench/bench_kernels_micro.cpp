@@ -1,0 +1,108 @@
+// Google-benchmark microbenchmarks of the 17 sparse kernels (Table 1) at
+// controlled block sizes/densities — complements bench_fig07_kernels, which
+// measures the same kernels on harvested factorisation blocks.
+#include <benchmark/benchmark.h>
+
+#include "kernels/getrf.hpp"
+#include "kernels/gessm.hpp"
+#include "kernels/ssssm.hpp"
+#include "kernels/tstrf.hpp"
+#include "matgen/generators.hpp"
+#include "symbolic/fill.hpp"
+
+using namespace pangulu;
+using namespace pangulu::kernels;
+
+namespace {
+
+Csc closed_block(index_t n, index_t per_col, std::uint64_t seed) {
+  symbolic::SymbolicResult sym;
+  symbolic::symbolic_unsymmetric(matgen::random_sparse(n, per_col, seed),
+                                 false, &sym)
+      .check();
+  return sym.filled;
+}
+
+void BM_Getrf(benchmark::State& state) {
+  const auto variant = static_cast<GetrfVariant>(state.range(0));
+  const auto n = static_cast<index_t>(state.range(1));
+  Csc base = closed_block(n, 4, 42);
+  Workspace ws;
+  for (auto _ : state) {
+    Csc work = base;
+    getrf(variant, work, ws, nullptr).check();
+    benchmark::DoNotOptimize(work.values().data());
+  }
+  state.SetLabel(to_string(variant));
+  state.counters["nnz"] = static_cast<double>(base.nnz());
+  state.counters["flops"] = getrf_flops(base);
+}
+BENCHMARK(BM_Getrf)
+    ->ArgsProduct({{0, 1, 2}, {32, 128, 256}})
+    ->Unit(benchmark::kMicrosecond);
+
+struct PanelFixture {
+  Csc diag;
+  Csc b_lower;  // GESSM operand
+  Csc b_upper;  // TSTRF operand
+  Workspace ws;
+  PanelFixture(index_t n, index_t cols) {
+    diag = closed_block(n, 4, 7);
+    getrf(GetrfVariant::kCV1, diag, ws, nullptr).check();
+    // Rectangular panels; patterns need no closure here because benchmarks
+    // only measure time (all variants traverse identical entry sets).
+    b_lower = matgen::random_rect(n, cols, 0.2, 8);
+    b_upper = matgen::random_rect(cols, n, 0.2, 9);
+  }
+};
+
+void BM_Gessm(benchmark::State& state) {
+  const auto variant = static_cast<PanelVariant>(state.range(0));
+  PanelFixture f(static_cast<index_t>(state.range(1)), 64);
+  for (auto _ : state) {
+    Csc work = f.b_lower;
+    gessm(variant, f.diag, work, f.ws).check();
+    benchmark::DoNotOptimize(work.values().data());
+  }
+  state.SetLabel("GESSM_" + to_string(variant));
+}
+BENCHMARK(BM_Gessm)
+    ->ArgsProduct({{0, 1, 2, 3, 4}, {64, 192}})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Tstrf(benchmark::State& state) {
+  const auto variant = static_cast<PanelVariant>(state.range(0));
+  PanelFixture f(static_cast<index_t>(state.range(1)), 64);
+  for (auto _ : state) {
+    Csc work = f.b_upper;
+    tstrf(variant, f.diag, work, f.ws).check();
+    benchmark::DoNotOptimize(work.values().data());
+  }
+  state.SetLabel("TSTRF_" + to_string(variant));
+}
+BENCHMARK(BM_Tstrf)
+    ->ArgsProduct({{0, 1, 2, 3, 4}, {64, 192}})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Ssssm(benchmark::State& state) {
+  const auto variant = static_cast<SsssmVariant>(state.range(0));
+  const auto n = static_cast<index_t>(state.range(1));
+  Csc a = matgen::random_rect(n, n, 0.15, 3);
+  Csc b = matgen::random_rect(n, n, 0.15, 4);
+  Csc c = matgen::random_rect(n, n, 0.4, 5);
+  Workspace ws;
+  for (auto _ : state) {
+    Csc work = c;
+    ssssm(variant, a, b, work, ws).check();
+    benchmark::DoNotOptimize(work.values().data());
+  }
+  state.SetLabel(to_string(variant));
+  state.counters["flops"] = ssssm_flops(a, b);
+}
+BENCHMARK(BM_Ssssm)
+    ->ArgsProduct({{0, 1, 2, 3}, {64, 192}})
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+// Circuit simulation scenario — the workload class (ASIC_680k-like) where
+// the paper's regular 2D sparse blocking wins biggest over supernodal
+// solvers. A transient analysis re-solves the same operator for many time
+// steps: factorise once, then stream right-hand sides through solve().
+// The example also factorises with the supernodal baseline to show the
+// padded-storage and modeled-time gap on this matrix class.
+#include <iostream>
+#include <vector>
+
+#include "baseline/supernodal.hpp"
+#include "matgen/generators.hpp"
+#include "solver/solver.hpp"
+#include "sparse/ops.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+int main() {
+  using namespace pangulu;
+
+  // Power-law netlist conductance matrix: irregular, unsymmetric.
+  Csc g = matgen::circuit(/*n=*/4000, /*avg_degree=*/3.0, /*alpha=*/2.1,
+                          /*seed=*/680);
+  std::cout << "circuit matrix: n=" << g.n_cols() << " nnz=" << g.nnz()
+            << "\n\n";
+
+  solver::Options opts;
+  opts.n_ranks = 4;  // simulate a 2x2 GPU grid
+  solver::Solver pangu;
+  Timer t;
+  pangu.factorize(g, opts).check();
+  std::cout << "PanguLU factorise: " << t.seconds() << "s wall, nnz(L+U)="
+            << pangu.stats().nnz_lu << ", modeled numeric time on 4 GPUs: "
+            << pangu.stats().sim.makespan << "s\n";
+
+  baseline::SupernodalOptions bopts;
+  bopts.n_ranks = 4;
+  baseline::SupernodalSolver base;
+  t.reset();
+  base.factorize(g, bopts).check();
+  std::cout << "supernodal baseline: " << t.seconds()
+            << "s wall, stored nnz(L+U)=" << base.stats().nnz_lu_stored
+            << " (" << TextTable::fmt(100.0 * base.stats().nnz_lu_stored /
+                                          pangu.stats().nnz_lu - 100.0, 1)
+            << "% padding vs PanguLU), modeled numeric time: "
+            << base.stats().sim.makespan << "s\n\n";
+
+  // Transient loop: 20 time steps. Every step changes the right-hand side;
+  // every 5th step the conductances drift too (a Newton update), which only
+  // needs refactorize() — the ordering/symbolic/blocking are frozen.
+  Rng rng(7);
+  Csc g_now = g;
+  std::vector<value_t> x(static_cast<std::size_t>(g.n_cols()), 0.0);
+  std::vector<value_t> b(static_cast<std::size_t>(g.n_rows()));
+  double worst = 0.0;
+  int refactors = 0;
+  Timer loop_timer;
+  for (int step = 0; step < 20; ++step) {
+    if (step > 0 && step % 5 == 0) {
+      for (auto& v : g_now.values_mut()) v *= (1.0 + 0.02 * rng.normal());
+      pangu.refactorize(g_now).check();
+      ++refactors;
+    }
+    for (auto& v : b) v = rng.normal();
+    pangu.solve(b, x).check();
+    worst = std::max(worst,
+                     static_cast<double>(relative_residual(g_now, x, b)));
+  }
+  std::cout << "20 transient steps (" << refactors
+            << " numeric-only refactorisations) in " << loop_timer.seconds()
+            << "s wall; worst relative residual: " << worst << "\n";
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Scaling study — sweep the simulated cluster from 1 to 64 ranks on one
+// matrix and print the strong-scaling curve of both solvers, the per-rank
+// sync time, and the communication volume. A compact, single-matrix version
+// of the Figure 12/13 benches that is handy for interactive exploration.
+//
+// Usage: scaling_study [matrix-name] [scale]
+//   matrix-name: one of the 16 paper matrices (default: Ga41As41H72)
+#include <iostream>
+#include <string>
+
+#include "baseline/supernodal.hpp"
+#include "block/mapping.hpp"
+#include "matgen/generators.hpp"
+#include "ordering/reorder.hpp"
+#include "runtime/sim.hpp"
+#include "symbolic/fill.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pangulu;
+
+  const std::string name = argc > 1 ? argv[1] : "Ga41As41H72";
+  const double scale = argc > 2 ? std::atof(argv[2]) : 0.4;
+  Csc a = matgen::paper_matrix(name, scale);
+  std::cout << "scaling study on " << name << " stand-in (n=" << a.n_cols()
+            << ", nnz=" << a.nnz() << ")\n";
+
+  // Shared preprocessing.
+  ordering::ReorderResult reorder;
+  ordering::reorder(a, {}, &reorder).check();
+  symbolic::SymbolicResult sym;
+  symbolic::symbolic_symmetric(reorder.permuted, &sym).check();
+  const index_t bs = block::choose_block_size(a.n_cols(), sym.nnz_lu);
+  block::BlockMatrix blocks = block::BlockMatrix::from_filled(sym.filled, bs);
+  auto tasks = block::enumerate_tasks(blocks);
+  const double flops = symbolic::factorization_flops(sym.filled);
+  std::cout << "nnz(L+U)=" << sym.nnz_lu << " FLOPs=" << flops
+            << " block size=" << bs << " (" << blocks.nb() << "^2 grid)\n\n";
+
+  TextTable t({"ranks", "PanguLU GFLOPS", "efficiency", "sync (s)",
+               "messages", "MiB sent", "baseline GFLOPS"});
+  double gf1 = 0;
+  for (rank_t ranks : {1, 2, 4, 8, 16, 32, 64}) {
+    block::BlockMatrix bm = blocks;
+    auto grid = block::ProcessGrid::make(ranks);
+    auto map = block::balanced_mapping(bm, tasks, grid,
+                                       block::cyclic_mapping(bm, grid), nullptr);
+    runtime::SimOptions so;
+    so.n_ranks = ranks;
+    so.execute_numerics = false;
+    runtime::SimResult res;
+    runtime::simulate_factorization(bm, tasks, map, so, &res).check();
+    const double gf = flops / res.makespan / 1e9;
+    if (ranks == 1) gf1 = gf;
+
+    baseline::SupernodalOptions bopts;
+    bopts.n_ranks = ranks;
+    bopts.execute_numerics = false;
+    baseline::SupernodalSolver base;
+    base.factorize(a, bopts).check();
+    const double gfb =
+        base.stats().flops_sparse / base.stats().sim.makespan / 1e9;
+
+    t.add_row({std::to_string(ranks), TextTable::fmt(gf, 2),
+               TextTable::fmt(100.0 * gf / (gf1 * ranks), 1) + "%",
+               TextTable::fmt_sci(res.avg_sync),
+               std::to_string(res.messages),
+               TextTable::fmt(res.bytes / 1024.0 / 1024.0, 1),
+               TextTable::fmt(gfb, 2)});
+  }
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Structural analysis scenario — an audikw_1-class 3D finite-element system
+// with 3 degrees of freedom per node. This is the matrix class supernodal
+// solvers handle best (large regular supernodes), so it is the stress test
+// for PanguLU's claim that regular 2D sparse blocking stays competitive.
+// The example factorises on a simulated 8-GPU cluster, reports the kernel
+// mix the decision trees chose, and verifies the solution.
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "baseline/supernodal.hpp"
+#include "matgen/generators.hpp"
+#include "solver/solver.hpp"
+#include "sparse/ops.hpp"
+
+int main() {
+  using namespace pangulu;
+
+  // 7x7x7 nodes x 3 dofs = 1029 unknowns, 27-point stencil.
+  Csc k = matgen::fem3d(7, 7, 7, /*dofs=*/3, /*seed=*/1);
+  std::cout << "FEM stiffness matrix: n=" << k.n_cols() << " nnz=" << k.nnz()
+            << " (density " << 100.0 * k.density() << "%)\n";
+
+  solver::Options opts;
+  opts.n_ranks = 8;
+  solver::Solver solver;
+  solver.factorize(k, opts).check();
+  const auto& st = solver.stats();
+
+  std::cout << "factorised on 8 simulated GPUs:\n"
+            << "  nnz(L+U)      = " << st.nnz_lu << "\n"
+            << "  FLOPs         = " << st.flops << "\n"
+            << "  modeled time  = " << st.sim.makespan << " s ("
+            << st.sim.gflops() << " GFLOPS)\n"
+            << "  avg sync time = " << st.sim.avg_sync << " s\n"
+            << "  messages sent = " << st.sim.messages << " ("
+            << st.sim.bytes / 1024.0 / 1024.0 << " MiB)\n"
+            << "  kernel mix    : GETRF "
+            << st.sim.kind_count[static_cast<int>(block::TaskKind::kGetrf)]
+            << ", GESSM "
+            << st.sim.kind_count[static_cast<int>(block::TaskKind::kGessm)]
+            << ", TSTRF "
+            << st.sim.kind_count[static_cast<int>(block::TaskKind::kTstrf)]
+            << ", SSSSM "
+            << st.sim.kind_count[static_cast<int>(block::TaskKind::kSsssm)]
+            << "\n"
+            << "  load balance  : max rank weight " << st.balance.max_weight_before
+            << " -> " << st.balance.max_weight_after << " ("
+            << st.balance.swaps << " slice swaps)\n";
+
+  // Static load: unit nodal force, displacement solve.
+  std::vector<value_t> f(static_cast<std::size_t>(k.n_rows()), 1.0);
+  std::vector<value_t> u(static_cast<std::size_t>(k.n_cols()));
+  solver.solve(f, u).check();
+  std::cout << "displacement solve residual: " << relative_residual(k, u, f)
+            << "\n\n";
+
+  // Baseline comparison: on this regular matrix the gap should be small —
+  // the paper reports only 1.10x on audikw_1.
+  baseline::SupernodalOptions bopts;
+  bopts.n_ranks = 8;
+  bopts.execute_numerics = false;
+  baseline::SupernodalSolver base;
+  base.factorize(k, bopts).check();
+  std::cout << "modeled numeric time: baseline " << base.stats().sim.makespan
+            << " s vs PanguLU " << st.sim.makespan << " s (ratio "
+            << base.stats().sim.makespan / st.sim.makespan << "x; paper sees "
+            << "~1.1x on this matrix class)\n";
+  return 0;
+}

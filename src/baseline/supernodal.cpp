@@ -1,0 +1,465 @@
+#include "baseline/supernodal.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sparse/ops.hpp"
+#include "util/timer.hpp"
+
+namespace pangulu::baseline {
+
+namespace {
+
+/// Dense LU without pivoting on a square tile (static pivoting: tiny pivots
+/// perturbed, as in the main solver).
+void dense_getrf(Dense& d, value_t threshold, index_t* perturbed) {
+  const index_t n = d.n_rows();
+  for (index_t k = 0; k < n; ++k) {
+    value_t pivot = d(k, k);
+    if (std::abs(pivot) < threshold) {
+      pivot = pivot >= 0 ? threshold : -threshold;
+      d(k, k) = pivot;
+      if (perturbed) ++(*perturbed);
+    }
+    for (index_t i = k + 1; i < n; ++i) d(i, k) /= pivot;
+    for (index_t j = k + 1; j < n; ++j) {
+      const value_t ukj = d(k, j);
+      if (ukj == value_t(0)) continue;
+      for (index_t i = k + 1; i < n; ++i) d(i, j) -= d(i, k) * ukj;
+    }
+  }
+}
+
+/// B <- L^-1 B with the unit-lower part of a factorised tile.
+void dense_trsm_lower(const Dense& lu, Dense& b) {
+  const index_t n = lu.n_rows();
+  for (index_t j = 0; j < b.n_cols(); ++j) {
+    for (index_t k = 0; k < n; ++k) {
+      const value_t xk = b(k, j);
+      if (xk == value_t(0)) continue;
+      for (index_t i = k + 1; i < n; ++i) b(i, j) -= lu(i, k) * xk;
+    }
+  }
+}
+
+/// B <- B U^-1 with the upper part of a factorised tile.
+void dense_trsm_upper(const Dense& lu, Dense& b) {
+  const index_t n = lu.n_cols();
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t k = 0; k < j; ++k) {
+      const value_t ukj = lu(k, j);
+      if (ukj == value_t(0)) continue;
+      for (index_t i = 0; i < b.n_rows(); ++i) b(i, j) -= b(i, k) * ukj;
+    }
+    const value_t ujj = lu(j, j);
+    for (index_t i = 0; i < b.n_rows(); ++i) b(i, j) /= ujj;
+  }
+}
+
+double tile_density(const Dense& d) {
+  index_t nz = 0;
+  for (index_t j = 0; j < d.n_cols(); ++j)
+    for (index_t i = 0; i < d.n_rows(); ++i)
+      if (d(i, j) != value_t(0)) ++nz;
+  return 100.0 * static_cast<double>(nz) /
+         (static_cast<double>(d.n_rows()) * static_cast<double>(d.n_cols()));
+}
+
+}  // namespace
+
+nnz_t SupernodalSolver::find_tile(index_t ti, index_t tj) const {
+  const nnz_t lo = tile_col_ptr_[static_cast<std::size_t>(tj)];
+  const nnz_t hi = tile_col_ptr_[static_cast<std::size_t>(tj) + 1];
+  auto first = tile_row_idx_.begin() + lo;
+  auto last = tile_row_idx_.begin() + hi;
+  auto it = std::lower_bound(first, last, ti);
+  if (it == last || *it != ti) return -1;
+  return lo + (it - first);
+}
+
+Status SupernodalSolver::factorize(const Csc& a, const SupernodalOptions& opts) {
+  if (a.n_rows() != a.n_cols())
+    return Status::invalid_argument("square matrices only");
+  opts_ = opts;
+  original_ = a;
+  factorized_ = false;
+  stats_ = SupernodalStats{};
+  stats_.n = a.n_cols();
+  stats_.nnz_a = a.nnz();
+
+  Timer timer;
+  Status s = ordering::reorder(a, opts.reorder, &reorder_);
+  if (!s.is_ok()) return s;
+  stats_.reorder_seconds = timer.seconds();
+
+  // Unsymmetric column-DFS symbolic factorisation (with pruning) — the
+  // slower path Figure 11 compares against.
+  timer.reset();
+  symbolic::SymbolicResult sym;
+  s = symbolic::symbolic_unsymmetric(reorder_.permuted, /*use_pruning=*/true,
+                                     &sym);
+  if (!s.is_ok()) return s;
+  stats_.nnz_lu_pattern = sym.nnz_lu;
+  stats_.flops_sparse = symbolic::factorization_flops(sym.filled);
+  // Supernode detection is part of the baseline's symbolic stage.
+  stats_.partition =
+      symbolic::detect_supernodes(sym.filled, opts.relax, opts.max_panel);
+  stats_.symbolic_seconds = timer.seconds();
+
+  // Preprocessing: relax the partition to a minimum panel width (classic
+  // relaxed supernodes), build the dense tile grid, scatter values.
+  timer.reset();
+  const index_t n = stats_.n;
+  part_.clear();
+  part_.push_back(0);
+  {
+    index_t width = 0;
+    for (const auto& sn : stats_.partition.supernodes) {
+      width += sn.n_cols;
+      const index_t end = sn.first_col + sn.n_cols;
+      const bool is_last = (end == n);
+      if (width >= opts.min_panel || is_last) {
+        // Close the current panel at `end`, splitting anything that grew
+        // beyond max_panel back into max_panel-wide chunks.
+        index_t start = part_.back();
+        while (end - start > opts.max_panel) {
+          start += opts.max_panel;
+          part_.push_back(start);
+        }
+        if (end > part_.back()) part_.push_back(end);
+        width = 0;
+      }
+    }
+    PANGULU_CHECK(part_.back() == n, "partition must cover all columns");
+  }
+  const auto ns = static_cast<index_t>(part_.size()) - 1;
+  stats_.n_supernodes = ns;
+
+  // Tile occupancy from the filled pattern.
+  std::vector<index_t> col_to_part(static_cast<std::size_t>(n));
+  for (index_t t = 0; t < ns; ++t) {
+    for (index_t c = part_[static_cast<std::size_t>(t)];
+         c < part_[static_cast<std::size_t>(t) + 1]; ++c)
+      col_to_part[static_cast<std::size_t>(c)] = t;
+  }
+  std::vector<char> occupied(static_cast<std::size_t>(ns) * ns, 0);
+  for (index_t j = 0; j < n; ++j) {
+    const index_t tj = col_to_part[static_cast<std::size_t>(j)];
+    for (nnz_t p = sym.filled.col_begin(j); p < sym.filled.col_end(j); ++p) {
+      const index_t ti = col_to_part[static_cast<std::size_t>(
+          sym.filled.row_idx()[static_cast<std::size_t>(p)])];
+      occupied[static_cast<std::size_t>(tj) * ns + ti] = 1;
+    }
+  }
+  // Diagonal tiles always exist.
+  for (index_t t = 0; t < ns; ++t)
+    occupied[static_cast<std::size_t>(t) * ns + t] = 1;
+
+  tile_col_ptr_.assign(static_cast<std::size_t>(ns) + 1, 0);
+  for (index_t tj = 0; tj < ns; ++tj) {
+    nnz_t cnt = 0;
+    for (index_t ti = 0; ti < ns; ++ti)
+      if (occupied[static_cast<std::size_t>(tj) * ns + ti]) ++cnt;
+    tile_col_ptr_[static_cast<std::size_t>(tj) + 1] =
+        tile_col_ptr_[static_cast<std::size_t>(tj)] + cnt;
+  }
+  const nnz_t n_tiles = tile_col_ptr_.back();
+  tile_row_idx_.resize(static_cast<std::size_t>(n_tiles));
+  tiles_.assign(static_cast<std::size_t>(n_tiles), Dense());
+  {
+    nnz_t pos = 0;
+    for (index_t tj = 0; tj < ns; ++tj) {
+      for (index_t ti = 0; ti < ns; ++ti) {
+        if (!occupied[static_cast<std::size_t>(tj) * ns + ti]) continue;
+        tile_row_idx_[static_cast<std::size_t>(pos)] = ti;
+        tiles_[static_cast<std::size_t>(pos)] =
+            Dense(part_[static_cast<std::size_t>(ti) + 1] -
+                      part_[static_cast<std::size_t>(ti)],
+                  part_[static_cast<std::size_t>(tj) + 1] -
+                      part_[static_cast<std::size_t>(tj)]);
+        stats_.nnz_lu_stored +=
+            static_cast<nnz_t>(tiles_[static_cast<std::size_t>(pos)].n_rows()) *
+            tiles_[static_cast<std::size_t>(pos)].n_cols();
+        ++pos;
+      }
+    }
+  }
+  // Scatter the (reordered, scaled) matrix values into tiles.
+  const Csc& ap = reorder_.permuted;
+  for (index_t j = 0; j < n; ++j) {
+    const index_t tj = col_to_part[static_cast<std::size_t>(j)];
+    const index_t cj = j - part_[static_cast<std::size_t>(tj)];
+    for (nnz_t p = ap.col_begin(j); p < ap.col_end(j); ++p) {
+      const index_t r = ap.row_idx()[static_cast<std::size_t>(p)];
+      const index_t ti = col_to_part[static_cast<std::size_t>(r)];
+      const nnz_t tpos = find_tile(ti, tj);
+      PANGULU_CHECK(tpos >= 0, "value outside tile structure");
+      tiles_[static_cast<std::size_t>(tpos)](
+          r - part_[static_cast<std::size_t>(ti)], cj) =
+          ap.values()[static_cast<std::size_t>(p)];
+    }
+  }
+  stats_.preprocess_seconds = timer.seconds();
+
+  // Numeric factorisation: bulk-synchronous level-set schedule with the
+  // dense tile cost model (and the real dense numerics).
+  const value_t amax = ap.max_abs() == value_t(0) ? value_t(1) : ap.max_abs();
+  Status sched = simulate_schedule(opts.n_ranks, opts.device,
+                                   opts.execute_numerics,
+                                   opts.record_gemm_density,
+                                   opts.pivot_tol * amax, &stats_.sim,
+                                   &stats_.flops_dense);
+  if (!sched.is_ok()) return sched;
+
+  factorized_ = true;
+  return Status::ok();
+}
+
+Status SupernodalSolver::solve(std::span<const value_t> b,
+                               std::span<value_t> x) const {
+  if (!factorized_) return Status::failed_precondition("factorize() first");
+  const index_t n = stats_.n;
+  if (static_cast<index_t>(b.size()) != n || static_cast<index_t>(x.size()) != n)
+    return Status::invalid_argument("size mismatch");
+  const auto ns = static_cast<index_t>(part_.size()) - 1;
+
+  std::vector<value_t> z(static_cast<std::size_t>(n));
+  for (index_t r = 0; r < n; ++r) {
+    z[static_cast<std::size_t>(reorder_.row_perm[static_cast<std::size_t>(r)])] =
+        reorder_.row_scale[static_cast<std::size_t>(r)] *
+        b[static_cast<std::size_t>(r)];
+  }
+
+  // Forward solve over tiles.
+  std::vector<std::vector<std::pair<index_t, nnz_t>>> row_tiles(
+      static_cast<std::size_t>(ns));
+  for (index_t tj = 0; tj < ns; ++tj) {
+    for (nnz_t p = tile_col_ptr_[static_cast<std::size_t>(tj)];
+         p < tile_col_ptr_[static_cast<std::size_t>(tj) + 1]; ++p) {
+      row_tiles[static_cast<std::size_t>(
+                    tile_row_idx_[static_cast<std::size_t>(p)])]
+          .emplace_back(tj, p);
+    }
+  }
+  auto seg = [&](index_t t) { return z.data() + part_[static_cast<std::size_t>(t)]; };
+  auto spmv_sub = [&](const Dense& d, const value_t* xs, value_t* ys) {
+    for (index_t j = 0; j < d.n_cols(); ++j) {
+      const value_t xj = xs[j];
+      if (xj == value_t(0)) continue;
+      for (index_t i = 0; i < d.n_rows(); ++i) ys[i] -= d(i, j) * xj;
+    }
+  };
+
+  for (index_t tk = 0; tk < ns; ++tk) {
+    for (auto [tj, pos] : row_tiles[static_cast<std::size_t>(tk)]) {
+      if (tj >= tk) continue;
+      spmv_sub(tiles_[static_cast<std::size_t>(pos)], seg(tj), seg(tk));
+    }
+    const Dense& d = tiles_[static_cast<std::size_t>(find_tile(tk, tk))];
+    value_t* s = seg(tk);
+    for (index_t j = 0; j < d.n_cols(); ++j) {
+      const value_t xj = s[j];
+      if (xj == value_t(0)) continue;
+      for (index_t i = j + 1; i < d.n_rows(); ++i) s[i] -= d(i, j) * xj;
+    }
+  }
+  for (index_t tk = ns - 1; tk >= 0; --tk) {
+    for (auto [tj, pos] : row_tiles[static_cast<std::size_t>(tk)]) {
+      if (tj <= tk) continue;
+      spmv_sub(tiles_[static_cast<std::size_t>(pos)], seg(tj), seg(tk));
+    }
+    const Dense& d = tiles_[static_cast<std::size_t>(find_tile(tk, tk))];
+    value_t* s = seg(tk);
+    for (index_t j = d.n_cols() - 1; j >= 0; --j) {
+      s[j] /= d(j, j);
+      const value_t xj = s[j];
+      if (xj == value_t(0)) continue;
+      for (index_t i = 0; i < j; ++i) s[i] -= d(i, j) * xj;
+    }
+  }
+
+  for (index_t c = 0; c < n; ++c) {
+    x[static_cast<std::size_t>(c)] =
+        reorder_.col_scale[static_cast<std::size_t>(c)] *
+        z[static_cast<std::size_t>(
+            reorder_.col_perm[static_cast<std::size_t>(c)])];
+  }
+  return Status::ok();
+}
+
+
+Status SupernodalSolver::simulate_schedule(rank_t n_ranks,
+                                           const runtime::DeviceModel& device,
+                                           bool execute, bool record_density,
+                                           value_t pivot_threshold,
+                                           runtime::SimResult* sim,
+                                           double* flops_dense) {
+  const auto ns = static_cast<index_t>(part_.size()) - 1;
+  const auto grid = block::ProcessGrid::make(n_ranks);
+  auto tile_owner = [&](index_t ti, index_t tj) {
+    return grid.owner_cyclic(ti, tj);
+  };
+
+  *sim = runtime::SimResult{};
+  sim->ranks.assign(static_cast<std::size_t>(n_ranks), runtime::RankStats{});
+  index_t perturbed = 0;
+  double now = 0;
+  std::vector<double> phase_busy(static_cast<std::size_t>(n_ranks));
+
+  // Row-wise tile adjacency for walking block rows.
+  std::vector<std::vector<std::pair<index_t, nnz_t>>> row_tiles(
+      static_cast<std::size_t>(ns));  // (tj, pos)
+  for (index_t tj = 0; tj < ns; ++tj) {
+    for (nnz_t p = tile_col_ptr_[static_cast<std::size_t>(tj)];
+         p < tile_col_ptr_[static_cast<std::size_t>(tj) + 1]; ++p) {
+      row_tiles[static_cast<std::size_t>(
+                    tile_row_idx_[static_cast<std::size_t>(p)])]
+          .emplace_back(tj, p);
+    }
+  }
+
+  auto tile_bytes = [](const Dense& d) {
+    return static_cast<double>(d.n_rows()) * d.n_cols() * sizeof(value_t);
+  };
+  // Within an elimination step the three phases wait on each other through
+  // point-to-point dependencies (cost: the slowest rank); the explicit
+  // collective synchronisation is paid once per step.
+  auto phase_end = [&](double max_busy) {
+    for (rank_t r = 0; r < n_ranks; ++r) {
+      sim->ranks[static_cast<std::size_t>(r)].idle +=
+          max_busy - phase_busy[static_cast<std::size_t>(r)];
+    }
+    now += max_busy;
+    std::fill(phase_busy.begin(), phase_busy.end(), 0.0);
+  };
+
+  // Panels fetched from remote ranks are broadcast once per phase per
+  // destination rank, not once per consuming GEMM — supernodal solvers
+  // aggregate their panel communication this way. `fetched` dedupes within
+  // a phase.
+  std::vector<std::pair<nnz_t, rank_t>> fetched;
+  auto fetch_cost = [&](nnz_t src_pos, rank_t src_rank, rank_t dst_rank,
+                        const Dense& tile) -> double {
+    if (src_rank == dst_rank) return 0.0;
+    for (auto [p, r] : fetched) {
+      if (p == src_pos && r == dst_rank) return 0.0;
+    }
+    fetched.emplace_back(src_pos, dst_rank);
+    auto& ss = sim->ranks[static_cast<std::size_t>(src_rank)];
+    ss.messages_sent++;
+    ss.bytes_sent += static_cast<std::size_t>(tile_bytes(tile));
+    return device.message_time(static_cast<std::size_t>(tile_bytes(tile)));
+  };
+
+  for (index_t k = 0; k < ns; ++k) {
+    const nnz_t dpos = find_tile(k, k);
+    Dense& dk = tiles_[static_cast<std::size_t>(dpos)];
+    const double sk = static_cast<double>(dk.n_rows());
+
+    // Phase 1: panel factorisation of the diagonal tile.
+    {
+      const rank_t r = tile_owner(k, k);
+      const double f = 2.0 / 3.0 * sk * sk * sk;
+      const double cost = device.dense_update_time(f, tile_bytes(dk));
+      phase_busy[static_cast<std::size_t>(r)] += cost;
+      sim->ranks[static_cast<std::size_t>(r)].busy += cost;
+      sim->panel_busy += cost;
+      sim->total_flops += f;
+      if (flops_dense) *flops_dense += f;
+      if (execute) dense_getrf(dk, pivot_threshold, &perturbed);
+      phase_end(*std::max_element(phase_busy.begin(), phase_busy.end()));
+    }
+
+    // Phase 2: panel solves along block-row k and block-column k.
+    fetched.clear();
+    for (auto [tj, pos] : row_tiles[static_cast<std::size_t>(k)]) {
+      if (tj <= k) continue;
+      Dense& b = tiles_[static_cast<std::size_t>(pos)];
+      const rank_t r = tile_owner(k, tj);
+      const double f = sk * sk * static_cast<double>(b.n_cols());
+      double cost = device.dense_update_time(f, tile_bytes(b)) +
+                    fetch_cost(dpos, tile_owner(k, k), r, dk);
+      phase_busy[static_cast<std::size_t>(r)] += cost;
+      sim->ranks[static_cast<std::size_t>(r)].busy += cost;
+      sim->panel_busy += cost;
+      sim->total_flops += f;
+      if (flops_dense) *flops_dense += f;
+      if (execute) dense_trsm_lower(dk, b);
+    }
+    for (nnz_t p = tile_col_ptr_[static_cast<std::size_t>(k)];
+         p < tile_col_ptr_[static_cast<std::size_t>(k) + 1]; ++p) {
+      const index_t ti = tile_row_idx_[static_cast<std::size_t>(p)];
+      if (ti <= k) continue;
+      Dense& b = tiles_[static_cast<std::size_t>(p)];
+      const rank_t r = tile_owner(ti, k);
+      const double f = sk * sk * static_cast<double>(b.n_rows());
+      double cost = device.dense_update_time(f, tile_bytes(b)) +
+                    fetch_cost(dpos, tile_owner(k, k), r, dk);
+      phase_busy[static_cast<std::size_t>(r)] += cost;
+      sim->ranks[static_cast<std::size_t>(r)].busy += cost;
+      sim->panel_busy += cost;
+      sim->total_flops += f;
+      if (flops_dense) *flops_dense += f;
+      if (execute) dense_trsm_upper(dk, b);
+    }
+    phase_end(*std::max_element(phase_busy.begin(), phase_busy.end()));
+
+    // Phase 3: Schur updates — gather, dense GEMM, scatter.
+    fetched.clear();
+    for (nnz_t p = tile_col_ptr_[static_cast<std::size_t>(k)];
+         p < tile_col_ptr_[static_cast<std::size_t>(k) + 1]; ++p) {
+      const index_t ti = tile_row_idx_[static_cast<std::size_t>(p)];
+      if (ti <= k) continue;
+      const Dense& la = tiles_[static_cast<std::size_t>(p)];
+      for (auto [tj, upos] : row_tiles[static_cast<std::size_t>(k)]) {
+        if (tj <= k) continue;
+        const Dense& ub = tiles_[static_cast<std::size_t>(upos)];
+        const nnz_t cpos = find_tile(ti, tj);
+        if (cpos < 0) continue;  // structurally empty target: update skipped
+        Dense& ct = tiles_[static_cast<std::size_t>(cpos)];
+        const rank_t r = tile_owner(ti, tj);
+        const double f = 2.0 * la.n_rows() * sk * ub.n_cols();
+        const double moved = tile_bytes(la) + tile_bytes(ub) + 2 * tile_bytes(ct);
+        double cost = device.dense_update_time(f, moved) +
+                      fetch_cost(p, tile_owner(ti, k), r, la) +
+                      fetch_cost(upos, tile_owner(k, tj), r, ub);
+        phase_busy[static_cast<std::size_t>(r)] += cost;
+        sim->ranks[static_cast<std::size_t>(r)].busy += cost;
+        sim->schur_busy += cost;
+        sim->total_flops += f;
+        if (flops_dense) *flops_dense += f;
+        if (record_density) {
+          stats_.gemm_density.push_back(
+              {tile_density(la), tile_density(ub), tile_density(ct)});
+        }
+        if (execute) Dense::gemm_sub(la, ub, ct);
+      }
+    }
+    phase_end(*std::max_element(phase_busy.begin(), phase_busy.end()));
+    now += device.barrier_time(n_ranks);  // one collective sync per step
+  }
+
+  sim->makespan = now;
+  sim->perturbed_pivots = perturbed;
+  for (rank_t r = 0; r < n_ranks; ++r) {
+    auto& rs = sim->ranks[static_cast<std::size_t>(r)];
+    sim->avg_sync += rs.idle;
+    sim->max_sync = std::max(sim->max_sync, rs.idle);
+    sim->messages += rs.messages_sent;
+    sim->bytes += rs.bytes_sent;
+  }
+  sim->avg_sync /= std::max<rank_t>(1, n_ranks);
+  return Status::ok();
+}
+
+Status SupernodalSolver::retime(rank_t n_ranks,
+                                const runtime::DeviceModel& device,
+                                runtime::SimResult* out) {
+  if (!factorized_) return Status::failed_precondition("factorize() first");
+  return simulate_schedule(n_ranks, device, /*execute=*/false,
+                           /*record_density=*/false, value_t(1), out,
+                           /*flops_dense=*/nullptr);
+}
+
+}  // namespace pangulu::baseline
+

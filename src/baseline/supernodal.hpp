@@ -1,0 +1,104 @@
+// Supernodal right-looking LU — the reproduction's SuperLU_DIST-style
+// baseline (DESIGN.md substitution table). It exhibits the three behaviours
+// the paper measures PanguLU against:
+//   * relaxed supernode amalgamation stores dense panels with explicit zero
+//     padding (the crosses of Figure 1(d); extra flops of §3.2),
+//   * Schur updates gather operands into dense tiles, run dense GEMM and
+//     scatter back (the data-movement overhead quantified in Table 4),
+//   * scheduling is bulk-synchronous over elimination levels, paying a
+//     barrier per phase (the synchronisation cost of §3.3 / Figure 5).
+//
+// Pipeline: reorder (shared with PanguLU) -> unsymmetric column-DFS symbolic
+// (Gilbert-Peierls with pruning) -> supernode detection + relaxation ->
+// dense tiling on the supernode partition -> level-set factorisation on the
+// simulated cluster.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ordering/reorder.hpp"
+#include "runtime/device_model.hpp"
+#include "runtime/sim.hpp"
+#include "sparse/csc.hpp"
+#include "sparse/dense.hpp"
+#include "symbolic/fill.hpp"
+#include "symbolic/supernodes.hpp"
+#include "util/status.hpp"
+
+namespace pangulu::baseline {
+
+struct SupernodalOptions {
+  ordering::ReorderOptions reorder;
+  index_t relax = 8;       // pattern mismatches tolerated when merging
+  index_t max_panel = 64;  // maximum supernode width
+  index_t min_panel = 4;   // force-amalgamate narrower supernodes (relaxed
+                           // supernodes, at the price of more padding)
+  rank_t n_ranks = 1;
+  runtime::DeviceModel device = runtime::DeviceModel::a100_like();
+  bool execute_numerics = true;
+  value_t pivot_tol = 1e-14;
+  bool record_gemm_density = false;  // Figure 4 instrumentation
+};
+
+struct GemmDensitySample {
+  double a, b, c;  // density (%) of the three operand tiles
+};
+
+struct SupernodalStats {
+  double reorder_seconds = 0;
+  double symbolic_seconds = 0;
+  double preprocess_seconds = 0;
+  index_t n = 0;
+  nnz_t nnz_a = 0;
+  /// Stored entries = total area of non-empty dense tiles (what a panel
+  /// store actually allocates; the Table 3 "SuperLU nnz(L+U)" analogue).
+  nnz_t nnz_lu_stored = 0;
+  /// Sparse fill count of the symbolic pattern (no padding).
+  nnz_t nnz_lu_pattern = 0;
+  double flops_dense = 0;   // flops executed on dense tiles (incl. zeros)
+  double flops_sparse = 0;  // useful flops (same metric as PanguLU's)
+  index_t n_supernodes = 0;
+  runtime::SimResult sim;
+  std::vector<GemmDensitySample> gemm_density;
+  symbolic::SupernodePartition partition;  // pre-relaxation (Figure 3)
+};
+
+class SupernodalSolver {
+ public:
+  Status factorize(const Csc& a, const SupernodalOptions& opts);
+  Status solve(std::span<const value_t> b, std::span<value_t> x) const;
+
+  /// Re-run the level-set schedule of an already-factorised problem under a
+  /// different rank count / device model, without touching the numerics —
+  /// the cheap path for scaling sweeps (Figures 5, 12, 13).
+  Status retime(rank_t n_ranks, const runtime::DeviceModel& device,
+                runtime::SimResult* out);
+
+  const SupernodalStats& stats() const { return stats_; }
+
+ private:
+  /// The bulk-synchronous factorisation schedule shared by factorize() and
+  /// retime(). When `execute` is set the dense tile numerics run too.
+  Status simulate_schedule(rank_t n_ranks, const runtime::DeviceModel& device,
+                           bool execute, bool record_density,
+                           value_t pivot_threshold, runtime::SimResult* sim,
+                           double* flops_dense);
+
+  SupernodalOptions opts_;
+  Csc original_;
+  ordering::ReorderResult reorder_;
+  // Supernode partition boundaries: part_[i]..part_[i+1] are the columns of
+  // supernode i (after relaxation).
+  std::vector<index_t> part_;
+  // Dense tiles on the partition grid, CSC-compressed at the tile level.
+  std::vector<nnz_t> tile_col_ptr_;
+  std::vector<index_t> tile_row_idx_;
+  std::vector<Dense> tiles_;
+  SupernodalStats stats_;
+  bool factorized_ = false;
+
+  nnz_t find_tile(index_t ti, index_t tj) const;
+};
+
+}  // namespace pangulu::baseline

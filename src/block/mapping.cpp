@@ -1,0 +1,142 @@
+#include "block/mapping.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pangulu::block {
+
+ProcessGrid ProcessGrid::make(rank_t p) {
+  ProcessGrid g;
+  rank_t best = 1;
+  for (rank_t d = 1; d * d <= p; ++d) {
+    if (p % d == 0) best = d;
+  }
+  g.pr = best;
+  g.pc = p / best;
+  return g;
+}
+
+Mapping cyclic_mapping(const BlockMatrix& bm, const ProcessGrid& grid) {
+  Mapping m;
+  m.n_ranks = grid.size();
+  m.owner.resize(static_cast<std::size_t>(bm.n_blocks()));
+  for (nnz_t pos = 0; pos < bm.n_blocks(); ++pos) {
+    m.owner[static_cast<std::size_t>(pos)] =
+        grid.owner_cyclic(bm.block_row_of(pos), bm.block_col_of(pos));
+  }
+  return m;
+}
+
+std::vector<double> rank_weights(const std::vector<Task>& tasks,
+                                 const Mapping& mapping) {
+  std::vector<double> w(static_cast<std::size_t>(mapping.n_ranks), 0.0);
+  for (const Task& t : tasks)
+    w[static_cast<std::size_t>(
+        mapping.owner[static_cast<std::size_t>(t.target)])] += t.weight;
+  return w;
+}
+
+Mapping balanced_mapping(const BlockMatrix& bm, const std::vector<Task>& tasks,
+                         const ProcessGrid& grid, const Mapping& initial,
+                         BalanceStats* stats) {
+  Mapping m = initial;
+  const rank_t nr = grid.size();
+  if (stats) {
+    auto w0 = rank_weights(tasks, initial);
+    stats->max_weight_before = *std::max_element(w0.begin(), w0.end());
+    stats->max_weight_after = stats->max_weight_before;
+    stats->swaps = 0;
+  }
+  if (nr <= 1) return m;
+
+  // Group tasks by time slice (tasks arrive ordered by k).
+  const index_t nb = bm.nb();
+  std::vector<std::size_t> slice_begin(static_cast<std::size_t>(nb) + 1, 0);
+  {
+    std::size_t ti = 0;
+    for (index_t k = 0; k < nb; ++k) {
+      slice_begin[static_cast<std::size_t>(k)] = ti;
+      while (ti < tasks.size() && tasks[ti].k == k) ++ti;
+    }
+    slice_begin[static_cast<std::size_t>(nb)] = tasks.size();
+  }
+
+  std::vector<double> total(static_cast<std::size_t>(nr), 0.0);
+  std::vector<double> slice_w(static_cast<std::size_t>(nr), 0.0);
+  std::vector<index_t> slice_tasks(static_cast<std::size_t>(nr), 0);
+
+  for (index_t k = 0; k < nb; ++k) {
+    const std::size_t b = slice_begin[static_cast<std::size_t>(k)];
+    const std::size_t e = slice_begin[static_cast<std::size_t>(k) + 1];
+    std::fill(slice_w.begin(), slice_w.end(), 0.0);
+    std::fill(slice_tasks.begin(), slice_tasks.end(), 0);
+    for (std::size_t t = b; t < e; ++t) {
+      const rank_t r = m.owner[static_cast<std::size_t>(tasks[t].target)];
+      slice_w[static_cast<std::size_t>(r)] += tasks[t].weight;
+      slice_tasks[static_cast<std::size_t>(r)]++;
+    }
+
+    // Candidate trade: cumulative-heaviest process (including this slice)
+    // versus the process with the fewest tasks in this slice (the paper
+    // trades with "the process with the smallest number of tasks").
+    rank_t heavy = 0, light = 0;
+    for (rank_t r = 1; r < nr; ++r) {
+      if (total[static_cast<std::size_t>(r)] + slice_w[static_cast<std::size_t>(r)] >
+          total[static_cast<std::size_t>(heavy)] + slice_w[static_cast<std::size_t>(heavy)])
+        heavy = r;
+      if (slice_tasks[static_cast<std::size_t>(r)] <
+              slice_tasks[static_cast<std::size_t>(light)] ||
+          (slice_tasks[static_cast<std::size_t>(r)] ==
+               slice_tasks[static_cast<std::size_t>(light)] &&
+           total[static_cast<std::size_t>(r)] <
+               total[static_cast<std::size_t>(light)]))
+        light = r;
+    }
+
+    if (heavy != light) {
+      const double h_after_swap = total[static_cast<std::size_t>(heavy)] +
+                                  slice_w[static_cast<std::size_t>(light)];
+      const double l_after_swap = total[static_cast<std::size_t>(light)] +
+                                  slice_w[static_cast<std::size_t>(heavy)];
+      const double cur_max = std::max(total[static_cast<std::size_t>(heavy)] +
+                                          slice_w[static_cast<std::size_t>(heavy)],
+                                      total[static_cast<std::size_t>(light)] +
+                                          slice_w[static_cast<std::size_t>(light)]);
+      if (std::max(h_after_swap, l_after_swap) < cur_max) {
+        // Swap ownership of every block whose slice-k task belongs to one of
+        // the two processes.
+        for (std::size_t t = b; t < e; ++t) {
+          auto& owner = m.owner[static_cast<std::size_t>(tasks[t].target)];
+          if (owner == heavy)
+            owner = light;
+          else if (owner == light)
+            owner = heavy;
+        }
+        std::swap(slice_w[static_cast<std::size_t>(heavy)],
+                  slice_w[static_cast<std::size_t>(light)]);
+        if (stats) stats->swaps++;
+      }
+    }
+    for (rank_t r = 0; r < nr; ++r)
+      total[static_cast<std::size_t>(r)] += slice_w[static_cast<std::size_t>(r)];
+  }
+
+  // A block owns tasks in several slices, so a swap committed at slice k can
+  // retroactively shift weight counted in earlier slices; guard against the
+  // rare case where the heuristic ends up worse than the cyclic start.
+  {
+    auto w_before = rank_weights(tasks, initial);
+    auto w_after = rank_weights(tasks, m);
+    const double max_before = *std::max_element(w_before.begin(), w_before.end());
+    const double max_after = *std::max_element(w_after.begin(), w_after.end());
+    if (max_after > max_before) {
+      m = initial;
+      if (stats) stats->swaps = 0;
+    }
+    if (stats)
+      stats->max_weight_after = std::min(max_after, max_before);
+  }
+  return m;
+}
+
+}  // namespace pangulu::block

@@ -1,0 +1,56 @@
+// Block -> process mapping: 2D block-cyclic baseline plus the paper's static
+// load-balancing adjustment (§4.2): walking the elimination time slices, the
+// busiest process swaps this slice's tasks with the least-loaded one when
+// that evens out the cumulative weights.
+#pragma once
+
+#include <vector>
+
+#include "block/tasks.hpp"
+#include "util/types.hpp"
+
+namespace pangulu::block {
+
+/// 2D process grid (Pr x Pc ranks, block-cyclic tiling).
+struct ProcessGrid {
+  rank_t pr = 1;
+  rank_t pc = 1;
+
+  rank_t size() const { return pr * pc; }
+  rank_t owner_cyclic(index_t bi, index_t bj) const {
+    return static_cast<rank_t>((bi % pr) * pc + (bj % pc));
+  }
+
+  /// Near-square factorisation of `p` (the usual choice for LU grids).
+  static ProcessGrid make(rank_t p);
+};
+
+/// owner[block position] = rank.
+struct Mapping {
+  std::vector<rank_t> owner;
+  rank_t n_ranks = 1;
+};
+
+/// Plain 2D block-cyclic assignment.
+Mapping cyclic_mapping(const BlockMatrix& bm, const ProcessGrid& grid);
+
+struct BalanceStats {
+  double max_weight_before = 0;
+  double max_weight_after = 0;
+  index_t swaps = 0;
+};
+
+/// The static balancing pass of §4.2. Starts from `initial`, walks time
+/// slices in order; in each slice the process with the highest cumulative
+/// weight trades this slice's task set with the lowest-weight process when
+/// the trade lowers the running maximum. Blocks move with their tasks (the
+/// mapping stays static for the numeric phase).
+Mapping balanced_mapping(const BlockMatrix& bm, const std::vector<Task>& tasks,
+                         const ProcessGrid& grid, const Mapping& initial,
+                         BalanceStats* stats = nullptr);
+
+/// Cumulative per-rank weight of a mapping (for tests and reporting).
+std::vector<double> rank_weights(const std::vector<Task>& tasks,
+                                 const Mapping& mapping);
+
+}  // namespace pangulu::block

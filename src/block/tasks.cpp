@@ -1,0 +1,143 @@
+#include "block/tasks.hpp"
+
+#include <vector>
+
+#include "kernels/kernel_common.hpp"
+
+namespace pangulu::block {
+
+namespace {
+
+/// Strictly-lower / strictly-upper column lengths of a diagonal block,
+/// cached per elimination step so panel weights cost O(nnz(B)) each.
+struct DiagTriLengths {
+  std::vector<nnz_t> lower;  // per column: entries below the diagonal
+  std::vector<nnz_t> upper;  // per column: entries above the diagonal
+
+  explicit DiagTriLengths(const Csc& d)
+      : lower(static_cast<std::size_t>(d.n_cols()), 0),
+        upper(static_cast<std::size_t>(d.n_cols()), 0) {
+    for (index_t j = 0; j < d.n_cols(); ++j) {
+      for (nnz_t p = d.col_begin(j); p < d.col_end(j); ++p) {
+        const index_t r = d.row_idx()[static_cast<std::size_t>(p)];
+        if (r > j)
+          lower[static_cast<std::size_t>(j)]++;
+        else if (r < j)
+          upper[static_cast<std::size_t>(j)]++;
+      }
+    }
+  }
+};
+
+/// GESSM weight: forward solve of B against the unit-lower part of the
+/// diagonal block — every B entry at row k applies L(:,k)'s strict column.
+double gessm_weight(const DiagTriLengths& tri, const Csc& b) {
+  double f = 0;
+  for (index_t r : b.row_idx())
+    f += 2.0 * static_cast<double>(tri.lower[static_cast<std::size_t>(r)]) + 1.0;
+  return f;
+}
+
+/// TSTRF weight: each B column j applies U(:,j)'s strict column per entry.
+double tstrf_weight(const DiagTriLengths& tri, const Csc& b) {
+  double f = 0;
+  for (index_t j = 0; j < b.n_cols(); ++j) {
+    f += static_cast<double>(b.col_end(j) - b.col_begin(j)) *
+         (2.0 * static_cast<double>(tri.upper[static_cast<std::size_t>(j)]) + 1.0);
+  }
+  return f;
+}
+
+/// Lazily cached per-row nonzero counts of a block (the U-side operand of
+/// SSSSM weights).
+const std::vector<nnz_t>& row_counts(const BlockMatrix& bm, nnz_t pos,
+                                     std::vector<std::vector<nnz_t>>& cache) {
+  auto& rc = cache[static_cast<std::size_t>(pos)];
+  if (rc.empty()) {
+    const Csc& b = bm.block(pos);
+    rc.assign(static_cast<std::size_t>(b.n_rows()) + 1, 0);
+    rc[0] = 1;  // sentinel marking "computed" even for empty blocks
+    for (index_t r : b.row_idx()) rc[static_cast<std::size_t>(r) + 1]++;
+  }
+  return rc;
+}
+
+}  // namespace
+
+std::vector<Task> enumerate_tasks(const BlockMatrix& bm) {
+  std::vector<Task> tasks;
+  const index_t nb = bm.nb();
+  std::vector<std::vector<nnz_t>> row_cnt_cache(
+      static_cast<std::size_t>(bm.n_blocks()));
+
+  for (index_t k = 0; k < nb; ++k) {
+    const nnz_t diag = bm.find_block(k, k);
+    PANGULU_CHECK(diag >= 0, "diagonal block missing (symbolic guarantees it)");
+    const DiagTriLengths tri(bm.block(diag));
+
+    Task getrf{TaskKind::kGetrf, k, k, k, diag, -1, -1, 0};
+    getrf.weight = kernels::getrf_flops(bm.block(diag));
+    tasks.push_back(getrf);
+
+    // Panel solves: blocks right of the diagonal in block-row k (GESSM) and
+    // below the diagonal in block-column k (TSTRF).
+    for (nnz_t rp = bm.row_begin(k); rp < bm.row_end(k); ++rp) {
+      const index_t bj = bm.row_block_col(rp);
+      if (bj <= k) continue;
+      const nnz_t pos = bm.row_block_pos(rp);
+      Task t{TaskKind::kGessm, k, k, bj, pos, diag, -1,
+             gessm_weight(tri, bm.block(pos))};
+      tasks.push_back(t);
+    }
+    for (nnz_t cp = bm.col_begin(k); cp < bm.col_end(k); ++cp) {
+      const index_t bi = bm.block_row(cp);
+      if (bi <= k) continue;
+      Task t{TaskKind::kTstrf, k, bi, k, cp, diag, -1,
+             tstrf_weight(tri, bm.block(cp))};
+      tasks.push_back(t);
+    }
+
+    // Schur updates: for every (bi > k, bj > k) with L-block (bi,k) and
+    // U-block (k,bj) present.
+    for (nnz_t cp = bm.col_begin(k); cp < bm.col_end(k); ++cp) {
+      const index_t bi = bm.block_row(cp);
+      if (bi <= k) continue;
+      const Csc& a = bm.block(cp);
+      for (nnz_t rp = bm.row_begin(k); rp < bm.row_end(k); ++rp) {
+        const index_t bj = bm.row_block_col(rp);
+        if (bj <= k) continue;
+        const nnz_t src_b = bm.row_block_pos(rp);
+        const auto& brc = row_counts(bm, src_b, row_cnt_cache);
+        // 2 * sum_k |A(:,k)| * |B(k,:)| without touching B's entry arrays.
+        double w = 0;
+        const index_t inner = a.n_cols();
+        for (index_t kk = 0; kk < inner; ++kk) {
+          const auto bk = static_cast<double>(brc[static_cast<std::size_t>(kk) + 1]);
+          if (bk == 0) continue;
+          w += 2.0 * static_cast<double>(a.col_end(kk) - a.col_begin(kk)) * bk;
+        }
+        // Two non-empty operand blocks can still have a structurally empty
+        // product (no shared inner index); such updates are skipped — the
+        // target block may legitimately be absent then.
+        if (w == 0.0) continue;
+        const nnz_t target = bm.find_block(bi, bj);
+        PANGULU_CHECK(target >= 0, "SSSSM target block missing (closure)");
+        Task t{TaskKind::kSsssm, k, bi, bj, target, cp, src_b, w};
+        tasks.push_back(t);
+      }
+    }
+  }
+  return tasks;
+}
+
+std::vector<index_t> sync_free_array(const BlockMatrix& bm,
+                                     const std::vector<Task>& tasks) {
+  std::vector<index_t> arr(static_cast<std::size_t>(bm.n_blocks()), 0);
+  for (const Task& t : tasks) {
+    if (t.kind != TaskKind::kGetrf)
+      arr[static_cast<std::size_t>(t.target)]++;
+  }
+  return arr;
+}
+
+}  // namespace pangulu::block

@@ -1,0 +1,36 @@
+// Task enumeration for block LU factorisation. Every kernel invocation is a
+// task attached to its target block; the time slice of a task is its
+// elimination step k (Figure 6(c) of the paper shows five such slices).
+#pragma once
+
+#include <vector>
+
+#include "block/layout.hpp"
+#include "util/types.hpp"
+
+namespace pangulu::block {
+
+enum class TaskKind { kGetrf, kGessm, kTstrf, kSsssm };
+
+struct Task {
+  TaskKind kind;
+  index_t k;        // elimination step (time slice)
+  index_t bi, bj;   // target block coordinates
+  nnz_t target;     // position of target block in the BlockMatrix
+  nnz_t src_a = -1; // SSSSM: L-side source block (bi, k); panel: diag block
+  nnz_t src_b = -1; // SSSSM: U-side source block (k, bj)
+  double weight = 0;  // FLOP estimate (the paper's task weight)
+};
+
+/// Enumerate every task of the factorisation in (k, kind, bi, bj) order and
+/// compute its weight from the block patterns.
+std::vector<Task> enumerate_tasks(const BlockMatrix& bm);
+
+/// Per-block number of incoming updates — the initialisation of the
+/// synchronisation-free array (§4.4): for an off-diagonal block, the number
+/// of SSSSM updates plus the one GESSM/TSTRF solve; for a diagonal block,
+/// the number of SSSSM updates (GETRF fires when it reaches zero).
+std::vector<index_t> sync_free_array(const BlockMatrix& bm,
+                                     const std::vector<Task>& tasks);
+
+}  // namespace pangulu::block

@@ -1,0 +1,156 @@
+#include "capi/pangulu_c.h"
+
+#include <string>
+#include <vector>
+
+#include "io/matrix_market.hpp"
+#include "solver/solver.hpp"
+
+using pangulu::Csc;
+using pangulu::Status;
+using pangulu::StatusCode;
+
+struct pangulu_handle {
+  Csc matrix;
+  pangulu::solver::Solver solver;
+  bool factorized = false;
+  std::string last_error;
+};
+
+namespace {
+
+int set_status(pangulu_handle* h, const Status& s) {
+  if (s.is_ok()) {
+    if (h) h->last_error.clear();
+    return PANGULU_OK;
+  }
+  if (h) h->last_error = s.message();
+  switch (s.code()) {
+    case StatusCode::kInvalidArgument: return PANGULU_INVALID_ARGUMENT;
+    case StatusCode::kOutOfRange: return PANGULU_OUT_OF_RANGE;
+    case StatusCode::kFailedPrecondition: return PANGULU_FAILED_PRECONDITION;
+    case StatusCode::kNumericalError: return PANGULU_NUMERICAL_ERROR;
+    case StatusCode::kIoError: return PANGULU_IO_ERROR;
+    default: return PANGULU_INTERNAL;
+  }
+}
+
+/* Guard: the C boundary must not leak C++ exceptions. */
+template <typename F>
+int guarded(pangulu_handle* h, F&& body) {
+  try {
+    return body();
+  } catch (const std::exception& e) {
+    if (h) h->last_error = e.what();
+    return PANGULU_INTERNAL;
+  } catch (...) {
+    if (h) h->last_error = "unknown exception";
+    return PANGULU_INTERNAL;
+  }
+}
+
+}  // namespace
+
+extern "C" {
+
+int pangulu_create(int32_t n, const int64_t* col_ptr, const int32_t* row_idx,
+                   const double* values, pangulu_handle** out) {
+  if (!out || !col_ptr || n < 0 || (n > 0 && (!row_idx || !values)))
+    return PANGULU_INVALID_ARGUMENT;
+  *out = nullptr;
+  auto* h = new pangulu_handle();
+  const int rc = guarded(h, [&]() -> int {
+    const auto nnz = static_cast<std::size_t>(col_ptr[n]);
+    Csc m = Csc::from_parts(
+        n, n, std::vector<pangulu::nnz_t>(col_ptr, col_ptr + n + 1),
+        std::vector<pangulu::index_t>(row_idx, row_idx + nnz),
+        std::vector<pangulu::value_t>(values, values + nnz));
+    h->matrix = std::move(m);
+    return PANGULU_OK;
+  });
+  if (rc != PANGULU_OK) {
+    delete h;
+    return rc;
+  }
+  *out = h;
+  return PANGULU_OK;
+}
+
+int pangulu_create_from_file(const char* path, pangulu_handle** out) {
+  if (!out || !path) return PANGULU_INVALID_ARGUMENT;
+  *out = nullptr;
+  auto* h = new pangulu_handle();
+  const int rc = guarded(h, [&]() -> int {
+    Csc m;
+    Status s = pangulu::io::read_matrix_market_file(path, &m);
+    if (!s.is_ok()) return set_status(h, s);
+    if (m.n_rows() != m.n_cols())
+      return set_status(h, Status::invalid_argument("matrix must be square"));
+    h->matrix = std::move(m);
+    return PANGULU_OK;
+  });
+  if (rc != PANGULU_OK) {
+    delete h;
+    return rc;
+  }
+  *out = h;
+  return PANGULU_OK;
+}
+
+int pangulu_factorize(pangulu_handle* h, int32_t n_ranks, int32_t block_size) {
+  if (!h) return PANGULU_INVALID_ARGUMENT;
+  return guarded(h, [&]() -> int {
+    pangulu::solver::Options opts;
+    opts.n_ranks = n_ranks > 0 ? n_ranks : 1;
+    opts.block_size = block_size;
+    Status s = h->solver.factorize(h->matrix, opts);
+    if (s.is_ok()) h->factorized = true;
+    return set_status(h, s);
+  });
+}
+
+int pangulu_solve(pangulu_handle* h, double* b_x) {
+  if (!h || !b_x) return PANGULU_INVALID_ARGUMENT;
+  return guarded(h, [&]() -> int {
+    const auto n = static_cast<std::size_t>(h->matrix.n_cols());
+    std::vector<double> x(n);
+    Status s = h->solver.solve({b_x, n}, x);
+    if (s.is_ok()) std::copy(x.begin(), x.end(), b_x);
+    return set_status(h, s);
+  });
+}
+
+int pangulu_solve_transpose(pangulu_handle* h, double* b_x) {
+  if (!h || !b_x) return PANGULU_INVALID_ARGUMENT;
+  return guarded(h, [&]() -> int {
+    const auto n = static_cast<std::size_t>(h->matrix.n_cols());
+    std::vector<double> x(n);
+    Status s = h->solver.solve_transpose({b_x, n}, x);
+    if (s.is_ok()) std::copy(x.begin(), x.end(), b_x);
+    return set_status(h, s);
+  });
+}
+
+int64_t pangulu_nnz_lu(const pangulu_handle* h) {
+  return h && h->factorized ? h->solver.stats().nnz_lu : -1;
+}
+
+double pangulu_factor_flops(const pangulu_handle* h) {
+  return h && h->factorized ? h->solver.stats().flops : -1.0;
+}
+
+double pangulu_modeled_numeric_seconds(const pangulu_handle* h) {
+  return h && h->factorized ? h->solver.stats().sim.makespan : -1.0;
+}
+
+int32_t pangulu_matrix_order(const pangulu_handle* h) {
+  return h ? h->matrix.n_cols() : -1;
+}
+
+const char* pangulu_last_error(const pangulu_handle* h) {
+  return h ? h->last_error.c_str() : "null handle";
+}
+
+void pangulu_destroy(pangulu_handle* h) { delete h; }
+
+}  // extern "C"

@@ -1,0 +1,67 @@
+/* C API of the PanguLU reproduction.
+ *
+ * The original PanguLU artifact is a C library driven as
+ *   mpirun -np N test/numeric_file -F matrix.mtx
+ * This header exposes the same capability to C callers: hand over a CSC
+ * matrix, factorise on a simulated N-rank cluster, solve right-hand sides.
+ *
+ * All functions return 0 on success and a nonzero pangulu_status code on
+ * failure; pangulu_last_error() returns a message for the last failure on
+ * the handle.
+ */
+#ifndef PANGULU_C_H_
+#define PANGULU_C_H_
+
+#include <stdint.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+typedef struct pangulu_handle pangulu_handle;
+
+typedef enum pangulu_status {
+  PANGULU_OK = 0,
+  PANGULU_INVALID_ARGUMENT = 1,
+  PANGULU_OUT_OF_RANGE = 2,
+  PANGULU_FAILED_PRECONDITION = 3,
+  PANGULU_NUMERICAL_ERROR = 4,
+  PANGULU_IO_ERROR = 5,
+  PANGULU_INTERNAL = 6
+} pangulu_status;
+
+/* Create a solver handle holding a copy of the n x n CSC matrix:
+ * col_ptr[n+1], row_idx[nnz] (0-based, sorted per column), values[nnz]. */
+int pangulu_create(int32_t n, const int64_t* col_ptr, const int32_t* row_idx,
+                   const double* values, pangulu_handle** out);
+
+/* Load a Matrix Market file instead. */
+int pangulu_create_from_file(const char* path, pangulu_handle** out);
+
+/* Full pipeline (reorder, symbolic, blocking, numeric) on a simulated
+ * cluster of n_ranks processes. block_size 0 selects the heuristic. */
+int pangulu_factorize(pangulu_handle* h, int32_t n_ranks, int32_t block_size);
+
+/* Solve A x = b. b_x holds b on entry and x on return (length n). */
+int pangulu_solve(pangulu_handle* h, double* b_x);
+
+/* Solve A^T x = b, same in/out convention. */
+int pangulu_solve_transpose(pangulu_handle* h, double* b_x);
+
+/* Introspection (valid after a successful factorise). */
+int64_t pangulu_nnz_lu(const pangulu_handle* h);
+double pangulu_factor_flops(const pangulu_handle* h);
+double pangulu_modeled_numeric_seconds(const pangulu_handle* h);
+int32_t pangulu_matrix_order(const pangulu_handle* h);
+
+/* Message of the most recent failure on this handle ("" when none). The
+ * pointer stays valid until the next call on the handle. */
+const char* pangulu_last_error(const pangulu_handle* h);
+
+void pangulu_destroy(pangulu_handle* h);
+
+#ifdef __cplusplus
+}
+#endif
+
+#endif /* PANGULU_C_H_ */

@@ -1,0 +1,98 @@
+#include "io/matrix_market.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace pangulu::io {
+
+namespace {
+
+std::string to_lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+}  // namespace
+
+Status read_matrix_market(std::istream& in, Csc* out) {
+  std::string line;
+  if (!std::getline(in, line))
+    return Status::io_error("empty Matrix Market stream");
+  std::istringstream hdr(line);
+  std::string banner, object, format, field, symmetry;
+  hdr >> banner >> object >> format >> field >> symmetry;
+  if (banner != "%%MatrixMarket")
+    return Status::io_error("missing %%MatrixMarket banner");
+  object = to_lower(object);
+  format = to_lower(format);
+  field = to_lower(field);
+  symmetry = to_lower(symmetry);
+  if (object != "matrix" || format != "coordinate")
+    return Status::io_error("only 'matrix coordinate' is supported");
+  const bool pattern = field == "pattern";
+  if (field != "real" && field != "integer" && !pattern)
+    return Status::io_error("unsupported field: " + field);
+  const bool symmetric = symmetry == "symmetric";
+  const bool skew = symmetry == "skew-symmetric";
+  if (!symmetric && !skew && symmetry != "general")
+    return Status::io_error("unsupported symmetry: " + symmetry);
+
+  // Skip comments.
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  std::istringstream dims(line);
+  long rows = 0, cols = 0, entries = 0;
+  dims >> rows >> cols >> entries;
+  if (rows <= 0 || cols <= 0 || entries < 0)
+    return Status::io_error("bad dimension line");
+
+  Coo coo(static_cast<index_t>(rows), static_cast<index_t>(cols));
+  coo.entries.reserve(static_cast<std::size_t>(entries) * (symmetric ? 2 : 1));
+  for (long k = 0; k < entries; ++k) {
+    long r = 0, c = 0;
+    double v = 1.0;
+    if (!(in >> r >> c)) return Status::io_error("truncated entry list");
+    if (!pattern && !(in >> v)) return Status::io_error("missing value");
+    if (r < 1 || r > rows || c < 1 || c > cols)
+      return Status::io_error("entry index out of range");
+    coo.add(static_cast<index_t>(r - 1), static_cast<index_t>(c - 1), v);
+    if ((symmetric || skew) && r != c) {
+      coo.add(static_cast<index_t>(c - 1), static_cast<index_t>(r - 1),
+              skew ? -v : v);
+    }
+  }
+  *out = Csc::from_coo(coo);
+  return Status::ok();
+}
+
+Status read_matrix_market_file(const std::string& path, Csc* out) {
+  std::ifstream f(path);
+  if (!f) return Status::io_error("cannot open " + path);
+  return read_matrix_market(f, out);
+}
+
+Status write_matrix_market(std::ostream& out, const Csc& a) {
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  out << a.n_rows() << ' ' << a.n_cols() << ' ' << a.nnz() << '\n';
+  out.precision(17);
+  for (index_t j = 0; j < a.n_cols(); ++j) {
+    for (nnz_t p = a.col_begin(j); p < a.col_end(j); ++p) {
+      out << (a.row_idx()[static_cast<std::size_t>(p)] + 1) << ' ' << (j + 1)
+          << ' ' << a.values()[static_cast<std::size_t>(p)] << '\n';
+    }
+  }
+  if (!out) return Status::io_error("write failed");
+  return Status::ok();
+}
+
+Status write_matrix_market_file(const std::string& path, const Csc& a) {
+  std::ofstream f(path);
+  if (!f) return Status::io_error("cannot open " + path);
+  return write_matrix_market(f, a);
+}
+
+}  // namespace pangulu::io

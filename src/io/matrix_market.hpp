@@ -1,0 +1,26 @@
+// Matrix Market (*.mtx) reader/writer. The original PanguLU artifact only
+// accepts Matrix Market input; we keep that interface so downstream users can
+// feed real SuiteSparse matrices when they have them.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sparse/csc.hpp"
+#include "util/status.hpp"
+
+namespace pangulu::io {
+
+/// Parse a Matrix Market stream. Supports `matrix coordinate
+/// real|integer|pattern general|symmetric|skew-symmetric`. Pattern entries
+/// get value 1. Symmetric storage is expanded to both triangles.
+Status read_matrix_market(std::istream& in, Csc* out);
+
+/// Read from a file path.
+Status read_matrix_market_file(const std::string& path, Csc* out);
+
+/// Write `a` as `matrix coordinate real general`.
+Status write_matrix_market(std::ostream& out, const Csc& a);
+Status write_matrix_market_file(const std::string& path, const Csc& a);
+
+}  // namespace pangulu::io

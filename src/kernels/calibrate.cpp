@@ -1,0 +1,44 @@
+#include "kernels/calibrate.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace pangulu::kernels {
+
+double policy_cost(const std::vector<PairedSample>& samples, double threshold) {
+  double cost = 0;
+  for (const auto& s : samples)
+    cost += s.metric < threshold ? s.time_low : s.time_high;
+  return cost;
+}
+
+double fit_crossover(std::vector<PairedSample> samples) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end(),
+            [](const PairedSample& a, const PairedSample& b) {
+              return a.metric < b.metric;
+            });
+  // Suffix sums of time_high; prefix sums of time_low. Candidate thresholds
+  // sit between adjacent metrics (plus the two extremes).
+  const std::size_t n = samples.size();
+  std::vector<double> suffix_high(n + 1, 0.0);
+  for (std::size_t i = n; i > 0; --i)
+    suffix_high[i - 1] = suffix_high[i] + samples[i - 1].time_high;
+
+  double best_cost = suffix_high[0];          // threshold below everything
+  double best_threshold = samples.front().metric * 0.5;
+  double prefix_low = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    prefix_low += samples[i].time_low;
+    const double cost = prefix_low + suffix_high[i + 1];
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_threshold = i + 1 < n
+                           ? 0.5 * (samples[i].metric + samples[i + 1].metric)
+                           : samples[i].metric * 2.0;
+    }
+  }
+  return best_threshold;
+}
+
+}  // namespace pangulu::kernels

@@ -1,0 +1,32 @@
+// Decision-tree threshold calibration. The paper builds its Figure 8 trees
+// "according to a large amount of performance data"; this module provides
+// the refitting step so a deployment can re-derive the cut-points from
+// measurements on its own hardware (see bench_fig07_kernels, which refits
+// the CPU/GPU crossovers from wall-clock samples).
+#pragma once
+
+#include <vector>
+
+#include "kernels/selector.hpp"
+
+namespace pangulu::kernels {
+
+/// One measurement: the selection metric of a block (nnz or FLOPs) and the
+/// observed execution time of the two candidate kernels on it.
+struct PairedSample {
+  double metric;
+  double time_low;   // kernel preferred below the threshold
+  double time_high;  // kernel preferred above the threshold
+};
+
+/// Fit the threshold minimising total execution time when every block with
+/// metric < threshold runs the "low" kernel and the rest run the "high"
+/// kernel. Returns the optimal cut (midpoint between adjacent metrics, or
+/// +/-inf-like extremes when one kernel dominates everywhere).
+double fit_crossover(std::vector<PairedSample> samples);
+
+/// Total time of a sample set under a given threshold (exposed for tests
+/// and for reporting the improvement a refit achieves).
+double policy_cost(const std::vector<PairedSample>& samples, double threshold);
+
+}  // namespace pangulu::kernels

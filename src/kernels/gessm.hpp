@@ -1,0 +1,29 @@
+// GESSM: B <- L^-1 B where L is the unit-lower factor stored in a factorised
+// diagonal block (GETRF output). Updates the blocks to the right of the
+// diagonal in block LU. Columns of B are independent; rows carry the
+// triangular dependency. Five variants (Table 1):
+//   C_V1 — Merge addressing, serial column sweep (two-pointer merges between
+//          L columns and B's column pattern).
+//   C_V2 — Direct addressing, serial column sweep with a dense scratch col.
+//   G_V1 — Bin-search, warp-level column: one "warp" (pool chunk) per column.
+//   G_V2 — Bin-search, un-sync warp-level row: per-column row pipeline with
+//          dependency counters (no barriers), rows released as their source
+//          entries finalise.
+//   G_V3 — Direct, warp-level column: per-column dense scratch on the pool.
+#pragma once
+
+#include "kernels/kernel_common.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/status.hpp"
+
+namespace pangulu::kernels {
+
+/// `diag` must hold a GETRF-factorised block; only its unit-lower part is
+/// read. `b` is updated in place within its fixed pattern.
+Status gessm(PanelVariant variant, const Csc& diag, Csc& b, Workspace& ws,
+             ThreadPool* pool = nullptr);
+
+/// Dense reference (tests): forward-substitution on a dense copy.
+Status gessm_reference(const Csc& diag, Csc& b);
+
+}  // namespace pangulu::kernels

@@ -1,0 +1,261 @@
+#include "kernels/getrf.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <memory>
+#include <thread>
+
+#include "sparse/dense.hpp"
+
+namespace pangulu::kernels {
+
+namespace {
+
+value_t perturb_pivot(value_t pivot, value_t threshold, PivotStats* stats) {
+  if (std::abs(pivot) >= threshold) return pivot;
+  if (stats) stats->perturbed++;
+  return pivot >= 0 ? threshold : -threshold;
+}
+
+/// Left-looking update of one column, dense ("Direct") addressing: scatter
+/// into x, apply every earlier column in the column's upper pattern in
+/// ascending order, normalise, gather back.
+void factor_column_direct(Csc& a, index_t j, value_t threshold,
+                          PivotStats* stats, value_t* x) {
+  auto rows = a.row_idx();
+  auto vals = a.values_mut();
+  const nnz_t jb = a.col_begin(j), je = a.col_end(j);
+  for (nnz_t p = jb; p < je; ++p)
+    x[rows[static_cast<std::size_t>(p)]] = vals[static_cast<std::size_t>(p)];
+  nnz_t diag_pos = -1;
+  for (nnz_t p = jb; p < je; ++p) {
+    const index_t k = rows[static_cast<std::size_t>(p)];
+    if (k >= j) {
+      diag_pos = p;
+      break;
+    }
+    const value_t xk = x[k];
+    if (xk == value_t(0)) continue;
+    for (nnz_t q = a.col_begin(k); q < a.col_end(k); ++q) {
+      const index_t r = rows[static_cast<std::size_t>(q)];
+      if (r <= k) continue;
+      x[r] -= vals[static_cast<std::size_t>(q)] * xk;
+    }
+  }
+  PANGULU_CHECK(diag_pos >= 0 && rows[static_cast<std::size_t>(diag_pos)] == j,
+                "GETRF: diagonal entry missing from block pattern");
+  const value_t pivot = perturb_pivot(x[j], threshold, stats);
+  x[j] = pivot;
+  for (nnz_t p = diag_pos + 1; p < je; ++p)
+    x[rows[static_cast<std::size_t>(p)]] /= pivot;
+  for (nnz_t p = jb; p < je; ++p)
+    vals[static_cast<std::size_t>(p)] = x[rows[static_cast<std::size_t>(p)]];
+  // Dense mapping may have written rows outside this column's pattern
+  // (contributions that are structurally zero at this block position);
+  // clear the whole scratch so the next column starts clean.
+  std::fill(x, x + a.n_rows(), value_t(0));
+}
+
+/// Left-looking update of one column with binary-search addressing: the
+/// evolving column stays in its sparse slots; every read/write locates its
+/// entry with a binary search over the column's (sorted) row list.
+void factor_column_binsearch(Csc& a, index_t j, value_t threshold,
+                             PivotStats* stats) {
+  auto rows = a.row_idx();
+  auto vals = a.values_mut();
+  const nnz_t jb = a.col_begin(j), je = a.col_end(j);
+  auto find_in_j = [&](index_t r) -> nnz_t {
+    auto first = rows.begin() + jb;
+    auto last = rows.begin() + je;
+    auto it = std::lower_bound(first, last, r);
+    if (it == last || *it != r) return -1;
+    return jb + (it - first);
+  };
+  nnz_t diag_pos = -1;
+  for (nnz_t p = jb; p < je; ++p) {
+    const index_t k = rows[static_cast<std::size_t>(p)];
+    if (k >= j) {
+      diag_pos = p;
+      break;
+    }
+    const value_t xk = vals[static_cast<std::size_t>(p)];
+    if (xk == value_t(0)) continue;
+    for (nnz_t q = a.col_begin(k); q < a.col_end(k); ++q) {
+      const index_t r = rows[static_cast<std::size_t>(q)];
+      if (r <= k) continue;
+      const value_t lrk = vals[static_cast<std::size_t>(q)];
+      if (lrk == value_t(0)) continue;
+      nnz_t t = find_in_j(r);
+      PANGULU_CHECK(t >= 0, "GETRF: update target outside block pattern");
+      vals[static_cast<std::size_t>(t)] -= lrk * xk;
+    }
+  }
+  PANGULU_CHECK(diag_pos >= 0 && rows[static_cast<std::size_t>(diag_pos)] == j,
+                "GETRF: diagonal entry missing from block pattern");
+  const value_t pivot =
+      perturb_pivot(vals[static_cast<std::size_t>(diag_pos)], threshold, stats);
+  vals[static_cast<std::size_t>(diag_pos)] = pivot;
+  for (nnz_t p = diag_pos + 1; p < je; ++p)
+    vals[static_cast<std::size_t>(p)] /= pivot;
+}
+
+/// C_V1: serial left-looking sweep with dense addressing.
+Status getrf_c_v1(Csc& a, Workspace& ws, PivotStats* stats,
+                  const GetrfOptions& opts) {
+  const index_t n = a.n_cols();
+  ws.ensure(n);
+  value_t amax = a.max_abs();
+  if (amax == value_t(0)) amax = value_t(1);
+  const value_t threshold = opts.pivot_tol * amax;
+  for (index_t j = 0; j < n; ++j)
+    factor_column_direct(a, j, threshold, stats, ws.dense_col.data());
+  return Status::ok();
+}
+
+/// G_V1/G_V2: synchronisation-free left-looking factorisation in the SFLU
+/// style (Zhao et al., DAC'21). Column j carries a counter of unfinished
+/// source columns (its strictly-upper pattern); workers grab ready columns
+/// from a lock-free ring, factor them, and release their dependents. Each
+/// column is written by exactly one worker, so no per-entry locking exists
+/// anywhere — hence "un-sync".
+Status getrf_sflu(Csc& a, Workspace& ws, PivotStats* stats,
+                  const GetrfOptions& opts, ThreadPool* pool,
+                  bool dense_mapping) {
+  const index_t n = a.n_cols();
+  ws.ensure(n);
+  value_t amax = a.max_abs();
+  if (amax == value_t(0)) amax = value_t(1);
+  const value_t threshold = opts.pivot_tol * amax;
+
+  const RowView rv = RowView::build(a);
+  auto rows = a.row_idx();
+
+  std::vector<std::atomic<index_t>> dep(static_cast<std::size_t>(n));
+  for (index_t j = 0; j < n; ++j) {
+    index_t cnt = 0;
+    for (nnz_t p = a.col_begin(j); p < a.col_end(j); ++p) {
+      if (rows[static_cast<std::size_t>(p)] >= j) break;
+      ++cnt;
+    }
+    dep[static_cast<std::size_t>(j)].store(cnt, std::memory_order_relaxed);
+  }
+
+  std::vector<std::atomic<index_t>> queue(static_cast<std::size_t>(n));
+  for (auto& q : queue) q.store(-1, std::memory_order_relaxed);
+  std::atomic<index_t> push_cursor{0}, pop_cursor{0}, done_count{0};
+  auto push_ready = [&](index_t j) {
+    index_t slot = push_cursor.fetch_add(1, std::memory_order_relaxed);
+    queue[static_cast<std::size_t>(slot)].store(j, std::memory_order_release);
+  };
+  for (index_t j = 0; j < n; ++j) {
+    if (dep[static_cast<std::size_t>(j)].load(std::memory_order_relaxed) == 0)
+      push_ready(j);
+  }
+
+  // PivotStats is bumped from several threads; merge per-worker counts.
+  std::atomic<index_t> perturbed{0};
+
+  auto worker = [&]() {
+    std::vector<value_t> local_dense;
+    if (dense_mapping) local_dense.assign(static_cast<std::size_t>(n), value_t(0));
+    PivotStats local_stats;
+    for (;;) {
+      if (done_count.load(std::memory_order_acquire) >= n) break;
+      index_t slot = pop_cursor.load(std::memory_order_relaxed);
+      if (slot >= n ||
+          slot >= push_cursor.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+        continue;
+      }
+      if (!pop_cursor.compare_exchange_weak(slot, slot + 1,
+                                            std::memory_order_acq_rel))
+        continue;
+      index_t j;
+      while ((j = queue[static_cast<std::size_t>(slot)].load(
+                  std::memory_order_acquire)) < 0) {
+        std::this_thread::yield();
+      }
+      if (dense_mapping)
+        factor_column_direct(a, j, threshold, &local_stats, local_dense.data());
+      else
+        factor_column_binsearch(a, j, threshold, &local_stats);
+      // Release dependents: every column m > j with U(j,m) stored.
+      for (nnz_t rp = rv.ptr[static_cast<std::size_t>(j)];
+           rp < rv.ptr[static_cast<std::size_t>(j) + 1]; ++rp) {
+        const index_t m = rv.col[static_cast<std::size_t>(rp)];
+        if (m <= j) continue;
+        if (dep[static_cast<std::size_t>(m)].fetch_sub(
+                1, std::memory_order_acq_rel) == 1) {
+          push_ready(m);
+        }
+      }
+      done_count.fetch_add(1, std::memory_order_release);
+    }
+    perturbed.fetch_add(local_stats.perturbed, std::memory_order_relaxed);
+  };
+
+  const std::size_t nthreads = pool ? pool->size() : 1;
+  if (nthreads <= 1 || n < 64) {
+    worker();
+  } else {
+    std::atomic<int> finished{0};
+    const int extra = static_cast<int>(nthreads) - 1;
+    for (int t = 0; t < extra; ++t) {
+      pool->submit([&worker, &finished] {
+        worker();
+        finished.fetch_add(1, std::memory_order_release);
+      });
+    }
+    worker();
+    while (finished.load(std::memory_order_acquire) < extra)
+      std::this_thread::yield();
+  }
+  if (stats) stats->perturbed += perturbed.load();
+  return Status::ok();
+}
+
+}  // namespace
+
+Status getrf(GetrfVariant variant, Csc& a, Workspace& ws, PivotStats* stats,
+             const GetrfOptions& opts, ThreadPool* pool) {
+  if (a.n_rows() != a.n_cols())
+    return Status::invalid_argument("getrf: square block expected");
+  switch (variant) {
+    case GetrfVariant::kCV1:
+      return getrf_c_v1(a, ws, stats, opts);
+    case GetrfVariant::kGV1:
+      return getrf_sflu(a, ws, stats, opts, pool, /*dense_mapping=*/false);
+    case GetrfVariant::kGV2:
+      return getrf_sflu(a, ws, stats, opts, pool, /*dense_mapping=*/true);
+  }
+  return Status::internal("unreachable");
+}
+
+Status getrf_reference(Csc& a, const GetrfOptions& opts) {
+  const index_t n = a.n_cols();
+  Dense d = Dense::from_csc(a);
+  value_t amax = a.max_abs();
+  if (amax == value_t(0)) amax = value_t(1);
+  const value_t threshold = opts.pivot_tol * amax;
+  for (index_t k = 0; k < n; ++k) {
+    value_t pivot = d(k, k);
+    if (std::abs(pivot) < threshold)
+      pivot = pivot >= 0 ? threshold : -threshold;
+    d(k, k) = pivot;
+    for (index_t i = k + 1; i < n; ++i) d(i, k) /= pivot;
+    for (index_t j = k + 1; j < n; ++j) {
+      const value_t ukj = d(k, j);
+      if (ukj == value_t(0)) continue;
+      for (index_t i = k + 1; i < n; ++i) d(i, j) -= d(i, k) * ukj;
+    }
+  }
+  for (index_t j = 0; j < n; ++j) {
+    for (nnz_t p = a.col_begin(j); p < a.col_end(j); ++p)
+      a.values_mut()[static_cast<std::size_t>(p)] =
+          d(a.row_idx()[static_cast<std::size_t>(p)], j);
+  }
+  return Status::ok();
+}
+
+}  // namespace pangulu::kernels

@@ -1,0 +1,31 @@
+// GETRF: in-place sparse LU factorisation of a diagonal block.
+// Three variants (Table 1):
+//   C_V1 — Direct addressing, row/column-sweep serial CPU kernel.
+//   G_V1 — Bin-search addressing, synchronisation-free SFLU scheduling
+//          (Zhao et al., DAC'21) executed on the thread pool.
+//   G_V2 — Direct (dense-mapping) addressing with the same un-sync SFLU
+//          scheduling.
+// After the call, `a` holds L (strictly lower, unit diagonal implicit) and
+// U (upper including diagonal) in the original pattern.
+#pragma once
+
+#include "kernels/kernel_common.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/status.hpp"
+
+namespace pangulu::kernels {
+
+struct GetrfOptions {
+  /// A pivot with |u_kk| < pivot_tol * max|A| is perturbed to that threshold
+  /// (sign preserved) — the static-pivoting fallback.
+  value_t pivot_tol = 1e-14;
+};
+
+Status getrf(GetrfVariant variant, Csc& a, Workspace& ws, PivotStats* stats,
+             const GetrfOptions& opts = {}, ThreadPool* pool = nullptr);
+
+/// Dense reference implementation (tests/benches): factorises via a dense
+/// copy and scatters back; fails when a pivot is exactly zero.
+Status getrf_reference(Csc& a, const GetrfOptions& opts = {});
+
+}  // namespace pangulu::kernels

@@ -1,0 +1,126 @@
+#include "kernels/kernel_common.hpp"
+
+namespace pangulu::kernels {
+
+std::string to_string(GetrfVariant v) {
+  switch (v) {
+    case GetrfVariant::kCV1: return "GETRF_C_V1";
+    case GetrfVariant::kGV1: return "GETRF_G_V1";
+    case GetrfVariant::kGV2: return "GETRF_G_V2";
+  }
+  return "?";
+}
+
+std::string to_string(PanelVariant v) {
+  switch (v) {
+    case PanelVariant::kCV1: return "C_V1";
+    case PanelVariant::kCV2: return "C_V2";
+    case PanelVariant::kGV1: return "G_V1";
+    case PanelVariant::kGV2: return "G_V2";
+    case PanelVariant::kGV3: return "G_V3";
+  }
+  return "?";
+}
+
+std::string to_string(SsssmVariant v) {
+  switch (v) {
+    case SsssmVariant::kCV1: return "SSSSM_C_V1";
+    case SsssmVariant::kCV2: return "SSSSM_C_V2";
+    case SsssmVariant::kGV1: return "SSSSM_G_V1";
+    case SsssmVariant::kGV2: return "SSSSM_G_V2";
+  }
+  return "?";
+}
+
+bool is_gpu_variant(GetrfVariant v) { return v != GetrfVariant::kCV1; }
+bool is_gpu_variant(PanelVariant v) {
+  return v == PanelVariant::kGV1 || v == PanelVariant::kGV2 ||
+         v == PanelVariant::kGV3;
+}
+bool is_gpu_variant(SsssmVariant v) {
+  return v == SsssmVariant::kGV1 || v == SsssmVariant::kGV2;
+}
+
+RowView RowView::build(const Csc& a) {
+  RowView rv;
+  rv.ptr.assign(static_cast<std::size_t>(a.n_rows()) + 1, 0);
+  rv.col.resize(static_cast<std::size_t>(a.nnz()));
+  rv.val_pos.resize(static_cast<std::size_t>(a.nnz()));
+  for (index_t r : a.row_idx()) rv.ptr[static_cast<std::size_t>(r) + 1]++;
+  for (index_t i = 0; i < a.n_rows(); ++i)
+    rv.ptr[static_cast<std::size_t>(i) + 1] += rv.ptr[static_cast<std::size_t>(i)];
+  std::vector<nnz_t> next(rv.ptr.begin(), rv.ptr.end() - 1);
+  for (index_t j = 0; j < a.n_cols(); ++j) {
+    for (nnz_t p = a.col_begin(j); p < a.col_end(j); ++p) {
+      index_t r = a.row_idx()[static_cast<std::size_t>(p)];
+      nnz_t q = next[static_cast<std::size_t>(r)]++;
+      rv.col[static_cast<std::size_t>(q)] = j;
+      rv.val_pos[static_cast<std::size_t>(q)] = p;
+    }
+  }
+  return rv;
+}
+
+double getrf_flops(const Csc& a) {
+  // Exact right-looking count on the block's own pattern: column k
+  // contributes |L_k| divisions + 2|L_k||U_k| update flops, where U_k is the
+  // strictly-upper part of row k.
+  const index_t n = a.n_cols();
+  std::vector<nnz_t> upper_row(static_cast<std::size_t>(n), 0);
+  std::vector<nnz_t> lower_col(static_cast<std::size_t>(n), 0);
+  for (index_t j = 0; j < n; ++j) {
+    for (nnz_t p = a.col_begin(j); p < a.col_end(j); ++p) {
+      index_t r = a.row_idx()[static_cast<std::size_t>(p)];
+      if (r > j)
+        lower_col[static_cast<std::size_t>(j)]++;
+      else if (r < j)
+        upper_row[static_cast<std::size_t>(r)]++;
+    }
+  }
+  double f = 0;
+  for (index_t k = 0; k < n; ++k) {
+    double lk = static_cast<double>(lower_col[static_cast<std::size_t>(k)]);
+    double uk = static_cast<double>(upper_row[static_cast<std::size_t>(k)]);
+    f += lk + 2.0 * lk * uk;
+  }
+  return f;
+}
+
+double panel_solve_flops(const Csc& diag, const Csc& b, bool lower) {
+  // For each column/row pivot k used by an entry of B, the solve applies the
+  // corresponding strictly-triangular column of the diagonal block. Estimate
+  // 2 * sum over B entries of the triangular column length at that row.
+  const index_t n = diag.n_cols();
+  std::vector<nnz_t> tri_len(static_cast<std::size_t>(n), 0);
+  for (index_t j = 0; j < n; ++j) {
+    for (nnz_t p = diag.col_begin(j); p < diag.col_end(j); ++p) {
+      index_t r = diag.row_idx()[static_cast<std::size_t>(p)];
+      if (lower && r > j) tri_len[static_cast<std::size_t>(j)]++;
+      if (!lower && r < j) tri_len[static_cast<std::size_t>(j)]++;
+    }
+  }
+  double f = 0;
+  for (index_t j = 0; j < b.n_cols(); ++j) {
+    for (nnz_t p = b.col_begin(j); p < b.col_end(j); ++p) {
+      index_t r = b.row_idx()[static_cast<std::size_t>(p)];
+      // lower solve consumes pivot rows r of B; upper solve pivots columns.
+      index_t k = lower ? r : j;
+      f += 2.0 * static_cast<double>(tri_len[static_cast<std::size_t>(k)]) + 1.0;
+    }
+  }
+  return f;
+}
+
+double ssssm_flops(const Csc& a, const Csc& b) {
+  // 2 * sum_k |A(:,k)| * |B(k,:)|; computed via B's row counts.
+  std::vector<nnz_t> b_row(static_cast<std::size_t>(b.n_rows()), 0);
+  for (index_t r : b.row_idx()) b_row[static_cast<std::size_t>(r)]++;
+  double f = 0;
+  for (index_t k = 0; k < a.n_cols(); ++k) {
+    f += 2.0 * static_cast<double>(a.col_end(k) - a.col_begin(k)) *
+         static_cast<double>(b_row[static_cast<std::size_t>(k)]);
+  }
+  return f;
+}
+
+}  // namespace pangulu::kernels

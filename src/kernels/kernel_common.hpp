@@ -1,0 +1,80 @@
+// Shared vocabulary of the block-kernel layer (§4.3, Table 1 of the paper).
+//
+// Numeric factorisation operates on square sparse blocks whose pattern was
+// fixed by symbolic factorisation; the four kernel families are
+//   GETRF  — in-place sparse LU of a diagonal block (L unit-lower + U in one
+//            CSC, like LAPACK's getrf layout),
+//   GESSM  — B <- L^-1 B        (lower solve; updates a block right of the
+//            diagonal block, columns independent),
+//   TSTRF  — B <- B U^-1        (upper solve; updates a block below the
+//            diagonal block, rows independent),
+//   SSSSM  — C <- C - A*B       (sparse x sparse Schur complement update).
+//
+// The filled pattern is closed under elimination, so every kernel writes only
+// into already-present entries — no allocation on the numeric path.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sparse/csc.hpp"
+#include "util/types.hpp"
+
+namespace pangulu {
+class ThreadPool;
+}
+
+namespace pangulu::kernels {
+
+enum class GetrfVariant { kCV1, kGV1, kGV2 };
+enum class PanelVariant { kCV1, kCV2, kGV1, kGV2, kGV3 };  // GESSM and TSTRF
+enum class SsssmVariant { kCV1, kCV2, kGV1, kGV2 };
+
+std::string to_string(GetrfVariant v);
+std::string to_string(PanelVariant v);
+std::string to_string(SsssmVariant v);
+
+/// True for the variants that model GPU kernels ("G_" rows of Table 1);
+/// the runtime's DeviceModel prices these differently from CPU variants.
+bool is_gpu_variant(GetrfVariant v);
+bool is_gpu_variant(PanelVariant v);
+bool is_gpu_variant(SsssmVariant v);
+
+/// Row-major view of a CSC block: for each row, the (col, value-position)
+/// pairs. Built once per kernel invocation that needs row access.
+struct RowView {
+  std::vector<nnz_t> ptr;        // size n_rows+1
+  std::vector<index_t> col;      // column index of each entry
+  std::vector<nnz_t> val_pos;    // position into the CSC values array
+
+  static RowView build(const Csc& a);
+};
+
+/// Reusable scratch buffers; kernels never allocate when handed a workspace
+/// that has seen a block of at least this size before.
+struct Workspace {
+  std::vector<value_t> dense_col;   // one dense column (Direct addressing)
+  std::vector<index_t> marker;      // row -> position map or visit stamps
+  std::vector<index_t> ready;       // worklists for un-sync variants
+
+  void ensure(index_t n) {
+    if (static_cast<index_t>(dense_col.size()) < n) {
+      dense_col.assign(static_cast<std::size_t>(n), value_t(0));
+      marker.assign(static_cast<std::size_t>(n), -1);
+    }
+  }
+};
+
+/// FLOP estimators (2*mul-add counted as 2 flops, divisions as 1) used for
+/// task weights (§4.2), decision trees (§4.3) and the device time model.
+double getrf_flops(const Csc& a);
+double panel_solve_flops(const Csc& diag, const Csc& b, bool lower);
+double ssssm_flops(const Csc& a, const Csc& b);
+
+/// Statistics of perturbed pivots (static pivoting fallback, like
+/// SuperLU_DIST's GESP): a pivot smaller than tol*max|A| is replaced.
+struct PivotStats {
+  index_t perturbed = 0;
+};
+
+}  // namespace pangulu::kernels

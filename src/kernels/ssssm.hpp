@@ -1,0 +1,31 @@
+// SSSSM: C <- C - A*B, all three blocks sparse with fixed patterns — the
+// Schur-complement kernel that dominates numeric factorisation time
+// (Table 4 of the paper). Four variants (Table 1):
+//   C_V1 — Direct addressing, "approximate equal load column block": B's
+//          columns are partitioned into contiguous chunks of roughly equal
+//          FLOPs; each chunk accumulates into a dense-mapped C column.
+//   C_V2 — Bin-search, "adaptive split-bin type": columns are binned by
+//          work and processed bin-by-bin (heavy first) with binary-search
+//          scatter into C.
+//   G_V1 — Bin-search, "adaptive multi-level": one worker per column, and
+//          each column adaptively picks dense-mapping or bin-search by its
+//          own FLOP count (the multi-level decision).
+//   G_V2 — Direct, warp-level column: one worker per column, dense scratch.
+#pragma once
+
+#include "kernels/kernel_common.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/status.hpp"
+
+namespace pangulu::kernels {
+
+/// Requires a.n_cols() == b.n_rows(), c.n_rows() == a.n_rows(),
+/// c.n_cols() == b.n_cols(). Product entries outside C's pattern are
+/// structurally guaranteed absent in the solver pipeline (fill closure).
+Status ssssm(SsssmVariant variant, const Csc& a, const Csc& b, Csc& c,
+             Workspace& ws, ThreadPool* pool = nullptr);
+
+/// Dense reference (tests).
+Status ssssm_reference(const Csc& a, const Csc& b, Csc& c);
+
+}  // namespace pangulu::kernels

@@ -1,0 +1,305 @@
+#include "kernels/tstrf.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "parallel/parallel_for.hpp"
+#include "sparse/dense.hpp"
+
+namespace pangulu::kernels {
+
+namespace {
+
+/// Apply column k's contribution to column j with Merge addressing, then
+/// (when `divide`) scale column j by 1/U(j,j). Source X(:,k) lives in B.
+void axpy_merge(Csc& b, index_t k, index_t j, value_t ukj) {
+  auto brows = b.row_idx();
+  auto bvals = b.values_mut();
+  nnz_t sq = b.col_begin(k);
+  const nnz_t send = b.col_end(k);
+  nnz_t tq = b.col_begin(j);
+  const nnz_t tend = b.col_end(j);
+  while (sq < send && tq < tend) {
+    const index_t sr = brows[static_cast<std::size_t>(sq)];
+    const index_t tr = brows[static_cast<std::size_t>(tq)];
+    if (sr == tr) {
+      bvals[static_cast<std::size_t>(tq)] -=
+          bvals[static_cast<std::size_t>(sq)] * ukj;
+      ++sq;
+      ++tq;
+    } else if (sr < tr) {
+      ++sq;
+    } else {
+      ++tq;
+    }
+  }
+}
+
+void axpy_binsearch(Csc& b, index_t k, index_t j, value_t ukj) {
+  auto brows = b.row_idx();
+  auto bvals = b.values_mut();
+  const nnz_t tb = b.col_begin(j), te = b.col_end(j);
+  for (nnz_t sq = b.col_begin(k); sq < b.col_end(k); ++sq) {
+    const value_t v = bvals[static_cast<std::size_t>(sq)];
+    if (v == value_t(0)) continue;
+    const index_t r = brows[static_cast<std::size_t>(sq)];
+    auto first = brows.begin() + tb;
+    auto last = brows.begin() + te;
+    auto it = std::lower_bound(first, last, r);
+    if (it != last && *it == r)
+      bvals[static_cast<std::size_t>(it - brows.begin())] -= v * ukj;
+  }
+}
+
+void scale_column(Csc& b, index_t j, value_t ujj) {
+  auto bvals = b.values_mut();
+  for (nnz_t p = b.col_begin(j); p < b.col_end(j); ++p)
+    bvals[static_cast<std::size_t>(p)] /= ujj;
+}
+
+/// Process column j fully (all incoming axpys then the divide), used by the
+/// serial variants. `direct` selects dense-scratch addressing.
+void solve_column_serial(const Csc& u, Csc& b, index_t j, bool direct,
+                         value_t* x) {
+  auto urows = u.row_idx();
+  auto uvals = u.values();
+  value_t ujj = value_t(0);
+  if (direct) {
+    auto brows = b.row_idx();
+    auto bvals = b.values_mut();
+    const nnz_t jb = b.col_begin(j), je = b.col_end(j);
+    for (nnz_t p = jb; p < je; ++p)
+      x[brows[static_cast<std::size_t>(p)]] = bvals[static_cast<std::size_t>(p)];
+    for (nnz_t q = u.col_begin(j); q < u.col_end(j); ++q) {
+      const index_t k = urows[static_cast<std::size_t>(q)];
+      if (k > j) break;
+      if (k == j) {
+        ujj = uvals[static_cast<std::size_t>(q)];
+        continue;
+      }
+      const value_t ukj = uvals[static_cast<std::size_t>(q)];
+      if (ukj == value_t(0)) continue;
+      for (nnz_t sq = b.col_begin(k); sq < b.col_end(k); ++sq)
+        x[brows[static_cast<std::size_t>(sq)]] -=
+            bvals[static_cast<std::size_t>(sq)] * ukj;
+    }
+    PANGULU_CHECK(ujj != value_t(0), "TSTRF: zero diagonal in U");
+    for (nnz_t p = jb; p < je; ++p)
+      bvals[static_cast<std::size_t>(p)] =
+          x[brows[static_cast<std::size_t>(p)]] / ujj;
+    // Source columns may have written rows outside this column's pattern.
+    std::fill(x, x + b.n_rows(), value_t(0));
+  } else {
+    for (nnz_t q = u.col_begin(j); q < u.col_end(j); ++q) {
+      const index_t k = urows[static_cast<std::size_t>(q)];
+      if (k > j) break;
+      if (k == j) {
+        ujj = uvals[static_cast<std::size_t>(q)];
+        continue;
+      }
+      const value_t ukj = uvals[static_cast<std::size_t>(q)];
+      if (ukj != value_t(0)) axpy_merge(b, k, j, ukj);
+    }
+    PANGULU_CHECK(ujj != value_t(0), "TSTRF: zero diagonal in U");
+    scale_column(b, j, ujj);
+  }
+}
+
+/// Column-parallel scheduling for G_V1/G_V3: dep[j] counts strictly-upper
+/// entries of U's column j; a finished column releases its dependents
+/// through U's row structure — dependency counters instead of barriers.
+Status solve_columns_parallel(const Csc& u, Csc& b, ThreadPool* pool,
+                              bool direct) {
+  const index_t n = u.n_cols();
+  auto urows = u.row_idx();
+  auto uvals = u.values();
+  const RowView rv = RowView::build(u);
+
+  std::vector<std::atomic<index_t>> dep(static_cast<std::size_t>(n));
+  for (index_t j = 0; j < n; ++j) {
+    index_t cnt = 0;
+    for (nnz_t p = u.col_begin(j); p < u.col_end(j); ++p) {
+      if (urows[static_cast<std::size_t>(p)] >= j) break;
+      ++cnt;
+    }
+    dep[static_cast<std::size_t>(j)].store(cnt, std::memory_order_relaxed);
+  }
+  std::vector<std::atomic<index_t>> queue(static_cast<std::size_t>(n));
+  for (auto& q : queue) q.store(-1, std::memory_order_relaxed);
+  std::atomic<index_t> push_cursor{0}, pop_cursor{0}, done_count{0};
+  auto push_ready = [&](index_t j) {
+    index_t slot = push_cursor.fetch_add(1, std::memory_order_relaxed);
+    queue[static_cast<std::size_t>(slot)].store(j, std::memory_order_release);
+  };
+  for (index_t j = 0; j < n; ++j) {
+    if (dep[static_cast<std::size_t>(j)].load(std::memory_order_relaxed) == 0)
+      push_ready(j);
+  }
+
+  auto process = [&](index_t j, value_t* x) {
+    if (direct) {
+      solve_column_serial(u, b, j, true, x);
+    } else {
+      value_t ujj = value_t(0);
+      for (nnz_t q = u.col_begin(j); q < u.col_end(j); ++q) {
+        const index_t k = urows[static_cast<std::size_t>(q)];
+        if (k > j) break;
+        if (k == j) {
+          ujj = uvals[static_cast<std::size_t>(q)];
+          continue;
+        }
+        const value_t ukj = uvals[static_cast<std::size_t>(q)];
+        if (ukj != value_t(0)) axpy_binsearch(b, k, j, ukj);
+      }
+      PANGULU_CHECK(ujj != value_t(0), "TSTRF: zero diagonal in U");
+      scale_column(b, j, ujj);
+    }
+    for (nnz_t rp = rv.ptr[static_cast<std::size_t>(j)];
+         rp < rv.ptr[static_cast<std::size_t>(j) + 1]; ++rp) {
+      const index_t m = rv.col[static_cast<std::size_t>(rp)];
+      if (m <= j) continue;
+      if (dep[static_cast<std::size_t>(m)].fetch_sub(
+              1, std::memory_order_acq_rel) == 1)
+        push_ready(m);
+    }
+    done_count.fetch_add(1, std::memory_order_release);
+  };
+
+  auto worker = [&]() {
+    std::vector<value_t> x;
+    if (direct) x.assign(static_cast<std::size_t>(b.n_rows()), value_t(0));
+    for (;;) {
+      if (done_count.load(std::memory_order_acquire) >= n) return;
+      index_t slot = pop_cursor.load(std::memory_order_relaxed);
+      if (slot >= n || slot >= push_cursor.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+        continue;
+      }
+      if (!pop_cursor.compare_exchange_weak(slot, slot + 1,
+                                            std::memory_order_acq_rel))
+        continue;
+      index_t j;
+      while ((j = queue[static_cast<std::size_t>(slot)].load(
+                  std::memory_order_acquire)) < 0)
+        std::this_thread::yield();
+      process(j, x.data());
+    }
+  };
+
+  const std::size_t nthreads = pool ? pool->size() : 1;
+  if (nthreads <= 1 || n < 64) {
+    worker();
+  } else {
+    std::atomic<int> finished{0};
+    const int extra = static_cast<int>(nthreads) - 1;
+    for (int t = 0; t < extra; ++t)
+      pool->submit([&worker, &finished] {
+        worker();
+        finished.fetch_add(1, std::memory_order_release);
+      });
+    worker();
+    while (finished.load(std::memory_order_acquire) < extra)
+      std::this_thread::yield();
+  }
+  return Status::ok();
+}
+
+/// Row-parallel un-sync variant (G_V2): each row of B solves x U = b
+/// independently using a row-major view; no inter-row communication.
+Status solve_rows_parallel(const Csc& u, Csc& b, ThreadPool* pool) {
+  const RowView rb = RowView::build(b);
+  auto bvals = b.values_mut();
+  auto urows = u.row_idx();
+  auto uvals = u.values();
+
+  ThreadPool& tp = pool ? *pool : ThreadPool::global();
+  parallel_for(tp, 0, b.n_rows(), [&](index_t i) {
+    const nnz_t ib = rb.ptr[static_cast<std::size_t>(i)];
+    const nnz_t ie = rb.ptr[static_cast<std::size_t>(i) + 1];
+    // Row entries are in ascending column order (RowView::build scans
+    // columns ascending). Process pivots left to right.
+    for (nnz_t p = ib; p < ie; ++p) {
+      const index_t k = rb.col[static_cast<std::size_t>(p)];
+      const nnz_t kpos = rb.val_pos[static_cast<std::size_t>(p)];
+      // Divide by U(k,k) first: x_ik becomes final.
+      value_t ukk = value_t(0);
+      for (nnz_t q = u.col_begin(k); q < u.col_end(k); ++q) {
+        if (urows[static_cast<std::size_t>(q)] == k) {
+          ukk = uvals[static_cast<std::size_t>(q)];
+          break;
+        }
+      }
+      PANGULU_CHECK(ukk != value_t(0), "TSTRF: zero diagonal in U");
+      const value_t xik = bvals[static_cast<std::size_t>(kpos)] / ukk;
+      bvals[static_cast<std::size_t>(kpos)] = xik;
+      if (xik == value_t(0)) continue;
+      // Propagate to the later entries of this row: for each target column m
+      // the coefficient U(k,m) is located by binary search in U's column m.
+      for (nnz_t t = p + 1; t < ie; ++t) {
+        const index_t m = rb.col[static_cast<std::size_t>(t)];
+        const nnz_t upos = u.find(k, m);
+        if (upos < 0) continue;
+        const value_t ukm = u.values()[static_cast<std::size_t>(upos)];
+        if (ukm == value_t(0)) continue;
+        bvals[static_cast<std::size_t>(rb.val_pos[static_cast<std::size_t>(t)])] -=
+            xik * ukm;
+      }
+    }
+  });
+  return Status::ok();
+}
+
+}  // namespace
+
+Status tstrf(PanelVariant variant, const Csc& diag, Csc& b, Workspace& ws,
+             ThreadPool* pool) {
+  if (diag.n_rows() != diag.n_cols())
+    return Status::invalid_argument("tstrf: square diagonal block expected");
+  if (diag.n_cols() != b.n_cols())
+    return Status::invalid_argument("tstrf: dimension mismatch");
+  const index_t n = diag.n_cols();
+
+  switch (variant) {
+    case PanelVariant::kCV1:
+      for (index_t j = 0; j < n; ++j)
+        solve_column_serial(diag, b, j, false, nullptr);
+      return Status::ok();
+    case PanelVariant::kCV2:
+      ws.ensure(b.n_rows());
+      for (index_t j = 0; j < n; ++j)
+        solve_column_serial(diag, b, j, true, ws.dense_col.data());
+      return Status::ok();
+    case PanelVariant::kGV1:
+      return solve_columns_parallel(diag, b, pool, /*direct=*/false);
+    case PanelVariant::kGV2:
+      return solve_rows_parallel(diag, b, pool);
+    case PanelVariant::kGV3:
+      return solve_columns_parallel(diag, b, pool, /*direct=*/true);
+  }
+  return Status::internal("unreachable");
+}
+
+Status tstrf_reference(const Csc& diag, Csc& b) {
+  const index_t n = diag.n_cols();
+  Dense u = Dense::from_csc(diag);
+  Dense d = Dense::from_csc(b);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t k = 0; k < j; ++k) {
+      const value_t ukj = u(k, j);
+      if (ukj == value_t(0)) continue;
+      for (index_t i = 0; i < d.n_rows(); ++i) d(i, j) -= d(i, k) * ukj;
+    }
+    const value_t ujj = u(j, j);
+    PANGULU_CHECK(ujj != value_t(0), "TSTRF reference: zero diagonal");
+    for (index_t i = 0; i < d.n_rows(); ++i) d(i, j) /= ujj;
+  }
+  for (index_t j = 0; j < b.n_cols(); ++j) {
+    for (nnz_t p = b.col_begin(j); p < b.col_end(j); ++p)
+      b.values_mut()[static_cast<std::size_t>(p)] =
+          d(b.row_idx()[static_cast<std::size_t>(p)], j);
+  }
+  return Status::ok();
+}
+
+}  // namespace pangulu::kernels

@@ -1,0 +1,332 @@
+#include "matgen/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "util/rng.hpp"
+#include "util/status.hpp"
+
+namespace pangulu::matgen {
+
+namespace {
+
+/// Make the matrix strictly diagonally dominant in place (COO assembly-side
+/// trick: add row-sum of |offdiag| + margin to the diagonal). Numeric
+/// factorisation in this repo uses static pivoting, so generated systems are
+/// kept comfortably stable the same way SuiteSparse's circuit/FEM matrices
+/// are in practice.
+Coo dominate_diagonal(Coo coo, double margin) {
+  std::vector<double> row_abs(static_cast<std::size_t>(coo.n_rows), 0.0);
+  for (const auto& t : coo.entries) {
+    if (t.row != t.col) row_abs[static_cast<std::size_t>(t.row)] += std::abs(t.value);
+  }
+  std::vector<bool> has_diag(static_cast<std::size_t>(coo.n_rows), false);
+  for (auto& t : coo.entries) {
+    if (t.row == t.col) {
+      has_diag[static_cast<std::size_t>(t.row)] = true;
+      double sign = t.value >= 0 ? 1.0 : -1.0;
+      t.value = sign * (std::abs(t.value) + row_abs[static_cast<std::size_t>(t.row)] + margin);
+    }
+  }
+  for (index_t i = 0; i < coo.n_rows; ++i) {
+    if (!has_diag[static_cast<std::size_t>(i)])
+      coo.add(i, i, row_abs[static_cast<std::size_t>(i)] + margin);
+  }
+  return coo;
+}
+
+index_t scaled(index_t base, double scale, index_t min_val) {
+  auto v = static_cast<index_t>(std::llround(base * scale));
+  return std::max(min_val, v);
+}
+
+}  // namespace
+
+Csc grid2d_laplacian(index_t nx, index_t ny) {
+  PANGULU_CHECK(nx >= 1 && ny >= 1, "grid dims");
+  const index_t n = nx * ny;
+  Coo coo(n, n);
+  auto id = [nx](index_t x, index_t y) { return y * nx + x; };
+  for (index_t y = 0; y < ny; ++y) {
+    for (index_t x = 0; x < nx; ++x) {
+      index_t c = id(x, y);
+      coo.add(c, c, 4.0);
+      if (x > 0) coo.add(c, id(x - 1, y), -1.0);
+      if (x + 1 < nx) coo.add(c, id(x + 1, y), -1.0);
+      if (y > 0) coo.add(c, id(x, y - 1), -1.0);
+      if (y + 1 < ny) coo.add(c, id(x, y + 1), -1.0);
+    }
+  }
+  return Csc::from_coo(dominate_diagonal(std::move(coo), 0.5));
+}
+
+Csc grid3d_laplacian(index_t nx, index_t ny, index_t nz) {
+  PANGULU_CHECK(nx >= 1 && ny >= 1 && nz >= 1, "grid dims");
+  const index_t n = nx * ny * nz;
+  Coo coo(n, n);
+  auto id = [nx, ny](index_t x, index_t y, index_t z) {
+    return (z * ny + y) * nx + x;
+  };
+  for (index_t z = 0; z < nz; ++z) {
+    for (index_t y = 0; y < ny; ++y) {
+      for (index_t x = 0; x < nx; ++x) {
+        index_t c = id(x, y, z);
+        coo.add(c, c, 6.0);
+        if (x > 0) coo.add(c, id(x - 1, y, z), -1.0);
+        if (x + 1 < nx) coo.add(c, id(x + 1, y, z), -1.0);
+        if (y > 0) coo.add(c, id(x, y - 1, z), -1.0);
+        if (y + 1 < ny) coo.add(c, id(x, y + 1, z), -1.0);
+        if (z > 0) coo.add(c, id(x, y, z - 1), -1.0);
+        if (z + 1 < nz) coo.add(c, id(x, y, z + 1), -1.0);
+      }
+    }
+  }
+  return Csc::from_coo(dominate_diagonal(std::move(coo), 0.5));
+}
+
+Csc fem3d(index_t nx, index_t ny, index_t nz, int dofs, std::uint64_t seed) {
+  PANGULU_CHECK(dofs >= 1, "dofs per node");
+  const index_t nodes = nx * ny * nz;
+  const index_t n = nodes * dofs;
+  Rng rng(seed);
+  Coo coo(n, n);
+  auto node_id = [nx, ny](index_t x, index_t y, index_t z) {
+    return (z * ny + y) * nx + x;
+  };
+  for (index_t z = 0; z < nz; ++z) {
+    for (index_t y = 0; y < ny; ++y) {
+      for (index_t x = 0; x < nx; ++x) {
+        const index_t a = node_id(x, y, z);
+        // 27-point neighbourhood (including self).
+        for (index_t dz = -1; dz <= 1; ++dz) {
+          for (index_t dy = -1; dy <= 1; ++dy) {
+            for (index_t dx = -1; dx <= 1; ++dx) {
+              index_t x2 = x + dx, y2 = y + dy, z2 = z + dz;
+              if (x2 < 0 || x2 >= nx || y2 < 0 || y2 >= ny || z2 < 0 || z2 >= nz)
+                continue;
+              const index_t b = node_id(x2, y2, z2);
+              const bool self = (a == b);
+              // Dense dofs x dofs coupling block (symmetric structure,
+              // random values -> supernode-friendly identical row patterns).
+              for (int di = 0; di < dofs; ++di) {
+                for (int dj = 0; dj < dofs; ++dj) {
+                  double v = self && di == dj ? 27.0 * dofs
+                                              : 0.2 * rng.normal();
+                  coo.add(a * dofs + di, b * dofs + dj, v);
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return Csc::from_coo(dominate_diagonal(std::move(coo), 1.0));
+}
+
+Csc circuit(index_t n, double avg_degree, double alpha, std::uint64_t seed) {
+  Rng rng(seed);
+  Coo coo(n, n);
+  // Local chain coupling (SPICE netlists have strong locality) ...
+  for (index_t i = 0; i < n; ++i) {
+    coo.add(i, i, 1.0);
+    if (i + 1 < n) {
+      coo.add(i, i + 1, -rng.uniform(0.1, 1.0));
+      coo.add(i + 1, i, -rng.uniform(0.1, 1.0));
+    }
+  }
+  // ... plus power-law hubs: a few nets (power rails, clock) touch very many
+  // nodes. This is what defeats supernode detection on ASIC_680k.
+  const index_t max_deg = std::max<index_t>(4, n / 8);
+  auto extra = static_cast<std::int64_t>(avg_degree * n);
+  while (extra > 0) {
+    index_t hub = rng.uniform_index(0, n - 1);
+    index_t deg = rng.power_law(max_deg, alpha);
+    for (index_t k = 0; k < deg; ++k) {
+      index_t other = rng.uniform_index(0, n - 1);
+      if (other == hub) continue;
+      // Unsymmetric: only sometimes add the mirrored entry.
+      coo.add(hub, other, -rng.uniform(0.01, 0.5));
+      if (rng.bernoulli(0.3)) coo.add(other, hub, -rng.uniform(0.01, 0.5));
+      --extra;
+      if (extra <= 0) break;
+    }
+  }
+  return Csc::from_coo(dominate_diagonal(std::move(coo), 0.5));
+}
+
+Csc kkt(index_t nx, index_t ny, index_t nz, std::uint64_t seed) {
+  Rng rng(seed);
+  const index_t np = nx * ny * nz;        // primal variables on a 3D grid
+  const index_t nc = std::max<index_t>(1, np / 4);  // constraints
+  const index_t n = np + nc;
+  Coo coo(n, n);
+  // H block: 7-point grid Hessian.
+  Csc h = grid3d_laplacian(nx, ny, nz);
+  for (index_t j = 0; j < np; ++j) {
+    for (nnz_t p = h.col_begin(j); p < h.col_end(j); ++p) {
+      coo.add(h.row_idx()[static_cast<std::size_t>(p)], j,
+              h.values()[static_cast<std::size_t>(p)]);
+    }
+  }
+  // B block: each constraint couples a handful of primal variables.
+  for (index_t c = 0; c < nc; ++c) {
+    const index_t row = np + c;
+    const int k = 3 + static_cast<int>(rng.uniform_index(0, 3));
+    for (int t = 0; t < k; ++t) {
+      index_t var = rng.uniform_index(0, np - 1);
+      double v = rng.normal();
+      coo.add(row, var, v);   // B
+      coo.add(var, row, v);   // B'
+    }
+    coo.add(row, row, -1.0);  // -delta regularisation keeps it factorable
+  }
+  return Csc::from_coo(dominate_diagonal(std::move(coo), 1.0));
+}
+
+Csc banded_random(index_t n, index_t bandwidth, double band_density,
+                  index_t random_per_col, std::uint64_t seed) {
+  Rng rng(seed);
+  Coo coo(n, n);
+  for (index_t j = 0; j < n; ++j) {
+    coo.add(j, j, 1.0);
+    const index_t lo = std::max<index_t>(0, j - bandwidth);
+    const index_t hi = std::min<index_t>(n - 1, j + bandwidth);
+    for (index_t i = lo; i <= hi; ++i) {
+      if (i == j) continue;
+      if (rng.bernoulli(band_density)) coo.add(i, j, 0.3 * rng.normal());
+    }
+    for (index_t t = 0; t < random_per_col; ++t) {
+      index_t i = rng.uniform_index(0, n - 1);
+      if (i != j) coo.add(i, j, 0.1 * rng.normal());
+    }
+  }
+  return Csc::from_coo(dominate_diagonal(std::move(coo), 1.0));
+}
+
+Csc cage_style(index_t n, int out_degree, std::uint64_t seed) {
+  Rng rng(seed);
+  Coo coo(n, n);
+  // de Bruijn-like shifts: node i -> (2i + c) mod n. Directed, unsymmetric.
+  for (index_t i = 0; i < n; ++i) {
+    coo.add(i, i, 1.0);
+    for (int c = 0; c < out_degree; ++c) {
+      index_t jlong = static_cast<index_t>(
+          (2 * static_cast<std::int64_t>(i) + c) % n);
+      if (jlong != i) coo.add(jlong, i, 0.2 + 0.1 * rng.uniform());
+      // Mild symmetric locality keeps fill from exploding unrealistically.
+      index_t jn = (i + c + 1) % n;
+      if (jn != i) coo.add(i, jn, -0.1 * rng.uniform());
+    }
+  }
+  return Csc::from_coo(dominate_diagonal(std::move(coo), 0.5));
+}
+
+Csc random_sparse(index_t n, index_t nnz_per_col, std::uint64_t seed,
+                  bool diag_dominant) {
+  Rng rng(seed);
+  Coo coo(n, n);
+  for (index_t j = 0; j < n; ++j) {
+    coo.add(j, j, 1.0 + rng.uniform());
+    for (index_t k = 0; k < nnz_per_col; ++k) {
+      index_t i = rng.uniform_index(0, n - 1);
+      if (i != j) coo.add(i, j, rng.normal());
+    }
+  }
+  if (diag_dominant) coo = dominate_diagonal(std::move(coo), 0.5);
+  return Csc::from_coo(coo);
+}
+
+Csc random_unit_lower(index_t n, double density, std::uint64_t seed) {
+  Rng rng(seed);
+  Coo coo(n, n);
+  for (index_t j = 0; j < n; ++j) {
+    coo.add(j, j, 1.0);
+    for (index_t i = j + 1; i < n; ++i) {
+      if (rng.bernoulli(density)) coo.add(i, j, 0.5 * rng.normal());
+    }
+  }
+  return Csc::from_coo(coo);
+}
+
+Csc random_upper(index_t n, double density, std::uint64_t seed) {
+  Rng rng(seed);
+  Coo coo(n, n);
+  for (index_t j = 0; j < n; ++j) {
+    coo.add(j, j, 1.0 + rng.uniform());
+    for (index_t i = 0; i < j; ++i) {
+      if (rng.bernoulli(density)) coo.add(i, j, 0.5 * rng.normal());
+    }
+  }
+  return Csc::from_coo(coo);
+}
+
+Csc random_rect(index_t rows, index_t cols, double density, std::uint64_t seed) {
+  Rng rng(seed);
+  Coo coo(rows, cols);
+  for (index_t j = 0; j < cols; ++j) {
+    for (index_t i = 0; i < rows; ++i) {
+      if (rng.bernoulli(density)) coo.add(i, j, rng.normal());
+    }
+  }
+  return Csc::from_coo(coo);
+}
+
+std::vector<std::string> paper_matrix_names() {
+  return {"apache2",   "ASIC_680k",       "audikw_1", "cage12",
+          "CoupCons3D", "dielFilterV3real", "ecology1", "G3_circuit",
+          "Ga41As41H72", "Hook_1498",      "inline_1", "ldoor",
+          "nlpkkt80",  "Serena",           "Si87H76",  "SiO2"};
+}
+
+PaperMatrixInfo paper_matrix_info(const std::string& name) {
+  static const std::map<std::string, std::string> kDomain = {
+      {"apache2", "Structural"},
+      {"ASIC_680k", "Circuit Simulation"},
+      {"audikw_1", "Structural"},
+      {"cage12", "Directed Weighted Graph"},
+      {"CoupCons3D", "Structural"},
+      {"dielFilterV3real", "Electromagnetics"},
+      {"ecology1", "2D/3D"},
+      {"G3_circuit", "Circuit Simulation"},
+      {"Ga41As41H72", "Theoretical/Quantum Chemistry"},
+      {"Hook_1498", "Structural"},
+      {"inline_1", "Structural"},
+      {"ldoor", "Structural"},
+      {"nlpkkt80", "Optimization"},
+      {"Serena", "Structural"},
+      {"Si87H76", "Theoretical/Quantum Chemistry"},
+      {"SiO2", "Theoretical/Quantum Chemistry"}};
+  auto it = kDomain.find(name);
+  PANGULU_CHECK(it != kDomain.end(), "unknown paper matrix: " + name);
+  return {name, it->second};
+}
+
+Csc paper_matrix(const std::string& name, double scale) {
+  PANGULU_CHECK(scale > 0 && scale <= 4.0, "scale out of range");
+  // Default dimensions target one-machine bench sizes (n ~ 2k-9k, fill up to
+  // a few million nonzeros); `scale` shrinks/grows linearly in grid edge.
+  const double s = scale;
+  if (name == "apache2") return grid3d_laplacian(scaled(17, s, 4), scaled(17, s, 4), scaled(17, s, 4));
+  if (name == "ASIC_680k") return circuit(scaled(6000, s, 128), 3.0, 2.1, 680);
+  if (name == "audikw_1") return fem3d(scaled(9, s, 3), scaled(9, s, 3), scaled(9, s, 3), 3, 101);
+  if (name == "cage12") return cage_style(scaled(4500, s, 96), 4, 12);
+  if (name == "CoupCons3D") return fem3d(scaled(11, s, 3), scaled(11, s, 3), scaled(11, s, 3), 2, 33);
+  if (name == "dielFilterV3real") return fem3d(scaled(15, s, 4), scaled(15, s, 4), scaled(15, s, 4), 1, 77);
+  if (name == "ecology1") return grid2d_laplacian(scaled(80, s, 8), scaled(80, s, 8));
+  if (name == "G3_circuit") return grid2d_laplacian(scaled(88, s, 8), scaled(88, s, 8));
+  if (name == "Ga41As41H72") return banded_random(scaled(2400, s, 64), scaled(140, s, 8), 0.45, 12, 41);
+  if (name == "Hook_1498") return fem3d(scaled(10, s, 3), scaled(10, s, 3), scaled(10, s, 3), 3, 1498);
+  if (name == "inline_1") return fem3d(scaled(40, s, 6), scaled(6, s, 2), scaled(6, s, 2), 3, 1);
+  if (name == "ldoor") return fem3d(scaled(36, s, 6), scaled(7, s, 2), scaled(7, s, 2), 3, 9);
+  if (name == "nlpkkt80") return kkt(scaled(13, s, 3), scaled(13, s, 3), scaled(13, s, 3), 80);
+  if (name == "Serena") return fem3d(scaled(11, s, 3), scaled(11, s, 3), scaled(11, s, 3), 3, 139);
+  if (name == "Si87H76") return banded_random(scaled(2200, s, 64), scaled(160, s, 8), 0.5, 10, 87);
+  if (name == "SiO2") return banded_random(scaled(1800, s, 64), scaled(120, s, 8), 0.45, 14, 2);
+  PANGULU_CHECK(false, "unknown paper matrix: " + name);
+  return Csc();
+}
+
+}  // namespace pangulu::matgen

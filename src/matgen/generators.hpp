@@ -1,0 +1,76 @@
+// Synthetic sparse matrix generators.
+//
+// The paper evaluates on 16 SuiteSparse matrices that are not bundled here;
+// per DESIGN.md each one is substituted by a deterministic generator that
+// reproduces its *structural class* — the property that drives the paper's
+// per-matrix behaviour (supernode friendliness, Schur-block density, fill
+// ratio, symmetry). `paper_matrix(name, scale)` returns the stand-in for a
+// paper matrix at a size budget suitable for one machine.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sparse/csc.hpp"
+
+namespace pangulu::matgen {
+
+/// 5-point Laplacian on an nx x ny grid. Structurally symmetric, very sparse
+/// factors (ecology1 / G3_circuit class).
+Csc grid2d_laplacian(index_t nx, index_t ny);
+
+/// 7-point Laplacian on an nx x ny x nz grid (apache2 class).
+Csc grid3d_laplacian(index_t nx, index_t ny, index_t nz);
+
+/// 27-point 3D finite-element stencil with `dofs` unknowns per node, dense
+/// dofs x dofs couplings: the audikw_1 / Serena / Hook_1498 class that
+/// supernodal solvers handle well.
+Csc fem3d(index_t nx, index_t ny, index_t nz, int dofs, std::uint64_t seed);
+
+/// Circuit-simulation style matrix: power-law row degrees (few hub nets with
+/// very many connections), unsymmetric, strongly diagonally dominant
+/// (ASIC_680k class: highly irregular, hostile to supernode formation).
+Csc circuit(index_t n, double avg_degree, double alpha, std::uint64_t seed);
+
+/// KKT saddle-point system [H B'; B -delta*I] where H is a 3D-grid Hessian
+/// and B a sparse constraint Jacobian (nlpkkt80 class).
+Csc kkt(index_t nx, index_t ny, index_t nz, std::uint64_t seed);
+
+/// Dense-band plus random long-range couplings: the quantum-chemistry class
+/// (Si87H76, SiO2, Ga41As41H72) whose factors are nearly dense.
+Csc banded_random(index_t n, index_t bandwidth, double band_density,
+                  index_t random_per_col, std::uint64_t seed);
+
+/// Directed cage-graph style matrix (cage12 class): unsymmetric pattern from
+/// shift-like connectivity, moderate fill but very expensive Schur updates.
+Csc cage_style(index_t n, int out_degree, std::uint64_t seed);
+
+/// Uniform random pattern with ~nnz_per_col entries per column; optionally
+/// diagonally dominant. The fuzzing workhorse of the test suite.
+Csc random_sparse(index_t n, index_t nnz_per_col, std::uint64_t seed,
+                  bool diag_dominant = true);
+
+/// Random unit lower-triangular matrix with the given strictly-lower density.
+Csc random_unit_lower(index_t n, double density, std::uint64_t seed);
+
+/// Random upper-triangular matrix with nonzero diagonal.
+Csc random_upper(index_t n, double density, std::uint64_t seed);
+
+/// Random rectangular sparse matrix (general pattern).
+Csc random_rect(index_t rows, index_t cols, double density, std::uint64_t seed);
+
+/// The 16 matrices of Table 3, by paper name.
+std::vector<std::string> paper_matrix_names();
+
+struct PaperMatrixInfo {
+  std::string name;
+  std::string domain;  // application domain reported by the paper
+};
+PaperMatrixInfo paper_matrix_info(const std::string& name);
+
+/// Generate the stand-in for a paper matrix. `scale` in (0, 1] shrinks the
+/// default dimensions (1.0 ~ bench size, use ~0.3 for unit tests).
+Csc paper_matrix(const std::string& name, double scale = 1.0);
+
+}  // namespace pangulu::matgen

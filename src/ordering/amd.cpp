@@ -1,0 +1,196 @@
+#include "ordering/amd.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace pangulu::ordering {
+
+// Quotient-graph AMD. Each still-active supervariable v keeps
+//   var_adj[v]  : adjacent supervariables (original edges not yet absorbed)
+//   elem_adj[v] : adjacent elements
+//   nv[v]       : number of original vertices it represents
+// Eliminating the minimum-approximate-degree supervariable p forms a new
+// element from its neighbourhood, absorbs p's old elements, updates the
+// members' approximate degrees, and coalesces members with identical
+// quotient adjacency (detected by hash, confirmed exactly).
+std::vector<index_t> amd(const Graph& g) {
+  const index_t n = g.n;
+  std::vector<std::vector<index_t>> var_adj(static_cast<std::size_t>(n));
+  std::vector<std::vector<index_t>> elem_adj(static_cast<std::size_t>(n));
+  std::vector<std::vector<index_t>> elem_vars;
+  std::vector<char> elem_alive;
+  std::vector<char> alive(static_cast<std::size_t>(n), 1);
+  std::vector<index_t> nv(static_cast<std::size_t>(n), 1);  // supervariable size
+  std::vector<index_t> parent_sv(static_cast<std::size_t>(n), -1);  // merged into
+  std::vector<double> adegree(static_cast<std::size_t>(n));
+  std::vector<index_t> marker(static_cast<std::size_t>(n), -1);
+  index_t stamp = 0;
+
+  for (index_t v = 0; v < n; ++v) {
+    var_adj[static_cast<std::size_t>(v)].assign(
+        g.adj.begin() + g.ptr[static_cast<std::size_t>(v)],
+        g.adj.begin() + g.ptr[static_cast<std::size_t>(v) + 1]);
+    adegree[static_cast<std::size_t>(v)] = static_cast<double>(g.degree(v));
+  }
+
+  // Approximate degree of w: sum of alive variable-neighbour sizes plus sum
+  // of adjacent element sizes (upper bound on the true external degree).
+  auto approx_degree = [&](index_t w) {
+    double d = 0;
+    auto& va = var_adj[static_cast<std::size_t>(w)];
+    va.erase(std::remove_if(va.begin(), va.end(),
+                            [&](index_t x) {
+                              return !alive[static_cast<std::size_t>(x)] || x == w;
+                            }),
+             va.end());
+    for (index_t x : va) d += nv[static_cast<std::size_t>(x)];
+    auto& ea = elem_adj[static_cast<std::size_t>(w)];
+    ea.erase(std::remove_if(ea.begin(), ea.end(),
+                            [&](index_t e) {
+                              return !elem_alive[static_cast<std::size_t>(e)];
+                            }),
+             ea.end());
+    for (index_t e : ea) {
+      for (index_t x : elem_vars[static_cast<std::size_t>(e)]) {
+        if (alive[static_cast<std::size_t>(x)] && x != w)
+          d += nv[static_cast<std::size_t>(x)];
+      }
+      // Upper bound: overlapping element members are double-counted — that
+      // is the "approximate" in AMD; exactness is not required.
+    }
+    return d;
+  };
+
+  // Exact quotient-graph neighbourhood (for element formation).
+  std::vector<index_t> nbrs;
+  auto neighbourhood = [&](index_t v) {
+    nbrs.clear();
+    ++stamp;
+    marker[static_cast<std::size_t>(v)] = stamp;
+    for (index_t w : var_adj[static_cast<std::size_t>(v)]) {
+      if (alive[static_cast<std::size_t>(w)] &&
+          marker[static_cast<std::size_t>(w)] != stamp) {
+        marker[static_cast<std::size_t>(w)] = stamp;
+        nbrs.push_back(w);
+      }
+    }
+    for (index_t e : elem_adj[static_cast<std::size_t>(v)]) {
+      if (!elem_alive[static_cast<std::size_t>(e)]) continue;
+      for (index_t w : elem_vars[static_cast<std::size_t>(e)]) {
+        if (alive[static_cast<std::size_t>(w)] && w != v &&
+            marker[static_cast<std::size_t>(w)] != stamp) {
+          marker[static_cast<std::size_t>(w)] = stamp;
+          nbrs.push_back(w);
+        }
+      }
+    }
+  };
+
+  std::vector<index_t> elim_order;  // supervariable representatives, in order
+  elim_order.reserve(static_cast<std::size_t>(n));
+  index_t remaining = n;
+
+  while (remaining > 0) {
+    // Pick the minimum approximate degree among alive supervariables.
+    index_t p = -1;
+    double best = std::numeric_limits<double>::infinity();
+    for (index_t v = 0; v < n; ++v) {
+      if (!alive[static_cast<std::size_t>(v)]) continue;
+      if (adegree[static_cast<std::size_t>(v)] < best) {
+        best = adegree[static_cast<std::size_t>(v)];
+        p = v;
+      }
+    }
+    PANGULU_CHECK(p >= 0, "amd: no alive vertex");
+
+    // Eliminate p: form the new element from its neighbourhood.
+    neighbourhood(p);
+    alive[static_cast<std::size_t>(p)] = 0;
+    remaining -= nv[static_cast<std::size_t>(p)];
+    elim_order.push_back(p);
+
+    const auto e_new = static_cast<index_t>(elem_vars.size());
+    elem_vars.push_back(nbrs);
+    elem_alive.push_back(1);
+    for (index_t e : elem_adj[static_cast<std::size_t>(p)]) {
+      if (e != e_new && elem_alive[static_cast<std::size_t>(e)])
+        elem_alive[static_cast<std::size_t>(e)] = 0;  // absorption
+    }
+
+    // Update members: attach e_new, refresh approximate degree, and hash
+    // for supervariable detection.
+    std::vector<std::pair<std::uint64_t, index_t>> hashes;
+    hashes.reserve(nbrs.size());
+    const std::vector<index_t> members = nbrs;  // neighbourhood() reuses nbrs
+    for (index_t w : members) {
+      auto& ea = elem_adj[static_cast<std::size_t>(w)];
+      ea.push_back(e_new);
+      adegree[static_cast<std::size_t>(w)] = approx_degree(w);
+      // Hash of the quotient adjacency (after approx_degree pruned it).
+      std::uint64_t h = 1469598103934665603ull;
+      for (index_t x : var_adj[static_cast<std::size_t>(w)])
+        h = (h ^ static_cast<std::uint64_t>(x + 1)) * 1099511628211ull;
+      std::uint64_t he = 0;
+      for (index_t e : elem_adj[static_cast<std::size_t>(w)])
+        he += static_cast<std::uint64_t>(e + 1) * 2654435761ull;
+      hashes.push_back({h ^ he, w});
+    }
+
+    // Coalesce indistinguishable members: equal hash, then exact comparison
+    // of sorted quotient adjacencies.
+    std::sort(hashes.begin(), hashes.end());
+    for (std::size_t i = 0; i < hashes.size(); ++i) {
+      const index_t w = hashes[i].second;
+      if (!alive[static_cast<std::size_t>(w)]) continue;
+      for (std::size_t k = i + 1;
+           k < hashes.size() && hashes[k].first == hashes[i].first; ++k) {
+        const index_t u = hashes[k].second;
+        if (!alive[static_cast<std::size_t>(u)]) continue;
+        auto sorted = [](std::vector<index_t> v2) {
+          std::sort(v2.begin(), v2.end());
+          return v2;
+        };
+        auto va_w = sorted(var_adj[static_cast<std::size_t>(w)]);
+        auto va_u = sorted(var_adj[static_cast<std::size_t>(u)]);
+        // Adjacency must match modulo the pair itself.
+        std::erase(va_w, u);
+        std::erase(va_u, w);
+        auto ea_w = sorted(elem_adj[static_cast<std::size_t>(w)]);
+        auto ea_u = sorted(elem_adj[static_cast<std::size_t>(u)]);
+        if (va_w == va_u && ea_w == ea_u) {
+          // u joins supervariable w.
+          alive[static_cast<std::size_t>(u)] = 0;
+          parent_sv[static_cast<std::size_t>(u)] = w;
+          nv[static_cast<std::size_t>(w)] += nv[static_cast<std::size_t>(u)];
+          remaining -= 0;  // u's vertices leave with w when w is eliminated
+        }
+      }
+    }
+  }
+
+  // Expand the supervariable elimination order into vertex positions:
+  // a representative carries all vertices merged into it (recursively).
+  std::vector<std::vector<index_t>> children(static_cast<std::size_t>(n));
+  for (index_t v = 0; v < n; ++v) {
+    if (parent_sv[static_cast<std::size_t>(v)] >= 0)
+      children[static_cast<std::size_t>(parent_sv[static_cast<std::size_t>(v)])]
+          .push_back(v);
+  }
+  std::vector<index_t> perm(static_cast<std::size_t>(n), -1);
+  index_t next = 0;
+  std::vector<index_t> stack;
+  for (index_t rep : elim_order) {
+    stack.push_back(rep);
+    while (!stack.empty()) {
+      const index_t v = stack.back();
+      stack.pop_back();
+      perm[static_cast<std::size_t>(v)] = next++;
+      for (index_t c : children[static_cast<std::size_t>(v)])
+        stack.push_back(c);
+    }
+  }
+  PANGULU_CHECK(next == n, "amd: not all vertices ordered");
+  return perm;
+}
+
+}  // namespace pangulu::ordering

@@ -1,0 +1,20 @@
+// Approximate Minimum Degree ordering (Amestoy, Davis & Duff 1996). Differs
+// from the exact quotient-graph minimum degree in `min_degree.cpp` in the
+// two tricks that make AMD fast in practice:
+//   * degrees are *approximated* by |A_w| + sum of adjacent element sizes
+//     (an upper bound, no neighbourhood unions needed on update), and
+//   * indistinguishable variables are detected by hashing and coalesced
+//     into supervariables that are eliminated together.
+#pragma once
+
+#include <vector>
+
+#include "ordering/graph.hpp"
+#include "util/types.hpp"
+
+namespace pangulu::ordering {
+
+/// Returns perm with perm[old] = new (elimination position).
+std::vector<index_t> amd(const Graph& g);
+
+}  // namespace pangulu::ordering

@@ -1,0 +1,73 @@
+#include "ordering/graph.hpp"
+
+#include <algorithm>
+
+namespace pangulu::ordering {
+
+Graph Graph::from_matrix(const Csc& a) {
+  PANGULU_CHECK(a.n_rows() == a.n_cols(), "graph needs a square matrix");
+  const index_t n = a.n_cols();
+  // Collect both directions, dedupe per vertex.
+  std::vector<std::vector<index_t>> nbrs(static_cast<std::size_t>(n));
+  for (index_t j = 0; j < n; ++j) {
+    for (nnz_t p = a.col_begin(j); p < a.col_end(j); ++p) {
+      index_t i = a.row_idx()[static_cast<std::size_t>(p)];
+      if (i == j) continue;
+      nbrs[static_cast<std::size_t>(i)].push_back(j);
+      nbrs[static_cast<std::size_t>(j)].push_back(i);
+    }
+  }
+  Graph g;
+  g.n = n;
+  g.ptr.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (index_t v = 0; v < n; ++v) {
+    auto& list = nbrs[static_cast<std::size_t>(v)];
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+    g.ptr[static_cast<std::size_t>(v) + 1] =
+        g.ptr[static_cast<std::size_t>(v)] + static_cast<nnz_t>(list.size());
+  }
+  g.adj.resize(static_cast<std::size_t>(g.ptr.back()));
+  for (index_t v = 0; v < n; ++v) {
+    std::copy(nbrs[static_cast<std::size_t>(v)].begin(),
+              nbrs[static_cast<std::size_t>(v)].end(),
+              g.adj.begin() + g.ptr[static_cast<std::size_t>(v)]);
+  }
+  return g;
+}
+
+Graph Graph::induced(const std::vector<index_t>& vertices,
+                     std::vector<index_t>* local_to_global) const {
+  std::vector<index_t> global_to_local(static_cast<std::size_t>(n), -1);
+  for (std::size_t k = 0; k < vertices.size(); ++k)
+    global_to_local[static_cast<std::size_t>(vertices[k])] = static_cast<index_t>(k);
+
+  Graph s;
+  s.n = static_cast<index_t>(vertices.size());
+  s.ptr.assign(static_cast<std::size_t>(s.n) + 1, 0);
+  for (std::size_t k = 0; k < vertices.size(); ++k) {
+    index_t v = vertices[k];
+    nnz_t cnt = 0;
+    for (nnz_t p = ptr[static_cast<std::size_t>(v)];
+         p < ptr[static_cast<std::size_t>(v) + 1]; ++p) {
+      if (global_to_local[static_cast<std::size_t>(adj[static_cast<std::size_t>(p)])] >= 0)
+        ++cnt;
+    }
+    s.ptr[k + 1] = s.ptr[k] + cnt;
+  }
+  s.adj.resize(static_cast<std::size_t>(s.ptr.back()));
+  for (std::size_t k = 0; k < vertices.size(); ++k) {
+    index_t v = vertices[k];
+    nnz_t q = s.ptr[k];
+    for (nnz_t p = ptr[static_cast<std::size_t>(v)];
+         p < ptr[static_cast<std::size_t>(v) + 1]; ++p) {
+      index_t w = global_to_local[static_cast<std::size_t>(adj[static_cast<std::size_t>(p)])];
+      if (w >= 0) s.adj[static_cast<std::size_t>(q++)] = w;
+    }
+    std::sort(s.adj.begin() + s.ptr[k], s.adj.begin() + s.ptr[k + 1]);
+  }
+  if (local_to_global) *local_to_global = vertices;
+  return s;
+}
+
+}  // namespace pangulu::ordering

@@ -1,0 +1,31 @@
+// Undirected adjacency structure of A + A^T (diagonal dropped): the input of
+// every symmetric fill-reducing ordering in this module.
+#pragma once
+
+#include <vector>
+
+#include "sparse/csc.hpp"
+#include "util/types.hpp"
+
+namespace pangulu::ordering {
+
+struct Graph {
+  index_t n = 0;
+  std::vector<nnz_t> ptr;      // size n+1
+  std::vector<index_t> adj;    // neighbour lists, sorted
+
+  index_t degree(index_t v) const {
+    return static_cast<index_t>(ptr[static_cast<std::size_t>(v) + 1] -
+                                ptr[static_cast<std::size_t>(v)]);
+  }
+
+  /// Build from the pattern of A + A^T with the diagonal removed.
+  static Graph from_matrix(const Csc& a);
+
+  /// Induced subgraph on `vertices` (which must be unique). Returns the
+  /// subgraph plus the local->global vertex map (= `vertices` itself).
+  Graph induced(const std::vector<index_t>& vertices,
+                std::vector<index_t>* local_to_global) const;
+};
+
+}  // namespace pangulu::ordering

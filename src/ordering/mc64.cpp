@@ -1,0 +1,163 @@
+#include "ordering/mc64.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+namespace pangulu::ordering {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+// Sparse shortest-augmenting-path assignment (Jonker-Volgenant style) on the
+// cost matrix c(i,j) = log(max_j) - log|a(i,j)| >= 0, which converts the
+// maximum-product objective into a minimum-cost perfect matching. Dual
+// variables u (rows) and v (cols) satisfy u_i + v_j <= c_ij with equality on
+// matched entries; they directly yield the MC64 scaling vectors.
+Status mc64(const Csc& a, Mc64Result* out) {
+  const index_t n = a.n_cols();
+  if (a.n_rows() != n) return Status::invalid_argument("mc64: square only");
+
+  // Column-wise costs. Entries with value 0 are structural only: cost +inf.
+  std::vector<double> col_max(static_cast<std::size_t>(n), 0.0);
+  for (index_t j = 0; j < n; ++j) {
+    for (nnz_t p = a.col_begin(j); p < a.col_end(j); ++p) {
+      col_max[static_cast<std::size_t>(j)] =
+          std::max(col_max[static_cast<std::size_t>(j)],
+                   std::abs(a.values()[static_cast<std::size_t>(p)]));
+    }
+    if (col_max[static_cast<std::size_t>(j)] == 0.0)
+      return Status::numerical_error("mc64: empty or all-zero column " +
+                                     std::to_string(j));
+  }
+  auto cost = [&](nnz_t p, index_t j) -> double {
+    double av = std::abs(a.values()[static_cast<std::size_t>(p)]);
+    if (av == 0.0) return kInf;
+    return std::log(col_max[static_cast<std::size_t>(j)]) - std::log(av);
+  };
+
+  std::vector<index_t> row_of_col(static_cast<std::size_t>(n), -1);
+  std::vector<index_t> col_of_row(static_cast<std::size_t>(n), -1);
+  std::vector<double> u(static_cast<std::size_t>(n), 0.0);  // row duals
+  std::vector<double> v(static_cast<std::size_t>(n), 0.0);  // col duals
+
+  // Cheap initial matching: v_j = min_i c_ij keeps reduced costs >= 0; match
+  // a column to a still-free row along one of its tight arcs.
+  for (index_t j = 0; j < n; ++j) {
+    double cmin = kInf;
+    for (nnz_t p = a.col_begin(j); p < a.col_end(j); ++p)
+      cmin = std::min(cmin, cost(p, j));
+    v[static_cast<std::size_t>(j)] = cmin;
+    for (nnz_t p = a.col_begin(j); p < a.col_end(j); ++p) {
+      index_t i = a.row_idx()[static_cast<std::size_t>(p)];
+      if (col_of_row[static_cast<std::size_t>(i)] < 0 &&
+          cost(p, j) - cmin <= 0.0) {
+        col_of_row[static_cast<std::size_t>(i)] = j;
+        row_of_col[static_cast<std::size_t>(j)] = i;
+        break;
+      }
+    }
+  }
+
+  // Dijkstra-based augmentation for every unmatched column.
+  std::vector<double> dist(static_cast<std::size_t>(n));
+  std::vector<index_t> pred_col(static_cast<std::size_t>(n));  // row <- col reached from
+  std::vector<char> visited(static_cast<std::size_t>(n));
+  std::vector<index_t> scanned_cols;   // columns added to the alternating tree
+  std::vector<double> d_col(static_cast<std::size_t>(n));  // tree distance of a column
+  using Item = std::pair<double, index_t>;  // (dist, row)
+
+  for (index_t j0 = 0; j0 < n; ++j0) {
+    if (row_of_col[static_cast<std::size_t>(j0)] >= 0) continue;
+    std::fill(dist.begin(), dist.end(), kInf);
+    std::fill(visited.begin(), visited.end(), 0);
+    scanned_cols.clear();
+    std::priority_queue<Item, std::vector<Item>, std::greater<Item>> pq;
+
+    auto relax_from_col = [&](index_t j, double dj) {
+      for (nnz_t p = a.col_begin(j); p < a.col_end(j); ++p) {
+        index_t i = a.row_idx()[static_cast<std::size_t>(p)];
+        if (visited[static_cast<std::size_t>(i)]) continue;
+        double c = cost(p, j);
+        if (c == kInf) continue;
+        double rc = c - v[static_cast<std::size_t>(j)] - u[static_cast<std::size_t>(i)];
+        double nd = dj + rc;
+        if (nd < dist[static_cast<std::size_t>(i)]) {
+          dist[static_cast<std::size_t>(i)] = nd;
+          pred_col[static_cast<std::size_t>(i)] = j;
+          pq.push({nd, i});
+        }
+      }
+    };
+
+    d_col[static_cast<std::size_t>(j0)] = 0.0;
+    scanned_cols.push_back(j0);
+    relax_from_col(j0, 0.0);
+
+    index_t final_row = -1;
+    double mu = kInf;
+    while (!pq.empty()) {
+      auto [d, i] = pq.top();
+      pq.pop();
+      if (visited[static_cast<std::size_t>(i)]) continue;
+      visited[static_cast<std::size_t>(i)] = 1;
+      if (col_of_row[static_cast<std::size_t>(i)] < 0) {
+        final_row = i;
+        mu = d;
+        break;
+      }
+      // Enter the matched column of row i (matched arc has reduced cost 0).
+      index_t jm = col_of_row[static_cast<std::size_t>(i)];
+      d_col[static_cast<std::size_t>(jm)] = d;
+      scanned_cols.push_back(jm);
+      relax_from_col(jm, d);
+    }
+
+    if (final_row < 0)
+      return Status::numerical_error("mc64: structurally singular matrix");
+
+    // Jonker-Volgenant dual update: shrink the potential of every tree
+    // column by its slack to the shortest augmenting distance ...
+    for (index_t j : scanned_cols)
+      v[static_cast<std::size_t>(j)] += d_col[static_cast<std::size_t>(j)] - mu;
+
+    // ... then augment along the predecessor chain ...
+    index_t i = final_row;
+    while (true) {
+      index_t jc = pred_col[static_cast<std::size_t>(i)];
+      index_t inext = row_of_col[static_cast<std::size_t>(jc)];
+      row_of_col[static_cast<std::size_t>(jc)] = i;
+      col_of_row[static_cast<std::size_t>(i)] = jc;
+      if (jc == j0) break;
+      i = inext;
+    }
+
+    // ... and restore tightness of every (possibly re-)matched tree column.
+    for (index_t j : scanned_cols) {
+      index_t im = row_of_col[static_cast<std::size_t>(j)];
+      u[static_cast<std::size_t>(im)] =
+          cost(a.find(im, j), j) - v[static_cast<std::size_t>(j)];
+    }
+  }
+
+  out->row_of_col = row_of_col;
+  out->row_perm.assign(static_cast<std::size_t>(n), -1);
+  for (index_t j = 0; j < n; ++j)
+    out->row_perm[static_cast<std::size_t>(row_of_col[static_cast<std::size_t>(j)])] = j;
+
+  // Scalings from duals: r_i = exp(u_i), c_j = exp(v_j)/col_max_j gives
+  // |r_i a_ij c_j| = exp(-(c_ij - u_i - v_j)) <= 1, with equality on the
+  // matching where the reduced cost is 0.
+  out->row_scale.resize(static_cast<std::size_t>(n));
+  out->col_scale.resize(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i)
+    out->row_scale[static_cast<std::size_t>(i)] = std::exp(u[static_cast<std::size_t>(i)]);
+  for (index_t j = 0; j < n; ++j)
+    out->col_scale[static_cast<std::size_t>(j)] =
+        std::exp(v[static_cast<std::size_t>(j)]) / col_max[static_cast<std::size_t>(j)];
+  return Status::ok();
+}
+
+}  // namespace pangulu::ordering

@@ -1,0 +1,33 @@
+// MC64-style maximum-product transversal with scaling (Duff & Koster 1999,
+// 2001 — the algorithm PanguLU uses for numerical stability). Finds a column
+// permutation placing the largest products on the diagonal, plus row/column
+// scalings that make every matched entry 1 and every other entry <= 1 in
+// magnitude.
+#pragma once
+
+#include <vector>
+
+#include "sparse/csc.hpp"
+#include "util/status.hpp"
+
+namespace pangulu::ordering {
+
+struct Mc64Result {
+  /// row_of_col[j] = matched row of column j: permuting rows with
+  /// perm[row_of_col[j]] = j puts the matching on the diagonal.
+  std::vector<index_t> row_of_col;
+  /// Row permutation (old row -> new row) that moves matched entries to the
+  /// diagonal: new_row(row_of_col[j]) = j.
+  std::vector<index_t> row_perm;
+  /// Multiplicative scalings: scaled(i,j) = row_scale[i]*a(i,j)*col_scale[j],
+  /// giving |scaled| <= 1 with equality on matched entries.
+  std::vector<value_t> row_scale;
+  std::vector<value_t> col_scale;
+};
+
+/// Compute the maximum-product matching and scalings. Fails with
+/// kNumericalError when the matrix is structurally singular (no perfect
+/// matching exists).
+Status mc64(const Csc& a, Mc64Result* out);
+
+}  // namespace pangulu::ordering

@@ -1,0 +1,130 @@
+#include "ordering/min_degree.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace pangulu::ordering {
+
+// Quotient-graph minimum degree. Each still-active variable v keeps
+//   var_adj[v]  : adjacent variables (original edges not yet absorbed)
+//   elem_adj[v] : adjacent elements (cliques created by eliminations)
+// Each element e keeps elem_vars[e]: its member variables. Eliminating the
+// minimum-degree variable p forms a new element whose members are p's
+// quotient-graph neighbourhood; p's adjacent elements are absorbed into it
+// (their members merged), which keeps total storage bounded by the original
+// edge count plus n.
+std::vector<index_t> min_degree(const Graph& g) {
+  const index_t n = g.n;
+  std::vector<std::vector<index_t>> var_adj(static_cast<std::size_t>(n));
+  std::vector<std::vector<index_t>> elem_adj(static_cast<std::size_t>(n));
+  std::vector<std::vector<index_t>> elem_vars;  // elements created so far
+  std::vector<char> alive(static_cast<std::size_t>(n), 1);
+  std::vector<char> elem_alive;
+  std::vector<index_t> degree(static_cast<std::size_t>(n), 0);
+  std::vector<index_t> marker(static_cast<std::size_t>(n), -1);
+
+  for (index_t v = 0; v < n; ++v) {
+    var_adj[static_cast<std::size_t>(v)].assign(
+        g.adj.begin() + g.ptr[static_cast<std::size_t>(v)],
+        g.adj.begin() + g.ptr[static_cast<std::size_t>(v) + 1]);
+    degree[static_cast<std::size_t>(v)] = g.degree(v);
+  }
+
+  // Simple bucketed degree lists for O(1) min extraction with lazy degree
+  // refresh (degrees are recomputed exactly when a vertex is touched).
+  std::vector<std::vector<index_t>> bucket(static_cast<std::size_t>(n) + 1);
+  std::vector<index_t> bucket_pos_degree(static_cast<std::size_t>(n));
+  for (index_t v = 0; v < n; ++v) {
+    bucket[static_cast<std::size_t>(degree[static_cast<std::size_t>(v)])].push_back(v);
+    bucket_pos_degree[static_cast<std::size_t>(v)] = degree[static_cast<std::size_t>(v)];
+  }
+  index_t min_bucket = 0;
+
+  // Computes the exact quotient-graph neighbourhood of v into `out`
+  // (deduplicated via marker stamped with `stamp`).
+  auto neighbourhood = [&](index_t v, index_t stamp, std::vector<index_t>& out) {
+    out.clear();
+    marker[static_cast<std::size_t>(v)] = stamp;
+    for (index_t w : var_adj[static_cast<std::size_t>(v)]) {
+      if (alive[static_cast<std::size_t>(w)] &&
+          marker[static_cast<std::size_t>(w)] != stamp) {
+        marker[static_cast<std::size_t>(w)] = stamp;
+        out.push_back(w);
+      }
+    }
+    for (index_t e : elem_adj[static_cast<std::size_t>(v)]) {
+      if (!elem_alive[static_cast<std::size_t>(e)]) continue;
+      for (index_t w : elem_vars[static_cast<std::size_t>(e)]) {
+        if (alive[static_cast<std::size_t>(w)] && w != v &&
+            marker[static_cast<std::size_t>(w)] != stamp) {
+          marker[static_cast<std::size_t>(w)] = stamp;
+          out.push_back(w);
+        }
+      }
+    }
+  };
+
+  std::vector<index_t> perm(static_cast<std::size_t>(n));
+  std::vector<index_t> nbrs;
+  index_t stamp = 0;
+
+  for (index_t step = 0; step < n; ++step) {
+    // Pop the (lazily maintained) minimum-degree vertex.
+    index_t p = -1;
+    while (p < 0) {
+      while (min_bucket <= n && bucket[static_cast<std::size_t>(min_bucket)].empty())
+        ++min_bucket;
+      PANGULU_CHECK(min_bucket <= n, "min_degree: empty buckets");
+      index_t cand = bucket[static_cast<std::size_t>(min_bucket)].back();
+      bucket[static_cast<std::size_t>(min_bucket)].pop_back();
+      if (!alive[static_cast<std::size_t>(cand)]) continue;
+      if (bucket_pos_degree[static_cast<std::size_t>(cand)] != min_bucket)
+        continue;  // stale bucket entry; the fresh one lives elsewhere
+      p = cand;
+    }
+
+    perm[static_cast<std::size_t>(p)] = step;
+    alive[static_cast<std::size_t>(p)] = 0;
+
+    // Form the new element from p's neighbourhood.
+    neighbourhood(p, ++stamp, nbrs);
+    const auto e_new = static_cast<index_t>(elem_vars.size());
+    elem_vars.push_back(nbrs);
+    elem_alive.push_back(1);
+
+    // Absorb p's old elements.
+    for (index_t e : elem_adj[static_cast<std::size_t>(p)]) {
+      if (e != e_new && elem_alive[static_cast<std::size_t>(e)])
+        elem_alive[static_cast<std::size_t>(e)] = 0;
+    }
+
+    // Update every member: drop p and absorbed-element references, attach
+    // e_new, and refresh the exact degree.
+    for (index_t w : nbrs) {
+      auto& va = var_adj[static_cast<std::size_t>(w)];
+      va.erase(std::remove_if(va.begin(), va.end(),
+                              [&](index_t x) {
+                                return x == p || !alive[static_cast<std::size_t>(x)];
+                              }),
+               va.end());
+      auto& ea = elem_adj[static_cast<std::size_t>(w)];
+      ea.erase(std::remove_if(ea.begin(), ea.end(),
+                              [&](index_t e) {
+                                return !elem_alive[static_cast<std::size_t>(e)];
+                              }),
+               ea.end());
+      ea.push_back(e_new);
+
+      std::vector<index_t> wn;
+      neighbourhood(w, ++stamp, wn);
+      auto d = static_cast<index_t>(wn.size());
+      degree[static_cast<std::size_t>(w)] = d;
+      bucket_pos_degree[static_cast<std::size_t>(w)] = d;
+      bucket[static_cast<std::size_t>(d)].push_back(w);
+      if (d < min_bucket) min_bucket = d;
+    }
+  }
+  return perm;
+}
+
+}  // namespace pangulu::ordering

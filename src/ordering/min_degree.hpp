@@ -1,0 +1,16 @@
+// Minimum-degree ordering on a quotient graph with element absorption —
+// the classic fill-reducing heuristic (Amestoy/Davis/Duff family). Used both
+// standalone and as the leaf ordering of nested dissection.
+#pragma once
+
+#include <vector>
+
+#include "ordering/graph.hpp"
+#include "util/types.hpp"
+
+namespace pangulu::ordering {
+
+/// Returns perm with perm[old] = new (elimination position).
+std::vector<index_t> min_degree(const Graph& g);
+
+}  // namespace pangulu::ordering

@@ -1,0 +1,322 @@
+#include "ordering/multilevel.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "util/rng.hpp"
+
+namespace pangulu::ordering {
+
+namespace {
+
+/// Weighted graph used on the coarse levels.
+struct WGraph {
+  index_t n = 0;
+  std::vector<nnz_t> ptr;
+  std::vector<index_t> adj;
+  std::vector<std::int64_t> eweight;  // per adjacency entry
+  std::vector<std::int64_t> vweight;  // per vertex
+
+  static WGraph from_graph(const Graph& g) {
+    WGraph w;
+    w.n = g.n;
+    w.ptr = g.ptr;
+    w.adj = g.adj;
+    w.eweight.assign(g.adj.size(), 1);
+    w.vweight.assign(static_cast<std::size_t>(g.n), 1);
+    return w;
+  }
+};
+
+/// Heavy-edge matching in random visit order; match[v] = partner or v.
+std::vector<index_t> heavy_edge_matching(const WGraph& g, Rng& rng) {
+  std::vector<index_t> order(static_cast<std::size_t>(g.n));
+  std::iota(order.begin(), order.end(), index_t(0));
+  std::shuffle(order.begin(), order.end(), rng.engine());
+  std::vector<index_t> match(static_cast<std::size_t>(g.n), -1);
+  for (index_t v : order) {
+    if (match[static_cast<std::size_t>(v)] != -1) continue;
+    index_t best = -1;
+    std::int64_t best_w = -1;
+    for (nnz_t p = g.ptr[static_cast<std::size_t>(v)];
+         p < g.ptr[static_cast<std::size_t>(v) + 1]; ++p) {
+      const index_t u = g.adj[static_cast<std::size_t>(p)];
+      if (u == v || match[static_cast<std::size_t>(u)] != -1) continue;
+      if (g.eweight[static_cast<std::size_t>(p)] > best_w) {
+        best_w = g.eweight[static_cast<std::size_t>(p)];
+        best = u;
+      }
+    }
+    if (best >= 0) {
+      match[static_cast<std::size_t>(v)] = best;
+      match[static_cast<std::size_t>(best)] = v;
+    } else {
+      match[static_cast<std::size_t>(v)] = v;
+    }
+  }
+  return match;
+}
+
+/// Contract matched pairs; fills coarse->fine mapping (two slots per coarse
+/// vertex, second = -1 for singletons) and fine->coarse labels.
+WGraph contract(const WGraph& g, const std::vector<index_t>& match,
+                std::vector<index_t>* fine_to_coarse) {
+  fine_to_coarse->assign(static_cast<std::size_t>(g.n), -1);
+  index_t nc = 0;
+  for (index_t v = 0; v < g.n; ++v) {
+    if ((*fine_to_coarse)[static_cast<std::size_t>(v)] != -1) continue;
+    const index_t u = match[static_cast<std::size_t>(v)];
+    (*fine_to_coarse)[static_cast<std::size_t>(v)] = nc;
+    (*fine_to_coarse)[static_cast<std::size_t>(u)] = nc;
+    ++nc;
+  }
+  WGraph c;
+  c.n = nc;
+  c.vweight.assign(static_cast<std::size_t>(nc), 0);
+  for (index_t v = 0; v < g.n; ++v)
+    c.vweight[static_cast<std::size_t>(
+        (*fine_to_coarse)[static_cast<std::size_t>(v)])] +=
+        g.vweight[static_cast<std::size_t>(v)];
+
+  // Aggregate edges with a marker-based merge per coarse vertex.
+  std::vector<index_t> marker(static_cast<std::size_t>(nc), -1);
+  std::vector<nnz_t> slot(static_cast<std::size_t>(nc), 0);
+  c.ptr.assign(static_cast<std::size_t>(nc) + 1, 0);
+  std::vector<std::vector<std::pair<index_t, std::int64_t>>> rows(
+      static_cast<std::size_t>(nc));
+  for (index_t v = 0; v < g.n; ++v) {
+    const index_t cv = (*fine_to_coarse)[static_cast<std::size_t>(v)];
+    auto& row = rows[static_cast<std::size_t>(cv)];
+    for (nnz_t p = g.ptr[static_cast<std::size_t>(v)];
+         p < g.ptr[static_cast<std::size_t>(v) + 1]; ++p) {
+      const index_t cu =
+          (*fine_to_coarse)[static_cast<std::size_t>(
+              g.adj[static_cast<std::size_t>(p)])];
+      if (cu == cv) continue;  // contracted edge disappears
+      if (marker[static_cast<std::size_t>(cu)] == cv) {
+        row[static_cast<std::size_t>(slot[static_cast<std::size_t>(cu)])]
+            .second += g.eweight[static_cast<std::size_t>(p)];
+      } else {
+        marker[static_cast<std::size_t>(cu)] = cv;
+        slot[static_cast<std::size_t>(cu)] = static_cast<nnz_t>(row.size());
+        row.push_back({cu, g.eweight[static_cast<std::size_t>(p)]});
+      }
+    }
+  }
+  for (index_t cv = 0; cv < nc; ++cv)
+    c.ptr[static_cast<std::size_t>(cv) + 1] =
+        c.ptr[static_cast<std::size_t>(cv)] +
+        static_cast<nnz_t>(rows[static_cast<std::size_t>(cv)].size());
+  c.adj.resize(static_cast<std::size_t>(c.ptr.back()));
+  c.eweight.resize(static_cast<std::size_t>(c.ptr.back()));
+  for (index_t cv = 0; cv < nc; ++cv) {
+    nnz_t q = c.ptr[static_cast<std::size_t>(cv)];
+    for (auto [cu, w] : rows[static_cast<std::size_t>(cv)]) {
+      c.adj[static_cast<std::size_t>(q)] = cu;
+      c.eweight[static_cast<std::size_t>(q)] = w;
+      ++q;
+    }
+  }
+  return c;
+}
+
+std::int64_t total_weight(const WGraph& g) {
+  std::int64_t t = 0;
+  for (auto w : g.vweight) t += w;
+  return t;
+}
+
+/// Initial partition: weighted BFS region growing from a pseudo-peripheral
+/// vertex until side 0 holds ~half the total weight.
+std::vector<char> grow_partition(const WGraph& g, Rng& rng) {
+  std::vector<char> side(static_cast<std::size_t>(g.n), 1);
+  if (g.n == 0) return side;
+  const std::int64_t target = total_weight(g) / 2;
+  const index_t start = rng.uniform_index(0, g.n - 1);
+  std::vector<char> visited(static_cast<std::size_t>(g.n), 0);
+  std::queue<index_t> q;
+  q.push(start);
+  visited[static_cast<std::size_t>(start)] = 1;
+  std::int64_t grown = 0;
+  while (!q.empty() && grown < target) {
+    const index_t v = q.front();
+    q.pop();
+    side[static_cast<std::size_t>(v)] = 0;
+    grown += g.vweight[static_cast<std::size_t>(v)];
+    for (nnz_t p = g.ptr[static_cast<std::size_t>(v)];
+         p < g.ptr[static_cast<std::size_t>(v) + 1]; ++p) {
+      const index_t u = g.adj[static_cast<std::size_t>(p)];
+      if (!visited[static_cast<std::size_t>(u)]) {
+        visited[static_cast<std::size_t>(u)] = 1;
+        q.push(u);
+      }
+    }
+  }
+  // Disconnected remainder: if side 0 starved, move arbitrary vertices.
+  for (index_t v = 0; v < g.n && grown < target; ++v) {
+    if (side[static_cast<std::size_t>(v)] == 1 &&
+        !visited[static_cast<std::size_t>(v)]) {
+      side[static_cast<std::size_t>(v)] = 0;
+      grown += g.vweight[static_cast<std::size_t>(v)];
+    }
+  }
+  return side;
+}
+
+/// One FM-style boundary refinement sweep: move the best-gain boundary
+/// vertices while the balance constraint allows; keep the best prefix.
+void fm_refine(const WGraph& g, std::vector<char>& side, double balance,
+               int passes) {
+  const std::int64_t total = total_weight(g);
+  const auto max_side =
+      static_cast<std::int64_t>(balance * static_cast<double>(total) / 2.0);
+
+  for (int pass = 0; pass < passes; ++pass) {
+    // Gains: moving v to the other side changes the cut by (internal -
+    // external) edge weight.
+    std::int64_t w0 = 0;
+    for (index_t v = 0; v < g.n; ++v)
+      if (side[static_cast<std::size_t>(v)] == 0)
+        w0 += g.vweight[static_cast<std::size_t>(v)];
+
+    bool improved = false;
+    for (index_t v = 0; v < g.n; ++v) {
+      const char sv = side[static_cast<std::size_t>(v)];
+      std::int64_t internal = 0, external = 0;
+      for (nnz_t p = g.ptr[static_cast<std::size_t>(v)];
+           p < g.ptr[static_cast<std::size_t>(v) + 1]; ++p) {
+        const index_t u = g.adj[static_cast<std::size_t>(p)];
+        if (side[static_cast<std::size_t>(u)] == sv)
+          internal += g.eweight[static_cast<std::size_t>(p)];
+        else
+          external += g.eweight[static_cast<std::size_t>(p)];
+      }
+      const std::int64_t gain = external - internal;
+      if (gain <= 0) continue;
+      // Balance check for the destination side.
+      const std::int64_t vw = g.vweight[static_cast<std::size_t>(v)];
+      const std::int64_t new_w0 = sv == 0 ? w0 - vw : w0 + vw;
+      const std::int64_t new_w1 = total - new_w0;
+      if (new_w0 <= 0 || new_w1 <= 0) continue;
+      if (std::max(new_w0, new_w1) > max_side) continue;
+      side[static_cast<std::size_t>(v)] = static_cast<char>(1 - sv);
+      w0 = new_w0;
+      improved = true;
+    }
+    if (!improved) break;
+  }
+}
+
+std::int64_t cut_of(const WGraph& g, const std::vector<char>& side) {
+  std::int64_t cut = 0;
+  for (index_t v = 0; v < g.n; ++v) {
+    for (nnz_t p = g.ptr[static_cast<std::size_t>(v)];
+         p < g.ptr[static_cast<std::size_t>(v) + 1]; ++p) {
+      const index_t u = g.adj[static_cast<std::size_t>(p)];
+      if (u > v && side[static_cast<std::size_t>(u)] !=
+                       side[static_cast<std::size_t>(v)])
+        cut += g.eweight[static_cast<std::size_t>(p)];
+    }
+  }
+  return cut;
+}
+
+}  // namespace
+
+Bisection multilevel_bisect(const Graph& g, const MultilevelOptions& opts) {
+  Bisection out;
+  out.side.assign(static_cast<std::size_t>(g.n), 0);
+  if (g.n <= 1) return out;
+  Rng rng(opts.seed);
+
+  // Coarsening phase.
+  std::vector<WGraph> levels;
+  std::vector<std::vector<index_t>> maps;  // fine -> coarse per level
+  levels.push_back(WGraph::from_graph(g));
+  while (levels.back().n > opts.coarsen_to) {
+    const WGraph& cur = levels.back();
+    auto match = heavy_edge_matching(cur, rng);
+    std::vector<index_t> f2c;
+    WGraph coarse = contract(cur, match, &f2c);
+    if (coarse.n >= cur.n) break;  // matching stalled (e.g. star graphs)
+    maps.push_back(std::move(f2c));
+    levels.push_back(std::move(coarse));
+  }
+
+  // Initial partition on the coarsest graph, refined there first.
+  std::vector<char> side = grow_partition(levels.back(), rng);
+  fm_refine(levels.back(), side, opts.balance, opts.refine_passes);
+
+  // Uncoarsen with refinement at each level.
+  for (std::size_t lvl = maps.size(); lvl-- > 0;) {
+    const auto& f2c = maps[lvl];
+    std::vector<char> fine_side(f2c.size());
+    for (std::size_t v = 0; v < f2c.size(); ++v)
+      fine_side[v] = side[static_cast<std::size_t>(f2c[v])];
+    side = std::move(fine_side);
+    fm_refine(levels[lvl], side, opts.balance, opts.refine_passes);
+  }
+
+  // Guarantee both sides non-empty.
+  bool has0 = false, has1 = false;
+  for (char s : side) (s ? has1 : has0) = true;
+  if (!has0) side[0] = 0;
+  if (!has1) side[0] = 1;
+
+  out.side = std::move(side);
+  out.edge_cut = cut_of(levels.front(), out.side);
+  for (index_t v = 0; v < g.n; ++v) {
+    if (out.side[static_cast<std::size_t>(v)] == 0)
+      ++out.weight0;
+    else
+      ++out.weight1;
+  }
+  return out;
+}
+
+std::vector<index_t> separator_from_cut(const Graph& g, const Bisection& b) {
+  // Greedy vertex cover of the cut edges, highest uncovered-degree first.
+  std::vector<index_t> cut_degree(static_cast<std::size_t>(g.n), 0);
+  for (index_t v = 0; v < g.n; ++v) {
+    for (nnz_t p = g.ptr[static_cast<std::size_t>(v)];
+         p < g.ptr[static_cast<std::size_t>(v) + 1]; ++p) {
+      const index_t u = g.adj[static_cast<std::size_t>(p)];
+      if (b.side[static_cast<std::size_t>(u)] !=
+          b.side[static_cast<std::size_t>(v)])
+        cut_degree[static_cast<std::size_t>(v)]++;
+    }
+  }
+  std::vector<index_t> order;
+  for (index_t v = 0; v < g.n; ++v)
+    if (cut_degree[static_cast<std::size_t>(v)] > 0) order.push_back(v);
+  std::sort(order.begin(), order.end(), [&](index_t a, index_t c) {
+    return cut_degree[static_cast<std::size_t>(a)] >
+           cut_degree[static_cast<std::size_t>(c)];
+  });
+
+  std::vector<char> in_sep(static_cast<std::size_t>(g.n), 0);
+  std::vector<index_t> sep;
+  for (index_t v : order) {
+    // Still covering an uncovered cut edge?
+    bool needed = false;
+    for (nnz_t p = g.ptr[static_cast<std::size_t>(v)];
+         p < g.ptr[static_cast<std::size_t>(v) + 1]; ++p) {
+      const index_t u = g.adj[static_cast<std::size_t>(p)];
+      if (b.side[static_cast<std::size_t>(u)] !=
+              b.side[static_cast<std::size_t>(v)] &&
+          !in_sep[static_cast<std::size_t>(u)] &&
+          !in_sep[static_cast<std::size_t>(v)]) {
+        needed = true;
+        break;
+      }
+    }
+    if (needed) {
+      in_sep[static_cast<std::size_t>(v)] = 1;
+      sep.push_back(v);
+    }
+  }
+  return sep;
+}
+
+}  // namespace pangulu::ordering

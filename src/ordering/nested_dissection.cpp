@@ -1,0 +1,232 @@
+#include "ordering/nested_dissection.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "ordering/min_degree.hpp"
+#include "ordering/multilevel.hpp"
+
+namespace pangulu::ordering {
+
+namespace {
+
+/// BFS level structure from `start`, restricted to the whole (sub)graph.
+/// Returns levels per vertex and the visit order.
+void bfs_levels(const Graph& g, index_t start, std::vector<index_t>* level,
+                std::vector<index_t>* order) {
+  level->assign(static_cast<std::size_t>(g.n), -1);
+  order->clear();
+  std::queue<index_t> q;
+  q.push(start);
+  (*level)[static_cast<std::size_t>(start)] = 0;
+  while (!q.empty()) {
+    index_t v = q.front();
+    q.pop();
+    order->push_back(v);
+    for (nnz_t p = g.ptr[static_cast<std::size_t>(v)];
+         p < g.ptr[static_cast<std::size_t>(v) + 1]; ++p) {
+      index_t w = g.adj[static_cast<std::size_t>(p)];
+      if ((*level)[static_cast<std::size_t>(w)] < 0) {
+        (*level)[static_cast<std::size_t>(w)] = (*level)[static_cast<std::size_t>(v)] + 1;
+        q.push(w);
+      }
+    }
+  }
+}
+
+/// Pseudo-peripheral vertex: start anywhere, repeatedly jump to the deepest
+/// BFS level's minimum-degree vertex until eccentricity stops growing.
+index_t pseudo_peripheral(const Graph& g, index_t start) {
+  std::vector<index_t> level, order;
+  index_t v = start;
+  index_t ecc = -1;
+  for (int iter = 0; iter < 8; ++iter) {
+    bfs_levels(g, v, &level, &order);
+    index_t max_level = 0;
+    for (index_t w : order)
+      max_level = std::max(max_level, level[static_cast<std::size_t>(w)]);
+    if (max_level <= ecc) break;
+    ecc = max_level;
+    // deepest-level vertex with minimum degree
+    index_t best = -1;
+    for (index_t w : order) {
+      if (level[static_cast<std::size_t>(w)] == max_level &&
+          (best < 0 || g.degree(w) < g.degree(best)))
+        best = w;
+    }
+    v = best;
+  }
+  return v;
+}
+
+/// Order the vertices of `g` (local ids), writing global elimination
+/// positions into perm via local_to_global, starting at *next and advancing
+/// it. Separator-last recursion.
+void nd_recurse(const Graph& g, const std::vector<index_t>& local_to_global,
+                const NdOptions& opts, int depth, std::vector<index_t>* perm,
+                index_t* next) {
+  if (g.n == 0) return;
+  if (g.n <= opts.leaf_size || depth >= opts.max_depth) {
+    std::vector<index_t> local = min_degree(g);
+    // local[v] = position within leaf; map to global positions.
+    std::vector<index_t> by_pos(static_cast<std::size_t>(g.n));
+    for (index_t v = 0; v < g.n; ++v)
+      by_pos[static_cast<std::size_t>(local[static_cast<std::size_t>(v)])] = v;
+    for (index_t k = 0; k < g.n; ++k) {
+      (*perm)[static_cast<std::size_t>(
+          local_to_global[static_cast<std::size_t>(by_pos[static_cast<std::size_t>(k)])])] =
+          (*next)++;
+    }
+    return;
+  }
+
+  // Multilevel candidate: METIS-style bisection, vertex separator from the
+  // cut. Compared below against the BFS level-set candidate; the split with
+  // the smaller separator wins (on meshes the BFS "straight line" is often
+  // unbeatable, on irregular graphs the multilevel cut usually is).
+  std::vector<index_t> ml_a, ml_b, ml_sep;
+  bool have_ml = false;
+  if (opts.use_multilevel) {
+    MultilevelOptions mlo;
+    mlo.seed = static_cast<std::uint64_t>(depth) * 7919 + 17;
+    Bisection bis = multilevel_bisect(g, mlo);
+    ml_sep = separator_from_cut(g, bis);
+    std::vector<char> in_sep(static_cast<std::size_t>(g.n), 0);
+    for (index_t v : ml_sep) in_sep[static_cast<std::size_t>(v)] = 1;
+    for (index_t v = 0; v < g.n; ++v) {
+      if (in_sep[static_cast<std::size_t>(v)]) continue;
+      (bis.side[static_cast<std::size_t>(v)] == 0 ? ml_a : ml_b).push_back(v);
+    }
+    have_ml = !ml_a.empty() && !ml_b.empty();
+  }
+
+  // Handle disconnected pieces: bisect the component of a pseudo-peripheral
+  // vertex; unreached vertices join side B.
+  index_t src = pseudo_peripheral(g, 0);
+  std::vector<index_t> level, order;
+  bfs_levels(g, src, &level, &order);
+
+  index_t max_level = 0;
+  for (index_t w : order)
+    max_level = std::max(max_level, level[static_cast<std::size_t>(w)]);
+
+  if (max_level == 0 && static_cast<index_t>(order.size()) < g.n) {
+    // src is isolated in a bigger graph: fall back on component split.
+  }
+
+  // Choose the split level so that ~half the visited vertices are below it.
+  std::vector<index_t> level_count(static_cast<std::size_t>(max_level) + 1, 0);
+  for (index_t w : order) level_count[static_cast<std::size_t>(level[static_cast<std::size_t>(w)])]++;
+  index_t half = static_cast<index_t>(order.size()) / 2;
+  index_t split = 0, acc = 0;
+  for (index_t l = 0; l <= max_level; ++l) {
+    acc += level_count[static_cast<std::size_t>(l)];
+    split = l;
+    if (acc >= half) break;
+  }
+
+  // side A: level < split; separator: level == split; side B: level > split
+  // plus any unvisited vertices (other components).
+  std::vector<index_t> a_verts, b_verts, s_verts;
+  for (index_t v = 0; v < g.n; ++v) {
+    index_t l = level[static_cast<std::size_t>(v)];
+    if (l < 0 || l > split)
+      b_verts.push_back(v);
+    else if (l < split)
+      a_verts.push_back(v);
+    else
+      s_verts.push_back(v);
+  }
+
+  // Thin the separator: a level-set separator can contain vertices with no
+  // neighbour in A; those can safely move to B (still no A-B edge).
+  std::vector<char> in_a(static_cast<std::size_t>(g.n), 0);
+  for (index_t v : a_verts) in_a[static_cast<std::size_t>(v)] = 1;
+  std::vector<index_t> s_final;
+  for (index_t v : s_verts) {
+    bool touches_a = false;
+    for (nnz_t p = g.ptr[static_cast<std::size_t>(v)];
+         p < g.ptr[static_cast<std::size_t>(v) + 1]; ++p) {
+      if (in_a[static_cast<std::size_t>(g.adj[static_cast<std::size_t>(p)])]) {
+        touches_a = true;
+        break;
+      }
+    }
+    if (touches_a)
+      s_final.push_back(v);
+    else
+      b_verts.push_back(v);
+  }
+
+  if ((a_verts.empty() || b_verts.empty()) && have_ml) {
+    // BFS failed to split but the multilevel candidate can.
+    a_verts = std::move(ml_a);
+    b_verts = std::move(ml_b);
+    s_final = std::move(ml_sep);
+    have_ml = false;
+  }
+  if (a_verts.empty() || b_verts.empty()) {
+    // Degenerate cut (e.g. a clique): stop recursing, order with min degree.
+    std::vector<index_t> local = min_degree(g);
+    std::vector<index_t> by_pos(static_cast<std::size_t>(g.n));
+    for (index_t v = 0; v < g.n; ++v)
+      by_pos[static_cast<std::size_t>(local[static_cast<std::size_t>(v)])] = v;
+    for (index_t k = 0; k < g.n; ++k) {
+      (*perm)[static_cast<std::size_t>(
+          local_to_global[static_cast<std::size_t>(by_pos[static_cast<std::size_t>(k)])])] =
+          (*next)++;
+    }
+    return;
+  }
+
+  // Pick the candidate with the smaller separator (ties: better balance).
+  if (have_ml) {
+    const auto bfs_sep = s_final.size();
+    const auto ml_sep_sz = ml_sep.size();
+    const auto bfs_imbalance =
+        std::max(a_verts.size(), b_verts.size());
+    const auto ml_imbalance = std::max(ml_a.size(), ml_b.size());
+    if (ml_sep_sz < bfs_sep ||
+        (ml_sep_sz == bfs_sep && ml_imbalance < bfs_imbalance)) {
+      a_verts = std::move(ml_a);
+      b_verts = std::move(ml_b);
+      s_final = std::move(ml_sep);
+    }
+  }
+
+  auto to_global = [&](const std::vector<index_t>& locals) {
+    std::vector<index_t> g_ids;
+    g_ids.reserve(locals.size());
+    for (index_t v : locals)
+      g_ids.push_back(local_to_global[static_cast<std::size_t>(v)]);
+    return g_ids;
+  };
+
+  std::vector<index_t> a_map, b_map;
+  Graph ga = g.induced(a_verts, nullptr);
+  Graph gb = g.induced(b_verts, nullptr);
+  a_map = to_global(a_verts);
+  b_map = to_global(b_verts);
+
+  nd_recurse(ga, a_map, opts, depth + 1, perm, next);
+  nd_recurse(gb, b_map, opts, depth + 1, perm, next);
+  // Separator last.
+  for (index_t v : s_final) {
+    (*perm)[static_cast<std::size_t>(local_to_global[static_cast<std::size_t>(v)])] =
+        (*next)++;
+  }
+}
+
+}  // namespace
+
+std::vector<index_t> nested_dissection(const Graph& g, const NdOptions& opts) {
+  std::vector<index_t> perm(static_cast<std::size_t>(g.n), -1);
+  index_t next = 0;
+  std::vector<index_t> all(static_cast<std::size_t>(g.n));
+  for (index_t v = 0; v < g.n; ++v) all[static_cast<std::size_t>(v)] = v;
+  nd_recurse(g, all, opts, 0, &perm, &next);
+  PANGULU_CHECK(next == g.n, "nested dissection did not order all vertices");
+  return perm;
+}
+
+}  // namespace pangulu::ordering

@@ -1,0 +1,52 @@
+#include "ordering/rcm.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace pangulu::ordering {
+
+std::vector<index_t> rcm(const Graph& g) {
+  const index_t n = g.n;
+  std::vector<index_t> order;
+  order.reserve(static_cast<std::size_t>(n));
+  std::vector<char> visited(static_cast<std::size_t>(n), 0);
+
+  for (index_t comp_start = 0; comp_start < n; ++comp_start) {
+    if (visited[static_cast<std::size_t>(comp_start)]) continue;
+    // Start each component from a low-degree vertex (cheap pseudo-peripheral
+    // stand-in: pick min degree within the not-yet-visited frontier).
+    index_t start = comp_start;
+    std::queue<index_t> q;
+    q.push(start);
+    visited[static_cast<std::size_t>(start)] = 1;
+    while (!q.empty()) {
+      index_t v = q.front();
+      q.pop();
+      order.push_back(v);
+      // Gather unvisited neighbours, enqueue by increasing degree (CM rule).
+      std::vector<index_t> nbrs;
+      for (nnz_t p = g.ptr[static_cast<std::size_t>(v)];
+           p < g.ptr[static_cast<std::size_t>(v) + 1]; ++p) {
+        index_t w = g.adj[static_cast<std::size_t>(p)];
+        if (!visited[static_cast<std::size_t>(w)]) {
+          visited[static_cast<std::size_t>(w)] = 1;
+          nbrs.push_back(w);
+        }
+      }
+      std::sort(nbrs.begin(), nbrs.end(), [&](index_t a, index_t b) {
+        return g.degree(a) < g.degree(b);
+      });
+      for (index_t w : nbrs) q.push(w);
+    }
+  }
+
+  // Reverse the Cuthill-McKee order.
+  std::vector<index_t> perm(static_cast<std::size_t>(n));
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    perm[static_cast<std::size_t>(order[k])] =
+        static_cast<index_t>(n - 1 - static_cast<index_t>(k));
+  }
+  return perm;
+}
+
+}  // namespace pangulu::ordering

@@ -1,0 +1,16 @@
+// Reverse Cuthill-McKee bandwidth-reducing ordering. Not used by the main
+// PanguLU pipeline (which prefers nested dissection) but provided as an
+// alternative `Ordering::kRcm` option and exercised by tests.
+#pragma once
+
+#include <vector>
+
+#include "ordering/graph.hpp"
+#include "util/types.hpp"
+
+namespace pangulu::ordering {
+
+/// Returns perm with perm[old] = new.
+std::vector<index_t> rcm(const Graph& g);
+
+}  // namespace pangulu::ordering

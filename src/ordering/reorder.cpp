@@ -1,0 +1,64 @@
+#include "ordering/reorder.hpp"
+
+#include "ordering/graph.hpp"
+#include "ordering/amd.hpp"
+#include "ordering/min_degree.hpp"
+#include "ordering/nested_dissection.hpp"
+#include "ordering/rcm.hpp"
+#include "sparse/ops.hpp"
+
+namespace pangulu::ordering {
+
+Status reorder(const Csc& a, const ReorderOptions& opts, ReorderResult* out) {
+  if (a.n_rows() != a.n_cols())
+    return Status::invalid_argument("reorder: square matrices only");
+  const index_t n = a.n_cols();
+
+  Csc work = a;
+  std::vector<index_t> mc64_row = identity_permutation(n);
+  out->row_scale.assign(static_cast<std::size_t>(n), value_t(1));
+  out->col_scale.assign(static_cast<std::size_t>(n), value_t(1));
+
+  if (opts.use_mc64) {
+    Mc64Result m;
+    Status s = mc64(a, &m);
+    if (!s.is_ok()) return s;
+    mc64_row = m.row_perm;
+    if (opts.apply_scaling) {
+      work.scale(m.row_scale, m.col_scale);
+      out->row_scale = m.row_scale;
+      out->col_scale = m.col_scale;
+    }
+    work = work.permuted(mc64_row, identity_permutation(n));
+  }
+
+  // Symmetric fill-reducing permutation on the pattern of work + work'.
+  std::vector<index_t> sym;
+  switch (opts.fill_reducing) {
+    case FillReducing::kNatural:
+      sym = identity_permutation(n);
+      break;
+    case FillReducing::kRcm:
+      sym = rcm(Graph::from_matrix(work));
+      break;
+    case FillReducing::kMinDegree:
+      sym = min_degree(Graph::from_matrix(work));
+      break;
+    case FillReducing::kAmd:
+      sym = amd(Graph::from_matrix(work));
+      break;
+    case FillReducing::kNestedDissection: {
+      NdOptions nd;
+      nd.leaf_size = opts.nd_leaf_size;
+      sym = nested_dissection(Graph::from_matrix(work), nd);
+      break;
+    }
+  }
+
+  out->permuted = work.permuted(sym, sym);
+  out->row_perm = compose(sym, mc64_row);
+  out->col_perm = sym;
+  return Status::ok();
+}
+
+}  // namespace pangulu::ordering

@@ -1,0 +1,60 @@
+// Range-parallel helpers over a ThreadPool. The grain-size split mirrors how
+// GPU kernels assign warps to columns/rows: each chunk is one "warp" of work.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <functional>
+
+#include "parallel/thread_pool.hpp"
+#include "util/types.hpp"
+
+namespace pangulu {
+
+/// Execute body(i) for i in [begin, end) across the pool. Blocks until done.
+/// Falls back to a serial loop for tiny ranges (launch overhead dominates).
+template <typename Body>
+void parallel_for(ThreadPool& pool, index_t begin, index_t end, Body body,
+                  index_t grain = 0) {
+  const index_t n = end - begin;
+  if (n <= 0) return;
+  const auto workers = static_cast<index_t>(pool.size());
+  if (grain <= 0) grain = std::max<index_t>(1, n / (4 * workers));
+  if (n <= grain || workers <= 1) {
+    for (index_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+  std::atomic<index_t> next(begin);
+  const index_t g = grain;
+  auto worker = [&]() {
+    for (;;) {
+      index_t lo = next.fetch_add(g, std::memory_order_relaxed);
+      if (lo >= end) return;
+      index_t hi = std::min<index_t>(lo + g, end);
+      for (index_t i = lo; i < hi; ++i) body(i);
+    }
+  };
+  // The calling thread participates too, so the pool being busy elsewhere can
+  // never deadlock a nested parallel_for.
+  std::atomic<int> done(0);
+  int launched = static_cast<int>(workers) - 1;
+  for (int t = 0; t < launched; ++t) {
+    pool.submit([&worker, &done] {
+      worker();
+      done.fetch_add(1, std::memory_order_release);
+    });
+  }
+  worker();
+  while (done.load(std::memory_order_acquire) < launched) {
+    std::this_thread::yield();
+  }
+}
+
+/// Convenience overload on the global pool.
+template <typename Body>
+void parallel_for(index_t begin, index_t end, Body body, index_t grain = 0) {
+  parallel_for(ThreadPool::global(), begin, end, std::move(body), grain);
+}
+
+}  // namespace pangulu

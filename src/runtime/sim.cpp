@@ -1,0 +1,434 @@
+#include "runtime/sim.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <tuple>
+
+#include "kernels/getrf.hpp"
+#include "kernels/gessm.hpp"
+#include "kernels/ssssm.hpp"
+#include "kernels/tstrf.hpp"
+
+namespace pangulu::runtime {
+
+namespace {
+
+using block::BlockMatrix;
+using block::Mapping;
+using block::Task;
+using block::TaskKind;
+
+/// Resolved execution plan of one task: which variant runs and what it costs.
+struct TaskPlan {
+  bool gpu = false;
+  bool direct = false;
+  int variant = 0;  // index within its family's enum
+  double cost = 0;
+};
+
+TaskPlan plan_task(const Task& t, const BlockMatrix& bm, const SimOptions& o) {
+  TaskPlan p;
+  const Csc& target = bm.block(t.target);
+  const double nnz_target = static_cast<double>(target.nnz());
+  const double dim = static_cast<double>(target.n_rows());
+
+  switch (t.kind) {
+    case TaskKind::kGetrf: {
+      kernels::GetrfVariant v;
+      if (o.policy == KernelPolicy::kFixedCpu)
+        v = kernels::GetrfVariant::kCV1;
+      else if (o.policy == KernelPolicy::kFixedGpu)
+        v = kernels::GetrfVariant::kGV1;
+      else
+        v = kernels::select_getrf(target.nnz(), o.thresholds);
+      p.variant = static_cast<int>(v);
+      p.gpu = kernels::is_gpu_variant(v);
+      p.direct = (v != kernels::GetrfVariant::kGV1);  // C_V1 & G_V2 dense-map
+      p.cost = o.device.sparse_kernel_time(p.gpu, p.direct, t.weight,
+                                           nnz_target, dim);
+      break;
+    }
+    case TaskKind::kGessm:
+    case TaskKind::kTstrf: {
+      const Csc& diag = bm.block(t.src_a);
+      kernels::PanelVariant v;
+      if (o.policy == KernelPolicy::kFixedCpu)
+        v = kernels::PanelVariant::kCV1;
+      else if (o.policy == KernelPolicy::kFixedGpu)
+        v = kernels::PanelVariant::kGV1;
+      else
+        v = t.kind == TaskKind::kGessm
+                ? kernels::select_gessm(target.nnz(), diag.nnz(), o.thresholds)
+                : kernels::select_tstrf(target.nnz(), diag.nnz(), o.thresholds);
+      p.variant = static_cast<int>(v);
+      p.gpu = kernels::is_gpu_variant(v);
+      p.direct = (v == kernels::PanelVariant::kCV2 ||
+                  v == kernels::PanelVariant::kGV3);
+      p.cost = o.device.sparse_kernel_time(
+          p.gpu, p.direct, t.weight,
+          nnz_target + static_cast<double>(diag.nnz()), dim);
+      break;
+    }
+    case TaskKind::kSsssm: {
+      kernels::SsssmVariant v;
+      if (o.policy == KernelPolicy::kFixedCpu)
+        v = kernels::SsssmVariant::kCV2;
+      else if (o.policy == KernelPolicy::kFixedGpu)
+        v = kernels::SsssmVariant::kGV1;
+      else
+        v = kernels::select_ssssm(t.weight, o.thresholds);
+      p.variant = static_cast<int>(v);
+      p.gpu = kernels::is_gpu_variant(v);
+      p.direct = (v == kernels::SsssmVariant::kCV1 ||
+                  v == kernels::SsssmVariant::kGV2);
+      const double nnz_all = nnz_target +
+                             static_cast<double>(bm.block(t.src_a).nnz()) +
+                             static_cast<double>(bm.block(t.src_b).nnz());
+      p.cost = o.device.sparse_kernel_time(p.gpu, p.direct, t.weight, nnz_all,
+                                           dim);
+      break;
+    }
+  }
+  return p;
+}
+
+/// Execute the task's numerics on the host.
+Status run_numerics(const Task& t, const TaskPlan& p, BlockMatrix& bm,
+                    kernels::Workspace& ws, kernels::PivotStats* pivots,
+                    value_t pivot_tol) {
+  switch (t.kind) {
+    case TaskKind::kGetrf: {
+      kernels::GetrfOptions go;
+      go.pivot_tol = pivot_tol;
+      return kernels::getrf(static_cast<kernels::GetrfVariant>(p.variant),
+                            bm.block(t.target), ws, pivots, go, nullptr);
+    }
+    case TaskKind::kGessm:
+      return kernels::gessm(static_cast<kernels::PanelVariant>(p.variant),
+                            bm.block(t.src_a), bm.block(t.target), ws, nullptr);
+    case TaskKind::kTstrf:
+      return kernels::tstrf(static_cast<kernels::PanelVariant>(p.variant),
+                            bm.block(t.src_a), bm.block(t.target), ws, nullptr);
+    case TaskKind::kSsssm:
+      return kernels::ssssm(static_cast<kernels::SsssmVariant>(p.variant),
+                            bm.block(t.src_a), bm.block(t.src_b),
+                            bm.block(t.target), ws, nullptr);
+  }
+  return Status::internal("unreachable");
+}
+
+/// Dependency structure shared by both schedulers.
+struct TaskGraph {
+  // dep[t]: remaining prerequisite completions before task t is ready.
+  std::vector<index_t> dep;
+  // Dependents released by each task's completion.
+  std::vector<std::vector<index_t>> out;
+  // Finalising task of each block position (-1 if none).
+  std::vector<index_t> finalizer_of_block;
+
+  static TaskGraph build(const BlockMatrix& bm, const std::vector<Task>& tasks) {
+    TaskGraph g;
+    const auto nt = static_cast<index_t>(tasks.size());
+    g.dep.assign(static_cast<std::size_t>(nt), 0);
+    g.out.assign(static_cast<std::size_t>(nt), {});
+    g.finalizer_of_block.assign(static_cast<std::size_t>(bm.n_blocks()), -1);
+
+    for (index_t t = 0; t < nt; ++t) {
+      const Task& task = tasks[static_cast<std::size_t>(t)];
+      if (task.kind != TaskKind::kSsssm)
+        g.finalizer_of_block[static_cast<std::size_t>(task.target)] = t;
+    }
+    for (index_t t = 0; t < nt; ++t) {
+      const Task& task = tasks[static_cast<std::size_t>(t)];
+      switch (task.kind) {
+        case TaskKind::kGetrf:
+          break;  // depends only on incoming SSSSM updates (added below)
+        case TaskKind::kGessm:
+        case TaskKind::kTstrf: {
+          // Needs the factorised diagonal block.
+          index_t diag_fin =
+              g.finalizer_of_block[static_cast<std::size_t>(task.src_a)];
+          g.out[static_cast<std::size_t>(diag_fin)].push_back(t);
+          g.dep[static_cast<std::size_t>(t)]++;
+          break;
+        }
+        case TaskKind::kSsssm: {
+          index_t fa = g.finalizer_of_block[static_cast<std::size_t>(task.src_a)];
+          index_t fb = g.finalizer_of_block[static_cast<std::size_t>(task.src_b)];
+          g.out[static_cast<std::size_t>(fa)].push_back(t);
+          g.out[static_cast<std::size_t>(fb)].push_back(t);
+          g.dep[static_cast<std::size_t>(t)] += 2;
+          // The target's finaliser waits for this update — the
+          // synchronisation-free array counter in DES form.
+          index_t fin = g.finalizer_of_block[static_cast<std::size_t>(task.target)];
+          PANGULU_CHECK(fin >= 0, "every block has a finalising task");
+          g.out[static_cast<std::size_t>(t)].push_back(fin);
+          g.dep[static_cast<std::size_t>(fin)]++;
+          break;
+        }
+      }
+    }
+    return g;
+  }
+};
+
+struct PendingEvent {
+  double time;
+  index_t seq;   // tie-break for determinism
+  index_t task;  // ready task, or -1 for a rank wake-up
+  rank_t rank;   // rank to wake (wake events only)
+  bool operator>(const PendingEvent& o) const {
+    return std::tie(time, seq) > std::tie(o.time, o.seq);
+  }
+};
+
+Status run_sync_free(BlockMatrix& bm, const std::vector<Task>& tasks,
+                     const Mapping& mapping, const SimOptions& o,
+                     SimResult* res) {
+  const auto nt = static_cast<index_t>(tasks.size());
+  TaskGraph g = TaskGraph::build(bm, tasks);
+
+  std::vector<TaskPlan> plans(static_cast<std::size_t>(nt));
+  std::vector<rank_t> owner(static_cast<std::size_t>(nt));
+  for (index_t t = 0; t < nt; ++t)
+    owner[static_cast<std::size_t>(t)] =
+        mapping.owner[static_cast<std::size_t>(
+            tasks[static_cast<std::size_t>(t)].target)];
+
+  // Priority inside a rank: lowest elimination step first ("the most
+  // critical of the tasks", §4.4), then enumeration order.
+  auto priority_less = [&](index_t a, index_t b) {
+    const Task& ta = tasks[static_cast<std::size_t>(a)];
+    const Task& tb = tasks[static_cast<std::size_t>(b)];
+    if (ta.k != tb.k) return ta.k > tb.k;  // min-heap via greater
+    return a > b;
+  };
+  std::vector<std::priority_queue<index_t, std::vector<index_t>,
+                                  decltype(priority_less)>>
+      ready;
+  ready.reserve(static_cast<std::size_t>(o.n_ranks));
+  for (rank_t r = 0; r < o.n_ranks; ++r) ready.emplace_back(priority_less);
+
+  std::vector<double> busy_until(static_cast<std::size_t>(o.n_ranks), 0.0);
+  std::vector<double> ready_time(static_cast<std::size_t>(nt), 0.0);
+
+  res->ranks.assign(static_cast<std::size_t>(o.n_ranks), RankStats{});
+  kernels::Workspace ws;
+  kernels::PivotStats pivots;
+
+  std::priority_queue<PendingEvent, std::vector<PendingEvent>,
+                      std::greater<PendingEvent>>
+      events;
+  index_t seq = 0;
+  for (index_t t = 0; t < nt; ++t) {
+    if (g.dep[static_cast<std::size_t>(t)] == 0)
+      events.push({0.0, seq++, t, 0});
+  }
+
+  double makespan = 0;
+  index_t completed = 0;
+
+  // Start the highest-priority queued task of rank r at time `now` (the rank
+  // is known to be free). Completion bookkeeping is eager: the dependents'
+  // ready times (including message arrival) are computed immediately, and a
+  // wake event lets the rank pick its next task when this one finishes.
+  auto start_one = [&](rank_t r, double now) -> Status {
+    auto& q = ready[static_cast<std::size_t>(r)];
+    if (q.empty()) return Status::ok();
+    index_t t = q.top();
+    q.pop();
+    const Task& task = tasks[static_cast<std::size_t>(t)];
+    TaskPlan p = plan_task(task, bm, o);
+    plans[static_cast<std::size_t>(t)] = p;
+    if (o.execute_numerics) {
+      Status s = run_numerics(task, p, bm, ws, &pivots, o.pivot_tol);
+      if (!s.is_ok()) return s;
+    }
+    // Release dependents; remote ones pay one message per destination rank.
+    // Posting a send also occupies the sender briefly (pack + NIC doorbell),
+    // which is what throttles very fine-grained block traffic at high rank
+    // counts — the communication-bound regime §5.3 reports at 128 GPUs.
+    const Csc& produced = bm.block(task.target);
+    const std::size_t msg_bytes =
+        block_message_bytes(produced.nnz(), produced.n_cols());
+    std::vector<rank_t> sent_to;
+    for (index_t d : g.out[static_cast<std::size_t>(t)]) {
+      const rank_t dr = owner[static_cast<std::size_t>(d)];
+      if (dr != r &&
+          std::find(sent_to.begin(), sent_to.end(), dr) == sent_to.end())
+        sent_to.push_back(dr);
+    }
+    const double send_overhead =
+        static_cast<double>(sent_to.size()) * 0.5 * o.device.net_latency_s;
+
+    const double fin = now + p.cost + send_overhead;
+    busy_until[static_cast<std::size_t>(r)] = fin;
+    makespan = std::max(makespan, fin);
+    if (o.trace)
+      o.trace->record({t, task.kind, task.k, task.bi, task.bj, r, now, fin});
+    auto& rs = res->ranks[static_cast<std::size_t>(r)];
+    rs.busy += p.cost + send_overhead;
+    rs.messages_sent += static_cast<std::int64_t>(sent_to.size());
+    rs.bytes_sent += sent_to.size() * msg_bytes;
+    if (task.kind == TaskKind::kSsssm)
+      res->schur_busy += p.cost;
+    else
+      res->panel_busy += p.cost;
+    res->kind_busy[static_cast<int>(task.kind)] += p.cost;
+    res->kind_count[static_cast<int>(task.kind)]++;
+    res->total_flops += task.weight;
+    ++completed;
+
+    for (index_t d : g.out[static_cast<std::size_t>(t)]) {
+      const rank_t dr = owner[static_cast<std::size_t>(d)];
+      double arrive = fin;
+      if (dr != r) arrive += o.device.message_time(msg_bytes);
+      auto& rd = ready_time[static_cast<std::size_t>(d)];
+      rd = std::max(rd, arrive);
+      if (--g.dep[static_cast<std::size_t>(d)] == 0)
+        events.push({rd, seq++, d, 0});
+    }
+    events.push({fin, seq++, -1, r});  // wake: pick the next queued task
+    return Status::ok();
+  };
+
+  while (!events.empty()) {
+    PendingEvent ev = events.top();
+    events.pop();
+    rank_t r;
+    if (ev.task >= 0) {
+      r = owner[static_cast<std::size_t>(ev.task)];
+      ready[static_cast<std::size_t>(r)].push(ev.task);
+    } else {
+      r = ev.rank;
+    }
+    if (busy_until[static_cast<std::size_t>(r)] > ev.time + 1e-30)
+      continue;  // rank busy; its completion wake will drain the queue
+    Status s = start_one(r, ev.time);
+    if (!s.is_ok()) return s;
+  }
+  PANGULU_CHECK(completed == nt, "sync-free DES deadlocked");
+
+  res->makespan = makespan;
+  res->perturbed_pivots = pivots.perturbed;
+  for (rank_t r = 0; r < o.n_ranks; ++r) {
+    auto& rs = res->ranks[static_cast<std::size_t>(r)];
+    rs.idle = makespan - rs.busy;
+    res->avg_sync += rs.idle;
+    res->max_sync = std::max(res->max_sync, rs.idle);
+    res->messages += rs.messages_sent;
+    res->bytes += rs.bytes_sent;
+  }
+  res->avg_sync /= std::max<rank_t>(1, o.n_ranks);
+  return Status::ok();
+}
+
+Status run_level_set(BlockMatrix& bm, const std::vector<Task>& tasks,
+                     const Mapping& mapping, const SimOptions& o,
+                     SimResult* res) {
+  res->ranks.assign(static_cast<std::size_t>(o.n_ranks), RankStats{});
+  kernels::Workspace ws;
+  kernels::PivotStats pivots;
+
+  // Tasks arrive ordered by k; within a slice, phases are
+  // GETRF -> {GESSM,TSTRF} -> SSSSM with a barrier after each phase.
+  double now = 0;
+  std::vector<double> phase_busy(static_cast<std::size_t>(o.n_ranks));
+  std::size_t ti = 0;
+  const index_t nb = bm.nb();
+  for (index_t k = 0; k < nb && ti < tasks.size(); ++k) {
+    for (int phase = 0; phase < 3; ++phase) {
+      std::fill(phase_busy.begin(), phase_busy.end(), 0.0);
+      std::size_t begin = ti;
+      while (ti < tasks.size() && tasks[ti].k == k) {
+        const TaskKind kind = tasks[ti].kind;
+        const int task_phase = kind == TaskKind::kGetrf ? 0
+                               : kind == TaskKind::kSsssm ? 2
+                                                          : 1;
+        if (task_phase != phase) break;
+        const Task& task = tasks[ti];
+        const rank_t r =
+            mapping.owner[static_cast<std::size_t>(task.target)];
+        TaskPlan p = plan_task(task, bm, o);
+        if (o.execute_numerics) {
+          Status s = run_numerics(task, p, bm, ws, &pivots, o.pivot_tol);
+          if (!s.is_ok()) return s;
+        }
+        // Remote sources must be fetched at phase start: one message per
+        // distinct remote source block (panel: diag; SSSSM: both solves).
+        double comm = 0;
+        auto charge_fetch = [&](nnz_t src) {
+          if (src < 0) return;
+          const rank_t sr = mapping.owner[static_cast<std::size_t>(src)];
+          if (sr == r) return;
+          const Csc& blk = bm.block(src);
+          const std::size_t bytes = block_message_bytes(blk.nnz(), blk.n_cols());
+          comm += o.device.message_time(bytes);
+          auto& ss = res->ranks[static_cast<std::size_t>(sr)];
+          ss.messages_sent++;
+          ss.bytes_sent += bytes;
+        };
+        charge_fetch(task.src_a);
+        if (task.kind == TaskKind::kSsssm) charge_fetch(task.src_b);
+
+        if (o.trace) {
+          const double start =
+              now + phase_busy[static_cast<std::size_t>(r)] + comm;
+          o.trace->record({static_cast<index_t>(ti), task.kind, task.k,
+                           task.bi, task.bj, r, start, start + p.cost});
+        }
+        phase_busy[static_cast<std::size_t>(r)] += p.cost + comm;
+        auto& rs = res->ranks[static_cast<std::size_t>(r)];
+        rs.busy += p.cost;
+        if (task.kind == TaskKind::kSsssm)
+          res->schur_busy += p.cost;
+        else
+          res->panel_busy += p.cost;
+        res->kind_busy[static_cast<int>(task.kind)] += p.cost;
+        res->kind_count[static_cast<int>(task.kind)]++;
+        res->total_flops += task.weight;
+        ++ti;
+      }
+      if (ti == begin && phase != 0) continue;  // empty phase: no barrier
+      double phase_max = 0;
+      for (double b : phase_busy) phase_max = std::max(phase_max, b);
+      // Barrier: everyone waits for the slowest rank.
+      for (rank_t r = 0; r < o.n_ranks; ++r) {
+        res->ranks[static_cast<std::size_t>(r)].idle +=
+            phase_max - phase_busy[static_cast<std::size_t>(r)];
+      }
+      now += phase_max + o.device.barrier_time(o.n_ranks);
+    }
+  }
+  PANGULU_CHECK(ti == tasks.size(), "level-set missed tasks");
+
+  res->makespan = now;
+  res->perturbed_pivots = pivots.perturbed;
+  for (rank_t r = 0; r < o.n_ranks; ++r) {
+    auto& rs = res->ranks[static_cast<std::size_t>(r)];
+    // Include barrier overhead in idle accounting.
+    res->avg_sync += rs.idle;
+    res->max_sync = std::max(res->max_sync, rs.idle);
+    res->messages += rs.messages_sent;
+    res->bytes += rs.bytes_sent;
+  }
+  res->avg_sync /= std::max<rank_t>(1, o.n_ranks);
+  return Status::ok();
+}
+
+}  // namespace
+
+Status simulate_factorization(BlockMatrix& bm, const std::vector<Task>& tasks,
+                              const Mapping& mapping, const SimOptions& opts,
+                              SimResult* result) {
+  *result = SimResult{};
+  if (opts.n_ranks < 1)
+    return Status::invalid_argument("n_ranks must be >= 1");
+  if (mapping.n_ranks != opts.n_ranks)
+    return Status::invalid_argument("mapping rank count mismatch");
+  if (opts.schedule == ScheduleMode::kSyncFree)
+    return run_sync_free(bm, tasks, mapping, opts, result);
+  return run_level_set(bm, tasks, mapping, opts, result);
+}
+
+}  // namespace pangulu::runtime

@@ -1,0 +1,178 @@
+#include "runtime/threaded.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "kernels/getrf.hpp"
+#include "kernels/gessm.hpp"
+#include "kernels/selector.hpp"
+#include "kernels/ssssm.hpp"
+#include "kernels/tstrf.hpp"
+
+namespace pangulu::runtime {
+
+namespace {
+
+using block::BlockMatrix;
+using block::Task;
+using block::TaskKind;
+
+struct RankQueue {
+  std::mutex mu;
+  std::condition_variable cv;
+  // Priority: smallest elimination step first.
+  std::priority_queue<std::pair<index_t, index_t>,
+                      std::vector<std::pair<index_t, index_t>>,
+                      std::greater<>>
+      q;  // (k, task index)
+};
+
+}  // namespace
+
+Status threaded_factorize(BlockMatrix& bm, const std::vector<Task>& tasks,
+                          const block::Mapping& mapping,
+                          const ThreadedOptions& opts) {
+  const auto nt = static_cast<index_t>(tasks.size());
+  const rank_t nr = opts.n_ranks;
+  if (mapping.n_ranks != nr)
+    return Status::invalid_argument("mapping rank count mismatch");
+
+  // Dependency graph (same construction as the DES, but with atomics).
+  std::vector<index_t> finalizer(static_cast<std::size_t>(bm.n_blocks()), -1);
+  for (index_t t = 0; t < nt; ++t) {
+    if (tasks[static_cast<std::size_t>(t)].kind != TaskKind::kSsssm)
+      finalizer[static_cast<std::size_t>(
+          tasks[static_cast<std::size_t>(t)].target)] = t;
+  }
+  std::vector<std::vector<index_t>> out(static_cast<std::size_t>(nt));
+  std::vector<std::atomic<index_t>> dep(static_cast<std::size_t>(nt));
+  for (auto& d : dep) d.store(0, std::memory_order_relaxed);
+  for (index_t t = 0; t < nt; ++t) {
+    const Task& task = tasks[static_cast<std::size_t>(t)];
+    switch (task.kind) {
+      case TaskKind::kGetrf:
+        break;
+      case TaskKind::kGessm:
+      case TaskKind::kTstrf: {
+        index_t f = finalizer[static_cast<std::size_t>(task.src_a)];
+        out[static_cast<std::size_t>(f)].push_back(t);
+        dep[static_cast<std::size_t>(t)].fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+      case TaskKind::kSsssm: {
+        index_t fa = finalizer[static_cast<std::size_t>(task.src_a)];
+        index_t fb = finalizer[static_cast<std::size_t>(task.src_b)];
+        out[static_cast<std::size_t>(fa)].push_back(t);
+        out[static_cast<std::size_t>(fb)].push_back(t);
+        dep[static_cast<std::size_t>(t)].fetch_add(2, std::memory_order_relaxed);
+        index_t fin = finalizer[static_cast<std::size_t>(task.target)];
+        out[static_cast<std::size_t>(t)].push_back(fin);
+        dep[static_cast<std::size_t>(fin)].fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+    }
+  }
+
+  std::vector<RankQueue> queues(static_cast<std::size_t>(nr));
+  std::atomic<index_t> remaining{nt};
+  std::atomic<bool> failed{false};
+
+  auto owner_of = [&](index_t t) {
+    return mapping.owner[static_cast<std::size_t>(
+        tasks[static_cast<std::size_t>(t)].target)];
+  };
+  auto enqueue = [&](index_t t) {
+    const rank_t r = owner_of(t);
+    RankQueue& rq = queues[static_cast<std::size_t>(r)];
+    {
+      std::lock_guard<std::mutex> lk(rq.mu);
+      rq.q.push({tasks[static_cast<std::size_t>(t)].k, t});
+    }
+    rq.cv.notify_one();
+  };
+  for (index_t t = 0; t < nt; ++t) {
+    if (dep[static_cast<std::size_t>(t)].load(std::memory_order_relaxed) == 0)
+      enqueue(t);
+  }
+
+  auto rank_main = [&](rank_t r) {
+    kernels::Workspace ws;
+    kernels::PivotStats pivots;
+    RankQueue& rq = queues[static_cast<std::size_t>(r)];
+    for (;;) {
+      index_t t = -1;
+      {
+        std::unique_lock<std::mutex> lk(rq.mu);
+        rq.cv.wait(lk, [&] {
+          return !rq.q.empty() ||
+                 remaining.load(std::memory_order_acquire) == 0 ||
+                 failed.load(std::memory_order_acquire);
+        });
+        if (rq.q.empty()) return;  // done or failed
+        t = rq.q.top().second;
+        rq.q.pop();
+      }
+      const Task& task = tasks[static_cast<std::size_t>(t)];
+      Status s = Status::ok();
+      switch (task.kind) {
+        case TaskKind::kGetrf: {
+          kernels::GetrfOptions go;
+          go.pivot_tol = opts.pivot_tol;
+          s = kernels::getrf(kernels::select_getrf(bm.block(task.target).nnz()),
+                             bm.block(task.target), ws, &pivots, go, nullptr);
+          break;
+        }
+        case TaskKind::kGessm:
+          s = kernels::gessm(
+              kernels::select_gessm(bm.block(task.target).nnz(),
+                                    bm.block(task.src_a).nnz()),
+              bm.block(task.src_a), bm.block(task.target), ws, nullptr);
+          break;
+        case TaskKind::kTstrf:
+          s = kernels::tstrf(
+              kernels::select_tstrf(bm.block(task.target).nnz(),
+                                    bm.block(task.src_a).nnz()),
+              bm.block(task.src_a), bm.block(task.target), ws, nullptr);
+          break;
+        case TaskKind::kSsssm:
+          s = kernels::ssssm(kernels::select_ssssm(task.weight),
+                             bm.block(task.src_a), bm.block(task.src_b),
+                             bm.block(task.target), ws, nullptr);
+          break;
+      }
+      if (!s.is_ok()) {
+        failed.store(true, std::memory_order_release);
+        for (auto& q : queues) q.cv.notify_all();
+        return;
+      }
+      // Release dependents (this is the "send the sub-matrix block and
+      // update the sync-free array" step — in shared memory the block is
+      // already visible; the release fence of fetch_sub publishes it).
+      for (index_t d : out[static_cast<std::size_t>(t)]) {
+        if (dep[static_cast<std::size_t>(d)].fetch_sub(
+                1, std::memory_order_acq_rel) == 1) {
+          enqueue(d);
+        }
+      }
+      if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        for (auto& q : queues) q.cv.notify_all();
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nr));
+  for (rank_t r = 0; r < nr; ++r) threads.emplace_back(rank_main, r);
+  for (auto& th : threads) th.join();
+
+  if (failed.load()) return Status::numerical_error("threaded factorise failed");
+  if (remaining.load() != 0) return Status::internal("threaded executor stalled");
+  return Status::ok();
+}
+
+}  // namespace pangulu::runtime

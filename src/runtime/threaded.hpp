@@ -1,0 +1,26 @@
+// Real-concurrency backend of the synchronisation-free scheduler: every
+// simulated rank is an actual thread with its own mailbox/ready-queue, and
+// dependency release happens through the shared sync-free counters — the
+// same discipline the DES models, demonstrably running in parallel. Used by
+// tests to show the sync-free algorithm is correct under true concurrency
+// (the DES covers timing; this covers interleaving).
+#pragma once
+
+#include "block/mapping.hpp"
+#include "block/tasks.hpp"
+#include "util/status.hpp"
+
+namespace pangulu::runtime {
+
+struct ThreadedOptions {
+  rank_t n_ranks = 2;
+  value_t pivot_tol = 1e-14;
+};
+
+/// Factorise `bm` in place using `n_ranks` concurrent rank-threads.
+Status threaded_factorize(block::BlockMatrix& bm,
+                          const std::vector<block::Task>& tasks,
+                          const block::Mapping& mapping,
+                          const ThreadedOptions& opts);
+
+}  // namespace pangulu::runtime

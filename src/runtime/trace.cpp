@@ -1,0 +1,32 @@
+#include "runtime/trace.hpp"
+
+#include <ostream>
+
+namespace pangulu::runtime {
+
+std::string to_string(block::TaskKind kind) {
+  switch (kind) {
+    case block::TaskKind::kGetrf: return "GETRF";
+    case block::TaskKind::kGessm: return "GESSM";
+    case block::TaskKind::kTstrf: return "TSTRF";
+    case block::TaskKind::kSsssm: return "SSSSM";
+  }
+  return "?";
+}
+
+void TraceRecorder::write_chrome_trace(std::ostream& os) const {
+  os << "[";
+  bool first = true;
+  for (const auto& ev : events_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n  {\"name\": \"" << to_string(ev.kind) << " k=" << ev.k << " ("
+       << ev.bi << "," << ev.bj << ")\", \"cat\": \"" << to_string(ev.kind)
+       << "\", \"ph\": \"X\", \"pid\": 0, \"tid\": " << ev.rank
+       << ", \"ts\": " << ev.start * 1e6
+       << ", \"dur\": " << (ev.end - ev.start) * 1e6 << "}";
+  }
+  os << "\n]\n";
+}
+
+}  // namespace pangulu::runtime

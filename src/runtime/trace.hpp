@@ -1,0 +1,43 @@
+// Execution tracing for the simulated cluster. When a TraceRecorder is
+// attached to SimOptions, every task's (rank, virtual start, virtual end)
+// is recorded; the trace can be dumped in the Chrome tracing JSON format
+// (chrome://tracing, Perfetto) to inspect schedules visually — the tool we
+// used to validate the sync-free scheduler against the level-set one.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "block/tasks.hpp"
+#include "util/types.hpp"
+
+namespace pangulu::runtime {
+
+struct TraceEvent {
+  index_t task_index;       // position in the task vector
+  block::TaskKind kind;
+  index_t k;                // elimination step
+  index_t bi, bj;           // target block coordinates
+  rank_t rank;
+  double start;             // virtual seconds
+  double end;
+};
+
+class TraceRecorder {
+ public:
+  void clear() { events_.clear(); }
+  void record(TraceEvent ev) { events_.push_back(ev); }
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+  /// Write the trace as a Chrome tracing "traceEvents" JSON array. Times are
+  /// emitted in microseconds (the format's unit).
+  void write_chrome_trace(std::ostream& os) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+std::string to_string(block::TaskKind kind);
+
+}  // namespace pangulu::runtime

@@ -1,0 +1,251 @@
+#include "runtime/trsv_sim.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <tuple>
+#include <vector>
+
+namespace pangulu::runtime {
+
+namespace {
+
+using block::BlockMatrix;
+
+/// seg_y -= Block * seg_x.
+void spmv_sub(const Csc& blk, const value_t* x, value_t* y) {
+  for (index_t j = 0; j < blk.n_cols(); ++j) {
+    const value_t xj = x[j];
+    if (xj == value_t(0)) continue;
+    for (nnz_t p = blk.col_begin(j); p < blk.col_end(j); ++p)
+      y[blk.row_idx()[static_cast<std::size_t>(p)]] -=
+          blk.values()[static_cast<std::size_t>(p)] * xj;
+  }
+}
+
+void diag_solve(const Csc& d, bool lower, value_t* x) {
+  if (lower) {
+    for (index_t j = 0; j < d.n_cols(); ++j) {
+      const value_t xj = x[j];  // unit diagonal
+      if (xj == value_t(0)) continue;
+      for (nnz_t p = d.col_begin(j); p < d.col_end(j); ++p) {
+        const index_t r = d.row_idx()[static_cast<std::size_t>(p)];
+        if (r > j) x[r] -= d.values()[static_cast<std::size_t>(p)] * xj;
+      }
+    }
+  } else {
+    for (index_t j = d.n_cols() - 1; j >= 0; --j) {
+      value_t djj = 0;
+      nnz_t dp = -1;
+      for (nnz_t p = d.col_begin(j); p < d.col_end(j); ++p) {
+        if (d.row_idx()[static_cast<std::size_t>(p)] == j) {
+          djj = d.values()[static_cast<std::size_t>(p)];
+          dp = p;
+          break;
+        }
+      }
+      PANGULU_CHECK(dp >= 0 && djj != value_t(0), "trsv: bad diagonal");
+      x[j] /= djj;
+      const value_t xj = x[j];
+      if (xj == value_t(0)) continue;
+      for (nnz_t p = d.col_begin(j); p < dp; ++p)
+        x[d.row_idx()[static_cast<std::size_t>(p)]] -=
+            d.values()[static_cast<std::size_t>(p)] * xj;
+    }
+  }
+}
+
+struct Event {
+  double time;
+  index_t seq;
+  index_t task;  // >=0: task ready; -1: rank wake
+  rank_t rank;
+  bool operator>(const Event& o) const {
+    return std::tie(time, seq) > std::tie(o.time, o.seq);
+  }
+};
+
+}  // namespace
+
+Status simulate_trsv(const BlockMatrix& f, const block::Mapping& mapping,
+                     bool lower, std::span<value_t> x, const TrsvOptions& opts,
+                     SimResult* result) {
+  *result = SimResult{};
+  const index_t nb = f.nb();
+  if (static_cast<index_t>(x.size()) != f.grid().n)
+    return Status::invalid_argument("trsv: vector size mismatch");
+  if (mapping.n_ranks != opts.n_ranks)
+    return Status::invalid_argument("trsv: mapping rank count mismatch");
+
+  // Task list: one diag solve per segment, one update per off-diagonal block
+  // on the relevant triangle. Task ids: [0, nb) diag solves; then updates.
+  struct Update {
+    nnz_t block_pos;
+    index_t src_seg;  // segment whose solved values the update consumes
+    index_t dst_seg;  // segment it accumulates into
+  };
+  std::vector<Update> updates;
+  std::vector<index_t> pending(static_cast<std::size_t>(nb), 0);
+  std::vector<std::vector<index_t>> updates_from(
+      static_cast<std::size_t>(nb));  // diag solve -> update task ids
+  for (index_t bj = 0; bj < nb; ++bj) {
+    for (nnz_t p = f.col_begin(bj); p < f.col_end(bj); ++p) {
+      const index_t bi = f.block_row(p);
+      if (lower ? bi > bj : bi < bj) {
+        // lower: block L(bi,bj) maps y_bj into segment bi.
+        // upper: block U(bi,bj) maps x_bj into segment bi.
+        const auto id = static_cast<index_t>(updates.size());
+        updates.push_back({p, bj, bi});
+        pending[static_cast<std::size_t>(bi)]++;
+        updates_from[static_cast<std::size_t>(bj)].push_back(id);
+      }
+    }
+  }
+  const auto n_updates = static_cast<index_t>(updates.size());
+  const index_t n_tasks = nb + n_updates;
+
+  // Owners: diag solve runs with the diagonal block; an update runs with its
+  // block's owner.
+  std::vector<rank_t> owner(static_cast<std::size_t>(n_tasks));
+  std::vector<nnz_t> diag_pos(static_cast<std::size_t>(nb));
+  for (index_t k = 0; k < nb; ++k) {
+    const nnz_t dp = f.find_block(k, k);
+    PANGULU_CHECK(dp >= 0, "trsv: missing diagonal block");
+    diag_pos[static_cast<std::size_t>(k)] = dp;
+    owner[static_cast<std::size_t>(k)] =
+        mapping.owner[static_cast<std::size_t>(dp)];
+  }
+  for (index_t u = 0; u < n_updates; ++u) {
+    owner[static_cast<std::size_t>(nb + u)] = mapping.owner[
+        static_cast<std::size_t>(updates[static_cast<std::size_t>(u)].block_pos)];
+  }
+
+  // dep counts: diag solve waits for its pending updates; an update waits
+  // for its source segment's diag solve.
+  std::vector<index_t> dep(static_cast<std::size_t>(n_tasks));
+  for (index_t k = 0; k < nb; ++k)
+    dep[static_cast<std::size_t>(k)] = pending[static_cast<std::size_t>(k)];
+  for (index_t u = 0; u < n_updates; ++u)
+    dep[static_cast<std::size_t>(nb + u)] = 1;
+
+  result->ranks.assign(static_cast<std::size_t>(opts.n_ranks), RankStats{});
+  std::vector<double> busy_until(static_cast<std::size_t>(opts.n_ranks), 0.0);
+  std::vector<double> ready_time(static_cast<std::size_t>(n_tasks), 0.0);
+
+  // Per-rank ready queues: diag solves first (they unlock the most), then
+  // updates in segment order — for the lower solve that is ascending; for
+  // the upper solve descending segments are more critical.
+  auto priority_less = [&](index_t a, index_t b) {
+    auto key = [&](index_t t) {
+      index_t seg = t < nb ? t : updates[static_cast<std::size_t>(t - nb)].dst_seg;
+      index_t crit = lower ? seg : nb - 1 - seg;
+      return std::tuple<index_t, index_t, index_t>(crit, t < nb ? 0 : 1, t);
+    };
+    return key(a) > key(b);
+  };
+  std::vector<std::priority_queue<index_t, std::vector<index_t>,
+                                  decltype(priority_less)>>
+      ready;
+  for (rank_t r = 0; r < opts.n_ranks; ++r) ready.emplace_back(priority_less);
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events;
+  index_t seq = 0;
+  for (index_t t = 0; t < n_tasks; ++t) {
+    if (dep[static_cast<std::size_t>(t)] == 0) events.push({0.0, seq++, t, 0});
+  }
+
+  const auto& grid = f.grid();
+  double makespan = 0;
+  index_t completed = 0;
+
+  auto seg_bytes = [&](index_t seg) {
+    return static_cast<std::size_t>(grid.block_dim(seg)) * sizeof(value_t);
+  };
+
+  auto start_one = [&](rank_t r, double now) {
+    auto& q = ready[static_cast<std::size_t>(r)];
+    if (q.empty()) return;
+    const index_t t = q.top();
+    q.pop();
+
+    double cost = 0;
+    if (t < nb) {
+      // Diagonal solve of segment t.
+      const Csc& d = f.block(diag_pos[static_cast<std::size_t>(t)]);
+      cost = opts.device.sparse_kernel_time(
+          /*gpu=*/true, /*direct=*/false, 2.0 * static_cast<double>(d.nnz()),
+          static_cast<double>(d.nnz()), grid.block_dim(t));
+      if (opts.execute_numerics)
+        diag_solve(d, lower, x.data() + grid.block_start(t));
+    } else {
+      const Update& u = updates[static_cast<std::size_t>(t - nb)];
+      const Csc& blk = f.block(u.block_pos);
+      cost = opts.device.sparse_kernel_time(
+          true, false, 2.0 * static_cast<double>(blk.nnz()),
+          static_cast<double>(blk.nnz()), grid.block_dim(u.dst_seg));
+      if (opts.execute_numerics) {
+        spmv_sub(blk, x.data() + grid.block_start(u.src_seg),
+                 x.data() + grid.block_start(u.dst_seg));
+      }
+    }
+    const double fin = now + cost;
+    busy_until[static_cast<std::size_t>(r)] = fin;
+    makespan = std::max(makespan, fin);
+    auto& rs = result->ranks[static_cast<std::size_t>(r)];
+    rs.busy += cost;
+    result->total_flops += cost;  // placeholder: flops tracked via cost inputs
+    ++completed;
+
+    // Release dependents.
+    auto release = [&](index_t d_task, std::size_t msg_bytes) {
+      const rank_t dr = owner[static_cast<std::size_t>(d_task)];
+      double arrive = fin;
+      if (dr != r) {
+        arrive += opts.device.message_time(msg_bytes);
+        rs.messages_sent++;
+        rs.bytes_sent += msg_bytes;
+      }
+      auto& rd = ready_time[static_cast<std::size_t>(d_task)];
+      rd = std::max(rd, arrive);
+      if (--dep[static_cast<std::size_t>(d_task)] == 0)
+        events.push({rd, seq++, d_task, 0});
+    };
+    if (t < nb) {
+      for (index_t u : updates_from[static_cast<std::size_t>(t)])
+        release(nb + u, seg_bytes(t));
+    } else {
+      const Update& u = updates[static_cast<std::size_t>(t - nb)];
+      release(u.dst_seg, seg_bytes(u.dst_seg));
+    }
+    events.push({fin, seq++, -1, r});
+  };
+
+  while (!events.empty()) {
+    Event ev = events.top();
+    events.pop();
+    rank_t r;
+    if (ev.task >= 0) {
+      r = owner[static_cast<std::size_t>(ev.task)];
+      ready[static_cast<std::size_t>(r)].push(ev.task);
+    } else {
+      r = ev.rank;
+    }
+    if (busy_until[static_cast<std::size_t>(r)] > ev.time + 1e-30) continue;
+    start_one(r, ev.time);
+  }
+  PANGULU_CHECK(completed == n_tasks, "trsv DES deadlocked");
+
+  result->makespan = makespan;
+  result->total_flops = 0;  // not meaningful for trsv; callers use makespan
+  for (rank_t r = 0; r < opts.n_ranks; ++r) {
+    auto& rs = result->ranks[static_cast<std::size_t>(r)];
+    rs.idle = makespan - rs.busy;
+    result->avg_sync += rs.idle;
+    result->max_sync = std::max(result->max_sync, rs.idle);
+    result->messages += rs.messages_sent;
+    result->bytes += rs.bytes_sent;
+  }
+  result->avg_sync /= std::max<rank_t>(1, opts.n_ranks);
+  return Status::ok();
+}
+
+}  // namespace pangulu::runtime

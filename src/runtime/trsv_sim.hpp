@@ -1,0 +1,32 @@
+// Distributed block sparse triangular solve (step 5 of the pipeline, §4.1)
+// on the simulated cluster. Like the factorisation DES, the numerics execute
+// for real on the host while ranks accrue virtual time; scheduling is
+// synchronisation-free in the style of Liu et al. [58]: a per-segment
+// counter of outstanding updates releases the diagonal solve the moment the
+// last update lands, with no level barriers.
+#pragma once
+
+#include <span>
+
+#include "block/layout.hpp"
+#include "block/mapping.hpp"
+#include "runtime/sim.hpp"
+#include "util/status.hpp"
+
+namespace pangulu::runtime {
+
+struct TrsvOptions {
+  DeviceModel device = DeviceModel::a100_like();
+  rank_t n_ranks = 1;
+  bool execute_numerics = true;
+};
+
+/// Solve L y = x (forward, `lower`=true, unit diagonal from the factorised
+/// diagonal blocks) or U x = y (backward) in place on `x`, where `f` holds
+/// the LU factors in block form. `mapping` assigns block owners; vector
+/// segments live with their diagonal block's owner.
+Status simulate_trsv(const block::BlockMatrix& f, const block::Mapping& mapping,
+                     bool lower, std::span<value_t> x, const TrsvOptions& opts,
+                     SimResult* result);
+
+}  // namespace pangulu::runtime

@@ -1,0 +1,493 @@
+#include "solver/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "runtime/trsv_sim.hpp"
+#include "sparse/ops.hpp"
+#include "util/timer.hpp"
+
+namespace pangulu::solver {
+
+namespace {
+
+/// y_segment -= Block * x_segment (sparse block SpMV accumulate).
+void block_spmv_sub(const Csc& blk, const value_t* x, value_t* y) {
+  for (index_t j = 0; j < blk.n_cols(); ++j) {
+    const value_t xj = x[j];
+    if (xj == value_t(0)) continue;
+    for (nnz_t p = blk.col_begin(j); p < blk.col_end(j); ++p) {
+      y[blk.row_idx()[static_cast<std::size_t>(p)]] -=
+          blk.values()[static_cast<std::size_t>(p)] * xj;
+    }
+  }
+}
+
+/// In-block forward solve with the unit-lower part of a factorised diagonal
+/// block (strictly-lower entries are L; diagonal is implicit 1).
+void diag_lower_solve(const Csc& d, value_t* x) {
+  for (index_t j = 0; j < d.n_cols(); ++j) {
+    const value_t xj = x[j];
+    if (xj == value_t(0)) continue;
+    for (nnz_t p = d.col_begin(j); p < d.col_end(j); ++p) {
+      const index_t r = d.row_idx()[static_cast<std::size_t>(p)];
+      if (r > j) x[r] -= d.values()[static_cast<std::size_t>(p)] * xj;
+    }
+  }
+}
+
+/// In-block backward solve with the upper part (diagonal included).
+void diag_upper_solve(const Csc& d, value_t* x) {
+  for (index_t j = d.n_cols() - 1; j >= 0; --j) {
+    // Find the diagonal; entries above it are the U column.
+    value_t djj = value_t(0);
+    nnz_t diag_pos = -1;
+    for (nnz_t p = d.col_begin(j); p < d.col_end(j); ++p) {
+      if (d.row_idx()[static_cast<std::size_t>(p)] == j) {
+        djj = d.values()[static_cast<std::size_t>(p)];
+        diag_pos = p;
+        break;
+      }
+    }
+    PANGULU_CHECK(diag_pos >= 0 && djj != value_t(0),
+                  "upper solve: missing/zero diagonal");
+    x[j] /= djj;
+    const value_t xj = x[j];
+    if (xj == value_t(0)) continue;
+    for (nnz_t p = d.col_begin(j); p < diag_pos; ++p) {
+      x[d.row_idx()[static_cast<std::size_t>(p)]] -=
+          d.values()[static_cast<std::size_t>(p)] * xj;
+    }
+  }
+}
+
+}  // namespace
+
+void block_lower_solve(const block::BlockMatrix& f, std::span<value_t> x) {
+  const auto& grid = f.grid();
+  for (index_t bk = 0; bk < f.nb(); ++bk) {
+    value_t* seg = x.data() + grid.block_start(bk);
+    // Subtract contributions of already-solved block columns to the left.
+    for (nnz_t rp = f.row_begin(bk); rp < f.row_end(bk); ++rp) {
+      const index_t bj = f.row_block_col(rp);
+      if (bj >= bk) continue;
+      block_spmv_sub(f.block(f.row_block_pos(rp)),
+                     x.data() + grid.block_start(bj), seg);
+    }
+    const nnz_t diag = f.find_block(bk, bk);
+    PANGULU_CHECK(diag >= 0, "missing diagonal block");
+    diag_lower_solve(f.block(diag), seg);
+  }
+}
+
+void block_upper_solve(const block::BlockMatrix& f, std::span<value_t> x) {
+  const auto& grid = f.grid();
+  for (index_t bk = f.nb() - 1; bk >= 0; --bk) {
+    value_t* seg = x.data() + grid.block_start(bk);
+    for (nnz_t rp = f.row_begin(bk); rp < f.row_end(bk); ++rp) {
+      const index_t bj = f.row_block_col(rp);
+      if (bj <= bk) continue;
+      block_spmv_sub(f.block(f.row_block_pos(rp)),
+                     x.data() + grid.block_start(bj), seg);
+    }
+    const nnz_t diag = f.find_block(bk, bk);
+    PANGULU_CHECK(diag >= 0, "missing diagonal block");
+    diag_upper_solve(f.block(diag), seg);
+  }
+}
+
+namespace {
+
+/// y_segment -= Block^T * x_segment: for each column j of the block, the
+/// dot product of the column with x lands in y[j].
+void block_spmv_t_sub(const Csc& blk, const value_t* x, value_t* y) {
+  for (index_t j = 0; j < blk.n_cols(); ++j) {
+    value_t acc = 0;
+    for (nnz_t p = blk.col_begin(j); p < blk.col_end(j); ++p) {
+      acc += blk.values()[static_cast<std::size_t>(p)] *
+             x[blk.row_idx()[static_cast<std::size_t>(p)]];
+    }
+    y[j] -= acc;
+  }
+}
+
+/// In-block solve of U^T y = z (U^T is lower-triangular): ascending j,
+/// x[j] = (z[j] - U(:<j, j) . x) / U(j,j) — one CSC column dot per unknown.
+void diag_upper_transpose_solve(const Csc& d, value_t* x) {
+  for (index_t j = 0; j < d.n_cols(); ++j) {
+    value_t acc = 0;
+    value_t djj = 0;
+    for (nnz_t p = d.col_begin(j); p < d.col_end(j); ++p) {
+      const index_t r = d.row_idx()[static_cast<std::size_t>(p)];
+      if (r < j)
+        acc += d.values()[static_cast<std::size_t>(p)] * x[r];
+      else if (r == j)
+        djj = d.values()[static_cast<std::size_t>(p)];
+    }
+    PANGULU_CHECK(djj != value_t(0), "transpose solve: zero diagonal");
+    x[j] = (x[j] - acc) / djj;
+  }
+}
+
+/// In-block solve of L^T w = y (L^T upper, unit diagonal): descending j,
+/// x[j] -= L(>j, j) . x.
+void diag_lower_transpose_solve(const Csc& d, value_t* x) {
+  for (index_t j = d.n_cols() - 1; j >= 0; --j) {
+    value_t acc = 0;
+    for (nnz_t p = d.col_begin(j); p < d.col_end(j); ++p) {
+      const index_t r = d.row_idx()[static_cast<std::size_t>(p)];
+      if (r > j) acc += d.values()[static_cast<std::size_t>(p)] * x[r];
+    }
+    x[j] -= acc;
+  }
+}
+
+}  // namespace
+
+void block_upper_transpose_solve(const block::BlockMatrix& f,
+                                 std::span<value_t> x) {
+  const auto& grid = f.grid();
+  // U^T is lower triangular: forward sweep. The blocks of U^T's block-row
+  // bk are the transposes of U's block-column bk (block rows bj < bk).
+  for (index_t bk = 0; bk < f.nb(); ++bk) {
+    value_t* seg = x.data() + grid.block_start(bk);
+    for (nnz_t p = f.col_begin(bk); p < f.col_end(bk); ++p) {
+      const index_t bj = f.block_row(p);
+      if (bj >= bk) continue;
+      block_spmv_t_sub(f.block(p), x.data() + grid.block_start(bj), seg);
+    }
+    const nnz_t diag = f.find_block(bk, bk);
+    PANGULU_CHECK(diag >= 0, "missing diagonal block");
+    diag_upper_transpose_solve(f.block(diag), seg);
+  }
+}
+
+void block_lower_transpose_solve(const block::BlockMatrix& f,
+                                 std::span<value_t> x) {
+  const auto& grid = f.grid();
+  // L^T is upper triangular: backward sweep over block-columns of L.
+  for (index_t bk = f.nb() - 1; bk >= 0; --bk) {
+    value_t* seg = x.data() + grid.block_start(bk);
+    for (nnz_t p = f.col_begin(bk); p < f.col_end(bk); ++p) {
+      const index_t bi = f.block_row(p);
+      if (bi <= bk) continue;
+      block_spmv_t_sub(f.block(p), x.data() + grid.block_start(bi), seg);
+    }
+    const nnz_t diag = f.find_block(bk, bk);
+    PANGULU_CHECK(diag >= 0, "missing diagonal block");
+    diag_lower_transpose_solve(f.block(diag), seg);
+  }
+}
+
+Status Solver::factorize(const Csc& a, const Options& opts) {
+  if (a.n_rows() != a.n_cols())
+    return Status::invalid_argument("factorize: square matrices only");
+  opts_ = opts;
+  original_ = a;
+  factorized_ = false;
+  stats_ = FactorStats{};
+  stats_.n = a.n_cols();
+  stats_.nnz_a = a.nnz();
+
+  Timer timer;
+  // (1) Reordering: MC64 stability + fill-reducing symmetric permutation.
+  Status s = ordering::reorder(a, opts.reorder, &reorder_);
+  if (!s.is_ok()) return s;
+  stats_.reorder_seconds = timer.seconds();
+
+  // (2) Symbolic factorisation with symmetric pruning.
+  timer.reset();
+  s = symbolic::symbolic_symmetric(reorder_.permuted, &symbolic_);
+  if (!s.is_ok()) return s;
+  stats_.symbolic_seconds = timer.seconds();
+  stats_.nnz_lu = symbolic_.nnz_lu;
+  stats_.flops = symbolic::factorization_flops(symbolic_.filled);
+
+  // (3) Preprocessing: regular 2D blocking, cyclic mapping, balancing.
+  timer.reset();
+  const index_t bs = opts.block_size > 0
+                         ? opts.block_size
+                         : block::choose_block_size(stats_.n, stats_.nnz_lu);
+  stats_.block_size = bs;
+  factors_ = block::BlockMatrix::from_filled(symbolic_.filled, bs);
+  stats_.nb = factors_.nb();
+  tasks_ = block::enumerate_tasks(factors_);
+  stats_.n_tasks = tasks_.size();
+  const auto grid = block::ProcessGrid::make(opts.n_ranks);
+  mapping_ = block::cyclic_mapping(factors_, grid);
+  if (opts.balance)
+    mapping_ = block::balanced_mapping(factors_, tasks_, grid, mapping_,
+                                       &stats_.balance);
+  stats_.preprocess_seconds = timer.seconds();
+
+  // (4) Numeric factorisation on the simulated cluster (real numerics).
+  s = run_numeric_phase();
+  if (!s.is_ok()) return s;
+  factorized_ = true;
+  return Status::ok();
+}
+
+Status Solver::run_numeric_phase() {
+  Timer timer;
+  runtime::SimOptions so;
+  so.device = opts_.device;
+  so.n_ranks = opts_.n_ranks;
+  so.policy = opts_.policy;
+  so.schedule = opts_.schedule;
+  so.execute_numerics = true;
+  so.thresholds = opts_.thresholds;
+  so.pivot_tol = opts_.pivot_tol;
+  Status s =
+      runtime::simulate_factorization(factors_, tasks_, mapping_, so, &stats_.sim);
+  stats_.numeric_wall_seconds = timer.seconds();
+  return s;
+}
+
+Status Solver::refactorize(const Csc& a) {
+  if (!factorized_)
+    return Status::failed_precondition("refactorize: factorize() first");
+  if (a.n_rows() != stats_.n || a.n_cols() != stats_.n)
+    return Status::invalid_argument("refactorize: shape mismatch");
+  // The pattern must match the analysed one exactly (same col_ptr/row_idx).
+  if (!std::equal(a.col_ptr().begin(), a.col_ptr().end(),
+                  original_.col_ptr().begin(), original_.col_ptr().end()) ||
+      !std::equal(a.row_idx().begin(), a.row_idx().end(),
+                  original_.row_idx().begin(), original_.row_idx().end())) {
+    return Status::failed_precondition(
+        "refactorize: sparsity pattern differs from the analysed matrix");
+  }
+  original_ = a;
+
+  // Re-apply the frozen scaling + permutations to the new values and scatter
+  // them into the (unchanged) filled pattern.
+  Csc work = a;
+  work.scale(reorder_.row_scale, reorder_.col_scale);
+  reorder_.permuted = work.permuted(reorder_.row_perm, reorder_.col_perm);
+  Csc filled = symbolic_.filled.pattern_copy();
+  const Csc& ap = reorder_.permuted;
+  for (index_t j = 0; j < ap.n_cols(); ++j) {
+    for (nnz_t p = ap.col_begin(j); p < ap.col_end(j); ++p) {
+      const nnz_t q = filled.find(ap.row_idx()[static_cast<std::size_t>(p)], j);
+      PANGULU_CHECK(q >= 0, "refactorize: entry outside filled pattern");
+      filled.values_mut()[static_cast<std::size_t>(q)] =
+          ap.values()[static_cast<std::size_t>(p)];
+    }
+  }
+  symbolic_.filled = std::move(filled);
+  // Same pattern -> identical block positions: tasks_ and mapping_ stay valid.
+  factors_ = block::BlockMatrix::from_filled(symbolic_.filled, stats_.block_size);
+  return run_numeric_phase();
+}
+
+Status Solver::solve(std::span<const value_t> b, std::span<value_t> x,
+                     SolveStats* solve_stats) const {
+  if (!factorized_) return Status::failed_precondition("factorize() first");
+  const index_t n = stats_.n;
+  if (static_cast<index_t>(b.size()) != n || static_cast<index_t>(x.size()) != n)
+    return Status::invalid_argument("solve: size mismatch");
+
+  // One direct solve pass: permute/scale rhs, two triangular solves,
+  // unpermute/scale solution.
+  std::vector<value_t> z(static_cast<std::size_t>(n));
+  auto direct_pass = [&](std::span<const value_t> rhs,
+                         std::span<value_t> sol) {
+    // bp(row_perm[r]) = row_scale[r] * rhs(r)
+    for (index_t r = 0; r < n; ++r) {
+      z[static_cast<std::size_t>(reorder_.row_perm[static_cast<std::size_t>(r)])] =
+          reorder_.row_scale[static_cast<std::size_t>(r)] *
+          rhs[static_cast<std::size_t>(r)];
+    }
+    block_lower_solve(factors_, z);
+    block_upper_solve(factors_, z);
+    // x(c) = col_scale[c] * z(col_perm[c])
+    for (index_t c = 0; c < n; ++c) {
+      sol[static_cast<std::size_t>(c)] =
+          reorder_.col_scale[static_cast<std::size_t>(c)] *
+          z[static_cast<std::size_t>(reorder_.col_perm[static_cast<std::size_t>(c)])];
+    }
+  };
+
+  direct_pass(b, x);
+
+  // Iterative refinement against the original matrix recovers the digits a
+  // perturbed pivot may have cost (the GESP recipe).
+  std::vector<value_t> r(static_cast<std::size_t>(n));
+  std::vector<value_t> ax(static_cast<std::size_t>(n));
+  std::vector<value_t> dx(static_cast<std::size_t>(n));
+  int iterations = 0;
+  value_t last_residual = 0;
+  for (int it = 0; it <= opts_.refine_iters; ++it) {
+    original_.spmv(x, ax);
+    for (index_t i = 0; i < n; ++i)
+      r[static_cast<std::size_t>(i)] =
+          b[static_cast<std::size_t>(i)] - ax[static_cast<std::size_t>(i)];
+    const value_t rn = norm_inf(r);
+    const value_t scale =
+        std::max<value_t>(norm1(original_) * norm_inf(x) + norm_inf(b), 1);
+    last_residual = rn / scale;
+    if (it == opts_.refine_iters || last_residual <= 1e-16) break;
+    direct_pass(r, dx);
+    for (index_t i = 0; i < n; ++i)
+      x[static_cast<std::size_t>(i)] += dx[static_cast<std::size_t>(i)];
+    ++iterations;
+  }
+  if (solve_stats) {
+    solve_stats->refine_iterations = iterations;
+    solve_stats->final_residual = last_residual;
+  }
+  return Status::ok();
+}
+
+Status Solver::solve_multi(const Dense& b, Dense* x, SolveStats* worst) const {
+  if (!factorized_) return Status::failed_precondition("factorize() first");
+  if (b.n_rows() != stats_.n)
+    return Status::invalid_argument("solve_multi: row count mismatch");
+  *x = Dense(b.n_rows(), b.n_cols());
+  std::vector<value_t> rhs(static_cast<std::size_t>(b.n_rows()));
+  std::vector<value_t> sol(static_cast<std::size_t>(b.n_rows()));
+  if (worst) *worst = SolveStats{};
+  for (index_t j = 0; j < b.n_cols(); ++j) {
+    for (index_t i = 0; i < b.n_rows(); ++i)
+      rhs[static_cast<std::size_t>(i)] = b(i, j);
+    SolveStats ss;
+    Status s = solve(rhs, sol, &ss);
+    if (!s.is_ok()) return s;
+    for (index_t i = 0; i < b.n_rows(); ++i) (*x)(i, j) = sol[static_cast<std::size_t>(i)];
+    if (worst) {
+      worst->refine_iterations =
+          std::max(worst->refine_iterations, ss.refine_iterations);
+      worst->final_residual = std::max(worst->final_residual, ss.final_residual);
+    }
+  }
+  return Status::ok();
+}
+
+Status Solver::solve_transpose(std::span<const value_t> b,
+                               std::span<value_t> x) const {
+  if (!factorized_) return Status::failed_precondition("factorize() first");
+  const index_t n = stats_.n;
+  if (static_cast<index_t>(b.size()) != n || static_cast<index_t>(x.size()) != n)
+    return Status::invalid_argument("solve_transpose: size mismatch");
+  // A^T x = b with Ap = P_R (D_r A D_c) P_C^T = L U:
+  //   z(col_perm[c]) = col_scale[c] * b(c);  U^T y = z;  L^T w = y;
+  //   x(r) = row_scale[r] * w(row_perm[r]).
+  std::vector<value_t> z(static_cast<std::size_t>(n));
+  for (index_t c = 0; c < n; ++c) {
+    z[static_cast<std::size_t>(reorder_.col_perm[static_cast<std::size_t>(c)])] =
+        reorder_.col_scale[static_cast<std::size_t>(c)] *
+        b[static_cast<std::size_t>(c)];
+  }
+  block_upper_transpose_solve(factors_, z);
+  block_lower_transpose_solve(factors_, z);
+  for (index_t r = 0; r < n; ++r) {
+    x[static_cast<std::size_t>(r)] =
+        reorder_.row_scale[static_cast<std::size_t>(r)] *
+        z[static_cast<std::size_t>(reorder_.row_perm[static_cast<std::size_t>(r)])];
+  }
+  return Status::ok();
+}
+
+Status Solver::model_triangular_solve(runtime::SimResult* forward,
+                                      runtime::SimResult* backward) const {
+  if (!factorized_) return Status::failed_precondition("factorize() first");
+  std::vector<value_t> dummy(static_cast<std::size_t>(stats_.n), value_t(0));
+  runtime::TrsvOptions opts;
+  opts.device = opts_.device;
+  opts.n_ranks = opts_.n_ranks;
+  opts.execute_numerics = false;
+  Status s = runtime::simulate_trsv(factors_, mapping_, /*lower=*/true, dummy,
+                                    opts, forward);
+  if (!s.is_ok()) return s;
+  return runtime::simulate_trsv(factors_, mapping_, /*lower=*/false, dummy,
+                                opts, backward);
+}
+
+Status Solver::condest(value_t* cond_1) const {
+  if (!factorized_) return Status::failed_precondition("factorize() first");
+  const index_t n = stats_.n;
+  // Hager's estimator for ||A^-1||_1 (Higham's refinement, a few sweeps).
+  std::vector<value_t> x(static_cast<std::size_t>(n),
+                         value_t(1) / static_cast<value_t>(n));
+  std::vector<value_t> y(static_cast<std::size_t>(n));
+  std::vector<value_t> xi(static_cast<std::size_t>(n));
+  std::vector<value_t> z(static_cast<std::size_t>(n));
+  value_t est = 0;
+  index_t last_j = -1;
+  for (int iter = 0; iter < 5; ++iter) {
+    Status s = solve(x, y);
+    if (!s.is_ok()) return s;
+    value_t y1 = 0;
+    for (value_t v : y) y1 += std::abs(v);
+    est = std::max(est, y1);
+    for (index_t i = 0; i < n; ++i)
+      xi[static_cast<std::size_t>(i)] =
+          y[static_cast<std::size_t>(i)] >= 0 ? value_t(1) : value_t(-1);
+    s = solve_transpose(xi, z);
+    if (!s.is_ok()) return s;
+    index_t j = 0;
+    for (index_t i = 1; i < n; ++i) {
+      if (std::abs(z[static_cast<std::size_t>(i)]) >
+          std::abs(z[static_cast<std::size_t>(j)]))
+        j = i;
+    }
+    value_t ztx = 0;
+    for (index_t i = 0; i < n; ++i)
+      ztx += z[static_cast<std::size_t>(i)] * x[static_cast<std::size_t>(i)];
+    if (std::abs(z[static_cast<std::size_t>(j)]) <= ztx || j == last_j) break;
+    std::fill(x.begin(), x.end(), value_t(0));
+    x[static_cast<std::size_t>(j)] = 1;
+    last_j = j;
+  }
+  *cond_1 = norm1(original_) * est;
+  return Status::ok();
+}
+
+namespace {
+
+/// Parity of a permutation (+1 even, -1 odd) by cycle counting.
+int permutation_sign(std::span<const index_t> p) {
+  std::vector<char> seen(p.size(), 0);
+  int sign = 1;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    if (seen[i]) continue;
+    std::size_t len = 0;
+    std::size_t j = i;
+    while (!seen[j]) {
+      seen[j] = 1;
+      j = static_cast<std::size_t>(p[j]);
+      ++len;
+    }
+    if (len % 2 == 0) sign = -sign;
+  }
+  return sign;
+}
+
+}  // namespace
+
+Status Solver::log_abs_determinant(value_t* log_abs, int* sign) const {
+  if (!factorized_) return Status::failed_precondition("factorize() first");
+  // det(Ap) = prod U(j,j); Ap = P_R (D_r A D_c) P_C^T, so
+  // log|det A| = sum log|u_jj| - sum log(row_scale) - sum log(col_scale)
+  // and the sign collects the diagonal signs and both permutation parities.
+  value_t acc = 0;
+  int s = 1;
+  const auto& f = factors_;
+  for (index_t bk = 0; bk < f.nb(); ++bk) {
+    const Csc& d = f.block(f.find_block(bk, bk));
+    for (index_t j = 0; j < d.n_cols(); ++j) {
+      const value_t ujj = d.at(j, j);
+      if (ujj == value_t(0))
+        return Status::numerical_error("zero pivot: determinant is 0");
+      acc += std::log(std::abs(ujj));
+      if (ujj < 0) s = -s;
+    }
+  }
+  for (value_t v : reorder_.row_scale) acc -= std::log(v);
+  for (value_t v : reorder_.col_scale) acc -= std::log(v);
+  s *= permutation_sign(reorder_.row_perm) * permutation_sign(reorder_.col_perm);
+  if (log_abs) *log_abs = acc;
+  if (sign) *sign = s;
+  return Status::ok();
+}
+
+}  // namespace pangulu::solver

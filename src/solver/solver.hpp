@@ -1,0 +1,145 @@
+// Public API of the PanguLU reproduction: the five-step pipeline of §4.1 —
+// reordering (MC64 + nested dissection), symbolic factorisation (symmetric
+// pruning), preprocessing (2D blocking + mapping + balancing), numeric
+// factorisation (sync-free scheduling over the simulated cluster), and
+// triangular solves — behind one Solver class.
+//
+// Quickstart:
+//   pangulu::solver::Solver s;
+//   s.factorize(A, {}).check();
+//   std::vector<double> x(n);
+//   s.solve(b, x).check();
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "block/layout.hpp"
+#include "block/mapping.hpp"
+#include "ordering/reorder.hpp"
+#include "runtime/sim.hpp"
+#include "sparse/csc.hpp"
+#include "sparse/dense.hpp"
+#include "symbolic/fill.hpp"
+#include "util/status.hpp"
+
+namespace pangulu::solver {
+
+struct Options {
+  ordering::ReorderOptions reorder;
+  /// 0 selects the block size from matrix order and post-symbolic density.
+  index_t block_size = 0;
+  rank_t n_ranks = 1;
+  /// Apply the §4.2 static load-balancing pass on top of the cyclic map.
+  bool balance = true;
+  runtime::DeviceModel device = runtime::DeviceModel::a100_like();
+  runtime::KernelPolicy policy = runtime::KernelPolicy::kAdaptive;
+  runtime::ScheduleMode schedule = runtime::ScheduleMode::kSyncFree;
+  kernels::SelectorThresholds thresholds;
+  value_t pivot_tol = 1e-14;
+  int refine_iters = 3;
+};
+
+struct FactorStats {
+  // Wall-clock phase times on this host.
+  double reorder_seconds = 0;
+  double symbolic_seconds = 0;
+  double preprocess_seconds = 0;  // blocking + mapping + balancing
+  double numeric_wall_seconds = 0;
+
+  // Structure metrics (Table 3).
+  index_t n = 0;
+  nnz_t nnz_a = 0;
+  nnz_t nnz_lu = 0;
+  double flops = 0;
+  index_t block_size = 0;
+  index_t nb = 0;
+  std::size_t n_tasks = 0;
+
+  // Virtual-cluster result of the numeric phase.
+  runtime::SimResult sim;
+  block::BalanceStats balance;
+};
+
+struct SolveStats {
+  int refine_iterations = 0;     // refinement passes actually taken
+  value_t final_residual = 0;    // ||b - Ax||_inf / (||A||_1||x||_inf+||b||_inf)
+};
+
+class Solver {
+ public:
+  /// Full pipeline on a square matrix. On success the factors are held
+  /// internally; call solve() any number of times.
+  Status factorize(const Csc& a, const Options& opts);
+
+  /// Numeric-only re-factorisation: `a` must have exactly the pattern of the
+  /// previously factorised matrix (the Newton-iteration workflow of circuit
+  /// simulation — same topology, new conductances). Reuses the ordering,
+  /// scaling, symbolic pattern, blocking, mapping and task graph; only the
+  /// numeric phase runs. Typically several times faster than factorize().
+  Status refactorize(const Csc& a);
+
+  /// Solve A x = b using the stored factors + iterative refinement against
+  /// the original matrix. `solve_stats` (optional) reports the refinement
+  /// iterations taken and the final backward error.
+  Status solve(std::span<const value_t> b, std::span<value_t> x,
+               SolveStats* solve_stats = nullptr) const;
+
+  /// Solve A X = B column by column (multiple right-hand sides).
+  Status solve_multi(const Dense& b, Dense* x,
+                     SolveStats* worst = nullptr) const;
+
+  /// log|det(A)| and sign(det(A)) from the factorisation: the product of
+  /// U's diagonal corrected by the parities of the row/column permutations.
+  /// Meaningful only when no pivot was perturbed
+  /// (stats().sim.perturbed_pivots == 0).
+  Status log_abs_determinant(value_t* log_abs, int* sign) const;
+
+  /// Solve A^T x = b with the same factors: (LU)^T w = z via a U^T forward
+  /// sweep and an L^T backward sweep.
+  Status solve_transpose(std::span<const value_t> b, std::span<value_t> x) const;
+
+  /// Hager-Higham 1-norm condition estimate: cond_1(A) ~ ||A||_1 ||A^-1||_1,
+  /// the ||A^-1||_1 part estimated with a few solve/solve_transpose pairs.
+  /// A lower bound that is almost always within a small factor of the truth.
+  Status condest(value_t* cond_1) const;
+
+  /// Model the distributed triangular-solve phase (step 5 of §4.1) on the
+  /// same simulated cluster the factorisation ran on: one forward and one
+  /// backward sweep over the stored factors, timing only (the vector is not
+  /// modified). Reports both sweeps' SimResults.
+  Status model_triangular_solve(runtime::SimResult* forward,
+                                runtime::SimResult* backward) const;
+
+  const FactorStats& stats() const { return stats_; }
+  const block::BlockMatrix& factors() const { return factors_; }
+  const block::Mapping& mapping() const { return mapping_; }
+  const symbolic::SymbolicResult& symbolic() const { return symbolic_; }
+
+ private:
+  Status run_numeric_phase();
+
+  Options opts_;
+  Csc original_;
+  ordering::ReorderResult reorder_;
+  symbolic::SymbolicResult symbolic_;
+  block::BlockMatrix factors_;
+  std::vector<block::Task> tasks_;
+  block::Mapping mapping_;
+  FactorStats stats_;
+  bool factorized_ = false;
+};
+
+/// Block-level forward/backward substitution on a factorised BlockMatrix
+/// (exposed for the distributed triangular-solve benchmarks and tests).
+void block_lower_solve(const block::BlockMatrix& f, std::span<value_t> x);
+void block_upper_solve(const block::BlockMatrix& f, std::span<value_t> x);
+
+/// Transposed sweeps: U^T y = z (forward) and L^T w = y (backward), used by
+/// solve_transpose and the condition estimator.
+void block_upper_transpose_solve(const block::BlockMatrix& f,
+                                 std::span<value_t> x);
+void block_lower_transpose_solve(const block::BlockMatrix& f,
+                                 std::span<value_t> x);
+
+}  // namespace pangulu::solver

@@ -1,0 +1,85 @@
+#include "sparse/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace pangulu {
+
+MatrixProfile analyze(const Csc& a) {
+  MatrixProfile p;
+  p.n_rows = a.n_rows();
+  p.n_cols = a.n_cols();
+  p.nnz = a.nnz();
+  p.density = a.density();
+
+  std::vector<value_t> diag_abs;
+  std::vector<value_t> offdiag_abs;
+  const bool square = a.n_rows() == a.n_cols();
+  if (square) {
+    diag_abs.assign(static_cast<std::size_t>(a.n_rows()), 0);
+    offdiag_abs.assign(static_cast<std::size_t>(a.n_rows()), 0);
+  }
+
+  nnz_t offdiag = 0, mirrored = 0, equal_mirror = 0;
+  for (index_t j = 0; j < a.n_cols(); ++j) {
+    const index_t cn = a.col_nnz(j);
+    p.max_column_nnz = std::max(p.max_column_nnz, cn);
+    for (nnz_t q = a.col_begin(j); q < a.col_end(j); ++q) {
+      const index_t i = a.row_idx()[static_cast<std::size_t>(q)];
+      const value_t v = a.values()[static_cast<std::size_t>(q)];
+      p.bandwidth = std::max(p.bandwidth, std::abs(i - j));
+      if (i == j) {
+        ++p.diagonal_nnz;
+        if (square) diag_abs[static_cast<std::size_t>(i)] += std::abs(v);
+        continue;
+      }
+      if (square) offdiag_abs[static_cast<std::size_t>(i)] += std::abs(v);
+      ++offdiag;
+      if (!square) continue;
+      const nnz_t m = a.find(j, i);
+      if (m >= 0) {
+        ++mirrored;
+        const value_t mv = a.values()[static_cast<std::size_t>(m)];
+        if (std::abs(mv - v) <= 1e-14 * std::max<value_t>(
+                                           1, std::max(std::abs(mv), std::abs(v))))
+          ++equal_mirror;
+      }
+    }
+  }
+  p.pattern_symmetry =
+      offdiag > 0 ? static_cast<double>(mirrored) / static_cast<double>(offdiag)
+                  : 1.0;
+  p.value_symmetry = offdiag > 0 ? static_cast<double>(equal_mirror) /
+                                       static_cast<double>(offdiag)
+                                 : 1.0;
+  p.avg_column_nnz = a.n_cols() > 0
+                         ? static_cast<double>(a.nnz()) / a.n_cols()
+                         : 0.0;
+  p.column_imbalance =
+      p.avg_column_nnz > 0 ? p.max_column_nnz / p.avg_column_nnz : 0.0;
+  if (square) {
+    p.diagonally_dominant = p.diagonal_nnz == a.n_cols();
+    for (index_t i = 0; i < a.n_rows() && p.diagonally_dominant; ++i) {
+      if (diag_abs[static_cast<std::size_t>(i)] <=
+          offdiag_abs[static_cast<std::size_t>(i)])
+        p.diagonally_dominant = false;
+    }
+  }
+  return p;
+}
+
+std::string to_string(const MatrixProfile& p) {
+  std::ostringstream os;
+  os << "matrix " << p.n_rows << " x " << p.n_cols << ", nnz " << p.nnz
+     << " (density " << 100.0 * p.density << "%)\n";
+  os << "pattern symmetry " << 100.0 * p.pattern_symmetry
+     << "%, value symmetry " << 100.0 * p.value_symmetry << "%\n";
+  os << "bandwidth " << p.bandwidth << ", stored diagonals " << p.diagonal_nnz
+     << (p.diagonally_dominant ? " (diagonally dominant)" : "") << "\n";
+  os << "column nnz: avg " << p.avg_column_nnz << ", max " << p.max_column_nnz
+     << " (imbalance " << p.column_imbalance << "x)";
+  return os.str();
+}
+
+}  // namespace pangulu

@@ -1,0 +1,40 @@
+// Structural analysis of sparse matrices: the metrics the paper's
+// motivation section (§3) reasons about — symmetry, density, bandwidth,
+// degree distribution — packaged for examples, benches and tests.
+#pragma once
+
+#include <string>
+
+#include "sparse/csc.hpp"
+#include "util/types.hpp"
+
+namespace pangulu {
+
+struct MatrixProfile {
+  index_t n_rows = 0;
+  index_t n_cols = 0;
+  nnz_t nnz = 0;
+  double density = 0;             // nnz / (rows*cols)
+  /// Fraction of off-diagonal entries (i,j) whose mirror (j,i) is also
+  /// stored — 1.0 for structurally symmetric matrices.
+  double pattern_symmetry = 0;
+  /// Fraction of mirrored pairs with equal values — 1.0 for numerically
+  /// symmetric matrices.
+  double value_symmetry = 0;
+  index_t bandwidth = 0;          // max |i - j| over stored entries
+  nnz_t diagonal_nnz = 0;         // stored (structurally nonzero) diagonals
+  bool diagonally_dominant = false;
+  index_t max_column_nnz = 0;
+  double avg_column_nnz = 0;
+  /// Ratio max/avg column nnz: >> 1 signals the power-law hubs that defeat
+  /// supernode formation (§3.1).
+  double column_imbalance = 0;
+};
+
+/// Compute the profile in one pass plus a transpose.
+MatrixProfile analyze(const Csc& a);
+
+/// Human-readable multi-line report.
+std::string to_string(const MatrixProfile& p);
+
+}  // namespace pangulu

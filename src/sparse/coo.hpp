@@ -1,0 +1,34 @@
+// Coordinate-format sparse matrix: the assembly/interchange format. Matrix
+// generators and the Matrix Market reader produce COO; everything else works
+// on CSC (see csc.hpp).
+#pragma once
+
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace pangulu {
+
+struct Triplet {
+  index_t row;
+  index_t col;
+  value_t value;
+};
+
+struct Coo {
+  index_t n_rows = 0;
+  index_t n_cols = 0;
+  std::vector<Triplet> entries;
+
+  Coo() = default;
+  Coo(index_t rows, index_t cols) : n_rows(rows), n_cols(cols) {}
+
+  void add(index_t r, index_t c, value_t v) { entries.push_back({r, c, v}); }
+
+  nnz_t nnz() const { return static_cast<nnz_t>(entries.size()); }
+
+  /// Sort by (col, row) and sum duplicates in place.
+  void sort_and_combine();
+};
+
+}  // namespace pangulu

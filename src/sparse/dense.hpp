@@ -1,0 +1,88 @@
+// Column-major dense matrix. Used as the scratch space of "Direct"
+// (dense-mapping) kernels and as the panel storage of the supernodal
+// baseline.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "sparse/csc.hpp"
+#include "util/status.hpp"
+#include "util/types.hpp"
+
+namespace pangulu {
+
+class Dense {
+ public:
+  Dense() = default;
+  Dense(index_t rows, index_t cols)
+      : n_rows_(rows),
+        n_cols_(cols),
+        data_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols),
+              value_t(0)) {}
+
+  static Dense from_csc(const Csc& a) {
+    Dense d(a.n_rows(), a.n_cols());
+    for (index_t j = 0; j < a.n_cols(); ++j) {
+      for (nnz_t p = a.col_begin(j); p < a.col_end(j); ++p) {
+        d(a.row_idx()[static_cast<std::size_t>(p)], j) =
+            a.values()[static_cast<std::size_t>(p)];
+      }
+    }
+    return d;
+  }
+
+  index_t n_rows() const { return n_rows_; }
+  index_t n_cols() const { return n_cols_; }
+
+  value_t& operator()(index_t r, index_t c) {
+    return data_[static_cast<std::size_t>(c) * n_rows_ + r];
+  }
+  value_t operator()(index_t r, index_t c) const {
+    return data_[static_cast<std::size_t>(c) * n_rows_ + r];
+  }
+
+  value_t* col(index_t c) { return data_.data() + static_cast<std::size_t>(c) * n_rows_; }
+  const value_t* col(index_t c) const {
+    return data_.data() + static_cast<std::size_t>(c) * n_rows_;
+  }
+
+  void set_zero() { std::fill(data_.begin(), data_.end(), value_t(0)); }
+
+  /// Convert to CSC, dropping entries with |v| <= drop_tol.
+  Csc to_csc(value_t drop_tol = value_t(0)) const {
+    Coo coo(n_rows_, n_cols_);
+    for (index_t j = 0; j < n_cols_; ++j) {
+      for (index_t i = 0; i < n_rows_; ++i) {
+        value_t v = (*this)(i, j);
+        if (std::abs(v) > drop_tol) coo.add(i, j, v);
+      }
+    }
+    return Csc::from_coo(coo);
+  }
+
+  /// C -= A * B (all dense, shapes must agree). Reference GEMM used by the
+  /// supernodal baseline's Schur complement and by kernel tests.
+  static void gemm_sub(const Dense& a, const Dense& b, Dense& c) {
+    PANGULU_CHECK(a.n_cols() == b.n_rows() && c.n_rows() == a.n_rows() &&
+                      c.n_cols() == b.n_cols(),
+                  "gemm shape mismatch");
+    for (index_t j = 0; j < b.n_cols(); ++j) {
+      for (index_t k = 0; k < a.n_cols(); ++k) {
+        const value_t bkj = b(k, j);
+        if (bkj == value_t(0)) continue;
+        const value_t* ak = a.col(k);
+        value_t* cj = c.col(j);
+        for (index_t i = 0; i < a.n_rows(); ++i) cj[i] -= ak[i] * bkj;
+      }
+    }
+  }
+
+ private:
+  index_t n_rows_ = 0;
+  index_t n_cols_ = 0;
+  std::vector<value_t> data_;
+};
+
+}  // namespace pangulu

@@ -1,0 +1,116 @@
+#include "sparse/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace pangulu {
+
+value_t norm2(std::span<const value_t> v) {
+  value_t s = 0;
+  for (value_t x : v) s += x * x;
+  return std::sqrt(s);
+}
+
+value_t norm_inf(std::span<const value_t> v) {
+  value_t m = 0;
+  for (value_t x : v) m = std::max(m, std::abs(x));
+  return m;
+}
+
+value_t norm1(const Csc& a) {
+  value_t m = 0;
+  for (index_t j = 0; j < a.n_cols(); ++j) {
+    value_t s = 0;
+    for (nnz_t p = a.col_begin(j); p < a.col_end(j); ++p)
+      s += std::abs(a.values()[static_cast<std::size_t>(p)]);
+    m = std::max(m, s);
+  }
+  return m;
+}
+
+value_t relative_residual(const Csc& a, std::span<const value_t> x,
+                          std::span<const value_t> b) {
+  std::vector<value_t> r(b.begin(), b.end());
+  std::vector<value_t> ax(static_cast<std::size_t>(a.n_rows()));
+  a.spmv(x, ax);
+  for (std::size_t i = 0; i < r.size(); ++i) r[i] -= ax[i];
+  value_t denom = norm1(a) * norm_inf(x) + norm_inf(b);
+  if (denom == value_t(0)) denom = 1;
+  return norm_inf(r) / denom;
+}
+
+void lower_solve(const Csc& l, std::span<value_t> x, bool unit_diag) {
+  PANGULU_CHECK(l.n_rows() == l.n_cols(), "lower_solve: square");
+  PANGULU_CHECK(static_cast<index_t>(x.size()) == l.n_rows(), "x size");
+  for (index_t j = 0; j < l.n_cols(); ++j) {
+    nnz_t p = l.col_begin(j);
+    const nnz_t e = l.col_end(j);
+    if (!unit_diag) {
+      PANGULU_CHECK(p < e && l.row_idx()[static_cast<std::size_t>(p)] == j,
+                    "lower_solve: missing diagonal");
+      x[static_cast<std::size_t>(j)] /= l.values()[static_cast<std::size_t>(p)];
+      ++p;
+    } else if (p < e && l.row_idx()[static_cast<std::size_t>(p)] == j) {
+      ++p;  // stored unit diagonal; skip
+    }
+    const value_t xj = x[static_cast<std::size_t>(j)];
+    if (xj == value_t(0)) continue;
+    for (; p < e; ++p) {
+      x[static_cast<std::size_t>(l.row_idx()[static_cast<std::size_t>(p)])] -=
+          l.values()[static_cast<std::size_t>(p)] * xj;
+    }
+  }
+}
+
+void upper_solve(const Csc& u, std::span<value_t> x) {
+  PANGULU_CHECK(u.n_rows() == u.n_cols(), "upper_solve: square");
+  PANGULU_CHECK(static_cast<index_t>(x.size()) == u.n_rows(), "x size");
+  for (index_t j = u.n_cols() - 1; j >= 0; --j) {
+    const nnz_t b = u.col_begin(j);
+    nnz_t p = u.col_end(j) - 1;
+    PANGULU_CHECK(p >= b && u.row_idx()[static_cast<std::size_t>(p)] == j,
+                  "upper_solve: missing diagonal");
+    x[static_cast<std::size_t>(j)] /= u.values()[static_cast<std::size_t>(p)];
+    const value_t xj = x[static_cast<std::size_t>(j)];
+    if (xj == value_t(0)) continue;
+    for (nnz_t q = b; q < p; ++q) {
+      x[static_cast<std::size_t>(u.row_idx()[static_cast<std::size_t>(q)])] -=
+          u.values()[static_cast<std::size_t>(q)] * xj;
+    }
+  }
+}
+
+bool is_permutation(std::span<const index_t> p) {
+  const auto n = static_cast<index_t>(p.size());
+  std::vector<bool> seen(static_cast<std::size_t>(n), false);
+  for (index_t v : p) {
+    if (v < 0 || v >= n || seen[static_cast<std::size_t>(v)]) return false;
+    seen[static_cast<std::size_t>(v)] = true;
+  }
+  return true;
+}
+
+std::vector<index_t> invert_permutation(std::span<const index_t> p) {
+  std::vector<index_t> q(p.size());
+  for (std::size_t i = 0; i < p.size(); ++i)
+    q[static_cast<std::size_t>(p[i])] = static_cast<index_t>(i);
+  return q;
+}
+
+std::vector<index_t> identity_permutation(index_t n) {
+  std::vector<index_t> p(static_cast<std::size_t>(n));
+  std::iota(p.begin(), p.end(), index_t(0));
+  return p;
+}
+
+std::vector<index_t> compose(std::span<const index_t> p,
+                             std::span<const index_t> q) {
+  PANGULU_CHECK(p.size() == q.size(), "compose: size mismatch");
+  std::vector<index_t> r(p.size());
+  for (std::size_t i = 0; i < q.size(); ++i)
+    r[i] = p[static_cast<std::size_t>(q[i])];
+  return r;
+}
+
+}  // namespace pangulu

@@ -1,0 +1,48 @@
+// Free-function utilities over sparse matrices and vectors: norms, residuals,
+// triangular solves with full matrices (reference paths), permutation helpers.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sparse/csc.hpp"
+#include "util/types.hpp"
+
+namespace pangulu {
+
+/// ||v||_2
+value_t norm2(std::span<const value_t> v);
+
+/// ||v||_inf
+value_t norm_inf(std::span<const value_t> v);
+
+/// ||A||_1 (max column sum of absolute values).
+value_t norm1(const Csc& a);
+
+/// Componentwise backward-error style residual: ||b - A x||_inf /
+/// (||A||_1 ||x||_inf + ||b||_inf). The acceptance metric of integration
+/// tests and examples.
+value_t relative_residual(const Csc& a, std::span<const value_t> x,
+                          std::span<const value_t> b);
+
+/// Solve L y = b where L is a full (n x n) sparse unit- or non-unit lower
+/// triangular CSC matrix. `unit_diag` skips the division.
+void lower_solve(const Csc& l, std::span<value_t> x, bool unit_diag);
+
+/// Solve U x = y where U is upper triangular CSC.
+void upper_solve(const Csc& u, std::span<value_t> x);
+
+/// True when p is a permutation of 0..n-1.
+bool is_permutation(std::span<const index_t> p);
+
+/// Inverse permutation: q[p[i]] = i.
+std::vector<index_t> invert_permutation(std::span<const index_t> p);
+
+/// Identity permutation of length n.
+std::vector<index_t> identity_permutation(index_t n);
+
+/// Composition r = p after q, i.e. r[i] = p[q[i]].
+std::vector<index_t> compose(std::span<const index_t> p,
+                             std::span<const index_t> q);
+
+}  // namespace pangulu

@@ -1,0 +1,93 @@
+#include "symbolic/col_counts.hpp"
+
+#include "symbolic/etree.hpp"
+
+namespace pangulu::symbolic {
+
+namespace {
+
+/// cs_leaf: decide whether column j is a (first or subsequent) leaf of row
+/// i's row-subtree; for subsequent leaves return the least common ancestor
+/// of the previous leaf and j (with path compression on `ancestor`).
+index_t leaf(index_t i, index_t j, const std::vector<index_t>& first,
+             std::vector<index_t>& maxfirst, std::vector<index_t>& prevleaf,
+             std::vector<index_t>& ancestor, int* jleaf) {
+  *jleaf = 0;
+  if (i <= j || first[static_cast<std::size_t>(j)] <=
+                    maxfirst[static_cast<std::size_t>(i)]) {
+    return -1;  // j is not a leaf of row i's subtree
+  }
+  maxfirst[static_cast<std::size_t>(i)] = first[static_cast<std::size_t>(j)];
+  const index_t jprev = prevleaf[static_cast<std::size_t>(i)];
+  prevleaf[static_cast<std::size_t>(i)] = j;
+  *jleaf = (jprev == -1) ? 1 : 2;  // first leaf : subsequent leaf
+  if (*jleaf == 1) return i;
+  index_t q = jprev;
+  while (q != ancestor[static_cast<std::size_t>(q)])
+    q = ancestor[static_cast<std::size_t>(q)];
+  for (index_t s = jprev; s != q;) {
+    const index_t sparent = ancestor[static_cast<std::size_t>(s)];
+    ancestor[static_cast<std::size_t>(s)] = q;
+    s = sparent;
+  }
+  return q;  // lca(jprev, j)
+}
+
+}  // namespace
+
+std::vector<nnz_t> factor_column_counts(const Csc& a) {
+  PANGULU_CHECK(a.n_rows() == a.n_cols(), "column counts: square matrix");
+  const index_t n = a.n_cols();
+  const Csc sym = a.symmetrized().with_full_diagonal();
+  const std::vector<index_t> parent = elimination_tree(sym);
+  const std::vector<index_t> post = postorder(parent);
+
+  std::vector<nnz_t> delta(static_cast<std::size_t>(n), 0);
+  std::vector<index_t> first(static_cast<std::size_t>(n), -1);
+  for (index_t k = 0; k < n; ++k) {
+    index_t j = post[static_cast<std::size_t>(k)];
+    delta[static_cast<std::size_t>(j)] =
+        (first[static_cast<std::size_t>(j)] == -1) ? 1 : 0;  // leaf gets diag
+    while (j != -1 && first[static_cast<std::size_t>(j)] == -1) {
+      first[static_cast<std::size_t>(j)] = k;
+      j = parent[static_cast<std::size_t>(j)];
+    }
+  }
+
+  std::vector<index_t> maxfirst(static_cast<std::size_t>(n), -1);
+  std::vector<index_t> prevleaf(static_cast<std::size_t>(n), -1);
+  std::vector<index_t> ancestor(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) ancestor[static_cast<std::size_t>(i)] = i;
+
+  for (index_t k = 0; k < n; ++k) {
+    const index_t j = post[static_cast<std::size_t>(k)];
+    if (parent[static_cast<std::size_t>(j)] != -1)
+      delta[static_cast<std::size_t>(parent[static_cast<std::size_t>(j)])]--;
+    // Entries of row j (== column j: the pattern is symmetric) with i > j.
+    for (nnz_t p = sym.col_begin(j); p < sym.col_end(j); ++p) {
+      const index_t i = sym.row_idx()[static_cast<std::size_t>(p)];
+      int jleaf = 0;
+      const index_t q = leaf(i, j, first, maxfirst, prevleaf, ancestor, &jleaf);
+      if (jleaf >= 1) delta[static_cast<std::size_t>(j)]++;
+      if (jleaf == 2) delta[static_cast<std::size_t>(q)]--;
+    }
+    if (parent[static_cast<std::size_t>(j)] != -1)
+      ancestor[static_cast<std::size_t>(j)] = parent[static_cast<std::size_t>(j)];
+  }
+  // Accumulate the deltas up the elimination tree.
+  for (index_t j = 0; j < n; ++j) {
+    if (parent[static_cast<std::size_t>(j)] != -1)
+      delta[static_cast<std::size_t>(parent[static_cast<std::size_t>(j)])] +=
+          delta[static_cast<std::size_t>(j)];
+  }
+  return delta;
+}
+
+nnz_t estimate_fill(const Csc& a) {
+  const auto counts = factor_column_counts(a);
+  nnz_t total = 0;
+  for (nnz_t c : counts) total += 2 * c - 1;  // L col + U row, diag once
+  return total;
+}
+
+}  // namespace pangulu::symbolic

@@ -1,0 +1,23 @@
+// Column counts of the Cholesky/LU factor without computing the fill
+// pattern (Gilbert, Ng & Peyton 1994, as in CSparse's cs_counts): O(nnz(A)
+// alpha(n)) time, O(n) space. Lets callers size the factorisation — memory,
+// block size, FLOPs — before committing to the full symbolic pass.
+#pragma once
+
+#include <vector>
+
+#include "sparse/csc.hpp"
+#include "util/types.hpp"
+
+namespace pangulu::symbolic {
+
+/// Per-column nonzero counts (diagonal included) of the lower factor L of
+/// the symmetric pattern of `a` (symmetrised internally, like
+/// symbolic_symmetric). counts[j] == nnz(L(:,j)).
+std::vector<nnz_t> factor_column_counts(const Csc& a);
+
+/// Total nnz(L+U) with the diagonal counted once — the same metric
+/// SymbolicResult::nnz_lu reports, at a fraction of the cost.
+nnz_t estimate_fill(const Csc& a);
+
+}  // namespace pangulu::symbolic

@@ -1,0 +1,25 @@
+// Elimination tree utilities (Liu 1990). The etree drives the symmetric
+// symbolic factorisation, the level-set schedule of the supernodal baseline,
+// and the task priorities of the sync-free scheduler.
+#pragma once
+
+#include <vector>
+
+#include "sparse/csc.hpp"
+#include "util/types.hpp"
+
+namespace pangulu::symbolic {
+
+/// Elimination tree of the symmetric pattern of `a` (a must be structurally
+/// symmetric with full diagonal — see Csc::symmetrized/with_full_diagonal).
+/// parent[v] = etree parent, or -1 for roots.
+std::vector<index_t> elimination_tree(const Csc& a);
+
+/// Postorder of the forest; children before parents.
+std::vector<index_t> postorder(const std::vector<index_t>& parent);
+
+/// Level of each node: leaves are level 0, parent level = 1 + max(children).
+/// These are the level sets whose barriers the baseline synchronises on.
+std::vector<index_t> tree_levels(const std::vector<index_t>& parent);
+
+}  // namespace pangulu::symbolic

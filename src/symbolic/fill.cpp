@@ -1,0 +1,264 @@
+#include "symbolic/fill.hpp"
+
+#include <algorithm>
+
+#include "symbolic/etree.hpp"
+
+namespace pangulu::symbolic {
+
+namespace {
+
+/// Assemble the full L+U pattern Csc from a lower-triangular pattern (with
+/// diagonal) and its transpose, then scatter `a`'s values into it.
+Csc assemble_filled(const Csc& lower_pat, const Csc& a) {
+  const index_t n = lower_pat.n_cols();
+  Csc upper_pat = lower_pat.transpose();
+  std::vector<nnz_t> col_ptr(static_cast<std::size_t>(n) + 1, 0);
+  for (index_t j = 0; j < n; ++j) {
+    // upper rows (< j) come from upper_pat col j (rows <= j, diag included);
+    // lower rows (>= j) from lower_pat col j. Diagonal counted once.
+    nnz_t upper_cnt = upper_pat.col_end(j) - upper_pat.col_begin(j) - 1;
+    nnz_t lower_cnt = lower_pat.col_end(j) - lower_pat.col_begin(j);
+    col_ptr[static_cast<std::size_t>(j) + 1] =
+        col_ptr[static_cast<std::size_t>(j)] + upper_cnt + lower_cnt;
+  }
+  std::vector<index_t> row_idx(static_cast<std::size_t>(col_ptr.back()));
+  std::vector<value_t> values(static_cast<std::size_t>(col_ptr.back()), value_t(0));
+  for (index_t j = 0; j < n; ++j) {
+    nnz_t q = col_ptr[static_cast<std::size_t>(j)];
+    for (nnz_t p = upper_pat.col_begin(j); p < upper_pat.col_end(j); ++p) {
+      index_t r = upper_pat.row_idx()[static_cast<std::size_t>(p)];
+      if (r < j) row_idx[static_cast<std::size_t>(q++)] = r;
+    }
+    for (nnz_t p = lower_pat.col_begin(j); p < lower_pat.col_end(j); ++p)
+      row_idx[static_cast<std::size_t>(q++)] =
+          lower_pat.row_idx()[static_cast<std::size_t>(p)];
+    PANGULU_CHECK(q == col_ptr[static_cast<std::size_t>(j) + 1],
+                  "assemble_filled: column count mismatch");
+  }
+  Csc filled = Csc::from_parts(n, n, std::move(col_ptr), std::move(row_idx),
+                               std::move(values));
+  // Scatter A's values (A's pattern is a subset of the filled pattern).
+  for (index_t j = 0; j < a.n_cols(); ++j) {
+    for (nnz_t p = a.col_begin(j); p < a.col_end(j); ++p) {
+      nnz_t q = filled.find(a.row_idx()[static_cast<std::size_t>(p)], j);
+      PANGULU_CHECK(q >= 0, "A entry missing from filled pattern");
+      filled.values_mut()[static_cast<std::size_t>(q)] =
+          a.values()[static_cast<std::size_t>(p)];
+    }
+  }
+  return filled;
+}
+
+void finish_result(Csc filled, std::vector<index_t> etree, SymbolicResult* out) {
+  const index_t n = filled.n_cols();
+  nnz_t nl = 0, nu = 0;
+  for (index_t j = 0; j < n; ++j) {
+    for (nnz_t p = filled.col_begin(j); p < filled.col_end(j); ++p) {
+      index_t r = filled.row_idx()[static_cast<std::size_t>(p)];
+      if (r > j)
+        ++nl;
+      else
+        ++nu;  // diagonal counted with U (as stored by GETRF)
+    }
+  }
+  out->filled = std::move(filled);
+  out->nnz_l = nl;
+  out->nnz_u = nu;
+  out->nnz_lu = nl + nu;
+  out->etree = std::move(etree);
+}
+
+}  // namespace
+
+Status symbolic_symmetric(const Csc& a, SymbolicResult* out) {
+  if (a.n_rows() != a.n_cols())
+    return Status::invalid_argument("symbolic: square matrices only");
+  const index_t n = a.n_cols();
+  Csc sym = a.symmetrized().with_full_diagonal();
+  std::vector<index_t> parent = elimination_tree(sym);
+
+  // Row-subtree traversal (Liu): row i of L is the union of etree paths
+  // k -> ... -> i for every k < i with sym(i,k) != 0. Each entry is visited
+  // once — this is the "symmetric pruning" fast path the paper credits for
+  // the Figure 11 speedup.
+  std::vector<index_t> mark(static_cast<std::size_t>(n), -1);
+  std::vector<std::vector<index_t>> l_cols(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) {
+    mark[static_cast<std::size_t>(i)] = i;
+    for (nnz_t p = sym.col_begin(i); p < sym.col_end(i); ++p) {
+      index_t k = sym.row_idx()[static_cast<std::size_t>(p)];
+      if (k >= i) break;  // upper entries of column i <=> row i's k < i
+      while (mark[static_cast<std::size_t>(k)] != i) {
+        mark[static_cast<std::size_t>(k)] = i;
+        l_cols[static_cast<std::size_t>(k)].push_back(i);  // L(i,k) exists
+        k = parent[static_cast<std::size_t>(k)];
+        PANGULU_CHECK(k >= 0, "etree walk fell off the root");
+      }
+    }
+  }
+
+  // Lower pattern with diagonal; rows were appended in ascending i.
+  std::vector<nnz_t> lptr(static_cast<std::size_t>(n) + 1, 0);
+  for (index_t j = 0; j < n; ++j)
+    lptr[static_cast<std::size_t>(j) + 1] =
+        lptr[static_cast<std::size_t>(j)] + 1 +
+        static_cast<nnz_t>(l_cols[static_cast<std::size_t>(j)].size());
+  std::vector<index_t> lrows(static_cast<std::size_t>(lptr.back()));
+  for (index_t j = 0; j < n; ++j) {
+    nnz_t q = lptr[static_cast<std::size_t>(j)];
+    lrows[static_cast<std::size_t>(q++)] = j;
+    for (index_t r : l_cols[static_cast<std::size_t>(j)])
+      lrows[static_cast<std::size_t>(q++)] = r;
+  }
+  const auto lower_nnz = static_cast<std::size_t>(lptr.back());
+  Csc lower_pat =
+      Csc::from_parts(n, n, std::move(lptr), std::move(lrows),
+                      std::vector<value_t>(lower_nnz, value_t(0)));
+  finish_result(assemble_filled(lower_pat, a), std::move(parent), out);
+  return Status::ok();
+}
+
+Status symbolic_unsymmetric(const Csc& a, bool use_pruning, SymbolicResult* out) {
+  if (a.n_rows() != a.n_cols())
+    return Status::invalid_argument("symbolic: square matrices only");
+  const index_t n = a.n_cols();
+  Csc base = a.with_full_diagonal();
+
+  // Column-DFS reachability (Gilbert-Peierls). l_adj[k] holds the strictly
+  // lower pattern of L(:,k); pruned_len[k] limits the DFS to the pruned
+  // prefix when symmetric pruning is on.
+  std::vector<std::vector<index_t>> l_adj(static_cast<std::size_t>(n));
+  std::vector<std::vector<index_t>> u_rows(static_cast<std::size_t>(n));  // U(:,j) strict rows per column
+  std::vector<std::size_t> pruned_len(static_cast<std::size_t>(n), 0);
+  std::vector<index_t> mark(static_cast<std::size_t>(n), -1);
+  std::vector<index_t> dfs_stack;
+  std::vector<std::size_t> dfs_pos;
+
+  for (index_t j = 0; j < n; ++j) {
+    std::vector<index_t>& lj = l_adj[static_cast<std::size_t>(j)];
+    std::vector<index_t>& uj = u_rows[static_cast<std::size_t>(j)];
+    mark[static_cast<std::size_t>(j)] = j;
+    for (nnz_t p = base.col_begin(j); p < base.col_end(j); ++p) {
+      index_t r0 = base.row_idx()[static_cast<std::size_t>(p)];
+      if (mark[static_cast<std::size_t>(r0)] == j) continue;
+      // Iterative DFS from r0 through columns < j.
+      dfs_stack.assign(1, r0);
+      dfs_pos.assign(1, 0);
+      mark[static_cast<std::size_t>(r0)] = j;
+      while (!dfs_stack.empty()) {
+        index_t k = dfs_stack.back();
+        if (k >= j) {
+          // Row >= j: an L entry; no descent (only columns < j eliminate).
+          lj.push_back(k);
+          dfs_stack.pop_back();
+          dfs_pos.pop_back();
+          continue;
+        }
+        auto& adj = l_adj[static_cast<std::size_t>(k)];
+        const std::size_t limit =
+            use_pruning ? pruned_len[static_cast<std::size_t>(k)] : adj.size();
+        bool descended = false;
+        while (dfs_pos.back() < limit) {
+          index_t r = adj[dfs_pos.back()++];
+          if (mark[static_cast<std::size_t>(r)] != j) {
+            mark[static_cast<std::size_t>(r)] = j;
+            dfs_stack.push_back(r);
+            dfs_pos.push_back(0);
+            descended = true;
+            break;
+          }
+        }
+        if (!descended) {
+          uj.push_back(k);  // k < j fully expanded: a U(k,j) entry
+          dfs_stack.pop_back();
+          dfs_pos.pop_back();
+        }
+      }
+    }
+    std::sort(lj.begin(), lj.end());
+    std::sort(uj.begin(), uj.end());
+    if (use_pruning) {
+      // Eisenstat-Liu: once U(k,j) and L(j,k) both exist, L(:,k)'s DFS
+      // adjacency can stop at row j.
+      for (index_t k : uj) {
+        auto& adj = l_adj[static_cast<std::size_t>(k)];
+        if (pruned_len[static_cast<std::size_t>(k)] != adj.size()) continue;
+        bool sym_entry =
+            std::binary_search(adj.begin(), adj.end(), j);
+        if (sym_entry) {
+          auto it = std::upper_bound(adj.begin(), adj.end(), j);
+          pruned_len[static_cast<std::size_t>(k)] =
+              static_cast<std::size_t>(it - adj.begin());
+        }
+      }
+      // Columns never pruned keep full adjacency for later DFS.
+      if (pruned_len[static_cast<std::size_t>(j)] == 0)
+        pruned_len[static_cast<std::size_t>(j)] = lj.size();
+    }
+  }
+  if (use_pruning) {
+    // pruned_len defaults above only set lazily; normalise unpruned columns.
+    for (index_t k = 0; k < n; ++k) {
+      if (pruned_len[static_cast<std::size_t>(k)] == 0)
+        pruned_len[static_cast<std::size_t>(k)] =
+            l_adj[static_cast<std::size_t>(k)].size();
+    }
+  }
+
+  // Assemble L+U pattern column-wise: U rows (<j), diag, L rows (>j).
+  std::vector<nnz_t> ptr(static_cast<std::size_t>(n) + 1, 0);
+  for (index_t j = 0; j < n; ++j)
+    ptr[static_cast<std::size_t>(j) + 1] =
+        ptr[static_cast<std::size_t>(j)] + 1 +
+        static_cast<nnz_t>(u_rows[static_cast<std::size_t>(j)].size() +
+                           l_adj[static_cast<std::size_t>(j)].size());
+  std::vector<index_t> rows(static_cast<std::size_t>(ptr.back()));
+  std::vector<value_t> vals(static_cast<std::size_t>(ptr.back()), value_t(0));
+  for (index_t j = 0; j < n; ++j) {
+    nnz_t q = ptr[static_cast<std::size_t>(j)];
+    for (index_t r : u_rows[static_cast<std::size_t>(j)])
+      rows[static_cast<std::size_t>(q++)] = r;
+    rows[static_cast<std::size_t>(q++)] = j;
+    for (index_t r : l_adj[static_cast<std::size_t>(j)])
+      rows[static_cast<std::size_t>(q++)] = r;
+  }
+  Csc filled = Csc::from_parts(n, n, std::move(ptr), std::move(rows), std::move(vals));
+  for (index_t j = 0; j < a.n_cols(); ++j) {
+    for (nnz_t p = a.col_begin(j); p < a.col_end(j); ++p) {
+      nnz_t q = filled.find(a.row_idx()[static_cast<std::size_t>(p)], j);
+      PANGULU_CHECK(q >= 0, "A entry missing from filled pattern");
+      filled.values_mut()[static_cast<std::size_t>(q)] =
+          a.values()[static_cast<std::size_t>(p)];
+    }
+  }
+  finish_result(std::move(filled), {}, out);
+  return Status::ok();
+}
+
+double factorization_flops(const Csc& filled) {
+  const index_t n = filled.n_cols();
+  // Count strictly-lower entries per column and strictly-upper entries per
+  // row; column k of the factorisation costs |L_k| divisions plus
+  // 2*|L_k|*|U_k| multiply-adds in the rank-1 update.
+  std::vector<nnz_t> lower_col(static_cast<std::size_t>(n), 0);
+  std::vector<nnz_t> upper_row(static_cast<std::size_t>(n), 0);
+  for (index_t j = 0; j < n; ++j) {
+    for (nnz_t p = filled.col_begin(j); p < filled.col_end(j); ++p) {
+      index_t r = filled.row_idx()[static_cast<std::size_t>(p)];
+      if (r > j)
+        lower_col[static_cast<std::size_t>(j)]++;
+      else if (r < j)
+        upper_row[static_cast<std::size_t>(r)]++;
+    }
+  }
+  double flops = 0;
+  for (index_t k = 0; k < n; ++k) {
+    double lk = static_cast<double>(lower_col[static_cast<std::size_t>(k)]);
+    double uk = static_cast<double>(upper_row[static_cast<std::size_t>(k)]);
+    flops += lk + 2.0 * lk * uk;
+  }
+  return flops;
+}
+
+}  // namespace pangulu::symbolic

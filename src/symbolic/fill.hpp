@@ -1,0 +1,46 @@
+// Symbolic factorisation (step 2 of the pipeline, §4.1/§5.2 of the paper).
+//
+// PanguLU path: symmetrise the matrix and run the O(nnz(L))-ish etree-based
+// symbolic Cholesky ("symmetric pruning" — every path is pruned to its etree
+// parent). Produces the exact filled pattern of L+U.
+//
+// Baseline path (what SuperLU_DIST-style solvers do): column-DFS transitive
+// reachability on the unsymmetrised pattern (Gilbert-Peierls symbolic),
+// optionally accelerated by symmetric pruning. Slower, which is precisely
+// the gap Figure 11 measures.
+#pragma once
+
+#include <vector>
+
+#include "sparse/csc.hpp"
+#include "util/status.hpp"
+
+namespace pangulu::symbolic {
+
+struct SymbolicResult {
+  /// Full pattern of L+U with A's values scattered in; fill-ins hold 0.
+  Csc filled;
+  /// nnz of the strictly-lower / upper-with-diagonal parts.
+  nnz_t nnz_l = 0;
+  nnz_t nnz_u = 0;
+  /// nnz(L+U) counting the diagonal once (the paper's Table 3 metric).
+  nnz_t nnz_lu = 0;
+  /// Elimination tree used (symmetric path only; empty for the DFS path).
+  std::vector<index_t> etree;
+};
+
+/// Symmetric-pruning symbolic factorisation on pattern(A + A^T). `a` must be
+/// square; it is symmetrised internally.
+Status symbolic_symmetric(const Csc& a, SymbolicResult* out);
+
+/// Gilbert-Peierls column-DFS symbolic factorisation on the unsymmetric
+/// pattern. When `use_pruning` is set, DFS descends pruned adjacency only
+/// (Eisenstat-Liu symmetric pruning); otherwise full L columns are searched.
+Status symbolic_unsymmetric(const Csc& a, bool use_pruning, SymbolicResult* out);
+
+/// FLOP count of an LU factorisation with the given filled pattern:
+/// sum over columns of div + 2 * (outer-product update) work, the metric
+/// reported in Table 3 ("PanguLU FLOPs").
+double factorization_flops(const Csc& filled);
+
+}  // namespace pangulu::symbolic

@@ -1,0 +1,85 @@
+#include "symbolic/supernodes.hpp"
+
+#include <algorithm>
+
+namespace pangulu::symbolic {
+
+SupernodePartition detect_supernodes(const Csc& filled, index_t relax,
+                                     index_t max_cols) {
+  const index_t n = filled.n_cols();
+  PANGULU_CHECK(max_cols >= 1, "max_cols >= 1");
+
+  // Strictly-lower pattern of each column (rows > j), taken from L+U.
+  auto lower_rows = [&](index_t j, std::vector<index_t>& out) {
+    out.clear();
+    for (nnz_t p = filled.col_begin(j); p < filled.col_end(j); ++p) {
+      index_t r = filled.row_idx()[static_cast<std::size_t>(p)];
+      if (r > j) out.push_back(r);
+    }
+  };
+
+  SupernodePartition part;
+  part.col_to_supernode.assign(static_cast<std::size_t>(n), -1);
+
+  std::vector<index_t> cur, nxt;
+  index_t j = 0;
+  while (j < n) {
+    lower_rows(j, cur);
+    Supernode sn{j, 1, static_cast<index_t>(cur.size()) + 1, 0};
+    // The union of row patterns over the panel (drives panel height).
+    std::vector<index_t> panel_rows = cur;
+    nnz_t padding = 0;
+
+    index_t k = j + 1;
+    while (k < n && sn.n_cols < max_cols) {
+      lower_rows(k, nxt);
+      // Candidate merge: compare nxt against panel_rows minus row k.
+      // mismatches = rows in either set but not the other (row k excluded
+      // from the panel side, since it becomes a diagonal row of the panel).
+      std::size_t pi = 0, ni = 0;
+      nnz_t mismatch = 0;
+      while (pi < panel_rows.size() || ni < nxt.size()) {
+        index_t pr = pi < panel_rows.size() ? panel_rows[pi] : n;
+        if (pr == k) {
+          ++pi;  // column k joins the panel diagonal; not a mismatch
+          continue;
+        }
+        index_t nr = ni < nxt.size() ? nxt[ni] : n;
+        if (pr == nr) {
+          ++pi;
+          ++ni;
+        } else if (pr < nr) {
+          ++mismatch;  // panel has a row col k lacks -> zero pad in col k
+          ++pi;
+        } else {
+          ++mismatch;  // col k adds a row -> zero pad in earlier columns
+          ++ni;
+        }
+      }
+      if (mismatch > relax) break;
+
+      // Merge: union patterns, account padding.
+      std::vector<index_t> merged;
+      merged.reserve(panel_rows.size() + nxt.size());
+      std::set_union(panel_rows.begin(), panel_rows.end(), nxt.begin(),
+                     nxt.end(), std::back_inserter(merged));
+      merged.erase(std::remove(merged.begin(), merged.end(), k), merged.end());
+      padding += mismatch;
+      panel_rows = std::move(merged);
+      sn.n_cols++;
+      ++k;
+    }
+
+    sn.n_rows = static_cast<index_t>(panel_rows.size()) + sn.n_cols;
+    sn.padding = padding;
+    part.total_padding += padding;
+    auto id = static_cast<index_t>(part.supernodes.size());
+    for (index_t c = sn.first_col; c < sn.first_col + sn.n_cols; ++c)
+      part.col_to_supernode[static_cast<std::size_t>(c)] = id;
+    part.supernodes.push_back(sn);
+    j = sn.first_col + sn.n_cols;
+  }
+  return part;
+}
+
+}  // namespace pangulu::symbolic

@@ -1,0 +1,40 @@
+// Supernode detection with relaxed amalgamation — the structure the
+// supernodal baseline (and Figure 3's motivation study) is built on.
+//
+// A (fundamental) supernode is a maximal run of consecutive columns
+// j..j+s-1 of L whose strictly-lower patterns nest: pattern(L(:,j+1)) =
+// pattern(L(:,j)) \ {j+1}. Relaxed amalgamation additionally merges a
+// column whose pattern differs by at most `relax` rows, introducing
+// explicit zero fill-ins — the padding the paper's Figure 1(d) crosses out.
+#pragma once
+
+#include <vector>
+
+#include "sparse/csc.hpp"
+#include "symbolic/fill.hpp"
+#include "util/types.hpp"
+
+namespace pangulu::symbolic {
+
+struct Supernode {
+  index_t first_col;  // inclusive
+  index_t n_cols;
+  index_t n_rows;     // rows of the supernodal panel (cols + strictly lower)
+  nnz_t padding;      // explicit zeros introduced by relaxed amalgamation
+};
+
+struct SupernodePartition {
+  std::vector<Supernode> supernodes;
+  /// supernode id of each column.
+  std::vector<index_t> col_to_supernode;
+  /// Total explicit-zero padding over all panels.
+  nnz_t total_padding = 0;
+};
+
+/// Detect supernodes on the filled pattern of L+U. `relax` is the maximum
+/// number of pattern mismatches tolerated per merged column (0 = strict
+/// fundamental supernodes); `max_cols` caps panel width.
+SupernodePartition detect_supernodes(const Csc& filled, index_t relax,
+                                     index_t max_cols);
+
+}  // namespace pangulu::symbolic

@@ -1,0 +1,123 @@
+// Simple bucketed histograms used by the motivation experiments (Figures 3
+// and 4 of the paper report supernode-size and block-density distributions).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace pangulu {
+
+/// Histogram over explicit bucket edges: bucket i covers [edges[i],
+/// edges[i+1]); the last bucket is closed on the right.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> edges) : edges_(std::move(edges)) {
+    PANGULU_CHECK(edges_.size() >= 2, "histogram needs at least one bucket");
+    counts_.assign(edges_.size() - 1, 0);
+  }
+
+  /// Histogram with power-of-two bucket edges [1,2), [2,4), ... covering up
+  /// to `max_value`; mirrors the bucketing of Figure 3.
+  static Histogram pow2(double max_value) {
+    std::vector<double> edges{1.0};
+    double e = 2.0;
+    while (e <= max_value) {
+      edges.push_back(e);
+      e *= 2.0;
+    }
+    edges.push_back(e);
+    return Histogram(std::move(edges));
+  }
+
+  /// Ten equal-width percentage buckets [0,10), ... [90,100]; Figure 4.
+  static Histogram percent10() {
+    std::vector<double> edges;
+    for (int i = 0; i <= 10; ++i) edges.push_back(10.0 * i);
+    return Histogram(std::move(edges));
+  }
+
+  void add(double v) {
+    if (v < edges_.front()) {
+      ++underflow_;
+      return;
+    }
+    if (v > edges_.back()) {
+      ++overflow_;
+      return;
+    }
+    auto it = std::upper_bound(edges_.begin(), edges_.end(), v);
+    std::size_t idx = static_cast<std::size_t>(it - edges_.begin());
+    if (idx >= edges_.size()) idx = edges_.size() - 1;  // v == last edge
+    if (idx == 0) idx = 1;
+    ++counts_[idx - 1];
+  }
+
+  std::size_t num_buckets() const { return counts_.size(); }
+  std::int64_t count(std::size_t b) const { return counts_.at(b); }
+  std::int64_t total() const {
+    std::int64_t t = underflow_ + overflow_;
+    for (auto c : counts_) t += c;
+    return t;
+  }
+  double lower_edge(std::size_t b) const { return edges_.at(b); }
+  double upper_edge(std::size_t b) const { return edges_.at(b + 1); }
+
+  /// Bucket label like "[4,8)".
+  std::string label(std::size_t b) const {
+    auto fmt = [](double x) {
+      if (x == static_cast<std::int64_t>(x))
+        return std::to_string(static_cast<std::int64_t>(x));
+      return std::to_string(x);
+    };
+    bool last = (b + 1 == counts_.size());
+    return "[" + fmt(edges_[b]) + "," + fmt(edges_[b + 1]) + (last ? "]" : ")");
+  }
+
+ private:
+  std::vector<double> edges_;
+  std::vector<std::int64_t> counts_;
+  std::int64_t underflow_ = 0;
+  std::int64_t overflow_ = 0;
+};
+
+/// Two-dimensional histogram (Figure 3's heat-map of supernode rows×cols).
+class Histogram2D {
+ public:
+  Histogram2D(std::vector<double> x_edges, std::vector<double> y_edges)
+      : x_(std::move(x_edges)), y_(std::move(y_edges)) {
+    PANGULU_CHECK(x_.size() >= 2 && y_.size() >= 2, "need buckets");
+    counts_.assign((x_.size() - 1) * (y_.size() - 1), 0);
+  }
+
+  void add(double x, double y) {
+    int bx = bucket(x_, x), by = bucket(y_, y);
+    if (bx < 0 || by < 0) return;
+    counts_[static_cast<std::size_t>(by) * (x_.size() - 1) +
+            static_cast<std::size_t>(bx)]++;
+  }
+
+  std::size_t nx() const { return x_.size() - 1; }
+  std::size_t ny() const { return y_.size() - 1; }
+  std::int64_t count(std::size_t bx, std::size_t by) const {
+    return counts_.at(by * nx() + bx);
+  }
+
+ private:
+  static int bucket(const std::vector<double>& edges, double v) {
+    if (v < edges.front() || v > edges.back()) return -1;
+    auto it = std::upper_bound(edges.begin(), edges.end(), v);
+    std::size_t idx = static_cast<std::size_t>(it - edges.begin());
+    if (idx >= edges.size()) idx = edges.size() - 1;
+    if (idx == 0) idx = 1;
+    return static_cast<int>(idx - 1);
+  }
+
+  std::vector<double> x_, y_;
+  std::vector<std::int64_t> counts_;
+};
+
+}  // namespace pangulu

@@ -1,0 +1,73 @@
+// Lightweight status/error reporting without exceptions on hot paths.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace pangulu {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kFailedPrecondition,
+  kNumericalError,
+  kIoError,
+  kInternal,
+};
+
+/// Value-semantic status object. `Status::ok()` is the success singleton.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return Status(); }
+  static Status invalid_argument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status out_of_range(std::string m) {
+    return Status(StatusCode::kOutOfRange, std::move(m));
+  }
+  static Status failed_precondition(std::string m) {
+    return Status(StatusCode::kFailedPrecondition, std::move(m));
+  }
+  static Status numerical_error(std::string m) {
+    return Status(StatusCode::kNumericalError, std::move(m));
+  }
+  static Status io_error(std::string m) {
+    return Status(StatusCode::kIoError, std::move(m));
+  }
+  static Status internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+
+  bool is_ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Throws std::runtime_error when not ok. Used at API boundaries where the
+  /// caller opted into exceptions.
+  void check() const {
+    if (!is_ok()) throw std::runtime_error(message_);
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Assertion macro for internal invariants. Enabled in all build types: the
+/// solver's correctness contracts are cheap relative to factorisation work.
+#define PANGULU_CHECK(cond, msg)                                           \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      throw std::logic_error(std::string("PANGULU_CHECK failed: ") + msg + \
+                             " at " + __FILE__ + ":" +                     \
+                             std::to_string(__LINE__));                    \
+    }                                                                      \
+  } while (0)
+
+}  // namespace pangulu

@@ -1,0 +1,73 @@
+// Plain-text table rendering for benchmark reports. The bench binaries print
+// the same rows the paper's tables/figures report; this keeps the output
+// aligned and diffable.
+#pragma once
+
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace pangulu {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  /// Append a row; each cell is already formatted.
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  /// Convenience cell formatters.
+  static std::string fmt(double v, int precision = 3) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+  }
+  static std::string fmt_sci(double v, int precision = 2) {
+    std::ostringstream os;
+    os << std::scientific << std::setprecision(precision) << v;
+    return os.str();
+  }
+  static std::string fmt_speedup(double v) { return fmt(v, 2) + "x"; }
+
+  void print(std::ostream& os) const {
+    std::vector<std::size_t> width(header_.size(), 0);
+    auto grow = [&](const std::vector<std::string>& row) {
+      for (std::size_t i = 0; i < row.size() && i < width.size(); ++i)
+        width[i] = std::max(width[i], row[i].size());
+    };
+    grow(header_);
+    for (const auto& r : rows_) grow(r);
+
+    auto line = [&](const std::vector<std::string>& row) {
+      for (std::size_t i = 0; i < width.size(); ++i) {
+        std::string cell = i < row.size() ? row[i] : "";
+        os << std::left << std::setw(static_cast<int>(width[i]) + 2) << cell;
+      }
+      os << '\n';
+    };
+    line(header_);
+    std::string sep;
+    for (auto w : width) sep += std::string(w, '-') + "  ";
+    os << sep << '\n';
+    for (const auto& r : rows_) line(r);
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Geometric mean of a series of positive ratios (speedups); the paper
+/// reports geomean speedups in Sections 5.2-5.5.
+inline double geomean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double acc = 0.0;
+  for (double x : xs) acc += std::log(x);
+  return std::exp(acc / static_cast<double>(xs.size()));
+}
+
+}  // namespace pangulu

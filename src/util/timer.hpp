@@ -1,0 +1,46 @@
+// Wall-clock timing helpers.
+#pragma once
+
+#include <chrono>
+
+namespace pangulu {
+
+/// Monotonic wall-clock stopwatch. `seconds()` reads elapsed time since the
+/// last `reset()` (or construction) without stopping the clock.
+class Timer {
+ public:
+  Timer() { reset(); }
+
+  void reset() { start_ = clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulating timer for phase breakdowns: `tic()`/`toc()` pairs add into a
+/// running total, so one object can meter a phase entered many times.
+class PhaseTimer {
+ public:
+  void tic() { t_.reset(); running_ = true; }
+  void toc() {
+    if (running_) {
+      total_ += t_.seconds();
+      running_ = false;
+    }
+  }
+  double total_seconds() const { return total_; }
+  void clear() { total_ = 0.0; running_ = false; }
+
+ private:
+  Timer t_;
+  double total_ = 0.0;
+  bool running_ = false;
+};
+
+}  // namespace pangulu

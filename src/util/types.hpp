@@ -1,0 +1,22 @@
+// Fundamental scalar and index types used across the PanguLU reproduction.
+#pragma once
+
+#include <cstdint>
+
+namespace pangulu {
+
+/// Index type for rows/columns. Matrices in this repo fit comfortably in
+/// 32 bits; nnz counters use 64 bits (see nnz_t) because fill-in can exceed
+/// the nnz of A by two orders of magnitude.
+using index_t = std::int32_t;
+
+/// Nonzero counter / CSC pointer type.
+using nnz_t = std::int64_t;
+
+/// Numeric value type. The paper evaluates in double precision.
+using value_t = double;
+
+/// Identifier of a logical process (rank) in the simulated cluster.
+using rank_t = std::int32_t;
+
+}  // namespace pangulu

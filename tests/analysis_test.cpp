@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "matgen/generators.hpp"
+#include "sparse/analysis.hpp"
+
+namespace pangulu {
+namespace {
+
+TEST(Analysis, SymmetricMatrixScoresOne) {
+  Csc a = matgen::grid2d_laplacian(10, 10);
+  MatrixProfile p = analyze(a);
+  EXPECT_EQ(p.n_rows, 100);
+  EXPECT_DOUBLE_EQ(p.pattern_symmetry, 1.0);
+  EXPECT_DOUBLE_EQ(p.value_symmetry, 1.0);
+  EXPECT_TRUE(p.diagonally_dominant);
+  EXPECT_EQ(p.diagonal_nnz, 100);
+  EXPECT_EQ(p.bandwidth, 10);  // 5-point stencil on a width-10 grid
+}
+
+TEST(Analysis, UnsymmetricMatrixScoresBelowOne) {
+  Csc a = matgen::circuit(300, 2.5, 2.1, 7);
+  MatrixProfile p = analyze(a);
+  EXPECT_LT(p.pattern_symmetry, 1.0);
+  EXPECT_GT(p.pattern_symmetry, 0.0);
+  EXPECT_LE(p.value_symmetry, p.pattern_symmetry);
+  EXPECT_GT(p.column_imbalance, 2.0) << "hubs expected";
+}
+
+TEST(Analysis, HandBuiltMatrixExactNumbers) {
+  Coo coo(3, 3);
+  coo.add(0, 0, 2.0);
+  coo.add(1, 1, 2.0);
+  coo.add(2, 2, 2.0);
+  coo.add(1, 0, -1.0);
+  coo.add(0, 1, -1.0);  // mirrored pair with equal values
+  coo.add(2, 0, 0.5);   // one-sided
+  MatrixProfile p = analyze(Csc::from_coo(coo));
+  EXPECT_EQ(p.nnz, 6);
+  EXPECT_EQ(p.diagonal_nnz, 3);
+  EXPECT_EQ(p.bandwidth, 2);
+  EXPECT_NEAR(p.pattern_symmetry, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(p.value_symmetry, 2.0 / 3.0, 1e-12);
+  EXPECT_TRUE(p.diagonally_dominant);
+  EXPECT_EQ(p.max_column_nnz, 3);
+}
+
+TEST(Analysis, NotDominantWhenOffdiagWins) {
+  Coo coo(2, 2);
+  coo.add(0, 0, 1.0);
+  coo.add(1, 1, 1.0);
+  coo.add(1, 0, 5.0);
+  MatrixProfile p = analyze(Csc::from_coo(coo));
+  EXPECT_FALSE(p.diagonally_dominant);
+}
+
+TEST(Analysis, ReportMentionsKeyNumbers) {
+  Csc a = matgen::grid2d_laplacian(4, 4);
+  std::string s = to_string(analyze(a));
+  EXPECT_NE(s.find("16 x 16"), std::string::npos);
+  EXPECT_NE(s.find("diagonally dominant"), std::string::npos);
+}
+
+TEST(Analysis, RectangularMatrixSkipsSquareOnlyMetrics) {
+  Csc a = matgen::random_rect(5, 8, 0.4, 3);
+  MatrixProfile p = analyze(a);
+  EXPECT_EQ(p.n_rows, 5);
+  EXPECT_EQ(p.n_cols, 8);
+  EXPECT_FALSE(p.diagonally_dominant);
+}
+
+}  // namespace
+}  // namespace pangulu

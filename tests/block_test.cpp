@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include "block/layout.hpp"
+#include "block/mapping.hpp"
+#include "block/tasks.hpp"
+#include "matgen/generators.hpp"
+#include "symbolic/fill.hpp"
+
+namespace pangulu::block {
+namespace {
+
+Csc make_filled(index_t grid_edge) {
+  Csc a = matgen::grid2d_laplacian(grid_edge, grid_edge);
+  symbolic::SymbolicResult sym;
+  symbolic::symbolic_symmetric(a, &sym).check();
+  return std::move(sym.filled);
+}
+
+TEST(BlockGrid, IndexingMath) {
+  BlockGrid g(100, 16);
+  EXPECT_EQ(g.nb, 7);
+  EXPECT_EQ(g.block_of(0), 0);
+  EXPECT_EQ(g.block_of(15), 0);
+  EXPECT_EQ(g.block_of(16), 1);
+  EXPECT_EQ(g.offset_of(17), 1);
+  EXPECT_EQ(g.block_dim(6), 4);  // 100 - 6*16
+  EXPECT_EQ(g.block_start(2), 32);
+}
+
+TEST(BlockGrid, ChooseBlockSizeScalesWithDensity) {
+  index_t sparse_b = choose_block_size(10000, 50000);    // ~5 per row
+  index_t dense_b = choose_block_size(10000, 10000000);  // ~1000 per row
+  EXPECT_LT(sparse_b, dense_b);
+  EXPECT_GE(sparse_b, 16);
+  EXPECT_LE(dense_b, 256);
+  // Tiny matrix: keep at least min_blocks blocks.
+  EXPECT_LE(choose_block_size(64, 4096, 8), 8);
+}
+
+class BlockMatrixP : public ::testing::TestWithParam<index_t> {};
+
+TEST_P(BlockMatrixP, RoundTripsThroughBlocks) {
+  Csc filled = make_filled(10);
+  BlockMatrix bm = BlockMatrix::from_filled(filled, GetParam());
+  EXPECT_EQ(bm.total_nnz(), filled.nnz());
+  Csc back = bm.to_csc();
+  EXPECT_TRUE(back.approx_equal(filled, 0.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(BlockSizes, BlockMatrixP,
+                         ::testing::Values<index_t>(1, 7, 16, 64, 1000));
+
+TEST(BlockMatrix, FindBlockAndRowView) {
+  Csc filled = make_filled(8);
+  BlockMatrix bm = BlockMatrix::from_filled(filled, 16);
+  for (index_t bj = 0; bj < bm.nb(); ++bj) {
+    for (nnz_t p = bm.col_begin(bj); p < bm.col_end(bj); ++p) {
+      EXPECT_EQ(bm.find_block(bm.block_row(p), bj), p);
+      EXPECT_EQ(bm.block_col_of(p), bj);
+    }
+  }
+  EXPECT_EQ(bm.find_block(bm.nb() - 1, 0) >= 0 ||
+                bm.find_block(bm.nb() - 1, 0) == -1,
+            true);
+  // Row view covers exactly the same blocks.
+  nnz_t seen = 0;
+  for (index_t bi = 0; bi < bm.nb(); ++bi) {
+    for (nnz_t rp = bm.row_begin(bi); rp < bm.row_end(bi); ++rp) {
+      EXPECT_EQ(bm.block_row_of(bm.row_block_pos(rp)), bi);
+      EXPECT_EQ(bm.block_col_of(bm.row_block_pos(rp)), bm.row_block_col(rp));
+      ++seen;
+    }
+  }
+  EXPECT_EQ(seen, bm.n_blocks());
+}
+
+TEST(Tasks, EnumerationHasOneGetrfPerStepAndValidDeps) {
+  Csc filled = make_filled(9);
+  BlockMatrix bm = BlockMatrix::from_filled(filled, 12);
+  auto tasks = enumerate_tasks(bm);
+  std::vector<int> getrf_count(static_cast<std::size_t>(bm.nb()), 0);
+  for (const auto& t : tasks) {
+    EXPECT_GE(t.weight, 0.0);
+    EXPECT_GE(t.target, 0);
+    switch (t.kind) {
+      case TaskKind::kGetrf:
+        EXPECT_EQ(t.bi, t.k);
+        EXPECT_EQ(t.bj, t.k);
+        getrf_count[static_cast<std::size_t>(t.k)]++;
+        break;
+      case TaskKind::kGessm:
+        EXPECT_EQ(t.bi, t.k);
+        EXPECT_GT(t.bj, t.k);
+        EXPECT_GE(t.src_a, 0);
+        break;
+      case TaskKind::kTstrf:
+        EXPECT_EQ(t.bj, t.k);
+        EXPECT_GT(t.bi, t.k);
+        break;
+      case TaskKind::kSsssm:
+        EXPECT_GT(t.bi, t.k);
+        EXPECT_GT(t.bj, t.k);
+        EXPECT_GE(t.src_a, 0);
+        EXPECT_GE(t.src_b, 0);
+        EXPECT_GT(t.weight, 0.0);
+        break;
+    }
+  }
+  for (index_t k = 0; k < bm.nb(); ++k)
+    EXPECT_EQ(getrf_count[static_cast<std::size_t>(k)], 1);
+}
+
+TEST(Tasks, SyncFreeArrayCountsIncomingUpdates) {
+  Csc filled = make_filled(9);
+  BlockMatrix bm = BlockMatrix::from_filled(filled, 12);
+  auto tasks = enumerate_tasks(bm);
+  auto arr = sync_free_array(bm, tasks);
+  // Recount manually.
+  std::vector<index_t> manual(static_cast<std::size_t>(bm.n_blocks()), 0);
+  for (const auto& t : tasks) {
+    if (t.kind != TaskKind::kGetrf) manual[static_cast<std::size_t>(t.target)]++;
+  }
+  EXPECT_EQ(arr, manual);
+  // The very first diagonal block has no incoming work.
+  EXPECT_EQ(arr[static_cast<std::size_t>(bm.find_block(0, 0))], 0);
+}
+
+TEST(ProcessGrid, NearSquareFactorisation) {
+  EXPECT_EQ(ProcessGrid::make(1).size(), 1);
+  auto g4 = ProcessGrid::make(4);
+  EXPECT_EQ(g4.pr, 2);
+  EXPECT_EQ(g4.pc, 2);
+  auto g12 = ProcessGrid::make(12);
+  EXPECT_EQ(g12.pr * g12.pc, 12);
+  EXPECT_LE(g12.pr, g12.pc);
+  auto g7 = ProcessGrid::make(7);
+  EXPECT_EQ(g7.pr, 1);
+  EXPECT_EQ(g7.pc, 7);
+}
+
+TEST(Mapping, CyclicCoversAllRanksOnBigGrids) {
+  Csc filled = make_filled(12);
+  BlockMatrix bm = BlockMatrix::from_filled(filled, 8);
+  auto grid = ProcessGrid::make(4);
+  Mapping m = cyclic_mapping(bm, grid);
+  ASSERT_EQ(m.owner.size(), static_cast<std::size_t>(bm.n_blocks()));
+  std::vector<int> hit(4, 0);
+  for (rank_t r : m.owner) {
+    ASSERT_GE(r, 0);
+    ASSERT_LT(r, 4);
+    hit[static_cast<std::size_t>(r)]++;
+  }
+  for (int h : hit) EXPECT_GT(h, 0);
+}
+
+TEST(Mapping, BalancedMappingStaysValidAndHelps) {
+  Csc filled = make_filled(14);
+  BlockMatrix bm = BlockMatrix::from_filled(filled, 8);
+  auto tasks = enumerate_tasks(bm);
+  auto grid = ProcessGrid::make(4);
+  Mapping cyc = cyclic_mapping(bm, grid);
+  BalanceStats stats;
+  Mapping bal = balanced_mapping(bm, tasks, grid, cyc, &stats);
+  ASSERT_EQ(bal.owner.size(), cyc.owner.size());
+  for (rank_t r : bal.owner) {
+    ASSERT_GE(r, 0);
+    ASSERT_LT(r, 4);
+  }
+  // The balancer must not make the maximum rank weight worse.
+  EXPECT_LE(stats.max_weight_after, stats.max_weight_before * 1.0 + 1e-9);
+  // Totals conserved: the same work is just redistributed.
+  auto w_cyc = rank_weights(tasks, cyc);
+  auto w_bal = rank_weights(tasks, bal);
+  double t0 = 0, t1 = 0;
+  for (double w : w_cyc) t0 += w;
+  for (double w : w_bal) t1 += w;
+  EXPECT_NEAR(t0, t1, 1e-6 * t0);
+}
+
+TEST(Mapping, SingleRankIsNoOp) {
+  Csc filled = make_filled(6);
+  BlockMatrix bm = BlockMatrix::from_filled(filled, 8);
+  auto tasks = enumerate_tasks(bm);
+  auto grid = ProcessGrid::make(1);
+  Mapping cyc = cyclic_mapping(bm, grid);
+  Mapping bal = balanced_mapping(bm, tasks, grid, cyc, nullptr);
+  EXPECT_EQ(bal.owner, cyc.owner);
+}
+
+}  // namespace
+}  // namespace pangulu::block

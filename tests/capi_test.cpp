@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "capi/pangulu_c.h"
+#include "io/matrix_market.hpp"
+#include "matgen/generators.hpp"
+#include "sparse/ops.hpp"
+
+namespace {
+
+using pangulu::Csc;
+using pangulu::index_t;
+using pangulu::value_t;
+
+struct CscArrays {
+  std::vector<int64_t> col_ptr;
+  std::vector<int32_t> row_idx;
+  std::vector<double> values;
+};
+
+CscArrays to_arrays(const Csc& m) {
+  CscArrays a;
+  a.col_ptr.assign(m.col_ptr().begin(), m.col_ptr().end());
+  a.row_idx.assign(m.row_idx().begin(), m.row_idx().end());
+  a.values.assign(m.values().begin(), m.values().end());
+  return a;
+}
+
+TEST(CApi, CreateFactorizeSolveRoundTrip) {
+  Csc m = pangulu::matgen::grid2d_laplacian(12, 12);
+  CscArrays a = to_arrays(m);
+  pangulu_handle* h = nullptr;
+  ASSERT_EQ(pangulu_create(m.n_cols(), a.col_ptr.data(), a.row_idx.data(),
+                           a.values.data(), &h),
+            PANGULU_OK);
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(pangulu_matrix_order(h), 144);
+  EXPECT_EQ(pangulu_nnz_lu(h), -1) << "not factorised yet";
+
+  ASSERT_EQ(pangulu_factorize(h, 4, 0), PANGULU_OK);
+  EXPECT_GT(pangulu_nnz_lu(h), m.nnz());
+  EXPECT_GT(pangulu_factor_flops(h), 0.0);
+  EXPECT_GT(pangulu_modeled_numeric_seconds(h), 0.0);
+
+  std::vector<value_t> ones(static_cast<std::size_t>(m.n_cols()), 1.0);
+  std::vector<double> bx(static_cast<std::size_t>(m.n_rows()));
+  m.spmv(ones, bx);
+  ASSERT_EQ(pangulu_solve(h, bx.data()), PANGULU_OK);
+  for (double v : bx) EXPECT_NEAR(v, 1.0, 1e-8);
+
+  pangulu_destroy(h);
+}
+
+TEST(CApi, TransposeSolve) {
+  Csc m = pangulu::matgen::cage_style(120, 3, 5);
+  CscArrays a = to_arrays(m);
+  pangulu_handle* h = nullptr;
+  ASSERT_EQ(pangulu_create(m.n_cols(), a.col_ptr.data(), a.row_idx.data(),
+                           a.values.data(), &h),
+            PANGULU_OK);
+  ASSERT_EQ(pangulu_factorize(h, 1, 0), PANGULU_OK);
+  std::vector<value_t> ones(static_cast<std::size_t>(m.n_cols()), 1.0);
+  std::vector<double> bx(static_cast<std::size_t>(m.n_rows()));
+  m.transpose().spmv(ones, bx);
+  ASSERT_EQ(pangulu_solve_transpose(h, bx.data()), PANGULU_OK);
+  for (double v : bx) EXPECT_NEAR(v, 1.0, 1e-7);
+  pangulu_destroy(h);
+}
+
+TEST(CApi, ErrorPathsReportCodesAndMessages) {
+  pangulu_handle* h = nullptr;
+  EXPECT_EQ(pangulu_create(3, nullptr, nullptr, nullptr, &h),
+            PANGULU_INVALID_ARGUMENT);
+
+  // Malformed CSC: unsorted rows.
+  std::vector<int64_t> cp = {0, 2, 2, 2};
+  std::vector<int32_t> ri = {2, 0};
+  std::vector<double> v = {1.0, 2.0};
+  EXPECT_NE(pangulu_create(3, cp.data(), ri.data(), v.data(), &h), PANGULU_OK);
+
+  // Solve before factorise.
+  Csc m = pangulu::matgen::grid2d_laplacian(4, 4);
+  CscArrays a = to_arrays(m);
+  ASSERT_EQ(pangulu_create(m.n_cols(), a.col_ptr.data(), a.row_idx.data(),
+                           a.values.data(), &h),
+            PANGULU_OK);
+  std::vector<double> bx(16, 1.0);
+  EXPECT_EQ(pangulu_solve(h, bx.data()), PANGULU_FAILED_PRECONDITION);
+  EXPECT_NE(std::string(pangulu_last_error(h)), "");
+  pangulu_destroy(h);
+
+  // Structurally singular matrix fails factorisation with a numeric code.
+  std::vector<int64_t> cp2 = {0, 1, 1};
+  std::vector<int32_t> ri2 = {0};
+  std::vector<double> v2 = {1.0};
+  ASSERT_EQ(pangulu_create(2, cp2.data(), ri2.data(), v2.data(), &h),
+            PANGULU_OK);
+  EXPECT_EQ(pangulu_factorize(h, 1, 0), PANGULU_NUMERICAL_ERROR);
+  pangulu_destroy(h);
+
+  // Null handles are tolerated.
+  EXPECT_EQ(pangulu_matrix_order(nullptr), -1);
+  EXPECT_EQ(pangulu_nnz_lu(nullptr), -1);
+  EXPECT_EQ(pangulu_solve(nullptr, bx.data()), PANGULU_INVALID_ARGUMENT);
+  pangulu_destroy(nullptr);
+}
+
+TEST(CApi, CreateFromFile) {
+  Csc m = pangulu::matgen::grid2d_laplacian(6, 6);
+  const std::string path = ::testing::TempDir() + "/capi_test.mtx";
+  pangulu::io::write_matrix_market_file(path, m).check();
+  pangulu_handle* h = nullptr;
+  ASSERT_EQ(pangulu_create_from_file(path.c_str(), &h), PANGULU_OK);
+  EXPECT_EQ(pangulu_matrix_order(h), 36);
+  ASSERT_EQ(pangulu_factorize(h, 2, 0), PANGULU_OK);
+  pangulu_destroy(h);
+  EXPECT_EQ(pangulu_create_from_file("/no/such/file.mtx", &h),
+            PANGULU_IO_ERROR);
+}
+
+}  // namespace

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "matgen/generators.hpp"
+#include "symbolic/col_counts.hpp"
+#include "symbolic/fill.hpp"
+
+namespace pangulu::symbolic {
+namespace {
+
+/// Ground truth: count lower-column nonzeros from the full fill pattern.
+std::vector<nnz_t> counts_from_fill(const Csc& a) {
+  SymbolicResult sym;
+  symbolic_symmetric(a, &sym).check();
+  std::vector<nnz_t> counts(static_cast<std::size_t>(a.n_cols()), 0);
+  for (index_t j = 0; j < a.n_cols(); ++j) {
+    for (nnz_t p = sym.filled.col_begin(j); p < sym.filled.col_end(j); ++p) {
+      if (sym.filled.row_idx()[static_cast<std::size_t>(p)] >= j)
+        counts[static_cast<std::size_t>(j)]++;
+    }
+  }
+  return counts;
+}
+
+class ColCountsP : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ColCountsP, MatchesFullSymbolicOnRandomMatrices) {
+  Csc a = matgen::random_sparse(60, 3, GetParam());
+  EXPECT_EQ(factor_column_counts(a), counts_from_fill(a));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ColCountsP,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+TEST(ColCounts, MatchesOnStructuredMatrices) {
+  for (const char* name : {"ecology1", "ASIC_680k", "nlpkkt80", "cage12"}) {
+    SCOPED_TRACE(name);
+    Csc a = matgen::paper_matrix(name, 0.2);
+    EXPECT_EQ(factor_column_counts(a), counts_from_fill(a));
+  }
+}
+
+TEST(ColCounts, TridiagonalIsTwoPerColumn) {
+  const index_t n = 10;
+  Coo coo(n, n);
+  for (index_t i = 0; i < n; ++i) {
+    coo.add(i, i, 2.0);
+    if (i + 1 < n) {
+      coo.add(i + 1, i, -1.0);
+      coo.add(i, i + 1, -1.0);
+    }
+  }
+  auto counts = factor_column_counts(Csc::from_coo(coo));
+  for (index_t j = 0; j + 1 < n; ++j)
+    EXPECT_EQ(counts[static_cast<std::size_t>(j)], 2);
+  EXPECT_EQ(counts[static_cast<std::size_t>(n - 1)], 1);
+}
+
+TEST(ColCounts, EstimateFillMatchesSymbolicNnz) {
+  for (std::uint64_t seed : {11u, 22u, 33u}) {
+    Csc a = matgen::random_sparse(80, 4, seed);
+    SymbolicResult sym;
+    symbolic_symmetric(a, &sym).check();
+    EXPECT_EQ(estimate_fill(a), sym.nnz_lu) << "seed " << seed;
+  }
+}
+
+TEST(ColCounts, DenseMatrixCountsAreTriangular) {
+  const index_t n = 7;
+  Csc a = matgen::random_sparse(n, n, 1, false);
+  SymbolicResult sym;
+  symbolic_symmetric(a, &sym).check();
+  if (sym.filled.nnz() != static_cast<nnz_t>(n) * n) GTEST_SKIP();
+  auto counts = factor_column_counts(a);
+  for (index_t j = 0; j < n; ++j)
+    EXPECT_EQ(counts[static_cast<std::size_t>(j)], n - j);
+}
+
+}  // namespace
+}  // namespace pangulu::symbolic

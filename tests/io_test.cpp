@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "io/matrix_market.hpp"
+#include "matgen/generators.hpp"
+
+namespace pangulu::io {
+namespace {
+
+TEST(MatrixMarket, RoundTrip) {
+  Csc m = matgen::random_sparse(40, 4, 77);
+  std::stringstream ss;
+  ASSERT_TRUE(write_matrix_market(ss, m).is_ok());
+  Csc back;
+  ASSERT_TRUE(read_matrix_market(ss, &back).is_ok());
+  EXPECT_TRUE(m.approx_equal(back, 1e-15));
+}
+
+TEST(MatrixMarket, ReadsSymmetricStorage) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "% a comment\n"
+      "3 3 4\n"
+      "1 1 2.0\n"
+      "2 1 -1.0\n"
+      "3 2 -1.0\n"
+      "3 3 2.0\n");
+  Csc m;
+  ASSERT_TRUE(read_matrix_market(ss, &m).is_ok());
+  EXPECT_EQ(m.nnz(), 6);  // two off-diagonal entries mirrored
+  EXPECT_DOUBLE_EQ(m.at(0, 1), -1.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 0), -1.0);
+}
+
+TEST(MatrixMarket, ReadsPatternAsOnes) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 2\n"
+      "1 1\n"
+      "2 2\n");
+  Csc m;
+  ASSERT_TRUE(read_matrix_market(ss, &m).is_ok());
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 1.0);
+}
+
+TEST(MatrixMarket, ReadsSkewSymmetric) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+      "2 2 1\n"
+      "2 1 3.0\n");
+  Csc m;
+  ASSERT_TRUE(read_matrix_market(ss, &m).is_ok());
+  EXPECT_DOUBLE_EQ(m.at(1, 0), 3.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), -3.0);
+}
+
+TEST(MatrixMarket, RejectsGarbage) {
+  Csc m;
+  {
+    std::stringstream ss("not a matrix market file\n1 1 1\n");
+    EXPECT_FALSE(read_matrix_market(ss, &m).is_ok());
+  }
+  {
+    std::stringstream ss("%%MatrixMarket matrix array real general\n2 2\n");
+    EXPECT_FALSE(read_matrix_market(ss, &m).is_ok());
+  }
+  {
+    std::stringstream ss(
+        "%%MatrixMarket matrix coordinate real general\n2 2 1\n5 1 1.0\n");
+    EXPECT_FALSE(read_matrix_market(ss, &m).is_ok());  // index out of range
+  }
+  {
+    std::stringstream ss(
+        "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1.0\n");
+    EXPECT_FALSE(read_matrix_market(ss, &m).is_ok());  // truncated
+  }
+}
+
+TEST(MatrixMarket, FileRoundTrip) {
+  Csc m = matgen::grid2d_laplacian(6, 6);
+  const std::string path = ::testing::TempDir() + "/pangulu_io_test.mtx";
+  ASSERT_TRUE(write_matrix_market_file(path, m).is_ok());
+  Csc back;
+  ASSERT_TRUE(read_matrix_market_file(path, &back).is_ok());
+  EXPECT_TRUE(m.approx_equal(back, 1e-15));
+  EXPECT_FALSE(read_matrix_market_file("/nonexistent/file.mtx", &back).is_ok());
+}
+
+}  // namespace
+}  // namespace pangulu::io

@@ -1,0 +1,102 @@
+// Concurrency stress for the "G_" kernel variants: on this host they run on
+// a thread pool, and the point of these tests is to exercise the
+// interleavings (hardware_concurrency is 1 here, so the module tests would
+// otherwise run the parallel code paths effectively serially). Each test
+// repeats the kernel under a wide pool and demands bit-stable agreement
+// with the serial result.
+#include <gtest/gtest.h>
+
+#include "kernels/getrf.hpp"
+#include "kernels/gessm.hpp"
+#include "kernels/ssssm.hpp"
+#include "kernels/tstrf.hpp"
+#include "matgen/generators.hpp"
+#include "test_util.hpp"
+
+namespace pangulu::kernels {
+namespace {
+
+using test::add_product_pattern;
+using test::close_lower_solve_pattern;
+using test::close_lu_pattern;
+using test::close_upper_solve_pattern;
+
+constexpr int kTrials = 8;
+
+TEST(Concurrency, GetrfSfluStableAcrossInterleavings) {
+  ThreadPool pool(6);
+  Csc base = close_lu_pattern(matgen::random_sparse(160, 7, 3));
+  Workspace ws;
+  Csc serial = base;
+  ASSERT_TRUE(getrf(GetrfVariant::kGV1, serial, ws, nullptr, {}, nullptr).is_ok());
+  for (int trial = 0; trial < kTrials; ++trial) {
+    for (auto v : {GetrfVariant::kGV1, GetrfVariant::kGV2}) {
+      Csc work = base;
+      ASSERT_TRUE(getrf(v, work, ws, nullptr, {}, &pool).is_ok());
+      ASSERT_TRUE(work.approx_equal(serial, 1e-12))
+          << to_string(v) << " trial " << trial;
+    }
+  }
+}
+
+TEST(Concurrency, PanelKernelsStableAcrossInterleavings) {
+  ThreadPool pool(6);
+  Workspace ws;
+  Csc diag = close_lu_pattern(matgen::random_sparse(96, 6, 11));
+  ASSERT_TRUE(getrf(GetrfVariant::kCV1, diag, ws, nullptr).is_ok());
+
+  Csc bg = close_lower_solve_pattern(diag, matgen::random_rect(96, 80, 0.2, 12));
+  Csc gessm_serial = bg;
+  ASSERT_TRUE(gessm(PanelVariant::kCV1, diag, gessm_serial, ws).is_ok());
+
+  Csc bt = close_upper_solve_pattern(diag, matgen::random_rect(80, 96, 0.2, 13));
+  Csc tstrf_serial = bt;
+  ASSERT_TRUE(tstrf(PanelVariant::kCV1, diag, tstrf_serial, ws).is_ok());
+
+  for (int trial = 0; trial < kTrials; ++trial) {
+    for (auto v : {PanelVariant::kGV1, PanelVariant::kGV2, PanelVariant::kGV3}) {
+      Csc work = bg;
+      ASSERT_TRUE(gessm(v, diag, work, ws, &pool).is_ok());
+      ASSERT_TRUE(work.approx_equal(gessm_serial, 1e-12))
+          << "GESSM " << to_string(v) << " trial " << trial;
+      Csc workt = bt;
+      ASSERT_TRUE(tstrf(v, diag, workt, ws, &pool).is_ok());
+      ASSERT_TRUE(workt.approx_equal(tstrf_serial, 1e-12))
+          << "TSTRF " << to_string(v) << " trial " << trial;
+    }
+  }
+}
+
+TEST(Concurrency, SsssmStableAcrossInterleavings) {
+  ThreadPool pool(6);
+  Workspace ws;
+  Csc a = matgen::random_rect(90, 90, 0.15, 21);
+  Csc b = matgen::random_rect(90, 90, 0.15, 22);
+  Csc c = add_product_pattern(a, b, matgen::random_rect(90, 90, 0.1, 23));
+  Csc serial = c;
+  ASSERT_TRUE(ssssm(SsssmVariant::kCV2, a, b, serial, ws).is_ok());
+  for (int trial = 0; trial < kTrials; ++trial) {
+    for (auto v : {SsssmVariant::kGV1, SsssmVariant::kGV2}) {
+      Csc work = c;
+      ASSERT_TRUE(ssssm(v, a, b, work, ws, &pool).is_ok());
+      ASSERT_TRUE(work.approx_equal(serial, 1e-12))
+          << to_string(v) << " trial " << trial;
+    }
+  }
+}
+
+TEST(Concurrency, ManyPoolSizes) {
+  Csc base = close_lu_pattern(matgen::random_sparse(128, 6, 31));
+  Workspace ws;
+  Csc serial = base;
+  ASSERT_TRUE(getrf(GetrfVariant::kGV2, serial, ws, nullptr, {}, nullptr).is_ok());
+  for (std::size_t threads : {2u, 3u, 5u, 8u}) {
+    ThreadPool pool(threads);
+    Csc work = base;
+    ASSERT_TRUE(getrf(GetrfVariant::kGV2, work, ws, nullptr, {}, &pool).is_ok());
+    EXPECT_TRUE(work.approx_equal(serial, 1e-12)) << threads << " threads";
+  }
+}
+
+}  // namespace
+}  // namespace pangulu::kernels

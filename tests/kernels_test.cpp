@@ -1,0 +1,328 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "kernels/getrf.hpp"
+#include "kernels/gessm.hpp"
+#include "kernels/selector.hpp"
+#include "kernels/ssssm.hpp"
+#include "kernels/tstrf.hpp"
+#include "matgen/generators.hpp"
+#include "sparse/dense.hpp"
+#include "test_util.hpp"
+
+namespace pangulu::kernels {
+namespace {
+
+using test::add_product_pattern;
+using test::close_lower_solve_pattern;
+using test::close_lu_pattern;
+using test::close_upper_solve_pattern;
+
+// ---------------------------------------------------------------- GETRF ----
+
+class GetrfP : public ::testing::TestWithParam<
+                   std::tuple<GetrfVariant, index_t, double, std::uint64_t>> {};
+
+TEST_P(GetrfP, MatchesDenseReference) {
+  auto [variant, n, density, seed] = GetParam();
+  Csc a = close_lu_pattern(
+      matgen::random_sparse(n, std::max<index_t>(2, static_cast<index_t>(density * n)),
+                            seed));
+  Csc ref = a;
+  ASSERT_TRUE(getrf_reference(ref).is_ok());
+  Workspace ws;
+  PivotStats stats;
+  ASSERT_TRUE(getrf(variant, a, ws, &stats).is_ok());
+  EXPECT_TRUE(a.approx_equal(ref, 1e-10))
+      << to_string(variant) << " diverges from the dense reference";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariantsSizesSeeds, GetrfP,
+    ::testing::Combine(::testing::Values(GetrfVariant::kCV1, GetrfVariant::kGV1,
+                                         GetrfVariant::kGV2),
+                       ::testing::Values<index_t>(1, 5, 32, 96),
+                       ::testing::Values(0.05, 0.2),
+                       ::testing::Values<std::uint64_t>(1, 2, 3)));
+
+TEST(Getrf, VariantsAgreeWithEachOther) {
+  Csc base = close_lu_pattern(matgen::random_sparse(64, 6, 99));
+  Workspace ws;
+  Csc a1 = base, a2 = base, a3 = base;
+  ASSERT_TRUE(getrf(GetrfVariant::kCV1, a1, ws, nullptr).is_ok());
+  ASSERT_TRUE(getrf(GetrfVariant::kGV1, a2, ws, nullptr).is_ok());
+  ASSERT_TRUE(getrf(GetrfVariant::kGV2, a3, ws, nullptr).is_ok());
+  EXPECT_TRUE(a1.approx_equal(a2, 1e-12));
+  EXPECT_TRUE(a1.approx_equal(a3, 1e-12));
+}
+
+TEST(Getrf, LUProductReconstructsInput) {
+  Csc a = close_lu_pattern(matgen::random_sparse(48, 5, 4));
+  Csc orig = a;
+  Workspace ws;
+  ASSERT_TRUE(getrf(GetrfVariant::kCV1, a, ws, nullptr).is_ok());
+  // Rebuild L*U densely and compare to the original values.
+  Dense lu = Dense::from_csc(a);
+  const index_t n = a.n_cols();
+  Dense l(n, n), u(n, n);
+  for (index_t j = 0; j < n; ++j) {
+    l(j, j) = 1.0;
+    for (index_t i = 0; i < n; ++i) {
+      if (i > j)
+        l(i, j) = lu(i, j);
+      else
+        u(i, j) = lu(i, j);
+    }
+  }
+  Dense prod(n, n);
+  Dense::gemm_sub(l, u, prod);  // prod = -L*U
+  Dense od = Dense::from_csc(orig);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < n; ++i)
+      EXPECT_NEAR(-prod(i, j), od(i, j), 1e-9 * (1 + std::abs(od(i, j))));
+}
+
+TEST(Getrf, PerturbsSingularPivot) {
+  // A block whose (1,1) pivot cancels to zero exactly.
+  Coo coo(2, 2);
+  coo.add(0, 0, 1.0);
+  coo.add(1, 0, 1.0);
+  coo.add(0, 1, 1.0);
+  coo.add(1, 1, 1.0);  // Schur complement of (1,1) is exactly 0
+  Csc a = Csc::from_coo(coo);
+  Workspace ws;
+  PivotStats stats;
+  ASSERT_TRUE(getrf(GetrfVariant::kCV1, a, ws, &stats).is_ok());
+  EXPECT_EQ(stats.perturbed, 1);
+  EXPECT_NE(a.at(1, 1), 0.0);
+}
+
+TEST(Getrf, RejectsNonSquare) {
+  Csc a = matgen::random_rect(3, 4, 0.5, 1);
+  Workspace ws;
+  EXPECT_FALSE(getrf(GetrfVariant::kCV1, a, ws, nullptr).is_ok());
+}
+
+TEST(Getrf, ParallelVariantMatchesSerialOnPool) {
+  ThreadPool pool(4);
+  Csc base = close_lu_pattern(matgen::random_sparse(128, 8, 7));
+  Workspace ws;
+  Csc serial = base, parallel = base;
+  ASSERT_TRUE(getrf(GetrfVariant::kGV1, serial, ws, nullptr, {}, nullptr).is_ok());
+  ASSERT_TRUE(getrf(GetrfVariant::kGV1, parallel, ws, nullptr, {}, &pool).is_ok());
+  EXPECT_TRUE(serial.approx_equal(parallel, 1e-12));
+}
+
+// ---------------------------------------------------------------- GESSM ----
+
+class PanelP : public ::testing::TestWithParam<
+                   std::tuple<PanelVariant, index_t, index_t, std::uint64_t>> {};
+
+TEST_P(PanelP, GessmMatchesReference) {
+  auto [variant, n, bcols, seed] = GetParam();
+  Csc diag = close_lu_pattern(matgen::random_sparse(n, 4, seed));
+  Workspace ws;
+  ASSERT_TRUE(getrf(GetrfVariant::kCV1, diag, ws, nullptr).is_ok());
+  Csc b0 = matgen::random_rect(n, bcols, 0.25, seed + 1000);
+  Csc b = close_lower_solve_pattern(diag, b0);
+  Csc ref = b;
+  ASSERT_TRUE(gessm_reference(diag, ref).is_ok());
+  ASSERT_TRUE(gessm(variant, diag, b, ws).is_ok());
+  EXPECT_TRUE(b.approx_equal(ref, 1e-10)) << to_string(variant);
+}
+
+TEST_P(PanelP, TstrfMatchesReference) {
+  auto [variant, n, brows, seed] = GetParam();
+  Csc diag = close_lu_pattern(matgen::random_sparse(n, 4, seed + 7));
+  Workspace ws;
+  ASSERT_TRUE(getrf(GetrfVariant::kCV1, diag, ws, nullptr).is_ok());
+  Csc b0 = matgen::random_rect(brows, n, 0.25, seed + 2000);
+  Csc b = close_upper_solve_pattern(diag, b0);
+  Csc ref = b;
+  ASSERT_TRUE(tstrf_reference(diag, ref).is_ok());
+  ASSERT_TRUE(tstrf(variant, diag, b, ws).is_ok());
+  EXPECT_TRUE(b.approx_equal(ref, 1e-9)) << to_string(variant);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariantsShapes, PanelP,
+    ::testing::Combine(::testing::Values(PanelVariant::kCV1, PanelVariant::kCV2,
+                                         PanelVariant::kGV1, PanelVariant::kGV2,
+                                         PanelVariant::kGV3),
+                       ::testing::Values<index_t>(6, 24, 64),
+                       ::testing::Values<index_t>(1, 16, 48),
+                       ::testing::Values<std::uint64_t>(11, 12)));
+
+TEST(Gessm, AllVariantsAgree) {
+  Csc diag = close_lu_pattern(matgen::random_sparse(40, 5, 31));
+  Workspace ws;
+  ASSERT_TRUE(getrf(GetrfVariant::kCV1, diag, ws, nullptr).is_ok());
+  Csc b = close_lower_solve_pattern(diag, matgen::random_rect(40, 30, 0.3, 32));
+  Csc first;
+  for (auto v : {PanelVariant::kCV1, PanelVariant::kCV2, PanelVariant::kGV1,
+                 PanelVariant::kGV2, PanelVariant::kGV3}) {
+    Csc work = b;
+    ASSERT_TRUE(gessm(v, diag, work, ws).is_ok());
+    if (first.n_rows() == 0)
+      first = work;
+    else
+      EXPECT_TRUE(first.approx_equal(work, 1e-12)) << to_string(v);
+  }
+}
+
+TEST(Tstrf, AllVariantsAgree) {
+  Csc diag = close_lu_pattern(matgen::random_sparse(40, 5, 41));
+  Workspace ws;
+  ASSERT_TRUE(getrf(GetrfVariant::kCV1, diag, ws, nullptr).is_ok());
+  Csc b = close_upper_solve_pattern(diag, matgen::random_rect(30, 40, 0.3, 42));
+  Csc first;
+  for (auto v : {PanelVariant::kCV1, PanelVariant::kCV2, PanelVariant::kGV1,
+                 PanelVariant::kGV2, PanelVariant::kGV3}) {
+    Csc work = b;
+    ASSERT_TRUE(tstrf(v, diag, work, ws).is_ok());
+    if (first.n_rows() == 0)
+      first = work;
+    else
+      EXPECT_TRUE(first.approx_equal(work, 1e-12)) << to_string(v);
+  }
+}
+
+TEST(Gessm, RejectsDimensionMismatch) {
+  Csc diag = close_lu_pattern(matgen::random_sparse(8, 3, 1));
+  Csc b = matgen::random_rect(9, 4, 0.5, 2);
+  Workspace ws;
+  EXPECT_FALSE(gessm(PanelVariant::kCV1, diag, b, ws).is_ok());
+}
+
+TEST(Tstrf, RejectsDimensionMismatch) {
+  Csc diag = close_lu_pattern(matgen::random_sparse(8, 3, 1));
+  Csc b = matgen::random_rect(4, 9, 0.5, 2);
+  Workspace ws;
+  EXPECT_FALSE(tstrf(PanelVariant::kCV1, diag, b, ws).is_ok());
+}
+
+// ---------------------------------------------------------------- SSSSM ----
+
+class SsssmP : public ::testing::TestWithParam<
+                   std::tuple<SsssmVariant, index_t, double, std::uint64_t>> {};
+
+TEST_P(SsssmP, MatchesDenseReference) {
+  auto [variant, n, density, seed] = GetParam();
+  Csc a = matgen::random_rect(n, n, density, seed);
+  Csc b = matgen::random_rect(n, n, density, seed + 1);
+  Csc c0 = matgen::random_rect(n, n, density, seed + 2);
+  Csc c = add_product_pattern(a, b, c0);
+  Csc ref = c;
+  ASSERT_TRUE(ssssm_reference(a, b, ref).is_ok());
+  Workspace ws;
+  ASSERT_TRUE(ssssm(variant, a, b, c, ws).is_ok());
+  EXPECT_TRUE(c.approx_equal(ref, 1e-10)) << to_string(variant);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariantsSizes, SsssmP,
+    ::testing::Combine(::testing::Values(SsssmVariant::kCV1, SsssmVariant::kCV2,
+                                         SsssmVariant::kGV1, SsssmVariant::kGV2),
+                       ::testing::Values<index_t>(4, 20, 64),
+                       ::testing::Values(0.05, 0.3),
+                       ::testing::Values<std::uint64_t>(5, 6)));
+
+TEST(Ssssm, RectangularShapes) {
+  Csc a = matgen::random_rect(20, 12, 0.3, 8);
+  Csc b = matgen::random_rect(12, 28, 0.3, 9);
+  Csc c = add_product_pattern(a, b, matgen::random_rect(20, 28, 0.1, 10));
+  Csc ref = c;
+  ASSERT_TRUE(ssssm_reference(a, b, ref).is_ok());
+  Workspace ws;
+  for (auto v : {SsssmVariant::kCV1, SsssmVariant::kCV2, SsssmVariant::kGV1,
+                 SsssmVariant::kGV2}) {
+    Csc work = c;
+    ASSERT_TRUE(ssssm(v, a, b, work, ws).is_ok());
+    EXPECT_TRUE(work.approx_equal(ref, 1e-11)) << to_string(v);
+  }
+}
+
+TEST(Ssssm, RejectsShapeMismatch) {
+  Csc a = matgen::random_rect(4, 5, 0.5, 1);
+  Csc b = matgen::random_rect(6, 3, 0.5, 2);  // inner dim mismatch
+  Csc c = matgen::random_rect(4, 3, 0.5, 3);
+  Workspace ws;
+  EXPECT_FALSE(ssssm(SsssmVariant::kCV1, a, b, c, ws).is_ok());
+}
+
+TEST(Ssssm, EmptyOperandsLeaveTargetUnchanged) {
+  Csc a(5, 5);  // all-empty
+  Csc b = matgen::random_rect(5, 5, 0.4, 4);
+  Csc c = matgen::random_rect(5, 5, 0.4, 5);
+  Csc before = c;
+  Workspace ws;
+  ASSERT_TRUE(ssssm(SsssmVariant::kGV1, a, b, c, ws).is_ok());
+  EXPECT_TRUE(c.approx_equal(before, 0.0));
+}
+
+// ---------------------------------------------------------------- FLOPs ----
+
+TEST(Flops, SsssmCountsInnerProducts) {
+  // A: one full column k=0 with 3 entries; B: row 0 has 2 entries.
+  Coo ca(3, 2), cb(2, 4);
+  for (int i = 0; i < 3; ++i) ca.add(i, 0, 1.0);
+  cb.add(0, 1, 1.0);
+  cb.add(0, 3, 1.0);
+  EXPECT_DOUBLE_EQ(ssssm_flops(Csc::from_coo(ca), Csc::from_coo(cb)),
+                   2.0 * 3 * 2);
+}
+
+TEST(Flops, GetrfDenseBlockMatchesClosedForm) {
+  // Fully dense n x n block: flops = sum_k (n-k-1) + 2(n-k-1)^2.
+  const index_t n = 10;
+  Csc a = close_lu_pattern(matgen::random_sparse(n, n, 1, false));
+  double expect = 0;
+  for (index_t k = 0; k < n; ++k) {
+    double lk = n - k - 1;
+    expect += lk + 2 * lk * lk;
+  }
+  // The closed pattern of a dense-ish random matrix is fully dense.
+  if (a.nnz() == static_cast<nnz_t>(n) * n) {
+    EXPECT_DOUBLE_EQ(getrf_flops(a), expect);
+  } else {
+    GTEST_SKIP() << "pattern not fully dense for this seed";
+  }
+}
+
+// ------------------------------------------------------------- Selector ----
+
+TEST(Selector, GetrfTreeFollowsFigure8) {
+  EXPECT_EQ(select_getrf(100), GetrfVariant::kCV1);
+  EXPECT_EQ(select_getrf(7000), GetrfVariant::kGV1);
+  EXPECT_EQ(select_getrf(50000), GetrfVariant::kGV2);
+}
+
+TEST(Selector, GessmTreeFollowsFigure8) {
+  EXPECT_EQ(select_gessm(100, 10), PanelVariant::kCV1);
+  EXPECT_EQ(select_gessm(5000, 10), PanelVariant::kCV2);
+  EXPECT_EQ(select_gessm(10000, 10), PanelVariant::kGV1);
+  EXPECT_EQ(select_gessm(15000, 10), PanelVariant::kGV2);
+  EXPECT_EQ(select_gessm(100000, 10), PanelVariant::kGV3);
+  // Huge diagonal block: CPU guard.
+  EXPECT_EQ(select_gessm(100000, 10000000), PanelVariant::kCV2);
+  EXPECT_EQ(select_gessm(100, 10000000), PanelVariant::kCV1);
+}
+
+TEST(Selector, TstrfTreeFollowsFigure8) {
+  EXPECT_EQ(select_tstrf(100, 10), PanelVariant::kCV1);
+  EXPECT_EQ(select_tstrf(5000, 10), PanelVariant::kCV2);
+  EXPECT_EQ(select_tstrf(8000, 10), PanelVariant::kGV1);
+  EXPECT_EQ(select_tstrf(15000, 10), PanelVariant::kGV2);
+  EXPECT_EQ(select_tstrf(1000000, 10), PanelVariant::kGV3);
+}
+
+TEST(Selector, SsssmTreeFollowsFigure8) {
+  EXPECT_EQ(select_ssssm(1e3), SsssmVariant::kCV2);
+  EXPECT_EQ(select_ssssm(1e6), SsssmVariant::kCV1);
+  EXPECT_EQ(select_ssssm(1e8), SsssmVariant::kGV1);
+  EXPECT_EQ(select_ssssm(1e10), SsssmVariant::kGV2);
+}
+
+}  // namespace
+}  // namespace pangulu::kernels

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "matgen/generators.hpp"
+
+namespace pangulu::matgen {
+namespace {
+
+bool diagonally_dominant(const Csc& a) {
+  const index_t n = a.n_cols();
+  std::vector<value_t> offdiag(static_cast<std::size_t>(n), 0.0);
+  std::vector<value_t> diag(static_cast<std::size_t>(n), 0.0);
+  for (index_t j = 0; j < n; ++j) {
+    for (nnz_t p = a.col_begin(j); p < a.col_end(j); ++p) {
+      index_t r = a.row_idx()[static_cast<std::size_t>(p)];
+      value_t v = a.values()[static_cast<std::size_t>(p)];
+      if (r == j)
+        diag[static_cast<std::size_t>(r)] += std::abs(v);
+      else
+        offdiag[static_cast<std::size_t>(r)] += std::abs(v);
+    }
+  }
+  for (index_t i = 0; i < n; ++i) {
+    if (diag[static_cast<std::size_t>(i)] <= offdiag[static_cast<std::size_t>(i)])
+      return false;
+  }
+  return true;
+}
+
+TEST(Generators, Grid2dShape) {
+  Csc m = grid2d_laplacian(5, 7);
+  EXPECT_EQ(m.n_rows(), 35);
+  EXPECT_TRUE(m.validate().is_ok());
+  // Interior node has 5 stencil entries.
+  EXPECT_EQ(m.col_nnz(5 * 3 + 2), 5);
+  EXPECT_TRUE(diagonally_dominant(m));
+}
+
+TEST(Generators, Grid3dShape) {
+  Csc m = grid3d_laplacian(4, 4, 4);
+  EXPECT_EQ(m.n_rows(), 64);
+  EXPECT_TRUE(m.validate().is_ok());
+  EXPECT_TRUE(diagonally_dominant(m));
+}
+
+TEST(Generators, Fem3dHasDenseNodeBlocks) {
+  Csc m = fem3d(3, 3, 3, 3, 42);
+  EXPECT_EQ(m.n_rows(), 81);
+  EXPECT_TRUE(m.validate().is_ok());
+  // The 3x3 diagonal node coupling is fully dense.
+  for (int di = 0; di < 3; ++di)
+    for (int dj = 0; dj < 3; ++dj) EXPECT_NE(m.at(di, dj), 0.0);
+  EXPECT_TRUE(diagonally_dominant(m));
+}
+
+TEST(Generators, CircuitIsUnsymmetricAndDominant) {
+  Csc m = circuit(400, 3.0, 2.1, 680);
+  EXPECT_TRUE(m.validate().is_ok());
+  EXPECT_TRUE(diagonally_dominant(m));
+  // Pattern asymmetry: at least one one-sided entry.
+  bool asym = false;
+  for (index_t j = 0; j < m.n_cols() && !asym; ++j) {
+    for (nnz_t p = m.col_begin(j); p < m.col_end(j); ++p) {
+      index_t r = m.row_idx()[static_cast<std::size_t>(p)];
+      if (r != j && m.find(j, r) < 0) {
+        asym = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(asym);
+}
+
+TEST(Generators, CircuitHasHeavyTailDegrees) {
+  Csc m = circuit(2000, 3.0, 2.1, 680);
+  index_t max_col = 0;
+  double total = 0;
+  for (index_t j = 0; j < m.n_cols(); ++j) {
+    max_col = std::max(max_col, m.col_nnz(j));
+    total += m.col_nnz(j);
+  }
+  const double avg = total / m.n_cols();
+  EXPECT_GT(max_col, 8 * avg) << "power-law hubs expected";
+}
+
+TEST(Generators, Determinism) {
+  Csc a = circuit(300, 2.0, 2.2, 99);
+  Csc b = circuit(300, 2.0, 2.2, 99);
+  EXPECT_TRUE(a.approx_equal(b, 0.0));
+  Csc c = circuit(300, 2.0, 2.2, 100);
+  EXPECT_FALSE(a.approx_equal(c, 0.0));
+}
+
+TEST(Generators, KktIsSymmetricPatternSaddlePoint) {
+  Csc m = kkt(4, 4, 4, 1);
+  EXPECT_EQ(m.n_rows(), 64 + 16);
+  EXPECT_TRUE(m.validate().is_ok());
+}
+
+TEST(Generators, BandedRandomIsDense) {
+  Csc m = banded_random(300, 40, 0.5, 5, 3);
+  EXPECT_GT(m.density(), 0.05);
+  EXPECT_TRUE(diagonally_dominant(m));
+}
+
+TEST(Generators, CageStyleUnsymmetric) {
+  Csc m = cage_style(500, 4, 12);
+  EXPECT_TRUE(m.validate().is_ok());
+  EXPECT_TRUE(diagonally_dominant(m));
+}
+
+TEST(Generators, TriangularFactories) {
+  Csc l = random_unit_lower(30, 0.3, 1);
+  EXPECT_TRUE(l.is_lower_triangular());
+  for (index_t j = 0; j < 30; ++j) EXPECT_DOUBLE_EQ(l.at(j, j), 1.0);
+  Csc u = random_upper(30, 0.3, 2);
+  EXPECT_TRUE(u.is_upper_triangular());
+  for (index_t j = 0; j < 30; ++j) EXPECT_NE(u.at(j, j), 0.0);
+}
+
+TEST(PaperMatrices, AllSixteenGenerateAtTestScale) {
+  auto names = paper_matrix_names();
+  ASSERT_EQ(names.size(), 16u);
+  for (const auto& name : names) {
+    SCOPED_TRACE(name);
+    Csc m = paper_matrix(name, 0.2);
+    EXPECT_TRUE(m.validate().is_ok());
+    EXPECT_GT(m.n_rows(), 0);
+    EXPECT_EQ(m.n_rows(), m.n_cols());
+    auto info = paper_matrix_info(name);
+    EXPECT_EQ(info.name, name);
+    EXPECT_FALSE(info.domain.empty());
+  }
+}
+
+TEST(PaperMatrices, ScaleGrowsSize) {
+  Csc small = paper_matrix("ecology1", 0.2);
+  Csc large = paper_matrix("ecology1", 0.5);
+  EXPECT_LT(small.n_rows(), large.n_rows());
+}
+
+TEST(PaperMatrices, UnknownNameThrows) {
+  EXPECT_THROW(paper_matrix("not_a_matrix"), std::logic_error);
+  EXPECT_THROW(paper_matrix_info("nope"), std::logic_error);
+}
+
+}  // namespace
+}  // namespace pangulu::matgen

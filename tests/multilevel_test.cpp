@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "matgen/generators.hpp"
+#include "ordering/multilevel.hpp"
+#include "ordering/nested_dissection.hpp"
+#include "sparse/ops.hpp"
+#include "symbolic/col_counts.hpp"
+
+namespace pangulu::ordering {
+namespace {
+
+std::int64_t brute_cut(const Graph& g, const std::vector<char>& side) {
+  std::int64_t cut = 0;
+  for (index_t v = 0; v < g.n; ++v) {
+    for (nnz_t p = g.ptr[static_cast<std::size_t>(v)];
+         p < g.ptr[static_cast<std::size_t>(v) + 1]; ++p) {
+      const index_t u = g.adj[static_cast<std::size_t>(p)];
+      if (u > v &&
+          side[static_cast<std::size_t>(u)] != side[static_cast<std::size_t>(v)])
+        ++cut;
+    }
+  }
+  return cut;
+}
+
+TEST(Multilevel, GridBisectionIsBalancedAndNearOptimal) {
+  // A 16x16 grid has an optimal bisection cut of 16 (one grid line).
+  Csc m = matgen::grid2d_laplacian(16, 16);
+  Graph g = Graph::from_matrix(m);
+  Bisection b = multilevel_bisect(g);
+  ASSERT_EQ(b.side.size(), 256u);
+  EXPECT_EQ(b.weight0 + b.weight1, 256);
+  EXPECT_GT(b.weight0, 256 / 4) << "side 0 too small";
+  EXPECT_GT(b.weight1, 256 / 4) << "side 1 too small";
+  EXPECT_EQ(b.edge_cut, brute_cut(g, b.side));
+  EXPECT_LE(b.edge_cut, 3 * 16) << "cut should be within 3x of optimal";
+}
+
+TEST(Multilevel, PathGraphCutOfOne) {
+  const index_t n = 200;
+  Coo coo(n, n);
+  for (index_t i = 0; i < n; ++i) {
+    coo.add(i, i, 2.0);
+    if (i + 1 < n) {
+      coo.add(i + 1, i, -1.0);
+      coo.add(i, i + 1, -1.0);
+    }
+  }
+  Graph g = Graph::from_matrix(Csc::from_coo(coo));
+  Bisection b = multilevel_bisect(g);
+  EXPECT_LE(b.edge_cut, 4) << "a path should split with a tiny cut";
+  EXPECT_GT(b.weight0, n / 4);
+  EXPECT_GT(b.weight1, n / 4);
+}
+
+TEST(Multilevel, TinyGraphs) {
+  for (index_t n : {1, 2, 3}) {
+    Coo coo(n, n);
+    for (index_t i = 0; i < n; ++i) {
+      coo.add(i, i, 1.0);
+      if (i + 1 < n) {
+        coo.add(i + 1, i, 1.0);
+        coo.add(i, i + 1, 1.0);
+      }
+    }
+    Graph g = Graph::from_matrix(Csc::from_coo(coo));
+    Bisection b = multilevel_bisect(g);
+    EXPECT_EQ(b.side.size(), static_cast<std::size_t>(n));
+    if (n >= 2) {
+      EXPECT_GT(b.weight0, 0);
+      EXPECT_GT(b.weight1, 0);
+    }
+  }
+}
+
+TEST(Multilevel, SeparatorCoversEveryCutEdge) {
+  Csc m = matgen::circuit(300, 2.0, 2.2, 13);
+  Graph g = Graph::from_matrix(m);
+  Bisection b = multilevel_bisect(g);
+  auto sep = separator_from_cut(g, b);
+  std::vector<char> in_sep(static_cast<std::size_t>(g.n), 0);
+  for (index_t v : sep) in_sep[static_cast<std::size_t>(v)] = 1;
+  for (index_t v = 0; v < g.n; ++v) {
+    for (nnz_t p = g.ptr[static_cast<std::size_t>(v)];
+         p < g.ptr[static_cast<std::size_t>(v) + 1]; ++p) {
+      const index_t u = g.adj[static_cast<std::size_t>(p)];
+      if (b.side[static_cast<std::size_t>(u)] !=
+          b.side[static_cast<std::size_t>(v)]) {
+        EXPECT_TRUE(in_sep[static_cast<std::size_t>(u)] ||
+                    in_sep[static_cast<std::size_t>(v)])
+            << "uncovered cut edge (" << v << "," << u << ")";
+      }
+    }
+  }
+}
+
+TEST(Multilevel, NdWithMultilevelBeatsBfsOnGrids) {
+  Csc m = matgen::grid2d_laplacian(28, 28);
+  Graph g = Graph::from_matrix(m);
+  NdOptions bfs_opts;
+  bfs_opts.use_multilevel = false;
+  NdOptions ml_opts;
+  ml_opts.use_multilevel = true;
+  auto p_bfs = nested_dissection(g, bfs_opts);
+  auto p_ml = nested_dissection(g, ml_opts);
+  EXPECT_TRUE(is_permutation(p_bfs));
+  EXPECT_TRUE(is_permutation(p_ml));
+  const nnz_t fill_bfs = symbolic::estimate_fill(m.permuted(p_bfs, p_bfs));
+  const nnz_t fill_ml = symbolic::estimate_fill(m.permuted(p_ml, p_ml));
+  EXPECT_LE(fill_ml, static_cast<nnz_t>(1.15 * fill_bfs))
+      << "multilevel separators must be competitive with BFS level sets";
+}
+
+TEST(Multilevel, NdStillValidOnIrregularGraphs) {
+  for (const char* name : {"ASIC_680k", "cage12", "Si87H76"}) {
+    SCOPED_TRACE(name);
+    Csc m = matgen::paper_matrix(name, 0.2);
+    Graph g = Graph::from_matrix(m);
+    auto perm = nested_dissection(g, {});
+    EXPECT_TRUE(is_permutation(perm));
+  }
+}
+
+}  // namespace
+}  // namespace pangulu::ordering

@@ -1,0 +1,140 @@
+// Tests that replay worked examples from the paper's figures:
+//  * Figure 6(a)/(b): the two-layer sparse storage (block-CSC over blocks,
+//    CSC within a block),
+//  * Figure 9: the synchronisation-free array initialisation,
+//  * Figure 2: the block LU dependency order (diagonal -> panels -> Schur).
+#include <gtest/gtest.h>
+
+#include "block/layout.hpp"
+#include "block/tasks.hpp"
+#include "matgen/generators.hpp"
+#include "sparse/csc.hpp"
+#include "symbolic/fill.hpp"
+
+namespace pangulu::block {
+namespace {
+
+/// A fully dense matrix blocked into a g x g grid: every block exists, so
+/// the sync-free array has the closed-form of Figure 9 — a diagonal block
+/// (k,k) waits for k Schur updates; an off-diagonal block (i,j) waits for
+/// min(i,j) updates plus its one panel solve.
+TEST(Figure9, SyncFreeArrayClosedFormOnDenseGrid) {
+  const index_t n = 8, bs = 2;  // 4x4 block grid, like the figure
+  Csc a = matgen::random_sparse(n, n, 1, /*diag_dominant=*/true);
+  // Densify: the figure's example has every block populated.
+  Coo coo(n, n);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < n; ++i)
+      coo.add(i, j, 1.0 + i + 10.0 * j + (i == j ? 100.0 : 0.0));
+  Csc dense = Csc::from_coo(coo);
+
+  BlockMatrix bm = BlockMatrix::from_filled(dense, bs);
+  ASSERT_EQ(bm.nb(), 4);
+  ASSERT_EQ(bm.n_blocks(), 16);
+  auto tasks = enumerate_tasks(bm);
+  auto arr = sync_free_array(bm, tasks);
+
+  for (index_t bi = 0; bi < 4; ++bi) {
+    for (index_t bj = 0; bj < 4; ++bj) {
+      const nnz_t pos = bm.find_block(bi, bj);
+      ASSERT_GE(pos, 0);
+      const index_t expected =
+          bi == bj ? bi : std::min(bi, bj) + 1;
+      EXPECT_EQ(arr[static_cast<std::size_t>(pos)], expected)
+          << "block (" << bi << "," << bj << ")";
+    }
+  }
+  // The paper's example: block 1 (top-left) is immediately ready with value
+  // 0; block 16 (bottom-right diagonal) waits for 3 updates.
+  EXPECT_EQ(arr[static_cast<std::size_t>(bm.find_block(0, 0))], 0);
+  EXPECT_EQ(arr[static_cast<std::size_t>(bm.find_block(3, 3))], 3);
+}
+
+/// Figure 6(a)/(b): two-layer storage on a hand-built pattern. The first
+/// layer compresses non-empty blocks per block-column; the second layer is
+/// a plain CSC of the block's local entries.
+TEST(Figure6, TwoLayerStorageMatchesHandConstruction) {
+  // 6x6 matrix, block size 3 -> 2x2 block grid. Only three blocks non-empty:
+  // (0,0), (1,0), (1,1). Block (0,1) stays empty.
+  Coo coo(6, 6);
+  coo.add(0, 0, 1.0);
+  coo.add(2, 1, 2.0);   // block (0,0)
+  coo.add(4, 0, 3.0);   // block (1,0)
+  coo.add(3, 2, 4.0);   // block (1,0)
+  coo.add(3, 3, 5.0);
+  coo.add(5, 4, 6.0);   // block (1,1)
+  coo.add(4, 4, 6.5);
+  coo.add(1, 1, 7.0);   // block (0,0)
+  coo.add(5, 5, 8.0);   // needed: diagonal of block (1,1)
+  Csc m = Csc::from_coo(coo);
+
+  BlockMatrix bm = BlockMatrix::from_filled(m, 3);
+  ASSERT_EQ(bm.nb(), 2);
+  ASSERT_EQ(bm.n_blocks(), 3);
+
+  // First layer (block-CSC): column 0 holds blocks rows {0,1}; column 1
+  // holds block row {1} only.
+  EXPECT_EQ(bm.col_begin(0), 0);
+  EXPECT_EQ(bm.col_end(0), 2);
+  EXPECT_EQ(bm.block_row(0), 0);
+  EXPECT_EQ(bm.block_row(1), 1);
+  EXPECT_EQ(bm.col_begin(1), 2);
+  EXPECT_EQ(bm.col_end(1), 3);
+  EXPECT_EQ(bm.block_row(2), 1);
+  EXPECT_EQ(bm.find_block(0, 1), -1);  // the empty block is not stored
+
+  // Second layer: block (1,0) holds global entries (4,0)->local (1,0) and
+  // (3,2)->local (0,2).
+  const Csc& blk10 = bm.block(bm.find_block(1, 0));
+  EXPECT_EQ(blk10.nnz(), 2);
+  EXPECT_DOUBLE_EQ(blk10.at(1, 0), 3.0);
+  EXPECT_DOUBLE_EQ(blk10.at(0, 2), 4.0);
+  // Its CSC arrays, spelled out like Figure 6(b).
+  const std::vector<nnz_t> expect_colptr = {0, 1, 1, 2};
+  ASSERT_EQ(blk10.col_ptr().size(), expect_colptr.size());
+  for (std::size_t i = 0; i < expect_colptr.size(); ++i)
+    EXPECT_EQ(blk10.col_ptr()[i], expect_colptr[i]);
+  EXPECT_EQ(blk10.row_idx()[0], 1);
+  EXPECT_EQ(blk10.row_idx()[1], 0);
+}
+
+/// Figure 2: in every elimination step the task order is GETRF, then the
+/// panel solves of that row/column, then the Schur updates — and a task's
+/// sources always precede it in the enumeration.
+TEST(Figure2, TaskEnumerationRespectsBlockLuOrder) {
+  Csc a = matgen::grid2d_laplacian(9, 9);
+  pangulu::symbolic::SymbolicResult sym;
+  pangulu::symbolic::symbolic_symmetric(a, &sym).check();
+  BlockMatrix bm = BlockMatrix::from_filled(sym.filled, 16);
+  auto tasks = enumerate_tasks(bm);
+
+  int last_phase = -1;
+  index_t last_k = -1;
+  std::vector<char> finalized(static_cast<std::size_t>(bm.n_blocks()), 0);
+  for (const auto& t : tasks) {
+    const int phase = t.kind == TaskKind::kGetrf   ? 0
+                      : t.kind == TaskKind::kSsssm ? 2
+                                                   : 1;
+    if (t.k != last_k) {
+      EXPECT_EQ(phase, 0) << "each step must open with GETRF";
+      EXPECT_GT(t.k, last_k);
+      last_k = t.k;
+    } else {
+      EXPECT_GE(phase, last_phase) << "phases must be ordered within a step";
+    }
+    last_phase = phase;
+    if (t.kind == TaskKind::kSsssm) {
+      EXPECT_TRUE(finalized[static_cast<std::size_t>(t.src_a)]);
+      EXPECT_TRUE(finalized[static_cast<std::size_t>(t.src_b)]);
+    } else {
+      finalized[static_cast<std::size_t>(t.target)] = 1;
+      if (t.kind != TaskKind::kGetrf) {
+        EXPECT_TRUE(finalized[static_cast<std::size_t>(t.src_a)])
+            << "panel solve needs its factorised diagonal";
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pangulu::block

@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include "matgen/generators.hpp"
+#include "sparse/csc.hpp"
+#include "sparse/dense.hpp"
+#include "sparse/ops.hpp"
+
+namespace pangulu {
+namespace {
+
+TEST(Coo, SortAndCombineSumsDuplicates) {
+  Coo coo(3, 3);
+  coo.add(1, 1, 2.0);
+  coo.add(0, 0, 1.0);
+  coo.add(1, 1, 3.0);
+  coo.sort_and_combine();
+  ASSERT_EQ(coo.nnz(), 2);
+  EXPECT_EQ(coo.entries[0].row, 0);
+  EXPECT_DOUBLE_EQ(coo.entries[1].value, 5.0);
+}
+
+TEST(Csc, FromCooRoundTrip) {
+  Coo coo(4, 3);
+  coo.add(2, 0, 1.5);
+  coo.add(0, 1, -2.0);
+  coo.add(3, 1, 4.0);
+  coo.add(1, 2, 0.5);
+  Csc m = Csc::from_coo(coo);
+  EXPECT_TRUE(m.validate().is_ok());
+  EXPECT_EQ(m.nnz(), 4);
+  EXPECT_DOUBLE_EQ(m.at(2, 0), 1.5);
+  EXPECT_DOUBLE_EQ(m.at(3, 1), 4.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 0.0);  // absent entry reads as zero
+  EXPECT_EQ(m.find(0, 0), -1);
+}
+
+TEST(Csc, TransposeIsInvolution) {
+  Csc m = matgen::random_sparse(40, 5, 7);
+  Csc tt = m.transpose().transpose();
+  EXPECT_TRUE(m.approx_equal(tt, 0.0));
+}
+
+TEST(Csc, TransposeSwapsEntries) {
+  Csc m = matgen::random_rect(6, 9, 0.3, 11);
+  Csc t = m.transpose();
+  EXPECT_EQ(t.n_rows(), 9);
+  EXPECT_EQ(t.n_cols(), 6);
+  for (index_t j = 0; j < m.n_cols(); ++j) {
+    for (nnz_t p = m.col_begin(j); p < m.col_end(j); ++p) {
+      index_t r = m.row_idx()[static_cast<std::size_t>(p)];
+      EXPECT_DOUBLE_EQ(t.at(j, r), m.values()[static_cast<std::size_t>(p)]);
+    }
+  }
+}
+
+TEST(Csc, PermutedMovesEntries) {
+  Csc m = matgen::random_sparse(10, 3, 3);
+  std::vector<index_t> rp = {3, 1, 4, 0, 2, 9, 8, 7, 6, 5};
+  std::vector<index_t> cp = {1, 0, 3, 2, 5, 4, 7, 6, 9, 8};
+  Csc pm = m.permuted(rp, cp);
+  for (index_t j = 0; j < 10; ++j) {
+    for (nnz_t p = m.col_begin(j); p < m.col_end(j); ++p) {
+      index_t r = m.row_idx()[static_cast<std::size_t>(p)];
+      EXPECT_DOUBLE_EQ(pm.at(rp[static_cast<std::size_t>(r)],
+                             cp[static_cast<std::size_t>(j)]),
+                       m.values()[static_cast<std::size_t>(p)]);
+    }
+  }
+}
+
+TEST(Csc, ScaleMultipliesRowsAndCols) {
+  Csc m = matgen::random_sparse(8, 2, 5);
+  Csc orig = m;
+  std::vector<value_t> rs(8), cs(8);
+  for (int i = 0; i < 8; ++i) {
+    rs[static_cast<std::size_t>(i)] = 1.0 + i;
+    cs[static_cast<std::size_t>(i)] = 2.0 / (1.0 + i);
+  }
+  m.scale(rs, cs);
+  for (index_t j = 0; j < 8; ++j) {
+    for (nnz_t p = orig.col_begin(j); p < orig.col_end(j); ++p) {
+      index_t r = orig.row_idx()[static_cast<std::size_t>(p)];
+      EXPECT_NEAR(m.at(r, j),
+                  orig.values()[static_cast<std::size_t>(p)] *
+                      rs[static_cast<std::size_t>(r)] *
+                      cs[static_cast<std::size_t>(j)],
+                  1e-14);
+    }
+  }
+}
+
+TEST(Csc, SymmetrizedHasSymmetricPattern) {
+  Csc m = matgen::circuit(60, 2.0, 2.2, 42);
+  Csc s = m.symmetrized();
+  for (index_t j = 0; j < s.n_cols(); ++j) {
+    for (nnz_t p = s.col_begin(j); p < s.col_end(j); ++p) {
+      index_t r = s.row_idx()[static_cast<std::size_t>(p)];
+      EXPECT_GE(s.find(j, r), 0) << "missing mirror of (" << r << "," << j << ")";
+    }
+  }
+  // Values of the original survive.
+  for (index_t j = 0; j < m.n_cols(); ++j) {
+    for (nnz_t p = m.col_begin(j); p < m.col_end(j); ++p) {
+      index_t r = m.row_idx()[static_cast<std::size_t>(p)];
+      if (m.find(j, r) < 0) {  // strictly one-sided entry: value preserved
+        EXPECT_DOUBLE_EQ(s.at(r, j), m.values()[static_cast<std::size_t>(p)]);
+      }
+    }
+  }
+}
+
+TEST(Csc, WithFullDiagonalAddsZeros) {
+  Coo coo(3, 3);
+  coo.add(1, 0, 2.0);
+  coo.add(1, 1, 5.0);
+  Csc m = Csc::from_coo(coo).with_full_diagonal();
+  EXPECT_GE(m.find(0, 0), 0);
+  EXPECT_GE(m.find(2, 2), 0);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 5.0);
+}
+
+TEST(Csc, SubMatrixExtractsWindow) {
+  Csc m = matgen::random_sparse(20, 4, 9);
+  Csc s = m.sub_matrix(5, 12, 3, 17);
+  EXPECT_EQ(s.n_rows(), 7);
+  EXPECT_EQ(s.n_cols(), 14);
+  for (index_t j = 0; j < s.n_cols(); ++j) {
+    for (nnz_t p = s.col_begin(j); p < s.col_end(j); ++p) {
+      index_t r = s.row_idx()[static_cast<std::size_t>(p)];
+      EXPECT_DOUBLE_EQ(s.values()[static_cast<std::size_t>(p)],
+                       m.at(r + 5, j + 3));
+    }
+  }
+}
+
+TEST(Csc, SpmvMatchesDense) {
+  Csc m = matgen::random_sparse(30, 4, 21);
+  Dense d = Dense::from_csc(m);
+  std::vector<value_t> x(30), y(30), yd(30, 0.0);
+  for (int i = 0; i < 30; ++i) x[static_cast<std::size_t>(i)] = 0.1 * i - 1.0;
+  m.spmv(x, y);
+  for (index_t i = 0; i < 30; ++i)
+    for (index_t j = 0; j < 30; ++j)
+      yd[static_cast<std::size_t>(i)] += d(i, j) * x[static_cast<std::size_t>(j)];
+  for (int i = 0; i < 30; ++i)
+    EXPECT_NEAR(y[static_cast<std::size_t>(i)], yd[static_cast<std::size_t>(i)], 1e-12);
+}
+
+TEST(Csc, ValidateCatchesBadInputs) {
+  // Unsorted rows within a column.
+  EXPECT_THROW(Csc::from_parts(2, 1, {0, 2}, {1, 0}, {1.0, 2.0}),
+               std::runtime_error);
+  // Out-of-range row.
+  EXPECT_THROW(Csc::from_parts(2, 1, {0, 1}, {5}, {1.0}), std::runtime_error);
+  // Non-monotone pointers.
+  EXPECT_THROW(Csc::from_parts(2, 2, {0, 1, 0}, {0}, {1.0}),
+               std::runtime_error);
+}
+
+TEST(Csc, TriangularPredicates) {
+  Csc l = matgen::random_unit_lower(12, 0.4, 3);
+  Csc u = matgen::random_upper(12, 0.4, 4);
+  EXPECT_TRUE(l.is_lower_triangular());
+  EXPECT_FALSE(l.is_upper_triangular());
+  EXPECT_TRUE(u.is_upper_triangular());
+}
+
+TEST(Ops, TriangularSolvesInvertEachOther) {
+  const index_t n = 50;
+  Csc l = matgen::random_unit_lower(n, 0.2, 17);
+  Csc u = matgen::random_upper(n, 0.2, 18);
+  std::vector<value_t> x(static_cast<std::size_t>(n), 1.0), b(static_cast<std::size_t>(n));
+  // b = L * x, solve should return x.
+  l.spmv(x, b);
+  lower_solve(l, b, /*unit_diag=*/true);
+  for (index_t i = 0; i < n; ++i)
+    EXPECT_NEAR(b[static_cast<std::size_t>(i)], 1.0, 1e-10);
+  u.spmv(x, b);
+  upper_solve(u, b);
+  for (index_t i = 0; i < n; ++i)
+    EXPECT_NEAR(b[static_cast<std::size_t>(i)], 1.0, 1e-9);
+}
+
+TEST(Ops, PermutationHelpers) {
+  std::vector<index_t> p = {2, 0, 3, 1};
+  EXPECT_TRUE(is_permutation(p));
+  auto inv = invert_permutation(p);
+  auto id = compose(p, inv);
+  for (index_t i = 0; i < 4; ++i) EXPECT_EQ(id[static_cast<std::size_t>(i)], i);
+  std::vector<index_t> bad = {0, 0, 1, 2};
+  EXPECT_FALSE(is_permutation(bad));
+  std::vector<index_t> oob = {0, 4, 1, 2};
+  EXPECT_FALSE(is_permutation(oob));
+}
+
+TEST(Ops, RelativeResidualZeroForExactSolution) {
+  Csc m = matgen::random_sparse(25, 3, 5);
+  std::vector<value_t> x(25, 2.0), b(25);
+  m.spmv(x, b);
+  EXPECT_LT(relative_residual(m, x, b), 1e-15);
+}
+
+TEST(Dense, GemmSubMatchesManual) {
+  Csc a = matgen::random_rect(5, 4, 0.6, 1);
+  Csc b = matgen::random_rect(4, 6, 0.6, 2);
+  Dense da = Dense::from_csc(a), db = Dense::from_csc(b);
+  Dense c(5, 6);
+  Dense::gemm_sub(da, db, c);
+  for (index_t i = 0; i < 5; ++i) {
+    for (index_t j = 0; j < 6; ++j) {
+      value_t acc = 0;
+      for (index_t k = 0; k < 4; ++k) acc -= da(i, k) * db(k, j);
+      EXPECT_NEAR(c(i, j), acc, 1e-13);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pangulu

@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include "matgen/generators.hpp"
+#include "sparse/dense.hpp"
+#include "symbolic/etree.hpp"
+#include "symbolic/fill.hpp"
+#include "symbolic/supernodes.hpp"
+
+namespace pangulu::symbolic {
+namespace {
+
+/// Brute-force fill pattern by running Gaussian elimination symbolically on
+/// a dense boolean matrix.
+Dense brute_force_fill(const Csc& a) {
+  const index_t n = a.n_cols();
+  Dense d(n, n);
+  for (index_t j = 0; j < n; ++j) {
+    d(j, j) = 1.0;
+    for (nnz_t p = a.col_begin(j); p < a.col_end(j); ++p)
+      d(a.row_idx()[static_cast<std::size_t>(p)], j) = 1.0;
+  }
+  for (index_t k = 0; k < n; ++k) {
+    for (index_t i = k + 1; i < n; ++i) {
+      if (d(i, k) == 0.0) continue;
+      for (index_t j = k + 1; j < n; ++j) {
+        if (d(k, j) != 0.0) d(i, j) = 1.0;
+      }
+    }
+  }
+  return d;
+}
+
+TEST(Etree, ChainMatrixGivesChainTree) {
+  // Tridiagonal: parent(v) = v+1.
+  Coo coo(5, 5);
+  for (index_t i = 0; i < 5; ++i) {
+    coo.add(i, i, 2.0);
+    if (i + 1 < 5) {
+      coo.add(i + 1, i, -1.0);
+      coo.add(i, i + 1, -1.0);
+    }
+  }
+  auto parent = elimination_tree(Csc::from_coo(coo));
+  for (index_t v = 0; v + 1 < 5; ++v)
+    EXPECT_EQ(parent[static_cast<std::size_t>(v)], v + 1);
+  EXPECT_EQ(parent[4], -1);
+}
+
+TEST(Etree, PostorderVisitsChildrenFirst) {
+  Csc m = matgen::grid2d_laplacian(6, 6).symmetrized().with_full_diagonal();
+  auto parent = elimination_tree(m);
+  auto post = postorder(parent);
+  ASSERT_EQ(post.size(), 36u);
+  std::vector<index_t> position(36);
+  for (std::size_t i = 0; i < post.size(); ++i)
+    position[static_cast<std::size_t>(post[i])] = static_cast<index_t>(i);
+  for (index_t v = 0; v < 36; ++v) {
+    if (parent[static_cast<std::size_t>(v)] >= 0) {
+      EXPECT_LT(position[static_cast<std::size_t>(v)],
+                position[static_cast<std::size_t>(
+                    parent[static_cast<std::size_t>(v)])]);
+    }
+  }
+}
+
+TEST(Etree, LevelsIncreaseTowardsRoot) {
+  Csc m = matgen::grid2d_laplacian(5, 5).symmetrized().with_full_diagonal();
+  auto parent = elimination_tree(m);
+  auto level = tree_levels(parent);
+  for (index_t v = 0; v < 25; ++v) {
+    if (parent[static_cast<std::size_t>(v)] >= 0) {
+      EXPECT_GT(level[static_cast<std::size_t>(
+                    parent[static_cast<std::size_t>(v)])],
+                level[static_cast<std::size_t>(v)]);
+    }
+  }
+}
+
+class SymbolicP : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SymbolicP, SymmetricFillMatchesBruteForceOnSymmetrised) {
+  Csc a = matgen::random_sparse(40, 3, GetParam());
+  SymbolicResult sym;
+  ASSERT_TRUE(symbolic_symmetric(a, &sym).is_ok());
+  Dense bf = brute_force_fill(a.symmetrized().with_full_diagonal());
+  // The symmetric-pruning fill must equal the brute-force filled pattern of
+  // the symmetrised matrix exactly.
+  const index_t n = a.n_cols();
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < n; ++i) {
+      const bool in_pattern = sym.filled.find(i, j) >= 0;
+      EXPECT_EQ(in_pattern, bf(i, j) != 0.0)
+          << "mismatch at (" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST_P(SymbolicP, UnsymmetricFillMatchesBruteForce) {
+  Csc a = matgen::random_sparse(35, 3, GetParam() + 100);
+  SymbolicResult sym;
+  ASSERT_TRUE(symbolic_unsymmetric(a, /*use_pruning=*/false, &sym).is_ok());
+  Dense bf = brute_force_fill(a.with_full_diagonal());
+  const index_t n = a.n_cols();
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < n; ++i) {
+      EXPECT_EQ(sym.filled.find(i, j) >= 0, bf(i, j) != 0.0)
+          << "mismatch at (" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST_P(SymbolicP, PruningDoesNotChangeTheUnsymmetricPattern) {
+  Csc a = matgen::random_sparse(45, 3, GetParam() + 200);
+  SymbolicResult plain, pruned;
+  ASSERT_TRUE(symbolic_unsymmetric(a, false, &plain).is_ok());
+  ASSERT_TRUE(symbolic_unsymmetric(a, true, &pruned).is_ok());
+  EXPECT_EQ(plain.nnz_lu, pruned.nnz_lu);
+  EXPECT_TRUE(plain.filled.approx_equal(pruned.filled, 0.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SymbolicP, ::testing::Values(1, 2, 3, 4));
+
+TEST(Symbolic, SymmetricPatternIsSupersetOfUnsymmetric) {
+  Csc a = matgen::circuit(80, 2.0, 2.2, 9);
+  SymbolicResult sym, unsym;
+  ASSERT_TRUE(symbolic_symmetric(a, &sym).is_ok());
+  ASSERT_TRUE(symbolic_unsymmetric(a, true, &unsym).is_ok());
+  EXPECT_GE(sym.nnz_lu, unsym.nnz_lu);
+  // Every unsymmetric fill entry must be covered.
+  for (index_t j = 0; j < a.n_cols(); ++j) {
+    for (nnz_t p = unsym.filled.col_begin(j); p < unsym.filled.col_end(j); ++p)
+      EXPECT_GE(sym.filled.find(
+                    unsym.filled.row_idx()[static_cast<std::size_t>(p)], j),
+                0);
+  }
+}
+
+TEST(Symbolic, ValuesOfAScatteredIntoFill) {
+  Csc a = matgen::random_sparse(30, 3, 7);
+  SymbolicResult sym;
+  ASSERT_TRUE(symbolic_symmetric(a, &sym).is_ok());
+  for (index_t j = 0; j < a.n_cols(); ++j) {
+    for (nnz_t p = a.col_begin(j); p < a.col_end(j); ++p) {
+      EXPECT_DOUBLE_EQ(
+          sym.filled.at(a.row_idx()[static_cast<std::size_t>(p)], j),
+          a.values()[static_cast<std::size_t>(p)]);
+    }
+  }
+  EXPECT_EQ(sym.nnz_lu, sym.filled.nnz());
+}
+
+TEST(Symbolic, FlopsMatchHandComputedTridiagonal) {
+  // Tridiagonal fill has |L_k| = 1 for k < n-1: flops = (n-1)*(1 + 2).
+  const index_t n = 12;
+  Coo coo(n, n);
+  for (index_t i = 0; i < n; ++i) {
+    coo.add(i, i, 2.0);
+    if (i + 1 < n) {
+      coo.add(i + 1, i, -1.0);
+      coo.add(i, i + 1, -1.0);
+    }
+  }
+  SymbolicResult sym;
+  ASSERT_TRUE(symbolic_symmetric(Csc::from_coo(coo), &sym).is_ok());
+  EXPECT_DOUBLE_EQ(factorization_flops(sym.filled), (n - 1) * 3.0);
+}
+
+TEST(Supernodes, DenseBlockDetectedAsOneSupernode) {
+  const index_t n = 8;
+  Csc a = matgen::random_sparse(n, n, 3, false);
+  SymbolicResult sym;
+  ASSERT_TRUE(symbolic_symmetric(a, &sym).is_ok());
+  if (sym.filled.nnz() == static_cast<nnz_t>(n) * n) {
+    auto part = detect_supernodes(sym.filled, 0, n);
+    EXPECT_EQ(part.supernodes.size(), 1u);
+    EXPECT_EQ(part.total_padding, 0);
+  }
+}
+
+TEST(Supernodes, PartitionCoversAllColumnsExactlyOnce) {
+  Csc a = matgen::grid2d_laplacian(12, 12);
+  SymbolicResult sym;
+  ASSERT_TRUE(symbolic_symmetric(a, &sym).is_ok());
+  for (index_t relax : {0, 2, 8}) {
+    auto part = detect_supernodes(sym.filled, relax, 32);
+    index_t covered = 0;
+    for (const auto& sn : part.supernodes) {
+      EXPECT_EQ(sn.first_col, covered);
+      covered += sn.n_cols;
+      EXPECT_LE(sn.n_cols, 32);
+    }
+    EXPECT_EQ(covered, a.n_cols());
+    for (index_t c = 0; c < a.n_cols(); ++c)
+      EXPECT_GE(part.col_to_supernode[static_cast<std::size_t>(c)], 0);
+  }
+}
+
+TEST(Supernodes, RelaxationMergesMoreButPads) {
+  Csc a = matgen::circuit(150, 2.0, 2.2, 3);
+  SymbolicResult sym;
+  ASSERT_TRUE(symbolic_symmetric(a, &sym).is_ok());
+  auto strict = detect_supernodes(sym.filled, 0, 64);
+  auto relaxed = detect_supernodes(sym.filled, 8, 64);
+  EXPECT_LE(relaxed.supernodes.size(), strict.supernodes.size());
+  EXPECT_GE(relaxed.total_padding, strict.total_padding);
+}
+
+}  // namespace
+}  // namespace pangulu::symbolic

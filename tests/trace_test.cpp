@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "block/mapping.hpp"
+#include "matgen/generators.hpp"
+#include "runtime/sim.hpp"
+#include "symbolic/fill.hpp"
+
+namespace pangulu::runtime {
+namespace {
+
+struct Prepared {
+  block::BlockMatrix bm;
+  std::vector<block::Task> tasks;
+  block::Mapping mapping;
+};
+
+Prepared prepare(const Csc& a, index_t block_size, rank_t ranks) {
+  symbolic::SymbolicResult sym;
+  symbolic::symbolic_symmetric(a, &sym).check();
+  Prepared p;
+  p.bm = block::BlockMatrix::from_filled(sym.filled, block_size);
+  p.tasks = block::enumerate_tasks(p.bm);
+  p.mapping = block::cyclic_mapping(p.bm, block::ProcessGrid::make(ranks));
+  return p;
+}
+
+class TraceP : public ::testing::TestWithParam<ScheduleMode> {};
+
+TEST_P(TraceP, SchedulerInvariantsHold) {
+  Csc a = matgen::circuit(250, 2.0, 2.2, 3);
+  Prepared p = prepare(a, 32, 4);
+  TraceRecorder trace;
+  SimOptions opts;
+  opts.n_ranks = 4;
+  opts.schedule = GetParam();
+  opts.execute_numerics = false;
+  opts.trace = &trace;
+  SimResult res;
+  ASSERT_TRUE(
+      simulate_factorization(p.bm, p.tasks, p.mapping, opts, &res).is_ok());
+
+  // Every task traced exactly once.
+  ASSERT_EQ(trace.events().size(), p.tasks.size());
+  std::vector<char> seen(p.tasks.size(), 0);
+  for (const auto& ev : trace.events()) {
+    ASSERT_GE(ev.task_index, 0);
+    ASSERT_LT(static_cast<std::size_t>(ev.task_index), p.tasks.size());
+    EXPECT_FALSE(seen[static_cast<std::size_t>(ev.task_index)]);
+    seen[static_cast<std::size_t>(ev.task_index)] = 1;
+    EXPECT_LE(ev.start, ev.end);
+    EXPECT_LE(ev.end, res.makespan + 1e-12);
+    EXPECT_EQ(ev.rank,
+              p.mapping.owner[static_cast<std::size_t>(
+                  p.tasks[static_cast<std::size_t>(ev.task_index)].target)]);
+  }
+
+  // No two tasks overlap on one rank.
+  std::vector<std::vector<std::pair<double, double>>> per_rank(4);
+  for (const auto& ev : trace.events())
+    per_rank[static_cast<std::size_t>(ev.rank)].push_back({ev.start, ev.end});
+  for (auto& iv : per_rank) {
+    std::sort(iv.begin(), iv.end());
+    for (std::size_t i = 1; i < iv.size(); ++i)
+      EXPECT_GE(iv[i].first, iv[i - 1].second - 1e-12) << "overlap on a rank";
+  }
+
+  // Dependencies respected: a panel solve starts after its diagonal GETRF
+  // ends; an SSSSM starts after both its source solves end.
+  std::vector<double> end_of_finalizer(static_cast<std::size_t>(p.bm.n_blocks()),
+                                       -1.0);
+  for (const auto& ev : trace.events()) {
+    const auto& task = p.tasks[static_cast<std::size_t>(ev.task_index)];
+    if (task.kind != block::TaskKind::kSsssm)
+      end_of_finalizer[static_cast<std::size_t>(task.target)] = ev.end;
+  }
+  for (const auto& ev : trace.events()) {
+    const auto& task = p.tasks[static_cast<std::size_t>(ev.task_index)];
+    if (task.kind == block::TaskKind::kGetrf) continue;
+    EXPECT_GE(ev.start + 1e-12,
+              end_of_finalizer[static_cast<std::size_t>(task.src_a)])
+        << "task started before its source block was finalised";
+    if (task.kind == block::TaskKind::kSsssm) {
+      EXPECT_GE(ev.start + 1e-12,
+                end_of_finalizer[static_cast<std::size_t>(task.src_b)]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, TraceP,
+                         ::testing::Values(ScheduleMode::kSyncFree,
+                                           ScheduleMode::kLevelSet));
+
+TEST(Trace, ChromeExportIsWellFormedJson) {
+  Csc a = matgen::grid2d_laplacian(6, 6);
+  Prepared p = prepare(a, 12, 2);
+  TraceRecorder trace;
+  SimOptions opts;
+  opts.n_ranks = 2;
+  opts.execute_numerics = false;
+  opts.trace = &trace;
+  SimResult res;
+  ASSERT_TRUE(
+      simulate_factorization(p.bm, p.tasks, p.mapping, opts, &res).is_ok());
+  std::ostringstream os;
+  trace.write_chrome_trace(os);
+  const std::string out = os.str();
+  EXPECT_EQ(out.front(), '[');
+  EXPECT_EQ(out[out.size() - 2], ']');
+  // One event object per task; balanced braces.
+  std::size_t opens = std::count(out.begin(), out.end(), '{');
+  std::size_t closes = std::count(out.begin(), out.end(), '}');
+  EXPECT_EQ(opens, p.tasks.size());
+  EXPECT_EQ(opens, closes);
+  EXPECT_NE(out.find("\"ph\": \"X\""), std::string::npos);
+}
+
+TEST(Trace, ClearResets) {
+  TraceRecorder t;
+  t.record({0, block::TaskKind::kGetrf, 0, 0, 0, 0, 0.0, 1.0});
+  EXPECT_EQ(t.events().size(), 1u);
+  t.clear();
+  EXPECT_TRUE(t.events().empty());
+}
+
+}  // namespace
+}  // namespace pangulu::runtime

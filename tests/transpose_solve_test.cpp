@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "matgen/generators.hpp"
+#include "solver/solver.hpp"
+#include "sparse/ops.hpp"
+
+namespace pangulu::solver {
+namespace {
+
+value_t transpose_residual(const Csc& a, std::span<const value_t> x,
+                           std::span<const value_t> b) {
+  Csc at = a.transpose();
+  return relative_residual(at, x, b);
+}
+
+class TransposeP : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TransposeP, SolvesTransposedSystem) {
+  Csc a = matgen::random_sparse(120, 4, GetParam());
+  Solver s;
+  ASSERT_TRUE(s.factorize(a, {}).is_ok());
+  std::vector<value_t> x_true(static_cast<std::size_t>(a.n_cols()));
+  for (index_t i = 0; i < a.n_cols(); ++i)
+    x_true[static_cast<std::size_t>(i)] = std::cos(0.3 * i);
+  std::vector<value_t> b(static_cast<std::size_t>(a.n_rows()));
+  a.transpose().spmv(x_true, b);
+
+  std::vector<value_t> x(static_cast<std::size_t>(a.n_cols()));
+  ASSERT_TRUE(s.solve_transpose(b, x).is_ok());
+  EXPECT_LT(transpose_residual(a, x, b), 1e-10);
+  for (index_t i = 0; i < a.n_cols(); ++i)
+    EXPECT_NEAR(x[static_cast<std::size_t>(i)],
+                x_true[static_cast<std::size_t>(i)], 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TransposeP, ::testing::Values(1, 2, 3, 4));
+
+TEST(TransposeSolve, UnsymmetricMatrixDistinguishesDirections) {
+  Csc a = matgen::cage_style(150, 3, 7);
+  Solver s;
+  ASSERT_TRUE(s.factorize(a, {}).is_ok());
+  std::vector<value_t> b(static_cast<std::size_t>(a.n_rows()), 1.0);
+  std::vector<value_t> x_fwd(static_cast<std::size_t>(a.n_cols()));
+  std::vector<value_t> x_tr(static_cast<std::size_t>(a.n_cols()));
+  ASSERT_TRUE(s.solve(b, x_fwd).is_ok());
+  ASSERT_TRUE(s.solve_transpose(b, x_tr).is_ok());
+  // On a genuinely unsymmetric matrix the two solutions must differ.
+  value_t diff = 0;
+  for (std::size_t i = 0; i < x_fwd.size(); ++i)
+    diff = std::max(diff, std::abs(x_fwd[i] - x_tr[i]));
+  EXPECT_GT(diff, 1e-8);
+  EXPECT_LT(transpose_residual(a, x_tr, b), 1e-10);
+  EXPECT_LT(relative_residual(a, x_fwd, b), 1e-10);
+}
+
+TEST(TransposeSolve, WorksWithMultiRankFactors) {
+  Csc a = matgen::circuit(200, 2.0, 2.2, 42);
+  Options opts;
+  opts.n_ranks = 4;
+  Solver s;
+  ASSERT_TRUE(s.factorize(a, opts).is_ok());
+  std::vector<value_t> b(static_cast<std::size_t>(a.n_rows()), 2.0);
+  std::vector<value_t> x(static_cast<std::size_t>(a.n_cols()));
+  ASSERT_TRUE(s.solve_transpose(b, x).is_ok());
+  EXPECT_LT(transpose_residual(a, x, b), 1e-9);
+}
+
+TEST(TransposeSolve, BeforeFactorizeFails) {
+  Solver s;
+  std::vector<value_t> b(4, 1.0), x(4);
+  EXPECT_FALSE(s.solve_transpose(b, x).is_ok());
+}
+
+/// Exact 1-norm of the inverse on small matrices, via n solves.
+value_t exact_inv_norm1(Solver& s, index_t n) {
+  value_t best = 0;
+  std::vector<value_t> e(static_cast<std::size_t>(n), 0.0);
+  std::vector<value_t> col(static_cast<std::size_t>(n));
+  for (index_t j = 0; j < n; ++j) {
+    e[static_cast<std::size_t>(j)] = 1.0;
+    s.solve(e, col).check();
+    e[static_cast<std::size_t>(j)] = 0.0;
+    value_t sum = 0;
+    for (value_t v : col) sum += std::abs(v);
+    best = std::max(best, sum);
+  }
+  return best;
+}
+
+class CondestP : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CondestP, WithinFactorOfExactCondition) {
+  Csc a = matgen::random_sparse(60, 3, GetParam());
+  Solver s;
+  ASSERT_TRUE(s.factorize(a, {}).is_ok());
+  value_t est = 0;
+  ASSERT_TRUE(s.condest(&est).is_ok());
+  const value_t exact = norm1(a) * exact_inv_norm1(s, a.n_cols());
+  EXPECT_GE(est, exact * 0.1) << "estimator should rarely miss by >10x";
+  EXPECT_LE(est, exact * 1.0001) << "Hager's estimate is a lower bound";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CondestP, ::testing::Values(5, 6, 7, 8, 9));
+
+TEST(Condest, IdentityHasConditionOne) {
+  Coo coo(8, 8);
+  for (index_t i = 0; i < 8; ++i) coo.add(i, i, 1.0);
+  Solver s;
+  ASSERT_TRUE(s.factorize(Csc::from_coo(coo), {}).is_ok());
+  value_t est = 0;
+  ASSERT_TRUE(s.condest(&est).is_ok());
+  EXPECT_NEAR(est, 1.0, 1e-10);
+}
+
+TEST(Condest, DetectsIllConditioning) {
+  // Diagonal matrix with a huge dynamic range.
+  Coo coo(10, 10);
+  for (index_t i = 0; i < 10; ++i) coo.add(i, i, i == 0 ? 1e-9 : 1.0);
+  Solver s;
+  Options opts;
+  opts.reorder.apply_scaling = false;  // keep the raw conditioning visible
+  opts.reorder.use_mc64 = false;
+  ASSERT_TRUE(s.factorize(Csc::from_coo(coo), opts).is_ok());
+  value_t est = 0;
+  ASSERT_TRUE(s.condest(&est).is_ok());
+  EXPECT_GT(est, 1e8);
+}
+
+}  // namespace
+}  // namespace pangulu::solver

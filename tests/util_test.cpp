@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/histogram.hpp"
+#include "util/rng.hpp"
+#include "util/status.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace pangulu {
+namespace {
+
+TEST(Status, CodesAndCheck) {
+  EXPECT_TRUE(Status::ok().is_ok());
+  Status s = Status::invalid_argument("bad");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad");
+  EXPECT_THROW(s.check(), std::runtime_error);
+  EXPECT_NO_THROW(Status::ok().check());
+}
+
+TEST(Timer, MeasuresElapsed) {
+  Timer t;
+  volatile double x = 0;
+  for (int i = 0; i < 100000; ++i) x = x + i;
+  EXPECT_GE(t.seconds(), 0.0);
+  PhaseTimer pt;
+  pt.tic();
+  pt.toc();
+  pt.tic();
+  pt.toc();
+  EXPECT_GE(pt.total_seconds(), 0.0);
+  pt.clear();
+  EXPECT_EQ(pt.total_seconds(), 0.0);
+}
+
+TEST(Rng, DeterministicAndInRange) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform_index(0, 99), b.uniform_index(0, 99));
+  }
+  Rng c(7);
+  for (int i = 0; i < 1000; ++i) {
+    index_t v = c.uniform_index(3, 9);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 9);
+    index_t p = c.power_law(50, 2.1);
+    EXPECT_GE(p, 1);
+    EXPECT_LE(p, 50);
+  }
+}
+
+TEST(Histogram, Pow2Buckets) {
+  Histogram h = Histogram::pow2(100);
+  h.add(1);
+  h.add(3);
+  h.add(3.5);
+  h.add(64);
+  h.add(0.5);   // underflow
+  h.add(1000);  // overflow
+  EXPECT_EQ(h.count(0), 1);  // [1,2)
+  EXPECT_EQ(h.count(1), 2);  // [2,4)
+  EXPECT_EQ(h.total(), 6);
+  EXPECT_EQ(h.label(0), "[1,2)");
+}
+
+TEST(Histogram, PercentBuckets) {
+  Histogram h = Histogram::percent10();
+  h.add(0.0);
+  h.add(9.99);
+  h.add(95.0);
+  h.add(100.0);  // closed right edge
+  EXPECT_EQ(h.count(0), 2);
+  EXPECT_EQ(h.count(9), 2);
+}
+
+TEST(Histogram2D, BucketsBothAxes) {
+  Histogram2D h({1, 4, 16, 64}, {1, 4, 16, 64});
+  h.add(2, 2);
+  h.add(10, 2);
+  h.add(2, 10);
+  EXPECT_EQ(h.count(0, 0), 1);
+  EXPECT_EQ(h.count(1, 0), 1);
+  EXPECT_EQ(h.count(0, 1), 1);
+  EXPECT_EQ(h.nx(), 3u);
+}
+
+TEST(Table, RendersAligned) {
+  TextTable t({"name", "value"});
+  t.add_row({"x", TextTable::fmt(1.23456, 2)});
+  t.add_row({"longer_name", TextTable::fmt_speedup(2.5)});
+  std::ostringstream os;
+  t.print(os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("longer_name"), std::string::npos);
+  EXPECT_NE(out.find("1.23"), std::string::npos);
+  EXPECT_NE(out.find("2.50x"), std::string::npos);
+}
+
+TEST(Table, Geomean) {
+  EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-12);
+  EXPECT_NEAR(geomean({3.0}), 3.0, 1e-12);
+  EXPECT_EQ(geomean({}), 0.0);
+}
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 50; ++i)
+    pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ParallelFor, CoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  for (auto& h : hits) h.store(0);
+  parallel_for(pool, 0, 1000, [&](index_t i) {
+    hits[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, EmptyAndTinyRanges) {
+  ThreadPool pool(2);
+  int count = 0;
+  parallel_for(pool, 5, 5, [&](index_t) { ++count; });
+  EXPECT_EQ(count, 0);
+  std::atomic<int> c2{0};
+  parallel_for(pool, 0, 3, [&](index_t) { c2.fetch_add(1); });
+  EXPECT_EQ(c2.load(), 3);
+}
+
+}  // namespace
+}  // namespace pangulu
