@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_preprocess.dir/bench_fig15_preprocess.cpp.o"
+  "CMakeFiles/bench_fig15_preprocess.dir/bench_fig15_preprocess.cpp.o.d"
+  "bench_fig15_preprocess"
+  "bench_fig15_preprocess.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_preprocess.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

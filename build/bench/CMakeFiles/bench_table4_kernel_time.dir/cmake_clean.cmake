@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_kernel_time.dir/bench_table4_kernel_time.cpp.o"
+  "CMakeFiles/bench_table4_kernel_time.dir/bench_table4_kernel_time.cpp.o.d"
+  "bench_table4_kernel_time"
+  "bench_table4_kernel_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_kernel_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_trsv_scaling.dir/bench_trsv_scaling.cpp.o"
+  "CMakeFiles/bench_trsv_scaling.dir/bench_trsv_scaling.cpp.o.d"
+  "bench_trsv_scaling"
+  "bench_trsv_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_trsv_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

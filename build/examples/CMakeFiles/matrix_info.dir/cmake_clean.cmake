@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matrix_info.dir/matrix_info.cpp.o"
+  "CMakeFiles/matrix_info.dir/matrix_info.cpp.o.d"
+  "matrix_info"
+  "matrix_info.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matrix_info.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("parallel")
+subdirs("io")
+subdirs("sparse")
+subdirs("matgen")
+subdirs("ordering")
+subdirs("symbolic")
+subdirs("block")
+subdirs("kernels")
+subdirs("runtime")
+subdirs("baseline")
+subdirs("solver")
+subdirs("capi")

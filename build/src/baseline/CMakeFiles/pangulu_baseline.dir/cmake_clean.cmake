@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pangulu_baseline.dir/supernodal.cpp.o"
+  "CMakeFiles/pangulu_baseline.dir/supernodal.cpp.o.d"
+  "libpangulu_baseline.a"
+  "libpangulu_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pangulu_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

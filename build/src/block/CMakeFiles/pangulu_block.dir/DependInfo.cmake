@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/block/layout.cpp" "src/block/CMakeFiles/pangulu_block.dir/layout.cpp.o" "gcc" "src/block/CMakeFiles/pangulu_block.dir/layout.cpp.o.d"
+  "/root/repo/src/block/mapping.cpp" "src/block/CMakeFiles/pangulu_block.dir/mapping.cpp.o" "gcc" "src/block/CMakeFiles/pangulu_block.dir/mapping.cpp.o.d"
+  "/root/repo/src/block/tasks.cpp" "src/block/CMakeFiles/pangulu_block.dir/tasks.cpp.o" "gcc" "src/block/CMakeFiles/pangulu_block.dir/tasks.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sparse/CMakeFiles/pangulu_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/pangulu_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/pangulu_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pangulu_block.dir/layout.cpp.o"
+  "CMakeFiles/pangulu_block.dir/layout.cpp.o.d"
+  "CMakeFiles/pangulu_block.dir/mapping.cpp.o"
+  "CMakeFiles/pangulu_block.dir/mapping.cpp.o.d"
+  "CMakeFiles/pangulu_block.dir/tasks.cpp.o"
+  "CMakeFiles/pangulu_block.dir/tasks.cpp.o.d"
+  "libpangulu_block.a"
+  "libpangulu_block.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pangulu_block.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pangulu_capi.dir/pangulu_c.cpp.o"
+  "CMakeFiles/pangulu_capi.dir/pangulu_c.cpp.o.d"
+  "libpangulu_capi.a"
+  "libpangulu_capi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pangulu_capi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

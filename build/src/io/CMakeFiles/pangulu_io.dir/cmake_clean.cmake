@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pangulu_io.dir/matrix_market.cpp.o"
+  "CMakeFiles/pangulu_io.dir/matrix_market.cpp.o.d"
+  "libpangulu_io.a"
+  "libpangulu_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pangulu_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpangulu_io.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/calibrate.cpp" "src/kernels/CMakeFiles/pangulu_kernels.dir/calibrate.cpp.o" "gcc" "src/kernels/CMakeFiles/pangulu_kernels.dir/calibrate.cpp.o.d"
+  "/root/repo/src/kernels/gessm.cpp" "src/kernels/CMakeFiles/pangulu_kernels.dir/gessm.cpp.o" "gcc" "src/kernels/CMakeFiles/pangulu_kernels.dir/gessm.cpp.o.d"
+  "/root/repo/src/kernels/getrf.cpp" "src/kernels/CMakeFiles/pangulu_kernels.dir/getrf.cpp.o" "gcc" "src/kernels/CMakeFiles/pangulu_kernels.dir/getrf.cpp.o.d"
+  "/root/repo/src/kernels/kernel_common.cpp" "src/kernels/CMakeFiles/pangulu_kernels.dir/kernel_common.cpp.o" "gcc" "src/kernels/CMakeFiles/pangulu_kernels.dir/kernel_common.cpp.o.d"
+  "/root/repo/src/kernels/selector.cpp" "src/kernels/CMakeFiles/pangulu_kernels.dir/selector.cpp.o" "gcc" "src/kernels/CMakeFiles/pangulu_kernels.dir/selector.cpp.o.d"
+  "/root/repo/src/kernels/ssssm.cpp" "src/kernels/CMakeFiles/pangulu_kernels.dir/ssssm.cpp.o" "gcc" "src/kernels/CMakeFiles/pangulu_kernels.dir/ssssm.cpp.o.d"
+  "/root/repo/src/kernels/tstrf.cpp" "src/kernels/CMakeFiles/pangulu_kernels.dir/tstrf.cpp.o" "gcc" "src/kernels/CMakeFiles/pangulu_kernels.dir/tstrf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sparse/CMakeFiles/pangulu_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/pangulu_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

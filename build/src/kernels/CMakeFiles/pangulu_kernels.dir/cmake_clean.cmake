@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pangulu_kernels.dir/calibrate.cpp.o"
+  "CMakeFiles/pangulu_kernels.dir/calibrate.cpp.o.d"
+  "CMakeFiles/pangulu_kernels.dir/gessm.cpp.o"
+  "CMakeFiles/pangulu_kernels.dir/gessm.cpp.o.d"
+  "CMakeFiles/pangulu_kernels.dir/getrf.cpp.o"
+  "CMakeFiles/pangulu_kernels.dir/getrf.cpp.o.d"
+  "CMakeFiles/pangulu_kernels.dir/kernel_common.cpp.o"
+  "CMakeFiles/pangulu_kernels.dir/kernel_common.cpp.o.d"
+  "CMakeFiles/pangulu_kernels.dir/selector.cpp.o"
+  "CMakeFiles/pangulu_kernels.dir/selector.cpp.o.d"
+  "CMakeFiles/pangulu_kernels.dir/ssssm.cpp.o"
+  "CMakeFiles/pangulu_kernels.dir/ssssm.cpp.o.d"
+  "CMakeFiles/pangulu_kernels.dir/tstrf.cpp.o"
+  "CMakeFiles/pangulu_kernels.dir/tstrf.cpp.o.d"
+  "libpangulu_kernels.a"
+  "libpangulu_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pangulu_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

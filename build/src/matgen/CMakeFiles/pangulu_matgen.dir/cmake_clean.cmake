@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pangulu_matgen.dir/generators.cpp.o"
+  "CMakeFiles/pangulu_matgen.dir/generators.cpp.o.d"
+  "libpangulu_matgen.a"
+  "libpangulu_matgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pangulu_matgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ordering/amd.cpp" "src/ordering/CMakeFiles/pangulu_ordering.dir/amd.cpp.o" "gcc" "src/ordering/CMakeFiles/pangulu_ordering.dir/amd.cpp.o.d"
+  "/root/repo/src/ordering/graph.cpp" "src/ordering/CMakeFiles/pangulu_ordering.dir/graph.cpp.o" "gcc" "src/ordering/CMakeFiles/pangulu_ordering.dir/graph.cpp.o.d"
+  "/root/repo/src/ordering/mc64.cpp" "src/ordering/CMakeFiles/pangulu_ordering.dir/mc64.cpp.o" "gcc" "src/ordering/CMakeFiles/pangulu_ordering.dir/mc64.cpp.o.d"
+  "/root/repo/src/ordering/min_degree.cpp" "src/ordering/CMakeFiles/pangulu_ordering.dir/min_degree.cpp.o" "gcc" "src/ordering/CMakeFiles/pangulu_ordering.dir/min_degree.cpp.o.d"
+  "/root/repo/src/ordering/multilevel.cpp" "src/ordering/CMakeFiles/pangulu_ordering.dir/multilevel.cpp.o" "gcc" "src/ordering/CMakeFiles/pangulu_ordering.dir/multilevel.cpp.o.d"
+  "/root/repo/src/ordering/nested_dissection.cpp" "src/ordering/CMakeFiles/pangulu_ordering.dir/nested_dissection.cpp.o" "gcc" "src/ordering/CMakeFiles/pangulu_ordering.dir/nested_dissection.cpp.o.d"
+  "/root/repo/src/ordering/rcm.cpp" "src/ordering/CMakeFiles/pangulu_ordering.dir/rcm.cpp.o" "gcc" "src/ordering/CMakeFiles/pangulu_ordering.dir/rcm.cpp.o.d"
+  "/root/repo/src/ordering/reorder.cpp" "src/ordering/CMakeFiles/pangulu_ordering.dir/reorder.cpp.o" "gcc" "src/ordering/CMakeFiles/pangulu_ordering.dir/reorder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sparse/CMakeFiles/pangulu_sparse.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pangulu_ordering.dir/amd.cpp.o"
+  "CMakeFiles/pangulu_ordering.dir/amd.cpp.o.d"
+  "CMakeFiles/pangulu_ordering.dir/graph.cpp.o"
+  "CMakeFiles/pangulu_ordering.dir/graph.cpp.o.d"
+  "CMakeFiles/pangulu_ordering.dir/mc64.cpp.o"
+  "CMakeFiles/pangulu_ordering.dir/mc64.cpp.o.d"
+  "CMakeFiles/pangulu_ordering.dir/min_degree.cpp.o"
+  "CMakeFiles/pangulu_ordering.dir/min_degree.cpp.o.d"
+  "CMakeFiles/pangulu_ordering.dir/multilevel.cpp.o"
+  "CMakeFiles/pangulu_ordering.dir/multilevel.cpp.o.d"
+  "CMakeFiles/pangulu_ordering.dir/nested_dissection.cpp.o"
+  "CMakeFiles/pangulu_ordering.dir/nested_dissection.cpp.o.d"
+  "CMakeFiles/pangulu_ordering.dir/rcm.cpp.o"
+  "CMakeFiles/pangulu_ordering.dir/rcm.cpp.o.d"
+  "CMakeFiles/pangulu_ordering.dir/reorder.cpp.o"
+  "CMakeFiles/pangulu_ordering.dir/reorder.cpp.o.d"
+  "libpangulu_ordering.a"
+  "libpangulu_ordering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pangulu_ordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

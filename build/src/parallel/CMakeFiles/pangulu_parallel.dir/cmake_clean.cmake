@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pangulu_parallel.dir/thread_pool.cpp.o"
+  "CMakeFiles/pangulu_parallel.dir/thread_pool.cpp.o.d"
+  "libpangulu_parallel.a"
+  "libpangulu_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pangulu_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/device_model.cpp" "src/runtime/CMakeFiles/pangulu_runtime.dir/device_model.cpp.o" "gcc" "src/runtime/CMakeFiles/pangulu_runtime.dir/device_model.cpp.o.d"
+  "/root/repo/src/runtime/sim.cpp" "src/runtime/CMakeFiles/pangulu_runtime.dir/sim.cpp.o" "gcc" "src/runtime/CMakeFiles/pangulu_runtime.dir/sim.cpp.o.d"
+  "/root/repo/src/runtime/threaded.cpp" "src/runtime/CMakeFiles/pangulu_runtime.dir/threaded.cpp.o" "gcc" "src/runtime/CMakeFiles/pangulu_runtime.dir/threaded.cpp.o.d"
+  "/root/repo/src/runtime/trace.cpp" "src/runtime/CMakeFiles/pangulu_runtime.dir/trace.cpp.o" "gcc" "src/runtime/CMakeFiles/pangulu_runtime.dir/trace.cpp.o.d"
+  "/root/repo/src/runtime/trsv_sim.cpp" "src/runtime/CMakeFiles/pangulu_runtime.dir/trsv_sim.cpp.o" "gcc" "src/runtime/CMakeFiles/pangulu_runtime.dir/trsv_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/block/CMakeFiles/pangulu_block.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/pangulu_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/pangulu_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/pangulu_sparse.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pangulu_runtime.dir/device_model.cpp.o"
+  "CMakeFiles/pangulu_runtime.dir/device_model.cpp.o.d"
+  "CMakeFiles/pangulu_runtime.dir/sim.cpp.o"
+  "CMakeFiles/pangulu_runtime.dir/sim.cpp.o.d"
+  "CMakeFiles/pangulu_runtime.dir/threaded.cpp.o"
+  "CMakeFiles/pangulu_runtime.dir/threaded.cpp.o.d"
+  "CMakeFiles/pangulu_runtime.dir/trace.cpp.o"
+  "CMakeFiles/pangulu_runtime.dir/trace.cpp.o.d"
+  "CMakeFiles/pangulu_runtime.dir/trsv_sim.cpp.o"
+  "CMakeFiles/pangulu_runtime.dir/trsv_sim.cpp.o.d"
+  "libpangulu_runtime.a"
+  "libpangulu_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pangulu_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pangulu_solver.dir/solver.cpp.o"
+  "CMakeFiles/pangulu_solver.dir/solver.cpp.o.d"
+  "libpangulu_solver.a"
+  "libpangulu_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pangulu_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sparse/analysis.cpp" "src/sparse/CMakeFiles/pangulu_sparse.dir/analysis.cpp.o" "gcc" "src/sparse/CMakeFiles/pangulu_sparse.dir/analysis.cpp.o.d"
+  "/root/repo/src/sparse/csc.cpp" "src/sparse/CMakeFiles/pangulu_sparse.dir/csc.cpp.o" "gcc" "src/sparse/CMakeFiles/pangulu_sparse.dir/csc.cpp.o.d"
+  "/root/repo/src/sparse/ops.cpp" "src/sparse/CMakeFiles/pangulu_sparse.dir/ops.cpp.o" "gcc" "src/sparse/CMakeFiles/pangulu_sparse.dir/ops.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pangulu_sparse.dir/analysis.cpp.o"
+  "CMakeFiles/pangulu_sparse.dir/analysis.cpp.o.d"
+  "CMakeFiles/pangulu_sparse.dir/csc.cpp.o"
+  "CMakeFiles/pangulu_sparse.dir/csc.cpp.o.d"
+  "CMakeFiles/pangulu_sparse.dir/ops.cpp.o"
+  "CMakeFiles/pangulu_sparse.dir/ops.cpp.o.d"
+  "libpangulu_sparse.a"
+  "libpangulu_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pangulu_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

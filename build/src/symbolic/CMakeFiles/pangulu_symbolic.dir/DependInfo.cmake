@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/symbolic/col_counts.cpp" "src/symbolic/CMakeFiles/pangulu_symbolic.dir/col_counts.cpp.o" "gcc" "src/symbolic/CMakeFiles/pangulu_symbolic.dir/col_counts.cpp.o.d"
+  "/root/repo/src/symbolic/etree.cpp" "src/symbolic/CMakeFiles/pangulu_symbolic.dir/etree.cpp.o" "gcc" "src/symbolic/CMakeFiles/pangulu_symbolic.dir/etree.cpp.o.d"
+  "/root/repo/src/symbolic/fill.cpp" "src/symbolic/CMakeFiles/pangulu_symbolic.dir/fill.cpp.o" "gcc" "src/symbolic/CMakeFiles/pangulu_symbolic.dir/fill.cpp.o.d"
+  "/root/repo/src/symbolic/supernodes.cpp" "src/symbolic/CMakeFiles/pangulu_symbolic.dir/supernodes.cpp.o" "gcc" "src/symbolic/CMakeFiles/pangulu_symbolic.dir/supernodes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sparse/CMakeFiles/pangulu_sparse.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

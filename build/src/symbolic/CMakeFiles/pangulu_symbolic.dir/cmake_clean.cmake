@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pangulu_symbolic.dir/col_counts.cpp.o"
+  "CMakeFiles/pangulu_symbolic.dir/col_counts.cpp.o.d"
+  "CMakeFiles/pangulu_symbolic.dir/etree.cpp.o"
+  "CMakeFiles/pangulu_symbolic.dir/etree.cpp.o.d"
+  "CMakeFiles/pangulu_symbolic.dir/fill.cpp.o"
+  "CMakeFiles/pangulu_symbolic.dir/fill.cpp.o.d"
+  "CMakeFiles/pangulu_symbolic.dir/supernodes.cpp.o"
+  "CMakeFiles/pangulu_symbolic.dir/supernodes.cpp.o.d"
+  "libpangulu_symbolic.a"
+  "libpangulu_symbolic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pangulu_symbolic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amd_test.dir/amd_test.cpp.o"
+  "CMakeFiles/amd_test.dir/amd_test.cpp.o.d"
+  "amd_test"
+  "amd_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baseline_test.cpp" "tests/CMakeFiles/baseline_test.dir/baseline_test.cpp.o" "gcc" "tests/CMakeFiles/baseline_test.dir/baseline_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/matgen/CMakeFiles/pangulu_matgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/pangulu_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/capi/CMakeFiles/pangulu_capi.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/pangulu_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/pangulu_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/ordering/CMakeFiles/pangulu_ordering.dir/DependInfo.cmake"
+  "/root/repo/build/src/symbolic/CMakeFiles/pangulu_symbolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/pangulu_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/block/CMakeFiles/pangulu_block.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/pangulu_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/pangulu_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/pangulu_sparse.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

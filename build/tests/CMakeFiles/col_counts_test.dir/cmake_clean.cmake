@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/col_counts_test.dir/col_counts_test.cpp.o"
+  "CMakeFiles/col_counts_test.dir/col_counts_test.cpp.o.d"
+  "col_counts_test"
+  "col_counts_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/col_counts_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

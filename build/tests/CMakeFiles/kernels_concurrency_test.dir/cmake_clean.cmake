@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernels_concurrency_test.dir/kernels_concurrency_test.cpp.o"
+  "CMakeFiles/kernels_concurrency_test.dir/kernels_concurrency_test.cpp.o.d"
+  "kernels_concurrency_test"
+  "kernels_concurrency_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernels_concurrency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matgen_test.dir/matgen_test.cpp.o"
+  "CMakeFiles/matgen_test.dir/matgen_test.cpp.o.d"
+  "matgen_test"
+  "matgen_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matgen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaling_stability_test.dir/scaling_stability_test.cpp.o"
+  "CMakeFiles/scaling_stability_test.dir/scaling_stability_test.cpp.o.d"
+  "scaling_stability_test"
+  "scaling_stability_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaling_stability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solver_extras_test.dir/solver_extras_test.cpp.o"
+  "CMakeFiles/solver_extras_test.dir/solver_extras_test.cpp.o.d"
+  "solver_extras_test"
+  "solver_extras_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solver_extras_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transpose_solve_test.dir/transpose_solve_test.cpp.o"
+  "CMakeFiles/transpose_solve_test.dir/transpose_solve_test.cpp.o.d"
+  "transpose_solve_test"
+  "transpose_solve_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transpose_solve_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trsv_test.dir/trsv_test.cpp.o"
+  "CMakeFiles/trsv_test.dir/trsv_test.cpp.o.d"
+  "trsv_test"
+  "trsv_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trsv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
