@@ -3,7 +3,12 @@
 // level-set schedule shows its barrier gaps, the sync-free schedule packs
 // the same tasks tightly. Open the output in chrome://tracing or Perfetto.
 //
-// Usage: schedule_trace [matrix-name] [ranks] [out-prefix]
+// With "faults" as the fourth argument the run also injects a 2x straggler
+// on rank 1 and crashes the last rank halfway through: the trace then carries
+// instant markers (cat "fault") for the stall, crash and recovery points, and
+// the timeline shows the survivors absorbing the dead rank's blocks.
+//
+// Usage: schedule_trace [matrix-name] [ranks] [out-prefix] [faults]
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -11,6 +16,7 @@
 #include "block/mapping.hpp"
 #include "matgen/generators.hpp"
 #include "ordering/reorder.hpp"
+#include "runtime/fault.hpp"
 #include "runtime/sim.hpp"
 #include "symbolic/fill.hpp"
 
@@ -19,6 +25,7 @@ int main(int argc, char** argv) {
   const std::string name = argc > 1 ? argv[1] : "ASIC_680k";
   const rank_t ranks = argc > 2 ? std::atoi(argv[2]) : 8;
   const std::string prefix = argc > 3 ? argv[3] : "trace";
+  const bool with_faults = argc > 4 && std::string(argv[4]) == "faults";
 
   Csc a = matgen::paper_matrix(name, 0.35);
   ordering::ReorderResult reorder;
@@ -31,6 +38,20 @@ int main(int argc, char** argv) {
   auto grid = block::ProcessGrid::make(ranks);
   auto mapping = block::cyclic_mapping(blocks, grid);
 
+  runtime::FaultPlan plan;
+  if (with_faults) {
+    // A fault-free dry run fixes the crash time at half the clean makespan.
+    block::BlockMatrix bm = blocks;
+    runtime::SimOptions opts;
+    opts.n_ranks = ranks;
+    opts.execute_numerics = false;
+    runtime::SimResult clean;
+    runtime::simulate_factorization(bm, tasks, mapping, opts, &clean).check();
+    plan.slowdowns.push_back({1, 0.0, 2.0});
+    plan.crashes.push_back({static_cast<rank_t>(ranks - 1),
+                            clean.makespan * 0.5});
+  }
+
   for (auto [mode, label] :
        {std::pair{runtime::ScheduleMode::kSyncFree, "syncfree"},
         std::pair{runtime::ScheduleMode::kLevelSet, "levelset"}}) {
@@ -41,6 +62,7 @@ int main(int argc, char** argv) {
     opts.schedule = mode;
     opts.execute_numerics = false;
     opts.trace = &trace;
+    opts.faults = plan;
     runtime::SimResult res;
     runtime::simulate_factorization(bm, tasks, mapping, opts, &res).check();
 
@@ -50,6 +72,13 @@ int main(int argc, char** argv) {
     std::cout << label << ": makespan " << res.makespan << " s, avg sync "
               << res.avg_sync << " s, " << trace.events().size()
               << " tasks -> " << path << "\n";
+    if (with_faults) {
+      std::cout << "  faults: " << res.rank_crashes << " crash, "
+                << res.remapped_blocks << " blocks remapped, "
+                << res.recovered_tasks << " tasks recovered, recovery "
+                << res.recovery_time << " s, " << trace.instants().size()
+                << " fault markers\n";
+    }
   }
   std::cout << "Open the JSON files in chrome://tracing to compare the "
                "schedules.\n";

@@ -16,6 +16,24 @@ ProcessGrid ProcessGrid::make(rank_t p) {
   return g;
 }
 
+nnz_t Mapping::remap_failed_rank(rank_t failed, const std::vector<char>& alive) {
+  std::vector<rank_t> survivors;
+  for (rank_t r = 0; r < n_ranks; ++r) {
+    const bool ok = alive.empty() ? r != failed
+                                  : r != failed &&
+                                        alive[static_cast<std::size_t>(r)];
+    if (ok) survivors.push_back(r);
+  }
+  if (survivors.empty()) return -1;
+  nnz_t moved = 0;
+  for (auto& o : owner) {
+    if (o != failed) continue;
+    o = survivors[static_cast<std::size_t>(moved) % survivors.size()];
+    ++moved;
+  }
+  return moved;
+}
+
 Mapping cyclic_mapping(const BlockMatrix& bm, const ProcessGrid& grid) {
   Mapping m;
   m.n_ranks = grid.size();

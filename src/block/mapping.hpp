@@ -29,6 +29,16 @@ struct ProcessGrid {
 struct Mapping {
   std::vector<rank_t> owner;
   rank_t n_ranks = 1;
+
+  /// Crash recovery primitive: reassign every block owned by `failed` to the
+  /// surviving ranks, round-robin in block-position order so the orphaned
+  /// load spreads evenly and deterministically. `alive[r]` marks eligible
+  /// ranks (pass empty to mean "everyone except `failed`"); ranks already
+  /// lost to earlier crashes must be marked dead so cascading failures never
+  /// re-adopt blocks onto a corpse. Returns the number of blocks moved, or
+  /// -1 when no survivor exists (recovery impossible). `n_ranks` is kept:
+  /// rank ids stay stable, the dead rank simply owns nothing.
+  nnz_t remap_failed_rank(rank_t failed, const std::vector<char>& alive = {});
 };
 
 /// Plain 2D block-cyclic assignment.

@@ -140,4 +140,39 @@ std::vector<index_t> sync_free_array(const BlockMatrix& bm,
   return arr;
 }
 
+bool is_topological_order(const BlockMatrix& bm,
+                          const std::vector<Task>& tasks) {
+  std::vector<index_t> pending_updates(static_cast<std::size_t>(bm.n_blocks()),
+                                       0);
+  std::vector<char> finalized(static_cast<std::size_t>(bm.n_blocks()), 0);
+  for (const Task& t : tasks) {
+    if (t.kind == TaskKind::kSsssm)
+      pending_updates[static_cast<std::size_t>(t.target)]++;
+  }
+  for (const Task& t : tasks) {
+    switch (t.kind) {
+      case TaskKind::kGetrf:
+        if (pending_updates[static_cast<std::size_t>(t.target)] != 0)
+          return false;  // factorised before all Schur updates landed
+        finalized[static_cast<std::size_t>(t.target)] = 1;
+        break;
+      case TaskKind::kGessm:
+      case TaskKind::kTstrf:
+        if (!finalized[static_cast<std::size_t>(t.src_a)] ||
+            pending_updates[static_cast<std::size_t>(t.target)] != 0)
+          return false;
+        finalized[static_cast<std::size_t>(t.target)] = 1;
+        break;
+      case TaskKind::kSsssm:
+        if (!finalized[static_cast<std::size_t>(t.src_a)] ||
+            !finalized[static_cast<std::size_t>(t.src_b)] ||
+            finalized[static_cast<std::size_t>(t.target)])
+          return false;
+        pending_updates[static_cast<std::size_t>(t.target)]--;
+        break;
+    }
+  }
+  return true;
+}
+
 }  // namespace pangulu::block

@@ -33,4 +33,12 @@ std::vector<Task> enumerate_tasks(const BlockMatrix& bm);
 std::vector<index_t> sync_free_array(const BlockMatrix& bm,
                                      const std::vector<Task>& tasks);
 
+/// True when executing `tasks` front to back never consumes a block before
+/// the tasks producing it have run — i.e. enumeration order is a valid
+/// topological order of the dependency DAG. The DES runtime relies on this
+/// to execute numerics canonically (independent of the simulated schedule,
+/// so fault injection can never change the computed factors); this verifies
+/// the contract in tests.
+bool is_topological_order(const BlockMatrix& bm, const std::vector<Task>& tasks);
+
 }  // namespace pangulu::block

@@ -57,6 +57,15 @@ struct DeviceModel {
   double barrier_base_s = 4e-6;
   double barrier_per_rank_s = 1.0e-6;
 
+  // Fault-recovery protocol timing (see runtime/fault.hpp). The retransmit
+  // timer starts at ack_timeout(bytes) — one round trip plus slack — and
+  // doubles on every retry (exponential backoff). A silent rank is declared
+  // dead after crash_detect_s without heartbeats; adopting one orphaned
+  // block during re-mapping costs remap_per_block_s on the survivors.
+  double ack_timeout_slack_s = 2e-5;
+  double crash_detect_s = 1e-3;
+  double remap_per_block_s = 2e-7;
+
   static DeviceModel a100_like();
   static DeviceModel mi50_like();
 
@@ -70,6 +79,12 @@ struct DeviceModel {
 
   double message_time(std::size_t bytes) const {
     return net_latency_s + static_cast<double>(bytes) / net_bandwidth;
+  }
+
+  /// Base retransmit timeout for a message of the given size: data + ack
+  /// round trip plus scheduling slack. Doubles per retry in the protocol.
+  double ack_timeout(std::size_t bytes) const {
+    return message_time(bytes) + net_latency_s + ack_timeout_slack_s;
   }
 
   double barrier_time(rank_t ranks) const;

@@ -1,0 +1,77 @@
+#include "runtime/fault.hpp"
+
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace pangulu::runtime {
+
+namespace {
+
+Status bad(const std::string& what) { return Status::invalid_argument(what); }
+
+}  // namespace
+
+Status FaultPlan::validate(rank_t n_ranks) const {
+  auto prob_ok = [](double p) { return p >= 0 && p <= 1; };
+  if (!prob_ok(drop_prob) || !prob_ok(dup_prob) || !prob_ok(reorder_prob))
+    return bad("fault plan: probabilities must lie in [0, 1]");
+  if (max_attempts < 1) return bad("fault plan: max_attempts must be >= 1");
+  if (reorder_max_delay_s < 0 || window_begin_s < 0 ||
+      window_end_s < window_begin_s)
+    return bad("fault plan: malformed message-fault window");
+  auto rank_ok = [&](rank_t r) { return r >= 0 && r < n_ranks; };
+  for (const Slowdown& s : slowdowns) {
+    if (!rank_ok(s.rank)) return bad("fault plan: slowdown rank out of range");
+    if (s.factor < 1 || s.from_s < 0)
+      return bad("fault plan: slowdown needs factor >= 1 and from_s >= 0");
+  }
+  for (const Stall& s : stalls) {
+    if (!rank_ok(s.rank)) return bad("fault plan: stall rank out of range");
+    if (s.duration_s < 0 || s.at_s < 0)
+      return bad("fault plan: stall needs non-negative time and duration");
+  }
+  std::vector<char> crashed(static_cast<std::size_t>(n_ranks), 0);
+  rank_t n_crashed = 0;
+  for (const Crash& c : crashes) {
+    if (!rank_ok(c.rank)) return bad("fault plan: crash rank out of range");
+    if (c.at_s < 0) return bad("fault plan: crash time must be >= 0");
+    if (!crashed[static_cast<std::size_t>(c.rank)]) {
+      crashed[static_cast<std::size_t>(c.rank)] = 1;
+      ++n_crashed;
+    }
+  }
+  if (n_crashed >= n_ranks)
+    return Status::unavailable(
+        "fault plan crashes every rank: no survivor can recover");
+  return Status::ok();
+}
+
+FaultPlan FaultPlan::random(std::uint64_t seed, rank_t n_ranks,
+                            double horizon_s, double intensity,
+                            bool with_crash) {
+  FaultPlan p;
+  p.seed = seed;
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + 1);
+  p.drop_prob = intensity * rng.uniform(0.2, 1.0);
+  p.dup_prob = intensity * rng.uniform(0.1, 0.6);
+  p.reorder_prob = intensity * rng.uniform(0.1, 0.6);
+  p.reorder_max_delay_s = horizon_s * rng.uniform(0.001, 0.01);
+
+  const auto pick_rank = [&] {
+    return static_cast<rank_t>(rng.uniform_i64(0, n_ranks - 1));
+  };
+  p.slowdowns.push_back(
+      {pick_rank(), horizon_s * rng.uniform(0.0, 0.3), rng.uniform(1.5, 4.0)});
+  p.stalls.push_back({pick_rank(), horizon_s * rng.uniform(0.1, 0.6),
+                      horizon_s * rng.uniform(0.02, 0.15)});
+  if (with_crash && n_ranks > 1) {
+    // Never crash rank 0 so a survivor always exists even if a caller
+    // layers extra crashes on top of a random plan.
+    const rank_t victim = static_cast<rank_t>(rng.uniform_i64(1, n_ranks - 1));
+    p.crashes.push_back({victim, horizon_s * rng.uniform(0.2, 0.7)});
+  }
+  return p;
+}
+
+}  // namespace pangulu::runtime

@@ -1,13 +1,16 @@
 #include "runtime/sim.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <queue>
+#include <string>
 #include <tuple>
 
 #include "kernels/getrf.hpp"
 #include "kernels/gessm.hpp"
 #include "kernels/ssssm.hpp"
 #include "kernels/tstrf.hpp"
+#include "util/rng.hpp"
 
 namespace pangulu::runtime {
 
@@ -17,6 +20,8 @@ using block::BlockMatrix;
 using block::Mapping;
 using block::Task;
 using block::TaskKind;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
 
 /// Resolved execution plan of one task: which variant runs and what it costs.
 struct TaskPlan {
@@ -114,8 +119,95 @@ Status run_numerics(const Task& t, const TaskPlan& p, BlockMatrix& bm,
                             bm.block(t.src_a), bm.block(t.src_b),
                             bm.block(t.target), ws, nullptr);
   }
-  return Status::internal("unreachable");
+  return Status::internal("run_numerics: unhandled TaskKind " +
+                          to_string(t.kind));
 }
+
+/// Runtime fault state shared by both schedulers: per-rank crash clocks plus
+/// the seeded per-message RNG of the drop/duplicate/reorder draws. Draws are
+/// consumed in DES event order, which is itself deterministic for a given
+/// plan, so every run of the same plan sees the same faults.
+struct FaultCtx {
+  const FaultPlan& plan;
+  const DeviceModel& dev;
+  std::vector<double> crash_at;  // +inf: never crashes
+  Rng rng;
+
+  FaultCtx(const FaultPlan& p, const DeviceModel& d, rank_t n_ranks)
+      : plan(p), dev(d),
+        crash_at(static_cast<std::size_t>(n_ranks), kInf),
+        rng(p.seed ^ 0xfa017c0de5eedULL) {
+    for (const FaultPlan::Crash& c : p.crashes) {
+      auto& t = crash_at[static_cast<std::size_t>(c.rank)];
+      t = std::min(t, c.at_s);
+    }
+  }
+
+  /// Compound straggler factor of rank r at virtual time t.
+  double speed_factor(rank_t r, double t) const {
+    double f = 1;
+    for (const FaultPlan::Slowdown& s : plan.slowdowns)
+      if (s.rank == r && t >= s.from_s) f *= s.factor;
+    return f;
+  }
+
+  /// Earliest time >= t at which rank r is not frozen by a transient stall.
+  double stall_release(rank_t r, double t) const {
+    bool moved = true;
+    while (moved) {
+      moved = false;
+      for (const FaultPlan::Stall& s : plan.stalls) {
+        if (s.rank == r && t >= s.at_s && t < s.at_s + s.duration_s) {
+          t = s.at_s + s.duration_s;
+          moved = true;
+        }
+      }
+    }
+    return t;
+  }
+
+  /// One reliable block transfer under the ack/timeout/retransmit protocol.
+  struct Transfer {
+    double deliver = 0;  // when the first successful copy lands
+    double penalty = 0;  // deliver minus the fault-free delivery time
+    int sends = 1;       // physical sends (retransmits = sends - 1)
+    int timeouts = 0;    // ack timers that fired
+    int duplicates = 0;  // extra copies the receiver must suppress
+    bool ok = true;      // false: max_attempts exhausted, link unusable
+  };
+
+  Transfer transfer(double send_time, std::size_t bytes) {
+    Transfer tr;
+    const double base = dev.message_time(bytes);
+    tr.deliver = send_time + base;
+    if (!plan.has_message_faults() || send_time < plan.window_begin_s ||
+        send_time >= plan.window_end_s)
+      return tr;
+    double t = send_time;
+    double timeout = dev.ack_timeout(bytes);
+    tr.sends = 0;
+    for (int attempt = 0; attempt < plan.max_attempts; ++attempt) {
+      tr.sends++;
+      if (!rng.bernoulli(plan.drop_prob)) {
+        double delay = base;
+        if (plan.reorder_prob > 0 && rng.bernoulli(plan.reorder_prob))
+          delay += rng.uniform(0.0, plan.reorder_max_delay_s);
+        if (plan.dup_prob > 0 && rng.bernoulli(plan.dup_prob))
+          tr.duplicates++;
+        tr.deliver = t + delay;
+        tr.penalty = tr.deliver - (send_time + base);
+        return tr;
+      }
+      // Attempt lost: the ack timer fires and the sender retransmits with
+      // exponential backoff.
+      tr.timeouts++;
+      t += timeout;
+      timeout *= 2;
+    }
+    tr.ok = false;
+    return tr;
+  }
+};
 
 /// Dependency structure shared by both schedulers.
 struct TaskGraph {
@@ -175,20 +267,26 @@ struct TaskGraph {
 struct PendingEvent {
   double time;
   index_t seq;   // tie-break for determinism
-  index_t task;  // ready task, or -1 for a rank wake-up
-  rank_t rank;   // rank to wake (wake events only)
+  index_t task;  // ready task, -1 for a rank wake-up, -2 for crash recovery
+  rank_t rank;   // rank to wake / rank being recovered
   bool operator>(const PendingEvent& o) const {
     return std::tie(time, seq) > std::tie(o.time, o.seq);
   }
 };
 
-Status run_sync_free(BlockMatrix& bm, const std::vector<Task>& tasks,
-                     const Mapping& mapping, const SimOptions& o,
-                     SimResult* res) {
+/// Marker task ids for non-task events.
+constexpr index_t kWakeEvent = -1;
+constexpr index_t kRecoveryEvent = -2;
+
+Status run_sync_free(const BlockMatrix& bm, const std::vector<Task>& tasks,
+                     const Mapping& mapping_in, const SimOptions& o,
+                     const std::vector<TaskPlan>& plans, SimResult* res) {
   const auto nt = static_cast<index_t>(tasks.size());
   TaskGraph g = TaskGraph::build(bm, tasks);
+  FaultCtx faults(o.faults, o.device, o.n_ranks);
 
-  std::vector<TaskPlan> plans(static_cast<std::size_t>(nt));
+  // Recovery rewrites ownership, so the scheduler works on its own copy.
+  Mapping mapping = mapping_in;
   std::vector<rank_t> owner(static_cast<std::size_t>(nt));
   for (index_t t = 0; t < nt; ++t)
     owner[static_cast<std::size_t>(t)] =
@@ -211,10 +309,10 @@ Status run_sync_free(BlockMatrix& bm, const std::vector<Task>& tasks,
 
   std::vector<double> busy_until(static_cast<std::size_t>(o.n_ranks), 0.0);
   std::vector<double> ready_time(static_cast<std::size_t>(nt), 0.0);
+  std::vector<char> done(static_cast<std::size_t>(nt), 0);
+  std::vector<char> alive(static_cast<std::size_t>(o.n_ranks), 1);
 
   res->ranks.assign(static_cast<std::size_t>(o.n_ranks), RankStats{});
-  kernels::Workspace ws;
-  kernels::PivotStats pivots;
 
   std::priority_queue<PendingEvent, std::vector<PendingEvent>,
                       std::greater<PendingEvent>>
@@ -224,6 +322,11 @@ Status run_sync_free(BlockMatrix& bm, const std::vector<Task>& tasks,
     if (g.dep[static_cast<std::size_t>(t)] == 0)
       events.push({0.0, seq++, t, 0});
   }
+  // A dead rank is noticed when its heartbeats stop: schedule the recovery
+  // sweep one detection window after each planned crash.
+  for (const FaultPlan::Crash& c : o.faults.crashes)
+    events.push({c.at_s + o.device.crash_detect_s, seq++, kRecoveryEvent,
+                 c.rank});
 
   double makespan = 0;
   index_t completed = 0;
@@ -235,15 +338,24 @@ Status run_sync_free(BlockMatrix& bm, const std::vector<Task>& tasks,
   auto start_one = [&](rank_t r, double now) -> Status {
     auto& q = ready[static_cast<std::size_t>(r)];
     if (q.empty()) return Status::ok();
-    index_t t = q.top();
-    q.pop();
-    const Task& task = tasks[static_cast<std::size_t>(t)];
-    TaskPlan p = plan_task(task, bm, o);
-    plans[static_cast<std::size_t>(t)] = p;
-    if (o.execute_numerics) {
-      Status s = run_numerics(task, p, bm, ws, &pivots, o.pivot_tol);
-      if (!s.is_ok()) return s;
+    auto& rs = res->ranks[static_cast<std::size_t>(r)];
+
+    // Transient stall: the rank is frozen; try again when it thaws.
+    const double thaw = faults.stall_release(r, now);
+    if (thaw > now) {
+      rs.stall_s += thaw - now;
+      res->recovery_time += thaw - now;
+      busy_until[static_cast<std::size_t>(r)] = thaw;
+      events.push({thaw, seq++, kWakeEvent, r});
+      if (o.trace) o.trace->record_instant(r, now, "stall");
+      return Status::ok();
     }
+
+    index_t t = q.top();
+    const Task& task = tasks[static_cast<std::size_t>(t)];
+    const TaskPlan& p = plans[static_cast<std::size_t>(t)];
+    const double cost = p.cost * faults.speed_factor(r, now);
+
     // Release dependents; remote ones pay one message per destination rank.
     // Posting a send also occupies the sender briefly (pack + NIC doorbell),
     // which is what throttles very fine-grained block traffic at high rank
@@ -261,40 +373,128 @@ Status run_sync_free(BlockMatrix& bm, const std::vector<Task>& tasks,
     const double send_overhead =
         static_cast<double>(sent_to.size()) * 0.5 * o.device.net_latency_s;
 
-    const double fin = now + p.cost + send_overhead;
+    const double fin = now + cost + send_overhead;
+    const double crash_at = faults.crash_at[static_cast<std::size_t>(r)];
+    if (fin > crash_at) {
+      // The rank dies mid-task: the work is lost, the task stays queued for
+      // the recovery sweep to re-dispatch, and the rank takes no more work.
+      busy_until[static_cast<std::size_t>(r)] = kInf;
+      return Status::ok();
+    }
+    q.pop();
     busy_until[static_cast<std::size_t>(r)] = fin;
     makespan = std::max(makespan, fin);
     if (o.trace)
       o.trace->record({t, task.kind, task.k, task.bi, task.bj, r, now, fin});
-    auto& rs = res->ranks[static_cast<std::size_t>(r)];
-    rs.busy += p.cost + send_overhead;
-    rs.messages_sent += static_cast<std::int64_t>(sent_to.size());
-    rs.bytes_sent += sent_to.size() * msg_bytes;
+    rs.busy += cost + send_overhead;
     if (task.kind == TaskKind::kSsssm)
-      res->schur_busy += p.cost;
+      res->schur_busy += cost;
     else
-      res->panel_busy += p.cost;
-    res->kind_busy[static_cast<int>(task.kind)] += p.cost;
+      res->panel_busy += cost;
+    res->kind_busy[static_cast<int>(task.kind)] += cost;
     res->kind_count[static_cast<int>(task.kind)]++;
     res->total_flops += task.weight;
+    done[static_cast<std::size_t>(t)] = 1;
     ++completed;
+
+    // One physical transfer per destination rank; every dependent on that
+    // rank shares the delivered block. Retransmits bill the sender, the
+    // receiver absorbs (and suppresses) duplicates so its sync-free counter
+    // still decrements exactly once per logical message.
+    std::vector<double> deliver_at(sent_to.size());
+    for (std::size_t i = 0; i < sent_to.size(); ++i) {
+      const rank_t dr = sent_to[i];
+      FaultCtx::Transfer tr = faults.transfer(fin, msg_bytes);
+      if (!tr.ok) {
+        return Status::unavailable(
+            "block transfer to rank " + std::to_string(dr) + " lost " +
+            std::to_string(o.faults.max_attempts) +
+            " consecutive times; giving up");
+      }
+      deliver_at[i] = tr.deliver;
+      rs.messages_sent += tr.sends;
+      rs.bytes_sent += static_cast<std::size_t>(tr.sends) * msg_bytes;
+      rs.retransmits += tr.sends - 1;
+      rs.timeouts += tr.timeouts;
+      res->ranks[static_cast<std::size_t>(dr)].duplicates_suppressed +=
+          tr.duplicates;
+      res->recovery_time += tr.penalty;
+      if (o.trace && tr.sends > 1)
+        o.trace->record_instant(r, fin, "retransmit x" +
+                                            std::to_string(tr.sends - 1));
+    }
 
     for (index_t d : g.out[static_cast<std::size_t>(t)]) {
       const rank_t dr = owner[static_cast<std::size_t>(d)];
       double arrive = fin;
-      if (dr != r) arrive += o.device.message_time(msg_bytes);
+      if (dr != r) {
+        const auto it = std::find(sent_to.begin(), sent_to.end(), dr);
+        arrive = deliver_at[static_cast<std::size_t>(
+            std::distance(sent_to.begin(), it))];
+      }
       auto& rd = ready_time[static_cast<std::size_t>(d)];
       rd = std::max(rd, arrive);
       if (--g.dep[static_cast<std::size_t>(d)] == 0)
         events.push({rd, seq++, d, 0});
     }
-    events.push({fin, seq++, -1, r});  // wake: pick the next queued task
+    events.push({fin, seq++, kWakeEvent, r});  // wake: pick the next task
+    return Status::ok();
+  };
+
+  // Crash recovery: declare the rank dead, hand its blocks to the survivors
+  // (round-robin, deterministic), re-point every unfinished task at its new
+  // owner, and re-dispatch whatever was stranded in the dead rank's queue.
+  auto recover = [&](rank_t dead, double now) -> Status {
+    if (!alive[static_cast<std::size_t>(dead)]) return Status::ok();
+    alive[static_cast<std::size_t>(dead)] = 0;
+    if (completed == nt) return Status::ok();  // died after the work finished
+    auto& rs = res->ranks[static_cast<std::size_t>(dead)];
+    rs.crashed = true;
+    res->rank_crashes++;
+    const nnz_t moved = mapping.remap_failed_rank(dead, alive);
+    if (moved < 0)
+      return Status::unavailable(
+          "rank " + std::to_string(dead) +
+          " crashed and no survivor remains: recovery impossible");
+    res->remapped_blocks += moved;
+    for (index_t t = 0; t < nt; ++t) {
+      if (!done[static_cast<std::size_t>(t)])
+        owner[static_cast<std::size_t>(t)] =
+            mapping.owner[static_cast<std::size_t>(
+                tasks[static_cast<std::size_t>(t)].target)];
+    }
+    // Survivors must adopt the orphaned blocks before touching them.
+    const double ready_at =
+        now + static_cast<double>(moved) * o.device.remap_per_block_s;
+    res->recovery_time +=
+        ready_at - faults.crash_at[static_cast<std::size_t>(dead)];
+    auto& q = ready[static_cast<std::size_t>(dead)];
+    while (!q.empty()) {
+      const index_t t = q.top();
+      q.pop();
+      events.push({std::max(ready_at,
+                            ready_time[static_cast<std::size_t>(t)]),
+                   seq++, t, 0});
+      res->recovered_tasks++;
+    }
+    if (o.trace) {
+      o.trace->record_instant(
+          dead, faults.crash_at[static_cast<std::size_t>(dead)], "crash");
+      o.trace->record_instant(dead, now, "recovery: remap " +
+                                             std::to_string(moved) +
+                                             " blocks");
+    }
     return Status::ok();
   };
 
   while (!events.empty()) {
     PendingEvent ev = events.top();
     events.pop();
+    if (ev.task == kRecoveryEvent) {
+      Status s = recover(ev.rank, ev.time);
+      if (!s.is_ok()) return s;
+      continue;
+    }
     rank_t r;
     if (ev.task >= 0) {
       r = owner[static_cast<std::size_t>(ev.task)];
@@ -302,15 +502,23 @@ Status run_sync_free(BlockMatrix& bm, const std::vector<Task>& tasks,
     } else {
       r = ev.rank;
     }
+    // Events landing on a dead (or dying) rank park in its queue until the
+    // recovery sweep drains them to the survivors.
+    if (ev.time >= faults.crash_at[static_cast<std::size_t>(r)]) continue;
     if (busy_until[static_cast<std::size_t>(r)] > ev.time + 1e-30)
       continue;  // rank busy; its completion wake will drain the queue
     Status s = start_one(r, ev.time);
     if (!s.is_ok()) return s;
   }
-  PANGULU_CHECK(completed == nt, "sync-free DES deadlocked");
+  if (completed != nt) {
+    if (!o.faults.empty())
+      return Status::unavailable(
+          "fault plan left " + std::to_string(nt - completed) +
+          " tasks unrunnable");
+    PANGULU_CHECK(completed == nt, "sync-free DES deadlocked");
+  }
 
   res->makespan = makespan;
-  res->perturbed_pivots = pivots.perturbed;
   for (rank_t r = 0; r < o.n_ranks; ++r) {
     auto& rs = res->ranks[static_cast<std::size_t>(r)];
     rs.idle = makespan - rs.busy;
@@ -323,12 +531,15 @@ Status run_sync_free(BlockMatrix& bm, const std::vector<Task>& tasks,
   return Status::ok();
 }
 
-Status run_level_set(BlockMatrix& bm, const std::vector<Task>& tasks,
-                     const Mapping& mapping, const SimOptions& o,
-                     SimResult* res) {
+Status run_level_set(const BlockMatrix& bm, const std::vector<Task>& tasks,
+                     const Mapping& mapping_in, const SimOptions& o,
+                     const std::vector<TaskPlan>& plans, SimResult* res) {
   res->ranks.assign(static_cast<std::size_t>(o.n_ranks), RankStats{});
-  kernels::Workspace ws;
-  kernels::PivotStats pivots;
+  FaultCtx faults(o.faults, o.device, o.n_ranks);
+  Mapping mapping = mapping_in;
+  std::vector<char> alive(static_cast<std::size_t>(o.n_ranks), 1);
+  std::vector<char> crash_handled(o.faults.crashes.size(), 0);
+  std::vector<char> stall_applied(o.faults.stalls.size(), 0);
 
   // Tasks arrive ordered by k; within a slice, phases are
   // GETRF -> {GESSM,TSTRF} -> SSSSM with a barrier after each phase.
@@ -336,9 +547,58 @@ Status run_level_set(BlockMatrix& bm, const std::vector<Task>& tasks,
   std::vector<double> phase_busy(static_cast<std::size_t>(o.n_ranks));
   std::size_t ti = 0;
   const index_t nb = bm.nb();
+
+  // Bulk-synchronous recovery: a crash is noticed at the barrier following
+  // it — the survivors pay the detection window plus the re-mapping work,
+  // then the (static) owner lookup routes the dead rank's remaining tasks
+  // to their adopters.
+  auto handle_crashes = [&]() -> Status {
+    for (std::size_t c = 0; c < o.faults.crashes.size(); ++c) {
+      const FaultPlan::Crash& cr = o.faults.crashes[c];
+      if (crash_handled[c] || cr.at_s > now) continue;
+      crash_handled[c] = 1;
+      if (!alive[static_cast<std::size_t>(cr.rank)]) continue;
+      alive[static_cast<std::size_t>(cr.rank)] = 0;
+      res->ranks[static_cast<std::size_t>(cr.rank)].crashed = true;
+      res->rank_crashes++;
+      const nnz_t moved = mapping.remap_failed_rank(cr.rank, alive);
+      if (moved < 0)
+        return Status::unavailable(
+            "rank " + std::to_string(cr.rank) +
+            " crashed and no survivor remains: recovery impossible");
+      res->remapped_blocks += moved;
+      const double pause = o.device.crash_detect_s +
+                           static_cast<double>(moved) * o.device.remap_per_block_s;
+      now += pause;
+      res->recovery_time += pause;
+      if (o.trace) {
+        o.trace->record_instant(cr.rank, cr.at_s, "crash");
+        o.trace->record_instant(cr.rank, now, "recovery: remap " +
+                                                  std::to_string(moved) +
+                                                  " blocks");
+      }
+    }
+    return Status::ok();
+  };
+
   for (index_t k = 0; k < nb && ti < tasks.size(); ++k) {
+    Status cs = handle_crashes();
+    if (!cs.is_ok()) return cs;
     for (int phase = 0; phase < 3; ++phase) {
       std::fill(phase_busy.begin(), phase_busy.end(), 0.0);
+      // A transient stall freezes its rank for the phase in which it fires;
+      // under bulk-synchronous barriers everyone then waits it out.
+      for (std::size_t si = 0; si < o.faults.stalls.size(); ++si) {
+        const FaultPlan::Stall& st = o.faults.stalls[si];
+        if (stall_applied[si] || st.at_s > now ||
+            !alive[static_cast<std::size_t>(st.rank)])
+          continue;
+        stall_applied[si] = 1;
+        phase_busy[static_cast<std::size_t>(st.rank)] += st.duration_s;
+        res->ranks[static_cast<std::size_t>(st.rank)].stall_s += st.duration_s;
+        res->recovery_time += st.duration_s;
+        if (o.trace) o.trace->record_instant(st.rank, now, "stall");
+      }
       std::size_t begin = ti;
       while (ti < tasks.size() && tasks[ti].k == k) {
         const TaskKind kind = tasks[ti].kind;
@@ -349,42 +609,58 @@ Status run_level_set(BlockMatrix& bm, const std::vector<Task>& tasks,
         const Task& task = tasks[ti];
         const rank_t r =
             mapping.owner[static_cast<std::size_t>(task.target)];
-        TaskPlan p = plan_task(task, bm, o);
-        if (o.execute_numerics) {
-          Status s = run_numerics(task, p, bm, ws, &pivots, o.pivot_tol);
-          if (!s.is_ok()) return s;
-        }
+        const double cost =
+            plans[ti].cost * faults.speed_factor(r, now);
         // Remote sources must be fetched at phase start: one message per
-        // distinct remote source block (panel: diag; SSSSM: both solves).
+        // distinct remote source block (panel: diag; SSSSM: both solves),
+        // each riding the ack/retransmit protocol.
         double comm = 0;
+        Status ferr = Status::ok();
         auto charge_fetch = [&](nnz_t src) {
-          if (src < 0) return;
+          if (src < 0 || !ferr.is_ok()) return;
           const rank_t sr = mapping.owner[static_cast<std::size_t>(src)];
           if (sr == r) return;
           const Csc& blk = bm.block(src);
           const std::size_t bytes = block_message_bytes(blk.nnz(), blk.n_cols());
-          comm += o.device.message_time(bytes);
+          FaultCtx::Transfer tr = faults.transfer(now, bytes);
+          if (!tr.ok) {
+            ferr = Status::unavailable(
+                "block fetch from rank " + std::to_string(sr) + " lost " +
+                std::to_string(o.faults.max_attempts) +
+                " consecutive times; giving up");
+            return;
+          }
+          comm += o.device.message_time(bytes) + tr.penalty;
           auto& ss = res->ranks[static_cast<std::size_t>(sr)];
-          ss.messages_sent++;
-          ss.bytes_sent += bytes;
+          ss.messages_sent += tr.sends;
+          ss.bytes_sent += static_cast<std::size_t>(tr.sends) * bytes;
+          ss.retransmits += tr.sends - 1;
+          ss.timeouts += tr.timeouts;
+          res->ranks[static_cast<std::size_t>(r)].duplicates_suppressed +=
+              tr.duplicates;
+          res->recovery_time += tr.penalty;
+          if (o.trace && tr.sends > 1)
+            o.trace->record_instant(sr, now, "retransmit x" +
+                                                 std::to_string(tr.sends - 1));
         };
         charge_fetch(task.src_a);
         if (task.kind == TaskKind::kSsssm) charge_fetch(task.src_b);
+        if (!ferr.is_ok()) return ferr;
 
         if (o.trace) {
           const double start =
               now + phase_busy[static_cast<std::size_t>(r)] + comm;
           o.trace->record({static_cast<index_t>(ti), task.kind, task.k,
-                           task.bi, task.bj, r, start, start + p.cost});
+                           task.bi, task.bj, r, start, start + cost});
         }
-        phase_busy[static_cast<std::size_t>(r)] += p.cost + comm;
+        phase_busy[static_cast<std::size_t>(r)] += cost + comm;
         auto& rs = res->ranks[static_cast<std::size_t>(r)];
-        rs.busy += p.cost;
+        rs.busy += cost;
         if (task.kind == TaskKind::kSsssm)
-          res->schur_busy += p.cost;
+          res->schur_busy += cost;
         else
-          res->panel_busy += p.cost;
-        res->kind_busy[static_cast<int>(task.kind)] += p.cost;
+          res->panel_busy += cost;
+        res->kind_busy[static_cast<int>(task.kind)] += cost;
         res->kind_count[static_cast<int>(task.kind)]++;
         res->total_flops += task.weight;
         ++ti;
@@ -401,9 +677,12 @@ Status run_level_set(BlockMatrix& bm, const std::vector<Task>& tasks,
     }
   }
   PANGULU_CHECK(ti == tasks.size(), "level-set missed tasks");
+  // A crash that raced the final slices is still detected and re-mapped
+  // (the survivors restore the block distribution after the last barrier).
+  Status cs = handle_crashes();
+  if (!cs.is_ok()) return cs;
 
   res->makespan = now;
-  res->perturbed_pivots = pivots.perturbed;
   for (rank_t r = 0; r < o.n_ranks; ++r) {
     auto& rs = res->ranks[static_cast<std::size_t>(r)];
     // Include barrier overhead in idle accounting.
@@ -426,9 +705,45 @@ Status simulate_factorization(BlockMatrix& bm, const std::vector<Task>& tasks,
     return Status::invalid_argument("n_ranks must be >= 1");
   if (mapping.n_ranks != opts.n_ranks)
     return Status::invalid_argument("mapping rank count mismatch");
-  if (opts.schedule == ScheduleMode::kSyncFree)
-    return run_sync_free(bm, tasks, mapping, opts, result);
-  return run_level_set(bm, tasks, mapping, opts, result);
+  Status fv = opts.faults.validate(opts.n_ranks);
+  if (!fv.is_ok()) return fv;
+
+  const auto nt = static_cast<index_t>(tasks.size());
+  std::vector<TaskPlan> plans(static_cast<std::size_t>(nt));
+  for (index_t t = 0; t < nt; ++t)
+    plans[static_cast<std::size_t>(t)] =
+        plan_task(tasks[static_cast<std::size_t>(t)], bm, opts);
+
+  // Numerics run once, in canonical (enumeration) order — a fixed
+  // topological order of the dependency DAG — before the virtual-time
+  // replay. The factors therefore never depend on the simulated schedule:
+  // rank count, scheduling mode, stragglers, retransmissions, and crash
+  // recovery change only the clock, so any recoverable fault plan is
+  // guaranteed to reproduce the fault-free factors bit for bit.
+  if (opts.execute_numerics) {
+    PANGULU_CHECK(block::is_topological_order(bm, tasks),
+                  "task enumeration order must be topological");
+    kernels::Workspace ws;
+    kernels::PivotStats pivots;
+    for (index_t t = 0; t < nt; ++t) {
+      Status s = run_numerics(tasks[static_cast<std::size_t>(t)],
+                              plans[static_cast<std::size_t>(t)], bm, ws,
+                              &pivots, opts.pivot_tol);
+      if (!s.is_ok()) return s;
+    }
+    result->perturbed_pivots = pivots.perturbed;
+  }
+
+  Status s = opts.schedule == ScheduleMode::kSyncFree
+                 ? run_sync_free(bm, tasks, mapping, opts, plans, result)
+                 : run_level_set(bm, tasks, mapping, opts, plans, result);
+  if (!s.is_ok()) return s;
+  for (const RankStats& rs : result->ranks) {
+    result->retransmits += rs.retransmits;
+    result->timeouts += rs.timeouts;
+    result->duplicates_suppressed += rs.duplicates_suppressed;
+  }
+  return Status::ok();
 }
 
 }  // namespace pangulu::runtime

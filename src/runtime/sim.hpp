@@ -2,10 +2,19 @@
 //
 // Ranks are simulated processes with virtual clocks; kernels cost time from
 // the DeviceModel; inter-rank block transfers cost latency + bytes/bandwidth.
-// The numerics really execute on the host (in virtual-time order, which
-// respects every dependency), so the factorisation a simulation produces is
-// the real one — the same blocks a physical cluster would compute — while
-// makespan/sync/communication come out deterministic for any rank count.
+// The numerics really execute on the host, in *canonical task order* (a
+// fixed topological order of the dependency DAG), so the factorisation a
+// simulation produces is the real one — the same blocks a physical cluster
+// would compute — and is bit-identical for every rank count, schedule, and
+// fault plan; only makespan/sync/communication vary.
+//
+// Fault tolerance: SimOptions::faults injects message drops/duplicates/
+// reordering, stragglers, stalls, and rank crashes (runtime/fault.hpp).
+// Block transfers ride an ack/timeout/retransmit protocol with exponential
+// backoff; duplicates are suppressed at the receiver so the sync-free
+// counters never double-fire; crashed ranks are detected by heartbeat
+// timeout and their blocks re-mapped onto survivors, whose makespan then
+// carries the recovery cost.
 //
 // Two schedulers:
 //  * kSyncFree  — the paper's §4.4 strategy: the sync-free array releases a
@@ -22,6 +31,7 @@
 #include "block/tasks.hpp"
 #include "kernels/selector.hpp"
 #include "runtime/device_model.hpp"
+#include "runtime/fault.hpp"
 #include "runtime/trace.hpp"
 #include "util/status.hpp"
 
@@ -46,6 +56,10 @@ struct SimOptions {
   /// Optional: record every task's (rank, start, end) for inspection /
   /// chrome-trace export. Not owned.
   TraceRecorder* trace = nullptr;
+  /// Faults to inject (see runtime/fault.hpp). Empty plan = perfect cluster.
+  /// Recoverable plans change only makespan/traffic, never the factors;
+  /// unrecoverable ones fail with StatusCode::kUnavailable.
+  FaultPlan faults;
 };
 
 struct RankStats {
@@ -53,6 +67,12 @@ struct RankStats {
   double idle = 0;       // makespan - busy: waiting on deps/barriers
   std::int64_t messages_sent = 0;
   std::size_t bytes_sent = 0;
+  // Fault-protocol counters (all zero on a fault-free run).
+  std::int64_t retransmits = 0;            // extra sends after an ack timeout
+  std::int64_t timeouts = 0;               // ack timers that fired
+  std::int64_t duplicates_suppressed = 0;  // received twice, applied once
+  double stall_s = 0;                      // time lost to transient stalls
+  bool crashed = false;
 };
 
 struct SimResult {
@@ -71,6 +91,18 @@ struct SimResult {
   std::size_t bytes = 0;
   index_t perturbed_pivots = 0;
   std::vector<RankStats> ranks;
+
+  // Fault-recovery totals (aggregated over ranks where per-rank counters
+  // exist; all zero when SimOptions::faults is empty).
+  std::int64_t retransmits = 0;
+  std::int64_t timeouts = 0;
+  std::int64_t duplicates_suppressed = 0;
+  std::int64_t rank_crashes = 0;     // permanent failures detected
+  std::int64_t recovered_tasks = 0;  // tasks re-dispatched off dead ranks
+  nnz_t remapped_blocks = 0;         // blocks adopted by survivors
+  /// Virtual time attributable to fault handling: retransmit backoff waits,
+  /// crash-detection windows, re-mapping work, and stall freezes.
+  double recovery_time = 0;
 
   double gflops() const {
     return makespan > 0 ? total_flops / makespan / 1e9 : 0;

@@ -26,6 +26,13 @@ void TraceRecorder::write_chrome_trace(std::ostream& os) const {
        << ", \"ts\": " << ev.start * 1e6
        << ", \"dur\": " << (ev.end - ev.start) * 1e6 << "}";
   }
+  for (const auto& in : instants_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n  {\"name\": \"" << in.name << "\", \"cat\": \"fault\", "
+       << "\"ph\": \"i\", \"s\": \"t\", \"pid\": 0, \"tid\": " << in.rank
+       << ", \"ts\": " << in.time * 1e6 << "}";
+  }
   os << "\n]\n";
 }
 

@@ -24,18 +24,36 @@ struct TraceEvent {
   double end;
 };
 
+/// Point-in-time marker on a rank's timeline — how fault handling shows up
+/// in exported traces: retransmits, stalls, crashes, and recovery re-mapping
+/// are tagged as Chrome "instant" events alongside the task slices.
+struct TraceInstant {
+  rank_t rank;
+  double time;       // virtual seconds
+  std::string name;  // e.g. "retransmit", "crash", "recovery"
+};
+
 class TraceRecorder {
  public:
-  void clear() { events_.clear(); }
+  void clear() {
+    events_.clear();
+    instants_.clear();
+  }
   void record(TraceEvent ev) { events_.push_back(ev); }
+  void record_instant(rank_t rank, double time, std::string name) {
+    instants_.push_back({rank, time, std::move(name)});
+  }
   const std::vector<TraceEvent>& events() const { return events_; }
+  const std::vector<TraceInstant>& instants() const { return instants_; }
 
   /// Write the trace as a Chrome tracing "traceEvents" JSON array. Times are
-  /// emitted in microseconds (the format's unit).
+  /// emitted in microseconds (the format's unit); instants become "ph":"i"
+  /// thread-scoped markers.
   void write_chrome_trace(std::ostream& os) const;
 
  private:
   std::vector<TraceEvent> events_;
+  std::vector<TraceInstant> instants_;
 };
 
 std::string to_string(block::TaskKind kind);

@@ -237,6 +237,7 @@ Status Solver::run_numeric_phase() {
   so.execute_numerics = true;
   so.thresholds = opts_.thresholds;
   so.pivot_tol = opts_.pivot_tol;
+  so.faults = opts_.fault_plan;
   Status s =
       runtime::simulate_factorization(factors_, tasks_, mapping_, so, &stats_.sim);
   stats_.numeric_wall_seconds = timer.seconds();

@@ -38,6 +38,12 @@ struct Options {
   kernels::SelectorThresholds thresholds;
   value_t pivot_tol = 1e-14;
   int refine_iters = 3;
+  /// Faults to inject into the simulated cluster (runtime/fault.hpp).
+  /// Recoverable plans leave the factors (and hence solutions) bit-identical
+  /// to a fault-free run and only change the virtual makespan/traffic;
+  /// unrecoverable plans make factorize() fail with
+  /// StatusCode::kUnavailable instead of crashing or hanging.
+  runtime::FaultPlan fault_plan;
 };
 
 struct FactorStats {

@@ -15,6 +15,9 @@ enum class StatusCode {
   kNumericalError,
   kIoError,
   kInternal,
+  /// A required resource is (possibly transiently) gone — e.g. every replica
+  /// of a block was lost to rank crashes and recovery is impossible.
+  kUnavailable,
 };
 
 /// Value-semantic status object. `Status::ok()` is the success singleton.
@@ -42,6 +45,9 @@ class Status {
   }
   static Status internal(std::string m) {
     return Status(StatusCode::kInternal, std::move(m));
+  }
+  static Status unavailable(std::string m) {
+    return Status(StatusCode::kUnavailable, std::move(m));
   }
 
   bool is_ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,315 @@
+// Property tests of the fault-injection and recovery layer (runtime/fault):
+// over seeded fault plans, a recoverable run must produce bitwise-identical
+// LU factors and solutions to the fault-free run — only virtual makespan and
+// traffic may change — while the protocol counters fire exactly when faults
+// do, and unrecoverable plans degrade to StatusCode::kUnavailable instead of
+// crashing or hanging.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "block/layout.hpp"
+#include "block/mapping.hpp"
+#include "block/tasks.hpp"
+#include "matgen/generators.hpp"
+#include "runtime/fault.hpp"
+#include "runtime/sim.hpp"
+#include "solver/solver.hpp"
+#include "symbolic/fill.hpp"
+
+namespace pangulu::runtime {
+namespace {
+
+struct Prepared {
+  block::BlockMatrix bm;
+  std::vector<block::Task> tasks;
+  block::Mapping mapping;
+};
+
+Prepared prepare(const Csc& a, index_t block_size, rank_t ranks) {
+  symbolic::SymbolicResult sym;
+  symbolic::symbolic_symmetric(a, &sym).check();
+  Prepared p;
+  p.bm = block::BlockMatrix::from_filled(sym.filled, block_size);
+  p.tasks = block::enumerate_tasks(p.bm);
+  p.mapping = block::cyclic_mapping(p.bm, block::ProcessGrid::make(ranks));
+  return p;
+}
+
+/// Bitwise equality of two factorised block matrices (same pattern assumed).
+bool bitwise_equal(const block::BlockMatrix& x, const block::BlockMatrix& y) {
+  const Csc a = x.to_csc();
+  const Csc b = y.to_csc();
+  if (a.nnz() != b.nnz()) return false;
+  for (nnz_t p = 0; p < a.nnz(); ++p) {
+    if (a.values()[static_cast<std::size_t>(p)] !=
+        b.values()[static_cast<std::size_t>(p)])
+      return false;
+    if (a.row_idx()[static_cast<std::size_t>(p)] !=
+        b.row_idx()[static_cast<std::size_t>(p)])
+      return false;
+  }
+  return true;
+}
+
+SimResult run(Prepared& p, rank_t ranks, const FaultPlan& plan,
+              ScheduleMode mode = ScheduleMode::kSyncFree,
+              bool execute = true) {
+  SimOptions opts;
+  opts.n_ranks = ranks;
+  opts.schedule = mode;
+  opts.execute_numerics = execute;
+  opts.faults = plan;
+  SimResult res;
+  simulate_factorization(p.bm, p.tasks, p.mapping, opts, &res).check();
+  return res;
+}
+
+TEST(FaultPlan, ValidateRejectsMalformedPlans) {
+  FaultPlan p;
+  p.drop_prob = 1.5;
+  EXPECT_EQ(p.validate(4).code(), StatusCode::kInvalidArgument);
+  p = FaultPlan{};
+  p.crashes.push_back({7, 0.1});
+  EXPECT_EQ(p.validate(4).code(), StatusCode::kInvalidArgument);
+  p = FaultPlan{};
+  p.slowdowns.push_back({0, 0.0, 0.5});  // "slowdown" that speeds up
+  EXPECT_EQ(p.validate(4).code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(FaultPlan{}.validate(1).is_ok());
+}
+
+TEST(FaultPlan, CrashingEveryRankIsUnavailableUpFront) {
+  FaultPlan p;
+  for (rank_t r = 0; r < 4; ++r) p.crashes.push_back({r, 1e-4});
+  EXPECT_EQ(p.validate(4).code(), StatusCode::kUnavailable);
+  // ... and a single-rank "cluster" cannot survive any crash.
+  FaultPlan solo;
+  solo.crashes.push_back({0, 1e-4});
+  EXPECT_EQ(solo.validate(1).code(), StatusCode::kUnavailable);
+}
+
+TEST(FaultInjection, EnumerationOrderIsTopological) {
+  Csc a = matgen::grid2d_laplacian(9, 9);
+  Prepared p = prepare(a, 16, 4);
+  EXPECT_TRUE(block::is_topological_order(p.bm, p.tasks));
+}
+
+TEST(FaultInjection, RemapFailedRankSpreadsBlocksOverSurvivors) {
+  Csc a = matgen::grid2d_laplacian(9, 9);
+  Prepared p = prepare(a, 16, 4);
+  block::Mapping m = p.mapping;
+  const nnz_t owned_by_1 =
+      std::count(m.owner.begin(), m.owner.end(), rank_t(1));
+  ASSERT_GT(owned_by_1, 0);
+  EXPECT_EQ(m.remap_failed_rank(1), owned_by_1);
+  EXPECT_EQ(std::count(m.owner.begin(), m.owner.end(), rank_t(1)), 0);
+  // Cascading failure with an explicit alive mask: rank 2 also gone.
+  std::vector<char> alive = {1, 0, 0, 1};
+  ASSERT_GT(m.remap_failed_rank(2, alive), 0);
+  EXPECT_EQ(std::count(m.owner.begin(), m.owner.end(), rank_t(2)), 0);
+  // No survivors -> recovery impossible.
+  block::Mapping solo;
+  solo.n_ranks = 1;
+  solo.owner = {0, 0};
+  EXPECT_EQ(solo.remap_failed_rank(0), -1);
+}
+
+// (a)+(c): over several seeded recoverable plans, factors are bitwise equal
+// to the fault-free run, and retransmit/recovery counters are nonzero
+// exactly when faults fired.
+TEST(FaultInjection, RecoverablePlansPreserveFactorsBitwise) {
+  const rank_t ranks = 4;
+  Csc a = matgen::circuit(220, 2.0, 2.2, 7);
+
+  Prepared clean = prepare(a, 24, ranks);
+  SimResult clean_res = run(clean, ranks, FaultPlan{});
+  EXPECT_EQ(clean_res.retransmits, 0);
+  EXPECT_EQ(clean_res.timeouts, 0);
+  EXPECT_EQ(clean_res.duplicates_suppressed, 0);
+  EXPECT_EQ(clean_res.rank_crashes, 0);
+  EXPECT_EQ(clean_res.recovery_time, 0.0);
+
+  for (std::uint64_t seed : {1ULL, 7ULL, 42ULL, 1234ULL}) {
+    FaultPlan plan = FaultPlan::random(seed, ranks, clean_res.makespan, 0.4);
+    ASSERT_TRUE(plan.validate(ranks).is_ok());
+    Prepared faulty = prepare(a, 24, ranks);
+    SimResult res = run(faulty, ranks, plan);
+    EXPECT_TRUE(bitwise_equal(clean.bm, faulty.bm))
+        << "factors diverged under fault seed " << seed;
+    EXPECT_GT(res.retransmits + res.duplicates_suppressed + res.rank_crashes,
+              0)
+        << "plan from seed " << seed << " fired no faults";
+    EXPECT_GT(res.recovery_time, 0.0);
+    // Fault handling can only cost virtual time, never save it.
+    EXPECT_GE(res.makespan, clean_res.makespan);
+  }
+}
+
+TEST(FaultInjection, LevelSetScheduleAlsoRecovers) {
+  const rank_t ranks = 4;
+  Csc a = matgen::grid2d_laplacian(10, 10);
+  Prepared clean = prepare(a, 16, ranks);
+  SimResult clean_res = run(clean, ranks, FaultPlan{}, ScheduleMode::kLevelSet);
+
+  FaultPlan plan;
+  plan.seed = 5;
+  plan.drop_prob = 0.3;
+  plan.dup_prob = 0.3;
+  plan.slowdowns.push_back({1, 0.0, 2.0});
+  plan.crashes.push_back({2, clean_res.makespan * 0.3});
+  Prepared faulty = prepare(a, 16, ranks);
+  SimResult res = run(faulty, ranks, plan, ScheduleMode::kLevelSet);
+  EXPECT_TRUE(bitwise_equal(clean.bm, faulty.bm));
+  EXPECT_GT(res.retransmits, 0);
+  EXPECT_EQ(res.rank_crashes, 1);
+  EXPECT_GT(res.remapped_blocks, 0);
+  EXPECT_GT(res.makespan, clean_res.makespan);
+}
+
+// Acceptance: a crash at a chosen virtual time strictly lengthens the
+// makespan (detection window + re-mapping + re-execution of stranded work).
+TEST(FaultInjection, CrashStrictlyIncreasesMakespan) {
+  const rank_t ranks = 4;
+  Csc a = matgen::grid2d_laplacian(12, 12);
+  Prepared clean = prepare(a, 16, ranks);
+  SimResult clean_res = run(clean, ranks, FaultPlan{});
+
+  FaultPlan plan;
+  plan.crashes.push_back({1, clean_res.makespan * 0.3});
+  Prepared faulty = prepare(a, 16, ranks);
+  SimResult res = run(faulty, ranks, plan);
+  EXPECT_TRUE(bitwise_equal(clean.bm, faulty.bm));
+  EXPECT_EQ(res.rank_crashes, 1);
+  EXPECT_TRUE(res.ranks[1].crashed);
+  EXPECT_GT(res.recovered_tasks, 0);
+  EXPECT_GT(res.remapped_blocks, 0);
+  EXPECT_GT(res.makespan, clean_res.makespan);
+  EXPECT_GT(res.recovery_time, 0.0);
+}
+
+TEST(FaultInjection, DeterministicAcrossRuns) {
+  const rank_t ranks = 4;
+  Csc a = matgen::grid2d_laplacian(10, 10);
+  FaultPlan plan = FaultPlan::random(99, ranks, 1e-3, 0.5);
+  SimResult r1, r2;
+  for (auto* res : {&r1, &r2}) {
+    Prepared p = prepare(a, 16, ranks);
+    *res = run(p, ranks, plan);
+  }
+  EXPECT_DOUBLE_EQ(r1.makespan, r2.makespan);
+  EXPECT_EQ(r1.retransmits, r2.retransmits);
+  EXPECT_EQ(r1.duplicates_suppressed, r2.duplicates_suppressed);
+  EXPECT_EQ(r1.messages, r2.messages);
+  EXPECT_DOUBLE_EQ(r1.recovery_time, r2.recovery_time);
+}
+
+// (d): unrecoverable plans return kUnavailable instead of crashing/hanging.
+TEST(FaultInjection, UnrecoverablePlansReturnUnavailable) {
+  const rank_t ranks = 2;
+  Csc a = matgen::grid2d_laplacian(8, 8);
+
+  // Every transfer attempt dropped and retries exhausted.
+  FaultPlan hopeless;
+  hopeless.drop_prob = 1.0;
+  hopeless.max_attempts = 3;
+  Prepared p1 = prepare(a, 16, ranks);
+  SimOptions o1;
+  o1.n_ranks = ranks;
+  o1.faults = hopeless;
+  SimResult res;
+  Status s = simulate_factorization(p1.bm, p1.tasks, p1.mapping, o1, &res);
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable) << s.message();
+
+  // All ranks crash: rejected before the simulation even starts.
+  FaultPlan total;
+  total.crashes.push_back({0, 1e-5});
+  total.crashes.push_back({1, 1e-5});
+  Prepared p2 = prepare(a, 16, ranks);
+  SimOptions o2;
+  o2.n_ranks = ranks;
+  o2.faults = total;
+  s = simulate_factorization(p2.bm, p2.tasks, p2.mapping, o2, &res);
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable) << s.message();
+}
+
+// (b): end-to-end through the Solver — the residual of a faulted solve is
+// bit-identical to the fault-free one, and SolverOptions::fault_plan
+// degrades gracefully when recovery is impossible.
+TEST(FaultInjection, SolverResidualUnchangedUnderRecoverableFaults) {
+  Csc a = matgen::circuit(200, 2.0, 2.2, 3);
+  const index_t n = a.n_cols();
+  std::vector<value_t> b(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i)
+    b[static_cast<std::size_t>(i)] = std::sin(static_cast<double>(i) + 1);
+
+  solver::Options clean_opts;
+  clean_opts.n_ranks = 4;
+  solver::Solver clean;
+  ASSERT_TRUE(clean.factorize(a, clean_opts).is_ok());
+  std::vector<value_t> x_clean(static_cast<std::size_t>(n));
+  solver::SolveStats st_clean;
+  ASSERT_TRUE(clean.solve(b, x_clean, &st_clean).is_ok());
+
+  solver::Options faulty_opts = clean_opts;
+  faulty_opts.fault_plan =
+      FaultPlan::random(17, 4, clean.stats().sim.makespan, 0.4);
+  solver::Solver faulty;
+  ASSERT_TRUE(faulty.factorize(a, faulty_opts).is_ok());
+  std::vector<value_t> x_faulty(static_cast<std::size_t>(n));
+  solver::SolveStats st_faulty;
+  ASSERT_TRUE(faulty.solve(b, x_faulty, &st_faulty).is_ok());
+
+  for (index_t i = 0; i < n; ++i)
+    EXPECT_EQ(x_clean[static_cast<std::size_t>(i)],
+              x_faulty[static_cast<std::size_t>(i)]);
+  EXPECT_EQ(st_clean.final_residual, st_faulty.final_residual);
+  EXPECT_LT(st_faulty.final_residual, 1e-10);
+  EXPECT_GT(faulty.stats().sim.recovery_time, 0.0);
+
+  // Unrecoverable plan through the public API: typed failure, no throw.
+  solver::Options doomed = clean_opts;
+  doomed.n_ranks = 1;
+  doomed.fault_plan.crashes.push_back({0, 0.0});
+  solver::Solver s;
+  EXPECT_EQ(s.factorize(a, doomed).code(), StatusCode::kUnavailable);
+}
+
+TEST(FaultInjection, TraceTagsRecoveryEvents) {
+  const rank_t ranks = 4;
+  Csc a = matgen::grid2d_laplacian(10, 10);
+  Prepared warm = prepare(a, 16, ranks);
+  SimResult warm_res = run(warm, ranks, FaultPlan{}, ScheduleMode::kSyncFree,
+                           /*execute=*/false);
+
+  FaultPlan plan;
+  plan.seed = 3;
+  plan.drop_prob = 0.4;
+  plan.stalls.push_back({0, warm_res.makespan * 0.2, warm_res.makespan * 0.1});
+  plan.crashes.push_back({1, warm_res.makespan * 0.3});
+  Prepared p = prepare(a, 16, ranks);
+  TraceRecorder trace;
+  SimOptions opts;
+  opts.n_ranks = ranks;
+  opts.execute_numerics = false;
+  opts.faults = plan;
+  opts.trace = &trace;
+  SimResult res;
+  ASSERT_TRUE(
+      simulate_factorization(p.bm, p.tasks, p.mapping, opts, &res).is_ok());
+  bool saw_crash = false, saw_recovery = false;
+  for (const TraceInstant& in : trace.instants()) {
+    if (in.name == "crash") saw_crash = true;
+    if (in.name.rfind("recovery", 0) == 0) saw_recovery = true;
+  }
+  EXPECT_TRUE(saw_crash);
+  EXPECT_TRUE(saw_recovery);
+  std::ostringstream os;
+  trace.write_chrome_trace(os);
+  EXPECT_NE(os.str().find("\"cat\": \"fault\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pangulu::runtime
