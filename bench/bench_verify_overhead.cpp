@@ -1,0 +1,82 @@
+// Verifier-cost ablation: what the static task-graph verifier
+// (analysis/verify) costs relative to the work it guards. For each matrix we
+// time the cheap and full verification levels against the sync-free DES
+// factorisation time at 8 ranks, reporting absolute milliseconds and the
+// overhead percentage. The acceptance budget is <2% for the cheap level —
+// that is the level the solver runs by default before every factorisation,
+// so it must stay in the noise; the full level (structural recomputation,
+// Kahn's deadlock proof, message ledger) is the debugging mode and may cost
+// what it costs.
+#include <iostream>
+
+#include "analysis/verify.hpp"
+#include "bench_common.hpp"
+
+using namespace pangulu;
+
+namespace {
+
+double time_verify(const bench::PreparedMatrix& p, const block::Mapping& map,
+                   const std::vector<index_t>& counters,
+                   analysis::VerifyLevel lvl, analysis::VerifyReport* rep) {
+  Timer t;
+  analysis::verify_task_graph(p.blocks, p.tasks, map, counters, lvl, {}, rep)
+      .check();
+  return t.seconds();
+}
+
+}  // namespace
+
+int main() {
+  const double scale = bench::bench_scale();
+  const rank_t ranks = 8;
+
+  std::cout << "Static verifier overhead vs sync-free factorisation, " << ranks
+            << " ranks, scale=" << scale << " (budget: cheap < 2%)\n";
+  TextTable t({"matrix", "tasks", "factor-ms", "cheap-ms", "cheap-%",
+               "full-ms", "full-%"});
+
+  bool over_budget = false;
+  for (const auto& name : bench::bench_matrices()) {
+    bench::PreparedMatrix p = bench::prepare(name, scale);
+    auto grid = block::ProcessGrid::make(ranks);
+    block::Mapping map = block::cyclic_mapping(p.blocks, grid);
+    map = block::balanced_mapping(p.blocks, p.tasks, grid, map, nullptr);
+    const std::vector<index_t> counters =
+        block::sync_free_array(p.blocks, p.tasks);
+
+    // Time what the verifier actually guards: a sync-free run that executes
+    // the numeric kernels (the solver's default path), not the timing-only
+    // DES — against that the linear-time verifier must stay in the noise.
+    block::BlockMatrix bm = p.blocks;
+    runtime::SimOptions so;
+    so.n_ranks = ranks;
+    so.schedule = runtime::ScheduleMode::kSyncFree;
+    so.execute_numerics = true;
+    runtime::SimResult res;
+    Timer ft;
+    runtime::simulate_factorization(bm, p.tasks, map, so, &res).check();
+    const double factor_s = ft.seconds();
+
+    analysis::VerifyReport rep;
+    const double cheap_s =
+        time_verify(p, map, counters, analysis::VerifyLevel::kCheap, &rep);
+    const double full_s =
+        time_verify(p, map, counters, analysis::VerifyLevel::kFull, &rep);
+
+    const double cheap_pct = 100.0 * cheap_s / factor_s;
+    const double full_pct = 100.0 * full_s / factor_s;
+    if (cheap_pct >= 2.0) over_budget = true;
+    t.add_row({bench::short_name(name), std::to_string(p.tasks.size()),
+               TextTable::fmt(factor_s * 1e3, 3),
+               TextTable::fmt(cheap_s * 1e3, 3), TextTable::fmt(cheap_pct, 2),
+               TextTable::fmt(full_s * 1e3, 3), TextTable::fmt(full_pct, 2)});
+  }
+  t.print(std::cout);
+  std::cout << (over_budget
+                    ? "WARNING: cheap-level verification exceeded the 2% "
+                      "budget on at least one matrix\n"
+                    : "cheap-level verification within the 2% budget on all "
+                      "matrices\n");
+  return over_budget ? 1 : 0;
+}

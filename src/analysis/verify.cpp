@@ -1,0 +1,519 @@
+#include "analysis/verify.hpp"
+
+#include <map>
+#include <tuple>
+
+#include "util/timer.hpp"
+
+namespace pangulu::analysis {
+
+namespace {
+
+using block::BlockMatrix;
+using block::Mapping;
+using block::Task;
+using block::TaskKind;
+
+const char* kind_name(TaskKind k) {
+  switch (k) {
+    case TaskKind::kGetrf: return "GETRF";
+    case TaskKind::kGessm: return "GESSM";
+    case TaskKind::kTstrf: return "TSTRF";
+    case TaskKind::kSsssm: return "SSSSM";
+  }
+  return "?";
+}
+
+std::string block_str(const BlockMatrix& bm, nnz_t pos) {
+  return "(" + std::to_string(bm.block_row_of(pos)) + "," +
+         std::to_string(bm.block_col_of(pos)) + ")";
+}
+
+std::string task_str(const std::vector<Task>& tasks, index_t t) {
+  const Task& task = tasks[static_cast<std::size_t>(t)];
+  return "task #" + std::to_string(t) + " " + kind_name(task.kind) +
+         " k=" + std::to_string(task.k) + " target (" +
+         std::to_string(task.bi) + "," + std::to_string(task.bj) + ")";
+}
+
+Status violation(const char* invariant, const std::string& detail) {
+  return Status::invariant_violation(std::string("invariant violated [") +
+                                     invariant + "]: " + detail);
+}
+
+/// Block position referenced by a task is a valid index into the block list.
+bool pos_ok(const BlockMatrix& bm, nnz_t pos) {
+  return pos >= 0 && pos < static_cast<nnz_t>(bm.n_blocks());
+}
+
+/// Finalising task of every block (the single non-SSSSM task targeting it),
+/// or an I1 violation. Shared by I3 and I5.
+Status build_finalizers(const BlockMatrix& bm, const std::vector<Task>& tasks,
+                        std::vector<index_t>* fin) {
+  fin->assign(static_cast<std::size_t>(bm.n_blocks()), -1);
+  for (index_t t = 0; t < static_cast<index_t>(tasks.size()); ++t) {
+    const Task& task = tasks[static_cast<std::size_t>(t)];
+    if (task.kind == TaskKind::kSsssm) continue;
+    if (!pos_ok(bm, task.target))
+      return violation("task-structure",
+                       task_str(tasks, t) + " targets block position " +
+                           std::to_string(task.target) + " outside the " +
+                           std::to_string(bm.n_blocks()) + "-block list");
+    auto& f = (*fin)[static_cast<std::size_t>(task.target)];
+    if (f >= 0)
+      return violation("task-structure",
+                       "block " + block_str(bm, task.target) +
+                           " has two finalising tasks (#" + std::to_string(f) +
+                           " and #" + std::to_string(t) + ")");
+    f = t;
+  }
+  return Status::ok();
+}
+
+}  // namespace
+
+const char* to_string(VerifyLevel level) {
+  switch (level) {
+    case VerifyLevel::kOff: return "off";
+    case VerifyLevel::kCheap: return "cheap";
+    case VerifyLevel::kFull: return "full";
+  }
+  return "?";
+}
+
+Status verify_task_structure(const BlockMatrix& bm,
+                             const std::vector<Task>& tasks,
+                             VerifyReport* report) {
+  const index_t nb = bm.nb();
+  std::vector<char> getrf_at(static_cast<std::size_t>(nb), 0);
+  std::vector<index_t> finalizers(static_cast<std::size_t>(bm.n_blocks()), 0);
+
+  for (index_t t = 0; t < static_cast<index_t>(tasks.size()); ++t) {
+    const Task& task = tasks[static_cast<std::size_t>(t)];
+    if (task.k < 0 || task.k >= nb || task.bi < 0 || task.bi >= nb ||
+        task.bj < 0 || task.bj >= nb)
+      return violation("task-structure", task_str(tasks, t) +
+                                             " has coordinates outside the " +
+                                             std::to_string(nb) + "x" +
+                                             std::to_string(nb) + " block grid");
+    if (!pos_ok(bm, task.target) ||
+        bm.block_row_of(task.target) != task.bi ||
+        bm.block_col_of(task.target) != task.bj)
+      return violation("task-structure",
+                       task_str(tasks, t) +
+                           " target position does not store block (" +
+                           std::to_string(task.bi) + "," +
+                           std::to_string(task.bj) + ")");
+
+    // A source must exist and sit at the coordinates the kind demands.
+    auto check_src = [&](nnz_t src, index_t sbi, index_t sbj,
+                         const char* role) -> Status {
+      if (!pos_ok(bm, src) || bm.block_row_of(src) != sbi ||
+          bm.block_col_of(src) != sbj)
+        return violation("task-structure",
+                         task_str(tasks, t) + " " + role +
+                             " source must be block (" + std::to_string(sbi) +
+                             "," + std::to_string(sbj) + ")" +
+                             (pos_ok(bm, src)
+                                  ? ", found " + block_str(bm, src)
+                                  : std::string(", found no block at all")));
+      return Status::ok();
+    };
+
+    Status s = Status::ok();
+    switch (task.kind) {
+      case TaskKind::kGetrf:
+        if (task.bi != task.k || task.bj != task.k)
+          return violation("task-structure",
+                           task_str(tasks, t) + " must target the diagonal "
+                           "block of its elimination step");
+        if (getrf_at[static_cast<std::size_t>(task.k)])
+          return violation("task-structure",
+                           task_str(tasks, t) + " duplicates the GETRF of "
+                           "elimination step " + std::to_string(task.k));
+        getrf_at[static_cast<std::size_t>(task.k)] = 1;
+        break;
+      case TaskKind::kGessm:
+        if (task.bi != task.k || task.bj <= task.k)
+          return violation("task-structure",
+                           task_str(tasks, t) +
+                               " must target a block right of the diagonal "
+                               "in block-row k");
+        s = check_src(task.src_a, task.k, task.k, "diagonal");
+        break;
+      case TaskKind::kTstrf:
+        if (task.bj != task.k || task.bi <= task.k)
+          return violation("task-structure",
+                           task_str(tasks, t) +
+                               " must target a block below the diagonal "
+                               "in block-column k");
+        s = check_src(task.src_a, task.k, task.k, "diagonal");
+        break;
+      case TaskKind::kSsssm:
+        if (task.bi <= task.k || task.bj <= task.k)
+          return violation("task-structure",
+                           task_str(tasks, t) +
+                               " must target the trailing submatrix of its "
+                               "elimination step");
+        s = check_src(task.src_a, task.bi, task.k, "L-side");
+        if (s.is_ok()) s = check_src(task.src_b, task.k, task.bj, "U-side");
+        break;
+    }
+    if (!s.is_ok()) return s;
+    if (task.kind != TaskKind::kSsssm)
+      finalizers[static_cast<std::size_t>(task.target)]++;
+  }
+
+  for (index_t k = 0; k < nb; ++k) {
+    if (!getrf_at[static_cast<std::size_t>(k)])
+      return violation("task-structure", "elimination step " +
+                                             std::to_string(k) +
+                                             " has no GETRF task");
+  }
+  for (nnz_t pos = 0; pos < static_cast<nnz_t>(bm.n_blocks()); ++pos) {
+    if (finalizers[static_cast<std::size_t>(pos)] != 1)
+      return violation("task-structure",
+                       "block " + block_str(bm, pos) + " has " +
+                           std::to_string(finalizers[static_cast<std::size_t>(
+                               pos)]) +
+                           " finalising tasks (every block needs exactly one)");
+  }
+  if (report) {
+    report->tasks_checked += tasks.size();
+    report->blocks_checked += static_cast<std::size_t>(bm.n_blocks());
+  }
+  return Status::ok();
+}
+
+Status verify_counters(const BlockMatrix& bm, const std::vector<Task>& tasks,
+                       const std::vector<index_t>& counters, VerifyLevel level,
+                       VerifyReport* report) {
+  const auto n_blocks = static_cast<std::size_t>(bm.n_blocks());
+  if (counters.size() != n_blocks)
+    return violation("counter-conservation",
+                     "counter array has " + std::to_string(counters.size()) +
+                         " entries for " + std::to_string(n_blocks) +
+                         " blocks");
+
+  // Task-derived expectation: SSSSM producers per block, +1 for the panel
+  // solve on off-diagonal blocks (diagonals fire GETRF at zero).
+  std::vector<index_t> ssssm_in(n_blocks, 0);
+  for (const Task& t : tasks) {
+    if (t.kind == TaskKind::kSsssm && pos_ok(bm, t.target))
+      ssssm_in[static_cast<std::size_t>(t.target)]++;
+  }
+  for (std::size_t pos = 0; pos < n_blocks; ++pos) {
+    const bool diagonal = bm.block_row_of(static_cast<nnz_t>(pos)) ==
+                          bm.block_col_of(static_cast<nnz_t>(pos));
+    const index_t expected = ssssm_in[pos] + (diagonal ? 0 : 1);
+    if (counters[pos] != expected)
+      return violation(
+          "counter-conservation",
+          "block " + block_str(bm, static_cast<nnz_t>(pos)) + " counter is " +
+              std::to_string(counters[pos]) + ", expected " +
+              std::to_string(expected) + " (" +
+              std::to_string(ssssm_in[pos]) + " SSSSM producers" +
+              (diagonal ? ", diagonal" : " + 1 panel solve") + ")");
+  }
+
+  if (level == VerifyLevel::kFull) {
+    // Independent recomputation of the SSSSM producer counts from the
+    // first-layer structure alone (no reliance on the task list): block
+    // (bi,bj) receives one update per k < min(bi,bj) whose L-block (bi,k)
+    // and U-block (k,bj) have a structurally non-empty product.
+    std::vector<index_t> struct_in(n_blocks, 0);
+    for (index_t k = 0; k < bm.nb(); ++k) {
+      // Row-occupancy flags of each U-side block in block-row k.
+      std::vector<std::pair<index_t, std::vector<char>>> uside;  // (bj, occ)
+      for (nnz_t rp = bm.row_begin(k); rp < bm.row_end(k); ++rp) {
+        const index_t bj = bm.row_block_col(rp);
+        if (bj <= k) continue;
+        const Csc& b = bm.block(bm.row_block_pos(rp));
+        std::vector<char> occ(static_cast<std::size_t>(b.n_rows()), 0);
+        for (index_t r : b.row_idx()) occ[static_cast<std::size_t>(r)] = 1;
+        uside.emplace_back(bj, std::move(occ));
+      }
+      for (nnz_t cp = bm.col_begin(k); cp < bm.col_end(k); ++cp) {
+        const index_t bi = bm.block_row(cp);
+        if (bi <= k) continue;
+        const Csc& a = bm.block(cp);
+        for (const auto& [bj, occ] : uside) {
+          bool hit = false;
+          for (index_t kk = 0; kk < a.n_cols() && !hit; ++kk) {
+            hit = a.col_end(kk) > a.col_begin(kk) &&
+                  occ[static_cast<std::size_t>(kk)];
+          }
+          if (!hit) continue;
+          const nnz_t target = bm.find_block(bi, bj);
+          if (target < 0)
+            return violation("counter-conservation",
+                             "blocks (" + std::to_string(bi) + "," +
+                                 std::to_string(k) + ") x (" +
+                                 std::to_string(k) + "," + std::to_string(bj) +
+                                 ") produce an update for block (" +
+                                 std::to_string(bi) + "," +
+                                 std::to_string(bj) +
+                                 ") which is absent (closure violated)");
+          struct_in[static_cast<std::size_t>(target)]++;
+        }
+      }
+    }
+    for (std::size_t pos = 0; pos < n_blocks; ++pos) {
+      if (struct_in[pos] != ssssm_in[pos])
+        return violation(
+            "counter-conservation",
+            "block " + block_str(bm, static_cast<nnz_t>(pos)) +
+                ": the task list carries " + std::to_string(ssssm_in[pos]) +
+                " SSSSM updates but the block structure implies " +
+                std::to_string(struct_in[pos]));
+    }
+  }
+  if (report) {
+    report->tasks_checked += tasks.size();
+    report->blocks_checked += n_blocks;
+  }
+  return Status::ok();
+}
+
+Status verify_schedulability(const BlockMatrix& bm,
+                             const std::vector<Task>& tasks,
+                             VerifyReport* report) {
+  const auto nt = static_cast<index_t>(tasks.size());
+  std::vector<index_t> fin;
+  Status s = build_finalizers(bm, tasks, &fin);
+  if (!s.is_ok()) return s;
+
+  // Dependency edges, built defensively (a corrupted task list must produce
+  // a diagnosis, never a crash).
+  std::vector<index_t> dep(static_cast<std::size_t>(nt), 0);
+  std::vector<std::vector<index_t>> out(static_cast<std::size_t>(nt));
+  std::size_t edges = 0;
+  auto add_edge = [&](index_t from, index_t to) {
+    out[static_cast<std::size_t>(from)].push_back(to);
+    dep[static_cast<std::size_t>(to)]++;
+    ++edges;
+  };
+  auto finalizer_of = [&](index_t t, nnz_t src, const char* role,
+                          index_t* f) -> Status {
+    if (!pos_ok(bm, src) || fin[static_cast<std::size_t>(src)] < 0)
+      return violation("schedulability",
+                       task_str(tasks, t) + " waits on a " + role +
+                           " block with no finalising task: it can never run");
+    *f = fin[static_cast<std::size_t>(src)];
+    return Status::ok();
+  };
+  for (index_t t = 0; t < nt; ++t) {
+    const Task& task = tasks[static_cast<std::size_t>(t)];
+    index_t f = -1;
+    switch (task.kind) {
+      case TaskKind::kGetrf:
+        break;
+      case TaskKind::kGessm:
+      case TaskKind::kTstrf:
+        s = finalizer_of(t, task.src_a, "diagonal", &f);
+        if (!s.is_ok()) return s;
+        add_edge(f, t);
+        break;
+      case TaskKind::kSsssm: {
+        s = finalizer_of(t, task.src_a, "L-side", &f);
+        if (!s.is_ok()) return s;
+        add_edge(f, t);
+        s = finalizer_of(t, task.src_b, "U-side", &f);
+        if (!s.is_ok()) return s;
+        add_edge(f, t);
+        if (!pos_ok(bm, task.target) ||
+            fin[static_cast<std::size_t>(task.target)] < 0)
+          return violation("schedulability",
+                           task_str(tasks, t) +
+                               " updates a block with no finalising task");
+        add_edge(t, fin[static_cast<std::size_t>(task.target)]);
+        break;
+      }
+    }
+  }
+
+  // Kahn's algorithm: everything must drain from the initially-ready
+  // frontier, or the sync-free scheduler would hang exactly here.
+  std::vector<index_t> frontier;
+  for (index_t t = 0; t < nt; ++t) {
+    if (dep[static_cast<std::size_t>(t)] == 0) frontier.push_back(t);
+  }
+  if (nt > 0 && frontier.empty())
+    return violation("schedulability",
+                     "no task is initially ready: total deadlock");
+  index_t processed = 0;
+  while (!frontier.empty()) {
+    const index_t t = frontier.back();
+    frontier.pop_back();
+    ++processed;
+    for (index_t d : out[static_cast<std::size_t>(t)]) {
+      if (--dep[static_cast<std::size_t>(d)] == 0) frontier.push_back(d);
+    }
+  }
+  if (processed != nt) {
+    index_t stuck = -1;
+    for (index_t t = 0; t < nt && stuck < 0; ++t) {
+      if (dep[static_cast<std::size_t>(t)] > 0) stuck = t;
+    }
+    return violation(
+        "schedulability",
+        std::to_string(nt - processed) +
+            " tasks are unreachable from the ready frontier (dependency "
+            "cycle); first stuck: " +
+            task_str(tasks, stuck) + " with " +
+            std::to_string(dep[static_cast<std::size_t>(stuck)]) +
+            " unsatisfiable prerequisites");
+  }
+  if (report) {
+    report->tasks_checked += tasks.size();
+    report->edges_checked += edges;
+  }
+  return Status::ok();
+}
+
+Status verify_mapping(const BlockMatrix& bm, const Mapping& mapping,
+                      const std::vector<char>& alive, VerifyReport* report) {
+  const auto n_blocks = static_cast<std::size_t>(bm.n_blocks());
+  if (mapping.n_ranks < 1)
+    return violation("mapping-totality", "mapping has no ranks");
+  if (mapping.owner.size() != n_blocks)
+    return violation("mapping-totality",
+                     "mapping covers " + std::to_string(mapping.owner.size()) +
+                         " blocks, layout stores " + std::to_string(n_blocks));
+  if (!alive.empty() &&
+      alive.size() != static_cast<std::size_t>(mapping.n_ranks))
+    return violation("mapping-totality",
+                     "alive vector has " + std::to_string(alive.size()) +
+                         " entries for " + std::to_string(mapping.n_ranks) +
+                         " ranks");
+  for (std::size_t pos = 0; pos < n_blocks; ++pos) {
+    const rank_t r = mapping.owner[pos];
+    if (r < 0 || r >= mapping.n_ranks)
+      return violation("mapping-totality",
+                       "block " + block_str(bm, static_cast<nnz_t>(pos)) +
+                           " is unowned (owner " + std::to_string(r) +
+                           " outside the " + std::to_string(mapping.n_ranks) +
+                           "-rank cluster)");
+    if (!alive.empty() && !alive[static_cast<std::size_t>(r)])
+      return violation("mapping-totality",
+                       "block " + block_str(bm, static_cast<nnz_t>(pos)) +
+                           " is orphaned: owner rank " + std::to_string(r) +
+                           " is dead and the block was never re-mapped");
+  }
+  if (report) report->blocks_checked += n_blocks;
+  return Status::ok();
+}
+
+Status verify_messages(const BlockMatrix& bm, const std::vector<Task>& tasks,
+                       const Mapping& mapping, const std::vector<char>& alive,
+                       VerifyReport* report) {
+  const auto nt = static_cast<index_t>(tasks.size());
+  Status s = verify_mapping(bm, mapping, alive, nullptr);
+  if (!s.is_ok()) return s;
+  std::vector<index_t> fin;
+  s = build_finalizers(bm, tasks, &fin);
+  if (!s.is_ok()) return s;
+
+  auto rank_of = [&](index_t t) {
+    return mapping.owner[static_cast<std::size_t>(
+        tasks[static_cast<std::size_t>(t)].target)];
+  };
+  // Logical message ledger: sends count +1, expected receives count -1;
+  // conservation means every key nets to zero. Keyed by the carried block
+  // and the (src, dst) rank pair.
+  std::map<std::tuple<nnz_t, rank_t, rank_t>, long> ledger;
+  std::size_t messages = 0;
+  auto send = [&](index_t producer, index_t consumer) {
+    const rank_t src = rank_of(producer), dst = rank_of(consumer);
+    if (src == dst) return;
+    ledger[{tasks[static_cast<std::size_t>(producer)].target, src, dst}]++;
+    ++messages;
+  };
+  auto recv = [&](index_t producer, index_t consumer) {
+    const rank_t src = rank_of(producer), dst = rank_of(consumer);
+    if (src == dst) return;
+    ledger[{tasks[static_cast<std::size_t>(producer)].target, src, dst}]--;
+  };
+
+  // Sender side: walk each producer's release edges (the TaskGraph the
+  // schedulers execute). Receiver side: each consumer enumerates its own
+  // prerequisites. The two traversals must name the same cross-rank edges.
+  std::vector<std::vector<index_t>> ssssm_into(
+      static_cast<std::size_t>(bm.n_blocks()));
+  for (index_t t = 0; t < nt; ++t) {
+    const Task& task = tasks[static_cast<std::size_t>(t)];
+    if (task.kind == TaskKind::kSsssm && pos_ok(bm, task.target))
+      ssssm_into[static_cast<std::size_t>(task.target)].push_back(t);
+  }
+  for (index_t t = 0; t < nt; ++t) {
+    const Task& task = tasks[static_cast<std::size_t>(t)];
+    switch (task.kind) {
+      case TaskKind::kGetrf:
+        for (index_t p : ssssm_into[static_cast<std::size_t>(task.target)]) {
+          send(p, t);  // sender view of the update landing on the diagonal
+          recv(p, t);  // receiver view of the same edge
+        }
+        break;
+      case TaskKind::kGessm:
+      case TaskKind::kTstrf: {
+        const index_t f = fin[static_cast<std::size_t>(task.src_a)];
+        send(f, t);
+        recv(f, t);
+        for (index_t p : ssssm_into[static_cast<std::size_t>(task.target)]) {
+          send(p, t);
+          recv(p, t);
+        }
+        break;
+      }
+      case TaskKind::kSsssm: {
+        send(fin[static_cast<std::size_t>(task.src_a)], t);
+        recv(fin[static_cast<std::size_t>(task.src_a)], t);
+        send(fin[static_cast<std::size_t>(task.src_b)], t);
+        recv(fin[static_cast<std::size_t>(task.src_b)], t);
+        break;
+      }
+    }
+  }
+  for (const auto& [key, net] : ledger) {
+    const auto& [pos, src, dst] = key;
+    if (net != 0)
+      return violation(
+          "message-conservation",
+          "block " + block_str(bm, pos) + " from rank " + std::to_string(src) +
+              " to rank " + std::to_string(dst) +
+              (net > 0 ? ": send without a matching expected receive"
+                       : ": expected receive without a matching send"));
+    if (!alive.empty() && (!alive[static_cast<std::size_t>(src)] ||
+                           !alive[static_cast<std::size_t>(dst)]))
+      return violation("message-conservation",
+                       "block " + block_str(bm, pos) +
+                           " must travel from rank " + std::to_string(src) +
+                           " to rank " + std::to_string(dst) +
+                           " but a dead rank is on that route");
+  }
+  if (report) {
+    report->tasks_checked += tasks.size();
+    report->messages_checked += messages;
+  }
+  return Status::ok();
+}
+
+Status verify_task_graph(const BlockMatrix& bm, const std::vector<Task>& tasks,
+                         const Mapping& mapping,
+                         const std::vector<index_t>& counters,
+                         VerifyLevel level, const std::vector<char>& alive,
+                         VerifyReport* report) {
+  if (level == VerifyLevel::kOff) return Status::ok();
+  Timer timer;
+  Status s = verify_task_structure(bm, tasks, report);
+  if (s.is_ok()) s = verify_counters(bm, tasks, counters, level, report);
+  if (s.is_ok()) s = verify_mapping(bm, mapping, alive, report);
+  if (level == VerifyLevel::kFull) {
+    if (s.is_ok()) s = verify_schedulability(bm, tasks, report);
+    if (s.is_ok()) s = verify_messages(bm, tasks, mapping, alive, report);
+  }
+  if (report) report->seconds += timer.seconds();
+  return s;
+}
+
+}  // namespace pangulu::analysis

@@ -1,0 +1,104 @@
+// Static task-graph verifier (new in PR 2): proves, from the symbolic
+// structure alone, that a (block layout, task list, mapping, counter array)
+// quadruple is safe to hand to the sync-free scheduler — *before* any
+// numeric work runs. The invariants mirror §4.4 of the paper plus the
+// fault-recovery remapping added in PR 1:
+//
+//   I1  task-structure        every task references blocks that exist, at
+//                             the coordinates its kind demands, and every
+//                             block has exactly one finalising task
+//   I2  counter-conservation  each block's sync-free counter equals its
+//                             number of SSSSM producers, plus one for the
+//                             panel solve on off-diagonal blocks (i.e. one
+//                             less on diagonals)
+//   I3  schedulability        the dependency DAG is acyclic and every task
+//                             is reachable from the initially-ready
+//                             frontier — the no-deadlock guarantee
+//   I4  mapping-totality      every block is owned by exactly one rank that
+//                             is in range and alive (including the states
+//                             Mapping::remap_failed_rank produces)
+//   I5  message-conservation  every receive a consumer expects has a
+//                             matching send under the current mapping, and
+//                             no message touches a dead rank
+//
+// A violation returns StatusCode::kInvariantViolation with a diagnosis of
+// the first broken invariant ("invariant violated [counter-conservation]:
+// block (3,5) ..."). Levels: kOff skips everything, kCheap runs the
+// linear-time checks (I1, task-derived I2, I4), kFull adds the quadratic
+// structure recomputation of I2 plus I3 and I5.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "block/layout.hpp"
+#include "block/mapping.hpp"
+#include "block/tasks.hpp"
+#include "util/status.hpp"
+
+namespace pangulu::analysis {
+
+enum class VerifyLevel { kOff = 0, kCheap = 1, kFull = 2 };
+
+const char* to_string(VerifyLevel level);
+
+/// What a verification pass looked at (for overhead tracking and tests).
+struct VerifyReport {
+  std::size_t tasks_checked = 0;
+  std::size_t blocks_checked = 0;
+  std::size_t edges_checked = 0;     // dependency edges walked (I3)
+  std::size_t messages_checked = 0;  // cross-rank logical messages (I5)
+  double seconds = 0;
+};
+
+// --- Individual invariants -------------------------------------------
+// Each returns ok() or kInvariantViolation naming the first offender.
+// `alive` marks eligible ranks (empty means "all alive"); pass the
+// scheduler's survivor set to validate post-crash remapped states.
+
+/// I1: indices in range, source/target coordinates consistent with the
+/// task kind, one GETRF per elimination step, one finaliser per block.
+Status verify_task_structure(const block::BlockMatrix& bm,
+                             const std::vector<block::Task>& tasks,
+                             VerifyReport* report = nullptr);
+
+/// I2: `counters` (the sync-free array the scheduler will trust) matches
+/// the update structure. kCheap recounts from the task list; kFull also
+/// recomputes the SSSSM producer sets from the first-layer block structure,
+/// independently of enumerate_tasks / sync_free_array.
+Status verify_counters(const block::BlockMatrix& bm,
+                       const std::vector<block::Task>& tasks,
+                       const std::vector<index_t>& counters, VerifyLevel level,
+                       VerifyReport* report = nullptr);
+
+/// I3: Kahn's algorithm over the dependency DAG derived from the task
+/// list; diagnoses cycles and tasks unreachable from the ready frontier.
+Status verify_schedulability(const block::BlockMatrix& bm,
+                             const std::vector<block::Task>& tasks,
+                             VerifyReport* report = nullptr);
+
+/// I4: every block owned by exactly one in-range, alive rank.
+Status verify_mapping(const block::BlockMatrix& bm,
+                      const block::Mapping& mapping,
+                      const std::vector<char>& alive = {},
+                      VerifyReport* report = nullptr);
+
+/// I5: sender-side enumeration of cross-rank dependency edges equals the
+/// receiver-side enumeration, and no endpoint is dead.
+Status verify_messages(const block::BlockMatrix& bm,
+                       const std::vector<block::Task>& tasks,
+                       const block::Mapping& mapping,
+                       const std::vector<char>& alive = {},
+                       VerifyReport* report = nullptr);
+
+/// Umbrella: runs the invariants selected by `level` in I1..I5 order and
+/// returns the first violation. `counters` is the array the scheduler will
+/// run on (typically block::sync_free_array(bm, tasks)).
+Status verify_task_graph(const block::BlockMatrix& bm,
+                         const std::vector<block::Task>& tasks,
+                         const block::Mapping& mapping,
+                         const std::vector<index_t>& counters,
+                         VerifyLevel level, const std::vector<char>& alive = {},
+                         VerifyReport* report = nullptr);
+
+}  // namespace pangulu::analysis

@@ -31,6 +31,8 @@ int set_status(pangulu_handle* h, const Status& s) {
     case StatusCode::kFailedPrecondition: return PANGULU_FAILED_PRECONDITION;
     case StatusCode::kNumericalError: return PANGULU_NUMERICAL_ERROR;
     case StatusCode::kIoError: return PANGULU_IO_ERROR;
+    case StatusCode::kUnavailable: return PANGULU_UNAVAILABLE;
+    case StatusCode::kInvariantViolation: return PANGULU_INVARIANT_VIOLATION;
     default: return PANGULU_INTERNAL;
   }
 }

@@ -27,7 +27,12 @@ typedef enum pangulu_status {
   PANGULU_FAILED_PRECONDITION = 3,
   PANGULU_NUMERICAL_ERROR = 4,
   PANGULU_IO_ERROR = 5,
-  PANGULU_INTERNAL = 6
+  PANGULU_INTERNAL = 6,
+  /* A required resource is gone (e.g. unrecoverable simulated rank loss). */
+  PANGULU_UNAVAILABLE = 7,
+  /* The static task-graph verifier found a broken scheduling invariant;
+   * pangulu_last_error() names it. */
+  PANGULU_INVARIANT_VIOLATION = 8
 } pangulu_status;
 
 /* Create a solver handle holding a copy of the n x n CSC matrix:

@@ -15,7 +15,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     stop_ = true;
   }
   cv_task_.notify_all();
@@ -24,23 +24,29 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     tasks_.push(std::move(task));
   }
   cv_task_.notify_one();
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lk(mu_);
-  cv_idle_.wait(lk, [this] { return tasks_.empty() && in_flight_ == 0; });
+  MutexLock lk(mu_);
+  cv_idle_.wait(lk, [this] {
+    mu_.assert_held();
+    return tasks_.empty() && in_flight_ == 0;
+  });
 }
 
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lk(mu_);
-      cv_task_.wait(lk, [this] { return stop_ || !tasks_.empty(); });
+      MutexLock lk(mu_);
+      cv_task_.wait(lk, [this] {
+        mu_.assert_held();
+        return stop_ || !tasks_.empty();
+      });
       if (stop_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
@@ -48,7 +54,7 @@ void ThreadPool::worker_loop() {
     }
     task();
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      MutexLock lk(mu_);
       --in_flight_;
       if (tasks_.empty() && in_flight_ == 0) cv_idle_.notify_all();
     }

@@ -6,6 +6,7 @@
 #include <string>
 #include <tuple>
 
+#include "analysis/verify.hpp"
 #include "kernels/getrf.hpp"
 #include "kernels/gessm.hpp"
 #include "kernels/ssssm.hpp"
@@ -278,6 +279,23 @@ struct PendingEvent {
 constexpr index_t kWakeEvent = -1;
 constexpr index_t kRecoveryEvent = -2;
 
+/// Post-remap invariant re-check (both schedulers): the remapped state must
+/// still be total over the survivors, and at kFull every expected message
+/// must still have a live route. PR 1's remapping widened the state space
+/// the scheduler can be in; this is the guard that a bad remap is diagnosed
+/// instead of discovered as a hang.
+Status verify_after_remap(const BlockMatrix& bm,
+                          const std::vector<Task>& tasks,
+                          const Mapping& mapping,
+                          const std::vector<char>& alive,
+                          const SimOptions& o) {
+  if (o.verify_level == analysis::VerifyLevel::kOff) return Status::ok();
+  Status s = analysis::verify_mapping(bm, mapping, alive);
+  if (s.is_ok() && o.verify_level == analysis::VerifyLevel::kFull)
+    s = analysis::verify_messages(bm, tasks, mapping, alive);
+  return s;
+}
+
 Status run_sync_free(const BlockMatrix& bm, const std::vector<Task>& tasks,
                      const Mapping& mapping_in, const SimOptions& o,
                      const std::vector<TaskPlan>& plans, SimResult* res) {
@@ -463,6 +481,8 @@ Status run_sync_free(const BlockMatrix& bm, const std::vector<Task>& tasks,
             mapping.owner[static_cast<std::size_t>(
                 tasks[static_cast<std::size_t>(t)].target)];
     }
+    Status vs = verify_after_remap(bm, tasks, mapping, alive, o);
+    if (!vs.is_ok()) return vs;
     // Survivors must adopt the orphaned blocks before touching them.
     const double ready_at =
         now + static_cast<double>(moved) * o.device.remap_per_block_s;
@@ -567,6 +587,8 @@ Status run_level_set(const BlockMatrix& bm, const std::vector<Task>& tasks,
             "rank " + std::to_string(cr.rank) +
             " crashed and no survivor remains: recovery impossible");
       res->remapped_blocks += moved;
+      Status vs = verify_after_remap(bm, tasks, mapping, alive, o);
+      if (!vs.is_ok()) return vs;
       const double pause = o.device.crash_detect_s +
                            static_cast<double>(moved) * o.device.remap_per_block_s;
       now += pause;

@@ -27,6 +27,7 @@
 
 #include <vector>
 
+#include "analysis/verify.hpp"
 #include "block/mapping.hpp"
 #include "block/tasks.hpp"
 #include "kernels/selector.hpp"
@@ -60,6 +61,12 @@ struct SimOptions {
   /// Recoverable plans change only makespan/traffic, never the factors;
   /// unrecoverable ones fail with StatusCode::kUnavailable.
   FaultPlan faults;
+  /// Re-verify scheduling invariants after every crash-recovery remap:
+  /// kCheap (default) proves mapping totality over the survivor set, kFull
+  /// additionally proves message conservation under the new ownership. A
+  /// violated invariant aborts the run with StatusCode::kInvariantViolation
+  /// instead of letting the scheduler hang on an orphaned block.
+  analysis::VerifyLevel verify_level = analysis::VerifyLevel::kCheap;
 };
 
 struct RankStats {

@@ -2,7 +2,6 @@
 
 #include <atomic>
 #include <condition_variable>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
@@ -12,6 +11,7 @@
 #include "kernels/selector.hpp"
 #include "kernels/ssssm.hpp"
 #include "kernels/tstrf.hpp"
+#include "parallel/annotations.hpp"
 
 namespace pangulu::runtime {
 
@@ -22,13 +22,13 @@ using block::Task;
 using block::TaskKind;
 
 struct RankQueue {
-  std::mutex mu;
-  std::condition_variable cv;
+  Mutex mu;
+  std::condition_variable_any cv;
   // Priority: smallest elimination step first.
   std::priority_queue<std::pair<index_t, index_t>,
                       std::vector<std::pair<index_t, index_t>>,
                       std::greater<>>
-      q;  // (k, task index)
+      q PANGULU_GUARDED_BY(mu);  // (k, task index)
 };
 
 }  // namespace
@@ -89,7 +89,7 @@ Status threaded_factorize(BlockMatrix& bm, const std::vector<Task>& tasks,
     const rank_t r = owner_of(t);
     RankQueue& rq = queues[static_cast<std::size_t>(r)];
     {
-      std::lock_guard<std::mutex> lk(rq.mu);
+      MutexLock lk(rq.mu);
       rq.q.push({tasks[static_cast<std::size_t>(t)].k, t});
     }
     rq.cv.notify_one();
@@ -106,8 +106,9 @@ Status threaded_factorize(BlockMatrix& bm, const std::vector<Task>& tasks,
     for (;;) {
       index_t t = -1;
       {
-        std::unique_lock<std::mutex> lk(rq.mu);
+        MutexLock lk(rq.mu);
         rq.cv.wait(lk, [&] {
+          rq.mu.assert_held();
           return !rq.q.empty() ||
                  remaining.load(std::memory_order_acquire) == 0 ||
                  failed.load(std::memory_order_acquire);

@@ -220,6 +220,18 @@ Status Solver::factorize(const Csc& a, const Options& opts) {
                                        &stats_.balance);
   stats_.preprocess_seconds = timer.seconds();
 
+  // (3b) Static verification: prove the task graph, counters and mapping
+  // consistent *before* spending any numeric work (and fail with a
+  // diagnosis instead of deadlocking or double-firing kernels).
+  if (opts.verify_level != analysis::VerifyLevel::kOff) {
+    analysis::VerifyReport vr;
+    s = analysis::verify_task_graph(factors_, tasks_, mapping_,
+                                    block::sync_free_array(factors_, tasks_),
+                                    opts.verify_level, {}, &vr);
+    if (!s.is_ok()) return s;
+    stats_.verify_seconds = vr.seconds;
+  }
+
   // (4) Numeric factorisation on the simulated cluster (real numerics).
   s = run_numeric_phase();
   if (!s.is_ok()) return s;
@@ -238,6 +250,7 @@ Status Solver::run_numeric_phase() {
   so.thresholds = opts_.thresholds;
   so.pivot_tol = opts_.pivot_tol;
   so.faults = opts_.fault_plan;
+  so.verify_level = opts_.verify_level;
   Status s =
       runtime::simulate_factorization(factors_, tasks_, mapping_, so, &stats_.sim);
   stats_.numeric_wall_seconds = timer.seconds();

@@ -14,6 +14,7 @@
 #include <span>
 #include <vector>
 
+#include "analysis/verify.hpp"
 #include "block/layout.hpp"
 #include "block/mapping.hpp"
 #include "ordering/reorder.hpp"
@@ -44,6 +45,13 @@ struct Options {
   /// unrecoverable plans make factorize() fail with
   /// StatusCode::kUnavailable instead of crashing or hanging.
   runtime::FaultPlan fault_plan;
+  /// Static task-graph verification (src/analysis) before any numeric work:
+  /// kCheap (default) runs the linear-time invariants, kFull adds the
+  /// structural counter recomputation, deadlock-freedom and message
+  /// conservation proofs. The same level re-verifies the mapping after any
+  /// crash-recovery remap inside the simulated cluster. Violations fail
+  /// factorize() with StatusCode::kInvariantViolation.
+  analysis::VerifyLevel verify_level = analysis::VerifyLevel::kCheap;
 };
 
 struct FactorStats {
@@ -51,6 +59,7 @@ struct FactorStats {
   double reorder_seconds = 0;
   double symbolic_seconds = 0;
   double preprocess_seconds = 0;  // blocking + mapping + balancing
+  double verify_seconds = 0;      // static task-graph verification
   double numeric_wall_seconds = 0;
 
   // Structure metrics (Table 3).

@@ -18,10 +18,17 @@ enum class StatusCode {
   /// A required resource is (possibly transiently) gone — e.g. every replica
   /// of a block was lost to rank crashes and recovery is impossible.
   kUnavailable,
+  /// The static task-graph verifier (src/analysis) proved a scheduling
+  /// invariant broken — counter conservation, schedulability, mapping
+  /// totality, or message conservation. The message names the first
+  /// violated invariant and the offending block/task.
+  kInvariantViolation,
 };
 
 /// Value-semantic status object. `Status::ok()` is the success singleton.
-class Status {
+/// The class is [[nodiscard]]: any call site that drops a returned Status
+/// is a compile-time warning (an error under PANGULU_WERROR).
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
@@ -49,10 +56,13 @@ class Status {
   static Status unavailable(std::string m) {
     return Status(StatusCode::kUnavailable, std::move(m));
   }
+  static Status invariant_violation(std::string m) {
+    return Status(StatusCode::kInvariantViolation, std::move(m));
+  }
 
-  bool is_ok() const { return code_ == StatusCode::kOk; }
-  StatusCode code() const { return code_; }
-  const std::string& message() const { return message_; }
+  [[nodiscard]] bool is_ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
 
   /// Throws std::runtime_error when not ok. Used at API boundaries where the
   /// caller opted into exceptions.

@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Static hygiene gate for src/ (wired as `ctest -L lint`).
+#
+# Greps for banned patterns and, when clang-format is installed, checks
+# formatting drift with --dry-run. Grep checks strip // comments first so
+# prose like "the new element" never trips the allocator ban.
+#
+# Banned in library code (src/):
+#   * raw new/delete outside containers — RAII or std containers only.
+#     Exception: src/capi, where the C boundary owns the handle by contract.
+#   * rand()/srand() and default-seeded / random_device-seeded engines —
+#     every RNG must take an explicit seed (util/rng.hpp) so experiments
+#     and property tests are reproducible.
+#   * std::cout/std::cerr in library code — libraries return Status or take
+#     an ostream; only examples/, bench/ and tools may print.
+set -u
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# Library sources with // comments and string literals stripped (block
+# comments in this codebase never hold code-like text; literals would
+# false-positive on diagnostics that *mention* banned calls).
+sources() {
+  find src -name '*.hpp' -o -name '*.cpp' | sort
+}
+strip_noise() {
+  sed -e 's/"[^"]*"//g' -e 's|//.*||' "$1"
+}
+
+ban() {
+  local pattern="$1" why="$2" exclude="${3:-^$}"
+  local hits=""
+  for f in $(sources); do
+    case "$f" in
+      $exclude) continue ;;
+    esac
+    local h
+    h=$(strip_noise "$f" | grep -nE "$pattern" | sed "s|^|$f:|") || true
+    [ -n "$h" ] && hits="$hits$h"$'\n'
+  done
+  if [ -n "$hits" ]; then
+    echo "LINT: banned pattern ($why):"
+    printf '%s' "$hits"
+    fail=1
+  fi
+}
+
+ban '(^|[^_[:alnum:]])new[[:space:]]+[_[:alnum:]:]+[[:space:]]*[({[]' \
+    'raw new outside containers' 'src/capi/*'
+ban '(^|[^_[:alnum:]])delete[[:space:]]+[_[:alnum:]]' \
+    'raw delete outside containers' 'src/capi/*'
+ban '(^|[^_[:alnum:]])s?rand[[:space:]]*\(' \
+    'rand()/srand(): use the seeded util/rng.hpp Rng'
+ban 'random_device' \
+    'non-deterministic seeding: every Rng takes an explicit seed'
+ban 'mt19937' \
+    'direct engine use: go through the explicitly-seeded util/rng.hpp Rng' \
+    'src/util/rng.hpp'
+ban 'std::(cout|cerr)' \
+    'stdout/stderr printing in library code (return Status instead)'
+
+# Formatting drift, when the toolchain carries clang-format.
+if command -v clang-format >/dev/null 2>&1; then
+  if ! clang-format --dry-run --Werror $(sources) 2>/dev/null; then
+    echo "LINT: clang-format --dry-run reports drift (see above)"
+    fail=1
+  fi
+else
+  echo "note: clang-format not installed; formatting check skipped"
+fi
+
+if [ "$fail" -ne 0 ]; then
+  echo "lint: FAILED"
+  exit 1
+fi
+echo "lint: OK ($(sources | wc -l) files checked)"
