@@ -6,10 +6,14 @@
 // matrices; PANGULU_BENCH_MATRICES (comma list) restricts the matrix set.
 #pragma once
 
+#include <cmath>
 #include <cstdlib>
+#include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "block/layout.hpp"
@@ -81,6 +85,90 @@ inline PreparedMatrix prepare(const std::string& name, double scale,
   p.blocking_seconds = t.seconds();
   return p;
 }
+
+/// Minimal JSON result writer so bench binaries can emit machine-readable
+/// results next to their stdout tables: one flat `meta` object plus an array
+/// of flat `rows`. Doubles print with round-trip precision; NaN/Inf (not
+/// representable in JSON) become null.
+class JsonReporter {
+ public:
+  void meta(const std::string& key, const std::string& v) {
+    meta_.emplace_back(key, quote(v));
+  }
+  void meta(const std::string& key, double v) {
+    meta_.emplace_back(key, number(v));
+  }
+  void begin_row() { rows_.emplace_back(); }
+  void field(const std::string& key, const std::string& v) {
+    rows_.back().emplace_back(key, quote(v));
+  }
+  void field(const std::string& key, double v) {
+    rows_.back().emplace_back(key, number(v));
+  }
+
+  std::string str() const {
+    std::ostringstream os;
+    os << "{\n  \"meta\": " << object(meta_, "  ") << ",\n  \"rows\": [";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      os << (i ? ",\n    " : "\n    ") << object(rows_[i], "    ");
+    }
+    os << (rows_.empty() ? "]" : "\n  ]") << "\n}\n";
+    return os.str();
+  }
+
+  bool write_file(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) return false;
+    out << str();
+    return static_cast<bool>(out);
+  }
+
+ private:
+  using Obj = std::vector<std::pair<std::string, std::string>>;
+
+  static std::string quote(const std::string& s) {
+    std::string out = "\"";
+    for (char ch : s) {
+      switch (ch) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(ch) < 0x20) {
+            std::ostringstream esc;
+            esc << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+                << static_cast<int>(static_cast<unsigned char>(ch));
+            out += esc.str();
+          } else {
+            out += ch;
+          }
+      }
+    }
+    out += '"';
+    return out;
+  }
+
+  static std::string number(double v) {
+    if (!std::isfinite(v)) return "null";
+    std::ostringstream os;
+    os << std::setprecision(17) << v;
+    return os.str();
+  }
+
+  static std::string object(const Obj& o, const std::string& indent) {
+    std::string out = "{";
+    for (std::size_t i = 0; i < o.size(); ++i) {
+      out += (i ? ",\n " : "\n ") + indent + quote(o[i].first) + ": " +
+             o[i].second;
+    }
+    out += o.empty() ? "}" : "\n" + indent + "}";
+    return out;
+  }
+
+  Obj meta_;
+  std::vector<Obj> rows_;
+};
 
 /// Timing-only DES run for a given rank count / device / policy / schedule.
 inline runtime::SimResult run_sim(const PreparedMatrix& p, rank_t ranks,

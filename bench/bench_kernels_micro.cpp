@@ -3,6 +3,8 @@
 // measures the same kernels on harvested factorisation blocks.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
 #include "kernels/getrf.hpp"
 #include "kernels/gessm.hpp"
 #include "kernels/ssssm.hpp"
@@ -67,7 +69,7 @@ void BM_Gessm(benchmark::State& state) {
   state.SetLabel("GESSM_" + to_string(variant));
 }
 BENCHMARK(BM_Gessm)
-    ->ArgsProduct({{0, 1, 2, 3, 4}, {64, 192}})
+    ->ArgsProduct({{0, 1, 2, 3, 4, 5}, {64, 192}})
     ->Unit(benchmark::kMicrosecond);
 
 void BM_Tstrf(benchmark::State& state) {
@@ -81,15 +83,20 @@ void BM_Tstrf(benchmark::State& state) {
   state.SetLabel("TSTRF_" + to_string(variant));
 }
 BENCHMARK(BM_Tstrf)
-    ->ArgsProduct({{0, 1, 2, 3, 4}, {64, 192}})
+    ->ArgsProduct({{0, 1, 2, 3, 4, 5}, {64, 192}})
     ->Unit(benchmark::kMicrosecond);
 
+// Density sweep (third argument, percent): the merge kernels are predicted
+// to win the band where A's columns and C's column have comparable lengths;
+// Direct amortises its slot registration only above it, bin-search only
+// below.
 void BM_Ssssm(benchmark::State& state) {
   const auto variant = static_cast<SsssmVariant>(state.range(0));
   const auto n = static_cast<index_t>(state.range(1));
-  Csc a = matgen::random_rect(n, n, 0.15, 3);
-  Csc b = matgen::random_rect(n, n, 0.15, 4);
-  Csc c = matgen::random_rect(n, n, 0.4, 5);
+  const double d = static_cast<double>(state.range(2)) / 100.0;
+  Csc a = matgen::random_rect(n, n, d, 3);
+  Csc b = matgen::random_rect(n, n, d, 4);
+  Csc c = matgen::random_rect(n, n, std::min(0.5, 2.5 * d), 5);
   Workspace ws;
   for (auto _ : state) {
     Csc work = c;
@@ -100,7 +107,7 @@ void BM_Ssssm(benchmark::State& state) {
   state.counters["flops"] = ssssm_flops(a, b);
 }
 BENCHMARK(BM_Ssssm)
-    ->ArgsProduct({{0, 1, 2, 3}, {64, 192}})
+    ->ArgsProduct({{0, 1, 2, 3, 4, 5}, {64, 192}, {2, 8, 20}})
     ->Unit(benchmark::kMicrosecond);
 
 }  // namespace

@@ -1,0 +1,176 @@
+// Numeric hot-path regression harness: times an SSSSM-dominated workload
+// with the pre-PR Direct-addressing accumulator (dense scratch column,
+// reproduced locally below) against the stamped sparse accumulator that
+// replaced it, plus the bin-search and merge kernels for context. Prints a
+// table, writes BENCH_numeric_hotpath.json, and exits non-zero when the
+// stamped/legacy speedup falls below the guard (PANGULU_PERF_GUARD, default
+// 1.05 — generous so the ctest `perf` label only trips on real regressions;
+// the PR's acceptance target on a quiet machine is >= 1.3x).
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "kernels/ssssm.hpp"
+#include "matgen/generators.hpp"
+
+using namespace pangulu;
+
+namespace {
+
+/// The pre-PR Direct inner loop, kept verbatim as the baseline: zero an
+/// O(n_rows) dense scratch, scatter C(:,j) into it, accumulate the products
+/// densely, gather back. The stamped accumulator replaced exactly this.
+void legacy_column_direct(const Csc& a, const Csc& b, Csc& c, index_t j,
+                          std::vector<value_t>& dense) {
+  std::fill(dense.begin(), dense.end(), value_t(0));
+  auto crows = c.row_idx();
+  auto cvals = c.values_mut();
+  const nnz_t cb = c.col_begin(j), ce = c.col_end(j);
+  for (nnz_t p = cb; p < ce; ++p)
+    dense[static_cast<std::size_t>(crows[static_cast<std::size_t>(p)])] =
+        cvals[static_cast<std::size_t>(p)];
+  for (nnz_t q = b.col_begin(j); q < b.col_end(j); ++q) {
+    const index_t k = b.row_idx()[static_cast<std::size_t>(q)];
+    const value_t bkj = b.values()[static_cast<std::size_t>(q)];
+    if (bkj == value_t(0)) continue;
+    for (nnz_t p = a.col_begin(k); p < a.col_end(k); ++p) {
+      dense[static_cast<std::size_t>(
+          a.row_idx()[static_cast<std::size_t>(p)])] -=
+          a.values()[static_cast<std::size_t>(p)] * bkj;
+    }
+  }
+  for (nnz_t p = cb; p < ce; ++p)
+    cvals[static_cast<std::size_t>(p)] =
+        dense[static_cast<std::size_t>(crows[static_cast<std::size_t>(p)])];
+}
+
+struct Triple {
+  Csc a, b, c;
+};
+
+double guard_value() {
+  if (const char* s = std::getenv("PANGULU_PERF_GUARD")) {
+    const double v = std::atof(s);
+    if (v > 0) return v;
+  }
+  return 1.05;
+}
+
+}  // namespace
+
+int main() {
+  // Large hyper-sparse blocks: the regime the stamped accumulator targets.
+  // Per column the legacy path zeroes and re-reads an n-entry dense scratch
+  // while the real work is a handful of flops, so the O(n_rows) traffic
+  // dominates — exactly what early-factorisation Schur blocks look like.
+  const index_t n = 2048;
+  const auto n_triples = static_cast<std::size_t>(
+      std::max(4.0, 8.0 * pangulu::bench::bench_scale()));
+  const int repeats = 9;
+  const double da = 0.002, db = 0.002, dc = 0.006;
+
+  std::vector<Triple> triples;
+  for (std::size_t i = 0; i < n_triples; ++i) {
+    const auto seed = static_cast<std::uint64_t>(100 + 3 * i);
+    triples.push_back({matgen::random_rect(n, n, da, seed),
+                       matgen::random_rect(n, n, db, seed + 1),
+                       matgen::random_rect(n, n, dc, seed + 2)});
+  }
+
+  // min-of-repeats over the whole workload; the C copies stay untimed.
+  std::vector<Csc> work(triples.size());
+  auto time_workload = [&](auto&& body) {
+    double best = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < repeats; ++rep) {
+      for (std::size_t i = 0; i < triples.size(); ++i) work[i] = triples[i].c;
+      Timer t;
+      for (std::size_t i = 0; i < triples.size(); ++i)
+        body(triples[i].a, triples[i].b, work[i]);
+      best = std::min(best, t.seconds());
+    }
+    return best;
+  };
+
+  std::vector<value_t> dense(static_cast<std::size_t>(n));
+  const double legacy_s = time_workload([&](const Csc& a, const Csc& b,
+                                            Csc& c) {
+    for (index_t j = 0; j < c.n_cols(); ++j)
+      legacy_column_direct(a, b, c, j, dense);
+  });
+  std::vector<Csc> legacy_result = work;
+
+  kernels::Workspace ws;
+  const double stamped_s = time_workload([&](const Csc& a, const Csc& b,
+                                             Csc& c) {
+    kernels::ssssm(kernels::SsssmVariant::kCV1, a, b, c, ws).check();
+  });
+  // Both paths must produce identical values (the stamped rewrite is
+  // bit-compatible); a mismatch means the benchmark is comparing wrong code.
+  for (std::size_t i = 0; i < work.size(); ++i) {
+    for (std::size_t p = 0; p < work[i].values().size(); ++p) {
+      const double diff =
+          std::abs(work[i].values()[p] - legacy_result[i].values()[p]);
+      if (diff > 1e-12) {
+        std::cerr << "FAIL: stamped result diverges from legacy baseline\n";
+        return 2;
+      }
+    }
+  }
+
+  const double binsearch_s = time_workload([&](const Csc& a, const Csc& b,
+                                               Csc& c) {
+    kernels::ssssm(kernels::SsssmVariant::kCV2, a, b, c, ws).check();
+  });
+  const double merge_s = time_workload([&](const Csc& a, const Csc& b,
+                                           Csc& c) {
+    kernels::ssssm(kernels::SsssmVariant::kCV3, a, b, c, ws).check();
+  });
+
+  const double speedup = legacy_s / stamped_s;
+  const double guard = guard_value();
+
+  std::cout << "numeric hot path (SSSSM-dominated, n=" << n << ", "
+            << n_triples << " block triples, min of " << repeats
+            << " repeats)\n";
+  std::cout << "  legacy dense-scratch direct : " << legacy_s * 1e3 << " ms\n";
+  std::cout << "  stamped direct (C_V1)       : " << stamped_s * 1e3
+            << " ms\n";
+  std::cout << "  bin-search (C_V2)           : " << binsearch_s * 1e3
+            << " ms\n";
+  std::cout << "  merge (C_V3)                : " << merge_s * 1e3 << " ms\n";
+  std::cout << "  stamped speedup over legacy : " << speedup << "x (guard "
+            << guard << "x)\n";
+
+  pangulu::bench::JsonReporter json;
+  json.meta("bench", "numeric_hotpath");
+  json.meta("n", static_cast<double>(n));
+  json.meta("triples", static_cast<double>(n_triples));
+  json.meta("repeats", static_cast<double>(repeats));
+  json.meta("density_a", da);
+  json.meta("density_b", db);
+  json.meta("density_c", dc);
+  json.meta("speedup_stamped_over_legacy", speedup);
+  json.meta("guard", guard);
+  auto row = [&](const std::string& name, double seconds) {
+    json.begin_row();
+    json.field("kernel", name);
+    json.field("seconds", seconds);
+  };
+  row("legacy_dense_scratch_direct", legacy_s);
+  row("stamped_direct_cv1", stamped_s);
+  row("binsearch_cv2", binsearch_s);
+  row("merge_cv3", merge_s);
+  if (!json.write_file("BENCH_numeric_hotpath.json")) {
+    std::cerr << "FAIL: could not write BENCH_numeric_hotpath.json\n";
+    return 2;
+  }
+
+  if (speedup < guard) {
+    std::cerr << "FAIL: stamped accumulator speedup " << speedup
+              << "x below guard " << guard << "x\n";
+    return 1;
+  }
+  return 0;
+}

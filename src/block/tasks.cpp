@@ -130,6 +130,80 @@ std::vector<Task> enumerate_tasks(const BlockMatrix& bm) {
   return tasks;
 }
 
+TaskAdjacency TaskAdjacency::build(const BlockMatrix& bm,
+                                   const std::vector<Task>& tasks) {
+  TaskAdjacency g;
+  const auto nt = static_cast<index_t>(tasks.size());
+  g.dep.assign(static_cast<std::size_t>(nt), 0);
+  g.out_ptr.assign(static_cast<std::size_t>(nt) + 1, 0);
+  g.finalizer_of_block.assign(static_cast<std::size_t>(bm.n_blocks()), -1);
+
+  for (index_t t = 0; t < nt; ++t) {
+    const Task& task = tasks[static_cast<std::size_t>(t)];
+    if (task.kind != TaskKind::kSsssm)
+      g.finalizer_of_block[static_cast<std::size_t>(task.target)] = t;
+  }
+  // Pass 1: out-degree of every task (one counter bump per edge).
+  auto count_edge = [&](index_t from) {
+    g.out_ptr[static_cast<std::size_t>(from) + 1]++;
+  };
+  for (index_t t = 0; t < nt; ++t) {
+    const Task& task = tasks[static_cast<std::size_t>(t)];
+    switch (task.kind) {
+      case TaskKind::kGetrf:
+        break;  // depends only on incoming SSSSM updates (edges added below)
+      case TaskKind::kGessm:
+      case TaskKind::kTstrf: {
+        count_edge(g.finalizer_of_block[static_cast<std::size_t>(task.src_a)]);
+        g.dep[static_cast<std::size_t>(t)]++;
+        break;
+      }
+      case TaskKind::kSsssm: {
+        count_edge(g.finalizer_of_block[static_cast<std::size_t>(task.src_a)]);
+        count_edge(g.finalizer_of_block[static_cast<std::size_t>(task.src_b)]);
+        g.dep[static_cast<std::size_t>(t)] += 2;
+        const index_t fin =
+            g.finalizer_of_block[static_cast<std::size_t>(task.target)];
+        PANGULU_CHECK(fin >= 0, "every block has a finalising task");
+        count_edge(t);
+        g.dep[static_cast<std::size_t>(fin)]++;
+        break;
+      }
+    }
+  }
+  for (index_t t = 0; t < nt; ++t)
+    g.out_ptr[static_cast<std::size_t>(t) + 1] +=
+        g.out_ptr[static_cast<std::size_t>(t)];
+  g.out_adj.resize(static_cast<std::size_t>(g.out_ptr.back()));
+  // Pass 2: fill the adjacency with a moving cursor per source task. Edge
+  // order within a source matches the per-vector build it replaces
+  // (enumeration order of the dependent tasks).
+  std::vector<nnz_t> next(g.out_ptr.begin(), g.out_ptr.end() - 1);
+  auto add_edge = [&](index_t from, index_t to) {
+    g.out_adj[static_cast<std::size_t>(next[static_cast<std::size_t>(from)]++)] =
+        to;
+  };
+  for (index_t t = 0; t < nt; ++t) {
+    const Task& task = tasks[static_cast<std::size_t>(t)];
+    switch (task.kind) {
+      case TaskKind::kGetrf:
+        break;
+      case TaskKind::kGessm:
+      case TaskKind::kTstrf:
+        add_edge(g.finalizer_of_block[static_cast<std::size_t>(task.src_a)], t);
+        break;
+      case TaskKind::kSsssm: {
+        add_edge(g.finalizer_of_block[static_cast<std::size_t>(task.src_a)], t);
+        add_edge(g.finalizer_of_block[static_cast<std::size_t>(task.src_b)], t);
+        add_edge(t,
+                 g.finalizer_of_block[static_cast<std::size_t>(task.target)]);
+        break;
+      }
+    }
+  }
+  return g;
+}
+
 std::vector<index_t> sync_free_array(const BlockMatrix& bm,
                                      const std::vector<Task>& tasks) {
   std::vector<index_t> arr(static_cast<std::size_t>(bm.n_blocks()), 0);

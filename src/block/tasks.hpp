@@ -33,6 +33,26 @@ std::vector<Task> enumerate_tasks(const BlockMatrix& bm);
 std::vector<index_t> sync_free_array(const BlockMatrix& bm,
                                      const std::vector<Task>& tasks);
 
+/// Flattened (CSR) dependency graph over a task list, shared by the DES and
+/// threaded executors. `dep[t]` is the number of prerequisite completions
+/// before task t is ready; the dependents released by t's completion are
+/// `out_adj[out_ptr[t] .. out_ptr[t+1])`. Built in one counting pass plus a
+/// prefix sum — no per-task vector allocations, and traversal is a single
+/// contiguous scan.
+///
+/// Edge semantics (matching the sync-free array of §4.4): a panel solve
+/// depends on its diagonal finaliser; an SSSSM depends on both source
+/// blocks' finalisers and releases its target's finaliser.
+struct TaskAdjacency {
+  std::vector<index_t> dep;
+  std::vector<nnz_t> out_ptr;   // size n_tasks + 1
+  std::vector<index_t> out_adj;
+  std::vector<index_t> finalizer_of_block;  // -1 if none
+
+  static TaskAdjacency build(const BlockMatrix& bm,
+                             const std::vector<Task>& tasks);
+};
+
 /// True when executing `tasks` front to back never consumes a block before
 /// the tasks producing it have run — i.e. enumeration order is a valid
 /// topological order of the dependency DAG. The DES runtime relies on this

@@ -1,13 +1,19 @@
 // Decision-tree threshold calibration. The paper builds its Figure 8 trees
-// "according to a large amount of performance data"; this module provides
-// the refitting step so a deployment can re-derive the cut-points from
-// measurements on its own hardware (see bench_fig07_kernels, which refits
-// the CPU/GPU crossovers from wall-clock samples).
+// "according to a large amount of performance data"; this module is that
+// measurement step: `autotune_thresholds` microbenchmarks every kernel
+// variant on synthetic blocks across an nnz/density grid, fits the
+// pairwise crossover points with `fit_crossover`, and writes them into a
+// `SelectorThresholds` that can be persisted with `save_thresholds` and
+// loaded into a solver run via `SolverOptions::thresholds_file`.
 #pragma once
 
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "kernels/selector.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/status.hpp"
 
 namespace pangulu::kernels {
 
@@ -28,5 +34,44 @@ double fit_crossover(std::vector<PairedSample> samples);
 /// Total time of a sample set under a given threshold (exposed for tests
 /// and for reporting the improvement a refit achieves).
 double policy_cost(const std::vector<PairedSample>& samples, double threshold);
+
+/// Microbenchmark grid for autotune_thresholds. The defaults finish in a
+/// few hundred milliseconds; benches widen them for better fits.
+struct AutotuneOptions {
+  std::vector<index_t> sizes = {48, 96, 160};    // block dimension n
+  std::vector<double> densities = {0.02, 0.08, 0.2};
+  int repeats = 3;            // min-of-repeats wall clock per variant
+  std::uint64_t seed = 1234;  // synthetic block generator seed
+};
+
+/// One fitted decision boundary, for reporting/tests.
+struct AutotuneEntry {
+  std::string family;    // "getrf" | "gessm" | "tstrf" | "ssssm"
+  std::string boundary;  // e.g. "C_V1|G_V1"
+  double threshold;      // fitted metric cut
+  int samples;           // paired measurements behind the fit
+};
+
+struct AutotuneReport {
+  std::vector<AutotuneEntry> entries;
+};
+
+/// Time every kernel variant over the grid and refit all selector
+/// thresholds. Thresholds are clamped to >= 1 and made monotone along each
+/// family's decision chain so the resulting tree is always well-formed;
+/// every variant the tuned selector can return exists and is equivalence-
+/// tested. `pool` backs the G_ variants (global pool when null).
+Status autotune_thresholds(const AutotuneOptions& opts,
+                           SelectorThresholds* out,
+                           AutotuneReport* report = nullptr,
+                           ThreadPool* pool = nullptr);
+
+/// Persist thresholds as "key value" lines ('#' comments allowed). Values
+/// round-trip exactly (17 significant digits).
+Status save_thresholds(const std::string& path, const SelectorThresholds& t);
+
+/// Load thresholds written by save_thresholds. Unknown keys are an error;
+/// keys absent from the file keep their current value in `out`.
+Status load_thresholds(const std::string& path, SelectorThresholds* out);
 
 }  // namespace pangulu::kernels

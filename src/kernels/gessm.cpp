@@ -76,29 +76,35 @@ void solve_column_binsearch(const Csc& l, Csc& b, index_t j) {
   }
 }
 
-/// Solve one column with Direct addressing via a caller-provided dense
-/// scratch (cleared on exit).
-void solve_column_direct(const Csc& l, Csc& b, index_t j, value_t* x) {
+/// Solve one column with Direct addressing via the stamped accumulator: the
+/// column's rows are registered under a fresh generation and every update
+/// lands in its CSC slot; updates whose row carries a stale stamp fall
+/// outside the column pattern and are skipped. The solve runs entirely in
+/// place — no scatter, gather or dense reset.
+void solve_column_direct(const Csc& l, Csc& b, index_t j, Workspace& ws) {
   auto brows = b.row_idx();
   auto bvals = b.values_mut();
   auto lrows = l.row_idx();
   auto lvals = l.values();
   const nnz_t jb = b.col_begin(j), je = b.col_end(j);
-  for (nnz_t p = jb; p < je; ++p)
-    x[brows[static_cast<std::size_t>(p)]] = bvals[static_cast<std::size_t>(p)];
+  const index_t gen = ws.open_column();
+  for (nnz_t p = jb; p < je; ++p) {
+    const auto r = static_cast<std::size_t>(brows[static_cast<std::size_t>(p)]);
+    ws.slot[r] = p;
+    ws.stamp[r] = gen;
+  }
   for (nnz_t p = jb; p < je; ++p) {
     const index_t k = brows[static_cast<std::size_t>(p)];
-    const value_t xk = x[k];
+    const value_t xk = bvals[static_cast<std::size_t>(p)];  // final: unit diag
     if (xk == value_t(0)) continue;
     for (nnz_t lq = l.col_begin(k); lq < l.col_end(k); ++lq) {
-      const index_t r = lrows[static_cast<std::size_t>(lq)];
-      if (r > k) x[r] -= lvals[static_cast<std::size_t>(lq)] * xk;
+      const auto r = static_cast<std::size_t>(lrows[static_cast<std::size_t>(lq)]);
+      if (static_cast<index_t>(r) <= k) continue;
+      if (ws.stamp[r] != gen) continue;
+      bvals[static_cast<std::size_t>(ws.slot[r])] -=
+          lvals[static_cast<std::size_t>(lq)] * xk;
     }
   }
-  for (nnz_t p = jb; p < je; ++p)
-    bvals[static_cast<std::size_t>(p)] = x[brows[static_cast<std::size_t>(p)]];
-  // Updates may touch rows outside B's column pattern; clear everything.
-  std::fill(x, x + b.n_rows(), value_t(0));
 }
 
 }  // namespace
@@ -118,8 +124,7 @@ Status gessm(PanelVariant variant, const Csc& diag, Csc& b, Workspace& ws,
       return Status::ok();
     case PanelVariant::kCV2: {
       ws.ensure(n);
-      for (index_t j = 0; j < ncols; ++j)
-        solve_column_direct(diag, b, j, ws.dense_col.data());
+      for (index_t j = 0; j < ncols; ++j) solve_column_direct(diag, b, j, ws);
       return Status::ok();
     }
     case PanelVariant::kGV1: {
@@ -161,14 +166,21 @@ Status gessm(PanelVariant variant, const Csc& diag, Csc& b, Workspace& ws,
     }
     case PanelVariant::kGV3: {
       ThreadPool& tp = pool ? *pool : ThreadPool::global();
-      // Per-chunk dense scratch: parallel_for chunks are contiguous, so give
-      // each invocation its own thread-local buffer.
-      parallel_for(tp, 0, ncols, [&](index_t j) {
-        thread_local std::vector<value_t> x;
-        if (static_cast<index_t>(x.size()) < n)
-          x.assign(static_cast<std::size_t>(n), value_t(0));
-        solve_column_direct(diag, b, j, x.data());
+      // Per-chunk pooled scratch: each contiguous chunk leases a child
+      // workspace, so memory stays bounded by the active thread count.
+      parallel_for_chunks(tp, 0, ncols, [&](index_t lo, index_t hi) {
+        Workspace::Lease lw(ws);
+        lw->ensure(n);
+        for (index_t j = lo; j < hi; ++j) solve_column_direct(diag, b, j, *lw);
       });
+      return Status::ok();
+    }
+    case PanelVariant::kGV4: {
+      // Parallel Merge addressing: columns are independent and the merge
+      // needs no scratch, matching the GPU merge kernels of Table 1.
+      ThreadPool& tp = pool ? *pool : ThreadPool::global();
+      parallel_for(tp, 0, ncols,
+                   [&](index_t j) { solve_column_merge(diag, b, j); });
       return Status::ok();
     }
   }

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cmath>
 #include <memory>
+#include <optional>
 #include <thread>
 
 #include "sparse/dense.hpp"
@@ -18,16 +19,24 @@ value_t perturb_pivot(value_t pivot, value_t threshold, PivotStats* stats) {
   return pivot >= 0 ? threshold : -threshold;
 }
 
-/// Left-looking update of one column, dense ("Direct") addressing: scatter
-/// into x, apply every earlier column in the column's upper pattern in
-/// ascending order, normalise, gather back.
+/// Left-looking update of one column, Direct addressing via the stamped
+/// accumulator: column j's rows are registered under a fresh generation,
+/// every earlier column in the column's upper pattern applies in ascending
+/// order straight into the CSC slots, then the pivot is normalised in place.
+/// Updates whose row carries a stale stamp fall outside the column pattern
+/// (contributions that are structurally zero at this block position) and
+/// are skipped — no scatter, gather or O(n_rows) reset.
 void factor_column_direct(Csc& a, index_t j, value_t threshold,
-                          PivotStats* stats, value_t* x) {
+                          PivotStats* stats, Workspace& ws) {
   auto rows = a.row_idx();
   auto vals = a.values_mut();
   const nnz_t jb = a.col_begin(j), je = a.col_end(j);
-  for (nnz_t p = jb; p < je; ++p)
-    x[rows[static_cast<std::size_t>(p)]] = vals[static_cast<std::size_t>(p)];
+  const index_t gen = ws.open_column();
+  for (nnz_t p = jb; p < je; ++p) {
+    const auto r = static_cast<std::size_t>(rows[static_cast<std::size_t>(p)]);
+    ws.slot[r] = p;
+    ws.stamp[r] = gen;
+  }
   nnz_t diag_pos = -1;
   for (nnz_t p = jb; p < je; ++p) {
     const index_t k = rows[static_cast<std::size_t>(p)];
@@ -35,26 +44,23 @@ void factor_column_direct(Csc& a, index_t j, value_t threshold,
       diag_pos = p;
       break;
     }
-    const value_t xk = x[k];
+    const value_t xk = vals[static_cast<std::size_t>(p)];  // evolving in place
     if (xk == value_t(0)) continue;
     for (nnz_t q = a.col_begin(k); q < a.col_end(k); ++q) {
-      const index_t r = rows[static_cast<std::size_t>(q)];
-      if (r <= k) continue;
-      x[r] -= vals[static_cast<std::size_t>(q)] * xk;
+      const auto r = static_cast<std::size_t>(rows[static_cast<std::size_t>(q)]);
+      if (static_cast<index_t>(r) <= k) continue;
+      if (ws.stamp[r] != gen) continue;
+      vals[static_cast<std::size_t>(ws.slot[r])] -=
+          vals[static_cast<std::size_t>(q)] * xk;
     }
   }
   PANGULU_CHECK(diag_pos >= 0 && rows[static_cast<std::size_t>(diag_pos)] == j,
                 "GETRF: diagonal entry missing from block pattern");
-  const value_t pivot = perturb_pivot(x[j], threshold, stats);
-  x[j] = pivot;
+  const value_t pivot =
+      perturb_pivot(vals[static_cast<std::size_t>(diag_pos)], threshold, stats);
+  vals[static_cast<std::size_t>(diag_pos)] = pivot;
   for (nnz_t p = diag_pos + 1; p < je; ++p)
-    x[rows[static_cast<std::size_t>(p)]] /= pivot;
-  for (nnz_t p = jb; p < je; ++p)
-    vals[static_cast<std::size_t>(p)] = x[rows[static_cast<std::size_t>(p)]];
-  // Dense mapping may have written rows outside this column's pattern
-  // (contributions that are structurally zero at this block position);
-  // clear the whole scratch so the next column starts clean.
-  std::fill(x, x + a.n_rows(), value_t(0));
+    vals[static_cast<std::size_t>(p)] /= pivot;
 }
 
 /// Left-looking update of one column with binary-search addressing: the
@@ -100,7 +106,7 @@ void factor_column_binsearch(Csc& a, index_t j, value_t threshold,
     vals[static_cast<std::size_t>(p)] /= pivot;
 }
 
-/// C_V1: serial left-looking sweep with dense addressing.
+/// C_V1: serial left-looking sweep with stamped Direct addressing.
 Status getrf_c_v1(Csc& a, Workspace& ws, PivotStats* stats,
                   const GetrfOptions& opts) {
   const index_t n = a.n_cols();
@@ -109,7 +115,7 @@ Status getrf_c_v1(Csc& a, Workspace& ws, PivotStats* stats,
   if (amax == value_t(0)) amax = value_t(1);
   const value_t threshold = opts.pivot_tol * amax;
   for (index_t j = 0; j < n; ++j)
-    factor_column_direct(a, j, threshold, stats, ws.dense_col.data());
+    factor_column_direct(a, j, threshold, stats, ws);
   return Status::ok();
 }
 
@@ -123,7 +129,6 @@ Status getrf_sflu(Csc& a, Workspace& ws, PivotStats* stats,
                   const GetrfOptions& opts, ThreadPool* pool,
                   bool dense_mapping) {
   const index_t n = a.n_cols();
-  ws.ensure(n);
   value_t amax = a.max_abs();
   if (amax == value_t(0)) amax = value_t(1);
   const value_t threshold = opts.pivot_tol * amax;
@@ -157,8 +162,15 @@ Status getrf_sflu(Csc& a, Workspace& ws, PivotStats* stats,
   std::atomic<index_t> perturbed{0};
 
   auto worker = [&]() {
-    std::vector<value_t> local_dense;
-    if (dense_mapping) local_dense.assign(static_cast<std::size_t>(n), value_t(0));
+    // Pooled per-worker stamped accumulator (bounded by the worker count,
+    // reused across calls) instead of thread_local scratch.
+    std::optional<Workspace::Lease> lease;
+    Workspace* local = nullptr;
+    if (dense_mapping) {
+      lease.emplace(ws);
+      local = &**lease;
+      local->ensure(n);
+    }
     PivotStats local_stats;
     for (;;) {
       if (done_count.load(std::memory_order_acquire) >= n) break;
@@ -177,7 +189,7 @@ Status getrf_sflu(Csc& a, Workspace& ws, PivotStats* stats,
         std::this_thread::yield();
       }
       if (dense_mapping)
-        factor_column_direct(a, j, threshold, &local_stats, local_dense.data());
+        factor_column_direct(a, j, threshold, &local_stats, *local);
       else
         factor_column_binsearch(a, j, threshold, &local_stats);
       // Release dependents: every column m > j with U(j,m) stored.

@@ -18,6 +18,7 @@ std::string to_string(PanelVariant v) {
     case PanelVariant::kGV1: return "G_V1";
     case PanelVariant::kGV2: return "G_V2";
     case PanelVariant::kGV3: return "G_V3";
+    case PanelVariant::kGV4: return "G_V4";
   }
   return "?";
 }
@@ -26,8 +27,19 @@ std::string to_string(SsssmVariant v) {
   switch (v) {
     case SsssmVariant::kCV1: return "SSSSM_C_V1";
     case SsssmVariant::kCV2: return "SSSSM_C_V2";
+    case SsssmVariant::kCV3: return "SSSSM_C_V3";
     case SsssmVariant::kGV1: return "SSSSM_G_V1";
     case SsssmVariant::kGV2: return "SSSSM_G_V2";
+    case SsssmVariant::kGV3: return "SSSSM_G_V3";
+  }
+  return "?";
+}
+
+std::string to_string(Addressing a) {
+  switch (a) {
+    case Addressing::kDirect: return "direct";
+    case Addressing::kBinSearch: return "binsearch";
+    case Addressing::kMerge: return "merge";
   }
   return "?";
 }
@@ -35,10 +47,44 @@ std::string to_string(SsssmVariant v) {
 bool is_gpu_variant(GetrfVariant v) { return v != GetrfVariant::kCV1; }
 bool is_gpu_variant(PanelVariant v) {
   return v == PanelVariant::kGV1 || v == PanelVariant::kGV2 ||
-         v == PanelVariant::kGV3;
+         v == PanelVariant::kGV3 || v == PanelVariant::kGV4;
 }
 bool is_gpu_variant(SsssmVariant v) {
-  return v == SsssmVariant::kGV1 || v == SsssmVariant::kGV2;
+  return v == SsssmVariant::kGV1 || v == SsssmVariant::kGV2 ||
+         v == SsssmVariant::kGV3;
+}
+
+Addressing addressing_of(GetrfVariant v) {
+  switch (v) {
+    case GetrfVariant::kCV1: return Addressing::kDirect;
+    case GetrfVariant::kGV1: return Addressing::kBinSearch;
+    case GetrfVariant::kGV2: return Addressing::kDirect;
+  }
+  return Addressing::kDirect;
+}
+
+Addressing addressing_of(PanelVariant v) {
+  switch (v) {
+    case PanelVariant::kCV1: return Addressing::kMerge;
+    case PanelVariant::kCV2: return Addressing::kDirect;
+    case PanelVariant::kGV1: return Addressing::kBinSearch;
+    case PanelVariant::kGV2: return Addressing::kBinSearch;
+    case PanelVariant::kGV3: return Addressing::kDirect;
+    case PanelVariant::kGV4: return Addressing::kMerge;
+  }
+  return Addressing::kDirect;
+}
+
+Addressing addressing_of(SsssmVariant v) {
+  switch (v) {
+    case SsssmVariant::kCV1: return Addressing::kDirect;
+    case SsssmVariant::kCV2: return Addressing::kBinSearch;
+    case SsssmVariant::kCV3: return Addressing::kMerge;
+    case SsssmVariant::kGV1: return Addressing::kBinSearch;
+    case SsssmVariant::kGV2: return Addressing::kDirect;
+    case SsssmVariant::kGV3: return Addressing::kMerge;
+  }
+  return Addressing::kDirect;
 }
 
 RowView RowView::build(const Csc& a) {

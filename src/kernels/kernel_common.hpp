@@ -10,13 +10,21 @@
 //            diagonal block, rows independent),
 //   SSSSM  — C <- C - A*B       (sparse x sparse Schur complement update).
 //
+// Each family offers the paper's three addressing strategies: Direct (a
+// row→slot position map), Bin-search (binary search per product entry) and
+// Merge (two-pointer sweep of sorted row lists).
+//
 // The filled pattern is closed under elimination, so every kernel writes only
 // into already-present entries — no allocation on the numeric path.
 #pragma once
 
+#include <algorithm>
+#include <limits>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "parallel/annotations.hpp"
 #include "sparse/csc.hpp"
 #include "util/types.hpp"
 
@@ -27,18 +35,31 @@ class ThreadPool;
 namespace pangulu::kernels {
 
 enum class GetrfVariant { kCV1, kGV1, kGV2 };
-enum class PanelVariant { kCV1, kCV2, kGV1, kGV2, kGV3 };  // GESSM and TSTRF
-enum class SsssmVariant { kCV1, kCV2, kGV1, kGV2 };
+// GESSM and TSTRF. kGV4 (parallel merge) appended so that integer casts of
+// the pre-existing members stay stable.
+enum class PanelVariant { kCV1, kCV2, kGV1, kGV2, kGV3, kGV4 };
+// kCV3 (serial merge) and kGV3 (parallel merge) appended, same reason.
+enum class SsssmVariant { kCV1, kCV2, kGV1, kGV2, kCV3, kGV3 };
+
+/// The three addressing strategies of §4.3: how a product/update entry finds
+/// its slot in the target column.
+enum class Addressing { kDirect, kBinSearch, kMerge };
 
 std::string to_string(GetrfVariant v);
 std::string to_string(PanelVariant v);
 std::string to_string(SsssmVariant v);
+std::string to_string(Addressing a);
 
 /// True for the variants that model GPU kernels ("G_" rows of Table 1);
 /// the runtime's DeviceModel prices these differently from CPU variants.
 bool is_gpu_variant(GetrfVariant v);
 bool is_gpu_variant(PanelVariant v);
 bool is_gpu_variant(SsssmVariant v);
+
+/// Addressing strategy each variant uses (drives DeviceModel pricing).
+Addressing addressing_of(GetrfVariant v);
+Addressing addressing_of(PanelVariant v);
+Addressing addressing_of(SsssmVariant v);
 
 /// Row-major view of a CSC block: for each row, the (col, value-position)
 /// pairs. Built once per kernel invocation that needs row access.
@@ -50,19 +71,91 @@ struct RowView {
   static RowView build(const Csc& a);
 };
 
-/// Reusable scratch buffers; kernels never allocate when handed a workspace
-/// that has seen a block of at least this size before.
-struct Workspace {
-  std::vector<value_t> dense_col;   // one dense column (Direct addressing)
-  std::vector<index_t> marker;      // row -> position map or visit stamps
-  std::vector<index_t> ready;       // worklists for un-sync variants
+/// Reusable scratch of the kernel layer; kernels never allocate on the
+/// numeric path once a workspace has seen a block of the current size.
+///
+/// The core is the *stamped sparse accumulator* backing every Direct-
+/// addressing variant: `slot[row]` maps a row to its value position in the
+/// currently open target column and `stamp[row]` records which column
+/// generation wrote the slot. A kernel opens a column with open_column()
+/// (O(1): just a generation bump), registers the column's rows, and then
+/// addresses entries in place — product entries whose row carries a stale
+/// stamp are outside the column's pattern (structurally zero in the global
+/// factorisation) and are skipped. Nothing is ever scattered, gathered or
+/// reset, which removes the old O(n_rows)-per-column dense `std::fill`.
+///
+/// Parallel variants draw per-thread children from the workspace's pool
+/// (Lease below) instead of unbounded `thread_local` scratch: memory is
+/// bounded by the peak thread count, reused across calls, and owned by an
+/// object sanitizers and the TSA discipline can see.
+class Workspace {
+ public:
+  Workspace() = default;
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+
+  // Stamped accumulator state (see class comment).
+  std::vector<nnz_t> slot;     // row -> value position in the open column
+  std::vector<index_t> stamp;  // row -> generation that wrote the slot
+  // Per-column FLOP cache of the current SSSSM call, filled once per kernel
+  // invocation and shared by every variant that weighs columns.
+  std::vector<double> col_flops;
 
   void ensure(index_t n) {
-    if (static_cast<index_t>(dense_col.size()) < n) {
-      dense_col.assign(static_cast<std::size_t>(n), value_t(0));
-      marker.assign(static_cast<std::size_t>(n), -1);
+    if (static_cast<index_t>(slot.size()) < n) {
+      slot.assign(static_cast<std::size_t>(n), -1);
+      stamp.assign(static_cast<std::size_t>(n), 0);
     }
   }
+
+  /// Open a new target column: returns the generation that marks this
+  /// column's rows as live. Wraparound resets every stamp (amortised O(1)).
+  index_t open_column() {
+    if (generation_ == std::numeric_limits<index_t>::max()) {
+      std::fill(stamp.begin(), stamp.end(), index_t(0));
+      generation_ = 0;
+    }
+    return ++generation_;
+  }
+
+  /// RAII lease of a pooled per-thread child workspace. Chunked parallel
+  /// variants take one lease per work chunk, so the pool never grows past
+  /// the number of concurrently active threads.
+  class Lease {
+   public:
+    explicit Lease(Workspace& parent)
+        : parent_(&parent), child_(parent.acquire_child()) {}
+    ~Lease() { parent_->release_child(child_); }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    Workspace& operator*() const { return *child_; }
+    Workspace* operator->() const { return child_; }
+
+   private:
+    Workspace* parent_;
+    Workspace* child_;
+  };
+
+ private:
+  Workspace* acquire_child() {
+    MutexLock lk(pool_mu_);
+    if (free_.empty()) {
+      children_.push_back(std::make_unique<Workspace>());
+      free_.push_back(children_.back().get());
+    }
+    Workspace* w = free_.back();
+    free_.pop_back();
+    return w;
+  }
+  void release_child(Workspace* w) {
+    MutexLock lk(pool_mu_);
+    free_.push_back(w);
+  }
+
+  index_t generation_ = 0;
+  Mutex pool_mu_;
+  std::vector<std::unique_ptr<Workspace>> children_ PANGULU_GUARDED_BY(pool_mu_);
+  std::vector<Workspace*> free_ PANGULU_GUARDED_BY(pool_mu_);
 };
 
 /// FLOP estimators (2*mul-add counted as 2 flops, divisions as 1) used for

@@ -19,6 +19,7 @@ PanelVariant select_gessm(nnz_t nnz_b, nnz_t nnz_diag,
   if (nz < t.gessm_cv1_nnz) return PanelVariant::kCV1;
   if (nz < t.gessm_cv2_nnz) return PanelVariant::kCV2;
   if (nz < t.gessm_gv1_nnz) return PanelVariant::kGV1;
+  if (nz < t.gessm_gv4_nnz) return PanelVariant::kGV4;
   if (nz < t.gessm_gv2_nnz) return PanelVariant::kGV2;
   return PanelVariant::kGV3;
 }
@@ -31,12 +32,14 @@ PanelVariant select_tstrf(nnz_t nnz_b, nnz_t nnz_diag,
   if (nz < t.tstrf_cv1_nnz) return PanelVariant::kCV1;
   if (nz < t.tstrf_cv2_nnz) return PanelVariant::kCV2;
   if (nz < t.tstrf_gv1_nnz) return PanelVariant::kGV1;
+  if (nz < t.tstrf_gv4_nnz) return PanelVariant::kGV4;
   if (nz < t.tstrf_gv2_nnz) return PanelVariant::kGV2;
   return PanelVariant::kGV3;
 }
 
 SsssmVariant select_ssssm(double flops, const SelectorThresholds& t) {
   if (flops < t.ssssm_cv2_flops) return SsssmVariant::kCV2;
+  if (flops < t.ssssm_cv3_flops) return SsssmVariant::kCV3;
   if (flops < t.ssssm_cv1_flops) return SsssmVariant::kCV1;
   if (flops < t.ssssm_gv1_flops) return SsssmVariant::kGV1;
   return SsssmVariant::kGV2;

@@ -20,14 +20,19 @@ struct SelectorThresholds {
   double gessm_cv1_nnz = 3981;        // 1e3.6 : below -> C_V1
   double gessm_cv2_nnz = 7943;        // 1e3.9 : below -> C_V2
   double gessm_gv1_nnz = 12589;       // 1e4.1 : below -> G_V1
+  double gessm_gv4_nnz = 12589;       // below -> G_V4 (merge); == gv1 cut by
+                                      // default, i.e. an empty band until a
+                                      // calibration run widens it
   double gessm_gv2_nnz = 19953;       // 1e4.3 : below -> G_V2, else G_V3
   // TSTRF (Figure 8c): nnz(B) cuts.
   double tstrf_cv1_nnz = 3981;        // 1e3.6
   double tstrf_cv2_nnz = 6310;        // 1e3.8
   double tstrf_gv1_nnz = 1e4;         // 1e4.0
+  double tstrf_gv4_nnz = 1e4;         // merge band, empty by default (== gv1)
   double tstrf_gv2_nnz = 19953;       // 1e4.3
   // SSSSM (Figure 8d): FLOP cuts.
   double ssssm_cv2_flops = 63096;     // 1e4.8 : below -> C_V2
+  double ssssm_cv3_flops = 251189;    // 1e5.4 : below -> C_V3 (merge)
   double ssssm_cv1_flops = 1e7;       // below -> C_V1
   double ssssm_gv1_flops = 3.98e9;    // 1e9.6 : below -> G_V1, else G_V2
 };

@@ -10,28 +10,34 @@ namespace pangulu::kernels {
 
 namespace {
 
-/// Column j of C -= A * B(:,j), Direct addressing: scatter C(:,j) into the
-/// dense scratch, accumulate every A-column weighted by B's entries, gather.
-void column_direct(const Csc& a, const Csc& b, Csc& c, index_t j, value_t* x) {
+/// Column j of C -= A * B(:,j), Direct addressing via the stamped sparse
+/// accumulator: C(:,j)'s rows are registered in the workspace slot map under
+/// a fresh generation, then every product entry addresses its CSC slot in
+/// O(1). Entries whose row carries a stale stamp are outside C's pattern
+/// (structurally zero in the global factorisation) and are skipped — no
+/// scatter, gather or O(n_rows) reset ever happens.
+void column_direct(const Csc& a, const Csc& b, Csc& c, index_t j,
+                   Workspace& ws) {
   auto crows = c.row_idx();
   auto cvals = c.values_mut();
   const nnz_t cb = c.col_begin(j), ce = c.col_end(j);
-  for (nnz_t p = cb; p < ce; ++p)
-    x[crows[static_cast<std::size_t>(p)]] = cvals[static_cast<std::size_t>(p)];
+  const index_t gen = ws.open_column();
+  for (nnz_t p = cb; p < ce; ++p) {
+    const auto r = static_cast<std::size_t>(crows[static_cast<std::size_t>(p)]);
+    ws.slot[r] = p;
+    ws.stamp[r] = gen;
+  }
   for (nnz_t q = b.col_begin(j); q < b.col_end(j); ++q) {
     const index_t k = b.row_idx()[static_cast<std::size_t>(q)];
     const value_t bkj = b.values()[static_cast<std::size_t>(q)];
     if (bkj == value_t(0)) continue;
     for (nnz_t p = a.col_begin(k); p < a.col_end(k); ++p) {
-      x[a.row_idx()[static_cast<std::size_t>(p)]] -=
+      const auto r = static_cast<std::size_t>(a.row_idx()[static_cast<std::size_t>(p)]);
+      if (ws.stamp[r] != gen) continue;
+      cvals[static_cast<std::size_t>(ws.slot[r])] -=
           a.values()[static_cast<std::size_t>(p)] * bkj;
     }
   }
-  for (nnz_t p = cb; p < ce; ++p)
-    cvals[static_cast<std::size_t>(p)] = x[crows[static_cast<std::size_t>(p)]];
-  // Product entries can land on rows outside C's pattern (structurally zero
-  // in the global factorisation); clear the whole scratch for the next use.
-  std::fill(x, x + c.n_rows(), value_t(0));
 }
 
 /// Column j of C -= A * B(:,j), Bin-search addressing: each product entry
@@ -57,6 +63,39 @@ void column_binsearch(const Csc& a, const Csc& b, Csc& c, index_t j) {
   }
 }
 
+/// Column j of C -= A * B(:,j), Merge addressing (the paper's third
+/// strategy): both A's column and C's column keep ascending row order, so
+/// one two-pointer sweep pairs every product entry with its target slot.
+void column_merge(const Csc& a, const Csc& b, Csc& c, index_t j) {
+  auto crows = c.row_idx();
+  auto cvals = c.values_mut();
+  const nnz_t cb = c.col_begin(j), ce = c.col_end(j);
+  auto arows = a.row_idx();
+  auto avals = a.values();
+  for (nnz_t q = b.col_begin(j); q < b.col_end(j); ++q) {
+    const index_t k = b.row_idx()[static_cast<std::size_t>(q)];
+    const value_t bkj = b.values()[static_cast<std::size_t>(q)];
+    if (bkj == value_t(0)) continue;
+    nnz_t ap = a.col_begin(k);
+    const nnz_t ae = a.col_end(k);
+    nnz_t cp = cb;
+    while (ap < ae && cp < ce) {
+      const index_t ar = arows[static_cast<std::size_t>(ap)];
+      const index_t cr = crows[static_cast<std::size_t>(cp)];
+      if (ar == cr) {
+        cvals[static_cast<std::size_t>(cp)] -=
+            avals[static_cast<std::size_t>(ap)] * bkj;
+        ++ap;
+        ++cp;
+      } else if (ar < cr) {
+        ++ap;
+      } else {
+        ++cp;
+      }
+    }
+  }
+}
+
 /// FLOPs of one target column: 2 * sum over B(:,j) entries of |A(:,k)|.
 double column_flops(const Csc& a, const Csc& b, index_t j) {
   double f = 0;
@@ -65,6 +104,15 @@ double column_flops(const Csc& a, const Csc& b, index_t j) {
     f += 2.0 * static_cast<double>(a.col_end(k) - a.col_begin(k));
   }
   return f;
+}
+
+/// Fill the workspace per-column FLOP cache once per kernel invocation; all
+/// variants that weigh columns read from here instead of recomputing.
+void fill_col_flops(const Csc& a, const Csc& b, Workspace& ws) {
+  const index_t ncols = b.n_cols();
+  ws.col_flops.resize(static_cast<std::size_t>(ncols));
+  for (index_t j = 0; j < ncols; ++j)
+    ws.col_flops[static_cast<std::size_t>(j)] = column_flops(a, b, j);
 }
 
 }  // namespace
@@ -81,20 +129,19 @@ Status ssssm(SsssmVariant variant, const Csc& a, const Csc& b, Csc& c,
     case SsssmVariant::kCV1: {
       // Approximate equal-load partition of the column range, then a serial
       // sweep chunk by chunk (on one CPU thread, as in Table 1's C row) with
-      // dense-mapped target columns.
+      // stamp-mapped target columns.
       ws.ensure(nrows);
-      std::vector<double> flops(static_cast<std::size_t>(ncols));
-      for (index_t j = 0; j < ncols; ++j) flops[static_cast<std::size_t>(j)] =
-          column_flops(a, b, j);
-      const double total = std::accumulate(flops.begin(), flops.end(), 0.0);
+      fill_col_flops(a, b, ws);
+      const double total =
+          std::accumulate(ws.col_flops.begin(), ws.col_flops.end(), 0.0);
       const int chunks = 8;
       const double per_chunk = total / chunks;
       // The chunk boundaries only affect traversal order/locality here, but
       // they are exactly the split a multicore C_V1 would hand its threads.
       double acc = 0;
       for (index_t j = 0; j < ncols; ++j) {
-        column_direct(a, b, c, j, ws.dense_col.data());
-        acc += flops[static_cast<std::size_t>(j)];
+        column_direct(a, b, c, j, ws);
+        acc += ws.col_flops[static_cast<std::size_t>(j)];
         if (acc >= per_chunk) acc = 0;  // chunk boundary (bookkeeping only)
       }
       return Status::ok();
@@ -102,43 +149,55 @@ Status ssssm(SsssmVariant variant, const Csc& a, const Csc& b, Csc& c,
     case SsssmVariant::kCV2: {
       // Adaptive split-bin: order columns into work bins (heavy -> light) so
       // cache-resident A columns are reused while the work is still large.
+      fill_col_flops(a, b, ws);
       std::vector<index_t> order(static_cast<std::size_t>(ncols));
       std::iota(order.begin(), order.end(), index_t(0));
-      std::vector<double> flops(static_cast<std::size_t>(ncols));
-      for (index_t j = 0; j < ncols; ++j)
-        flops[static_cast<std::size_t>(j)] = column_flops(a, b, j);
       std::stable_sort(order.begin(), order.end(), [&](index_t x, index_t y) {
-        return flops[static_cast<std::size_t>(x)] > flops[static_cast<std::size_t>(y)];
+        return ws.col_flops[static_cast<std::size_t>(x)] >
+               ws.col_flops[static_cast<std::size_t>(y)];
       });
       for (index_t j : order) column_binsearch(a, b, c, j);
       return Status::ok();
     }
+    case SsssmVariant::kCV3: {
+      // Serial Merge addressing: cheapest per-entry work when A's columns
+      // and C's column have comparable lengths (mid-density band).
+      for (index_t j = 0; j < ncols; ++j) column_merge(a, b, c, j);
+      return Status::ok();
+    }
     case SsssmVariant::kGV1: {
-      // Adaptive multi-level: per-column strategy choice. Heavy columns map
-      // into dense scratch (O(1) addressing), light ones use bin-search
-      // (no scatter/gather cost).
+      // Adaptive multi-level: per-column strategy choice. Heavy columns use
+      // the stamped slot map (O(1) addressing), light ones use bin-search
+      // (no slot registration cost). Column weights come from the cache.
       ThreadPool& tp = pool ? *pool : ThreadPool::global();
+      fill_col_flops(a, b, ws);
       const double dense_threshold = 4.0 * static_cast<double>(nrows);
-      parallel_for(tp, 0, ncols, [&](index_t j) {
-        if (column_flops(a, b, j) >= dense_threshold) {
-          thread_local std::vector<value_t> x;
-          if (static_cast<index_t>(x.size()) < nrows)
-            x.assign(static_cast<std::size_t>(nrows), value_t(0));
-          column_direct(a, b, c, j, x.data());
-        } else {
-          column_binsearch(a, b, c, j);
+      parallel_for_chunks(tp, 0, ncols, [&](index_t lo, index_t hi) {
+        Workspace::Lease lw(ws);
+        lw->ensure(nrows);
+        for (index_t j = lo; j < hi; ++j) {
+          if (ws.col_flops[static_cast<std::size_t>(j)] >= dense_threshold)
+            column_direct(a, b, c, j, *lw);
+          else
+            column_binsearch(a, b, c, j);
         }
       });
       return Status::ok();
     }
     case SsssmVariant::kGV2: {
       ThreadPool& tp = pool ? *pool : ThreadPool::global();
-      parallel_for(tp, 0, ncols, [&](index_t j) {
-        thread_local std::vector<value_t> x;
-        if (static_cast<index_t>(x.size()) < nrows)
-          x.assign(static_cast<std::size_t>(nrows), value_t(0));
-        column_direct(a, b, c, j, x.data());
+      parallel_for_chunks(tp, 0, ncols, [&](index_t lo, index_t hi) {
+        Workspace::Lease lw(ws);
+        lw->ensure(nrows);
+        for (index_t j = lo; j < hi; ++j) column_direct(a, b, c, j, *lw);
       });
+      return Status::ok();
+    }
+    case SsssmVariant::kGV3: {
+      // Parallel Merge addressing: columns are independent and the merge
+      // needs no scratch at all, so this is the simplest parallel variant.
+      ThreadPool& tp = pool ? *pool : ThreadPool::global();
+      parallel_for(tp, 0, ncols, [&](index_t j) { column_merge(a, b, c, j); });
       return Status::ok();
     }
   }

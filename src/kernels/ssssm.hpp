@@ -1,16 +1,21 @@
 // SSSSM: C <- C - A*B, all three blocks sparse with fixed patterns — the
 // Schur-complement kernel that dominates numeric factorisation time
-// (Table 4 of the paper). Four variants (Table 1):
+// (Table 4 of the paper). Six variants (Table 1):
 //   C_V1 — Direct addressing, "approximate equal load column block": B's
 //          columns are partitioned into contiguous chunks of roughly equal
-//          FLOPs; each chunk accumulates into a dense-mapped C column.
+//          FLOPs; each chunk accumulates through the stamped slot map.
 //   C_V2 — Bin-search, "adaptive split-bin type": columns are binned by
 //          work and processed bin-by-bin (heavy first) with binary-search
 //          scatter into C.
+//   C_V3 — Merge addressing, serial: two-pointer sweeps pair A's columns
+//          with C's column (both row-sorted); no scratch at all.
 //   G_V1 — Bin-search, "adaptive multi-level": one worker per column, and
-//          each column adaptively picks dense-mapping or bin-search by its
+//          each column adaptively picks stamped-direct or bin-search by its
 //          own FLOP count (the multi-level decision).
-//   G_V2 — Direct, warp-level column: one worker per column, dense scratch.
+//   G_V2 — Direct, warp-level column: one worker per column, stamped slots.
+//   G_V3 — Merge, warp-level column: parallel C_V3.
+// Direct addressing uses the Workspace's stamped sparse accumulator (see
+// kernel_common.hpp) — per-column cost is O(nnz), never O(n_rows).
 #pragma once
 
 #include "kernels/kernel_common.hpp"

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <optional>
 #include <thread>
 
 #include "parallel/parallel_for.hpp"
@@ -11,8 +12,8 @@ namespace pangulu::kernels {
 
 namespace {
 
-/// Apply column k's contribution to column j with Merge addressing, then
-/// (when `divide`) scale column j by 1/U(j,j). Source X(:,k) lives in B.
+/// Apply column k's contribution to column j with Merge addressing.
+/// Source X(:,k) lives in B.
 void axpy_merge(Csc& b, index_t k, index_t j, value_t ukj) {
   auto brows = b.row_idx();
   auto bvals = b.values_mut();
@@ -58,62 +59,75 @@ void scale_column(Csc& b, index_t j, value_t ujj) {
     bvals[static_cast<std::size_t>(p)] /= ujj;
 }
 
-/// Process column j fully (all incoming axpys then the divide), used by the
-/// serial variants. `direct` selects dense-scratch addressing.
-void solve_column_serial(const Csc& u, Csc& b, index_t j, bool direct,
-                         value_t* x) {
+/// Process column j fully (all incoming axpys then the divide) with Merge or
+/// Bin-search addressing.
+void solve_column_axpy(const Csc& u, Csc& b, index_t j, Addressing addr) {
   auto urows = u.row_idx();
   auto uvals = u.values();
   value_t ujj = value_t(0);
-  if (direct) {
-    auto brows = b.row_idx();
-    auto bvals = b.values_mut();
-    const nnz_t jb = b.col_begin(j), je = b.col_end(j);
-    for (nnz_t p = jb; p < je; ++p)
-      x[brows[static_cast<std::size_t>(p)]] = bvals[static_cast<std::size_t>(p)];
-    for (nnz_t q = u.col_begin(j); q < u.col_end(j); ++q) {
-      const index_t k = urows[static_cast<std::size_t>(q)];
-      if (k > j) break;
-      if (k == j) {
-        ujj = uvals[static_cast<std::size_t>(q)];
-        continue;
-      }
-      const value_t ukj = uvals[static_cast<std::size_t>(q)];
-      if (ukj == value_t(0)) continue;
-      for (nnz_t sq = b.col_begin(k); sq < b.col_end(k); ++sq)
-        x[brows[static_cast<std::size_t>(sq)]] -=
-            bvals[static_cast<std::size_t>(sq)] * ukj;
+  for (nnz_t q = u.col_begin(j); q < u.col_end(j); ++q) {
+    const index_t k = urows[static_cast<std::size_t>(q)];
+    if (k > j) break;
+    if (k == j) {
+      ujj = uvals[static_cast<std::size_t>(q)];
+      continue;
     }
-    PANGULU_CHECK(ujj != value_t(0), "TSTRF: zero diagonal in U");
-    for (nnz_t p = jb; p < je; ++p)
-      bvals[static_cast<std::size_t>(p)] =
-          x[brows[static_cast<std::size_t>(p)]] / ujj;
-    // Source columns may have written rows outside this column's pattern.
-    std::fill(x, x + b.n_rows(), value_t(0));
-  } else {
-    for (nnz_t q = u.col_begin(j); q < u.col_end(j); ++q) {
-      const index_t k = urows[static_cast<std::size_t>(q)];
-      if (k > j) break;
-      if (k == j) {
-        ujj = uvals[static_cast<std::size_t>(q)];
-        continue;
-      }
-      const value_t ukj = uvals[static_cast<std::size_t>(q)];
-      if (ukj != value_t(0)) axpy_merge(b, k, j, ukj);
-    }
-    PANGULU_CHECK(ujj != value_t(0), "TSTRF: zero diagonal in U");
-    scale_column(b, j, ujj);
+    const value_t ukj = uvals[static_cast<std::size_t>(q)];
+    if (ukj == value_t(0)) continue;
+    if (addr == Addressing::kMerge)
+      axpy_merge(b, k, j, ukj);
+    else
+      axpy_binsearch(b, k, j, ukj);
   }
+  PANGULU_CHECK(ujj != value_t(0), "TSTRF: zero diagonal in U");
+  scale_column(b, j, ujj);
 }
 
-/// Column-parallel scheduling for G_V1/G_V3: dep[j] counts strictly-upper
-/// entries of U's column j; a finished column releases its dependents
-/// through U's row structure — dependency counters instead of barriers.
-Status solve_columns_parallel(const Csc& u, Csc& b, ThreadPool* pool,
-                              bool direct) {
-  const index_t n = u.n_cols();
+/// Process column j with Direct addressing via the stamped accumulator: the
+/// target column's rows are registered under a fresh generation; source
+/// entries whose row carries a stale stamp lie outside the column pattern
+/// and are skipped. Fully in place — no scatter/gather/reset.
+void solve_column_direct(const Csc& u, Csc& b, index_t j, Workspace& ws) {
   auto urows = u.row_idx();
   auto uvals = u.values();
+  auto brows = b.row_idx();
+  auto bvals = b.values_mut();
+  const nnz_t jb = b.col_begin(j), je = b.col_end(j);
+  const index_t gen = ws.open_column();
+  for (nnz_t p = jb; p < je; ++p) {
+    const auto r = static_cast<std::size_t>(brows[static_cast<std::size_t>(p)]);
+    ws.slot[r] = p;
+    ws.stamp[r] = gen;
+  }
+  value_t ujj = value_t(0);
+  for (nnz_t q = u.col_begin(j); q < u.col_end(j); ++q) {
+    const index_t k = urows[static_cast<std::size_t>(q)];
+    if (k > j) break;
+    if (k == j) {
+      ujj = uvals[static_cast<std::size_t>(q)];
+      continue;
+    }
+    const value_t ukj = uvals[static_cast<std::size_t>(q)];
+    if (ukj == value_t(0)) continue;
+    for (nnz_t sq = b.col_begin(k); sq < b.col_end(k); ++sq) {
+      const auto r = static_cast<std::size_t>(brows[static_cast<std::size_t>(sq)]);
+      if (ws.stamp[r] != gen) continue;
+      bvals[static_cast<std::size_t>(ws.slot[r])] -=
+          bvals[static_cast<std::size_t>(sq)] * ukj;
+    }
+  }
+  PANGULU_CHECK(ujj != value_t(0), "TSTRF: zero diagonal in U");
+  for (nnz_t p = jb; p < je; ++p) bvals[static_cast<std::size_t>(p)] /= ujj;
+}
+
+/// Column-parallel scheduling for G_V1/G_V3/G_V4: dep[j] counts
+/// strictly-upper entries of U's column j; a finished column releases its
+/// dependents through U's row structure — dependency counters instead of
+/// barriers. Direct addressing leases a pooled child workspace per worker.
+Status solve_columns_parallel(const Csc& u, Csc& b, ThreadPool* pool,
+                              Addressing addr, Workspace* ws) {
+  const index_t n = u.n_cols();
+  auto urows = u.row_idx();
   const RowView rv = RowView::build(u);
 
   std::vector<std::atomic<index_t>> dep(static_cast<std::size_t>(n));
@@ -137,24 +151,11 @@ Status solve_columns_parallel(const Csc& u, Csc& b, ThreadPool* pool,
       push_ready(j);
   }
 
-  auto process = [&](index_t j, value_t* x) {
-    if (direct) {
-      solve_column_serial(u, b, j, true, x);
-    } else {
-      value_t ujj = value_t(0);
-      for (nnz_t q = u.col_begin(j); q < u.col_end(j); ++q) {
-        const index_t k = urows[static_cast<std::size_t>(q)];
-        if (k > j) break;
-        if (k == j) {
-          ujj = uvals[static_cast<std::size_t>(q)];
-          continue;
-        }
-        const value_t ukj = uvals[static_cast<std::size_t>(q)];
-        if (ukj != value_t(0)) axpy_binsearch(b, k, j, ukj);
-      }
-      PANGULU_CHECK(ujj != value_t(0), "TSTRF: zero diagonal in U");
-      scale_column(b, j, ujj);
-    }
+  auto process = [&](index_t j, Workspace* local) {
+    if (addr == Addressing::kDirect)
+      solve_column_direct(u, b, j, *local);
+    else
+      solve_column_axpy(u, b, j, addr);
     for (nnz_t rp = rv.ptr[static_cast<std::size_t>(j)];
          rp < rv.ptr[static_cast<std::size_t>(j) + 1]; ++rp) {
       const index_t m = rv.col[static_cast<std::size_t>(rp)];
@@ -167,8 +168,13 @@ Status solve_columns_parallel(const Csc& u, Csc& b, ThreadPool* pool,
   };
 
   auto worker = [&]() {
-    std::vector<value_t> x;
-    if (direct) x.assign(static_cast<std::size_t>(b.n_rows()), value_t(0));
+    Workspace* local = nullptr;
+    std::optional<Workspace::Lease> lease;
+    if (addr == Addressing::kDirect) {
+      lease.emplace(*ws);
+      local = &**lease;
+      local->ensure(b.n_rows());
+    }
     for (;;) {
       if (done_count.load(std::memory_order_acquire) >= n) return;
       index_t slot = pop_cursor.load(std::memory_order_relaxed);
@@ -183,7 +189,7 @@ Status solve_columns_parallel(const Csc& u, Csc& b, ThreadPool* pool,
       while ((j = queue[static_cast<std::size_t>(slot)].load(
                   std::memory_order_acquire)) < 0)
         std::this_thread::yield();
-      process(j, x.data());
+      process(j, local);
     }
   };
 
@@ -263,19 +269,22 @@ Status tstrf(PanelVariant variant, const Csc& diag, Csc& b, Workspace& ws,
   switch (variant) {
     case PanelVariant::kCV1:
       for (index_t j = 0; j < n; ++j)
-        solve_column_serial(diag, b, j, false, nullptr);
+        solve_column_axpy(diag, b, j, Addressing::kMerge);
       return Status::ok();
     case PanelVariant::kCV2:
       ws.ensure(b.n_rows());
-      for (index_t j = 0; j < n; ++j)
-        solve_column_serial(diag, b, j, true, ws.dense_col.data());
+      for (index_t j = 0; j < n; ++j) solve_column_direct(diag, b, j, ws);
       return Status::ok();
     case PanelVariant::kGV1:
-      return solve_columns_parallel(diag, b, pool, /*direct=*/false);
+      return solve_columns_parallel(diag, b, pool, Addressing::kBinSearch,
+                                    nullptr);
     case PanelVariant::kGV2:
       return solve_rows_parallel(diag, b, pool);
     case PanelVariant::kGV3:
-      return solve_columns_parallel(diag, b, pool, /*direct=*/true);
+      return solve_columns_parallel(diag, b, pool, Addressing::kDirect, &ws);
+    case PanelVariant::kGV4:
+      return solve_columns_parallel(diag, b, pool, Addressing::kMerge,
+                                    nullptr);
   }
   return Status::internal("unreachable");
 }

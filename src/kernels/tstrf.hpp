@@ -1,14 +1,17 @@
 // TSTRF: B <- B U^-1 where U is the upper factor of a factorised diagonal
 // block. Updates the blocks below the diagonal in block LU. Columns of B
 // carry the triangular dependency (through U's pattern); rows of B are
-// independent. Five variants (Table 1):
+// independent. Six variants (Table 1):
 //   C_V1 — Merge addressing, serial column sweep.
-//   C_V2 — Direct addressing, serial column sweep with dense scratch.
+//   C_V2 — Direct addressing, serial column sweep through the stamped
+//          sparse accumulator (kernel_common.hpp) — O(nnz) per column.
 //   G_V1 — Bin-search, warp-level column: dependency-counter column
 //          scheduling on the pool (independent columns run concurrently).
 //   G_V2 — Bin-search, un-sync warp-level row: each row of B solves its own
 //          x U = b system, all rows in parallel, no synchronisation at all.
-//   G_V3 — Direct, warp-level column: as G_V1 with dense-mapped columns.
+//   G_V3 — Direct, warp-level column: as G_V1 with stamped-slot columns
+//          from a pooled workspace lease.
+//   G_V4 — Merge, warp-level column: parallel C_V1.
 #pragma once
 
 #include "kernels/kernel_common.hpp"

@@ -51,6 +51,44 @@ void parallel_for(ThreadPool& pool, index_t begin, index_t end, Body body,
   }
 }
 
+/// Chunk-granular variant: body(lo, hi) is invoked once per contiguous chunk
+/// instead of once per index, so per-thread setup (e.g. leasing a scratch
+/// workspace) amortises over the whole chunk. Same work-handout discipline as
+/// parallel_for; the calling thread participates.
+template <typename Body>
+void parallel_for_chunks(ThreadPool& pool, index_t begin, index_t end,
+                         Body body, index_t grain = 0) {
+  const index_t n = end - begin;
+  if (n <= 0) return;
+  const auto workers = static_cast<index_t>(pool.size());
+  if (grain <= 0) grain = std::max<index_t>(1, n / (4 * workers));
+  if (n <= grain || workers <= 1) {
+    body(begin, end);
+    return;
+  }
+  std::atomic<index_t> next(begin);
+  const index_t g = grain;
+  auto worker = [&]() {
+    for (;;) {
+      index_t lo = next.fetch_add(g, std::memory_order_relaxed);
+      if (lo >= end) return;
+      body(lo, std::min<index_t>(lo + g, end));
+    }
+  };
+  std::atomic<int> done(0);
+  int launched = static_cast<int>(workers) - 1;
+  for (int t = 0; t < launched; ++t) {
+    pool.submit([&worker, &done] {
+      worker();
+      done.fetch_add(1, std::memory_order_release);
+    });
+  }
+  worker();
+  while (done.load(std::memory_order_acquire) < launched) {
+    std::this_thread::yield();
+  }
+}
+
 /// Convenience overload on the global pool.
 template <typename Body>
 void parallel_for(index_t begin, index_t end, Body body, index_t grain = 0) {

@@ -11,9 +11,12 @@ DeviceModel DeviceModel::a100_like() {
   // CPU/GPU crossover sits near the Figure 8 thresholds (nnz ~ 1e3.8-1e4.3,
   // FLOPs ~ 1e4.8), matching the calibration the paper's trees encode.
   d.cpu_merge = {2e-7, 2.5e10, 1.1e-9, 0};
+  d.cpu_binsearch = {2e-7, 2.2e10, 1.6e-9, 0};
   d.cpu_direct = {2e-7, 3.0e10, 1.0e-9, 5e-9};
   // GPU kernels: launch overhead, high throughput once saturated. Bin-search
-  // pays more per nonzero (divergent lookups); direct pays per-row scratch.
+  // pays more per nonzero (divergent lookups); merge streams both lists
+  // (cheap per entry, lower peak rate); direct pays per-row scratch.
+  d.gpu_merge = {1.0e-5, 3.5e10, 3.5e-10, 0};
   d.gpu_binsearch = {1.0e-5, 3.0e10, 4e-10, 0};
   d.gpu_direct = {1.2e-5, 6.0e10, 1.5e-10, 2e-8};
   // Dense pipeline of the supernodal baseline. Table 4 of the paper implies
@@ -32,7 +35,9 @@ DeviceModel DeviceModel::mi50_like() {
   DeviceModel d;
   d.name = "MI50-like";
   d.cpu_merge = {2e-7, 1.5e10, 1.3e-9, 0};
+  d.cpu_binsearch = {2e-7, 1.3e10, 1.9e-9, 0};
   d.cpu_direct = {2e-7, 1.8e10, 1.2e-9, 6e-9};
+  d.gpu_merge = {1.6e-5, 1.9e10, 6e-10, 0};
   d.gpu_binsearch = {1.6e-5, 1.6e10, 7e-10, 0};
   d.gpu_direct = {2.0e-5, 3.2e10, 2.5e-10, 3e-8};
   d.dense_gemm_rate = 0.8e11;
@@ -43,12 +48,33 @@ DeviceModel DeviceModel::mi50_like() {
   return d;
 }
 
+double DeviceModel::sparse_kernel_time(bool gpu, kernels::Addressing addr,
+                                       double flops, double nnz,
+                                       double dim) const {
+  const KernelCost* c = nullptr;
+  switch (addr) {
+    case kernels::Addressing::kDirect:
+      c = gpu ? &gpu_direct : &cpu_direct;
+      break;
+    case kernels::Addressing::kBinSearch:
+      c = gpu ? &gpu_binsearch : &cpu_binsearch;
+      break;
+    case kernels::Addressing::kMerge:
+      c = gpu ? &gpu_merge : &cpu_merge;
+      break;
+  }
+  return c->time(flops, nnz, dim);
+}
+
 double DeviceModel::sparse_kernel_time(bool gpu, bool direct_addressing,
                                        double flops, double nnz,
                                        double dim) const {
-  const KernelCost& c = gpu ? (direct_addressing ? gpu_direct : gpu_binsearch)
-                            : (direct_addressing ? cpu_direct : cpu_merge);
-  return c.time(flops, nnz, dim);
+  const kernels::Addressing addr =
+      direct_addressing
+          ? kernels::Addressing::kDirect
+          : (gpu ? kernels::Addressing::kBinSearch
+                 : kernels::Addressing::kMerge);
+  return sparse_kernel_time(gpu, addr, flops, nnz, dim);
 }
 
 double DeviceModel::dense_update_time(double flops, double moved_bytes) const {

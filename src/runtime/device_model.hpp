@@ -34,8 +34,10 @@ struct KernelCost {
 struct DeviceModel {
   std::string name;
 
-  KernelCost cpu_merge;    // C_V1-style serial sparse kernels
-  KernelCost cpu_direct;   // C_V2 / dense-mapped CPU kernels
+  KernelCost cpu_merge;      // C_V1-style serial merge kernels
+  KernelCost cpu_binsearch;  // bin-search CPU kernels (C_V2-style)
+  KernelCost cpu_direct;     // dense-mapped / stamped CPU kernels
+  KernelCost gpu_merge;      // merge GPU kernels (G_V4 / SSSSM G_V3)
   KernelCost gpu_binsearch;  // G_V1/G_V2-style bin-search GPU kernels
   KernelCost gpu_direct;     // dense-mapping GPU kernels
 
@@ -70,6 +72,12 @@ struct DeviceModel {
   static DeviceModel mi50_like();
 
   /// Time of a sparse block kernel of the given addressing class.
+  double sparse_kernel_time(bool gpu, kernels::Addressing addr, double flops,
+                            double nnz, double dim) const;
+
+  /// Legacy two-class overload (direct vs. not); the non-direct class maps
+  /// to bin-search on GPU and merge on CPU, matching the pre-merge-family
+  /// variant split. Kept for callers that predate Addressing.
   double sparse_kernel_time(bool gpu, bool direct_addressing, double flops,
                             double nnz, double dim) const;
 

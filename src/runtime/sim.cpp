@@ -20,6 +20,7 @@ namespace {
 using block::BlockMatrix;
 using block::Mapping;
 using block::Task;
+using block::TaskAdjacency;
 using block::TaskKind;
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
@@ -27,7 +28,7 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 /// Resolved execution plan of one task: which variant runs and what it costs.
 struct TaskPlan {
   bool gpu = false;
-  bool direct = false;
+  kernels::Addressing addr = kernels::Addressing::kDirect;
   int variant = 0;  // index within its family's enum
   double cost = 0;
 };
@@ -49,8 +50,8 @@ TaskPlan plan_task(const Task& t, const BlockMatrix& bm, const SimOptions& o) {
         v = kernels::select_getrf(target.nnz(), o.thresholds);
       p.variant = static_cast<int>(v);
       p.gpu = kernels::is_gpu_variant(v);
-      p.direct = (v != kernels::GetrfVariant::kGV1);  // C_V1 & G_V2 dense-map
-      p.cost = o.device.sparse_kernel_time(p.gpu, p.direct, t.weight,
+      p.addr = kernels::addressing_of(v);
+      p.cost = o.device.sparse_kernel_time(p.gpu, p.addr, t.weight,
                                            nnz_target, dim);
       break;
     }
@@ -68,10 +69,9 @@ TaskPlan plan_task(const Task& t, const BlockMatrix& bm, const SimOptions& o) {
                 : kernels::select_tstrf(target.nnz(), diag.nnz(), o.thresholds);
       p.variant = static_cast<int>(v);
       p.gpu = kernels::is_gpu_variant(v);
-      p.direct = (v == kernels::PanelVariant::kCV2 ||
-                  v == kernels::PanelVariant::kGV3);
+      p.addr = kernels::addressing_of(v);
       p.cost = o.device.sparse_kernel_time(
-          p.gpu, p.direct, t.weight,
+          p.gpu, p.addr, t.weight,
           nnz_target + static_cast<double>(diag.nnz()), dim);
       break;
     }
@@ -85,12 +85,11 @@ TaskPlan plan_task(const Task& t, const BlockMatrix& bm, const SimOptions& o) {
         v = kernels::select_ssssm(t.weight, o.thresholds);
       p.variant = static_cast<int>(v);
       p.gpu = kernels::is_gpu_variant(v);
-      p.direct = (v == kernels::SsssmVariant::kCV1 ||
-                  v == kernels::SsssmVariant::kGV2);
+      p.addr = kernels::addressing_of(v);
       const double nnz_all = nnz_target +
                              static_cast<double>(bm.block(t.src_a).nnz()) +
                              static_cast<double>(bm.block(t.src_b).nnz());
-      p.cost = o.device.sparse_kernel_time(p.gpu, p.direct, t.weight, nnz_all,
+      p.cost = o.device.sparse_kernel_time(p.gpu, p.addr, t.weight, nnz_all,
                                            dim);
       break;
     }
@@ -210,61 +209,6 @@ struct FaultCtx {
   }
 };
 
-/// Dependency structure shared by both schedulers.
-struct TaskGraph {
-  // dep[t]: remaining prerequisite completions before task t is ready.
-  std::vector<index_t> dep;
-  // Dependents released by each task's completion.
-  std::vector<std::vector<index_t>> out;
-  // Finalising task of each block position (-1 if none).
-  std::vector<index_t> finalizer_of_block;
-
-  static TaskGraph build(const BlockMatrix& bm, const std::vector<Task>& tasks) {
-    TaskGraph g;
-    const auto nt = static_cast<index_t>(tasks.size());
-    g.dep.assign(static_cast<std::size_t>(nt), 0);
-    g.out.assign(static_cast<std::size_t>(nt), {});
-    g.finalizer_of_block.assign(static_cast<std::size_t>(bm.n_blocks()), -1);
-
-    for (index_t t = 0; t < nt; ++t) {
-      const Task& task = tasks[static_cast<std::size_t>(t)];
-      if (task.kind != TaskKind::kSsssm)
-        g.finalizer_of_block[static_cast<std::size_t>(task.target)] = t;
-    }
-    for (index_t t = 0; t < nt; ++t) {
-      const Task& task = tasks[static_cast<std::size_t>(t)];
-      switch (task.kind) {
-        case TaskKind::kGetrf:
-          break;  // depends only on incoming SSSSM updates (added below)
-        case TaskKind::kGessm:
-        case TaskKind::kTstrf: {
-          // Needs the factorised diagonal block.
-          index_t diag_fin =
-              g.finalizer_of_block[static_cast<std::size_t>(task.src_a)];
-          g.out[static_cast<std::size_t>(diag_fin)].push_back(t);
-          g.dep[static_cast<std::size_t>(t)]++;
-          break;
-        }
-        case TaskKind::kSsssm: {
-          index_t fa = g.finalizer_of_block[static_cast<std::size_t>(task.src_a)];
-          index_t fb = g.finalizer_of_block[static_cast<std::size_t>(task.src_b)];
-          g.out[static_cast<std::size_t>(fa)].push_back(t);
-          g.out[static_cast<std::size_t>(fb)].push_back(t);
-          g.dep[static_cast<std::size_t>(t)] += 2;
-          // The target's finaliser waits for this update — the
-          // synchronisation-free array counter in DES form.
-          index_t fin = g.finalizer_of_block[static_cast<std::size_t>(task.target)];
-          PANGULU_CHECK(fin >= 0, "every block has a finalising task");
-          g.out[static_cast<std::size_t>(t)].push_back(fin);
-          g.dep[static_cast<std::size_t>(fin)]++;
-          break;
-        }
-      }
-    }
-    return g;
-  }
-};
-
 struct PendingEvent {
   double time;
   index_t seq;   // tie-break for determinism
@@ -300,7 +244,7 @@ Status run_sync_free(const BlockMatrix& bm, const std::vector<Task>& tasks,
                      const Mapping& mapping_in, const SimOptions& o,
                      const std::vector<TaskPlan>& plans, SimResult* res) {
   const auto nt = static_cast<index_t>(tasks.size());
-  TaskGraph g = TaskGraph::build(bm, tasks);
+  TaskAdjacency g = TaskAdjacency::build(bm, tasks);
   FaultCtx faults(o.faults, o.device, o.n_ranks);
 
   // Recovery rewrites ownership, so the scheduler works on its own copy.
@@ -382,7 +326,9 @@ Status run_sync_free(const BlockMatrix& bm, const std::vector<Task>& tasks,
     const std::size_t msg_bytes =
         block_message_bytes(produced.nnz(), produced.n_cols());
     std::vector<rank_t> sent_to;
-    for (index_t d : g.out[static_cast<std::size_t>(t)]) {
+    for (nnz_t e = g.out_ptr[static_cast<std::size_t>(t)];
+         e < g.out_ptr[static_cast<std::size_t>(t) + 1]; ++e) {
+      const index_t d = g.out_adj[static_cast<std::size_t>(e)];
       const rank_t dr = owner[static_cast<std::size_t>(d)];
       if (dr != r &&
           std::find(sent_to.begin(), sent_to.end(), dr) == sent_to.end())
@@ -442,7 +388,9 @@ Status run_sync_free(const BlockMatrix& bm, const std::vector<Task>& tasks,
                                             std::to_string(tr.sends - 1));
     }
 
-    for (index_t d : g.out[static_cast<std::size_t>(t)]) {
+    for (nnz_t e = g.out_ptr[static_cast<std::size_t>(t)];
+         e < g.out_ptr[static_cast<std::size_t>(t) + 1]; ++e) {
+      const index_t d = g.out_adj[static_cast<std::size_t>(e)];
       const rank_t dr = owner[static_cast<std::size_t>(d)];
       double arrive = fin;
       if (dr != r) {

@@ -1,7 +1,9 @@
 #include "runtime/threaded.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <queue>
 #include <thread>
 #include <vector>
@@ -19,6 +21,7 @@ namespace {
 
 using block::BlockMatrix;
 using block::Task;
+using block::TaskAdjacency;
 using block::TaskKind;
 
 struct RankQueue {
@@ -41,45 +44,28 @@ Status threaded_factorize(BlockMatrix& bm, const std::vector<Task>& tasks,
   if (mapping.n_ranks != nr)
     return Status::invalid_argument("mapping rank count mismatch");
 
-  // Dependency graph (same construction as the DES, but with atomics).
-  std::vector<index_t> finalizer(static_cast<std::size_t>(bm.n_blocks()), -1);
-  for (index_t t = 0; t < nt; ++t) {
-    if (tasks[static_cast<std::size_t>(t)].kind != TaskKind::kSsssm)
-      finalizer[static_cast<std::size_t>(
-          tasks[static_cast<std::size_t>(t)].target)] = t;
-  }
-  std::vector<std::vector<index_t>> out(static_cast<std::size_t>(nt));
+  // Flattened dependency graph — the same CSR build the DES uses. The
+  // prerequisite counters are mirrored into atomics because rank-threads
+  // decrement them concurrently.
+  const TaskAdjacency adj = TaskAdjacency::build(bm, tasks);
   std::vector<std::atomic<index_t>> dep(static_cast<std::size_t>(nt));
-  for (auto& d : dep) d.store(0, std::memory_order_relaxed);
-  for (index_t t = 0; t < nt; ++t) {
-    const Task& task = tasks[static_cast<std::size_t>(t)];
-    switch (task.kind) {
-      case TaskKind::kGetrf:
-        break;
-      case TaskKind::kGessm:
-      case TaskKind::kTstrf: {
-        index_t f = finalizer[static_cast<std::size_t>(task.src_a)];
-        out[static_cast<std::size_t>(f)].push_back(t);
-        dep[static_cast<std::size_t>(t)].fetch_add(1, std::memory_order_relaxed);
-        break;
-      }
-      case TaskKind::kSsssm: {
-        index_t fa = finalizer[static_cast<std::size_t>(task.src_a)];
-        index_t fb = finalizer[static_cast<std::size_t>(task.src_b)];
-        out[static_cast<std::size_t>(fa)].push_back(t);
-        out[static_cast<std::size_t>(fb)].push_back(t);
-        dep[static_cast<std::size_t>(t)].fetch_add(2, std::memory_order_relaxed);
-        index_t fin = finalizer[static_cast<std::size_t>(task.target)];
-        out[static_cast<std::size_t>(t)].push_back(fin);
-        dep[static_cast<std::size_t>(fin)].fetch_add(1, std::memory_order_relaxed);
-        break;
-      }
-    }
-  }
+  for (index_t t = 0; t < nt; ++t)
+    dep[static_cast<std::size_t>(t)].store(adj.dep[static_cast<std::size_t>(t)],
+                                           std::memory_order_relaxed);
 
   std::vector<RankQueue> queues(static_cast<std::size_t>(nr));
   std::atomic<index_t> remaining{nt};
   std::atomic<bool> failed{false};
+  std::atomic<std::uint64_t> steals{0};
+
+  // One busy flag per block position. A task mutates exactly its target
+  // block, so two tasks may run concurrently iff their targets differ; the
+  // owner discipline used to guarantee that per rank, stealing breaks it,
+  // and the flag restores it (exchange-acquire claims the block and sees the
+  // previous claimant's writes; store-release publishes ours to the next).
+  std::vector<std::atomic<char>> block_busy(
+      static_cast<std::size_t>(bm.n_blocks()));
+  for (auto& b : block_busy) b.store(0, std::memory_order_relaxed);
 
   auto owner_of = [&](index_t t) {
     return mapping.owner[static_cast<std::size_t>(
@@ -99,6 +85,22 @@ Status threaded_factorize(BlockMatrix& bm, const std::vector<Task>& tasks,
       enqueue(t);
   }
 
+  // Raid the other ranks' queues round-robin, one mutex at a time, taking
+  // the victim's most critical queued task (all a priority queue exposes).
+  auto steal_one = [&](rank_t thief) -> index_t {
+    for (rank_t i = 1; i < nr; ++i) {
+      const rank_t v = static_cast<rank_t>((thief + i) % nr);
+      RankQueue& vq = queues[static_cast<std::size_t>(v)];
+      MutexLock lk(vq.mu);
+      if (vq.q.empty()) continue;
+      const index_t t = vq.q.top().second;
+      vq.q.pop();
+      steals.fetch_add(1, std::memory_order_relaxed);
+      return t;
+    }
+    return -1;
+  };
+
   auto rank_main = [&](rank_t r) {
     kernels::Workspace ws;
     kernels::PivotStats pivots;
@@ -107,17 +109,40 @@ Status threaded_factorize(BlockMatrix& bm, const std::vector<Task>& tasks,
       index_t t = -1;
       {
         MutexLock lk(rq.mu);
-        rq.cv.wait(lk, [&] {
+        const auto wake = [&] {
           rq.mu.assert_held();
           return !rq.q.empty() ||
                  remaining.load(std::memory_order_acquire) == 0 ||
                  failed.load(std::memory_order_acquire);
-        });
-        if (rq.q.empty()) return;  // done or failed
-        t = rq.q.top().second;
-        rq.q.pop();
+        };
+        if (opts.work_stealing) {
+          // Bounded nap: wake on a notify or every 200us to scan for steals.
+          rq.cv.wait_for(lk, std::chrono::microseconds(200), wake);
+        } else {
+          rq.cv.wait(lk, wake);
+        }
+        if (remaining.load(std::memory_order_acquire) == 0 ||
+            failed.load(std::memory_order_acquire))
+          return;
+        if (!rq.q.empty()) {
+          t = rq.q.top().second;
+          rq.q.pop();
+        }
+      }
+      if (t < 0) {
+        if (!opts.work_stealing) continue;
+        t = steal_one(r);
+        if (t < 0) continue;
       }
       const Task& task = tasks[static_cast<std::size_t>(t)];
+      auto& busy = block_busy[static_cast<std::size_t>(task.target)];
+      if (busy.exchange(1, std::memory_order_acquire) != 0) {
+        // Another thread is inside this block (stolen sibling update).
+        // Hand the task back to its owner and move on.
+        enqueue(t);
+        std::this_thread::yield();
+        continue;
+      }
       Status s = Status::ok();
       switch (task.kind) {
         case TaskKind::kGetrf: {
@@ -145,6 +170,7 @@ Status threaded_factorize(BlockMatrix& bm, const std::vector<Task>& tasks,
                              bm.block(task.target), ws, nullptr);
           break;
       }
+      busy.store(0, std::memory_order_release);
       if (!s.is_ok()) {
         failed.store(true, std::memory_order_release);
         for (auto& q : queues) q.cv.notify_all();
@@ -153,7 +179,9 @@ Status threaded_factorize(BlockMatrix& bm, const std::vector<Task>& tasks,
       // Release dependents (this is the "send the sub-matrix block and
       // update the sync-free array" step — in shared memory the block is
       // already visible; the release fence of fetch_sub publishes it).
-      for (index_t d : out[static_cast<std::size_t>(t)]) {
+      for (nnz_t e = adj.out_ptr[static_cast<std::size_t>(t)];
+           e < adj.out_ptr[static_cast<std::size_t>(t) + 1]; ++e) {
+        const index_t d = adj.out_adj[static_cast<std::size_t>(e)];
         if (dep[static_cast<std::size_t>(d)].fetch_sub(
                 1, std::memory_order_acq_rel) == 1) {
           enqueue(d);
@@ -171,6 +199,7 @@ Status threaded_factorize(BlockMatrix& bm, const std::vector<Task>& tasks,
   for (rank_t r = 0; r < nr; ++r) threads.emplace_back(rank_main, r);
   for (auto& th : threads) th.join();
 
+  if (opts.steal_count) *opts.steal_count = steals.load();
   if (failed.load()) return Status::numerical_error("threaded factorise failed");
   if (remaining.load() != 0) return Status::internal("threaded executor stalled");
   return Status::ok();

@@ -6,6 +6,8 @@
 // (the DES covers timing; this covers interleaving).
 #pragma once
 
+#include <cstdint>
+
 #include "block/mapping.hpp"
 #include "block/tasks.hpp"
 #include "util/status.hpp"
@@ -15,6 +17,13 @@ namespace pangulu::runtime {
 struct ThreadedOptions {
   rank_t n_ranks = 2;
   value_t pivot_tol = 1e-14;
+  // Bounded work stealing: an idle rank-thread raids another rank's ready
+  // queue instead of sleeping. Block safety is kept by per-block busy flags
+  // (a task mutates exactly its target block), so stealing never lets two
+  // tasks write the same block concurrently.
+  bool work_stealing = true;
+  // When non-null, receives the number of successful steals (diagnostics).
+  std::uint64_t* steal_count = nullptr;
 };
 
 /// Factorise `bm` in place using `n_ranks` concurrent rank-threads.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "kernels/calibrate.hpp"
 #include "runtime/trsv_sim.hpp"
 #include "sparse/ops.hpp"
 #include "util/timer.hpp"
@@ -183,6 +184,11 @@ Status Solver::factorize(const Csc& a, const Options& opts) {
   if (a.n_rows() != a.n_cols())
     return Status::invalid_argument("factorize: square matrices only");
   opts_ = opts;
+  if (!opts_.thresholds_file.empty()) {
+    Status ts =
+        kernels::load_thresholds(opts_.thresholds_file, &opts_.thresholds);
+    if (!ts.is_ok()) return ts;
+  }
   original_ = a;
   factorized_ = false;
   stats_ = FactorStats{};

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <span>
+#include <string>
 #include <vector>
 
 #include "analysis/verify.hpp"
@@ -37,6 +38,11 @@ struct Options {
   runtime::KernelPolicy policy = runtime::KernelPolicy::kAdaptive;
   runtime::ScheduleMode schedule = runtime::ScheduleMode::kSyncFree;
   kernels::SelectorThresholds thresholds;
+  /// Optional path to an autotuned threshold file (kernels/calibrate.hpp).
+  /// When set, the file is loaded on top of `thresholds` at factorize()
+  /// time; a missing or malformed file fails factorize() with the load
+  /// error rather than silently running on defaults.
+  std::string thresholds_file;
   value_t pivot_tol = 1e-14;
   int refine_iters = 3;
   /// Faults to inject into the simulated cluster (runtime/fault.hpp).

@@ -54,7 +54,8 @@ TEST(Concurrency, PanelKernelsStableAcrossInterleavings) {
   ASSERT_TRUE(tstrf(PanelVariant::kCV1, diag, tstrf_serial, ws).is_ok());
 
   for (int trial = 0; trial < kTrials; ++trial) {
-    for (auto v : {PanelVariant::kGV1, PanelVariant::kGV2, PanelVariant::kGV3}) {
+    for (auto v : {PanelVariant::kGV1, PanelVariant::kGV2, PanelVariant::kGV3,
+                   PanelVariant::kGV4}) {
       Csc work = bg;
       ASSERT_TRUE(gessm(v, diag, work, ws, &pool).is_ok());
       ASSERT_TRUE(work.approx_equal(gessm_serial, 1e-12))
@@ -76,7 +77,8 @@ TEST(Concurrency, SsssmStableAcrossInterleavings) {
   Csc serial = c;
   ASSERT_TRUE(ssssm(SsssmVariant::kCV2, a, b, serial, ws).is_ok());
   for (int trial = 0; trial < kTrials; ++trial) {
-    for (auto v : {SsssmVariant::kGV1, SsssmVariant::kGV2}) {
+    for (auto v : {SsssmVariant::kGV1, SsssmVariant::kGV2,
+                   SsssmVariant::kGV3}) {
       Csc work = c;
       ASSERT_TRUE(ssssm(v, a, b, work, ws, &pool).is_ok());
       ASSERT_TRUE(work.approx_equal(serial, 1e-12))

@@ -149,7 +149,7 @@ INSTANTIATE_TEST_SUITE_P(
     AllVariantsShapes, PanelP,
     ::testing::Combine(::testing::Values(PanelVariant::kCV1, PanelVariant::kCV2,
                                          PanelVariant::kGV1, PanelVariant::kGV2,
-                                         PanelVariant::kGV3),
+                                         PanelVariant::kGV3, PanelVariant::kGV4),
                        ::testing::Values<index_t>(6, 24, 64),
                        ::testing::Values<index_t>(1, 16, 48),
                        ::testing::Values<std::uint64_t>(11, 12)));
@@ -161,7 +161,7 @@ TEST(Gessm, AllVariantsAgree) {
   Csc b = close_lower_solve_pattern(diag, matgen::random_rect(40, 30, 0.3, 32));
   Csc first;
   for (auto v : {PanelVariant::kCV1, PanelVariant::kCV2, PanelVariant::kGV1,
-                 PanelVariant::kGV2, PanelVariant::kGV3}) {
+                 PanelVariant::kGV2, PanelVariant::kGV3, PanelVariant::kGV4}) {
     Csc work = b;
     ASSERT_TRUE(gessm(v, diag, work, ws).is_ok());
     if (first.n_rows() == 0)
@@ -178,7 +178,7 @@ TEST(Tstrf, AllVariantsAgree) {
   Csc b = close_upper_solve_pattern(diag, matgen::random_rect(30, 40, 0.3, 42));
   Csc first;
   for (auto v : {PanelVariant::kCV1, PanelVariant::kCV2, PanelVariant::kGV1,
-                 PanelVariant::kGV2, PanelVariant::kGV3}) {
+                 PanelVariant::kGV2, PanelVariant::kGV3, PanelVariant::kGV4}) {
     Csc work = b;
     ASSERT_TRUE(tstrf(v, diag, work, ws).is_ok());
     if (first.n_rows() == 0)
@@ -223,7 +223,8 @@ TEST_P(SsssmP, MatchesDenseReference) {
 INSTANTIATE_TEST_SUITE_P(
     AllVariantsSizes, SsssmP,
     ::testing::Combine(::testing::Values(SsssmVariant::kCV1, SsssmVariant::kCV2,
-                                         SsssmVariant::kGV1, SsssmVariant::kGV2),
+                                         SsssmVariant::kCV3, SsssmVariant::kGV1,
+                                         SsssmVariant::kGV2, SsssmVariant::kGV3),
                        ::testing::Values<index_t>(4, 20, 64),
                        ::testing::Values(0.05, 0.3),
                        ::testing::Values<std::uint64_t>(5, 6)));
@@ -235,8 +236,8 @@ TEST(Ssssm, RectangularShapes) {
   Csc ref = c;
   ASSERT_TRUE(ssssm_reference(a, b, ref).is_ok());
   Workspace ws;
-  for (auto v : {SsssmVariant::kCV1, SsssmVariant::kCV2, SsssmVariant::kGV1,
-                 SsssmVariant::kGV2}) {
+  for (auto v : {SsssmVariant::kCV1, SsssmVariant::kCV2, SsssmVariant::kCV3,
+                 SsssmVariant::kGV1, SsssmVariant::kGV2, SsssmVariant::kGV3}) {
     Csc work = c;
     ASSERT_TRUE(ssssm(v, a, b, work, ws).is_ok());
     EXPECT_TRUE(work.approx_equal(ref, 1e-11)) << to_string(v);
@@ -319,9 +320,21 @@ TEST(Selector, TstrfTreeFollowsFigure8) {
 
 TEST(Selector, SsssmTreeFollowsFigure8) {
   EXPECT_EQ(select_ssssm(1e3), SsssmVariant::kCV2);
+  EXPECT_EQ(select_ssssm(1e5), SsssmVariant::kCV3);  // merge band
   EXPECT_EQ(select_ssssm(1e6), SsssmVariant::kCV1);
   EXPECT_EQ(select_ssssm(1e8), SsssmVariant::kGV1);
   EXPECT_EQ(select_ssssm(1e10), SsssmVariant::kGV2);
+}
+
+TEST(Selector, PanelMergeBandIsOptIn) {
+  // The G_V4 (merge) band is empty with default thresholds (== the G_V1
+  // cut) and opens only when a calibration run widens it.
+  EXPECT_EQ(select_gessm(13000, 10), PanelVariant::kGV2);
+  SelectorThresholds t;
+  t.gessm_gv4_nnz = 15000;
+  t.tstrf_gv4_nnz = 15000;
+  EXPECT_EQ(select_gessm(13000, 10, t), PanelVariant::kGV4);
+  EXPECT_EQ(select_tstrf(12000, 10, t), PanelVariant::kGV4);
 }
 
 }  // namespace

@@ -234,9 +234,9 @@ INSTANTIATE_TEST_SUITE_P(RankCounts, ThreadedP,
 
 TEST(Threaded, RepeatedRunsAreConsistent) {
   // Stress interleavings: several concurrent runs must agree bit-for-bit in
-  // pattern and to rounding in values (floating addition order is fixed by
-  // the dependency structure here: updates into a block serialise through
-  // its owner).
+  // pattern and to rounding in values (updates into a block serialise
+  // through its per-block busy flag; stealing may reorder commuting
+  // updates, which only moves rounding).
   Csc a = matgen::circuit(150, 2.0, 2.2, 21);
   Csc first;
   for (int trial = 0; trial < 3; ++trial) {
@@ -249,6 +249,22 @@ TEST(Threaded, RepeatedRunsAreConsistent) {
       first = f;
     else
       EXPECT_TRUE(first.approx_equal(f, 1e-9));
+  }
+}
+
+TEST(Threaded, WorkStealingTogglesAndMatchesReference) {
+  Csc a = matgen::grid2d_laplacian(8, 8);
+  Csc ref = reference_factor(a);
+  for (bool steal : {false, true}) {
+    Prepared p = prepare(a, 12, 4);
+    ThreadedOptions opts;
+    opts.n_ranks = 4;
+    opts.work_stealing = steal;
+    std::uint64_t steals = 0;
+    opts.steal_count = &steals;
+    ASSERT_TRUE(threaded_factorize(p.bm, p.tasks, p.mapping, opts).is_ok());
+    EXPECT_TRUE(p.bm.to_csc().approx_equal(ref, 1e-9)) << "stealing=" << steal;
+    if (!steal) EXPECT_EQ(steals, 0u);
   }
 }
 
