@@ -3,6 +3,12 @@
 // characterises the solve phase on the same simulated cluster — forward and
 // backward sweep makespan from 1 to 64 ranks, with the sync-free counter
 // scheduling of Liu et al. [58].
+//
+// Also measures the TrsvPlan cache: the first solve pays schedule
+// construction (update lists, counters, priorities), repeat solves reuse the
+// plan and only run the event loop. Reports first-call vs repeat-call host
+// time per rank count; repeat solves are expected >= 1.5x faster.
+#include <algorithm>
 #include <iostream>
 
 #include "bench_common.hpp"
@@ -14,6 +20,11 @@ int main() {
   const double scale = bench::bench_scale();
   std::cout << "Distributed SpTRSV scaling (extension), scale=" << scale
             << '\n';
+
+  std::vector<double> reuse_ratios;
+  bench::JsonReporter json;
+  json.meta("bench", "trsv_scaling");
+  json.meta("scale", scale);
 
   for (const char* name : {"ASIC_680k", "Si87H76", "ecology1"}) {
     bench::PreparedMatrix p = bench::prepare(name, scale);
@@ -28,7 +39,8 @@ int main() {
 
     std::cout << "\n--- " << name << " (nnz(L+U)=" << p.symbolic.nnz_lu
               << ") ---\n";
-    TextTable t({"ranks", "forward (s)", "backward (s)", "messages"});
+    TextTable t({"ranks", "forward (s)", "backward (s)", "messages",
+                 "first call (s)", "repeat call (s)", "reuse speedup"});
     for (rank_t ranks : {1, 2, 4, 8, 16, 32, 64}) {
       auto grid = block::ProcessGrid::make(ranks);
       auto map = block::cyclic_mapping(bm, grid);
@@ -36,17 +48,57 @@ int main() {
       runtime::TrsvOptions to;
       to.n_ranks = ranks;
       to.execute_numerics = false;
+
+      // First call: schedule construction + event loop (the legacy path).
+      Timer timer;
+      runtime::TrsvPlan fwd_plan, bwd_plan;
+      runtime::build_trsv_plan(bm, map, true, to, &fwd_plan).check();
+      runtime::build_trsv_plan(bm, map, false, to, &bwd_plan).check();
       runtime::SimResult fwd, bwd;
-      runtime::simulate_trsv(bm, map, true, x, to, &fwd).check();
-      runtime::simulate_trsv(bm, map, false, x, to, &bwd).check();
+      runtime::simulate_trsv(bm, fwd_plan, x, to, &fwd).check();
+      runtime::simulate_trsv(bm, bwd_plan, x, to, &bwd).check();
+      const double t_first = timer.seconds();
+
+      // Repeat calls reuse the cached plans; best-of-3 absorbs jitter.
+      double t_repeat = 1e30;
+      for (int rep = 0; rep < 3; ++rep) {
+        timer.reset();
+        runtime::SimResult f2, b2;
+        runtime::simulate_trsv(bm, fwd_plan, x, to, &f2).check();
+        runtime::simulate_trsv(bm, bwd_plan, x, to, &b2).check();
+        t_repeat = std::min(t_repeat, timer.seconds());
+      }
+      const double reuse = t_repeat > 0 ? t_first / t_repeat : 0.0;
+      reuse_ratios.push_back(reuse);
+
       t.add_row({std::to_string(ranks), TextTable::fmt_sci(fwd.makespan),
                  TextTable::fmt_sci(bwd.makespan),
-                 std::to_string(fwd.messages + bwd.messages)});
+                 std::to_string(fwd.messages + bwd.messages),
+                 TextTable::fmt(t_first, 4), TextTable::fmt(t_repeat, 4),
+                 TextTable::fmt_speedup(reuse)});
+
+      json.begin_row();
+      json.field("matrix", name);
+      json.field("ranks", static_cast<double>(ranks));
+      json.field("forward_makespan", fwd.makespan);
+      json.field("backward_makespan", bwd.makespan);
+      json.field("messages", static_cast<double>(fwd.messages + bwd.messages));
+      json.field("first_call_seconds", t_first);
+      json.field("repeat_call_seconds", t_repeat);
+      json.field("reuse_speedup", reuse);
     }
     t.print(std::cout);
   }
-  std::cout << "\nExpected shape: the triangular solve has far less "
+  const double g = geomean(reuse_ratios);
+  json.meta("geomean_reuse_speedup", g);
+  std::cout << "\ngeomean plan-reuse speedup (first call / repeat call): "
+            << TextTable::fmt_speedup(g) << " (target: >= 1.5x)\n";
+  std::cout << "Expected shape: the triangular solve has far less "
                "parallelism than factorisation (critical path of length nb), "
                "so it plateaus at low rank counts.\n";
+  if (!json.write_file("BENCH_trsv_scaling.json")) {
+    std::cout << "failed to write BENCH_trsv_scaling.json\n";
+    return 1;
+  }
   return 0;
 }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "parallel/partition.hpp"
+
 namespace pangulu::block {
 
 index_t choose_block_size(index_t n, nnz_t nnz_filled, index_t min_blocks) {
@@ -19,7 +21,8 @@ index_t choose_block_size(index_t n, nnz_t nnz_filled, index_t min_blocks) {
   return b;
 }
 
-BlockMatrix BlockMatrix::from_filled(const Csc& filled, index_t block_size) {
+BlockMatrix BlockMatrix::from_filled_serial(const Csc& filled,
+                                            index_t block_size) {
   PANGULU_CHECK(filled.n_rows() == filled.n_cols(), "square matrix expected");
   PANGULU_CHECK(block_size >= 1, "block size >= 1");
   BlockMatrix bm;
@@ -146,6 +149,169 @@ BlockMatrix BlockMatrix::from_filled(const Csc& filled, index_t block_size) {
       bm.blk_row_pos_[static_cast<std::size_t>(q)] = pos;
     }
   }
+  return bm;
+}
+
+BlockMatrix BlockMatrix::from_filled(const Csc& filled, index_t block_size,
+                                     ThreadPool* pool) {
+  ThreadPool& tp = effective_pool(pool);
+  if (tp.size() <= 1) return from_filled_serial(filled, block_size);
+  PANGULU_CHECK(filled.n_rows() == filled.n_cols(), "square matrix expected");
+  PANGULU_CHECK(block_size >= 1, "block size >= 1");
+  BlockMatrix bm;
+  bm.grid_ = BlockGrid(filled.n_cols(), block_size);
+  const index_t nb = bm.grid_.nb;
+  const index_t n = bm.grid_.n;
+
+  // Index lookup tables replace per-entry div/mod on the hot passes.
+  std::vector<index_t> blk_of(static_cast<std::size_t>(n));
+  std::vector<index_t> off_of(static_cast<std::size_t>(n));
+  parallel_for_chunks(tp, 0, n, [&](index_t lo, index_t hi) {
+    for (index_t i = lo; i < hi; ++i) {
+      blk_of[static_cast<std::size_t>(i)] = i / block_size;
+      off_of[static_cast<std::size_t>(i)] = i % block_size;
+    }
+  });
+
+  // The whole splitter parallelises over block columns: cell_nnz is laid out
+  // column-major by bj, the first-layer positions of bj are the contiguous
+  // range [blk_col_ptr_[bj], blk_col_ptr_[bj+1]), and the source columns of
+  // bj are [block_start, block_start + block_dim) — so every pass below
+  // writes bj-disjoint slices and any execution order yields the same bytes.
+
+  // Pass 1: count nnz per (block-row, block-col) cell.
+  std::vector<nnz_t> cell_nnz(static_cast<std::size_t>(nb) * nb, 0);
+  parallel_for(tp, 0, nb, [&](index_t bj) {
+    nnz_t* col_cells = cell_nnz.data() + static_cast<std::size_t>(bj) * nb;
+    const index_t j0 = bm.grid_.block_start(bj);
+    const index_t j1 = j0 + bm.grid_.block_dim(bj);
+    for (index_t j = j0; j < j1; ++j) {
+      for (nnz_t p = filled.col_begin(j); p < filled.col_end(j); ++p) {
+        col_cells[blk_of[static_cast<std::size_t>(
+            filled.row_idx()[static_cast<std::size_t>(p)])]]++;
+      }
+    }
+  });
+
+  // First layer: block-CSC over non-empty cells.
+  std::vector<nnz_t> nonempty(static_cast<std::size_t>(nb), 0);
+  parallel_for(tp, 0, nb, [&](index_t bj) {
+    nnz_t cnt = 0;
+    for (index_t bi = 0; bi < nb; ++bi) {
+      if (cell_nnz[static_cast<std::size_t>(bj) * nb + bi] > 0) ++cnt;
+    }
+    nonempty[static_cast<std::size_t>(bj)] = cnt;
+  });
+  bm.blk_col_ptr_.assign(static_cast<std::size_t>(nb) + 1, 0);
+  exclusive_prefix_sum(tp, nonempty, bm.blk_col_ptr_);
+  const nnz_t n_blocks = bm.blk_col_ptr_.back();
+  bm.blk_row_idx_.resize(static_cast<std::size_t>(n_blocks));
+  bm.blk_col_of_.resize(static_cast<std::size_t>(n_blocks));
+  bm.blocks_.resize(static_cast<std::size_t>(n_blocks));
+
+  // cell -> position map for scatter.
+  std::vector<nnz_t> cell_pos(static_cast<std::size_t>(nb) * nb, -1);
+  parallel_for(tp, 0, nb, [&](index_t bj) {
+    nnz_t pos = bm.blk_col_ptr_[static_cast<std::size_t>(bj)];
+    for (index_t bi = 0; bi < nb; ++bi) {
+      if (cell_nnz[static_cast<std::size_t>(bj) * nb + bi] > 0) {
+        cell_pos[static_cast<std::size_t>(bj) * nb + bi] = pos;
+        bm.blk_row_idx_[static_cast<std::size_t>(pos)] = bi;
+        bm.blk_col_of_[static_cast<std::size_t>(pos)] = bj;
+        ++pos;
+      }
+    }
+  });
+
+  // Second layer: each block column allocates, fills (the per-column sweep
+  // visits rows ascending, i.e. each block's final CSC order) and finalises
+  // its own contiguous run of blocks.
+  struct Building {
+    std::vector<nnz_t> col_ptr;
+    std::vector<index_t> rows;
+    std::vector<value_t> vals;
+    nnz_t cursor = 0;
+  };
+  parallel_for(tp, 0, nb, [&](index_t bj) {
+    const nnz_t p0 = bm.blk_col_ptr_[static_cast<std::size_t>(bj)];
+    const nnz_t p1 = bm.blk_col_ptr_[static_cast<std::size_t>(bj) + 1];
+    std::vector<Building> bld(static_cast<std::size_t>(p1 - p0));
+    for (nnz_t pos = p0; pos < p1; ++pos) {
+      const index_t bi = bm.blk_row_idx_[static_cast<std::size_t>(pos)];
+      auto& b = bld[static_cast<std::size_t>(pos - p0)];
+      b.col_ptr.assign(static_cast<std::size_t>(bm.grid_.block_dim(bj)) + 1, 0);
+      const auto cnt = static_cast<std::size_t>(
+          cell_nnz[static_cast<std::size_t>(bj) * nb + bi]);
+      b.rows.resize(cnt);
+      b.vals.resize(cnt);
+    }
+    const nnz_t* col_cell_pos =
+        cell_pos.data() + static_cast<std::size_t>(bj) * nb;
+    const index_t j0 = bm.grid_.block_start(bj);
+    const index_t j1 = j0 + bm.grid_.block_dim(bj);
+    for (index_t j = j0; j < j1; ++j) {
+      const index_t cj = off_of[static_cast<std::size_t>(j)];
+      for (nnz_t p = filled.col_begin(j); p < filled.col_end(j); ++p) {
+        const index_t r = filled.row_idx()[static_cast<std::size_t>(p)];
+        const nnz_t pos = col_cell_pos[blk_of[static_cast<std::size_t>(r)]];
+        auto& b = bld[static_cast<std::size_t>(pos - p0)];
+        b.rows[static_cast<std::size_t>(b.cursor)] =
+            off_of[static_cast<std::size_t>(r)];
+        b.vals[static_cast<std::size_t>(b.cursor)] =
+            filled.values()[static_cast<std::size_t>(p)];
+        b.cursor++;
+        b.col_ptr[static_cast<std::size_t>(cj) + 1] = b.cursor;
+      }
+    }
+    for (nnz_t pos = p0; pos < p1; ++pos) {
+      auto& b = bld[static_cast<std::size_t>(pos - p0)];
+      // Columns with no entries inherit the previous cursor value.
+      for (std::size_t c = 1; c < b.col_ptr.size(); ++c)
+        b.col_ptr[c] = std::max(b.col_ptr[c], b.col_ptr[c - 1]);
+      const index_t bi = bm.blk_row_idx_[static_cast<std::size_t>(pos)];
+      bm.blocks_[static_cast<std::size_t>(pos)] = Csc::from_parts_unchecked(
+          bm.grid_.block_dim(bi), bm.grid_.block_dim(bj), std::move(b.col_ptr),
+          std::move(b.rows), std::move(b.vals));
+    }
+  });
+
+  // Row-wise first layer: chunked counting over block columns, then an
+  // ordered scatter — chunks ascend in bj, so each block row's entries land
+  // in ascending bj exactly like the serial cursor sweep.
+  const FixedPartition part = FixedPartition::make(nb, nb);
+  ChunkCounts counts(part.n_chunks, nb);
+  parallel_for(
+      tp, 0, part.n_chunks,
+      [&](index_t c) {
+        nnz_t* cnt = counts.row(c);
+        for (index_t bj = part.begin(c); bj < part.end(c); ++bj) {
+          for (nnz_t pos = bm.col_begin(bj); pos < bm.col_end(bj); ++pos)
+            cnt[bm.blk_row_idx_[static_cast<std::size_t>(pos)]]++;
+        }
+      },
+      /*grain=*/1);
+  std::vector<nnz_t> row_cnt(static_cast<std::size_t>(nb));
+  counts.totals(tp, row_cnt);
+  bm.blk_row_ptr_.assign(static_cast<std::size_t>(nb) + 1, 0);
+  exclusive_prefix_sum(tp, row_cnt, bm.blk_row_ptr_);
+  counts.to_cursors(tp, std::span<const nnz_t>(bm.blk_row_ptr_)
+                            .first(static_cast<std::size_t>(nb)));
+  bm.blk_row_col_.resize(static_cast<std::size_t>(n_blocks));
+  bm.blk_row_pos_.resize(static_cast<std::size_t>(n_blocks));
+  parallel_for(
+      tp, 0, part.n_chunks,
+      [&](index_t c) {
+        nnz_t* cur = counts.row(c);
+        for (index_t bj = part.begin(c); bj < part.end(c); ++bj) {
+          for (nnz_t pos = bm.col_begin(bj); pos < bm.col_end(bj); ++pos) {
+            const index_t bi = bm.blk_row_idx_[static_cast<std::size_t>(pos)];
+            const nnz_t q = cur[bi]++;
+            bm.blk_row_col_[static_cast<std::size_t>(q)] = bj;
+            bm.blk_row_pos_[static_cast<std::size_t>(q)] = pos;
+          }
+        }
+      },
+      /*grain=*/1);
   return bm;
 }
 

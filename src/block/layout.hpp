@@ -11,6 +11,10 @@
 #include "util/status.hpp"
 #include "util/types.hpp"
 
+namespace pangulu {
+class ThreadPool;
+}
+
 namespace pangulu::block {
 
 /// Geometry of the regular 2D blocking.
@@ -43,8 +47,17 @@ class BlockMatrix {
  public:
   BlockMatrix() = default;
 
-  /// Split `filled` (output of symbolic factorisation) into blocks.
-  static BlockMatrix from_filled(const Csc& filled, index_t block_size);
+  /// Split `filled` (output of symbolic factorisation) into blocks. The
+  /// two-pass bucket-count/fill parallelises over block columns on `pool`
+  /// (nullptr: the global pool); block columns own disjoint slices of every
+  /// array involved, so the layout is bitwise identical to the serial sweep
+  /// at any thread count. Single-worker pools dispatch to the serial path.
+  static BlockMatrix from_filled(const Csc& filled, index_t block_size,
+                                 ThreadPool* pool = nullptr);
+
+  /// The single-threaded reference splitter (ground truth for the
+  /// determinism property tests and the preprocessing bench).
+  static BlockMatrix from_filled_serial(const Csc& filled, index_t block_size);
 
   const BlockGrid& grid() const { return grid_; }
   index_t nb() const { return grid_.nb; }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "parallel/partition.hpp"
+
 namespace pangulu::block {
 
 ProcessGrid ProcessGrid::make(rank_t p) {
@@ -34,14 +36,18 @@ nnz_t Mapping::remap_failed_rank(rank_t failed, const std::vector<char>& alive) 
   return moved;
 }
 
-Mapping cyclic_mapping(const BlockMatrix& bm, const ProcessGrid& grid) {
+Mapping cyclic_mapping(const BlockMatrix& bm, const ProcessGrid& grid,
+                       ThreadPool* pool) {
   Mapping m;
   m.n_ranks = grid.size();
   m.owner.resize(static_cast<std::size_t>(bm.n_blocks()));
-  for (nnz_t pos = 0; pos < bm.n_blocks(); ++pos) {
-    m.owner[static_cast<std::size_t>(pos)] =
-        grid.owner_cyclic(bm.block_row_of(pos), bm.block_col_of(pos));
-  }
+  ThreadPool& tp = effective_pool(pool);
+  parallel_for_chunks(tp, 0, bm.n_blocks(), [&](index_t lo, index_t hi) {
+    for (index_t pos = lo; pos < hi; ++pos) {
+      m.owner[static_cast<std::size_t>(pos)] =
+          grid.owner_cyclic(bm.block_row_of(pos), bm.block_col_of(pos));
+    }
+  });
   return m;
 }
 
@@ -54,9 +60,10 @@ std::vector<double> rank_weights(const std::vector<Task>& tasks,
   return w;
 }
 
-Mapping balanced_mapping(const BlockMatrix& bm, const std::vector<Task>& tasks,
-                         const ProcessGrid& grid, const Mapping& initial,
-                         BalanceStats* stats) {
+Mapping balanced_mapping_serial(const BlockMatrix& bm,
+                                const std::vector<Task>& tasks,
+                                const ProcessGrid& grid, const Mapping& initial,
+                                BalanceStats* stats) {
   Mapping m = initial;
   const rank_t nr = grid.size();
   if (stats) {
@@ -142,6 +149,145 @@ Mapping balanced_mapping(const BlockMatrix& bm, const std::vector<Task>& tasks,
   // A block owns tasks in several slices, so a swap committed at slice k can
   // retroactively shift weight counted in earlier slices; guard against the
   // rare case where the heuristic ends up worse than the cyclic start.
+  {
+    auto w_before = rank_weights(tasks, initial);
+    auto w_after = rank_weights(tasks, m);
+    const double max_before = *std::max_element(w_before.begin(), w_before.end());
+    const double max_after = *std::max_element(w_after.begin(), w_after.end());
+    if (max_after > max_before) {
+      m = initial;
+      if (stats) stats->swaps = 0;
+    }
+    if (stats)
+      stats->max_weight_after = std::min(max_after, max_before);
+  }
+  return m;
+}
+
+Mapping balanced_mapping(const BlockMatrix& bm, const std::vector<Task>& tasks,
+                         const ProcessGrid& grid, const Mapping& initial,
+                         BalanceStats* stats, ThreadPool* pool) {
+  ThreadPool& tp = effective_pool(pool);
+  if (tp.size() <= 1)
+    return balanced_mapping_serial(bm, tasks, grid, initial, stats);
+
+  Mapping m = initial;
+  const rank_t nr = grid.size();
+  if (stats) {
+    auto w0 = rank_weights(tasks, initial);
+    stats->max_weight_before = *std::max_element(w0.begin(), w0.end());
+    stats->max_weight_after = stats->max_weight_before;
+    stats->swaps = 0;
+  }
+  if (nr <= 1) return m;
+
+  const index_t nb = bm.nb();
+  std::vector<std::size_t> slice_begin(static_cast<std::size_t>(nb) + 1, 0);
+  {
+    std::size_t ti = 0;
+    for (index_t k = 0; k < nb; ++k) {
+      slice_begin[static_cast<std::size_t>(k)] = ti;
+      while (ti < tasks.size() && tasks[ti].k == k) ++ti;
+    }
+    slice_begin[static_cast<std::size_t>(nb)] = tasks.size();
+  }
+
+  std::vector<double> total(static_cast<std::size_t>(nr), 0.0);
+  std::vector<double> slice_w(static_cast<std::size_t>(nr), 0.0);
+  std::vector<index_t> slice_tasks(static_cast<std::size_t>(nr), 0);
+  // Per-chunk partials for the parallel slice accumulation (sized lazily for
+  // the first big slice). Task weights are flop counts — integer-valued
+  // doubles — so summing per-chunk partials in ascending chunk order yields
+  // exactly the bits the serial left-to-right sum produces.
+  constexpr index_t kParallelSlice = 4096;
+  std::vector<double> part_w;
+  std::vector<index_t> part_t;
+
+  for (index_t k = 0; k < nb; ++k) {
+    const std::size_t b = slice_begin[static_cast<std::size_t>(k)];
+    const std::size_t e = slice_begin[static_cast<std::size_t>(k) + 1];
+    const auto len = static_cast<index_t>(e - b);
+    std::fill(slice_w.begin(), slice_w.end(), 0.0);
+    std::fill(slice_tasks.begin(), slice_tasks.end(), 0);
+    if (len < kParallelSlice) {
+      for (std::size_t t = b; t < e; ++t) {
+        const rank_t r = m.owner[static_cast<std::size_t>(tasks[t].target)];
+        slice_w[static_cast<std::size_t>(r)] += tasks[t].weight;
+        slice_tasks[static_cast<std::size_t>(r)]++;
+      }
+    } else {
+      const FixedPartition part = FixedPartition::make(len, nr);
+      const auto cells = static_cast<std::size_t>(part.n_chunks) *
+                         static_cast<std::size_t>(nr);
+      part_w.assign(cells, 0.0);
+      part_t.assign(cells, 0);
+      parallel_for(
+          tp, 0, part.n_chunks,
+          [&](index_t c) {
+            double* pw = part_w.data() +
+                         static_cast<std::size_t>(c) * static_cast<std::size_t>(nr);
+            index_t* pt = part_t.data() +
+                          static_cast<std::size_t>(c) * static_cast<std::size_t>(nr);
+            for (index_t i = part.begin(c); i < part.end(c); ++i) {
+              const std::size_t t = b + static_cast<std::size_t>(i);
+              const rank_t r = m.owner[static_cast<std::size_t>(tasks[t].target)];
+              pw[static_cast<std::size_t>(r)] += tasks[t].weight;
+              pt[static_cast<std::size_t>(r)]++;
+            }
+          },
+          /*grain=*/1);
+      for (index_t c = 0; c < part.n_chunks; ++c) {
+        const std::size_t off =
+            static_cast<std::size_t>(c) * static_cast<std::size_t>(nr);
+        for (rank_t r = 0; r < nr; ++r) {
+          slice_w[static_cast<std::size_t>(r)] += part_w[off + static_cast<std::size_t>(r)];
+          slice_tasks[static_cast<std::size_t>(r)] += part_t[off + static_cast<std::size_t>(r)];
+        }
+      }
+    }
+
+    rank_t heavy = 0, light = 0;
+    for (rank_t r = 1; r < nr; ++r) {
+      if (total[static_cast<std::size_t>(r)] + slice_w[static_cast<std::size_t>(r)] >
+          total[static_cast<std::size_t>(heavy)] + slice_w[static_cast<std::size_t>(heavy)])
+        heavy = r;
+      if (slice_tasks[static_cast<std::size_t>(r)] <
+              slice_tasks[static_cast<std::size_t>(light)] ||
+          (slice_tasks[static_cast<std::size_t>(r)] ==
+               slice_tasks[static_cast<std::size_t>(light)] &&
+           total[static_cast<std::size_t>(r)] <
+               total[static_cast<std::size_t>(light)]))
+        light = r;
+    }
+
+    if (heavy != light) {
+      const double h_after_swap = total[static_cast<std::size_t>(heavy)] +
+                                  slice_w[static_cast<std::size_t>(light)];
+      const double l_after_swap = total[static_cast<std::size_t>(light)] +
+                                  slice_w[static_cast<std::size_t>(heavy)];
+      const double cur_max = std::max(total[static_cast<std::size_t>(heavy)] +
+                                          slice_w[static_cast<std::size_t>(heavy)],
+                                      total[static_cast<std::size_t>(light)] +
+                                          slice_w[static_cast<std::size_t>(light)]);
+      if (std::max(h_after_swap, l_after_swap) < cur_max) {
+        // The swap pass is order-sensitive (a block targeted by several tasks
+        // toggles owner per visit) — it stays sequential on purpose.
+        for (std::size_t t = b; t < e; ++t) {
+          auto& owner = m.owner[static_cast<std::size_t>(tasks[t].target)];
+          if (owner == heavy)
+            owner = light;
+          else if (owner == light)
+            owner = heavy;
+        }
+        std::swap(slice_w[static_cast<std::size_t>(heavy)],
+                  slice_w[static_cast<std::size_t>(light)]);
+        if (stats) stats->swaps++;
+      }
+    }
+    for (rank_t r = 0; r < nr; ++r)
+      total[static_cast<std::size_t>(r)] += slice_w[static_cast<std::size_t>(r)];
+  }
+
   {
     auto w_before = rank_weights(tasks, initial);
     auto w_after = rank_weights(tasks, m);

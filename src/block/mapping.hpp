@@ -9,6 +9,10 @@
 #include "block/tasks.hpp"
 #include "util/types.hpp"
 
+namespace pangulu {
+class ThreadPool;
+}
+
 namespace pangulu::block {
 
 /// 2D process grid (Pr x Pc ranks, block-cyclic tiling).
@@ -41,8 +45,11 @@ struct Mapping {
   nnz_t remap_failed_rank(rank_t failed, const std::vector<char>& alive = {});
 };
 
-/// Plain 2D block-cyclic assignment.
-Mapping cyclic_mapping(const BlockMatrix& bm, const ProcessGrid& grid);
+/// Plain 2D block-cyclic assignment. Each block position's owner is an
+/// independent function of its coordinates, so the parallel fill is trivially
+/// identical to the serial sweep.
+Mapping cyclic_mapping(const BlockMatrix& bm, const ProcessGrid& grid,
+                       ThreadPool* pool = nullptr);
 
 struct BalanceStats {
   double max_weight_before = 0;
@@ -55,9 +62,22 @@ struct BalanceStats {
 /// weight trades this slice's task set with the lowest-weight process when
 /// the trade lowers the running maximum. Blocks move with their tasks (the
 /// mapping stays static for the numeric phase).
+/// The per-slice weight accumulation runs chunked on `pool`; task weights are
+/// integer-valued doubles (flop counts), so the reassociated partial sums are
+/// exact and the result is bitwise identical to `balanced_mapping_serial` at
+/// any thread count. The swap pass itself stays sequential: a block targeted
+/// by several tasks in one slice toggles owner on each visit, so the serial
+/// visit order is part of the reference semantics.
 Mapping balanced_mapping(const BlockMatrix& bm, const std::vector<Task>& tasks,
                          const ProcessGrid& grid, const Mapping& initial,
-                         BalanceStats* stats = nullptr);
+                         BalanceStats* stats = nullptr,
+                         ThreadPool* pool = nullptr);
+
+/// Single-threaded reference for the determinism tests and benches.
+Mapping balanced_mapping_serial(const BlockMatrix& bm,
+                                const std::vector<Task>& tasks,
+                                const ProcessGrid& grid, const Mapping& initial,
+                                BalanceStats* stats = nullptr);
 
 /// Cumulative per-rank weight of a mapping (for tests and reporting).
 std::vector<double> rank_weights(const std::vector<Task>& tasks,

@@ -2,10 +2,14 @@
 
 #include <algorithm>
 
+#include "parallel/partition.hpp"
+#include "sparse/ops.hpp"
+
 namespace pangulu::ordering {
 
-Graph Graph::from_matrix(const Csc& a) {
-  PANGULU_CHECK(a.n_rows() == a.n_cols(), "graph needs a square matrix");
+namespace {
+
+Graph from_matrix_serial(const Csc& a) {
   const index_t n = a.n_cols();
   // Collect both directions, dedupe per vertex.
   std::vector<std::vector<index_t>> nbrs(static_cast<std::size_t>(n));
@@ -33,6 +37,58 @@ Graph Graph::from_matrix(const Csc& a) {
               nbrs[static_cast<std::size_t>(v)].end(),
               g.adj.begin() + g.ptr[static_cast<std::size_t>(v)]);
   }
+  return g;
+}
+
+}  // namespace
+
+Graph Graph::from_matrix(const Csc& a, ThreadPool* pool) {
+  PANGULU_CHECK(a.n_rows() == a.n_cols(), "graph needs a square matrix");
+  ThreadPool& tp = effective_pool(pool);
+  if (tp.size() <= 1) return from_matrix_serial(a);
+  const index_t n = a.n_cols();
+  // Vertex v's neighbours are the sorted union of column v of A and column v
+  // of A^T, diagonal dropped — each vertex independent, so a parallel
+  // transpose plus a per-vertex two-pointer merge reproduces the serial
+  // sort/unique lists exactly.
+  const Csc at = transposed(a, &tp);
+  const index_t kEnd = n;
+  auto merge_vertex = [&](index_t v, auto&& emit) {
+    nnz_t pa = a.col_begin(v);
+    const nnz_t ea = a.col_end(v);
+    nnz_t pt = at.col_begin(v);
+    const nnz_t et = at.col_end(v);
+    while (pa < ea || pt < et) {
+      const index_t ra = pa < ea ? a.row_idx()[static_cast<std::size_t>(pa)] : kEnd;
+      const index_t rt =
+          pt < et ? at.row_idx()[static_cast<std::size_t>(pt)] : kEnd;
+      const index_t r = std::min(ra, rt);
+      if (ra == r) ++pa;
+      if (rt == r) ++pt;
+      if (r != v) emit(r);
+    }
+  };
+  Graph g;
+  g.n = n;
+  g.ptr.assign(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<nnz_t> deg(static_cast<std::size_t>(n));
+  parallel_for_chunks(tp, 0, n, [&](index_t lo, index_t hi) {
+    for (index_t v = lo; v < hi; ++v) {
+      nnz_t d = 0;
+      merge_vertex(v, [&](index_t) { ++d; });
+      deg[static_cast<std::size_t>(v)] = d;
+    }
+  });
+  exclusive_prefix_sum(tp, deg, g.ptr);
+  g.adj.resize(static_cast<std::size_t>(g.ptr.back()));
+  parallel_for_chunks(tp, 0, n, [&](index_t lo, index_t hi) {
+    for (index_t v = lo; v < hi; ++v) {
+      nnz_t q = g.ptr[static_cast<std::size_t>(v)];
+      merge_vertex(v, [&](index_t r) {
+        g.adj[static_cast<std::size_t>(q++)] = r;
+      });
+    }
+  });
   return g;
 }
 

@@ -7,6 +7,10 @@
 #include "sparse/csc.hpp"
 #include "util/types.hpp"
 
+namespace pangulu {
+class ThreadPool;
+}
+
 namespace pangulu::ordering {
 
 struct Graph {
@@ -19,8 +23,11 @@ struct Graph {
                                 ptr[static_cast<std::size_t>(v)]);
   }
 
-  /// Build from the pattern of A + A^T with the diagonal removed.
-  static Graph from_matrix(const Csc& a);
+  /// Build from the pattern of A + A^T with the diagonal removed. With a
+  /// multi-worker pool (nullptr: the global pool) the adjacency is built by
+  /// a parallel transpose + per-vertex sorted merge, bitwise identical to
+  /// the serial sort/unique construction.
+  static Graph from_matrix(const Csc& a, ThreadPool* pool = nullptr);
 
   /// Induced subgraph on `vertices` (which must be unique). Returns the
   /// subgraph plus the local->global vertex map (= `vertices` itself).

@@ -9,7 +9,8 @@
 
 namespace pangulu::ordering {
 
-Status reorder(const Csc& a, const ReorderOptions& opts, ReorderResult* out) {
+Status reorder(const Csc& a, const ReorderOptions& opts, ReorderResult* out,
+               ThreadPool* pool) {
   if (a.n_rows() != a.n_cols())
     return Status::invalid_argument("reorder: square matrices only");
   const index_t n = a.n_cols();
@@ -39,18 +40,18 @@ Status reorder(const Csc& a, const ReorderOptions& opts, ReorderResult* out) {
       sym = identity_permutation(n);
       break;
     case FillReducing::kRcm:
-      sym = rcm(Graph::from_matrix(work));
+      sym = rcm(Graph::from_matrix(work, pool));
       break;
     case FillReducing::kMinDegree:
-      sym = min_degree(Graph::from_matrix(work));
+      sym = min_degree(Graph::from_matrix(work, pool));
       break;
     case FillReducing::kAmd:
-      sym = amd(Graph::from_matrix(work));
+      sym = amd(Graph::from_matrix(work, pool));
       break;
     case FillReducing::kNestedDissection: {
       NdOptions nd;
       nd.leaf_size = opts.nd_leaf_size;
-      sym = nested_dissection(Graph::from_matrix(work), nd);
+      sym = nested_dissection(Graph::from_matrix(work, pool), nd);
       break;
     }
   }

@@ -9,6 +9,10 @@
 #include "sparse/csc.hpp"
 #include "util/status.hpp"
 
+namespace pangulu {
+class ThreadPool;
+}
+
 namespace pangulu::ordering {
 
 enum class FillReducing {
@@ -38,7 +42,10 @@ struct ReorderOptions {
   index_t nd_leaf_size = 64;
 };
 
-/// Run the reordering phase on a square matrix.
-Status reorder(const Csc& a, const ReorderOptions& opts, ReorderResult* out);
+/// Run the reordering phase on a square matrix. `pool` feeds the parallel
+/// adjacency construction (Graph::from_matrix); the orderings themselves are
+/// sequential, and the result is identical at any thread count.
+Status reorder(const Csc& a, const ReorderOptions& opts, ReorderResult* out,
+               ThreadPool* pool = nullptr);
 
 }  // namespace pangulu::ordering

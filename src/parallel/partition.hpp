@@ -1,0 +1,205 @@
+// Deterministic fixed partitioning for the parallel preprocessing front-end.
+//
+// Every parallel phase in the front-end (symbolic fill, 2D blocking, the
+// balancer's weight accumulation) must produce *bitwise identical* results to
+// its serial reference at any thread count. The discipline that makes this
+// possible: chunk boundaries are a pure function of the problem size (never
+// of the worker count), each chunk counts its output into a private row of a
+// count table, an exclusive prefix across chunk rows turns counts into write
+// cursors, and the scatter pass writes every element into its pre-assigned
+// slot. Determinism comes from the slot assignment, not from execution
+// order, so chunks may be executed by any thread in any interleaving.
+#pragma once
+
+#include <algorithm>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "parallel/annotations.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/types.hpp"
+
+namespace pangulu {
+
+/// The front-end convention: entry points take `ThreadPool* pool = nullptr`
+/// and nullptr selects the process-global pool.
+inline ThreadPool& effective_pool(ThreadPool* pool) {
+  return pool ? *pool : ThreadPool::global();
+}
+
+/// Fixed [begin(c), end(c)) chunk ranges over [0, n). `bins` is the width of
+/// the count-table row each chunk will own (see ChunkCounts); the chunk count
+/// is clamped so the whole table stays within a fixed memory budget. All
+/// fields are pure functions of (n, bins) — never of the worker count.
+struct FixedPartition {
+  index_t n = 0;
+  index_t n_chunks = 1;
+  index_t chunk_len = 1;
+
+  static FixedPartition make(index_t n, index_t bins) {
+    constexpr index_t kMinGrain = 64;                   // don't split tiny work
+    constexpr index_t kMaxChunks = 64;
+    constexpr nnz_t kMaxTableEntries = nnz_t(1) << 23;  // <= 64 MiB of cursors
+    FixedPartition p;
+    if (n <= 0) return p;
+    p.n = n;
+    const nnz_t by_grain = std::max<nnz_t>(1, static_cast<nnz_t>(n) / kMinGrain);
+    const nnz_t by_table =
+        std::max<nnz_t>(1, kMaxTableEntries / std::max<nnz_t>(1, bins));
+    p.n_chunks = static_cast<index_t>(
+        std::min<nnz_t>(kMaxChunks, std::min(by_grain, by_table)));
+    p.chunk_len = (n + p.n_chunks - 1) / p.n_chunks;
+    return p;
+  }
+
+  index_t begin(index_t c) const { return std::min(n, c * chunk_len); }
+  index_t end(index_t c) const { return std::min(n, (c + 1) * chunk_len); }
+};
+
+/// out[0] = 0, out[i + 1] = out[i] + counts[i]. Two-pass block scan; exact
+/// for the integer counters it is used on. `out.size() == counts.size() + 1`.
+inline void exclusive_prefix_sum(ThreadPool& pool, std::span<const nnz_t> counts,
+                                 std::span<nnz_t> out) {
+  const auto n = static_cast<index_t>(counts.size());
+  out[0] = 0;
+  if (n <= 0) return;
+  const FixedPartition part = FixedPartition::make(n, 1);
+  std::vector<nnz_t> chunk_sum(static_cast<std::size_t>(part.n_chunks), 0);
+  parallel_for(
+      pool, 0, part.n_chunks,
+      [&](index_t c) {
+        nnz_t s = 0;
+        for (index_t i = part.begin(c); i < part.end(c); ++i)
+          s += counts[static_cast<std::size_t>(i)];
+        chunk_sum[static_cast<std::size_t>(c)] = s;
+      },
+      /*grain=*/1);
+  std::vector<nnz_t> chunk_base(static_cast<std::size_t>(part.n_chunks), 0);
+  for (index_t c = 1; c < part.n_chunks; ++c)
+    chunk_base[static_cast<std::size_t>(c)] =
+        chunk_base[static_cast<std::size_t>(c) - 1] +
+        chunk_sum[static_cast<std::size_t>(c) - 1];
+  parallel_for(
+      pool, 0, part.n_chunks,
+      [&](index_t c) {
+        nnz_t s = chunk_base[static_cast<std::size_t>(c)];
+        for (index_t i = part.begin(c); i < part.end(c); ++i) {
+          s += counts[static_cast<std::size_t>(i)];
+          out[static_cast<std::size_t>(i) + 1] = s;
+        }
+      },
+      /*grain=*/1);
+}
+
+/// n_chunks x bins table of counters backing the two-pass counting-scatter:
+/// phase 1 has chunk c bump `row(c)[bin]` per element; `to_cursors` then
+/// replaces each count with the absolute output slot of the chunk's first
+/// element in that bin (given per-bin base offsets), after which `row(c)[bin]`
+/// is chunk c's write cursor for the scatter phase. Chunk rows are private to
+/// their chunk in both passes, and `totals`/`to_cursors` write each bin from
+/// exactly one task, so no two threads ever touch the same counter.
+class ChunkCounts {
+ public:
+  ChunkCounts(index_t n_chunks, index_t bins)
+      : n_chunks_(n_chunks),
+        bins_(bins),
+        data_(static_cast<std::size_t>(n_chunks) * static_cast<std::size_t>(bins),
+              0) {}
+
+  nnz_t* row(index_t c) {
+    return data_.data() + static_cast<std::size_t>(c) * static_cast<std::size_t>(bins_);
+  }
+
+  /// out[b] = sum over chunks of row(c)[b].
+  void totals(ThreadPool& pool, std::span<nnz_t> out) {
+    parallel_for_chunks(pool, 0, bins_, [&](index_t lo, index_t hi) {
+      for (index_t b = lo; b < hi; ++b) {
+        nnz_t s = 0;
+        for (index_t c = 0; c < n_chunks_; ++c)
+          s += row_const(c)[static_cast<std::size_t>(b)];
+        out[static_cast<std::size_t>(b)] = s;
+      }
+    });
+  }
+
+  /// row(c)[b] := base[b] + sum of row(c')[b] over chunks c' < c.
+  void to_cursors(ThreadPool& pool, std::span<const nnz_t> base) {
+    parallel_for_chunks(pool, 0, bins_, [&](index_t lo, index_t hi) {
+      for (index_t b = lo; b < hi; ++b) {
+        nnz_t cur = base[static_cast<std::size_t>(b)];
+        for (index_t c = 0; c < n_chunks_; ++c) {
+          nnz_t& slot = row(c)[static_cast<std::size_t>(b)];
+          const nnz_t cnt = slot;
+          slot = cur;
+          cur += cnt;
+        }
+      }
+    });
+  }
+
+ private:
+  const nnz_t* row_const(index_t c) const {
+    return data_.data() + static_cast<std::size_t>(c) * static_cast<std::size_t>(bins_);
+  }
+
+  index_t n_chunks_;
+  index_t bins_;
+  std::vector<nnz_t> data_;
+};
+
+/// Pool of leased index_t scratch buffers of a fixed length, initialised to
+/// -1 on first creation. Mirrors kernels::Workspace::Lease: a task leases a
+/// buffer for one chunk of work and returns it on destruction; the free list
+/// is the only shared state and lives under `mu_`. Release/acquire pairs on
+/// the mutex order the buffer contents between successive holders.
+///
+/// Reuse deliberately skips re-initialisation: holders store globally unique
+/// ids (e.g. the row currently being walked) and test with `==`, so a stale
+/// value written by a previous holder can never collide with the current id.
+class ScratchArena {
+ public:
+  explicit ScratchArena(index_t len) : len_(len) {}
+
+  class Lease {
+   public:
+    explicit Lease(ScratchArena& arena)
+        : arena_(arena), buf_(arena.acquire()) {}
+    ~Lease() { arena_.release(buf_); }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+
+    index_t* data() { return buf_->data(); }
+
+   private:
+    ScratchArena& arena_;
+    std::vector<index_t>* buf_;
+  };
+
+ private:
+  std::vector<index_t>* acquire() {
+    MutexLock lk(mu_);
+    if (!free_.empty()) {
+      std::vector<index_t>* b = free_.back();
+      free_.pop_back();
+      return b;
+    }
+    buffers_.push_back(std::make_unique<std::vector<index_t>>(
+        static_cast<std::size_t>(len_), index_t(-1)));
+    return buffers_.back().get();
+  }
+
+  void release(std::vector<index_t>* b) {
+    MutexLock lk(mu_);
+    free_.push_back(b);
+  }
+
+  index_t len_;
+  Mutex mu_;
+  std::vector<std::unique_ptr<std::vector<index_t>>> buffers_
+      PANGULU_GUARDED_BY(mu_);
+  std::vector<std::vector<index_t>*> free_ PANGULU_GUARDED_BY(mu_);
+};
+
+}  // namespace pangulu

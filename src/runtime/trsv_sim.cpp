@@ -66,81 +66,129 @@ struct Event {
 
 }  // namespace
 
-Status simulate_trsv(const BlockMatrix& f, const block::Mapping& mapping,
-                     bool lower, std::span<value_t> x, const TrsvOptions& opts,
-                     SimResult* result) {
-  *result = SimResult{};
+Status build_trsv_plan(const BlockMatrix& f, const block::Mapping& mapping,
+                       bool lower, const TrsvOptions& opts, TrsvPlan* plan) {
+  *plan = TrsvPlan{};
   const index_t nb = f.nb();
-  if (static_cast<index_t>(x.size()) != f.grid().n)
-    return Status::invalid_argument("trsv: vector size mismatch");
   if (mapping.n_ranks != opts.n_ranks)
     return Status::invalid_argument("trsv: mapping rank count mismatch");
+  plan->lower = lower;
+  plan->n_ranks = opts.n_ranks;
+  plan->nb = nb;
 
   // Task list: one diag solve per segment, one update per off-diagonal block
-  // on the relevant triangle. Task ids: [0, nb) diag solves; then updates.
-  struct Update {
-    nnz_t block_pos;
-    index_t src_seg;  // segment whose solved values the update consumes
-    index_t dst_seg;  // segment it accumulates into
-  };
-  std::vector<Update> updates;
+  // on the relevant triangle. Updates are discovered per block column, so the
+  // release list of diag solve bj is the flat CSR row [from_ptr[bj],
+  // from_ptr[bj+1]).
   std::vector<index_t> pending(static_cast<std::size_t>(nb), 0);
-  std::vector<std::vector<index_t>> updates_from(
-      static_cast<std::size_t>(nb));  // diag solve -> update task ids
+  plan->from_ptr.assign(static_cast<std::size_t>(nb) + 1, 0);
   for (index_t bj = 0; bj < nb; ++bj) {
     for (nnz_t p = f.col_begin(bj); p < f.col_end(bj); ++p) {
       const index_t bi = f.block_row(p);
       if (lower ? bi > bj : bi < bj) {
         // lower: block L(bi,bj) maps y_bj into segment bi.
         // upper: block U(bi,bj) maps x_bj into segment bi.
-        const auto id = static_cast<index_t>(updates.size());
-        updates.push_back({p, bj, bi});
+        plan->from_adj.push_back(static_cast<index_t>(plan->upd_pos.size()));
+        plan->upd_pos.push_back(p);
+        plan->upd_src.push_back(bj);
+        plan->upd_dst.push_back(bi);
         pending[static_cast<std::size_t>(bi)]++;
-        updates_from[static_cast<std::size_t>(bj)].push_back(id);
       }
     }
+    plan->from_ptr[static_cast<std::size_t>(bj) + 1] =
+        static_cast<index_t>(plan->from_adj.size());
   }
-  const auto n_updates = static_cast<index_t>(updates.size());
+  const auto n_updates = static_cast<index_t>(plan->upd_pos.size());
   const index_t n_tasks = nb + n_updates;
+  plan->n_tasks = n_tasks;
 
   // Owners: diag solve runs with the diagonal block; an update runs with its
   // block's owner.
-  std::vector<rank_t> owner(static_cast<std::size_t>(n_tasks));
-  std::vector<nnz_t> diag_pos(static_cast<std::size_t>(nb));
+  plan->owner.resize(static_cast<std::size_t>(n_tasks));
+  plan->diag_pos.resize(static_cast<std::size_t>(nb));
   for (index_t k = 0; k < nb; ++k) {
     const nnz_t dp = f.find_block(k, k);
     PANGULU_CHECK(dp >= 0, "trsv: missing diagonal block");
-    diag_pos[static_cast<std::size_t>(k)] = dp;
-    owner[static_cast<std::size_t>(k)] =
+    plan->diag_pos[static_cast<std::size_t>(k)] = dp;
+    plan->owner[static_cast<std::size_t>(k)] =
         mapping.owner[static_cast<std::size_t>(dp)];
   }
   for (index_t u = 0; u < n_updates; ++u) {
-    owner[static_cast<std::size_t>(nb + u)] = mapping.owner[
-        static_cast<std::size_t>(updates[static_cast<std::size_t>(u)].block_pos)];
+    plan->owner[static_cast<std::size_t>(nb + u)] = mapping.owner[
+        static_cast<std::size_t>(plan->upd_pos[static_cast<std::size_t>(u)])];
   }
 
   // dep counts: diag solve waits for its pending updates; an update waits
   // for its source segment's diag solve.
-  std::vector<index_t> dep(static_cast<std::size_t>(n_tasks));
+  plan->init_dep.resize(static_cast<std::size_t>(n_tasks));
   for (index_t k = 0; k < nb; ++k)
-    dep[static_cast<std::size_t>(k)] = pending[static_cast<std::size_t>(k)];
+    plan->init_dep[static_cast<std::size_t>(k)] =
+        pending[static_cast<std::size_t>(k)];
   for (index_t u = 0; u < n_updates; ++u)
-    dep[static_cast<std::size_t>(nb + u)] = 1;
+    plan->init_dep[static_cast<std::size_t>(nb + u)] = 1;
 
+  // Kernel cost and ready-queue priority per task. The priority packs the
+  // tuple (critical segment, kind, id) into one int64 — diag solves first
+  // (they unlock the most), updates in segment order: ascending for the
+  // lower solve, descending for the upper (later segments more critical).
+  const auto& grid = f.grid();
+  plan->cost.resize(static_cast<std::size_t>(n_tasks));
+  plan->prio.resize(static_cast<std::size_t>(n_tasks));
+  for (index_t t = 0; t < n_tasks; ++t) {
+    index_t seg;
+    if (t < nb) {
+      const Csc& d = f.block(plan->diag_pos[static_cast<std::size_t>(t)]);
+      plan->cost[static_cast<std::size_t>(t)] = opts.device.sparse_kernel_time(
+          /*gpu=*/true, /*direct=*/false, 2.0 * static_cast<double>(d.nnz()),
+          static_cast<double>(d.nnz()), grid.block_dim(t));
+      seg = t;
+    } else {
+      const auto u = static_cast<std::size_t>(t - nb);
+      const Csc& blk = f.block(plan->upd_pos[u]);
+      plan->cost[static_cast<std::size_t>(t)] = opts.device.sparse_kernel_time(
+          true, false, 2.0 * static_cast<double>(blk.nnz()),
+          static_cast<double>(blk.nnz()), grid.block_dim(plan->upd_dst[u]));
+      seg = plan->upd_dst[u];
+    }
+    const index_t crit = lower ? seg : nb - 1 - seg;
+    plan->prio[static_cast<std::size_t>(t)] =
+        (static_cast<std::uint64_t>(crit) << 33) |
+        (static_cast<std::uint64_t>(t < nb ? 0 : 1) << 32) |
+        static_cast<std::uint64_t>(t);
+  }
+
+  plan->seg_bytes.resize(static_cast<std::size_t>(nb));
+  for (index_t k = 0; k < nb; ++k)
+    plan->seg_bytes[static_cast<std::size_t>(k)] =
+        static_cast<std::size_t>(grid.block_dim(k)) * sizeof(value_t);
+  return Status::ok();
+}
+
+Status simulate_trsv(const BlockMatrix& f, const TrsvPlan& plan,
+                     std::span<value_t> x, const TrsvOptions& opts,
+                     SimResult* result) {
+  *result = SimResult{};
+  const index_t nb = plan.nb;
+  if (static_cast<index_t>(x.size()) != f.grid().n)
+    return Status::invalid_argument("trsv: vector size mismatch");
+  if (plan.n_ranks != opts.n_ranks)
+    return Status::invalid_argument("trsv: plan rank count mismatch");
+  if (nb != f.nb())
+    return Status::invalid_argument("trsv: plan built for a different grid");
+  const bool lower = plan.lower;
+  const index_t n_tasks = plan.n_tasks;
+
+  std::vector<index_t> dep(plan.init_dep);
   result->ranks.assign(static_cast<std::size_t>(opts.n_ranks), RankStats{});
   std::vector<double> busy_until(static_cast<std::size_t>(opts.n_ranks), 0.0);
   std::vector<double> ready_time(static_cast<std::size_t>(n_tasks), 0.0);
 
-  // Per-rank ready queues: diag solves first (they unlock the most), then
-  // updates in segment order — for the lower solve that is ascending; for
-  // the upper solve descending segments are more critical.
+  // Per-rank ready queues ordered by the precomputed packed key: packing
+  // preserves the (crit, kind, id) tuple order, so pops match the legacy
+  // tuple comparator exactly.
   auto priority_less = [&](index_t a, index_t b) {
-    auto key = [&](index_t t) {
-      index_t seg = t < nb ? t : updates[static_cast<std::size_t>(t - nb)].dst_seg;
-      index_t crit = lower ? seg : nb - 1 - seg;
-      return std::tuple<index_t, index_t, index_t>(crit, t < nb ? 0 : 1, t);
-    };
-    return key(a) > key(b);
+    return plan.prio[static_cast<std::size_t>(a)] >
+           plan.prio[static_cast<std::size_t>(b)];
   };
   std::vector<std::priority_queue<index_t, std::vector<index_t>,
                                   decltype(priority_less)>>
@@ -157,34 +205,22 @@ Status simulate_trsv(const BlockMatrix& f, const block::Mapping& mapping,
   double makespan = 0;
   index_t completed = 0;
 
-  auto seg_bytes = [&](index_t seg) {
-    return static_cast<std::size_t>(grid.block_dim(seg)) * sizeof(value_t);
-  };
-
   auto start_one = [&](rank_t r, double now) {
     auto& q = ready[static_cast<std::size_t>(r)];
     if (q.empty()) return;
     const index_t t = q.top();
     q.pop();
 
-    double cost = 0;
-    if (t < nb) {
-      // Diagonal solve of segment t.
-      const Csc& d = f.block(diag_pos[static_cast<std::size_t>(t)]);
-      cost = opts.device.sparse_kernel_time(
-          /*gpu=*/true, /*direct=*/false, 2.0 * static_cast<double>(d.nnz()),
-          static_cast<double>(d.nnz()), grid.block_dim(t));
-      if (opts.execute_numerics)
-        diag_solve(d, lower, x.data() + grid.block_start(t));
-    } else {
-      const Update& u = updates[static_cast<std::size_t>(t - nb)];
-      const Csc& blk = f.block(u.block_pos);
-      cost = opts.device.sparse_kernel_time(
-          true, false, 2.0 * static_cast<double>(blk.nnz()),
-          static_cast<double>(blk.nnz()), grid.block_dim(u.dst_seg));
-      if (opts.execute_numerics) {
-        spmv_sub(blk, x.data() + grid.block_start(u.src_seg),
-                 x.data() + grid.block_start(u.dst_seg));
+    const double cost = plan.cost[static_cast<std::size_t>(t)];
+    if (opts.execute_numerics) {
+      if (t < nb) {
+        diag_solve(f.block(plan.diag_pos[static_cast<std::size_t>(t)]), lower,
+                   x.data() + grid.block_start(t));
+      } else {
+        const auto u = static_cast<std::size_t>(t - nb);
+        spmv_sub(f.block(plan.upd_pos[u]),
+                 x.data() + grid.block_start(plan.upd_src[u]),
+                 x.data() + grid.block_start(plan.upd_dst[u]));
       }
     }
     const double fin = now + cost;
@@ -197,7 +233,7 @@ Status simulate_trsv(const BlockMatrix& f, const block::Mapping& mapping,
 
     // Release dependents.
     auto release = [&](index_t d_task, std::size_t msg_bytes) {
-      const rank_t dr = owner[static_cast<std::size_t>(d_task)];
+      const rank_t dr = plan.owner[static_cast<std::size_t>(d_task)];
       double arrive = fin;
       if (dr != r) {
         arrive += opts.device.message_time(msg_bytes);
@@ -210,11 +246,15 @@ Status simulate_trsv(const BlockMatrix& f, const block::Mapping& mapping,
         events.push({rd, seq++, d_task, 0});
     };
     if (t < nb) {
-      for (index_t u : updates_from[static_cast<std::size_t>(t)])
-        release(nb + u, seg_bytes(t));
+      for (index_t p = plan.from_ptr[static_cast<std::size_t>(t)];
+           p < plan.from_ptr[static_cast<std::size_t>(t) + 1]; ++p) {
+        release(nb + plan.from_adj[static_cast<std::size_t>(p)],
+                plan.seg_bytes[static_cast<std::size_t>(t)]);
+      }
     } else {
-      const Update& u = updates[static_cast<std::size_t>(t - nb)];
-      release(u.dst_seg, seg_bytes(u.dst_seg));
+      const auto u = static_cast<std::size_t>(t - nb);
+      release(plan.upd_dst[u],
+              plan.seg_bytes[static_cast<std::size_t>(plan.upd_dst[u])]);
     }
     events.push({fin, seq++, -1, r});
   };
@@ -224,7 +264,7 @@ Status simulate_trsv(const BlockMatrix& f, const block::Mapping& mapping,
     events.pop();
     rank_t r;
     if (ev.task >= 0) {
-      r = owner[static_cast<std::size_t>(ev.task)];
+      r = plan.owner[static_cast<std::size_t>(ev.task)];
       ready[static_cast<std::size_t>(r)].push(ev.task);
     } else {
       r = ev.rank;
@@ -246,6 +286,18 @@ Status simulate_trsv(const BlockMatrix& f, const block::Mapping& mapping,
   }
   result->avg_sync /= std::max<rank_t>(1, opts.n_ranks);
   return Status::ok();
+}
+
+Status simulate_trsv(const BlockMatrix& f, const block::Mapping& mapping,
+                     bool lower, std::span<value_t> x, const TrsvOptions& opts,
+                     SimResult* result) {
+  TrsvPlan plan;
+  Status s = build_trsv_plan(f, mapping, lower, opts, &plan);
+  if (!s.is_ok()) {
+    *result = SimResult{};
+    return s;
+  }
+  return simulate_trsv(f, plan, x, opts, result);
 }
 
 }  // namespace pangulu::runtime

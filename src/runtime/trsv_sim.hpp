@@ -4,9 +4,17 @@
 // synchronisation-free in the style of Liu et al. [58]: a per-segment
 // counter of outstanding updates releases the diagonal solve the moment the
 // last update lands, with no level barriers.
+//
+// The schedule itself — update lists, dependency counters, task owners,
+// per-task kernel costs and priorities — depends only on the factor pattern,
+// the mapping and the device model, none of which change between solves. It
+// is therefore built once into a TrsvPlan and reused: repeat solves copy the
+// initial dependency counters and run pure numerics + event simulation.
 #pragma once
 
+#include <cstdint>
 #include <span>
+#include <vector>
 
 #include "block/layout.hpp"
 #include "block/mapping.hpp"
@@ -21,10 +29,50 @@ struct TrsvOptions {
   bool execute_numerics = true;
 };
 
-/// Solve L y = x (forward, `lower`=true, unit diagonal from the factorised
-/// diagonal blocks) or U x = y (backward) in place on `x`, where `f` holds
-/// the LU factors in block form. `mapping` assigns block owners; vector
-/// segments live with their diagonal block's owner.
+/// Cached triangular-solve schedule. Task ids: [0, nb) are diagonal solves
+/// (one per vector segment); [nb, n_tasks) are off-diagonal updates. All
+/// arrays are flat (TaskAdjacency style) so a solve touches no per-task heap
+/// allocations. Owned by the Solver; invalidated whenever the factors or the
+/// mapping change (re-factorisation).
+struct TrsvPlan {
+  bool lower = false;
+  rank_t n_ranks = 1;
+  index_t nb = 0;
+  index_t n_tasks = 0;  // nb + number of updates
+
+  std::vector<nnz_t> diag_pos;   // [nb] block position of each diagonal block
+  std::vector<nnz_t> upd_pos;    // [n_updates] block position of each update
+  std::vector<index_t> upd_src;  // [n_updates] segment the update consumes
+  std::vector<index_t> upd_dst;  // [n_updates] segment it accumulates into
+
+  // diag solve k releases update ids from_adj[from_ptr[k] .. from_ptr[k+1]).
+  std::vector<index_t> from_ptr;  // [nb + 1]
+  std::vector<index_t> from_adj;  // [n_updates]
+
+  std::vector<index_t> init_dep;  // [n_tasks] initial dependency counters
+  std::vector<rank_t> owner;      // [n_tasks]
+  std::vector<double> cost;       // [n_tasks] device kernel time
+  // Packed ready-queue key (crit << 33 | kind << 32 | id); smaller pops first.
+  std::vector<std::uint64_t> prio;      // [n_tasks]
+  std::vector<std::size_t> seg_bytes;   // [nb] message payload per segment
+
+  bool valid() const { return nb > 0; }
+};
+
+/// Build the solve schedule for L (lower=true) or U against `f`/`mapping`.
+/// Costs are evaluated against `opts.device`, so the plan must be rebuilt if
+/// the device model changes.
+Status build_trsv_plan(const block::BlockMatrix& f,
+                       const block::Mapping& mapping, bool lower,
+                       const TrsvOptions& opts, TrsvPlan* plan);
+
+/// Run one solve over a prebuilt plan, in place on `x`. Bitwise identical —
+/// numerics, makespan and message counts — to the legacy one-shot overload.
+Status simulate_trsv(const block::BlockMatrix& f, const TrsvPlan& plan,
+                     std::span<value_t> x, const TrsvOptions& opts,
+                     SimResult* result);
+
+/// One-shot convenience: build_trsv_plan + the plan-based run above.
 Status simulate_trsv(const block::BlockMatrix& f, const block::Mapping& mapping,
                      bool lower, std::span<value_t> x, const TrsvOptions& opts,
                      SimResult* result);

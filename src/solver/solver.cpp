@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "kernels/calibrate.hpp"
+#include "parallel/thread_pool.hpp"
 #include "runtime/trsv_sim.hpp"
 #include "sparse/ops.hpp"
 #include "util/timer.hpp"
@@ -180,6 +182,118 @@ void block_lower_transpose_solve(const block::BlockMatrix& f,
   }
 }
 
+SolvePlan SolvePlan::build(const block::BlockMatrix& f) {
+  SolvePlan plan;
+  const index_t nb = f.nb();
+  plan.diag_pos.resize(static_cast<std::size_t>(nb));
+  plan.low_ptr.assign(static_cast<std::size_t>(nb) + 1, 0);
+  plan.up_ptr.assign(static_cast<std::size_t>(nb) + 1, 0);
+  plan.tup_ptr.assign(static_cast<std::size_t>(nb) + 1, 0);
+  plan.tlow_ptr.assign(static_cast<std::size_t>(nb) + 1, 0);
+  for (index_t bk = 0; bk < nb; ++bk) {
+    const nnz_t diag = f.find_block(bk, bk);
+    PANGULU_CHECK(diag >= 0, "solve plan: missing diagonal block");
+    plan.diag_pos[static_cast<std::size_t>(bk)] = diag;
+    // Row-wise lists in the row order the direct sweeps walk.
+    for (nnz_t rp = f.row_begin(bk); rp < f.row_end(bk); ++rp) {
+      const index_t bj = f.row_block_col(rp);
+      if (bj < bk) {
+        plan.low_pos.push_back(f.row_block_pos(rp));
+        plan.low_src.push_back(bj);
+      } else if (bj > bk) {
+        plan.up_pos.push_back(f.row_block_pos(rp));
+        plan.up_src.push_back(bj);
+      }
+    }
+    plan.low_ptr[static_cast<std::size_t>(bk) + 1] =
+        static_cast<nnz_t>(plan.low_pos.size());
+    plan.up_ptr[static_cast<std::size_t>(bk) + 1] =
+        static_cast<nnz_t>(plan.up_pos.size());
+    // Column-wise lists for the transposed sweeps.
+    for (nnz_t p = f.col_begin(bk); p < f.col_end(bk); ++p) {
+      const index_t bi = f.block_row(p);
+      if (bi < bk) {
+        plan.tup_pos.push_back(p);
+        plan.tup_src.push_back(bi);
+      } else if (bi > bk) {
+        plan.tlow_pos.push_back(p);
+        plan.tlow_src.push_back(bi);
+      }
+    }
+    plan.tup_ptr[static_cast<std::size_t>(bk) + 1] =
+        static_cast<nnz_t>(plan.tup_pos.size());
+    plan.tlow_ptr[static_cast<std::size_t>(bk) + 1] =
+        static_cast<nnz_t>(plan.tlow_pos.size());
+  }
+  return plan;
+}
+
+void block_lower_solve(const block::BlockMatrix& f, const SolvePlan& plan,
+                       std::span<value_t> x) {
+  const auto& grid = f.grid();
+  for (index_t bk = 0; bk < f.nb(); ++bk) {
+    value_t* seg = x.data() + grid.block_start(bk);
+    for (nnz_t q = plan.low_ptr[static_cast<std::size_t>(bk)];
+         q < plan.low_ptr[static_cast<std::size_t>(bk) + 1]; ++q) {
+      block_spmv_sub(
+          f.block(plan.low_pos[static_cast<std::size_t>(q)]),
+          x.data() + grid.block_start(plan.low_src[static_cast<std::size_t>(q)]),
+          seg);
+    }
+    diag_lower_solve(f.block(plan.diag_pos[static_cast<std::size_t>(bk)]), seg);
+  }
+}
+
+void block_upper_solve(const block::BlockMatrix& f, const SolvePlan& plan,
+                       std::span<value_t> x) {
+  const auto& grid = f.grid();
+  for (index_t bk = f.nb() - 1; bk >= 0; --bk) {
+    value_t* seg = x.data() + grid.block_start(bk);
+    for (nnz_t q = plan.up_ptr[static_cast<std::size_t>(bk)];
+         q < plan.up_ptr[static_cast<std::size_t>(bk) + 1]; ++q) {
+      block_spmv_sub(
+          f.block(plan.up_pos[static_cast<std::size_t>(q)]),
+          x.data() + grid.block_start(plan.up_src[static_cast<std::size_t>(q)]),
+          seg);
+    }
+    diag_upper_solve(f.block(plan.diag_pos[static_cast<std::size_t>(bk)]), seg);
+  }
+}
+
+void block_upper_transpose_solve(const block::BlockMatrix& f,
+                                 const SolvePlan& plan, std::span<value_t> x) {
+  const auto& grid = f.grid();
+  for (index_t bk = 0; bk < f.nb(); ++bk) {
+    value_t* seg = x.data() + grid.block_start(bk);
+    for (nnz_t q = plan.tup_ptr[static_cast<std::size_t>(bk)];
+         q < plan.tup_ptr[static_cast<std::size_t>(bk) + 1]; ++q) {
+      block_spmv_t_sub(
+          f.block(plan.tup_pos[static_cast<std::size_t>(q)]),
+          x.data() + grid.block_start(plan.tup_src[static_cast<std::size_t>(q)]),
+          seg);
+    }
+    diag_upper_transpose_solve(
+        f.block(plan.diag_pos[static_cast<std::size_t>(bk)]), seg);
+  }
+}
+
+void block_lower_transpose_solve(const block::BlockMatrix& f,
+                                 const SolvePlan& plan, std::span<value_t> x) {
+  const auto& grid = f.grid();
+  for (index_t bk = f.nb() - 1; bk >= 0; --bk) {
+    value_t* seg = x.data() + grid.block_start(bk);
+    for (nnz_t q = plan.tlow_ptr[static_cast<std::size_t>(bk)];
+         q < plan.tlow_ptr[static_cast<std::size_t>(bk) + 1]; ++q) {
+      block_spmv_t_sub(
+          f.block(plan.tlow_pos[static_cast<std::size_t>(q)]),
+          x.data() + grid.block_start(plan.tlow_src[static_cast<std::size_t>(q)]),
+          seg);
+    }
+    diag_lower_transpose_solve(
+        f.block(plan.diag_pos[static_cast<std::size_t>(bk)]), seg);
+  }
+}
+
 Status Solver::factorize(const Csc& a, const Options& opts) {
   if (a.n_rows() != a.n_cols())
     return Status::invalid_argument("factorize: square matrices only");
@@ -195,15 +309,25 @@ Status Solver::factorize(const Csc& a, const Options& opts) {
   stats_.n = a.n_cols();
   stats_.nnz_a = a.nnz();
 
+  // The preprocessing front-end threads through one pool: the process-global
+  // one by default, a dedicated pool when the caller pinned a thread count.
+  std::unique_ptr<ThreadPool> local_pool;
+  ThreadPool* pool = nullptr;
+  if (opts_.preprocess_threads > 0) {
+    local_pool = std::make_unique<ThreadPool>(
+        static_cast<std::size_t>(opts_.preprocess_threads));
+    pool = local_pool.get();
+  }
+
   Timer timer;
   // (1) Reordering: MC64 stability + fill-reducing symmetric permutation.
-  Status s = ordering::reorder(a, opts.reorder, &reorder_);
+  Status s = ordering::reorder(a, opts.reorder, &reorder_, pool);
   if (!s.is_ok()) return s;
   stats_.reorder_seconds = timer.seconds();
 
   // (2) Symbolic factorisation with symmetric pruning.
   timer.reset();
-  s = symbolic::symbolic_symmetric(reorder_.permuted, &symbolic_);
+  s = symbolic::symbolic_symmetric(reorder_.permuted, &symbolic_, pool);
   if (!s.is_ok()) return s;
   stats_.symbolic_seconds = timer.seconds();
   stats_.nnz_lu = symbolic_.nnz_lu;
@@ -215,15 +339,18 @@ Status Solver::factorize(const Csc& a, const Options& opts) {
                          ? opts.block_size
                          : block::choose_block_size(stats_.n, stats_.nnz_lu);
   stats_.block_size = bs;
-  factors_ = block::BlockMatrix::from_filled(symbolic_.filled, bs);
+  factors_ = block::BlockMatrix::from_filled(symbolic_.filled, bs, pool);
   stats_.nb = factors_.nb();
   tasks_ = block::enumerate_tasks(factors_);
   stats_.n_tasks = tasks_.size();
+  stats_.blocking_seconds = timer.seconds();
+  Timer map_timer;
   const auto grid = block::ProcessGrid::make(opts.n_ranks);
-  mapping_ = block::cyclic_mapping(factors_, grid);
+  mapping_ = block::cyclic_mapping(factors_, grid, pool);
   if (opts.balance)
     mapping_ = block::balanced_mapping(factors_, tasks_, grid, mapping_,
-                                       &stats_.balance);
+                                       &stats_.balance, pool);
+  stats_.mapping_seconds = map_timer.seconds();
   stats_.preprocess_seconds = timer.seconds();
 
   // (3b) Static verification: prove the task graph, counters and mapping
@@ -241,7 +368,29 @@ Status Solver::factorize(const Csc& a, const Options& opts) {
   // (4) Numeric factorisation on the simulated cluster (real numerics).
   s = run_numeric_phase();
   if (!s.is_ok()) return s;
+
+  // (5) Cache the solve-phase schedules so solve()/solve_transpose() and the
+  // triangular-solve model only run numerics from here on.
+  s = build_solve_plans();
+  if (!s.is_ok()) return s;
   factorized_ = true;
+  return Status::ok();
+}
+
+Status Solver::build_solve_plans() {
+  Timer timer;
+  solve_plan_ = SolvePlan::build(factors_);
+  runtime::TrsvOptions topts;
+  topts.device = opts_.device;
+  topts.n_ranks = opts_.n_ranks;
+  topts.execute_numerics = false;
+  Status s = runtime::build_trsv_plan(factors_, mapping_, /*lower=*/true,
+                                      topts, &trsv_fwd_);
+  if (!s.is_ok()) return s;
+  s = runtime::build_trsv_plan(factors_, mapping_, /*lower=*/false, topts,
+                               &trsv_bwd_);
+  if (!s.is_ok()) return s;
+  stats_.plan_seconds = timer.seconds();
   return Status::ok();
 }
 
@@ -295,8 +444,26 @@ Status Solver::refactorize(const Csc& a) {
   }
   symbolic_.filled = std::move(filled);
   // Same pattern -> identical block positions: tasks_ and mapping_ stay valid.
-  factors_ = block::BlockMatrix::from_filled(symbolic_.filled, stats_.block_size);
-  return run_numeric_phase();
+  std::unique_ptr<ThreadPool> local_pool;
+  ThreadPool* pool = nullptr;
+  if (opts_.preprocess_threads > 0) {
+    local_pool = std::make_unique<ThreadPool>(
+        static_cast<std::size_t>(opts_.preprocess_threads));
+    pool = local_pool.get();
+  }
+  factors_ =
+      block::BlockMatrix::from_filled(symbolic_.filled, stats_.block_size, pool);
+  Status s = run_numeric_phase();
+  if (!s.is_ok()) {
+    factorized_ = false;
+    return s;
+  }
+  // Same pattern means the cached schedules would still be structurally
+  // correct, but the invalidation rule stays simple (and future-proof against
+  // pattern-changing refactorisation) by always rebuilding with the factors.
+  s = build_solve_plans();
+  if (!s.is_ok()) factorized_ = false;
+  return s;
 }
 
 Status Solver::solve(std::span<const value_t> b, std::span<value_t> x,
@@ -317,8 +484,8 @@ Status Solver::solve(std::span<const value_t> b, std::span<value_t> x,
           reorder_.row_scale[static_cast<std::size_t>(r)] *
           rhs[static_cast<std::size_t>(r)];
     }
-    block_lower_solve(factors_, z);
-    block_upper_solve(factors_, z);
+    block_lower_solve(factors_, solve_plan_, z);
+    block_upper_solve(factors_, solve_plan_, z);
     // x(c) = col_scale[c] * z(col_perm[c])
     for (index_t c = 0; c < n; ++c) {
       sol[static_cast<std::size_t>(c)] =
@@ -397,8 +564,8 @@ Status Solver::solve_transpose(std::span<const value_t> b,
         reorder_.col_scale[static_cast<std::size_t>(c)] *
         b[static_cast<std::size_t>(c)];
   }
-  block_upper_transpose_solve(factors_, z);
-  block_lower_transpose_solve(factors_, z);
+  block_upper_transpose_solve(factors_, solve_plan_, z);
+  block_lower_transpose_solve(factors_, solve_plan_, z);
   for (index_t r = 0; r < n; ++r) {
     x[static_cast<std::size_t>(r)] =
         reorder_.row_scale[static_cast<std::size_t>(r)] *
@@ -415,11 +582,11 @@ Status Solver::model_triangular_solve(runtime::SimResult* forward,
   opts.device = opts_.device;
   opts.n_ranks = opts_.n_ranks;
   opts.execute_numerics = false;
-  Status s = runtime::simulate_trsv(factors_, mapping_, /*lower=*/true, dummy,
-                                    opts, forward);
+  // The schedules were built at factorise time; repeat calls only replay the
+  // event simulation.
+  Status s = runtime::simulate_trsv(factors_, trsv_fwd_, dummy, opts, forward);
   if (!s.is_ok()) return s;
-  return runtime::simulate_trsv(factors_, mapping_, /*lower=*/false, dummy,
-                                opts, backward);
+  return runtime::simulate_trsv(factors_, trsv_bwd_, dummy, opts, backward);
 }
 
 Status Solver::condest(value_t* cond_1) const {

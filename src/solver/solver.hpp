@@ -20,6 +20,7 @@
 #include "block/mapping.hpp"
 #include "ordering/reorder.hpp"
 #include "runtime/sim.hpp"
+#include "runtime/trsv_sim.hpp"
 #include "sparse/csc.hpp"
 #include "sparse/dense.hpp"
 #include "symbolic/fill.hpp"
@@ -58,6 +59,12 @@ struct Options {
   /// crash-recovery remap inside the simulated cluster. Violations fail
   /// factorize() with StatusCode::kInvariantViolation.
   analysis::VerifyLevel verify_level = analysis::VerifyLevel::kCheap;
+  /// Worker threads for the preprocessing front-end (reorder adjacency,
+  /// symbolic fill, 2D blocking, mapping). 0 uses the process-global pool;
+  /// 1 forces the single-threaded reference path; >1 runs a dedicated pool
+  /// of that size for the duration of factorize()/refactorize(). The
+  /// preprocessing output is bitwise identical at every setting.
+  int preprocess_threads = 0;
 };
 
 struct FactorStats {
@@ -65,6 +72,9 @@ struct FactorStats {
   double reorder_seconds = 0;
   double symbolic_seconds = 0;
   double preprocess_seconds = 0;  // blocking + mapping + balancing
+  double blocking_seconds = 0;    //   of which: 2D blocking + task list
+  double mapping_seconds = 0;     //   of which: cyclic map + balancing
+  double plan_seconds = 0;        // solve-phase schedule construction
   double verify_seconds = 0;      // static task-graph verification
   double numeric_wall_seconds = 0;
 
@@ -85,6 +95,39 @@ struct FactorStats {
 struct SolveStats {
   int refine_iterations = 0;     // refinement passes actually taken
   value_t final_residual = 0;    // ||b - Ax||_inf / (||A||_1||x||_inf+||b||_inf)
+};
+
+/// Cached host-side solve schedule: flat per-block-row / per-block-column
+/// block lists for the four triangular sweeps, plus the diagonal block
+/// positions. Built once per factorisation so repeat solves skip the
+/// find_block() probes and the branchy row/column filtering; each list
+/// preserves the traversal order of the original sweep, so plan-based solves
+/// are bitwise identical to the direct ones.
+struct SolvePlan {
+  std::vector<nnz_t> diag_pos;  // [nb] position of each diagonal block
+
+  // Forward sweep (L y = z): for block-row bk, blocks left of the diagonal
+  // in row-wise order. low_src is the source segment (block column).
+  std::vector<nnz_t> low_ptr;  // [nb + 1]
+  std::vector<nnz_t> low_pos;
+  std::vector<index_t> low_src;
+  // Backward sweep (U x = y): blocks right of the diagonal per block-row.
+  std::vector<nnz_t> up_ptr;
+  std::vector<nnz_t> up_pos;
+  std::vector<index_t> up_src;
+  // U^T forward sweep: blocks above the diagonal per block-column.
+  std::vector<nnz_t> tup_ptr;
+  std::vector<nnz_t> tup_pos;
+  std::vector<index_t> tup_src;
+  // L^T backward sweep: blocks below the diagonal per block-column.
+  std::vector<nnz_t> tlow_ptr;
+  std::vector<nnz_t> tlow_pos;
+  std::vector<index_t> tlow_src;
+
+  bool valid() const { return !diag_pos.empty(); }
+
+  /// Build from a factorised block matrix (requires all diagonal blocks).
+  static SolvePlan build(const block::BlockMatrix& f);
 };
 
 class Solver {
@@ -139,6 +182,10 @@ class Solver {
 
  private:
   Status run_numeric_phase();
+  /// (Re)build the cached solve-phase schedules from factors_/mapping_.
+  /// Called at the end of factorize() and refactorize(); any failure leaves
+  /// the solver un-factorised, so a valid solver always has valid plans.
+  Status build_solve_plans();
 
   Options opts_;
   Csc original_;
@@ -148,6 +195,12 @@ class Solver {
   std::vector<block::Task> tasks_;
   block::Mapping mapping_;
   FactorStats stats_;
+  // Solve-phase schedules, owned by the solver and rebuilt with the factors
+  // (factorize/refactorize); solve()/solve_transpose()/condest() and
+  // model_triangular_solve() run pure numerics against them.
+  SolvePlan solve_plan_;
+  runtime::TrsvPlan trsv_fwd_;
+  runtime::TrsvPlan trsv_bwd_;
   bool factorized_ = false;
 };
 
@@ -162,5 +215,16 @@ void block_upper_transpose_solve(const block::BlockMatrix& f,
                                  std::span<value_t> x);
 void block_lower_transpose_solve(const block::BlockMatrix& f,
                                  std::span<value_t> x);
+
+/// Plan-based variants of the four sweeps: same traversal, same bits, no
+/// per-call schedule discovery.
+void block_lower_solve(const block::BlockMatrix& f, const SolvePlan& plan,
+                       std::span<value_t> x);
+void block_upper_solve(const block::BlockMatrix& f, const SolvePlan& plan,
+                       std::span<value_t> x);
+void block_upper_transpose_solve(const block::BlockMatrix& f,
+                                 const SolvePlan& plan, std::span<value_t> x);
+void block_lower_transpose_solve(const block::BlockMatrix& f,
+                                 const SolvePlan& plan, std::span<value_t> x);
 
 }  // namespace pangulu::solver

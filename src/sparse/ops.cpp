@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "parallel/partition.hpp"
+
 namespace pangulu {
 
 value_t norm2(std::span<const value_t> v) {
@@ -111,6 +113,115 @@ std::vector<index_t> compose(std::span<const index_t> p,
   for (std::size_t i = 0; i < q.size(); ++i)
     r[i] = p[static_cast<std::size_t>(q[i])];
   return r;
+}
+
+Csc transposed(const Csc& a, ThreadPool* pool) {
+  ThreadPool& tp = effective_pool(pool);
+  if (tp.size() <= 1) return a.transpose();
+  const index_t nc = a.n_cols();
+  const index_t nr = a.n_rows();
+  // Chunks over source columns, one count bin per transpose column (= source
+  // row). Chunks ascending in j reproduce the serial fill order exactly.
+  const FixedPartition part = FixedPartition::make(nc, nr);
+  ChunkCounts counts(part.n_chunks, nr);
+  parallel_for(
+      tp, 0, part.n_chunks,
+      [&](index_t c) {
+        nnz_t* cnt = counts.row(c);
+        for (index_t j = part.begin(c); j < part.end(c); ++j) {
+          for (nnz_t p = a.col_begin(j); p < a.col_end(j); ++p)
+            cnt[a.row_idx()[static_cast<std::size_t>(p)]]++;
+        }
+      },
+      /*grain=*/1);
+  std::vector<nnz_t> col_cnt(static_cast<std::size_t>(nr));
+  counts.totals(tp, col_cnt);
+  std::vector<nnz_t> col_ptr(static_cast<std::size_t>(nr) + 1);
+  exclusive_prefix_sum(tp, col_cnt, col_ptr);
+  counts.to_cursors(tp, std::span<const nnz_t>(col_ptr).first(
+                            static_cast<std::size_t>(nr)));
+  std::vector<index_t> row_idx(static_cast<std::size_t>(col_ptr.back()));
+  std::vector<value_t> values(static_cast<std::size_t>(col_ptr.back()));
+  parallel_for(
+      tp, 0, part.n_chunks,
+      [&](index_t c) {
+        nnz_t* cur = counts.row(c);
+        for (index_t j = part.begin(c); j < part.end(c); ++j) {
+          for (nnz_t p = a.col_begin(j); p < a.col_end(j); ++p) {
+            const index_t r = a.row_idx()[static_cast<std::size_t>(p)];
+            const nnz_t q = cur[r]++;
+            row_idx[static_cast<std::size_t>(q)] = j;
+            values[static_cast<std::size_t>(q)] =
+                a.values()[static_cast<std::size_t>(p)];
+          }
+        }
+      },
+      /*grain=*/1);
+  return Csc::from_parts_unchecked(nc, nr, std::move(col_ptr),
+                                   std::move(row_idx), std::move(values));
+}
+
+Csc symmetrized_with_diagonal(const Csc& a, ThreadPool* pool) {
+  PANGULU_CHECK(a.n_rows() == a.n_cols(), "symmetrize needs a square matrix");
+  ThreadPool& tp = effective_pool(pool);
+  const index_t n = a.n_cols();
+  const Csc at = transposed(a, pool);
+  // Per-column three-way merge of a(:,j), a^T(:,j) and the forced diagonal.
+  // `emit` sees rows ascending; a mirrored entry reproduces the reference's
+  // `a(r,j) + 0` sum so even signed zeros match bitwise.
+  const index_t kEnd = n;
+  auto merge_col = [&](index_t j, auto&& emit) {
+    nnz_t pa = a.col_begin(j);
+    const nnz_t ea = a.col_end(j);
+    nnz_t pt = at.col_begin(j);
+    const nnz_t et = at.col_end(j);
+    bool diag_done = false;
+    while (pa < ea || pt < et) {
+      const index_t ra = pa < ea ? a.row_idx()[static_cast<std::size_t>(pa)] : kEnd;
+      const index_t rt =
+          pt < et ? at.row_idx()[static_cast<std::size_t>(pt)] : kEnd;
+      const index_t r = std::min(ra, rt);
+      if (!diag_done && j < r) {
+        emit(j, value_t(0));
+        diag_done = true;
+        continue;
+      }
+      value_t v = 0;
+      if (ra == r) v = a.values()[static_cast<std::size_t>(pa++)];
+      if (rt == r) {
+        if (r != j) v += value_t(0);
+        ++pt;
+      }
+      if (r == j) diag_done = true;
+      emit(r, v);
+    }
+    if (!diag_done) emit(j, value_t(0));
+  };
+
+  std::vector<nnz_t> width(static_cast<std::size_t>(n), 0);
+  parallel_for_chunks(tp, 0, n, [&](index_t lo, index_t hi) {
+    for (index_t j = lo; j < hi; ++j) {
+      nnz_t w = 0;
+      merge_col(j, [&](index_t, value_t) { ++w; });
+      width[static_cast<std::size_t>(j)] = w;
+    }
+  });
+  std::vector<nnz_t> col_ptr(static_cast<std::size_t>(n) + 1);
+  exclusive_prefix_sum(tp, width, col_ptr);
+  std::vector<index_t> row_idx(static_cast<std::size_t>(col_ptr.back()));
+  std::vector<value_t> values(static_cast<std::size_t>(col_ptr.back()));
+  parallel_for_chunks(tp, 0, n, [&](index_t lo, index_t hi) {
+    for (index_t j = lo; j < hi; ++j) {
+      nnz_t q = col_ptr[static_cast<std::size_t>(j)];
+      merge_col(j, [&](index_t r, value_t v) {
+        row_idx[static_cast<std::size_t>(q)] = r;
+        values[static_cast<std::size_t>(q)] = v;
+        ++q;
+      });
+    }
+  });
+  return Csc::from_parts_unchecked(n, n, std::move(col_ptr), std::move(row_idx),
+                                   std::move(values));
 }
 
 }  // namespace pangulu

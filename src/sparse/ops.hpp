@@ -10,6 +10,8 @@
 
 namespace pangulu {
 
+class ThreadPool;
+
 /// ||v||_2
 value_t norm2(std::span<const value_t> v);
 
@@ -31,6 +33,17 @@ void lower_solve(const Csc& l, std::span<value_t> x, bool unit_diag);
 
 /// Solve U x = y where U is upper triangular CSC.
 void upper_solve(const Csc& u, std::span<value_t> x);
+
+/// a.transpose() computed with deterministic chunked counting-scatter on the
+/// pool (nullptr: the global pool). Bitwise identical to the serial method at
+/// any thread count.
+Csc transposed(const Csc& a, ThreadPool* pool = nullptr);
+
+/// a.symmetrized().with_full_diagonal() in one parallel transpose + per-column
+/// merge instead of two COO sort rounds. Bitwise identical output (values of
+/// mirrored entries reproduce the reference's `a(r,j) + 0` sums); the fast
+/// path of the parallel symbolic front-end.
+Csc symmetrized_with_diagonal(const Csc& a, ThreadPool* pool = nullptr);
 
 /// True when p is a permutation of 0..n-1.
 bool is_permutation(std::span<const index_t> p);

@@ -1,12 +1,45 @@
 #include "symbolic/fill.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <utility>
 
+#include "parallel/partition.hpp"
+#include "sparse/ops.hpp"
 #include "symbolic/etree.hpp"
 
 namespace pangulu::symbolic {
 
 namespace {
+
+/// Scatter A's values into the filled pattern with one merged pass per
+/// column: both patterns are column-sorted and A is a subset of filled, so a
+/// two-pointer sweep replaces the old per-entry binary `find` (and moves the
+/// subset check out of the hot loop — one count comparison per column).
+/// Returns false iff some A entry is missing from the filled pattern.
+bool scatter_values_merged_col(const Csc& a, Csc* filled, index_t j) {
+  nnz_t q = filled->col_begin(j);
+  const nnz_t qe = filled->col_end(j);
+  nnz_t hits = 0;
+  for (nnz_t p = a.col_begin(j); p < a.col_end(j); ++p) {
+    const index_t r = a.row_idx()[static_cast<std::size_t>(p)];
+    while (q < qe && filled->row_idx()[static_cast<std::size_t>(q)] < r) ++q;
+    if (q < qe && filled->row_idx()[static_cast<std::size_t>(q)] == r) {
+      filled->values_mut()[static_cast<std::size_t>(q)] =
+          a.values()[static_cast<std::size_t>(p)];
+      ++q;
+      ++hits;
+    }
+  }
+  return hits == static_cast<nnz_t>(a.col_nnz(j));
+}
+
+void scatter_values_merged(const Csc& a, Csc* filled) {
+  for (index_t j = 0; j < a.n_cols(); ++j) {
+    PANGULU_CHECK(scatter_values_merged_col(a, filled, j),
+                  "A entry missing from filled pattern");
+  }
+}
 
 /// Assemble the full L+U pattern Csc from a lower-triangular pattern (with
 /// diagonal) and its transpose, then scatter `a`'s values into it.
@@ -39,14 +72,82 @@ Csc assemble_filled(const Csc& lower_pat, const Csc& a) {
   Csc filled = Csc::from_parts(n, n, std::move(col_ptr), std::move(row_idx),
                                std::move(values));
   // Scatter A's values (A's pattern is a subset of the filled pattern).
-  for (index_t j = 0; j < a.n_cols(); ++j) {
-    for (nnz_t p = a.col_begin(j); p < a.col_end(j); ++p) {
-      nnz_t q = filled.find(a.row_idx()[static_cast<std::size_t>(p)], j);
-      PANGULU_CHECK(q >= 0, "A entry missing from filled pattern");
-      filled.values_mut()[static_cast<std::size_t>(q)] =
-          a.values()[static_cast<std::size_t>(p)];
+  scatter_values_merged(a, &filled);
+  return filled;
+}
+
+/// Parallel assemble: the strictly-lower entries of lower_pat double as the
+/// strictly-upper pattern of filled (entry (r, k) of L contributes upper
+/// entry (k, r) to filled column r). Chunked counting over source columns,
+/// prefix-sum, then scatter into pre-assigned slots — chunks ascend in k, so
+/// every filled column receives its upper rows in the same source-column
+/// order the serial transpose produces.
+Csc assemble_filled_parallel(const Csc& lower_pat, const Csc& a,
+                             ThreadPool& tp) {
+  const index_t n = lower_pat.n_cols();
+  const FixedPartition part = FixedPartition::make(n, n);
+  ChunkCounts counts(part.n_chunks, n);
+  parallel_for(
+      tp, 0, part.n_chunks,
+      [&](index_t c) {
+        nnz_t* cnt = counts.row(c);
+        for (index_t k = part.begin(c); k < part.end(c); ++k) {
+          for (nnz_t p = lower_pat.col_begin(k); p < lower_pat.col_end(k); ++p) {
+            const index_t r = lower_pat.row_idx()[static_cast<std::size_t>(p)];
+            if (r > k) cnt[r]++;
+          }
+        }
+      },
+      /*grain=*/1);
+  std::vector<nnz_t> upper_cnt(static_cast<std::size_t>(n));
+  counts.totals(tp, upper_cnt);
+  std::vector<nnz_t> width(static_cast<std::size_t>(n));
+  parallel_for_chunks(tp, 0, n, [&](index_t lo, index_t hi) {
+    for (index_t j = lo; j < hi; ++j)
+      width[static_cast<std::size_t>(j)] =
+          upper_cnt[static_cast<std::size_t>(j)] +
+          (lower_pat.col_end(j) - lower_pat.col_begin(j));
+  });
+  std::vector<nnz_t> col_ptr(static_cast<std::size_t>(n) + 1);
+  exclusive_prefix_sum(tp, width, col_ptr);
+  counts.to_cursors(tp, std::span<const nnz_t>(col_ptr).first(
+                            static_cast<std::size_t>(n)));
+  std::vector<index_t> row_idx(static_cast<std::size_t>(col_ptr.back()));
+  std::vector<value_t> values(static_cast<std::size_t>(col_ptr.back()),
+                              value_t(0));
+  parallel_for(
+      tp, 0, part.n_chunks,
+      [&](index_t c) {
+        nnz_t* cur = counts.row(c);
+        for (index_t k = part.begin(c); k < part.end(c); ++k) {
+          for (nnz_t p = lower_pat.col_begin(k); p < lower_pat.col_end(k); ++p) {
+            const index_t r = lower_pat.row_idx()[static_cast<std::size_t>(p)];
+            if (r > k) row_idx[static_cast<std::size_t>(cur[r]++)] = k;
+          }
+        }
+      },
+      /*grain=*/1);
+  // Lower section of column j (diagonal first, rows ascending): a straight
+  // copy of lower_pat's column.
+  parallel_for_chunks(tp, 0, n, [&](index_t lo, index_t hi) {
+    for (index_t j = lo; j < hi; ++j) {
+      nnz_t q = col_ptr[static_cast<std::size_t>(j)] +
+                upper_cnt[static_cast<std::size_t>(j)];
+      for (nnz_t p = lower_pat.col_begin(j); p < lower_pat.col_end(j); ++p)
+        row_idx[static_cast<std::size_t>(q++)] =
+            lower_pat.row_idx()[static_cast<std::size_t>(p)];
     }
-  }
+  });
+  Csc filled = Csc::from_parts_unchecked(n, n, std::move(col_ptr),
+                                         std::move(row_idx), std::move(values));
+  std::atomic<bool> missing{false};
+  parallel_for_chunks(tp, 0, a.n_cols(), [&](index_t lo, index_t hi) {
+    for (index_t j = lo; j < hi; ++j) {
+      if (!scatter_values_merged_col(a, &filled, j))
+        missing.store(true, std::memory_order_relaxed);
+    }
+  });
+  PANGULU_CHECK(!missing.load(), "A entry missing from filled pattern");
   return filled;
 }
 
@@ -69,9 +170,38 @@ void finish_result(Csc filled, std::vector<index_t> etree, SymbolicResult* out) 
   out->etree = std::move(etree);
 }
 
+/// finish_result with the L/U split counted by chunked partial sums (integer
+/// partials, so the reduction is exact in any association).
+void finish_result_parallel(Csc filled, std::vector<index_t> etree,
+                            SymbolicResult* out, ThreadPool& tp) {
+  const index_t n = filled.n_cols();
+  const FixedPartition part = FixedPartition::make(n, 1);
+  std::vector<nnz_t> nl_part(static_cast<std::size_t>(part.n_chunks), 0);
+  parallel_for(
+      tp, 0, part.n_chunks,
+      [&](index_t c) {
+        nnz_t nl = 0;
+        for (index_t j = part.begin(c); j < part.end(c); ++j) {
+          for (nnz_t p = filled.col_begin(j); p < filled.col_end(j); ++p) {
+            if (filled.row_idx()[static_cast<std::size_t>(p)] > j) ++nl;
+          }
+        }
+        nl_part[static_cast<std::size_t>(c)] = nl;
+      },
+      /*grain=*/1);
+  nnz_t nl = 0;
+  for (nnz_t c : nl_part) nl += c;
+  const nnz_t total = filled.nnz();
+  out->filled = std::move(filled);
+  out->nnz_l = nl;
+  out->nnz_u = total - nl;
+  out->nnz_lu = total;
+  out->etree = std::move(etree);
+}
+
 }  // namespace
 
-Status symbolic_symmetric(const Csc& a, SymbolicResult* out) {
+Status symbolic_symmetric_serial(const Csc& a, SymbolicResult* out) {
   if (a.n_rows() != a.n_cols())
     return Status::invalid_argument("symbolic: square matrices only");
   const index_t n = a.n_cols();
@@ -116,6 +246,97 @@ Status symbolic_symmetric(const Csc& a, SymbolicResult* out) {
       Csc::from_parts(n, n, std::move(lptr), std::move(lrows),
                       std::vector<value_t>(lower_nnz, value_t(0)));
   finish_result(assemble_filled(lower_pat, a), std::move(parent), out);
+  return Status::ok();
+}
+
+Status symbolic_symmetric(const Csc& a, SymbolicResult* out, ThreadPool* pool) {
+  ThreadPool& tp = effective_pool(pool);
+  if (tp.size() <= 1) return symbolic_symmetric_serial(a, out);
+  if (a.n_rows() != a.n_cols())
+    return Status::invalid_argument("symbolic: square matrices only");
+  const index_t n = a.n_cols();
+  Csc sym = symmetrized_with_diagonal(a, &tp);
+  std::vector<index_t> parent = elimination_tree(sym);
+
+  // Phase A: the Liu row-subtree walks, chunked over rows. Rows are mutually
+  // independent given the etree, so chunk c records its discoveries (L entry
+  // (i, k) as the pair (k, i)) in its own buffer and bumps its own count row.
+  // The leased mark buffers are reused across chunks *without* reset: a mark
+  // stores the globally unique row id being walked, so a stale id from a
+  // previous holder can never equal the current row.
+  const FixedPartition part = FixedPartition::make(n, n);
+  const index_t n_chunks = part.n_chunks;
+  ChunkCounts counts(n_chunks, n);
+  std::vector<std::vector<std::pair<index_t, index_t>>> found(
+      static_cast<std::size_t>(n_chunks));
+  ScratchArena arena(n);
+  std::atomic<bool> fell_off{false};
+  parallel_for(
+      tp, 0, n_chunks,
+      [&](index_t c) {
+        ScratchArena::Lease lease(arena);
+        index_t* mark = lease.data();
+        auto& buf = found[static_cast<std::size_t>(c)];
+        nnz_t* cnt = counts.row(c);
+        for (index_t i = part.begin(c); i < part.end(c); ++i) {
+          mark[static_cast<std::size_t>(i)] = i;
+          for (nnz_t p = sym.col_begin(i); p < sym.col_end(i); ++p) {
+            index_t k = sym.row_idx()[static_cast<std::size_t>(p)];
+            if (k >= i) break;
+            while (mark[static_cast<std::size_t>(k)] != i) {
+              mark[static_cast<std::size_t>(k)] = i;
+              buf.emplace_back(k, i);
+              cnt[k]++;
+              k = parent[static_cast<std::size_t>(k)];
+              if (k < 0) {
+                fell_off.store(true, std::memory_order_relaxed);
+                return;
+              }
+            }
+          }
+        }
+      },
+      /*grain=*/1);
+  PANGULU_CHECK(!fell_off.load(), "etree walk fell off the root");
+
+  // Phase B: column sizes (diagonal + discoveries) -> lptr by prefix sum;
+  // count rows become per-(chunk, column) write cursors.
+  std::vector<nnz_t> lcnt(static_cast<std::size_t>(n));
+  counts.totals(tp, lcnt);
+  parallel_for_chunks(tp, 0, n, [&](index_t lo, index_t hi) {
+    for (index_t k = lo; k < hi; ++k) lcnt[static_cast<std::size_t>(k)] += 1;
+  });
+  std::vector<nnz_t> lptr(static_cast<std::size_t>(n) + 1);
+  exclusive_prefix_sum(tp, lcnt, lptr);
+  std::vector<nnz_t> base(static_cast<std::size_t>(n));
+  parallel_for_chunks(tp, 0, n, [&](index_t lo, index_t hi) {
+    for (index_t k = lo; k < hi; ++k)
+      base[static_cast<std::size_t>(k)] = lptr[static_cast<std::size_t>(k)] + 1;
+  });
+  counts.to_cursors(tp, base);
+
+  // Phase C: ordered scatter. Chunks ascend in row id and each chunk replays
+  // its discoveries in order, so every column receives its rows ascending —
+  // exactly the serial append order.
+  std::vector<index_t> lrows(static_cast<std::size_t>(lptr.back()));
+  parallel_for_chunks(tp, 0, n, [&](index_t lo, index_t hi) {
+    for (index_t k = lo; k < hi; ++k)
+      lrows[static_cast<std::size_t>(lptr[static_cast<std::size_t>(k)])] = k;
+  });
+  parallel_for(
+      tp, 0, n_chunks,
+      [&](index_t c) {
+        nnz_t* cur = counts.row(c);
+        for (const auto& [k, i] : found[static_cast<std::size_t>(c)])
+          lrows[static_cast<std::size_t>(cur[k]++)] = i;
+      },
+      /*grain=*/1);
+  const auto lower_nnz = static_cast<std::size_t>(lptr.back());
+  Csc lower_pat =
+      Csc::from_parts_unchecked(n, n, std::move(lptr), std::move(lrows),
+                                std::vector<value_t>(lower_nnz, value_t(0)));
+  finish_result_parallel(assemble_filled_parallel(lower_pat, a, tp),
+                         std::move(parent), out, tp);
   return Status::ok();
 }
 
@@ -224,14 +445,7 @@ Status symbolic_unsymmetric(const Csc& a, bool use_pruning, SymbolicResult* out)
       rows[static_cast<std::size_t>(q++)] = r;
   }
   Csc filled = Csc::from_parts(n, n, std::move(ptr), std::move(rows), std::move(vals));
-  for (index_t j = 0; j < a.n_cols(); ++j) {
-    for (nnz_t p = a.col_begin(j); p < a.col_end(j); ++p) {
-      nnz_t q = filled.find(a.row_idx()[static_cast<std::size_t>(p)], j);
-      PANGULU_CHECK(q >= 0, "A entry missing from filled pattern");
-      filled.values_mut()[static_cast<std::size_t>(q)] =
-          a.values()[static_cast<std::size_t>(p)];
-    }
-  }
+  scatter_values_merged(a, &filled);
   finish_result(std::move(filled), {}, out);
   return Status::ok();
 }

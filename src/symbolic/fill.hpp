@@ -15,6 +15,10 @@
 #include "sparse/csc.hpp"
 #include "util/status.hpp"
 
+namespace pangulu {
+class ThreadPool;
+}
+
 namespace pangulu::symbolic {
 
 struct SymbolicResult {
@@ -30,8 +34,18 @@ struct SymbolicResult {
 };
 
 /// Symmetric-pruning symbolic factorisation on pattern(A + A^T). `a` must be
-/// square; it is symmetrised internally.
-Status symbolic_symmetric(const Csc& a, SymbolicResult* out);
+/// square; it is symmetrised internally. Runs the deterministic parallel
+/// front-end on `pool` (nullptr: the global pool) — per-chunk etree row
+/// walks into leased scratch, then prefix-sum assembly into pre-assigned
+/// slots, so the result is bitwise identical to the serial reference at any
+/// thread count. Pools with a single worker dispatch to the serial path.
+Status symbolic_symmetric(const Csc& a, SymbolicResult* out,
+                          ThreadPool* pool = nullptr);
+
+/// The single-threaded reference implementation (kept callable as the ground
+/// truth for the determinism property tests and the serial-vs-parallel
+/// preprocessing bench).
+Status symbolic_symmetric_serial(const Csc& a, SymbolicResult* out);
 
 /// Gilbert-Peierls column-DFS symbolic factorisation on the unsymmetric
 /// pattern. When `use_pruning` is set, DFS descends pruned adjacency only

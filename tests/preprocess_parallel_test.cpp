@@ -1,0 +1,200 @@
+// Determinism properties of the parallel preprocessing front-end: every
+// parallel phase (transpose, symmetrisation, adjacency graph, symbolic fill,
+// 2D blocking, mapping) must be *bitwise identical* to its single-threaded
+// reference at any thread count, and parallel runs must agree with each
+// other. Approximate comparison would hide exactly the bugs these tests
+// exist to catch, so values are compared by bit pattern (memcmp), not
+// tolerance.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "block/layout.hpp"
+#include "block/mapping.hpp"
+#include "block/tasks.hpp"
+#include "matgen/generators.hpp"
+#include "ordering/graph.hpp"
+#include "parallel/thread_pool.hpp"
+#include "sparse/ops.hpp"
+#include "symbolic/fill.hpp"
+
+namespace pangulu {
+namespace {
+
+std::vector<Csc> seeded_matrices() {
+  std::vector<Csc> ms;
+  ms.push_back(matgen::circuit(500, 2.5, 2.1, 7));
+  ms.push_back(matgen::grid2d_laplacian(22, 22));
+  ms.push_back(matgen::banded_random(300, 24, 0.4, 3, 11));
+  ms.push_back(matgen::cage_style(350, 3, 5));
+  return ms;
+}
+
+void expect_bitwise_equal(const Csc& got, const Csc& want) {
+  ASSERT_EQ(got.n_rows(), want.n_rows());
+  ASSERT_EQ(got.n_cols(), want.n_cols());
+  ASSERT_TRUE(std::equal(got.col_ptr().begin(), got.col_ptr().end(),
+                         want.col_ptr().begin(), want.col_ptr().end()));
+  ASSERT_TRUE(std::equal(got.row_idx().begin(), got.row_idx().end(),
+                         want.row_idx().begin(), want.row_idx().end()));
+  ASSERT_EQ(got.values().size(), want.values().size());
+  EXPECT_EQ(0, std::memcmp(got.values().data(), want.values().data(),
+                           got.values().size() * sizeof(value_t)))
+      << "value arrays differ bitwise";
+}
+
+void expect_same_layout(const block::BlockMatrix& got,
+                        const block::BlockMatrix& want) {
+  ASSERT_EQ(got.nb(), want.nb());
+  ASSERT_EQ(got.n_blocks(), want.n_blocks());
+  for (index_t bj = 0; bj < got.nb(); ++bj) {
+    ASSERT_EQ(got.col_begin(bj), want.col_begin(bj));
+    ASSERT_EQ(got.col_end(bj), want.col_end(bj));
+  }
+  for (nnz_t pos = 0; pos < got.n_blocks(); ++pos) {
+    ASSERT_EQ(got.block_row_of(pos), want.block_row_of(pos));
+    ASSERT_EQ(got.block_col_of(pos), want.block_col_of(pos));
+    expect_bitwise_equal(got.block(pos), want.block(pos));
+  }
+  for (index_t bi = 0; bi < got.nb(); ++bi) {
+    ASSERT_EQ(got.row_begin(bi), want.row_begin(bi));
+    ASSERT_EQ(got.row_end(bi), want.row_end(bi));
+    for (nnz_t rp = got.row_begin(bi); rp < got.row_end(bi); ++rp) {
+      ASSERT_EQ(got.row_block_col(rp), want.row_block_col(rp));
+      ASSERT_EQ(got.row_block_pos(rp), want.row_block_pos(rp));
+    }
+  }
+}
+
+class PreprocessParallelP : public ::testing::TestWithParam<int> {};
+
+TEST_P(PreprocessParallelP, TransposedMatchesSerial) {
+  ThreadPool pool(static_cast<std::size_t>(GetParam()));
+  for (const Csc& a : seeded_matrices()) {
+    expect_bitwise_equal(transposed(a, &pool), a.transpose());
+  }
+}
+
+TEST_P(PreprocessParallelP, SymmetrizedWithDiagonalMatchesReference) {
+  ThreadPool pool(static_cast<std::size_t>(GetParam()));
+  for (const Csc& a : seeded_matrices()) {
+    expect_bitwise_equal(symmetrized_with_diagonal(a, &pool),
+                         a.symmetrized().with_full_diagonal());
+  }
+}
+
+TEST_P(PreprocessParallelP, GraphFromMatrixMatchesSerial) {
+  ThreadPool pool(static_cast<std::size_t>(GetParam()));
+  ThreadPool serial(1);
+  for (const Csc& a : seeded_matrices()) {
+    const auto g = ordering::Graph::from_matrix(a, &pool);
+    const auto ref = ordering::Graph::from_matrix(a, &serial);
+    ASSERT_EQ(g.n, ref.n);
+    EXPECT_EQ(g.ptr, ref.ptr);
+    EXPECT_EQ(g.adj, ref.adj);
+  }
+}
+
+TEST_P(PreprocessParallelP, SymbolicFillMatchesSerial) {
+  ThreadPool pool(static_cast<std::size_t>(GetParam()));
+  for (const Csc& a : seeded_matrices()) {
+    symbolic::SymbolicResult par, ser;
+    ASSERT_TRUE(symbolic::symbolic_symmetric(a, &par, &pool).is_ok());
+    ASSERT_TRUE(symbolic::symbolic_symmetric_serial(a, &ser).is_ok());
+    expect_bitwise_equal(par.filled, ser.filled);
+    EXPECT_EQ(par.etree, ser.etree);
+    EXPECT_EQ(par.nnz_l, ser.nnz_l);
+    EXPECT_EQ(par.nnz_u, ser.nnz_u);
+    EXPECT_EQ(par.nnz_lu, ser.nnz_lu);
+  }
+}
+
+TEST_P(PreprocessParallelP, BlockLayoutMatchesSerial) {
+  ThreadPool pool(static_cast<std::size_t>(GetParam()));
+  for (const Csc& a : seeded_matrices()) {
+    symbolic::SymbolicResult sym;
+    ASSERT_TRUE(symbolic::symbolic_symmetric_serial(a, &sym).is_ok());
+    for (index_t bs : {17, 32, 64}) {
+      const auto par = block::BlockMatrix::from_filled(sym.filled, bs, &pool);
+      const auto ser = block::BlockMatrix::from_filled_serial(sym.filled, bs);
+      expect_same_layout(par, ser);
+    }
+  }
+}
+
+TEST_P(PreprocessParallelP, MappingMatchesSerial) {
+  ThreadPool pool(static_cast<std::size_t>(GetParam()));
+  for (const Csc& a : seeded_matrices()) {
+    symbolic::SymbolicResult sym;
+    ASSERT_TRUE(symbolic::symbolic_symmetric_serial(a, &sym).is_ok());
+    const auto bm = block::BlockMatrix::from_filled_serial(sym.filled, 32);
+    const auto tasks = block::enumerate_tasks(bm);
+    for (rank_t ranks : {2, 4, 8}) {
+      const auto grid = block::ProcessGrid::make(ranks);
+      const auto cyc_par = block::cyclic_mapping(bm, grid, &pool);
+      const auto cyc_ser = block::cyclic_mapping(bm, grid);
+      EXPECT_EQ(cyc_par.owner, cyc_ser.owner);
+
+      block::BalanceStats sp, ss;
+      const auto bal_par =
+          block::balanced_mapping(bm, tasks, grid, cyc_par, &sp, &pool);
+      const auto bal_ser =
+          block::balanced_mapping_serial(bm, tasks, grid, cyc_ser, &ss);
+      EXPECT_EQ(bal_par.owner, bal_ser.owner);
+      EXPECT_EQ(sp.swaps, ss.swaps);
+      EXPECT_EQ(0, std::memcmp(&sp.max_weight_after, &ss.max_weight_after,
+                               sizeof(double)));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, PreprocessParallelP,
+                         ::testing::Values(1, 2, 4, 8));
+
+TEST(PreprocessParallel, TwoParallelRunsAgree) {
+  // Different worker counts exercise different chunk interleavings; the
+  // output must not depend on either.
+  ThreadPool p3(3);
+  ThreadPool p5(5);
+  for (const Csc& a : seeded_matrices()) {
+    symbolic::SymbolicResult r3, r5;
+    ASSERT_TRUE(symbolic::symbolic_symmetric(a, &r3, &p3).is_ok());
+    ASSERT_TRUE(symbolic::symbolic_symmetric(a, &r5, &p5).is_ok());
+    expect_bitwise_equal(r3.filled, r5.filled);
+
+    const auto bm3 = block::BlockMatrix::from_filled(r3.filled, 32, &p3);
+    const auto bm5 = block::BlockMatrix::from_filled(r5.filled, 32, &p5);
+    expect_same_layout(bm3, bm5);
+  }
+}
+
+TEST(PreprocessParallel, RepeatedRunsOnOnePoolAgree) {
+  // Scratch arena buffers are reused across runs without reset; stale marks
+  // must never leak into a later result.
+  ThreadPool pool(4);
+  const Csc a = matgen::circuit(500, 2.5, 2.1, 7);
+  symbolic::SymbolicResult first;
+  ASSERT_TRUE(symbolic::symbolic_symmetric(a, &first, &pool).is_ok());
+  for (int run = 0; run < 3; ++run) {
+    symbolic::SymbolicResult again;
+    ASSERT_TRUE(symbolic::symbolic_symmetric(a, &again, &pool).is_ok());
+    expect_bitwise_equal(again.filled, first.filled);
+  }
+}
+
+TEST(PreprocessParallel, SignedZeroMirrorsMatchReference) {
+  // A matrix with explicit -0.0 entries: the symmetrised reference computes
+  // a(r,j) + 0 for mirrored entries, which flips -0.0 to +0.0; the merge
+  // path must reproduce that bit for bit.
+  std::vector<nnz_t> ptr = {0, 2, 3, 4};
+  std::vector<index_t> rows = {0, 2, 1, 2};
+  std::vector<value_t> vals = {1.0, -0.0, 2.0, 3.0};
+  const Csc a =
+      Csc::from_parts(3, 3, std::move(ptr), std::move(rows), std::move(vals));
+  ThreadPool pool(4);
+  expect_bitwise_equal(symmetrized_with_diagonal(a, &pool),
+                       a.symmetrized().with_full_diagonal());
+}
+
+}  // namespace
+}  // namespace pangulu

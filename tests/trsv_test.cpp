@@ -117,6 +117,83 @@ TEST(Trsv, RejectsBadInputs) {
   EXPECT_FALSE(simulate_trsv(f.bm, f.mapping, true, x, opts, &res).is_ok());
 }
 
+TEST(Trsv, PlanBasedRunMatchesLegacyBitwise) {
+  Csc a = matgen::circuit(300, 2.0, 2.2, 7);
+  Factored f = factorize_blocks(a, 32, 4);
+  std::vector<value_t> rhs(static_cast<std::size_t>(a.n_cols()));
+  for (index_t i = 0; i < a.n_cols(); ++i)
+    rhs[static_cast<std::size_t>(i)] = 0.01 * i - 1.0;
+
+  TrsvOptions opts;
+  opts.n_ranks = 4;
+  for (bool lower : {true, false}) {
+    std::vector<value_t> x_legacy = rhs;
+    std::vector<value_t> x_plan = rhs;
+    SimResult r_legacy, r_plan;
+    ASSERT_TRUE(
+        simulate_trsv(f.bm, f.mapping, lower, x_legacy, opts, &r_legacy)
+            .is_ok());
+    TrsvPlan plan;
+    ASSERT_TRUE(build_trsv_plan(f.bm, f.mapping, lower, opts, &plan).is_ok());
+    ASSERT_TRUE(simulate_trsv(f.bm, plan, x_plan, opts, &r_plan).is_ok());
+    EXPECT_EQ(x_plan, x_legacy);  // operator== on doubles: bitwise-exact path
+    EXPECT_EQ(r_plan.makespan, r_legacy.makespan);
+    EXPECT_EQ(r_plan.messages, r_legacy.messages);
+    EXPECT_EQ(r_plan.bytes, r_legacy.bytes);
+  }
+}
+
+TEST(Trsv, PlanReuseAcrossRepeatSolves) {
+  Csc a = matgen::grid2d_laplacian(12, 12);
+  Factored f = factorize_blocks(a, 24, 4);
+  TrsvOptions opts;
+  opts.n_ranks = 4;
+  TrsvPlan fwd, bwd;
+  ASSERT_TRUE(build_trsv_plan(f.bm, f.mapping, true, opts, &fwd).is_ok());
+  ASSERT_TRUE(build_trsv_plan(f.bm, f.mapping, false, opts, &bwd).is_ok());
+
+  std::vector<value_t> x_true(static_cast<std::size_t>(a.n_cols()), 1.0);
+  std::vector<value_t> b0(static_cast<std::size_t>(a.n_rows()));
+  a.spmv(x_true, b0);
+
+  // The same plans drive many solves; every run must reach the solution and
+  // report the same virtual schedule (the plan is read-only during a run).
+  SimResult first_fwd, first_bwd;
+  for (int run = 0; run < 3; ++run) {
+    std::vector<value_t> b = b0;
+    SimResult rf, rb;
+    ASSERT_TRUE(simulate_trsv(f.bm, fwd, b, opts, &rf).is_ok());
+    ASSERT_TRUE(simulate_trsv(f.bm, bwd, b, opts, &rb).is_ok());
+    for (index_t i = 0; i < a.n_cols(); ++i)
+      EXPECT_NEAR(b[static_cast<std::size_t>(i)], 1.0, 1e-8);
+    if (run == 0) {
+      first_fwd = rf;
+      first_bwd = rb;
+    } else {
+      EXPECT_EQ(rf.makespan, first_fwd.makespan);
+      EXPECT_EQ(rb.makespan, first_bwd.makespan);
+      EXPECT_EQ(rf.messages, first_fwd.messages);
+      EXPECT_EQ(rb.messages, first_bwd.messages);
+    }
+  }
+}
+
+TEST(Trsv, PlanRejectsMismatchedOptions) {
+  Csc a = matgen::grid2d_laplacian(6, 6);
+  Factored f = factorize_blocks(a, 12, 2);
+  TrsvOptions opts;
+  opts.n_ranks = 2;
+  TrsvPlan plan;
+  ASSERT_TRUE(build_trsv_plan(f.bm, f.mapping, true, opts, &plan).is_ok());
+  std::vector<value_t> x(static_cast<std::size_t>(a.n_cols()), 0.0);
+  SimResult res;
+  TrsvOptions bad = opts;
+  bad.n_ranks = 3;
+  EXPECT_FALSE(simulate_trsv(f.bm, plan, x, bad, &res).is_ok());
+  std::vector<value_t> wrong_size(10, 0.0);
+  EXPECT_FALSE(simulate_trsv(f.bm, plan, wrong_size, opts, &res).is_ok());
+}
+
 TEST(Trsv, MoreRanksReduceMakespanOnHeavyFactors) {
   Csc a = matgen::banded_random(700, 60, 0.5, 4, 9);
   Factored f1 = factorize_blocks(a, 100, 1);
@@ -131,6 +208,61 @@ TEST(Trsv, MoreRanksReduceMakespanOnHeavyFactors) {
   ASSERT_TRUE(simulate_trsv(f8.bm, f8.mapping, true, x, o8, &r8).is_ok());
   EXPECT_LT(r8.makespan, r1.makespan * 1.2)
       << "triangular solve has limited parallelism but must not collapse";
+}
+
+TEST(Trsv, SolverPlansSurviveRepeatAndTransposeSolves) {
+  Csc a = matgen::circuit(250, 2.0, 2.2, 21);
+  const index_t n = a.n_cols();
+  solver::Solver s;
+  solver::Options opts;
+  opts.n_ranks = 4;
+  ASSERT_TRUE(s.factorize(a, opts).is_ok());
+
+  std::vector<value_t> x_true(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i)
+    x_true[static_cast<std::size_t>(i)] = 1.0 + 0.001 * i;
+  std::vector<value_t> b(static_cast<std::size_t>(n));
+  a.spmv(x_true, b);
+
+  // Repeat solves reuse the cached schedules and must agree exactly.
+  std::vector<value_t> x1(static_cast<std::size_t>(n));
+  std::vector<value_t> x2(static_cast<std::size_t>(n));
+  ASSERT_TRUE(s.solve(b, x1).is_ok());
+  ASSERT_TRUE(s.solve(b, x2).is_ok());
+  EXPECT_EQ(x1, x2);
+  for (index_t i = 0; i < n; ++i)
+    EXPECT_NEAR(x1[static_cast<std::size_t>(i)],
+                x_true[static_cast<std::size_t>(i)], 1e-6);
+
+  // Transpose solves share the same plan.
+  Csc at = a.transpose();
+  std::vector<value_t> bt(static_cast<std::size_t>(n));
+  at.spmv(x_true, bt);
+  std::vector<value_t> y1(static_cast<std::size_t>(n));
+  std::vector<value_t> y2(static_cast<std::size_t>(n));
+  ASSERT_TRUE(s.solve_transpose(bt, y1).is_ok());
+  ASSERT_TRUE(s.solve_transpose(bt, y2).is_ok());
+  EXPECT_EQ(y1, y2);
+  for (index_t i = 0; i < n; ++i)
+    EXPECT_NEAR(y1[static_cast<std::size_t>(i)],
+                x_true[static_cast<std::size_t>(i)], 1e-6);
+
+  // Re-factorisation with new values invalidates and rebuilds the plans.
+  Csc a2 = a;
+  for (auto& v : a2.values_mut()) v *= 2.0;
+  ASSERT_TRUE(s.refactorize(a2).is_ok());
+  std::vector<value_t> b2(static_cast<std::size_t>(n));
+  a2.spmv(x_true, b2);
+  std::vector<value_t> x3(static_cast<std::size_t>(n));
+  ASSERT_TRUE(s.solve(b2, x3).is_ok());
+  for (index_t i = 0; i < n; ++i)
+    EXPECT_NEAR(x3[static_cast<std::size_t>(i)],
+                x_true[static_cast<std::size_t>(i)], 1e-6);
+
+  runtime::SimResult fwd, bwd;
+  ASSERT_TRUE(s.model_triangular_solve(&fwd, &bwd).is_ok());
+  EXPECT_GT(fwd.makespan, 0);
+  EXPECT_GT(bwd.makespan, 0);
 }
 
 }  // namespace
