@@ -2,10 +2,39 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <string>
 
 #include "parallel/partition.hpp"
 
 namespace pangulu::block {
+
+Status check_blocking_bounds(index_t n, index_t block_size, nnz_t nnz_filled) {
+  if (n < 0 || nnz_filled < 0)
+    return Status::invalid_argument("blocking: negative matrix dimensions");
+  if (block_size < 1)
+    return Status::invalid_argument("blocking: block size must be >= 1");
+  constexpr index_t kMaxIdx = std::numeric_limits<index_t>::max();
+  constexpr nnz_t kMaxNnz = std::numeric_limits<nnz_t>::max();
+  // BlockGrid's ceil-divide computes n + block_size - 1 in index_t.
+  if (n > kMaxIdx - (block_size - 1))
+    return Status::out_of_range(
+        "blocking: n + block_size - 1 overflows the 32-bit index (n = " +
+        std::to_string(n) + ", b = " + std::to_string(block_size) + ")");
+  // The per-cell count table is nb*nb wide; mapping tables index it in nnz_t.
+  const nnz_t nb = (static_cast<nnz_t>(n) + block_size - 1) / block_size;
+  if (nb > 0 && nb > kMaxNnz / nb)
+    return Status::out_of_range(
+        "blocking: dense block grid nb*nb overflows the 64-bit index (nb = " +
+        std::to_string(nb) + ")");
+  // Flat per-block offset arrays carry one slot per filled nonzero plus the
+  // nb*nb cell table; guard the sum too.
+  if (nnz_filled > kMaxNnz - nb * nb)
+    return Status::out_of_range(
+        "blocking: filled nonzero count plus the block-cell table overflows "
+        "the 64-bit index");
+  return Status::ok();
+}
 
 index_t choose_block_size(index_t n, nnz_t nnz_filled, index_t min_blocks) {
   if (n <= 0) return 1;

@@ -42,6 +42,14 @@ struct BlockGrid {
 /// parallelism for the process grid.
 index_t choose_block_size(index_t n, nnz_t nnz_filled, index_t min_blocks = 8);
 
+/// Guard the index arithmetic the 2D blocking performs before doing any of
+/// it: `n + block_size - 1` (the ceil-divide in BlockGrid) must not overflow
+/// index_t, `nb * nb` (dense block-grid bound used by the mapping tables)
+/// must not overflow nnz_t, and the filled nonzero count must fit the flat
+/// per-block offset arrays. Returns kOutOfRange with a diagnosis otherwise.
+[[nodiscard]] Status check_blocking_bounds(index_t n, index_t block_size,
+                                           nnz_t nnz_filled);
+
 /// Two-layer sparse block storage.
 class BlockMatrix {
  public:

@@ -33,6 +33,7 @@ int set_status(pangulu_handle* h, const Status& s) {
     case StatusCode::kIoError: return PANGULU_IO_ERROR;
     case StatusCode::kUnavailable: return PANGULU_UNAVAILABLE;
     case StatusCode::kInvariantViolation: return PANGULU_INVARIANT_VIOLATION;
+    case StatusCode::kDataCorruption: return PANGULU_DATA_CORRUPTION;
     default: return PANGULU_INTERNAL;
   }
 }
@@ -109,6 +110,52 @@ int pangulu_factorize(pangulu_handle* h, int32_t n_ranks, int32_t block_size) {
     if (s.is_ok()) h->factorized = true;
     return set_status(h, s);
   });
+}
+
+int pangulu_factorize_checkpointed(pangulu_handle* h, int32_t n_ranks,
+                                   int32_t block_size,
+                                   const char* checkpoint_path,
+                                   int64_t interval_tasks) {
+  if (!h || !checkpoint_path || !checkpoint_path[0] || interval_tasks < 0)
+    return PANGULU_INVALID_ARGUMENT;
+  return guarded(h, [&]() -> int {
+    pangulu::solver::Options opts;
+    opts.n_ranks = n_ranks > 0 ? n_ranks : 1;
+    opts.block_size = block_size;
+    opts.checkpoint_path = checkpoint_path;
+    opts.checkpoint_interval_tasks =
+        static_cast<pangulu::index_t>(interval_tasks);
+    /* Checkpointing without corruption detection saves corrupted state;
+     * arm the cheap audit level alongside. */
+    opts.abft_level = pangulu::runtime::AbftLevel::kCheap;
+    Status s = h->solver.factorize(h->matrix, opts);
+    if (s.is_ok()) h->factorized = true;
+    return set_status(h, s);
+  });
+}
+
+int pangulu_resume_from_checkpoint(const char* checkpoint_path,
+                                   pangulu_handle** out) {
+  if (!out || !checkpoint_path) return PANGULU_INVALID_ARGUMENT;
+  *out = nullptr;
+  auto* h = new pangulu_handle();
+  const int rc = guarded(h, [&]() -> int {
+    /* Keep checkpointing to the same file while the resumed run finishes —
+     * a second interruption stays recoverable. */
+    pangulu::solver::Options base;
+    base.checkpoint_path = checkpoint_path;
+    Status s = h->solver.resume_from(checkpoint_path, base);
+    if (!s.is_ok()) return set_status(h, s);
+    h->matrix = h->solver.matrix();
+    h->factorized = true;
+    return PANGULU_OK;
+  });
+  if (rc != PANGULU_OK) {
+    delete h;
+    return rc;
+  }
+  *out = h;
+  return PANGULU_OK;
 }
 
 int pangulu_solve(pangulu_handle* h, double* b_x) {

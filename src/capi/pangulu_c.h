@@ -32,7 +32,10 @@ typedef enum pangulu_status {
   PANGULU_UNAVAILABLE = 7,
   /* The static task-graph verifier found a broken scheduling invariant;
    * pangulu_last_error() names it. */
-  PANGULU_INVARIANT_VIOLATION = 8
+  PANGULU_INVARIANT_VIOLATION = 8,
+  /* Silent data corruption: an ABFT checksum audit failed during the
+   * factorisation, or a checkpoint file failed its CRC on load. */
+  PANGULU_DATA_CORRUPTION = 9
 } pangulu_status;
 
 /* Create a solver handle holding a copy of the n x n CSC matrix:
@@ -46,6 +49,28 @@ int pangulu_create_from_file(const char* path, pangulu_handle** out);
 /* Full pipeline (reorder, symbolic, blocking, numeric) on a simulated
  * cluster of n_ranks processes. block_size 0 selects the heuristic. */
 int pangulu_factorize(pangulu_handle* h, int32_t n_ranks, int32_t block_size);
+
+/* As pangulu_factorize, but with checkpoint/restart armed: a versioned,
+ * CRC-checksummed snapshot of the factorisation state is written atomically
+ * to `checkpoint_path` every `interval_tasks` completed block tasks
+ * (0 selects the default cadence of ~1/4 of the task count). ABFT checksum
+ * audits run at the cheap level while checkpointing is armed, so silent
+ * corruption is detected (PANGULU_DATA_CORRUPTION) instead of landing in
+ * the factors. */
+int pangulu_factorize_checkpointed(pangulu_handle* h, int32_t n_ranks,
+                                   int32_t block_size,
+                                   const char* checkpoint_path,
+                                   int64_t interval_tasks);
+
+/* Resume an interrupted factorisation from a snapshot written by
+ * pangulu_factorize_checkpointed. Creates a NEW handle (the matrix and all
+ * options that determine the computed bits are restored from the snapshot)
+ * and continues to completion; the resulting factors are bitwise identical
+ * to an uninterrupted run. Returns PANGULU_DATA_CORRUPTION when the
+ * snapshot fails its CRC, PANGULU_FAILED_PRECONDITION when it is
+ * inconsistent with the matrix it claims to checkpoint. */
+int pangulu_resume_from_checkpoint(const char* checkpoint_path,
+                                   pangulu_handle** out);
 
 /* Solve A x = b. b_x holds b on entry and x on return (length n). */
 int pangulu_solve(pangulu_handle* h, double* b_x);

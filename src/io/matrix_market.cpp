@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 namespace pangulu::io {
@@ -41,31 +43,73 @@ Status read_matrix_market(std::istream& in, Csc* out) {
     return Status::io_error("unsupported symmetry: " + symmetry);
 
   // Skip comments.
+  bool have_dims = false;
   while (std::getline(in, line)) {
-    if (!line.empty() && line[0] != '%') break;
+    if (!line.empty() && line[0] != '%') {
+      have_dims = true;
+      break;
+    }
   }
+  if (!have_dims)
+    return Status::io_error("truncated stream: no dimension line after header");
   std::istringstream dims(line);
   long rows = 0, cols = 0, entries = 0;
-  dims >> rows >> cols >> entries;
+  if (!(dims >> rows >> cols >> entries))
+    return Status::io_error("malformed dimension line: '" + line + "'");
   if (rows <= 0 || cols <= 0 || entries < 0)
     return Status::io_error("bad dimension line");
+  // Dimensions must fit the 32-bit index type the solver works in (the file
+  // format itself allows 64-bit sizes).
+  constexpr long kMaxDim = std::numeric_limits<index_t>::max();
+  if (rows > kMaxDim || cols > kMaxDim)
+    return Status::out_of_range(
+        "matrix dimensions exceed the 32-bit index range");
+  if ((symmetric || skew) && rows != cols)
+    return Status::io_error(
+        "header declares " + symmetry + " but the matrix is not square");
 
   Coo coo(static_cast<index_t>(rows), static_cast<index_t>(cols));
   coo.entries.reserve(static_cast<std::size_t>(entries) * (symmetric ? 2 : 1));
   for (long k = 0; k < entries; ++k) {
     long r = 0, c = 0;
     double v = 1.0;
-    if (!(in >> r >> c)) return Status::io_error("truncated entry list");
-    if (!pattern && !(in >> v)) return Status::io_error("missing value");
+    if (!(in >> r >> c))
+      return Status::io_error("truncated entry list: header promised " +
+                              std::to_string(entries) + " entries, got " +
+                              std::to_string(k));
+    if (!pattern && !(in >> v))
+      return Status::io_error("missing or unparsable value at entry " +
+                              std::to_string(k + 1));
     if (r < 1 || r > rows || c < 1 || c > cols)
-      return Status::io_error("entry index out of range");
+      return Status::out_of_range(
+          "entry " + std::to_string(k + 1) + " index (" + std::to_string(r) +
+          ", " + std::to_string(c) + ") outside the declared " +
+          std::to_string(rows) + "x" + std::to_string(cols) + " shape");
+    if (!std::isfinite(v))
+      return Status::io_error("non-finite value (NaN/Inf) at entry " +
+                              std::to_string(k + 1));
+    if (skew && r == c)
+      return Status::io_error("skew-symmetric matrix stores diagonal entry " +
+                              std::to_string(r));
     coo.add(static_cast<index_t>(r - 1), static_cast<index_t>(c - 1), v);
     if ((symmetric || skew) && r != c) {
       coo.add(static_cast<index_t>(c - 1), static_cast<index_t>(r - 1),
               skew ? -v : v);
     }
   }
+  // Anything left beyond whitespace means the header lied about the entry
+  // count (or two files were concatenated) — refuse rather than truncate.
+  char trailing = 0;
+  if (in >> trailing)
+    return Status::io_error(
+        "trailing data after the declared entry list (header promised " +
+        std::to_string(entries) + " entries)");
+  const std::size_t stored = coo.entries.size();
   *out = Csc::from_coo(coo);
+  // from_coo sums duplicates silently; a well-formed Matrix Market file
+  // lists each coordinate once, so a shrinking nnz exposes duplicates.
+  if (static_cast<std::size_t>(out->nnz()) != stored)
+    return Status::io_error("duplicate coordinate entries in the file");
   return Status::ok();
 }
 

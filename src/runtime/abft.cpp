@@ -1,0 +1,140 @@
+#include "runtime/abft.hpp"
+
+#include <string>
+#include <utility>
+
+namespace pangulu::runtime {
+
+namespace {
+
+using block::BlockMatrix;
+using block::Task;
+using block::TaskKind;
+
+/// Replay recursion bound: a legitimate repair chain is at most
+/// source-of-source deep (SSSSM sources are finalised panels whose own
+/// sources are diagonal blocks), so a small constant suffices.
+constexpr int kMaxRepairDepth = 4;
+
+}  // namespace
+
+std::uint64_t block_checksum(const Csc& blk) {
+  const auto vals = blk.values();
+  const auto* bytes = reinterpret_cast<const unsigned char*>(vals.data());
+  const std::size_t n = vals.size() * sizeof(value_t);
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV offset basis
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= bytes[i];
+    h *= 0x100000001b3ULL;  // FNV prime
+  }
+  return h;
+}
+
+AbftGuard::AbftGuard(BlockMatrix& bm, const std::vector<Task>& tasks,
+                     AbftLevel level, index_t first_task, TaskRunner runner)
+    : bm_(bm),
+      tasks_(tasks),
+      level_(level),
+      first_task_(first_task),
+      cursor_(first_task),
+      runner_(std::move(runner)) {
+  const auto nblocks = static_cast<std::size_t>(bm_.n_blocks());
+  sum_.resize(nblocks);
+  base_.resize(nblocks);
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    const Csc& blk = bm_.block(static_cast<nnz_t>(b));
+    sum_[b] = block_checksum(blk);
+    base_[b].assign(blk.values().begin(), blk.values().end());
+  }
+  // CSR of tasks per target block, canonical order preserved per block.
+  by_block_ptr_.assign(nblocks + 1, 0);
+  for (const Task& t : tasks_)
+    ++by_block_ptr_[static_cast<std::size_t>(t.target) + 1];
+  for (std::size_t b = 0; b < nblocks; ++b)
+    by_block_ptr_[b + 1] += by_block_ptr_[b];
+  by_block_task_.resize(tasks_.size());
+  std::vector<nnz_t> cursor(by_block_ptr_.begin(), by_block_ptr_.end() - 1);
+  for (index_t t = 0; t < static_cast<index_t>(tasks_.size()); ++t) {
+    const auto b = static_cast<std::size_t>(tasks_[static_cast<std::size_t>(t)].target);
+    by_block_task_[static_cast<std::size_t>(cursor[b]++)] = t;
+  }
+}
+
+Status AbftGuard::ensure_clean(nnz_t pos, int depth) {
+  ++stats_.audits;
+  const auto b = static_cast<std::size_t>(pos);
+  if (block_checksum(bm_.block(pos)) == sum_[b]) return Status::ok();
+  ++stats_.detected;
+  if (depth >= kMaxRepairDepth)
+    return Status::data_corruption(
+        "abft: repair recursion exceeded depth bound at block position " +
+        std::to_string(pos));
+
+  // Restore the armed-time values, then replay this block's committed tasks
+  // in canonical order. Sources of replayed tasks are audited first so a
+  // corrupt input can never be baked into the "repaired" block.
+  Csc& blk = bm_.block(pos);
+  auto vals = blk.values_mut();
+  PANGULU_CHECK(vals.size() == base_[b].size(),
+                "abft: block nnz changed under the guard");
+  std::copy(base_[b].begin(), base_[b].end(), vals.begin());
+  for (nnz_t q = by_block_ptr_[b]; q < by_block_ptr_[b + 1]; ++q) {
+    const index_t t = by_block_task_[static_cast<std::size_t>(q)];
+    if (t < first_task_ || t >= cursor_) continue;
+    const Task& task = tasks_[static_cast<std::size_t>(t)];
+    if (task.src_a >= 0 && task.src_a != pos) {
+      Status s = ensure_clean(task.src_a, depth + 1);
+      if (!s.is_ok()) return s;
+    }
+    if (task.src_b >= 0 && task.src_b != pos) {
+      Status s = ensure_clean(task.src_b, depth + 1);
+      if (!s.is_ok()) return s;
+    }
+    Status s = runner_(t);
+    if (!s.is_ok()) return s;
+  }
+  if (block_checksum(bm_.block(pos)) != sum_[b])
+    return Status::data_corruption(
+        "abft: block position " + std::to_string(pos) +
+        " failed its checksum and replay could not reproduce it (corrupt "
+        "baseline or inputs)");
+  ++stats_.recomputed;
+  return Status::ok();
+}
+
+Status AbftGuard::before_task(index_t t) {
+  if (level_ == AbftLevel::kOff) return Status::ok();
+  const Task& task = tasks_[static_cast<std::size_t>(t)];
+  if (task.src_a >= 0) {
+    Status s = ensure_clean(task.src_a, 0);
+    if (!s.is_ok()) return s;
+  }
+  if (task.src_b >= 0 && task.src_b != task.src_a) {
+    Status s = ensure_clean(task.src_b, 0);
+    if (!s.is_ok()) return s;
+  }
+  if (level_ == AbftLevel::kFull) {
+    Status s = ensure_clean(task.target, 0);
+    if (!s.is_ok()) return s;
+  }
+  return Status::ok();
+}
+
+void AbftGuard::after_task(index_t t) {
+  const Task& task = tasks_[static_cast<std::size_t>(t)];
+  if (level_ != AbftLevel::kOff)
+    sum_[static_cast<std::size_t>(task.target)] =
+        block_checksum(bm_.block(task.target));
+  cursor_ = t + 1;
+}
+
+Status AbftGuard::final_sweep() {
+  if (level_ != AbftLevel::kFull) return Status::ok();
+  for (nnz_t pos = 0; pos < static_cast<nnz_t>(sum_.size()); ++pos) {
+    Status s = ensure_clean(pos, 0);
+    if (!s.is_ok()) return s;
+  }
+  return Status::ok();
+}
+
+}  // namespace pangulu::runtime

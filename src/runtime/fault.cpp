@@ -44,6 +44,14 @@ Status FaultPlan::validate(rank_t n_ranks) const {
   if (n_crashed >= n_ranks)
     return Status::unavailable(
         "fault plan crashes every rank: no survivor can recover");
+  for (const BitFlip& f : bitflips) {
+    if (f.after_task < 0 || f.block_pos < 0 || f.value_index < 0)
+      return bad("fault plan: bit flip indices must be non-negative");
+    if (f.bit < 0 || f.bit >= 64)
+      return bad("fault plan: bit flip bit must lie in [0, 64)");
+  }
+  if (kill_after_task < -1)
+    return bad("fault plan: kill_after_task must be -1 (off) or >= 0");
   return Status::ok();
 }
 

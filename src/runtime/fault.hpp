@@ -61,9 +61,27 @@ struct FaultPlan {
   std::vector<Stall> stalls;
   std::vector<Crash> crashes;
 
+  // --- Data/process faults (canonical-execution clock) -----------------
+  // These are pinned to canonical task indices, not virtual time: they model
+  // what happens to the *numeric state* (a silent bit flip in stored values,
+  // a whole-process death mid-factorisation), which lives on the canonical
+  // execution path shared by every schedule.
+  struct BitFlip {
+    index_t after_task = 0;  // injected right after this task commits
+    nnz_t block_pos = 0;     // stored-block position in the BlockMatrix
+    nnz_t value_index = 0;   // which value within the block
+    int bit = 0;             // which bit of the double's 64-bit pattern
+  };
+  std::vector<BitFlip> bitflips;
+  /// >= 0: the process "dies" (StatusCode::kUnavailable) once this many
+  /// canonical tasks have committed — checkpoints written up to that point
+  /// stay on disk for Solver::resume_from. -1: never.
+  index_t kill_after_task = -1;
+
   bool empty() const {
     return drop_prob == 0 && dup_prob == 0 && reorder_prob == 0 &&
-           slowdowns.empty() && stalls.empty() && crashes.empty();
+           slowdowns.empty() && stalls.empty() && crashes.empty() &&
+           bitflips.empty() && kill_after_task < 0;
   }
   bool has_message_faults() const {
     return drop_prob > 0 || dup_prob > 0 || reorder_prob > 0;

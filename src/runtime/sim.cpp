@@ -1,7 +1,9 @@
 #include "runtime/sim.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <limits>
+#include <optional>
 #include <queue>
 #include <string>
 #include <tuple>
@@ -12,6 +14,7 @@
 #include "kernels/ssssm.hpp"
 #include "kernels/tstrf.hpp"
 #include "util/rng.hpp"
+#include "util/timer.hpp"
 
 namespace pangulu::runtime {
 
@@ -689,16 +692,115 @@ Status simulate_factorization(BlockMatrix& bm, const std::vector<Task>& tasks,
   // replay. The factors therefore never depend on the simulated schedule:
   // rank count, scheduling mode, stragglers, retransmissions, and crash
   // recovery change only the clock, so any recoverable fault plan is
-  // guaranteed to reproduce the fault-free factors bit for bit.
+  // guaranteed to reproduce the fault-free factors bit for bit. The same
+  // canonical clock carries the robustness machinery: every commit boundary
+  // is a task-graph safe point, so checkpoints, ABFT audits, injected bit
+  // flips and simulated process kills all key off the task index.
   if (opts.execute_numerics) {
     PANGULU_CHECK(block::is_topological_order(bm, tasks),
                   "task enumeration order must be topological");
+    if (opts.resume_from_task < 0 || opts.resume_from_task > nt)
+      return Status::invalid_argument("resume_from_task out of range");
+    if (opts.checkpoint_interval_tasks < 0)
+      return Status::invalid_argument("checkpoint interval must be >= 0");
     kernels::Workspace ws;
     kernels::PivotStats pivots;
-    for (index_t t = 0; t < nt; ++t) {
+
+    // The ABFT repair path replays tasks with the *same* resolved plan as
+    // the original execution (and a scratch workspace/pivot counter, so a
+    // repair never perturbs the primary run's state or statistics) — the
+    // recomputed block is bitwise identical to the uncorrupted one.
+    kernels::Workspace replay_ws;
+    std::optional<AbftGuard> guard;
+    if (opts.abft != AbftLevel::kOff) {
+      guard.emplace(bm, tasks, opts.abft, opts.resume_from_task,
+                    [&](index_t u) -> Status {
+                      kernels::PivotStats scratch;
+                      return run_numerics(tasks[static_cast<std::size_t>(u)],
+                                          plans[static_cast<std::size_t>(u)],
+                                          bm, replay_ws, &scratch,
+                                          opts.pivot_tol);
+                    });
+    }
+    auto finish_abft = [&] {
+      if (!guard) return;
+      result->abft_audits = guard->stats().audits;
+      result->abft_detected = guard->stats().detected;
+      result->abft_recomputed = guard->stats().recomputed;
+    };
+
+    // Bit flips keyed to commit indices, in injection order. Flips at
+    // indices before the resume point already happened in the killed run.
+    std::vector<FaultPlan::BitFlip> flips = opts.faults.bitflips;
+    std::stable_sort(flips.begin(), flips.end(),
+                     [](const FaultPlan::BitFlip& a,
+                        const FaultPlan::BitFlip& b) {
+                       return a.after_task < b.after_task;
+                     });
+    std::size_t fi = 0;
+    while (fi < flips.size() &&
+           flips[fi].after_task < opts.resume_from_task)
+      ++fi;
+
+    // Worthiness floor for the default cadence: wall-clock work since the
+    // last snapshot (or the phase start). Only read at safe points.
+    Timer ckpt_elapsed;
+
+    for (index_t t = opts.resume_from_task; t < nt; ++t) {
+      if (guard) {
+        Status s = guard->before_task(t);
+        if (!s.is_ok()) {
+          finish_abft();
+          return s;
+        }
+      }
       Status s = run_numerics(tasks[static_cast<std::size_t>(t)],
                               plans[static_cast<std::size_t>(t)], bm, ws,
                               &pivots, opts.pivot_tol);
+      if (!s.is_ok()) {
+        finish_abft();
+        return s;
+      }
+      if (guard) guard->after_task(t);
+      // Inject silent corruption *after* the commit's checksum is recorded:
+      // the flip lands between a legitimate write and the next read, which
+      // is exactly the window real bit flips occupy.
+      for (; fi < flips.size() && flips[fi].after_task == t; ++fi) {
+        const FaultPlan::BitFlip& f = flips[fi];
+        if (f.block_pos >= static_cast<nnz_t>(bm.n_blocks())) continue;
+        auto vals = bm.block(f.block_pos).values_mut();
+        if (f.value_index >= static_cast<nnz_t>(vals.size())) continue;
+        std::uint64_t bits;
+        std::memcpy(&bits, &vals[static_cast<std::size_t>(f.value_index)],
+                    sizeof bits);
+        bits ^= std::uint64_t(1) << f.bit;
+        std::memcpy(&vals[static_cast<std::size_t>(f.value_index)], &bits,
+                    sizeof bits);
+      }
+      const index_t done = t + 1;
+      if (opts.checkpoint_interval_tasks > 0 && opts.checkpoint_sink &&
+          done % opts.checkpoint_interval_tasks == 0 && done < nt &&
+          (opts.checkpoint_min_elapsed_seconds <= 0 ||
+           ckpt_elapsed.seconds() >= opts.checkpoint_min_elapsed_seconds)) {
+        Status cs = opts.checkpoint_sink(done);
+        if (!cs.is_ok()) {
+          finish_abft();
+          return cs;
+        }
+        ++result->checkpoints_written;
+        ckpt_elapsed.reset();
+      }
+      if (opts.faults.kill_after_task >= 0 &&
+          done == opts.faults.kill_after_task) {
+        finish_abft();
+        return Status::unavailable(
+            "simulated process kill after canonical task " +
+            std::to_string(done) + " of " + std::to_string(nt));
+      }
+    }
+    if (guard) {
+      Status s = guard->final_sweep();
+      finish_abft();
       if (!s.is_ok()) return s;
     }
     result->perturbed_pivots = pivots.perturbed;

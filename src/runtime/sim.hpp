@@ -25,12 +25,14 @@
 //    baseline in Figure 14).
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "analysis/verify.hpp"
 #include "block/mapping.hpp"
 #include "block/tasks.hpp"
 #include "kernels/selector.hpp"
+#include "runtime/abft.hpp"
 #include "runtime/device_model.hpp"
 #include "runtime/fault.hpp"
 #include "runtime/trace.hpp"
@@ -67,6 +69,28 @@ struct SimOptions {
   /// violated invariant aborts the run with StatusCode::kInvariantViolation
   /// instead of letting the scheduler hang on an orphaned block.
   analysis::VerifyLevel verify_level = analysis::VerifyLevel::kCheap;
+  /// Silent-corruption audits on the canonical execution (runtime/abft.hpp):
+  /// kCheap audits a task's source blocks before each kernel, kFull adds the
+  /// target and a final sweep. Detected corruption is recomputed from live
+  /// inputs when possible; otherwise the run fails with
+  /// StatusCode::kDataCorruption.
+  AbftLevel abft = AbftLevel::kOff;
+  /// Canonical tasks [0, resume_from_task) are assumed already committed
+  /// into `bm` (restored from a snapshot); numerics start from this index.
+  /// The DES replay still models the whole schedule.
+  index_t resume_from_task = 0;
+  /// > 0 with a sink set: after every `checkpoint_interval_tasks` canonical
+  /// commits (a task-graph safe point), call `checkpoint_sink(tasks_done)`.
+  /// A failing sink aborts the run with its status.
+  index_t checkpoint_interval_tasks = 0;
+  std::function<Status(index_t)> checkpoint_sink;
+  /// > 0: worthiness floor for the default cadence — a safe point is skipped
+  /// (no sink call, nothing counted) unless at least this much wall-clock
+  /// work has elapsed since the previous snapshot (or the start of the
+  /// numeric phase). Losing work that re-runs faster than a snapshot writes
+  /// is cheaper than checkpointing it. Explicit user intervals leave this 0
+  /// and fire exactly on schedule.
+  double checkpoint_min_elapsed_seconds = 0;
 };
 
 struct RankStats {
@@ -110,6 +134,12 @@ struct SimResult {
   /// Virtual time attributable to fault handling: retransmit backoff waits,
   /// crash-detection windows, re-mapping work, and stall freezes.
   double recovery_time = 0;
+
+  // ABFT / checkpoint counters (zero when both features are off).
+  std::int64_t abft_audits = 0;       // blocks checksummed in audits
+  std::int64_t abft_detected = 0;     // checksum mismatches found
+  std::int64_t abft_recomputed = 0;   // corrupted blocks rebuilt by replay
+  std::int64_t checkpoints_written = 0;
 
   double gflops() const {
     return makespan > 0 ? total_flops / makespan / 1e9 : 0;

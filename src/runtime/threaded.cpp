@@ -4,7 +4,9 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <cstring>
 #include <queue>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -14,6 +16,7 @@
 #include "kernels/ssssm.hpp"
 #include "kernels/tstrf.hpp"
 #include "parallel/annotations.hpp"
+#include "runtime/abft.hpp"
 
 namespace pangulu::runtime {
 
@@ -57,6 +60,38 @@ Status threaded_factorize(BlockMatrix& bm, const std::vector<Task>& tasks,
   std::atomic<index_t> remaining{nt};
   std::atomic<bool> failed{false};
   std::atomic<std::uint64_t> steals{0};
+  // First failure wins; the typed status (not just a bool) reaches the
+  // caller so kDataCorruption is distinguishable from a numerical error.
+  Mutex err_mu;
+  Status first_error PANGULU_GUARDED_BY(err_mu);
+  auto record_failure = [&](Status s) {
+    {
+      MutexLock lk(err_mu);
+      if (first_error.is_ok()) first_error = std::move(s);
+    }
+    failed.store(true, std::memory_order_release);
+    for (auto& q : queues) q.cv.notify_all();
+  };
+
+  // Detection-only ABFT: a finalised block's checksum is published with
+  // release order by the thread that ran its finaliser and audited with
+  // acquire order by every reader — the same edge that publishes the block
+  // values themselves, so the audit is race-free by construction.
+  const bool audit = opts.abft != AbftLevel::kOff;
+  std::vector<std::atomic<std::uint64_t>> published(
+      audit ? static_cast<std::size_t>(bm.n_blocks()) : 0);
+  auto audit_source = [&](nnz_t pos) -> Status {
+    if (!audit || pos < 0) return Status::ok();
+    const std::uint64_t want =
+        published[static_cast<std::size_t>(pos)].load(
+            std::memory_order_acquire);
+    if (block_checksum(bm.block(pos)) != want)
+      return Status::data_corruption(
+          "abft: finalised block position " + std::to_string(pos) +
+          " failed its checksum audit (silent corruption); restart from a "
+          "checkpoint");
+    return Status::ok();
+  };
 
   // One busy flag per block position. A task mutates exactly its target
   // block, so two tasks may run concurrently iff their targets differ; the
@@ -143,7 +178,14 @@ Status threaded_factorize(BlockMatrix& bm, const std::vector<Task>& tasks,
         std::this_thread::yield();
         continue;
       }
-      Status s = Status::ok();
+      Status s = audit_source(task.src_a);
+      if (s.is_ok() && task.src_b >= 0 && task.src_b != task.src_a)
+        s = audit_source(task.src_b);
+      if (!s.is_ok()) {
+        busy.store(0, std::memory_order_release);
+        record_failure(std::move(s));
+        return;
+      }
       switch (task.kind) {
         case TaskKind::kGetrf: {
           kernels::GetrfOptions go;
@@ -170,10 +212,34 @@ Status threaded_factorize(BlockMatrix& bm, const std::vector<Task>& tasks,
                              bm.block(task.target), ws, nullptr);
           break;
       }
+      if (s.is_ok()) {
+        // Publish the finalised block's checksum, then inject any scheduled
+        // bit flips *into this task's target* while no reader can be running
+        // (dependents are only released below). Flips naming other blocks
+        // have no race-free injection window under true concurrency and are
+        // ignored here; the DES covers them.
+        if (audit &&
+            adj.finalizer_of_block[static_cast<std::size_t>(task.target)] == t)
+          published[static_cast<std::size_t>(task.target)].store(
+              block_checksum(bm.block(task.target)),
+              std::memory_order_release);
+        for (const FaultPlan::BitFlip& f : opts.bitflips) {
+          if (f.after_task != t || f.block_pos != task.target) continue;
+          auto vals = bm.block(task.target).values_mut();
+          if (f.value_index < 0 ||
+              f.value_index >= static_cast<nnz_t>(vals.size()))
+            continue;
+          std::uint64_t bits;
+          std::memcpy(&bits, &vals[static_cast<std::size_t>(f.value_index)],
+                      sizeof bits);
+          bits ^= std::uint64_t(1) << f.bit;
+          std::memcpy(&vals[static_cast<std::size_t>(f.value_index)], &bits,
+                      sizeof bits);
+        }
+      }
       busy.store(0, std::memory_order_release);
       if (!s.is_ok()) {
-        failed.store(true, std::memory_order_release);
-        for (auto& q : queues) q.cv.notify_all();
+        record_failure(std::move(s));
         return;
       }
       // Release dependents (this is the "send the sub-matrix block and
@@ -200,7 +266,12 @@ Status threaded_factorize(BlockMatrix& bm, const std::vector<Task>& tasks,
   for (auto& th : threads) th.join();
 
   if (opts.steal_count) *opts.steal_count = steals.load();
-  if (failed.load()) return Status::numerical_error("threaded factorise failed");
+  if (failed.load()) {
+    MutexLock lk(err_mu);
+    return first_error.is_ok()
+               ? Status::numerical_error("threaded factorise failed")
+               : first_error;
+  }
   if (remaining.load() != 0) return Status::internal("threaded executor stalled");
   return Status::ok();
 }

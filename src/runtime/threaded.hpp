@@ -7,9 +7,12 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "block/mapping.hpp"
 #include "block/tasks.hpp"
+#include "runtime/abft.hpp"
+#include "runtime/fault.hpp"
 #include "util/status.hpp"
 
 namespace pangulu::runtime {
@@ -24,6 +27,17 @@ struct ThreadedOptions {
   bool work_stealing = true;
   // When non-null, receives the number of successful steals (diagnostics).
   std::uint64_t* steal_count = nullptr;
+  // ABFT under true concurrency is detection-only (kCheap and kFull behave
+  // identically): a block's checksum is published (release) when its
+  // finaliser completes and audited (acquire) by every task that reads it.
+  // There is no canonical replay to recompute from here, so a mismatch
+  // fails the factorisation with StatusCode::kDataCorruption instead of
+  // repairing in place — resume from a checkpoint to recover.
+  AbftLevel abft = AbftLevel::kOff;
+  // Silent corruption to inject: each flip fires right after the task with
+  // the matching index completes (whatever thread ran it), exercising the
+  // detection path above. Kill/message faults are DES-only.
+  std::vector<FaultPlan::BitFlip> bitflips;
 };
 
 /// Factorise `bm` in place using `n_ranks` concurrent rank-threads.

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <memory>
 
+#include "io/snapshot.hpp"
 #include "kernels/calibrate.hpp"
 #include "parallel/thread_pool.hpp"
 #include "runtime/trsv_sim.hpp"
@@ -294,6 +296,86 @@ void block_lower_transpose_solve(const block::BlockMatrix& f,
   }
 }
 
+namespace {
+
+/// Live sync-free counter array once canonical tasks [0, done) have
+/// committed: the initial per-block counts minus one decrement per committed
+/// update landing on the block (GETRF consumes its counter reaching zero but
+/// never decrements).
+std::vector<index_t> live_counters(const block::BlockMatrix& bm,
+                                   const std::vector<block::Task>& tasks,
+                                   index_t done) {
+  std::vector<index_t> c = block::sync_free_array(bm, tasks);
+  for (index_t t = 0; t < done; ++t) {
+    const block::Task& task = tasks[static_cast<std::size_t>(t)];
+    if (task.kind != block::TaskKind::kGetrf)
+      --c[static_cast<std::size_t>(task.target)];
+  }
+  return c;
+}
+
+std::unique_ptr<ThreadPool> make_preprocess_pool(int threads) {
+  if (threads <= 0) return nullptr;
+  return std::make_unique<ThreadPool>(static_cast<std::size_t>(threads));
+}
+
+}  // namespace
+
+Status Solver::prepare_structure(ThreadPool* pool) {
+  Timer timer;
+  // (1) Reordering: MC64 stability + fill-reducing symmetric permutation.
+  Status s = ordering::reorder(original_, opts_.reorder, &reorder_, pool);
+  if (!s.is_ok()) return s;
+  stats_.reorder_seconds = timer.seconds();
+
+  // (2) Symbolic factorisation with symmetric pruning.
+  timer.reset();
+  s = symbolic::symbolic_symmetric(reorder_.permuted, &symbolic_, pool);
+  if (!s.is_ok()) return s;
+  stats_.symbolic_seconds = timer.seconds();
+  stats_.nnz_lu = symbolic_.nnz_lu;
+  stats_.flops = symbolic::factorization_flops(symbolic_.filled);
+
+  // (3) Preprocessing: regular 2D blocking, cyclic mapping, balancing.
+  timer.reset();
+  const index_t bs = opts_.block_size > 0
+                         ? opts_.block_size
+                         : block::choose_block_size(stats_.n, stats_.nnz_lu);
+  stats_.block_size = bs;
+  s = block::check_blocking_bounds(stats_.n, bs, stats_.nnz_lu);
+  if (!s.is_ok()) return s;
+  factors_ = block::BlockMatrix::from_filled(symbolic_.filled, bs, pool);
+  stats_.nb = factors_.nb();
+  tasks_ = block::enumerate_tasks(factors_);
+  if (tasks_.size() >
+      static_cast<std::size_t>(std::numeric_limits<index_t>::max()))
+    return Status::out_of_range(
+        "factorize: task count overflows the 32-bit task index");
+  stats_.n_tasks = tasks_.size();
+  stats_.blocking_seconds = timer.seconds();
+  Timer map_timer;
+  const auto grid = block::ProcessGrid::make(opts_.n_ranks);
+  mapping_ = block::cyclic_mapping(factors_, grid, pool);
+  if (opts_.balance)
+    mapping_ = block::balanced_mapping(factors_, tasks_, grid, mapping_,
+                                       &stats_.balance, pool);
+  stats_.mapping_seconds = map_timer.seconds();
+  stats_.preprocess_seconds = timer.seconds();
+
+  // (3b) Static verification: prove the task graph, counters and mapping
+  // consistent *before* spending any numeric work (and fail with a
+  // diagnosis instead of deadlocking or double-firing kernels).
+  if (opts_.verify_level != analysis::VerifyLevel::kOff) {
+    analysis::VerifyReport vr;
+    s = analysis::verify_task_graph(factors_, tasks_, mapping_,
+                                    block::sync_free_array(factors_, tasks_),
+                                    opts_.verify_level, {}, &vr);
+    if (!s.is_ok()) return s;
+    stats_.verify_seconds = vr.seconds;
+  }
+  return Status::ok();
+}
+
 Status Solver::factorize(const Csc& a, const Options& opts) {
   if (a.n_rows() != a.n_cols())
     return Status::invalid_argument("factorize: square matrices only");
@@ -311,66 +393,176 @@ Status Solver::factorize(const Csc& a, const Options& opts) {
 
   // The preprocessing front-end threads through one pool: the process-global
   // one by default, a dedicated pool when the caller pinned a thread count.
-  std::unique_ptr<ThreadPool> local_pool;
-  ThreadPool* pool = nullptr;
-  if (opts_.preprocess_threads > 0) {
-    local_pool = std::make_unique<ThreadPool>(
-        static_cast<std::size_t>(opts_.preprocess_threads));
-    pool = local_pool.get();
-  }
-
-  Timer timer;
-  // (1) Reordering: MC64 stability + fill-reducing symmetric permutation.
-  Status s = ordering::reorder(a, opts.reorder, &reorder_, pool);
+  std::unique_ptr<ThreadPool> local_pool =
+      make_preprocess_pool(opts_.preprocess_threads);
+  Status s = prepare_structure(local_pool.get());
   if (!s.is_ok()) return s;
-  stats_.reorder_seconds = timer.seconds();
-
-  // (2) Symbolic factorisation with symmetric pruning.
-  timer.reset();
-  s = symbolic::symbolic_symmetric(reorder_.permuted, &symbolic_, pool);
-  if (!s.is_ok()) return s;
-  stats_.symbolic_seconds = timer.seconds();
-  stats_.nnz_lu = symbolic_.nnz_lu;
-  stats_.flops = symbolic::factorization_flops(symbolic_.filled);
-
-  // (3) Preprocessing: regular 2D blocking, cyclic mapping, balancing.
-  timer.reset();
-  const index_t bs = opts.block_size > 0
-                         ? opts.block_size
-                         : block::choose_block_size(stats_.n, stats_.nnz_lu);
-  stats_.block_size = bs;
-  factors_ = block::BlockMatrix::from_filled(symbolic_.filled, bs, pool);
-  stats_.nb = factors_.nb();
-  tasks_ = block::enumerate_tasks(factors_);
-  stats_.n_tasks = tasks_.size();
-  stats_.blocking_seconds = timer.seconds();
-  Timer map_timer;
-  const auto grid = block::ProcessGrid::make(opts.n_ranks);
-  mapping_ = block::cyclic_mapping(factors_, grid, pool);
-  if (opts.balance)
-    mapping_ = block::balanced_mapping(factors_, tasks_, grid, mapping_,
-                                       &stats_.balance, pool);
-  stats_.mapping_seconds = map_timer.seconds();
-  stats_.preprocess_seconds = timer.seconds();
-
-  // (3b) Static verification: prove the task graph, counters and mapping
-  // consistent *before* spending any numeric work (and fail with a
-  // diagnosis instead of deadlocking or double-firing kernels).
-  if (opts.verify_level != analysis::VerifyLevel::kOff) {
-    analysis::VerifyReport vr;
-    s = analysis::verify_task_graph(factors_, tasks_, mapping_,
-                                    block::sync_free_array(factors_, tasks_),
-                                    opts.verify_level, {}, &vr);
-    if (!s.is_ok()) return s;
-    stats_.verify_seconds = vr.seconds;
-  }
 
   // (4) Numeric factorisation on the simulated cluster (real numerics).
-  s = run_numeric_phase();
+  s = run_numeric_phase(0);
   if (!s.is_ok()) return s;
 
   // (5) Cache the solve-phase schedules so solve()/solve_transpose() and the
   // triangular-solve model only run numerics from here on.
+  s = build_solve_plans();
+  if (!s.is_ok()) return s;
+  factorized_ = true;
+  return Status::ok();
+}
+
+Status Solver::flush_checkpoint_writer() {
+  if (!checkpoint_writer_.valid()) return Status::ok();
+  return checkpoint_writer_.get();
+}
+
+Status Solver::write_checkpoint(index_t tasks_done) {
+  auto owned = std::make_shared<io::Snapshot>();
+  io::Snapshot& snap = *owned;
+  io::SnapshotMeta& m = snap.meta;
+  m.n = stats_.n;
+  m.nnz_a = stats_.nnz_a;
+  m.block_size = stats_.block_size;
+  m.n_ranks = opts_.n_ranks;
+  m.balance = opts_.balance ? 1 : 0;
+  m.policy = static_cast<std::int32_t>(opts_.policy);
+  m.schedule = static_cast<std::int32_t>(opts_.schedule);
+  m.verify_level = static_cast<std::int32_t>(opts_.verify_level);
+  m.abft_level = static_cast<std::int32_t>(opts_.abft_level);
+  m.use_mc64 = opts_.reorder.use_mc64 ? 1 : 0;
+  m.apply_scaling = opts_.reorder.apply_scaling ? 1 : 0;
+  m.fill_reducing = static_cast<std::int32_t>(opts_.reorder.fill_reducing);
+  m.nd_leaf_size = opts_.reorder.nd_leaf_size;
+  m.preprocess_threads = opts_.preprocess_threads;
+  m.refine_iters = opts_.refine_iters;
+  m.pivot_tol = opts_.pivot_tol;
+  m.checkpoint_interval = opts_.checkpoint_interval_tasks;
+  m.n_tasks = static_cast<std::int64_t>(tasks_.size());
+  m.tasks_done = tasks_done;
+  snap.a_col_ptr.assign(original_.col_ptr().begin(), original_.col_ptr().end());
+  snap.a_row_idx.assign(original_.row_idx().begin(), original_.row_idx().end());
+  snap.a_values.assign(original_.values().begin(), original_.values().end());
+  snap.counters = live_counters(factors_, tasks_, tasks_done);
+  const auto nblocks = static_cast<std::size_t>(factors_.n_blocks());
+  snap.block_nnz.reserve(nblocks);
+  snap.block_values.reserve(static_cast<std::size_t>(factors_.total_nnz()));
+  for (nnz_t pos = 0; pos < static_cast<nnz_t>(nblocks); ++pos) {
+    const Csc& blk = factors_.block(pos);
+    snap.block_nnz.push_back(blk.nnz());
+    snap.block_values.insert(snap.block_values.end(), blk.values().begin(),
+                             blk.values().end());
+  }
+  // The safe point has paid only for the state copy above; CRC, encoding and
+  // file I/O overlap the factorisation on the writer thread. One write in
+  // flight at a time, so a failure surfaces at the next safe point (or at
+  // the flush before run_numeric_phase returns) and tmp+rename atomicity
+  // holds.
+  Status prev = flush_checkpoint_writer();
+  if (!prev.is_ok()) return prev;
+  checkpoint_writer_ =
+      std::async(std::launch::async, [path = opts_.checkpoint_path, owned] {
+        return io::write_snapshot_file(path, *owned);
+      });
+  return Status::ok();
+}
+
+Status Solver::resume_from(const std::string& path, const Options& base) {
+  io::Snapshot snap;
+  Status s = io::read_snapshot_file(path, &snap);
+  if (!s.is_ok()) return s;
+  const io::SnapshotMeta& m = snap.meta;
+
+  // Rebuild the options that determine the computed bits from the snapshot;
+  // `base` contributes only the fields a snapshot does not carry.
+  opts_ = base;
+  opts_.block_size = m.block_size;
+  opts_.n_ranks = m.n_ranks;
+  opts_.balance = m.balance != 0;
+  opts_.policy = static_cast<runtime::KernelPolicy>(m.policy);
+  opts_.schedule = static_cast<runtime::ScheduleMode>(m.schedule);
+  opts_.pivot_tol = m.pivot_tol;
+  opts_.refine_iters = m.refine_iters;
+  opts_.preprocess_threads = m.preprocess_threads;
+  opts_.abft_level = static_cast<runtime::AbftLevel>(m.abft_level);
+  opts_.reorder.use_mc64 = m.use_mc64 != 0;
+  opts_.reorder.apply_scaling = m.apply_scaling != 0;
+  opts_.reorder.fill_reducing =
+      static_cast<ordering::FillReducing>(m.fill_reducing);
+  opts_.reorder.nd_leaf_size = m.nd_leaf_size;
+  // Re-prove the task graph on every resumed state, at least at kCheap.
+  opts_.verify_level =
+      std::max(static_cast<analysis::VerifyLevel>(m.verify_level),
+               analysis::VerifyLevel::kCheap);
+  if (opts_.checkpoint_interval_tasks <= 0)
+    opts_.checkpoint_interval_tasks =
+        static_cast<index_t>(m.checkpoint_interval);
+  if (!opts_.thresholds_file.empty()) {
+    s = kernels::load_thresholds(opts_.thresholds_file, &opts_.thresholds);
+    if (!s.is_ok()) return s;
+  }
+
+  // The snapshot's matrix arrays were CRC-checked; validate CSC structure
+  // before handing them to the pipeline.
+  {
+    Csc a = Csc::from_parts_unchecked(m.n, m.n, std::move(snap.a_col_ptr),
+                                      std::move(snap.a_row_idx),
+                                      std::move(snap.a_values));
+    Status v = a.validate();
+    if (!v.is_ok())
+      return Status::io_error("snapshot: matrix section is not a valid CSC (" +
+                              v.message() + ")");
+    original_ = std::move(a);
+  }
+  factorized_ = false;
+  stats_ = FactorStats{};
+  stats_.n = m.n;
+  stats_.nnz_a = m.nnz_a;
+
+  // Deterministic preprocessing re-derives the structure the snapshot's
+  // numeric state was captured against...
+  std::unique_ptr<ThreadPool> local_pool =
+      make_preprocess_pool(opts_.preprocess_threads);
+  s = prepare_structure(local_pool.get());
+  if (!s.is_ok()) return s;
+
+  // ...and the snapshot must agree with it exactly before any value lands:
+  // task count, block table shape, per-block nnz, and the live counter
+  // array recomputed from the committed prefix.
+  const auto done = static_cast<index_t>(m.tasks_done);
+  if (static_cast<std::int64_t>(tasks_.size()) != m.n_tasks)
+    return Status::failed_precondition(
+        "resume: snapshot task count " + std::to_string(m.n_tasks) +
+        " does not match the recomputed task graph (" +
+        std::to_string(tasks_.size()) + ") — wrong matrix or options");
+  if (snap.block_nnz.size() != static_cast<std::size_t>(factors_.n_blocks()))
+    return Status::failed_precondition(
+        "resume: snapshot block table does not match the recomputed blocking");
+  for (std::size_t b = 0; b < snap.block_nnz.size(); ++b) {
+    if (snap.block_nnz[b] != factors_.block(static_cast<nnz_t>(b)).nnz())
+      return Status::failed_precondition(
+          "resume: block " + std::to_string(b) +
+          " nnz differs from the recomputed blocking");
+  }
+  const std::vector<index_t> expect = live_counters(factors_, tasks_, done);
+  if (snap.counters != expect)
+    return Status::failed_precondition(
+        "resume: snapshot sync-free counters are inconsistent with its "
+        "committed-task prefix");
+
+  // Land the checkpointed block values: the numeric state at task `done`.
+  std::size_t off = 0;
+  for (nnz_t pos = 0; pos < static_cast<nnz_t>(snap.block_nnz.size()); ++pos) {
+    auto vals = factors_.block(pos).values_mut();
+    std::copy(snap.block_values.begin() + static_cast<std::ptrdiff_t>(off),
+              snap.block_values.begin() +
+                  static_cast<std::ptrdiff_t>(off + vals.size()),
+              vals.begin());
+    off += vals.size();
+  }
+  stats_.resumed_from_task = done;
+
+  // Continue the canonical execution from the cut.
+  s = run_numeric_phase(done);
+  if (!s.is_ok()) return s;
   s = build_solve_plans();
   if (!s.is_ok()) return s;
   factorized_ = true;
@@ -394,7 +586,7 @@ Status Solver::build_solve_plans() {
   return Status::ok();
 }
 
-Status Solver::run_numeric_phase() {
+Status Solver::run_numeric_phase(index_t resume_from_task) {
   Timer timer;
   runtime::SimOptions so;
   so.device = opts_.device;
@@ -406,8 +598,30 @@ Status Solver::run_numeric_phase() {
   so.pivot_tol = opts_.pivot_tol;
   so.faults = opts_.fault_plan;
   so.verify_level = opts_.verify_level;
+  so.abft = opts_.abft_level;
+  so.resume_from_task = resume_from_task;
+  if (!opts_.checkpoint_path.empty()) {
+    // Default cadence: ceil(n_tasks / 4) puts snapshots at ~25/50/75% of the
+    // run (never a wasted one just before completion), with a worthiness
+    // floor — when less than ~100ms of work would be lost, re-running it
+    // beats writing (and later restoring) a snapshot, so the safe point is
+    // skipped. An explicit interval is obeyed exactly.
+    if (opts_.checkpoint_interval_tasks > 0) {
+      so.checkpoint_interval_tasks = opts_.checkpoint_interval_tasks;
+    } else {
+      so.checkpoint_interval_tasks =
+          std::max<index_t>(1, static_cast<index_t>((tasks_.size() + 3) / 4));
+      so.checkpoint_min_elapsed_seconds = 0.1;
+    }
+    so.checkpoint_sink = [this](index_t done) { return write_checkpoint(done); };
+  }
   Status s =
       runtime::simulate_factorization(factors_, tasks_, mapping_, so, &stats_.sim);
+  // A snapshot write may still be in flight on the writer thread; it must
+  // land before we return so the file is complete even when the run was
+  // killed mid-task-graph.
+  Status flushed = flush_checkpoint_writer();
+  if (s.is_ok() && !flushed.is_ok()) s = flushed;
   stats_.numeric_wall_seconds = timer.seconds();
   return s;
 }
@@ -453,7 +667,7 @@ Status Solver::refactorize(const Csc& a) {
   }
   factors_ =
       block::BlockMatrix::from_filled(symbolic_.filled, stats_.block_size, pool);
-  Status s = run_numeric_phase();
+  Status s = run_numeric_phase(0);
   if (!s.is_ok()) {
     factorized_ = false;
     return s;

@@ -11,6 +11,7 @@
 //   s.solve(b, x).check();
 #pragma once
 
+#include <future>
 #include <span>
 #include <string>
 #include <vector>
@@ -65,6 +66,27 @@ struct Options {
   /// of that size for the duration of factorize()/refactorize(). The
   /// preprocessing output is bitwise identical at every setting.
   int preprocess_threads = 0;
+  /// Non-empty: during numeric factorisation, write a crash-consistent
+  /// snapshot (src/io/snapshot.hpp) to this path at task-graph safe points.
+  /// The safe point only copies the live state; encoding, checksumming and
+  /// file I/O overlap the factorisation on a background writer thread.
+  /// Writes are atomic (tmp + rename), so the file always holds the latest
+  /// complete checkpoint; pass it to resume_from() after a process death.
+  std::string checkpoint_path;
+  /// Canonical tasks between checkpoints. 0 (with a checkpoint_path set)
+  /// picks the default cadence: snapshots at ~25/50/75% of the run, but a
+  /// safe point is skipped while less than ~100ms of work would be lost —
+  /// re-running work that cheap beats writing and restoring a snapshot.
+  /// This bounds checkpoint overhead to a few percent of the factorisation
+  /// while capping lost work at about a quarter of it. An explicit interval
+  /// is obeyed exactly, with no worthiness floor.
+  index_t checkpoint_interval_tasks = 0;
+  /// Silent-corruption audits over the numeric phase (runtime/abft.hpp),
+  /// mirroring verify_level's off/cheap/full ladder: kCheap audits every
+  /// kernel's source blocks, kFull adds targets and a final sweep. Detected
+  /// corruption is recomputed from live inputs when possible; otherwise
+  /// factorize() fails with StatusCode::kDataCorruption.
+  runtime::AbftLevel abft_level = runtime::AbftLevel::kOff;
 };
 
 struct FactorStats {
@@ -86,6 +108,8 @@ struct FactorStats {
   index_t block_size = 0;
   index_t nb = 0;
   std::size_t n_tasks = 0;
+  /// Canonical task index this factorisation resumed from (0: fresh run).
+  index_t resumed_from_task = 0;
 
   // Virtual-cluster result of the numeric phase.
   runtime::SimResult sim;
@@ -136,6 +160,22 @@ class Solver {
   /// internally; call solve() any number of times.
   Status factorize(const Csc& a, const Options& opts);
 
+  /// Restart a factorisation from a checkpoint written by a previous run
+  /// (Options::checkpoint_path). The snapshot carries the original matrix
+  /// and every option that influences the computed bits (reordering,
+  /// blocking, ranks, schedule, kernel policy, pivot tolerance, ...), so the
+  /// deterministic preprocessing pipeline is *re-run* rather than stored,
+  /// cross-checked structurally against the snapshot (task count, block
+  /// table, live sync-free counters), and the task-graph verifier is
+  /// re-proved on the resumed state before any numeric work. The remaining
+  /// canonical tasks then execute, yielding factors bitwise identical to an
+  /// uninterrupted run. `base` supplies the fields a snapshot does not
+  /// carry (device model, selector thresholds, fault plan, checkpoint
+  /// continuation): a run that used non-default thresholds must pass the
+  /// same ones here or variant selection — and hence bit patterns — may
+  /// differ.
+  Status resume_from(const std::string& path, const Options& base = Options{});
+
   /// Numeric-only re-factorisation: `a` must have exactly the pattern of the
   /// previously factorised matrix (the Newton-iteration workflow of circuit
   /// simulation — same topology, new conductances). Reuses the ordering,
@@ -179,9 +219,25 @@ class Solver {
   const block::BlockMatrix& factors() const { return factors_; }
   const block::Mapping& mapping() const { return mapping_; }
   const symbolic::SymbolicResult& symbolic() const { return symbolic_; }
+  /// The original (unpermuted, unscaled) matrix held by the solver — after
+  /// resume_from(), the matrix recovered from the snapshot.
+  const Csc& matrix() const { return original_; }
 
  private:
-  Status run_numeric_phase();
+  /// Steps 1–3b of the pipeline (reorder, symbolic, blocking + mapping,
+  /// static verification) from original_/opts_ — shared by factorize() and
+  /// resume_from(), whose outputs are bitwise-deterministic by PR 4's
+  /// contract.
+  Status prepare_structure(ThreadPool* pool);
+  Status run_numeric_phase(index_t resume_from_task);
+  /// Checkpoint sink: copy the current numeric state (canonical tasks
+  /// [0, tasks_done) committed) and hand it to the background writer, which
+  /// lands it at opts_.checkpoint_path atomically.
+  Status write_checkpoint(index_t tasks_done);
+  /// Wait for any in-flight snapshot write and surface its status. Called
+  /// between writes (one in flight at a time) and before run_numeric_phase
+  /// returns, so the checkpoint file is complete even after a kill.
+  Status flush_checkpoint_writer();
   /// (Re)build the cached solve-phase schedules from factors_/mapping_.
   /// Called at the end of factorize() and refactorize(); any failure leaves
   /// the solver un-factorised, so a valid solver always has valid plans.
@@ -201,6 +257,8 @@ class Solver {
   SolvePlan solve_plan_;
   runtime::TrsvPlan trsv_fwd_;
   runtime::TrsvPlan trsv_bwd_;
+  // In-flight background snapshot write (at most one at a time).
+  std::future<Status> checkpoint_writer_;
   bool factorized_ = false;
 };
 

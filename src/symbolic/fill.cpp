@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <limits>
 #include <utility>
 
 #include "parallel/partition.hpp"
@@ -201,9 +202,31 @@ void finish_result_parallel(Csc filled, std::vector<index_t> etree,
 
 }  // namespace
 
+Status check_fill_bounds(index_t n, nnz_t nnz_a) {
+  if (n < 0 || nnz_a < 0)
+    return Status::invalid_argument("symbolic: negative matrix dimensions");
+  constexpr nnz_t kMax = std::numeric_limits<nnz_t>::max();
+  // Symmetrisation stores up to 2*nnz + n entries (A + A^T plus an explicit
+  // unit diagonal); guard that sum before any allocation sizes on it.
+  if (nnz_a > (kMax - static_cast<nnz_t>(n)) / 2)
+    return Status::out_of_range(
+        "symbolic: symmetrised pattern size 2*nnz + n overflows the 64-bit "
+        "nonzero index (nnz = " +
+        std::to_string(nnz_a) + ", n = " + std::to_string(n) + ")");
+  // The filled pattern is bounded by the dense n*n box; if even that bound
+  // cannot be represented, downstream col_ptr arithmetic may wrap.
+  if (n > 0 && static_cast<nnz_t>(n) > kMax / static_cast<nnz_t>(n))
+    return Status::out_of_range(
+        "symbolic: dense bound n*n overflows the 64-bit nonzero index (n = " +
+        std::to_string(n) + ")");
+  return Status::ok();
+}
+
 Status symbolic_symmetric_serial(const Csc& a, SymbolicResult* out) {
   if (a.n_rows() != a.n_cols())
     return Status::invalid_argument("symbolic: square matrices only");
+  Status b = check_fill_bounds(a.n_cols(), a.nnz());
+  if (!b.is_ok()) return b;
   const index_t n = a.n_cols();
   Csc sym = a.symmetrized().with_full_diagonal();
   std::vector<index_t> parent = elimination_tree(sym);
@@ -254,6 +277,8 @@ Status symbolic_symmetric(const Csc& a, SymbolicResult* out, ThreadPool* pool) {
   if (tp.size() <= 1) return symbolic_symmetric_serial(a, out);
   if (a.n_rows() != a.n_cols())
     return Status::invalid_argument("symbolic: square matrices only");
+  Status b = check_fill_bounds(a.n_cols(), a.nnz());
+  if (!b.is_ok()) return b;
   const index_t n = a.n_cols();
   Csc sym = symmetrized_with_diagonal(a, &tp);
   std::vector<index_t> parent = elimination_tree(sym);
@@ -343,6 +368,8 @@ Status symbolic_symmetric(const Csc& a, SymbolicResult* out, ThreadPool* pool) {
 Status symbolic_unsymmetric(const Csc& a, bool use_pruning, SymbolicResult* out) {
   if (a.n_rows() != a.n_cols())
     return Status::invalid_argument("symbolic: square matrices only");
+  Status b = check_fill_bounds(a.n_cols(), a.nnz());
+  if (!b.is_ok()) return b;
   const index_t n = a.n_cols();
   Csc base = a.with_full_diagonal();
 

@@ -33,6 +33,14 @@ struct SymbolicResult {
   std::vector<index_t> etree;
 };
 
+/// Guard the index arithmetic of symbolic fill before running it: the
+/// symmetrised pattern holds up to `2 * nnz + n` entries (A + A^T plus an
+/// explicit diagonal) and the filled pattern is bounded by the dense `n * n`
+/// box — both sums must fit nnz_t. Returns kOutOfRange with a diagnosis
+/// otherwise. Called by every symbolic entry point; exposed for direct
+/// boundary testing.
+[[nodiscard]] Status check_fill_bounds(index_t n, nnz_t nnz_a);
+
 /// Symmetric-pruning symbolic factorisation on pattern(A + A^T). `a` must be
 /// square; it is symmetrised internally. Runs the deterministic parallel
 /// front-end on `pool` (nullptr: the global pool) — per-chunk etree row

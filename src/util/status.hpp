@@ -23,6 +23,11 @@ enum class StatusCode {
   /// totality, or message conservation. The message names the first
   /// violated invariant and the offending block/task.
   kInvariantViolation,
+  /// Stored numeric data failed an integrity audit: an ABFT block checksum
+  /// no longer matches (silent bit-flip) and the block could not be
+  /// recomputed from live inputs, or a snapshot section failed its CRC.
+  /// The message names the block/section that went bad.
+  kDataCorruption,
 };
 
 /// Value-semantic status object. `Status::ok()` is the success singleton.
@@ -58,6 +63,9 @@ class [[nodiscard]] Status {
   }
   static Status invariant_violation(std::string m) {
     return Status(StatusCode::kInvariantViolation, std::move(m));
+  }
+  static Status data_corruption(std::string m) {
+    return Status(StatusCode::kDataCorruption, std::move(m));
   }
 
   [[nodiscard]] bool is_ok() const { return code_ == StatusCode::kOk; }

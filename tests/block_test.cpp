@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "block/layout.hpp"
 #include "block/mapping.hpp"
 #include "block/tasks.hpp"
@@ -14,6 +16,26 @@ Csc make_filled(index_t grid_edge) {
   symbolic::SymbolicResult sym;
   symbolic::symbolic_symmetric(a, &sym).check();
   return std::move(sym.filled);
+}
+
+TEST(BlockingBounds, GuardsIndexArithmeticAtTheBoundaries) {
+  constexpr index_t kMaxIdx = std::numeric_limits<index_t>::max();
+  EXPECT_TRUE(check_blocking_bounds(100, 16, 10000).is_ok());
+  EXPECT_EQ(check_blocking_bounds(-1, 16, 0).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(check_blocking_bounds(10, 0, 0).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(check_blocking_bounds(10, 16, -1).code(),
+            StatusCode::kInvalidArgument);
+  // ceil-divide overflow: n + b - 1 past the 32-bit edge.
+  EXPECT_EQ(check_blocking_bounds(kMaxIdx, 2, 0).code(),
+            StatusCode::kOutOfRange);
+  EXPECT_TRUE(check_blocking_bounds(kMaxIdx, 1, 0).is_ok());
+  EXPECT_TRUE(check_blocking_bounds(kMaxIdx - 1, 2, 0).is_ok());
+  // nb*nb overflow: block size 1 on a huge order makes the dense block grid
+  // itself unrepresentable in 64 bits only for nb > 2^31.5 — for int32 n the
+  // square always fits, so the guard passes and documents the bound.
+  EXPECT_TRUE(check_blocking_bounds(1 << 20, 1, 1 << 30).is_ok());
 }
 
 TEST(BlockGrid, IndexingMath) {

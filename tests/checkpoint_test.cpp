@@ -1,0 +1,442 @@
+// Checkpoint/restart + ABFT property tests: snapshots round-trip bitwise and
+// reject corruption with typed errors; a factorisation killed mid-flight and
+// resumed from its last checkpoint produces bitwise-identical factors and
+// solutions to the uninterrupted run; injected silent bit flips are detected
+// by the checksum audits and repaired by canonical replay; and the threaded
+// executor turns a flip into StatusCode::kDataCorruption instead of wrong
+// factors.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "block/layout.hpp"
+#include "block/mapping.hpp"
+#include "block/tasks.hpp"
+#include "io/snapshot.hpp"
+#include "matgen/generators.hpp"
+#include "runtime/fault.hpp"
+#include "runtime/sim.hpp"
+#include "runtime/threaded.hpp"
+#include "solver/solver.hpp"
+#include "symbolic/fill.hpp"
+
+namespace pangulu {
+namespace {
+
+using runtime::AbftLevel;
+using runtime::FaultPlan;
+using runtime::SimOptions;
+using runtime::SimResult;
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+struct Prepared {
+  block::BlockMatrix bm;
+  std::vector<block::Task> tasks;
+  block::Mapping mapping;
+};
+
+Prepared prepare(const Csc& a, index_t block_size, rank_t ranks) {
+  symbolic::SymbolicResult sym;
+  symbolic::symbolic_symmetric(a, &sym).check();
+  Prepared p;
+  p.bm = block::BlockMatrix::from_filled(sym.filled, block_size);
+  p.tasks = block::enumerate_tasks(p.bm);
+  p.mapping = block::cyclic_mapping(p.bm, block::ProcessGrid::make(ranks));
+  return p;
+}
+
+bool bitwise_equal(const block::BlockMatrix& x, const block::BlockMatrix& y) {
+  const Csc a = x.to_csc();
+  const Csc b = y.to_csc();
+  if (a.nnz() != b.nnz()) return false;
+  for (nnz_t p = 0; p < a.nnz(); ++p) {
+    if (a.values()[static_cast<std::size_t>(p)] !=
+            b.values()[static_cast<std::size_t>(p)] ||
+        a.row_idx()[static_cast<std::size_t>(p)] !=
+            b.row_idx()[static_cast<std::size_t>(p)])
+      return false;
+  }
+  return true;
+}
+
+Status run(Prepared& p, rank_t ranks, const SimOptions& base,
+           SimResult* res) {
+  SimOptions opts = base;
+  opts.n_ranks = ranks;
+  opts.execute_numerics = true;
+  return runtime::simulate_factorization(p.bm, p.tasks, p.mapping, opts, res);
+}
+
+io::Snapshot tiny_snapshot() {
+  io::Snapshot s;
+  s.meta.n = 2;
+  s.meta.nnz_a = 3;
+  s.meta.block_size = 2;
+  s.meta.n_ranks = 1;
+  s.meta.pivot_tol = 1e-14;
+  s.meta.n_tasks = 1;
+  s.meta.tasks_done = 0;
+  s.a_col_ptr = {0, 2, 3};
+  s.a_row_idx = {0, 1, 1};
+  s.a_values = {4.0, -1.0, 3.0};
+  s.counters = {0};
+  s.block_nnz = {3};
+  s.block_values = {4.0, -0.25, 3.0};
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot wire format.
+// ---------------------------------------------------------------------------
+
+TEST(Snapshot, ChecksumIsCrc32c) {
+  // Known-answer vector (RFC 3720 §B.4): CRC-32C("123456789"). Pins the
+  // polynomial so neither the hardware path nor the table fallback can
+  // drift from the on-disk format.
+  const char digits[] = "123456789";
+  EXPECT_EQ(io::crc32(digits, 9), 0xE3069283u);
+  EXPECT_EQ(io::crc32(digits, 0), 0u);
+  // Length sweep across the 8-byte kernel boundary: appending one byte must
+  // always change the checksum (catches a stuck length/tail handoff).
+  for (std::size_t len = 1; len < 9; ++len)
+    EXPECT_NE(io::crc32(digits, len), io::crc32(digits, len - 1)) << len;
+}
+
+TEST(Snapshot, RoundTripsBitwise) {
+  const io::Snapshot in = tiny_snapshot();
+  std::stringstream ss;
+  ASSERT_TRUE(io::write_snapshot(ss, in).is_ok());
+  io::Snapshot out;
+  ASSERT_TRUE(io::read_snapshot(ss, &out).is_ok());
+  EXPECT_EQ(out.meta.n, in.meta.n);
+  EXPECT_EQ(out.meta.nnz_a, in.meta.nnz_a);
+  EXPECT_EQ(out.meta.tasks_done, in.meta.tasks_done);
+  EXPECT_EQ(out.meta.pivot_tol, in.meta.pivot_tol);
+  EXPECT_EQ(out.a_col_ptr, in.a_col_ptr);
+  EXPECT_EQ(out.a_row_idx, in.a_row_idx);
+  EXPECT_EQ(out.a_values, in.a_values);
+  EXPECT_EQ(out.counters, in.counters);
+  EXPECT_EQ(out.block_nnz, in.block_nnz);
+  EXPECT_EQ(out.block_values, in.block_values);
+}
+
+TEST(Snapshot, CrcCatchesEveryFlippedPayloadByte) {
+  std::stringstream ss;
+  ASSERT_TRUE(io::write_snapshot(ss, tiny_snapshot()).is_ok());
+  const std::string clean = ss.str();
+  // Seeded sweep over the buffer: corrupt one byte at a time and demand a
+  // typed failure every time (kDataCorruption for a payload byte,
+  // kIoError when the header itself is mangled).
+  int corruptions = 0;
+  for (std::size_t pos = 0; pos < clean.size(); pos += 13) {
+    std::string bad = clean;
+    bad[pos] = static_cast<char>(bad[pos] ^ 0x40);
+    std::stringstream rs(bad);
+    io::Snapshot out;
+    Status s = io::read_snapshot(rs, &out);
+    EXPECT_FALSE(s.is_ok()) << "flip at byte " << pos << " went unnoticed";
+    EXPECT_TRUE(s.code() == StatusCode::kDataCorruption ||
+                s.code() == StatusCode::kIoError)
+        << "flip at byte " << pos << ": " << s.message();
+    ++corruptions;
+  }
+  EXPECT_GT(corruptions, 10);
+}
+
+TEST(Snapshot, TruncationIsIoError) {
+  std::stringstream ss;
+  ASSERT_TRUE(io::write_snapshot(ss, tiny_snapshot()).is_ok());
+  const std::string clean = ss.str();
+  for (std::size_t len : {std::size_t(0), std::size_t(3), clean.size() / 2,
+                          clean.size() - 1}) {
+    std::stringstream rs(clean.substr(0, len));
+    io::Snapshot out;
+    EXPECT_EQ(io::read_snapshot(rs, &out).code(), StatusCode::kIoError)
+        << "truncated to " << len << " bytes";
+  }
+}
+
+TEST(Snapshot, WrongMagicOrVersionIsIoError) {
+  std::stringstream ss;
+  ASSERT_TRUE(io::write_snapshot(ss, tiny_snapshot()).is_ok());
+  std::string bad = ss.str();
+  bad[0] = 'X';  // magic
+  std::stringstream r1(bad);
+  io::Snapshot out;
+  EXPECT_EQ(io::read_snapshot(r1, &out).code(), StatusCode::kIoError);
+
+  bad = ss.str();
+  bad[4] = static_cast<char>(io::kSnapshotFormatVersion + 1);  // version
+  std::stringstream r2(bad);
+  EXPECT_EQ(io::read_snapshot(r2, &out).code(), StatusCode::kIoError);
+}
+
+TEST(Snapshot, FileWriteIsAtomic) {
+  const std::string path = temp_path("snap_atomic.bin");
+  ASSERT_TRUE(io::write_snapshot_file(path, tiny_snapshot()).is_ok());
+  // The temp staging file must be gone after the rename.
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.good());
+  io::Snapshot out;
+  EXPECT_TRUE(io::read_snapshot_file(path, &out).is_ok());
+  EXPECT_EQ(out.meta.n, 2);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Kill-and-resume through the Solver.
+// ---------------------------------------------------------------------------
+
+TEST(CheckpointRestart, KillAndResumeBitwiseIdentical) {
+  for (std::uint64_t seed : {3ULL, 11ULL}) {
+    Csc a = matgen::circuit(180, 2.0, 2.2, seed);
+    const index_t n = a.n_cols();
+    std::vector<value_t> b(static_cast<std::size_t>(n));
+    for (index_t i = 0; i < n; ++i)
+      b[static_cast<std::size_t>(i)] = std::cos(static_cast<double>(i) + 1);
+
+    solver::Options clean_opts;
+    clean_opts.n_ranks = 4;
+    solver::Solver clean;
+    ASSERT_TRUE(clean.factorize(a, clean_opts).is_ok());
+    std::vector<value_t> x_clean(static_cast<std::size_t>(n));
+    ASSERT_TRUE(clean.solve(b, x_clean).is_ok());
+    const auto nt = static_cast<index_t>(clean.stats().n_tasks);
+    ASSERT_GT(nt, 8);
+
+    for (double frac : {0.25, 0.5, 0.75}) {
+      const auto kill = static_cast<index_t>(static_cast<double>(nt) * frac);
+      const std::string path =
+          temp_path("snap_kill_" + std::to_string(seed) + "_" +
+                    std::to_string(kill) + ".bin");
+
+      solver::Options kopts = clean_opts;
+      kopts.checkpoint_path = path;
+      kopts.checkpoint_interval_tasks = std::max<index_t>(1, nt / 16);
+      kopts.abft_level = AbftLevel::kCheap;
+      kopts.fault_plan.kill_after_task = kill;
+      solver::Solver victim;
+      Status s = victim.factorize(a, kopts);
+      ASSERT_EQ(s.code(), StatusCode::kUnavailable) << s.message();
+
+      solver::Solver revived;
+      s = revived.resume_from(path);
+      ASSERT_TRUE(s.is_ok()) << s.message();
+      EXPECT_GT(revived.stats().resumed_from_task, 0);
+      EXPECT_LE(revived.stats().resumed_from_task, kill);
+
+      // Factors bitwise identical <=> solutions bitwise identical.
+      std::vector<value_t> x_res(static_cast<std::size_t>(n));
+      solver::SolveStats st_clean, st_res;
+      ASSERT_TRUE(revived.solve(b, x_res, &st_res).is_ok());
+      ASSERT_TRUE(clean.solve(b, x_clean, &st_clean).is_ok());
+      for (index_t i = 0; i < n; ++i)
+        ASSERT_EQ(x_clean[static_cast<std::size_t>(i)],
+                  x_res[static_cast<std::size_t>(i)])
+            << "seed " << seed << " kill " << kill << " row " << i;
+      EXPECT_EQ(st_clean.final_residual, st_res.final_residual);
+      std::remove(path.c_str());
+    }
+  }
+}
+
+TEST(CheckpointRestart, CheckpointsAreWrittenAtTheRequestedCadence) {
+  Csc a = matgen::grid2d_laplacian(10, 10);
+  const std::string path = temp_path("snap_cadence.bin");
+  solver::Options opts;
+  opts.n_ranks = 2;
+  opts.checkpoint_path = path;
+  opts.checkpoint_interval_tasks = 4;
+  solver::Solver s;
+  ASSERT_TRUE(s.factorize(a, opts).is_ok());
+  const auto nt = static_cast<std::int64_t>(s.stats().n_tasks);
+  // done = 4, 8, ... strictly below nt.
+  EXPECT_EQ(s.stats().sim.checkpoints_written, (nt - 1) / 4);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointRestart, TamperedCountersFailThePrecondition) {
+  Csc a = matgen::grid2d_laplacian(8, 8);
+  const std::string path = temp_path("snap_tamper.bin");
+  solver::Options opts;
+  opts.n_ranks = 2;
+  opts.checkpoint_path = path;
+  opts.checkpoint_interval_tasks = 3;
+  opts.fault_plan.kill_after_task = 6;
+  solver::Solver victim;
+  ASSERT_EQ(victim.factorize(a, opts).code(), StatusCode::kUnavailable);
+
+  // Re-write the snapshot with a consistent CRC but inconsistent counters:
+  // the structural cross-check (not the CRC) must reject it.
+  io::Snapshot snap;
+  ASSERT_TRUE(io::read_snapshot_file(path, &snap).is_ok());
+  ASSERT_FALSE(snap.counters.empty());
+  snap.counters[0] += 1;
+  ASSERT_TRUE(io::write_snapshot_file(path, snap).is_ok());
+  solver::Solver revived;
+  EXPECT_EQ(revived.resume_from(path).code(),
+            StatusCode::kFailedPrecondition);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointRestart, MissingFileIsIoError) {
+  solver::Solver s;
+  EXPECT_EQ(s.resume_from(temp_path("snap_nonexistent.bin")).code(),
+            StatusCode::kIoError);
+}
+
+// ---------------------------------------------------------------------------
+// ABFT: silent corruption detected and repaired in the canonical executor.
+// ---------------------------------------------------------------------------
+
+/// First GETRF task whose target block feeds a later task (so the audit of
+/// that reader sees any corruption of the factorised diagonal block).
+index_t first_read_getrf(const Prepared& p) {
+  for (std::size_t t = 0; t < p.tasks.size(); ++t) {
+    if (p.tasks[t].kind != block::TaskKind::kGetrf) continue;
+    for (std::size_t u = t + 1; u < p.tasks.size(); ++u) {
+      if (p.tasks[u].src_a == p.tasks[t].target ||
+          p.tasks[u].src_b == p.tasks[t].target)
+        return static_cast<index_t>(t);
+    }
+  }
+  return -1;
+}
+
+TEST(Abft, BitFlipDetectedAndRecomputed) {
+  const rank_t ranks = 2;
+  Csc a = matgen::grid2d_laplacian(9, 9);
+  Prepared clean = prepare(a, 16, ranks);
+  SimResult clean_res;
+  ASSERT_TRUE(run(clean, ranks, SimOptions{}, &clean_res).is_ok());
+
+  Prepared flipped = prepare(a, 16, ranks);
+  const index_t t0 = first_read_getrf(flipped);
+  ASSERT_GE(t0, 0);
+  FaultPlan::BitFlip flip;
+  flip.after_task = t0;
+  flip.block_pos = flipped.tasks[static_cast<std::size_t>(t0)].target;
+  flip.value_index = 0;
+  flip.bit = 52;  // mantissa-exponent boundary: a large, silent error
+
+  // Unprotected: the flip silently lands in the factors.
+  SimOptions unprot;
+  unprot.faults.bitflips.push_back(flip);
+  SimResult unprot_res;
+  ASSERT_TRUE(run(flipped, ranks, unprot, &unprot_res).is_ok());
+  EXPECT_FALSE(bitwise_equal(clean.bm, flipped.bm));
+  EXPECT_EQ(unprot_res.abft_detected, 0);
+
+  // Cheap audits: detected at the first read, recomputed, factors restored.
+  Prepared guarded = prepare(a, 16, ranks);
+  SimOptions prot;
+  prot.faults.bitflips.push_back(flip);
+  prot.abft = AbftLevel::kCheap;
+  SimResult prot_res;
+  Status s = run(guarded, ranks, prot, &prot_res);
+  ASSERT_TRUE(s.is_ok()) << s.message();
+  EXPECT_GT(prot_res.abft_audits, 0);
+  EXPECT_GE(prot_res.abft_detected, 1);
+  EXPECT_GE(prot_res.abft_recomputed, 1);
+  EXPECT_TRUE(bitwise_equal(clean.bm, guarded.bm));
+}
+
+TEST(Abft, FinalSweepCatchesWhatCheapAuditsCannot) {
+  const rank_t ranks = 2;
+  Csc a = matgen::grid2d_laplacian(8, 8);
+  Prepared clean = prepare(a, 16, ranks);
+  SimResult clean_res;
+  ASSERT_TRUE(run(clean, ranks, SimOptions{}, &clean_res).is_ok());
+  const auto nt = static_cast<index_t>(clean.tasks.size());
+
+  // Corrupt the last commit: no later task reads it, so only the full
+  // level's final sweep can see it.
+  FaultPlan::BitFlip flip;
+  flip.after_task = nt - 1;
+  flip.block_pos = clean.tasks[static_cast<std::size_t>(nt - 1)].target;
+  flip.value_index = 0;
+  flip.bit = 50;
+
+  Prepared cheap = prepare(a, 16, ranks);
+  SimOptions copts;
+  copts.faults.bitflips.push_back(flip);
+  copts.abft = AbftLevel::kCheap;
+  SimResult cres;
+  ASSERT_TRUE(run(cheap, ranks, copts, &cres).is_ok());
+  EXPECT_EQ(cres.abft_detected, 0);
+  EXPECT_FALSE(bitwise_equal(clean.bm, cheap.bm));
+
+  Prepared full = prepare(a, 16, ranks);
+  SimOptions fopts;
+  fopts.faults.bitflips.push_back(flip);
+  fopts.abft = AbftLevel::kFull;
+  SimResult fres;
+  Status s = run(full, ranks, fopts, &fres);
+  ASSERT_TRUE(s.is_ok()) << s.message();
+  EXPECT_GE(fres.abft_detected, 1);
+  EXPECT_GE(fres.abft_recomputed, 1);
+  EXPECT_TRUE(bitwise_equal(clean.bm, full.bm));
+}
+
+TEST(Abft, CleanRunsAuditWithoutFiring) {
+  const rank_t ranks = 2;
+  Csc a = matgen::grid2d_laplacian(8, 8);
+  Prepared clean = prepare(a, 16, ranks);
+  SimResult r0;
+  ASSERT_TRUE(run(clean, ranks, SimOptions{}, &r0).is_ok());
+  for (AbftLevel lvl : {AbftLevel::kCheap, AbftLevel::kFull}) {
+    Prepared p = prepare(a, 16, ranks);
+    SimOptions opts;
+    opts.abft = lvl;
+    SimResult res;
+    ASSERT_TRUE(run(p, ranks, opts, &res).is_ok());
+    EXPECT_GT(res.abft_audits, 0);
+    EXPECT_EQ(res.abft_detected, 0);
+    EXPECT_EQ(res.abft_recomputed, 0);
+    EXPECT_TRUE(bitwise_equal(clean.bm, p.bm));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ABFT under true concurrency: detection with a typed status.
+// ---------------------------------------------------------------------------
+
+TEST(Abft, ThreadedExecutorDetectsCorruption) {
+  const rank_t ranks = 2;
+  Csc a = matgen::grid2d_laplacian(9, 9);
+  Prepared p = prepare(a, 16, ranks);
+  const index_t t0 = first_read_getrf(p);
+  ASSERT_GE(t0, 0);
+
+  runtime::ThreadedOptions topts;
+  topts.n_ranks = ranks;
+  topts.abft = AbftLevel::kCheap;
+  FaultPlan::BitFlip flip;
+  flip.after_task = t0;
+  flip.block_pos = p.tasks[static_cast<std::size_t>(t0)].target;
+  flip.value_index = 0;
+  flip.bit = 52;
+  topts.bitflips.push_back(flip);
+  Status s = runtime::threaded_factorize(p.bm, p.tasks, p.mapping, topts);
+  EXPECT_EQ(s.code(), StatusCode::kDataCorruption) << s.message();
+
+  // The same configuration without the flip still factorises cleanly.
+  Prepared q = prepare(a, 16, ranks);
+  runtime::ThreadedOptions clean_opts;
+  clean_opts.n_ranks = ranks;
+  clean_opts.abft = AbftLevel::kCheap;
+  EXPECT_TRUE(
+      runtime::threaded_factorize(q.bm, q.tasks, q.mapping, clean_opts)
+          .is_ok());
+}
+
+}  // namespace
+}  // namespace pangulu

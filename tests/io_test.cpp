@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <random>
 #include <sstream>
 
 #include "io/matrix_market.hpp"
@@ -76,6 +77,106 @@ TEST(MatrixMarket, RejectsGarbage) {
         "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1.0\n");
     EXPECT_FALSE(read_matrix_market(ss, &m).is_ok());  // truncated
   }
+}
+
+TEST(MatrixMarket, RejectsNonFiniteValues) {
+  Csc m;
+  for (const char* v : {"nan", "NaN", "inf", "-inf", "Infinity"}) {
+    std::stringstream ss(
+        std::string("%%MatrixMarket matrix coordinate real general\n"
+                    "2 2 1\n1 1 ") +
+        v + "\n");
+    Status s = read_matrix_market(ss, &m);
+    EXPECT_FALSE(s.is_ok()) << "accepted value " << v;
+  }
+}
+
+TEST(MatrixMarket, RejectsDuplicateEntries) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 3\n"
+      "1 1 1.0\n"
+      "1 1 2.0\n"
+      "2 2 3.0\n");
+  Csc m;
+  Status s = read_matrix_market(ss, &m);
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+  EXPECT_NE(s.message().find("duplicate"), std::string::npos);
+}
+
+TEST(MatrixMarket, RejectsTrailingGarbage) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 1\n"
+      "1 1 1.0\n"
+      "2 2 5.0\n");  // one more entry than the header promised
+  Csc m;
+  EXPECT_EQ(read_matrix_market(ss, &m).code(), StatusCode::kIoError);
+}
+
+TEST(MatrixMarket, RejectsHeaderLies) {
+  Csc m;
+  {
+    // symmetric but not square
+    std::stringstream ss(
+        "%%MatrixMarket matrix coordinate real symmetric\n2 3 1\n1 1 1.0\n");
+    EXPECT_EQ(read_matrix_market(ss, &m).code(), StatusCode::kIoError);
+  }
+  {
+    // skew-symmetric with a stored diagonal entry
+    std::stringstream ss(
+        "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+        "2 2 1\n1 1 1.0\n");
+    EXPECT_EQ(read_matrix_market(ss, &m).code(), StatusCode::kIoError);
+  }
+  {
+    // dimension line that is not numbers
+    std::stringstream ss(
+        "%%MatrixMarket matrix coordinate real general\nfoo bar baz\n");
+    EXPECT_EQ(read_matrix_market(ss, &m).code(), StatusCode::kIoError);
+  }
+  {
+    // header promises entries, stream ends immediately
+    std::stringstream ss("%%MatrixMarket matrix coordinate real general\n");
+    EXPECT_EQ(read_matrix_market(ss, &m).code(), StatusCode::kIoError);
+  }
+  {
+    // dimensions beyond the 32-bit index the solver works in
+    std::stringstream ss(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "4294967296 4294967296 0\n");
+    EXPECT_EQ(read_matrix_market(ss, &m).code(), StatusCode::kOutOfRange);
+  }
+}
+
+// Malformed-input property test: seeded single-character corruptions of a
+// well-formed file must never crash the parser — every outcome is either a
+// clean parse (the corruption hit whitespace, a comment, or a value digit)
+// or a typed Status.
+TEST(MatrixMarket, SeededCorruptionsNeverCrash) {
+  Csc m = matgen::random_sparse(20, 3, 11);
+  std::stringstream ss;
+  ASSERT_TRUE(write_matrix_market(ss, m).is_ok());
+  const std::string clean = ss.str();
+
+  std::mt19937_64 rng(2026);
+  std::uniform_int_distribution<std::size_t> pos_d(0, clean.size() - 1);
+  std::uniform_int_distribution<int> chr_d(0, 94);
+  int failures = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    std::string bad = clean;
+    const std::size_t pos = pos_d(rng);
+    bad[pos] = static_cast<char>(' ' + chr_d(rng));
+    std::stringstream rs(bad);
+    Csc out;
+    Status s = read_matrix_market(rs, &out);
+    if (!s.is_ok()) {
+      ++failures;
+      EXPECT_FALSE(s.message().empty());
+    }
+  }
+  // Most single-character corruptions of a coordinate file are detectable.
+  EXPECT_GT(failures, 50);
 }
 
 TEST(MatrixMarket, FileRoundTrip) {

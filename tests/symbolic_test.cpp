@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "matgen/generators.hpp"
 #include "sparse/dense.hpp"
 #include "symbolic/etree.hpp"
@@ -8,6 +10,26 @@
 
 namespace pangulu::symbolic {
 namespace {
+
+TEST(FillBounds, GuardsIndexArithmeticAtTheBoundaries) {
+  constexpr nnz_t kMax = std::numeric_limits<nnz_t>::max();
+  EXPECT_TRUE(check_fill_bounds(0, 0).is_ok());
+  EXPECT_TRUE(check_fill_bounds(1000, 1000000).is_ok());
+  EXPECT_EQ(check_fill_bounds(-1, 0).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(check_fill_bounds(0, -1).code(), StatusCode::kInvalidArgument);
+  // 2*nnz + n overflow: exactly at the edge passes, one past fails.
+  const index_t n = 100;
+  const nnz_t edge = (kMax - n) / 2;
+  EXPECT_TRUE(check_fill_bounds(n, edge).is_ok());
+  EXPECT_EQ(check_fill_bounds(n, edge + 1).code(), StatusCode::kOutOfRange);
+  // n*n overflow needs n > 2^31.5, unreachable for int32 n — but the 2*nnz
+  // guard still dominates: the largest representable nnz is rejected.
+  EXPECT_EQ(check_fill_bounds(1, kMax).code(), StatusCode::kOutOfRange);
+  // Entry points run the guard themselves.
+  Csc tiny(2, 2);
+  SymbolicResult sym;
+  EXPECT_TRUE(symbolic_symmetric(tiny, &sym).is_ok());
+}
 
 /// Brute-force fill pattern by running Gaussian elimination symbolically on
 /// a dense boolean matrix.

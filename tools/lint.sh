@@ -60,6 +60,37 @@ ban 'mt19937' \
 ban 'std::(cout|cerr)' \
     'stdout/stderr printing in library code (return Status instead)'
 
+# Snapshot wire-format gate: the checkpoint format constants and the tagged
+# field registry must agree with tools/snapshot_format.lock. Growing or
+# reordering fields without bumping the version would make old snapshot
+# files misparse instead of being rejected; the lock forces the bump to be
+# a conscious, reviewed edit in both places.
+lock=tools/snapshot_format.lock
+if [ -f "$lock" ]; then
+  lock_version=$(sed -n 's/^version=//p' "$lock")
+  lock_fields=$(sed -n 's/^fields=//p' "$lock")
+  hdr_version=$(sed -n 's/.*kSnapshotFormatVersion = \([0-9]*\).*/\1/p' \
+                    src/io/snapshot.hpp)
+  hdr_fields=$(sed -n 's/.*kSnapshotFieldCount = \([0-9]*\).*/\1/p' \
+                   src/io/snapshot.hpp)
+  reg_fields=$(grep -c '^SNAPSHOT_FIELD(' src/io/snapshot.cpp)
+  if [ "$hdr_version" != "$lock_version" ]; then
+    echo "LINT: snapshot format version $hdr_version (src/io/snapshot.hpp)" \
+         "disagrees with tools/snapshot_format.lock ($lock_version);" \
+         "update the lock only together with a reviewed format change"
+    fail=1
+  fi
+  if [ "$hdr_fields" != "$lock_fields" ] || [ "$reg_fields" != "$lock_fields" ]; then
+    echo "LINT: snapshot field registry changed (header declares" \
+         "$hdr_fields, registry has $reg_fields, lock records $lock_fields):" \
+         "bump kSnapshotFormatVersion and tools/snapshot_format.lock together"
+    fail=1
+  fi
+else
+  echo "LINT: tools/snapshot_format.lock is missing"
+  fail=1
+fi
+
 # Formatting drift, when the toolchain carries clang-format.
 if command -v clang-format >/dev/null 2>&1; then
   if ! clang-format --dry-run --Werror $(sources) 2>/dev/null; then
