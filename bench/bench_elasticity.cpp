@@ -1,0 +1,183 @@
+// Elastic-runtime cost harness: measures (a) what a planned drain/grow costs
+// in virtual time — migration traffic and makespan versus the static grid —
+// and (b) that carrying the elastic machinery with a zero-event plan costs
+// nothing: the DES schedule must be identical (exact virtual makespan match)
+// and the end-to-end wall clock must stay within the no-regression guard.
+//
+// Doubles as the perf smoke for `ctest -L perf`: the harness exits non-zero
+// when a zero-event plan slows factorisation by more than the guard (2% by
+// default; PANGULU_ELASTICITY_GUARD overrides) or perturbs the virtual
+// schedule at all. Emits BENCH_elasticity.json through the JsonReporter.
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "bench_common.hpp"
+#include "runtime/elastic.hpp"
+#include "solver/solver.hpp"
+
+using namespace pangulu;
+
+namespace {
+
+runtime::SimResult run_with_elastic(const bench::PreparedMatrix& p,
+                                    rank_t ranks,
+                                    const runtime::ElasticPlan& plan) {
+  block::BlockMatrix bm = p.blocks;
+  auto grid = block::ProcessGrid::make(ranks);
+  block::Mapping map = block::cyclic_mapping(bm, grid);
+  map = block::balanced_mapping(bm, p.tasks, grid, map, nullptr);
+  runtime::SimOptions opts;
+  opts.n_ranks = ranks;
+  opts.execute_numerics = false;
+  opts.elastic = plan;
+  runtime::SimResult res;
+  runtime::simulate_factorization(bm, p.tasks, map, opts, &res).check();
+  return res;
+}
+
+double factorize_seconds(const Csc& a, const solver::Options& opts) {
+  solver::Solver s;
+  Timer t;
+  s.factorize(a, opts).check();
+  return t.seconds();
+}
+
+}  // namespace
+
+int main() {
+  const double scale = bench::bench_scale();
+  const rank_t ranks = 8;
+  const int reps = 7;
+  double guard = 0.02;
+  if (const char* g = std::getenv("PANGULU_ELASTICITY_GUARD")) {
+    const double v = std::atof(g);
+    if (v > 0) guard = v;
+  }
+
+  std::cout << "Elastic-runtime cost, " << ranks << " virtual ranks, scale="
+            << scale << ", zero-event guard=" << guard * 100 << "%\n";
+
+  bench::JsonReporter json;
+  json.meta("bench", "elasticity");
+  json.meta("scale", scale);
+  json.meta("reps", static_cast<double>(reps));
+  json.meta("zero_event_guard", guard);
+
+  TextTable table({"matrix", "tasks", "drain1-x", "drain2-x", "grow-x",
+                   "blocks/drain", "migr-ms/drain", "zero-event-%"});
+
+  bool guard_ok = true;
+  for (const char* name : {"ASIC_680k", "ecology1", "Si87H76"}) {
+    bench::PreparedMatrix p = bench::prepare(name, scale);
+    const auto nt = static_cast<index_t>(p.tasks.size());
+
+    // Virtual-time scenarios: the DES replays the same canonical numerics,
+    // so only makespan, traffic, and the owner map differ from static.
+    const runtime::SimResult stat =
+        run_with_elastic(p, ranks, runtime::ElasticPlan{});
+
+    runtime::ElasticPlan drain1;
+    drain1.drains.push_back({1, nt / 2});
+    const runtime::SimResult d1 = run_with_elastic(p, ranks, drain1);
+
+    runtime::ElasticPlan drain2;
+    drain2.drains.push_back({1, nt / 3});
+    drain2.drains.push_back({2, (2 * nt) / 3});
+    const runtime::SimResult d2 = run_with_elastic(p, ranks, drain2);
+
+    runtime::ElasticPlan grow;  // rank 7 provisioned idle, attached at 25%
+    grow.adds.push_back({static_cast<rank_t>(ranks - 1), nt / 4});
+    const runtime::SimResult gr = run_with_elastic(p, ranks, grow);
+
+    // Migration cost per drained rank, from the two-drain scenario.
+    const double drains = static_cast<double>(d2.ranks_drained);
+    const double blocks_per_drain =
+        drains > 0 ? static_cast<double>(d2.migrated_blocks) / drains : 0;
+    const double migr_ms_per_drain =
+        drains > 0 ? d2.migration_time * 1e3 / drains : 0;
+
+    // Zero-event no-regression: an armed-but-empty plan must reproduce the
+    // static schedule exactly (deterministic DES, so bitwise makespan)...
+    runtime::ElasticPlan zero_plan;
+    zero_plan.min_ranks = 2;  // non-default knobs, still zero events
+    const runtime::SimResult zero_sim = run_with_elastic(p, ranks, zero_plan);
+    const bool exact = zero_sim.makespan == stat.makespan &&
+                       zero_sim.ranks_drained == 0 &&
+                       zero_sim.migrated_blocks == 0;
+
+    // ...and must not cost wall clock end to end. Interleave bare and
+    // zero-event reps and keep each one's best; the bare rep spread is the
+    // noise floor, so the effective bound is max(guard, spread).
+    solver::Options bare;
+    bare.n_ranks = 4;
+    solver::Options zero = bare;
+    zero.elastic_plan.min_ranks = 2;
+    double bare_s = 1e300, bare_worst = 0, zero_s = 1e300;
+    for (int r = 0; r < reps; ++r) {
+      const double b = factorize_seconds(p.a, bare);
+      bare_s = std::min(bare_s, b);
+      bare_worst = std::max(bare_worst, b);
+      zero_s = std::min(zero_s, factorize_seconds(p.a, zero));
+    }
+    const double overhead = bare_s > 0 ? (zero_s - bare_s) / bare_s : 0.0;
+    const double noise = bare_s > 0 ? (bare_worst - bare_s) / bare_s : 0.0;
+    const double bound = std::max(guard, noise);
+    const bool ok = exact && overhead <= bound;
+    guard_ok = guard_ok && ok;
+
+    table.add_row({name, std::to_string(nt),
+                   TextTable::fmt(d1.makespan / stat.makespan, 3),
+                   TextTable::fmt(d2.makespan / stat.makespan, 3),
+                   TextTable::fmt(gr.makespan / stat.makespan, 3),
+                   TextTable::fmt(blocks_per_drain, 1),
+                   TextTable::fmt(migr_ms_per_drain, 3),
+                   TextTable::fmt(overhead * 100.0)});
+    json.begin_row();
+    json.field("matrix", name);
+    json.field("tasks", static_cast<double>(nt));
+    json.field("makespan_static", stat.makespan);
+    json.field("makespan_drain1", d1.makespan);
+    json.field("makespan_drain2", d2.makespan);
+    json.field("makespan_grow", gr.makespan);
+    json.field("drain1_migrated_blocks", static_cast<double>(d1.migrated_blocks));
+    json.field("drain2_migrated_blocks", static_cast<double>(d2.migrated_blocks));
+    json.field("migrated_blocks_per_drained_rank", blocks_per_drain);
+    json.field("migration_seconds_per_drained_rank", migr_ms_per_drain / 1e3);
+    json.field("zero_event_schedule_exact", exact ? 1.0 : 0.0);
+    json.field("factor_seconds", bare_s);
+    json.field("zero_event_factor_seconds", zero_s);
+    json.field("zero_event_overhead_fraction", overhead);
+    json.field("noise_fraction", noise);
+    json.field("guard_ok", ok ? 1.0 : 0.0);
+    if (!exact) {
+      std::cout << "GUARD: " << name
+                << " zero-event plan perturbed the virtual schedule ("
+                << zero_sim.makespan << " vs " << stat.makespan << ")\n";
+    } else if (overhead > bound) {
+      std::cout << "GUARD: " << name << " zero-event overhead "
+                << overhead * 100.0 << "% exceeds " << bound * 100.0
+                << "% (guard " << guard * 100.0 << "%, measurement noise "
+                << noise * 100.0 << "%)\n";
+    } else if (noise > guard) {
+      std::cout << "note: " << name << " baseline noise " << noise * 100.0
+                << "% exceeds the " << guard * 100.0
+                << "% guard; bounding by noise\n";
+    }
+  }
+
+  table.print(std::cout);
+  std::cout << "\ndrainN-x / grow-x are virtual makespans relative to the "
+               "static grid; factors are bitwise identical in every run.\n";
+  if (!json.write_file("BENCH_elasticity.json"))
+    std::cout << "warning: could not write BENCH_elasticity.json\n";
+
+  if (!guard_ok) {
+    std::cout << "FAIL: zero-event elasticity guard breached\n";
+    return 1;
+  }
+  std::cout << "OK: zero-event elasticity within the " << guard * 100.0
+            << "% guard with an unperturbed schedule\n";
+  return 0;
+}

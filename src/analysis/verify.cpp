@@ -498,6 +498,114 @@ Status verify_messages(const BlockMatrix& bm, const std::vector<Task>& tasks,
   return Status::ok();
 }
 
+Status verify_rebalance(const BlockMatrix& bm, const std::vector<Task>& tasks,
+                        const Mapping& before, const Mapping& after,
+                        rank_t rank, int delta, const std::vector<char>& alive,
+                        VerifyLevel level, VerifyReport* report) {
+  if (level == VerifyLevel::kOff) return Status::ok();
+  Timer timer;
+  if (delta != -1 && delta != 1)
+    return violation("rebalance", "delta must be -1 (drain) or +1 (add), got " +
+                                      std::to_string(delta));
+  if (before.n_ranks != after.n_ranks)
+    return violation("rebalance",
+                     "rank count changed across rebalance (" +
+                         std::to_string(before.n_ranks) + " -> " +
+                         std::to_string(after.n_ranks) +
+                         "); elastic events keep rank ids stable");
+  if (before.owner.size() != after.owner.size())
+    return violation("rebalance",
+                     "block count changed across rebalance (" +
+                         std::to_string(before.owner.size()) + " -> " +
+                         std::to_string(after.owner.size()) + ")");
+  if (rank < 0 || rank >= after.n_ranks)
+    return violation("rebalance", "rebalanced rank " + std::to_string(rank) +
+                                      " outside the " +
+                                      std::to_string(after.n_ranks) +
+                                      "-rank cluster");
+  // Totality over the post-change live set: every block owned by an alive
+  // rank. This subsumes "the drained rank owns nothing" because a drained
+  // rank is dead in `alive`.
+  Status s = verify_mapping(bm, after, alive, report);
+  if (!s.is_ok()) return s;
+
+  // Bounded movement + count conservation, from the owner diff alone.
+  std::vector<nnz_t> gained(static_cast<std::size_t>(after.n_ranks), 0);
+  std::vector<nnz_t> lost(static_cast<std::size_t>(after.n_ranks), 0);
+  for (std::size_t pos = 0; pos < after.owner.size(); ++pos) {
+    const rank_t from = before.owner[pos];
+    const rank_t to = after.owner[pos];
+    if (from == to) continue;
+    if (from < 0 || from >= after.n_ranks)
+      return violation("rebalance",
+                       "block " + block_str(bm, static_cast<nnz_t>(pos)) +
+                           " had out-of-range owner " + std::to_string(from) +
+                           " before the rebalance");
+    ++lost[static_cast<std::size_t>(from)];
+    ++gained[static_cast<std::size_t>(to)];
+    if (delta < 0) {
+      if (from != rank)
+        return violation(
+            "rebalance",
+            "drain of rank " + std::to_string(rank) + " moved block " +
+                block_str(bm, static_cast<nnz_t>(pos)) + " owned by rank " +
+                std::to_string(from) + " (movement must be bounded to the "
+                "leaver's blocks)");
+      if (to == rank || (!alive.empty() && !alive[static_cast<std::size_t>(to)]))
+        return violation("rebalance",
+                         "drain of rank " + std::to_string(rank) +
+                             " sent block " +
+                             block_str(bm, static_cast<nnz_t>(pos)) +
+                             " to non-live rank " + std::to_string(to));
+    } else {
+      if (to != rank)
+        return violation(
+            "rebalance",
+            "add of rank " + std::to_string(rank) + " moved block " +
+                block_str(bm, static_cast<nnz_t>(pos)) + " to rank " +
+                std::to_string(to) + " (only the newcomer may gain blocks)");
+    }
+  }
+  if (delta < 0) {
+    nnz_t left = 0;
+    for (std::size_t pos = 0; pos < after.owner.size(); ++pos)
+      if (after.owner[pos] == rank) ++left;
+    if (left != 0)
+      return violation("rebalance",
+                       "drained rank " + std::to_string(rank) + " still owns " +
+                           std::to_string(left) + " blocks");
+    // Counter conservation: everything the leaver lost was adopted.
+    nnz_t adopted = 0;
+    for (rank_t r = 0; r < after.n_ranks; ++r)
+      if (r != rank) adopted += gained[static_cast<std::size_t>(r)];
+    if (adopted != lost[static_cast<std::size_t>(rank)])
+      return violation("rebalance",
+                       "drain of rank " + std::to_string(rank) + " lost " +
+                           std::to_string(lost[static_cast<std::size_t>(rank)]) +
+                           " blocks but survivors adopted " +
+                           std::to_string(adopted));
+  } else {
+    nnz_t donated = 0;
+    for (rank_t r = 0; r < after.n_ranks; ++r)
+      if (r != rank) donated += lost[static_cast<std::size_t>(r)];
+    if (gained[static_cast<std::size_t>(rank)] != donated)
+      return violation("rebalance",
+                       "add of rank " + std::to_string(rank) + " gained " +
+                           std::to_string(gained[static_cast<std::size_t>(rank)]) +
+                           " blocks but donors gave up " +
+                           std::to_string(donated));
+  }
+
+  // No orphaned messages: the post-change mapping must still conserve every
+  // logical send/receive over the live set.
+  if (level == VerifyLevel::kFull) {
+    s = verify_messages(bm, tasks, after, alive, report);
+    if (!s.is_ok()) return s;
+  }
+  if (report) report->seconds += timer.seconds();
+  return Status::ok();
+}
+
 Status verify_task_graph(const BlockMatrix& bm, const std::vector<Task>& tasks,
                          const Mapping& mapping,
                          const std::vector<index_t>& counters,

@@ -20,6 +20,11 @@
 //   I5  message-conservation  every receive a consumer expects has a
 //                             matching send under the current mapping, and
 //                             no message touches a dead rank
+//   I6  rebalance             an elastic Mapping::rebalance step moved only
+//                             the blocks it had to (bounded movement), kept
+//                             per-rank block counts conserved, left the
+//                             mapping total over the live set, and orphaned
+//                             no messages (PR 6)
 //
 // A violation returns StatusCode::kInvariantViolation with a diagnosis of
 // the first broken invariant ("invariant violated [counter-conservation]:
@@ -90,6 +95,21 @@ Status verify_messages(const block::BlockMatrix& bm,
                        const block::Mapping& mapping,
                        const std::vector<char>& alive = {},
                        VerifyReport* report = nullptr);
+
+/// I6: proves a Mapping::rebalance transition `before` -> `after` for
+/// `rank` (delta = -1 drain, +1 add) against the post-change live set
+/// `alive`. Checks mapping totality of `after` over `alive`, that every
+/// block that changed owner involved `rank` (drain: left `rank` for a live
+/// rank; add: arrived at `rank`), and that block counts are conserved
+/// (drain: `rank` ends empty and others only gain; add: others only lose).
+/// kFull additionally re-proves message conservation (I5) on `after` so no
+/// in-flight logical message is orphaned by the migration.
+Status verify_rebalance(const block::BlockMatrix& bm,
+                        const std::vector<block::Task>& tasks,
+                        const block::Mapping& before,
+                        const block::Mapping& after, rank_t rank, int delta,
+                        const std::vector<char>& alive, VerifyLevel level,
+                        VerifyReport* report = nullptr);
 
 /// Umbrella: runs the invariants selected by `level` in I1..I5 order and
 /// returns the first violation. `counters` is the array the scheduler will

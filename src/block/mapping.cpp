@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "parallel/partition.hpp"
+#include "util/status.hpp"
 
 namespace pangulu::block {
 
@@ -34,6 +35,74 @@ nnz_t Mapping::remap_failed_rank(rank_t failed, const std::vector<char>& alive) 
     ++moved;
   }
   return moved;
+}
+
+nnz_t Mapping::rebalance(rank_t rank, int delta,
+                         const std::vector<char>& alive,
+                         std::vector<nnz_t>* moved) {
+  PANGULU_CHECK(delta == -1 || delta == 1, "rebalance delta must be +-1");
+  PANGULU_CHECK(alive.size() == static_cast<std::size_t>(n_ranks),
+                "rebalance alive vector size mismatch");
+  std::vector<nnz_t> count(static_cast<std::size_t>(n_ranks), 0);
+  for (rank_t o : owner) ++count[static_cast<std::size_t>(o)];
+  rank_t n_live = 0;
+  for (rank_t r = 0; r < n_ranks; ++r)
+    if (alive[static_cast<std::size_t>(r)]) ++n_live;
+
+  nnz_t n_moved = 0;
+  if (delta < 0) {
+    // Drain: every block of `rank` goes to the currently least-loaded live
+    // rank. Greedy argmin keeps the movement minimal (only the leaver's
+    // blocks travel) and the result balanced.
+    if (n_live == 0) return -1;
+    for (std::size_t pos = 0; pos < owner.size(); ++pos) {
+      if (owner[pos] != rank) continue;
+      rank_t best = -1;
+      for (rank_t r = 0; r < n_ranks; ++r) {
+        if (!alive[static_cast<std::size_t>(r)] || r == rank) continue;
+        if (best < 0 ||
+            count[static_cast<std::size_t>(r)] < count[static_cast<std::size_t>(best)])
+          best = r;
+      }
+      if (best < 0) return -1;
+      owner[pos] = best;
+      --count[static_cast<std::size_t>(rank)];
+      ++count[static_cast<std::size_t>(best)];
+      ++n_moved;
+      if (moved) moved->push_back(static_cast<nnz_t>(pos));
+    }
+  } else {
+    // Add: steal from the most-loaded live ranks (their highest block
+    // position first) until the newcomer holds its fair share. Bounded
+    // movement: at most ceil(total / live) blocks change owner.
+    if (n_live <= 1) return 0;  // nobody to steal from
+    std::vector<std::vector<nnz_t>> held(static_cast<std::size_t>(n_ranks));
+    for (std::size_t pos = 0; pos < owner.size(); ++pos)
+      held[static_cast<std::size_t>(owner[pos])].push_back(
+          static_cast<nnz_t>(pos));
+    const nnz_t target =
+        static_cast<nnz_t>(owner.size()) / static_cast<nnz_t>(n_live);
+    while (count[static_cast<std::size_t>(rank)] < target) {
+      rank_t donor = -1;
+      for (rank_t r = 0; r < n_ranks; ++r) {
+        if (!alive[static_cast<std::size_t>(r)] || r == rank) continue;
+        if (count[static_cast<std::size_t>(r)] == 0) continue;
+        if (donor < 0 ||
+            count[static_cast<std::size_t>(r)] > count[static_cast<std::size_t>(donor)])
+          donor = r;
+      }
+      if (donor < 0 || count[static_cast<std::size_t>(donor)] <= target) break;
+      const nnz_t pos = held[static_cast<std::size_t>(donor)].back();
+      held[static_cast<std::size_t>(donor)].pop_back();
+      owner[static_cast<std::size_t>(pos)] = rank;
+      --count[static_cast<std::size_t>(donor)];
+      ++count[static_cast<std::size_t>(rank)];
+      ++n_moved;
+      if (moved) moved->push_back(pos);
+    }
+    if (moved) std::sort(moved->end() - n_moved, moved->end());
+  }
+  return n_moved;
 }
 
 Mapping cyclic_mapping(const BlockMatrix& bm, const ProcessGrid& grid,

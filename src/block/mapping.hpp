@@ -43,6 +43,23 @@ struct Mapping {
   /// -1 when no survivor exists (recovery impossible). `n_ranks` is kept:
   /// rank ids stay stable, the dead rank simply owns nothing.
   nnz_t remap_failed_rank(rank_t failed, const std::vector<char>& alive = {});
+
+  /// Elastic-runtime primitive: bounded-movement incremental rebalance after
+  /// `rank` leaves (`delta` = -1) or joins (`delta` = +1) the live set
+  /// recorded in `alive` (which already reflects the change). Unlike a full
+  /// remap, only the minimal block set moves:
+  ///   * drain: each of the rank's blocks goes, in block-position order, to
+  ///     the currently least-loaded live rank (ties to the lowest id); no
+  ///     block between two live ranks is touched.
+  ///   * add: the newcomer steals blocks from the most-loaded live ranks
+  ///     (highest block position first) until it reaches the fair share
+  ///     floor(total_blocks / live_ranks); at most ceil(total / live) blocks
+  ///     move.
+  /// Migrated block positions are appended to `moved` (ascending for drains)
+  /// when provided. Returns the number of blocks moved, or -1 when a drain
+  /// finds no live rank to adopt the blocks.
+  nnz_t rebalance(rank_t rank, int delta, const std::vector<char>& alive,
+                  std::vector<nnz_t>* moved = nullptr);
 };
 
 /// Plain 2D block-cyclic assignment. Each block position's owner is an

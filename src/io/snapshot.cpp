@@ -21,6 +21,7 @@ SNAPSHOT_FIELD(a_values, 4)
 SNAPSHOT_FIELD(counters, 5)
 SNAPSHOT_FIELD(block_nnz, 6)
 SNAPSHOT_FIELD(block_values, 7)
+SNAPSHOT_FIELD(dirty_pos, 8)
 #undef SNAPSHOT_FIELD
 
 namespace {
@@ -76,7 +77,7 @@ void pack_meta(const SnapshotMeta& m, std::int64_t* s) {
   s[16] = m.checkpoint_interval;
   s[17] = m.n_tasks;
   s[18] = m.tasks_done;
-  s[19] = 0;  // reserved
+  s[19] = m.incremental;
 }
 
 void unpack_meta(const std::int64_t* s, SnapshotMeta* m) {
@@ -99,6 +100,7 @@ void unpack_meta(const std::int64_t* s, SnapshotMeta* m) {
   m->checkpoint_interval = s[16];
   m->n_tasks = s[17];
   m->tasks_done = s[18];
+  m->incremental = s[19];
 }
 
 Status put_u32(std::ostream& out, std::uint32_t v) {
@@ -278,6 +280,8 @@ Status write_snapshot(std::ostream& out, const Snapshot& snap) {
   if (!s.is_ok()) return s;
   s = write_array_field(out, kField_block_values, snap.block_values);
   if (!s.is_ok()) return s;
+  s = write_array_field(out, kField_dirty_pos, snap.dirty_pos);
+  if (!s.is_ok()) return s;
   out.flush();
   if (!out) return Status::io_error("snapshot: flush failed");
   return Status::ok();
@@ -328,12 +332,15 @@ Status read_snapshot(std::istream& in, Snapshot* out) {
   s = read_array_field(in, kField_block_values, "block_values",
                        &out->block_values);
   if (!s.is_ok()) return s;
+  s = read_array_field(in, kField_dirty_pos, "dirty_pos", &out->dirty_pos);
+  if (!s.is_ok()) return s;
 
   // Cheap internal consistency of the scalar section; the deep structural
   // cross-check against the recomputed blocking happens in resume_from.
   const SnapshotMeta& m = out->meta;
   if (m.n < 0 || m.nnz_a < 0 || m.block_size <= 0 || m.n_ranks < 1 ||
-      m.n_tasks < 0 || m.tasks_done < 0 || m.tasks_done > m.n_tasks)
+      m.n_tasks < 0 || m.tasks_done < 0 || m.tasks_done > m.n_tasks ||
+      (m.incremental != 0 && m.incremental != 1))
     return Status::io_error("snapshot: meta scalars out of range");
   if (out->a_col_ptr.size() != static_cast<std::size_t>(m.n) + 1 ||
       out->a_row_idx.size() != static_cast<std::size_t>(m.nnz_a) ||
@@ -342,14 +349,41 @@ Status read_snapshot(std::istream& in, Snapshot* out) {
   if (out->counters.size() != out->block_nnz.size())
     return Status::io_error(
         "snapshot: counter array and block table sizes disagree");
-  std::uint64_t total = 0;
   for (nnz_t b : out->block_nnz) {
     if (b < 0) return Status::io_error("snapshot: negative block nnz");
-    total += static_cast<std::uint64_t>(b);
   }
-  if (total != out->block_values.size())
-    return Status::io_error(
-        "snapshot: block value payload disagrees with the block nnz table");
+  if (m.incremental) {
+    // Incremental: dirty_pos must be ascending, duplicate-free, in range,
+    // and the value payload must cover exactly the dirty blocks.
+    nnz_t prev = -1;
+    std::uint64_t dirty_total = 0;
+    for (nnz_t pos : out->dirty_pos) {
+      if (pos <= prev)
+        return Status::io_error(
+            "snapshot: dirty block list is not strictly ascending");
+      if (pos < 0 || pos >= static_cast<nnz_t>(out->block_nnz.size()))
+        return Status::io_error("snapshot: dirty block position " +
+                                std::to_string(pos) + " outside the " +
+                                std::to_string(out->block_nnz.size()) +
+                                "-block table");
+      dirty_total += static_cast<std::uint64_t>(
+          out->block_nnz[static_cast<std::size_t>(pos)]);
+      prev = pos;
+    }
+    if (dirty_total != out->block_values.size())
+      return Status::io_error(
+          "snapshot: dirty block value payload disagrees with the block nnz "
+          "table");
+  } else {
+    if (!out->dirty_pos.empty())
+      return Status::io_error(
+          "snapshot: full snapshot carries a dirty block list");
+    std::uint64_t total = 0;
+    for (nnz_t b : out->block_nnz) total += static_cast<std::uint64_t>(b);
+    if (total != out->block_values.size())
+      return Status::io_error(
+          "snapshot: block value payload disagrees with the block nnz table");
+  }
   return Status::ok();
 }
 

@@ -37,12 +37,15 @@ namespace pangulu::io {
 /// "PGLU" in ASCII (big-endian byte order within the word).
 inline constexpr std::uint32_t kSnapshotMagic = 0x50474C55u;
 /// Bump whenever the field list or any payload encoding changes.
-inline constexpr std::uint32_t kSnapshotFormatVersion = 1;
+/// v2 (PR 6): incremental dirty-block snapshots — a `dirty_pos` field lists
+/// the block positions whose values are encoded; `meta.incremental` flags
+/// the mode. v1 files are rejected (old readers reject v2 symmetrically).
+inline constexpr std::uint32_t kSnapshotFormatVersion = 2;
 /// Written as 0x01020304; a reader seeing 0x04030201 is on a foreign-endian
 /// host and rejects the file instead of mis-reading it.
 inline constexpr std::uint32_t kSnapshotEndianTag = 0x01020304;
 /// Number of tagged fields in a snapshot (see SNAPSHOT_FIELD in snapshot.cpp).
-inline constexpr int kSnapshotFieldCount = 7;
+inline constexpr int kSnapshotFieldCount = 8;
 
 /// Fixed-size scalar section: everything needed to re-run the deterministic
 /// preprocessing pipeline and validate that the result matches the stored
@@ -69,6 +72,12 @@ struct SnapshotMeta {
   /// Canonical tasks committed when the snapshot was taken; resume replays
   /// tasks [tasks_done, n_tasks).
   std::int64_t tasks_done = 0;
+  /// 0: `block_values` covers every stored block (full snapshot). 1:
+  /// incremental — `block_values` holds only the blocks listed in
+  /// `dirty_pos` (those mutated by tasks [0, tasks_done)); every other
+  /// block still carries its initial pre-numeric values, which resume
+  /// recomputes deterministically from A.
+  std::int64_t incremental = 0;
 };
 
 /// In-memory image of one snapshot. The io layer deals in flat arrays only
@@ -83,9 +92,14 @@ struct Snapshot {
   std::vector<index_t> counters;
   /// Per stored block (block-position order): its nnz, for structural
   /// cross-checking against the recomputed blocking before values land.
+  /// Always covers every block, incremental or not.
   std::vector<nnz_t> block_nnz;
-  /// All block values concatenated in block-position order.
+  /// Full mode: all block values concatenated in block-position order.
+  /// Incremental mode: only the dirty blocks' values, in `dirty_pos` order.
   std::vector<value_t> block_values;
+  /// Incremental mode only: ascending, duplicate-free block positions whose
+  /// values are present in `block_values`. Empty in full mode.
+  std::vector<nnz_t> dirty_pos;
 };
 
 /// CRC-32C (Castagnoli, reflected) of `len` bytes — hardware-accelerated on

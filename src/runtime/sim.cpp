@@ -1,6 +1,7 @@
 #include "runtime/sim.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <limits>
 #include <optional>
@@ -215,7 +216,7 @@ struct FaultCtx {
 struct PendingEvent {
   double time;
   index_t seq;   // tie-break for determinism
-  index_t task;  // ready task, -1 for a rank wake-up, -2 for crash recovery
+  index_t task;  // ready task, or a marker id (kWakeEvent & co) below
   rank_t rank;   // rank to wake / rank being recovered
   bool operator>(const PendingEvent& o) const {
     return std::tie(time, seq) > std::tie(o.time, o.seq);
@@ -225,6 +226,31 @@ struct PendingEvent {
 /// Marker task ids for non-task events.
 constexpr index_t kWakeEvent = -1;
 constexpr index_t kRecoveryEvent = -2;
+constexpr index_t kElasticEvent = -3;
+
+/// Flattened elastic plan in firing order: at_commit ascending, adds before
+/// drains on ties (a same-instant swap never dips the live count). Mirrors
+/// the ordering ElasticPlan::validate proves against.
+struct ElasticStep {
+  index_t at_commit;
+  rank_t rank;
+  bool is_add;
+};
+
+std::vector<ElasticStep> elastic_steps(const ElasticPlan& plan) {
+  std::vector<ElasticStep> steps;
+  steps.reserve(plan.adds.size() + plan.drains.size());
+  for (const auto& e : plan.adds) steps.push_back({e.at_commit, e.rank, true});
+  for (const auto& e : plan.drains)
+    steps.push_back({e.at_commit, e.rank, false});
+  std::stable_sort(steps.begin(), steps.end(),
+                   [](const ElasticStep& a, const ElasticStep& b) {
+                     if (a.at_commit != b.at_commit)
+                       return a.at_commit < b.at_commit;
+                     return a.is_add && !b.is_add;
+                   });
+  return steps;
+}
 
 /// Post-remap invariant re-check (both schedulers): the remapped state must
 /// still be total over the survivors, and at kFull every expected message
@@ -250,8 +276,23 @@ Status run_sync_free(const BlockMatrix& bm, const std::vector<Task>& tasks,
   TaskAdjacency g = TaskAdjacency::build(bm, tasks);
   FaultCtx faults(o.faults, o.device, o.n_ranks);
 
-  // Recovery rewrites ownership, so the scheduler works on its own copy.
+  // Recovery and elastic rebalancing rewrite ownership, so the scheduler
+  // works on its own copy.
   Mapping mapping = mapping_in;
+  std::vector<char> alive = o.elastic.initially_active(o.n_ranks);
+  // Provisioning, not migration: a rank whose first elastic event is an add
+  // starts idle, so its blocks are re-homed at zero cost before any work is
+  // scheduled (nothing is in flight yet).
+  for (rank_t r = 0; r < o.n_ranks; ++r) {
+    if (alive[static_cast<std::size_t>(r)]) continue;
+    Mapping before = mapping;
+    if (mapping.rebalance(r, -1, alive) < 0)
+      return Status::resource_exhausted(
+          "elastic plan leaves no rank live before the first task");
+    Status vs = analysis::verify_rebalance(bm, tasks, before, mapping, r, -1,
+                                           alive, o.verify_level);
+    if (!vs.is_ok()) return vs;
+  }
   std::vector<rank_t> owner(static_cast<std::size_t>(nt));
   for (index_t t = 0; t < nt; ++t)
     owner[static_cast<std::size_t>(t)] =
@@ -275,7 +316,8 @@ Status run_sync_free(const BlockMatrix& bm, const std::vector<Task>& tasks,
   std::vector<double> busy_until(static_cast<std::size_t>(o.n_ranks), 0.0);
   std::vector<double> ready_time(static_cast<std::size_t>(nt), 0.0);
   std::vector<char> done(static_cast<std::size_t>(nt), 0);
-  std::vector<char> alive(static_cast<std::size_t>(o.n_ranks), 1);
+  const std::vector<ElasticStep> esteps = elastic_steps(o.elastic);
+  std::size_t next_step = 0;
 
   res->ranks.assign(static_cast<std::size_t>(o.n_ranks), RankStats{});
 
@@ -363,6 +405,11 @@ Status run_sync_free(const BlockMatrix& bm, const std::vector<Task>& tasks,
     res->total_flops += task.weight;
     done[static_cast<std::size_t>(t)] = 1;
     ++completed;
+    // This commit is a task-graph safe point: fire due elastic events when
+    // the task finishes (the marker carries the virtual time of the commit).
+    if (next_step < esteps.size() &&
+        esteps[next_step].at_commit <= completed)
+      events.push({fin, seq++, kElasticEvent, r});
 
     // One physical transfer per destination rank; every dependent on that
     // rank shares the delivered block. Retransmits bill the sender, the
@@ -458,11 +505,135 @@ Status run_sync_free(const BlockMatrix& bm, const std::vector<Task>& tasks,
     return Status::ok();
   };
 
+  // Planned capacity changes at commit safe points. A drain quiesces the
+  // rank (waits out its in-flight task), migrates its blocks to the
+  // least-loaded survivors via Mapping::rebalance, re-proves the mapping
+  // with the I6 verifier, and re-routes any queued work; an add does the
+  // symmetric steal from the most-loaded donors. Crash interleavings are
+  // no-ops for the second event: draining a crashed rank has nothing to
+  // quiesce (the recovery sweep owns its blocks), and crashing a drained
+  // rank finds it already empty.
+  auto handle_elastic = [&](double now, bool fire_all) -> Status {
+    for (; next_step < esteps.size() &&
+           (fire_all || esteps[next_step].at_commit <= completed);
+         ++next_step) {
+      const ElasticStep& st = esteps[next_step];
+      const auto ri = static_cast<std::size_t>(st.rank);
+      Mapping before = mapping;
+      std::vector<nnz_t> moved_pos;
+      nnz_t moved = 0;
+      double quiesce = now;
+      if (st.is_add) {
+        if (alive[ri] || now >= faults.crash_at[ri]) {
+          // Already active, or the slot crashed before it could join.
+          if (o.trace) o.trace->record_instant(st.rank, now, "add: no-op");
+          continue;
+        }
+        alive[ri] = 1;
+        moved = mapping.rebalance(st.rank, +1, alive, &moved_pos);
+      } else {
+        if (!alive[ri] || now >= faults.crash_at[ri] ||
+            busy_until[ri] == kInf) {
+          // Drain of a crashed (or crashing) rank: the recovery sweep is
+          // responsible for its blocks; the drain itself is a no-op.
+          if (o.trace) o.trace->record_instant(st.rank, now, "drain: no-op");
+          continue;
+        }
+        rank_t live = 0;
+        for (char a : alive) live += a ? 1 : 0;
+        if (live - 1 < o.elastic.min_ranks)
+          return Status::resource_exhausted(
+              "drain of rank " + std::to_string(st.rank) +
+              " at commit " + std::to_string(completed) + " would leave " +
+              std::to_string(live - 1) + " live ranks, below min_ranks " +
+              std::to_string(o.elastic.min_ranks) + "; load shed");
+        // Quiesce: the rank finishes (and ships) its in-flight task before
+        // its state migrates; nothing is interrupted mid-kernel.
+        quiesce = std::max(now, busy_until[ri]);
+        alive[ri] = 0;
+        moved = mapping.rebalance(st.rank, -1, alive, &moved_pos);
+        if (moved < 0)
+          return Status::resource_exhausted(
+              "drain of rank " + std::to_string(st.rank) +
+              " found no live rank to adopt its blocks");
+      }
+      for (index_t t = 0; t < nt; ++t) {
+        if (!done[static_cast<std::size_t>(t)])
+          owner[static_cast<std::size_t>(t)] =
+              mapping.owner[static_cast<std::size_t>(
+                  tasks[static_cast<std::size_t>(t)].target)];
+      }
+      Status vs =
+          analysis::verify_rebalance(bm, tasks, before, mapping, st.rank,
+                                     st.is_add ? +1 : -1, alive,
+                                     o.verify_level);
+      if (!vs.is_ok()) return vs;
+      // Each migrated block travels once over the wire and pays the adopt
+      // bookkeeping; with ABFT on, the landed state is audited against its
+      // checksum (the replay-integrity check of the migration protocol).
+      double tmig = 0;
+      for (nnz_t pos : moved_pos) {
+        const Csc& blk = bm.block(pos);
+        tmig += o.device.message_time(
+                    block_message_bytes(blk.nnz(), blk.n_cols())) +
+                o.device.remap_per_block_s;
+        if (o.abft != AbftLevel::kOff) {
+          (void)block_checksum(blk);
+          res->abft_audits++;
+        }
+      }
+      const double ready_at = quiesce + tmig;
+      if (st.is_add) {
+        busy_until[ri] = ready_at;
+        events.push({ready_at, seq++, kWakeEvent, st.rank});
+        res->ranks_added++;
+      } else {
+        busy_until[ri] = kInf;  // the drained rank takes no more work
+        res->ranks_drained++;
+      }
+      // Re-route queued work through the event queue: owner is read fresh
+      // at pop time, so tasks whose target migrated land on the new owner;
+      // they become runnable once the migrated state has arrived.
+      for (rank_t q = 0; q < o.n_ranks; ++q) {
+        auto& rq = ready[static_cast<std::size_t>(q)];
+        while (!rq.empty()) {
+          const index_t t = rq.top();
+          rq.pop();
+          const auto tgt = static_cast<std::size_t>(
+              tasks[static_cast<std::size_t>(t)].target);
+          const bool migrated = before.owner[tgt] != mapping.owner[tgt];
+          events.push({std::max(migrated ? ready_at : now,
+                                ready_time[static_cast<std::size_t>(t)]),
+                       seq++, t, 0});
+        }
+      }
+      res->migrated_blocks += moved;
+      res->migration_time += (quiesce - now) + tmig;
+      makespan = std::max(makespan, ready_at);
+      if (o.trace) {
+        o.trace->record_instant(st.rank, now, st.is_add ? "add" : "drain");
+        o.trace->record_instant(st.rank, ready_at,
+                                "migrate " + std::to_string(moved) +
+                                    " blocks");
+      }
+    }
+    return Status::ok();
+  };
+
+  // Commit 0 is itself a safe point (events scheduled before any task).
+  Status es = handle_elastic(0.0, false);
+  if (!es.is_ok()) return es;
+
   while (!events.empty()) {
     PendingEvent ev = events.top();
     events.pop();
     if (ev.task == kRecoveryEvent) {
       Status s = recover(ev.rank, ev.time);
+      if (!s.is_ok()) return s;
+      continue;
+    }
+    if (ev.task == kElasticEvent) {
+      Status s = handle_elastic(ev.time, false);
       if (!s.is_ok()) return s;
       continue;
     }
@@ -488,6 +659,10 @@ Status run_sync_free(const BlockMatrix& bm, const std::vector<Task>& tasks,
           " tasks unrunnable");
     PANGULU_CHECK(completed == nt, "sync-free DES deadlocked");
   }
+  // Elastic events scheduled past the final commit still fire (the cluster
+  // reshapes after the factorisation drains), at the end of the schedule.
+  Status esf = handle_elastic(makespan, true);
+  if (!esf.is_ok()) return esf;
 
   res->makespan = makespan;
   for (rank_t r = 0; r < o.n_ranks; ++r) {
@@ -508,7 +683,19 @@ Status run_level_set(const BlockMatrix& bm, const std::vector<Task>& tasks,
   res->ranks.assign(static_cast<std::size_t>(o.n_ranks), RankStats{});
   FaultCtx faults(o.faults, o.device, o.n_ranks);
   Mapping mapping = mapping_in;
-  std::vector<char> alive(static_cast<std::size_t>(o.n_ranks), 1);
+  std::vector<char> alive = o.elastic.initially_active(o.n_ranks);
+  // Provisioning: ranks that join later start idle; re-home their blocks at
+  // zero cost before the first slice.
+  for (rank_t r = 0; r < o.n_ranks; ++r) {
+    if (alive[static_cast<std::size_t>(r)]) continue;
+    Mapping before = mapping;
+    if (mapping.rebalance(r, -1, alive) < 0)
+      return Status::resource_exhausted(
+          "elastic plan leaves no rank live before the first task");
+    Status vs = analysis::verify_rebalance(bm, tasks, before, mapping, r, -1,
+                                           alive, o.verify_level);
+    if (!vs.is_ok()) return vs;
+  }
   std::vector<char> crash_handled(o.faults.crashes.size(), 0);
   std::vector<char> stall_applied(o.faults.stalls.size(), 0);
 
@@ -554,8 +741,84 @@ Status run_level_set(const BlockMatrix& bm, const std::vector<Task>& tasks,
     return Status::ok();
   };
 
+  // Planned capacity changes. Under bulk-synchronous scheduling every slice
+  // boundary is a safe point — all ranks are quiesced at the barrier — so a
+  // drain/add due at commit c fires at the first boundary where ti >= c.
+  // The static per-task owner lookup then routes work automatically.
+  const std::vector<ElasticStep> esteps = elastic_steps(o.elastic);
+  std::size_t next_step = 0;
+  auto handle_elastic = [&](bool fire_all) -> Status {
+    const auto committed = static_cast<index_t>(ti);
+    for (; next_step < esteps.size() &&
+           (fire_all || esteps[next_step].at_commit <= committed);
+         ++next_step) {
+      const ElasticStep& st = esteps[next_step];
+      const auto ri = static_cast<std::size_t>(st.rank);
+      Mapping before = mapping;
+      std::vector<nnz_t> moved_pos;
+      nnz_t moved = 0;
+      if (st.is_add) {
+        if (alive[ri] || now >= faults.crash_at[ri]) {
+          if (o.trace) o.trace->record_instant(st.rank, now, "add: no-op");
+          continue;
+        }
+        alive[ri] = 1;
+        moved = mapping.rebalance(st.rank, +1, alive, &moved_pos);
+        res->ranks_added++;
+      } else {
+        if (!alive[ri] || now >= faults.crash_at[ri]) {
+          if (o.trace) o.trace->record_instant(st.rank, now, "drain: no-op");
+          continue;
+        }
+        rank_t live = 0;
+        for (char a : alive) live += a ? 1 : 0;
+        if (live - 1 < o.elastic.min_ranks)
+          return Status::resource_exhausted(
+              "drain of rank " + std::to_string(st.rank) + " at commit " +
+              std::to_string(committed) + " would leave " +
+              std::to_string(live - 1) + " live ranks, below min_ranks " +
+              std::to_string(o.elastic.min_ranks) + "; load shed");
+        alive[ri] = 0;
+        moved = mapping.rebalance(st.rank, -1, alive, &moved_pos);
+        if (moved < 0)
+          return Status::resource_exhausted(
+              "drain of rank " + std::to_string(st.rank) +
+              " found no live rank to adopt its blocks");
+        res->ranks_drained++;
+      }
+      Status vs =
+          analysis::verify_rebalance(bm, tasks, before, mapping, st.rank,
+                                     st.is_add ? +1 : -1, alive,
+                                     o.verify_level);
+      if (!vs.is_ok()) return vs;
+      double tmig = 0;
+      for (nnz_t pos : moved_pos) {
+        const Csc& blk = bm.block(pos);
+        tmig += o.device.message_time(
+                    block_message_bytes(blk.nnz(), blk.n_cols())) +
+                o.device.remap_per_block_s;
+        if (o.abft != AbftLevel::kOff) {
+          (void)block_checksum(blk);
+          res->abft_audits++;
+        }
+      }
+      now += tmig;
+      res->migrated_blocks += moved;
+      res->migration_time += tmig;
+      if (o.trace) {
+        o.trace->record_instant(st.rank, now, st.is_add ? "add" : "drain");
+        o.trace->record_instant(st.rank, now,
+                                "migrate " + std::to_string(moved) +
+                                    " blocks");
+      }
+    }
+    return Status::ok();
+  };
+
   for (index_t k = 0; k < nb && ti < tasks.size(); ++k) {
     Status cs = handle_crashes();
+    if (!cs.is_ok()) return cs;
+    cs = handle_elastic(false);
     if (!cs.is_ok()) return cs;
     for (int phase = 0; phase < 3; ++phase) {
       std::fill(phase_busy.begin(), phase_busy.end(), 0.0);
@@ -651,8 +914,11 @@ Status run_level_set(const BlockMatrix& bm, const std::vector<Task>& tasks,
   }
   PANGULU_CHECK(ti == tasks.size(), "level-set missed tasks");
   // A crash that raced the final slices is still detected and re-mapped
-  // (the survivors restore the block distribution after the last barrier).
+  // (the survivors restore the block distribution after the last barrier),
+  // and elastic events scheduled past the final commit still fire.
   Status cs = handle_crashes();
+  if (!cs.is_ok()) return cs;
+  cs = handle_elastic(true);
   if (!cs.is_ok()) return cs;
 
   res->makespan = now;
@@ -670,6 +936,22 @@ Status run_level_set(const BlockMatrix& bm, const std::vector<Task>& tasks,
 
 }  // namespace
 
+index_t young_daly_interval_tasks(double mtbf_seconds,
+                                  double checkpoint_cost_seconds,
+                                  double seconds_per_task, index_t n_tasks) {
+  if (mtbf_seconds <= 0 || checkpoint_cost_seconds <= 0 ||
+      seconds_per_task <= 0 || n_tasks <= 0)
+    return 0;
+  // Young/Daly first-order optimum: checkpoint every sqrt(2 * C * MTBF)
+  // seconds of useful work, expressed here in canonical tasks.
+  const double tau =
+      std::sqrt(2.0 * checkpoint_cost_seconds * mtbf_seconds);
+  const double tasks = std::round(tau / seconds_per_task);
+  if (tasks <= 1) return 1;
+  if (tasks >= static_cast<double>(n_tasks)) return n_tasks;
+  return static_cast<index_t>(tasks);
+}
+
 Status simulate_factorization(BlockMatrix& bm, const std::vector<Task>& tasks,
                               const Mapping& mapping, const SimOptions& opts,
                               SimResult* result) {
@@ -680,6 +962,13 @@ Status simulate_factorization(BlockMatrix& bm, const std::vector<Task>& tasks,
     return Status::invalid_argument("mapping rank count mismatch");
   Status fv = opts.faults.validate(opts.n_ranks);
   if (!fv.is_ok()) return fv;
+  // Static load-shed check: an over-draining plan is rejected with
+  // kResourceExhausted here, before any work runs (crash interactions are
+  // re-checked dynamically at each drain's safe point).
+  Status ev = opts.elastic.validate(opts.n_ranks);
+  if (!ev.is_ok()) return ev;
+  if (opts.mtbf_seconds < 0)
+    return Status::invalid_argument("mtbf_seconds must be >= 0");
 
   const auto nt = static_cast<index_t>(tasks.size());
   std::vector<TaskPlan> plans(static_cast<std::size_t>(nt));
@@ -703,6 +992,26 @@ Status simulate_factorization(BlockMatrix& bm, const std::vector<Task>& tasks,
       return Status::invalid_argument("resume_from_task out of range");
     if (opts.checkpoint_interval_tasks < 0)
       return Status::invalid_argument("checkpoint interval must be >= 0");
+    // Young/Daly cadence: with an MTBF configured but no explicit interval,
+    // derive the optimum from the snapshot cost (bytes at the device's
+    // checkpoint-write rate) and the mean virtual task cost.
+    index_t ckpt_interval = opts.checkpoint_interval_tasks;
+    if (ckpt_interval == 0 && opts.checkpoint_sink &&
+        opts.mtbf_seconds > 0 && nt > 0) {
+      double total_cost = 0;
+      for (const TaskPlan& p : plans) total_cost += p.cost;
+      double snapshot_bytes = 0;
+      for (nnz_t pos = 0; pos < static_cast<nnz_t>(bm.n_blocks()); ++pos)
+        snapshot_bytes +=
+            static_cast<double>(bm.block(pos).nnz()) * sizeof(value_t);
+      snapshot_bytes += static_cast<double>(bm.n_blocks()) *
+                        (sizeof(index_t) + sizeof(nnz_t));
+      const double ckpt_cost =
+          snapshot_bytes / opts.device.checkpoint_write_bps;
+      ckpt_interval = young_daly_interval_tasks(
+          opts.mtbf_seconds, ckpt_cost,
+          total_cost / static_cast<double>(nt), nt);
+    }
     kernels::Workspace ws;
     kernels::PivotStats pivots;
 
@@ -778,8 +1087,8 @@ Status simulate_factorization(BlockMatrix& bm, const std::vector<Task>& tasks,
                     sizeof bits);
       }
       const index_t done = t + 1;
-      if (opts.checkpoint_interval_tasks > 0 && opts.checkpoint_sink &&
-          done % opts.checkpoint_interval_tasks == 0 && done < nt &&
+      if (ckpt_interval > 0 && opts.checkpoint_sink &&
+          done % ckpt_interval == 0 && done < nt &&
           (opts.checkpoint_min_elapsed_seconds <= 0 ||
            ckpt_elapsed.seconds() >= opts.checkpoint_min_elapsed_seconds)) {
         Status cs = opts.checkpoint_sink(done);

@@ -34,6 +34,7 @@
 #include "kernels/selector.hpp"
 #include "runtime/abft.hpp"
 #include "runtime/device_model.hpp"
+#include "runtime/elastic.hpp"
 #include "runtime/fault.hpp"
 #include "runtime/trace.hpp"
 #include "util/status.hpp"
@@ -63,6 +64,13 @@ struct SimOptions {
   /// Recoverable plans change only makespan/traffic, never the factors;
   /// unrecoverable ones fail with StatusCode::kUnavailable.
   FaultPlan faults;
+  /// Planned capacity changes (see runtime/elastic.hpp). Drains/adds fire at
+  /// canonical commit safe points: the rank is quiesced, its blocks migrate
+  /// via Mapping::rebalance (bounded movement), the verifier re-proves the
+  /// new mapping, and the run continues to bitwise-identical factors. A
+  /// drain that would go below `elastic.min_ranks` fails with
+  /// StatusCode::kResourceExhausted (graceful load shedding, no deadlock).
+  ElasticPlan elastic;
   /// Re-verify scheduling invariants after every crash-recovery remap:
   /// kCheap (default) proves mapping totality over the survivor set, kFull
   /// additionally proves message conservation under the new ownership. A
@@ -91,6 +99,12 @@ struct SimOptions {
   /// is cheaper than checkpointing it. Explicit user intervals leave this 0
   /// and fire exactly on schedule.
   double checkpoint_min_elapsed_seconds = 0;
+  /// > 0 with a sink set and `checkpoint_interval_tasks` unset: derive the
+  /// checkpoint cadence from this mean-time-between-failures via the
+  /// Young/Daly optimum tau = sqrt(2 * C * MTBF), where C is the snapshot
+  /// cost at DeviceModel::checkpoint_write_bps, converted to a task count
+  /// through the mean virtual task cost. 0: keep the caller's cadence.
+  double mtbf_seconds = 0;
 };
 
 struct RankStats {
@@ -141,10 +155,26 @@ struct SimResult {
   std::int64_t abft_recomputed = 0;   // corrupted blocks rebuilt by replay
   std::int64_t checkpoints_written = 0;
 
+  // Elastic-runtime totals (zero when SimOptions::elastic is empty).
+  std::int64_t ranks_drained = 0;  // planned drains executed
+  std::int64_t ranks_added = 0;    // planned adds executed
+  nnz_t migrated_blocks = 0;       // blocks moved by Mapping::rebalance
+  /// Virtual time spent quiescing drained ranks and migrating their blocks.
+  double migration_time = 0;
+
   double gflops() const {
     return makespan > 0 ? total_flops / makespan / 1e9 : 0;
   }
 };
+
+/// Young/Daly optimal checkpoint interval in canonical tasks:
+/// round(sqrt(2 * C * MTBF) / seconds_per_task), clamped to [1, n_tasks].
+/// Returns 0 on degenerate inputs (no MTBF, free checkpoints, zero-cost
+/// tasks, or an empty task list) — the caller falls back to its default
+/// cadence.
+index_t young_daly_interval_tasks(double mtbf_seconds,
+                                  double checkpoint_cost_seconds,
+                                  double seconds_per_task, index_t n_tasks);
 
 /// Run the factorisation. When `opts.execute_numerics`, `bm`'s blocks are
 /// overwritten with the LU factors (diagonal blocks hold L\U, off-diagonal

@@ -37,6 +37,20 @@ struct RankQueue {
       q PANGULU_GUARDED_BY(mu);  // (k, task index)
 };
 
+// Stop-the-world control for ABFT replay repair. Rank-threads bracket every
+// task execution (block reads + kernel + publish) with the executing count;
+// a thread that detects corruption steps out of the bracket, takes the
+// single repair token (`pausing`), and waits for `executing` to drain to
+// zero before rewriting any block. The mutex hand-offs give the repair
+// writes a happens-before edge against every earlier reader and every later
+// one, so the rewrite is race-free (and TSan-clean) by construction.
+struct PauseCtl {
+  Mutex mu;
+  std::condition_variable_any cv;
+  bool pausing PANGULU_GUARDED_BY(mu) = false;
+  int executing PANGULU_GUARDED_BY(mu) = 0;
+};
+
 }  // namespace
 
 Status threaded_factorize(BlockMatrix& bm, const std::vector<Task>& tasks,
@@ -64,6 +78,7 @@ Status threaded_factorize(BlockMatrix& bm, const std::vector<Task>& tasks,
   // caller so kDataCorruption is distinguishable from a numerical error.
   Mutex err_mu;
   Status first_error PANGULU_GUARDED_BY(err_mu);
+  PauseCtl pause;
   auto record_failure = [&](Status s) {
     {
       MutexLock lk(err_mu);
@@ -71,26 +86,189 @@ Status threaded_factorize(BlockMatrix& bm, const std::vector<Task>& tasks,
     }
     failed.store(true, std::memory_order_release);
     for (auto& q : queues) q.cv.notify_all();
+    pause.cv.notify_all();
   };
 
-  // Detection-only ABFT: a finalised block's checksum is published with
-  // release order by the thread that ran its finaliser and audited with
-  // acquire order by every reader — the same edge that publishes the block
-  // values themselves, so the audit is race-free by construction.
+  // ABFT: a finalised block's checksum is published with release order by
+  // the thread that ran its finaliser and audited with acquire order by
+  // every reader — the same edge that publishes the block values
+  // themselves, so the audit is race-free by construction. A failed audit
+  // is repaired by canonical replay under stop-the-world (see PauseCtl):
+  // the baseline is the block's initial pre-numeric values, and the replay
+  // list is every canonical task targeting the block (a block is only ever
+  // audited once finalised, so the whole list has committed).
   const bool audit = opts.abft != AbftLevel::kOff;
   std::vector<std::atomic<std::uint64_t>> published(
       audit ? static_cast<std::size_t>(bm.n_blocks()) : 0);
-  auto audit_source = [&](nnz_t pos) -> Status {
+  std::vector<std::vector<value_t>> base(
+      audit ? static_cast<std::size_t>(bm.n_blocks()) : 0);
+  std::vector<std::vector<index_t>> by_block(
+      audit ? static_cast<std::size_t>(bm.n_blocks()) : 0);
+  if (audit) {
+    for (nnz_t pos = 0; pos < bm.n_blocks(); ++pos) {
+      const auto vals = bm.block(pos).values();
+      base[static_cast<std::size_t>(pos)].assign(vals.begin(), vals.end());
+    }
+    for (index_t t = 0; t < nt; ++t)
+      by_block[static_cast<std::size_t>(
+          tasks[static_cast<std::size_t>(t)].target)].push_back(t);
+  }
+  std::atomic<std::int64_t> abft_audits{0};
+  std::atomic<std::int64_t> abft_detected{0};
+  std::atomic<std::int64_t> abft_recomputed{0};
+
+  // One task's numerics, shared verbatim between the first run and replay
+  // repair — same selector, same kernel variant, same bits.
+  auto run_task = [&](const Task& task, kernels::Workspace& ws,
+                      kernels::PivotStats& pivots) -> Status {
+    switch (task.kind) {
+      case TaskKind::kGetrf: {
+        kernels::GetrfOptions go;
+        go.pivot_tol = opts.pivot_tol;
+        return kernels::getrf(
+            kernels::select_getrf(bm.block(task.target).nnz()),
+            bm.block(task.target), ws, &pivots, go, nullptr);
+      }
+      case TaskKind::kGessm:
+        return kernels::gessm(
+            kernels::select_gessm(bm.block(task.target).nnz(),
+                                  bm.block(task.src_a).nnz()),
+            bm.block(task.src_a), bm.block(task.target), ws, nullptr);
+      case TaskKind::kTstrf:
+        return kernels::tstrf(
+            kernels::select_tstrf(bm.block(task.target).nnz(),
+                                  bm.block(task.src_a).nnz()),
+            bm.block(task.src_a), bm.block(task.target), ws, nullptr);
+      case TaskKind::kSsssm:
+        return kernels::ssssm(kernels::select_ssssm(task.weight),
+                              bm.block(task.src_a), bm.block(task.src_b),
+                              bm.block(task.target), ws, nullptr);
+    }
+    return Status::internal("unknown task kind");
+  };
+
+  // Replay repair of one corrupted finalised block, recursing into corrupt
+  // source blocks first. Pre-condition: the world is stopped (the caller
+  // holds the repair token and `executing` drained to zero), so this thread
+  // is the only one touching block values.
+  auto repair_block = [&](nnz_t top, kernels::Workspace& ws,
+                          kernels::PivotStats& pivots) -> Status {
+    auto rec = [&](auto&& self, nnz_t pos, int depth) -> Status {
+      abft_detected.fetch_add(1, std::memory_order_relaxed);
+      const std::uint64_t want =
+          published[static_cast<std::size_t>(pos)].load(
+              std::memory_order_acquire);
+      if (depth >= 4)
+        return Status::data_corruption(
+            "abft: corruption storm deeper than 4 blocks at position " +
+            std::to_string(pos) + "; restart from a checkpoint");
+      // The replay reads each committed task's sources; make them clean
+      // first (they are finalised — their published checksums are live).
+      for (index_t t : by_block[static_cast<std::size_t>(pos)]) {
+        const Task& tk = tasks[static_cast<std::size_t>(t)];
+        nnz_t srcs[2] = {tk.src_a, tk.src_b};
+        if (srcs[1] == srcs[0]) srcs[1] = -1;
+        for (nnz_t src : srcs) {
+          if (src < 0) continue;
+          abft_audits.fetch_add(1, std::memory_order_relaxed);
+          if (block_checksum(bm.block(src)) !=
+              published[static_cast<std::size_t>(src)].load(
+                  std::memory_order_acquire)) {
+            Status rs = self(self, src, depth + 1);
+            if (!rs.is_ok()) return rs;
+          }
+        }
+      }
+      // Restore the pre-numeric baseline and replay the committed tasks in
+      // canonical order; determinism reproduces the published bits exactly.
+      auto vals = bm.block(pos).values_mut();
+      std::copy(base[static_cast<std::size_t>(pos)].begin(),
+                base[static_cast<std::size_t>(pos)].end(), vals.begin());
+      for (index_t t : by_block[static_cast<std::size_t>(pos)]) {
+        Status s = run_task(tasks[static_cast<std::size_t>(t)], ws, pivots);
+        if (!s.is_ok()) return s;
+      }
+      if (block_checksum(bm.block(pos)) != want)
+        return Status::data_corruption(
+            "abft: replay could not reproduce the published checksum of "
+            "block position " +
+            std::to_string(pos) + "; restart from a checkpoint");
+      abft_recomputed.fetch_add(1, std::memory_order_relaxed);
+      return Status::ok();
+    };
+    return rec(rec, top, 0);
+  };
+
+  // Executing-bracket helpers (used only when auditing): every task's block
+  // accesses happen between enter and exit, so a repairer that has seen
+  // `executing == 0` under the mutex owns every block exclusively.
+  auto enter_exec = [&] {
+    MutexLock lk(pause.mu);
+    const auto clear = [&] {
+      pause.mu.assert_held();
+      return !pause.pausing || failed.load(std::memory_order_acquire);
+    };
+    pause.cv.wait(lk, clear);
+    ++pause.executing;
+  };
+  auto exit_exec = [&] {
+    {
+      MutexLock lk(pause.mu);
+      --pause.executing;
+    }
+    pause.cv.notify_all();
+  };
+
+  // Audit one source block from inside the executing bracket. On mismatch:
+  // step out of the bracket, take the repair token, wait for the world to
+  // stop, repair by replay, then rejoin. Always returns with the bracket
+  // re-held, so the caller's exit_exec stays unconditional.
+  auto audit_repair = [&](nnz_t pos, kernels::Workspace& ws,
+                          kernels::PivotStats& pivots) -> Status {
     if (!audit || pos < 0) return Status::ok();
+    abft_audits.fetch_add(1, std::memory_order_relaxed);
     const std::uint64_t want =
         published[static_cast<std::size_t>(pos)].load(
             std::memory_order_acquire);
-    if (block_checksum(bm.block(pos)) != want)
-      return Status::data_corruption(
-          "abft: finalised block position " + std::to_string(pos) +
-          " failed its checksum audit (silent corruption); restart from a "
-          "checkpoint");
-    return Status::ok();
+    if (block_checksum(bm.block(pos)) == want) return Status::ok();
+    bool token = false;
+    {
+      MutexLock lk(pause.mu);
+      --pause.executing;
+      pause.cv.notify_all();
+      const auto idle = [&] {
+        pause.mu.assert_held();
+        return !pause.pausing || failed.load(std::memory_order_acquire);
+      };
+      pause.cv.wait(lk, idle);
+      if (!failed.load(std::memory_order_acquire)) {
+        pause.pausing = true;
+        token = true;
+        const auto stopped = [&] {
+          pause.mu.assert_held();
+          return pause.executing == 0 ||
+                 failed.load(std::memory_order_acquire);
+        };
+        pause.cv.wait(lk, stopped);
+      }
+    }
+    Status rs = Status::ok();
+    if (failed.load(std::memory_order_acquire)) {
+      // Some other thread already failed the run; any error will do — the
+      // first recorded error is the one the caller surfaces.
+      rs = Status::internal("threaded executor aborted during abft repair");
+    } else if (block_checksum(bm.block(pos)) != want) {
+      // Re-checked under stop-the-world: a concurrent repairer may have
+      // already rebuilt this block while we waited for the token.
+      rs = repair_block(pos, ws, pivots);
+    }
+    {
+      MutexLock lk(pause.mu);
+      if (token) pause.pausing = false;
+      ++pause.executing;  // rejoin; we hold the token, nobody else pauses
+    }
+    pause.cv.notify_all();
+    return rs;
   };
 
   // One busy flag per block position. A task mutates exactly its target
@@ -170,48 +348,26 @@ Status threaded_factorize(BlockMatrix& bm, const std::vector<Task>& tasks,
         if (t < 0) continue;
       }
       const Task& task = tasks[static_cast<std::size_t>(t)];
+      if (audit) enter_exec();
       auto& busy = block_busy[static_cast<std::size_t>(task.target)];
       if (busy.exchange(1, std::memory_order_acquire) != 0) {
         // Another thread is inside this block (stolen sibling update).
         // Hand the task back to its owner and move on.
+        if (audit) exit_exec();
         enqueue(t);
         std::this_thread::yield();
         continue;
       }
-      Status s = audit_source(task.src_a);
+      Status s = audit_repair(task.src_a, ws, pivots);
       if (s.is_ok() && task.src_b >= 0 && task.src_b != task.src_a)
-        s = audit_source(task.src_b);
+        s = audit_repair(task.src_b, ws, pivots);
       if (!s.is_ok()) {
         busy.store(0, std::memory_order_release);
+        if (audit) exit_exec();
         record_failure(std::move(s));
         return;
       }
-      switch (task.kind) {
-        case TaskKind::kGetrf: {
-          kernels::GetrfOptions go;
-          go.pivot_tol = opts.pivot_tol;
-          s = kernels::getrf(kernels::select_getrf(bm.block(task.target).nnz()),
-                             bm.block(task.target), ws, &pivots, go, nullptr);
-          break;
-        }
-        case TaskKind::kGessm:
-          s = kernels::gessm(
-              kernels::select_gessm(bm.block(task.target).nnz(),
-                                    bm.block(task.src_a).nnz()),
-              bm.block(task.src_a), bm.block(task.target), ws, nullptr);
-          break;
-        case TaskKind::kTstrf:
-          s = kernels::tstrf(
-              kernels::select_tstrf(bm.block(task.target).nnz(),
-                                    bm.block(task.src_a).nnz()),
-              bm.block(task.src_a), bm.block(task.target), ws, nullptr);
-          break;
-        case TaskKind::kSsssm:
-          s = kernels::ssssm(kernels::select_ssssm(task.weight),
-                             bm.block(task.src_a), bm.block(task.src_b),
-                             bm.block(task.target), ws, nullptr);
-          break;
-      }
+      s = run_task(task, ws, pivots);
       if (s.is_ok()) {
         // Publish the finalised block's checksum, then inject any scheduled
         // bit flips *into this task's target* while no reader can be running
@@ -238,6 +394,7 @@ Status threaded_factorize(BlockMatrix& bm, const std::vector<Task>& tasks,
         }
       }
       busy.store(0, std::memory_order_release);
+      if (audit) exit_exec();
       if (!s.is_ok()) {
         record_failure(std::move(s));
         return;
@@ -266,6 +423,11 @@ Status threaded_factorize(BlockMatrix& bm, const std::vector<Task>& tasks,
   for (auto& th : threads) th.join();
 
   if (opts.steal_count) *opts.steal_count = steals.load();
+  if (opts.abft_stats) {
+    opts.abft_stats->audits = abft_audits.load();
+    opts.abft_stats->detected = abft_detected.load();
+    opts.abft_stats->recomputed = abft_recomputed.load();
+  }
   if (failed.load()) {
     MutexLock lk(err_mu);
     return first_error.is_ok()

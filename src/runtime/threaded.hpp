@@ -27,13 +27,21 @@ struct ThreadedOptions {
   bool work_stealing = true;
   // When non-null, receives the number of successful steals (diagnostics).
   std::uint64_t* steal_count = nullptr;
-  // ABFT under true concurrency is detection-only (kCheap and kFull behave
-  // identically): a block's checksum is published (release) when its
-  // finaliser completes and audited (acquire) by every task that reads it.
-  // There is no canonical replay to recompute from here, so a mismatch
-  // fails the factorisation with StatusCode::kDataCorruption instead of
-  // repairing in place — resume from a checkpoint to recover.
+  // ABFT under true concurrency (kCheap and kFull behave identically): a
+  // block's checksum is published (release) when its finaliser completes
+  // and audited (acquire) by every task that reads it. A mismatch triggers
+  // replay repair — the detecting thread quiesces every other rank-thread
+  // at its next task boundary (stop-the-world, so no reader can observe the
+  // rewrite), restores the corrupted block's initial pre-numeric values and
+  // replays its committed tasks in canonical order with the same kernel
+  // variants, reproducing the published checksum bit for bit. Sources the
+  // replay reads are audited (and repaired) recursively, to a bounded
+  // depth. Only when replay cannot reproduce the published checksum, or
+  // the corruption storm exceeds the depth bound, does factorisation fail
+  // with StatusCode::kDataCorruption — resume from a checkpoint then.
   AbftLevel abft = AbftLevel::kOff;
+  // When non-null, receives the ABFT audit/detection/repair counts.
+  AbftStats* abft_stats = nullptr;
   // Silent corruption to inject: each flip fires right after the task with
   // the matching index completes (whatever thread ran it), exercising the
   // detection path above. Kill/message faults are DES-only.

@@ -438,18 +438,39 @@ Status Solver::write_checkpoint(index_t tasks_done) {
   m.checkpoint_interval = opts_.checkpoint_interval_tasks;
   m.n_tasks = static_cast<std::int64_t>(tasks_.size());
   m.tasks_done = tasks_done;
+  m.incremental = opts_.incremental_snapshots ? 1 : 0;
   snap.a_col_ptr.assign(original_.col_ptr().begin(), original_.col_ptr().end());
   snap.a_row_idx.assign(original_.row_idx().begin(), original_.row_idx().end());
   snap.a_values.assign(original_.values().begin(), original_.values().end());
   snap.counters = live_counters(factors_, tasks_, tasks_done);
   const auto nblocks = static_cast<std::size_t>(factors_.n_blocks());
   snap.block_nnz.reserve(nblocks);
-  snap.block_values.reserve(static_cast<std::size_t>(factors_.total_nnz()));
-  for (nnz_t pos = 0; pos < static_cast<nnz_t>(nblocks); ++pos) {
-    const Csc& blk = factors_.block(pos);
-    snap.block_nnz.push_back(blk.nnz());
-    snap.block_values.insert(snap.block_values.end(), blk.values().begin(),
-                             blk.values().end());
+  for (nnz_t pos = 0; pos < static_cast<nnz_t>(nblocks); ++pos)
+    snap.block_nnz.push_back(factors_.block(pos).nnz());
+  if (opts_.incremental_snapshots) {
+    // Advance the dirty marks over the newly committed tasks; every task
+    // kind mutates exactly its target block, so the dirty set of the prefix
+    // [0, tasks_done) is the union of those targets. Only dirty blocks'
+    // values travel — every clean block still holds the initial pre-numeric
+    // values, which resume recomputes deterministically from A.
+    for (index_t t = ckpt_marked_upto_; t < tasks_done; ++t)
+      ckpt_dirty_[static_cast<std::size_t>(
+          tasks_[static_cast<std::size_t>(t)].target)] = 1;
+    ckpt_marked_upto_ = std::max(ckpt_marked_upto_, tasks_done);
+    for (nnz_t pos = 0; pos < static_cast<nnz_t>(nblocks); ++pos) {
+      if (!ckpt_dirty_[static_cast<std::size_t>(pos)]) continue;
+      snap.dirty_pos.push_back(pos);
+      const Csc& blk = factors_.block(pos);
+      snap.block_values.insert(snap.block_values.end(), blk.values().begin(),
+                               blk.values().end());
+    }
+  } else {
+    snap.block_values.reserve(static_cast<std::size_t>(factors_.total_nnz()));
+    for (nnz_t pos = 0; pos < static_cast<nnz_t>(nblocks); ++pos) {
+      const Csc& blk = factors_.block(pos);
+      snap.block_values.insert(snap.block_values.end(), blk.values().begin(),
+                               blk.values().end());
+    }
   }
   // The safe point has paid only for the state copy above; CRC, encoding and
   // file I/O overlap the factorisation on the writer thread. One write in
@@ -549,14 +570,49 @@ Status Solver::resume_from(const std::string& path, const Options& base) {
         "committed-task prefix");
 
   // Land the checkpointed block values: the numeric state at task `done`.
-  std::size_t off = 0;
-  for (nnz_t pos = 0; pos < static_cast<nnz_t>(snap.block_nnz.size()); ++pos) {
-    auto vals = factors_.block(pos).values_mut();
-    std::copy(snap.block_values.begin() + static_cast<std::ptrdiff_t>(off),
-              snap.block_values.begin() +
-                  static_cast<std::ptrdiff_t>(off + vals.size()),
-              vals.begin());
-    off += vals.size();
+  // Incremental snapshots carry only the dirty blocks (targets of the
+  // committed prefix); prepare_structure left every block holding its
+  // initial pre-numeric values, which is exactly the state of a clean
+  // block, so nothing else needs touching. The stored dirty list must
+  // match the one recomputed from the task prefix bit for bit — a mismatch
+  // means the snapshot and the recomputed task graph disagree.
+  if (m.incremental != 0) {
+    std::vector<char> expect_dirty(
+        static_cast<std::size_t>(factors_.n_blocks()), 0);
+    for (index_t t = 0; t < done; ++t)
+      expect_dirty[static_cast<std::size_t>(
+          tasks_[static_cast<std::size_t>(t)].target)] = 1;
+    std::vector<nnz_t> expect_pos;
+    for (nnz_t pos = 0; pos < factors_.n_blocks(); ++pos)
+      if (expect_dirty[static_cast<std::size_t>(pos)])
+        expect_pos.push_back(pos);
+    if (snap.dirty_pos != expect_pos)
+      return Status::failed_precondition(
+          "resume: snapshot dirty-block list (" +
+          std::to_string(snap.dirty_pos.size()) +
+          " blocks) does not match the targets of its committed-task "
+          "prefix (" +
+          std::to_string(expect_pos.size()) + " blocks)");
+    std::size_t off = 0;
+    for (nnz_t pos : snap.dirty_pos) {
+      auto vals = factors_.block(pos).values_mut();
+      std::copy(snap.block_values.begin() + static_cast<std::ptrdiff_t>(off),
+                snap.block_values.begin() +
+                    static_cast<std::ptrdiff_t>(off + vals.size()),
+                vals.begin());
+      off += vals.size();
+    }
+  } else {
+    std::size_t off = 0;
+    for (nnz_t pos = 0; pos < static_cast<nnz_t>(snap.block_nnz.size());
+         ++pos) {
+      auto vals = factors_.block(pos).values_mut();
+      std::copy(snap.block_values.begin() + static_cast<std::ptrdiff_t>(off),
+                snap.block_values.begin() +
+                    static_cast<std::ptrdiff_t>(off + vals.size()),
+                vals.begin());
+      off += vals.size();
+    }
   }
   stats_.resumed_from_task = done;
 
@@ -597,23 +653,36 @@ Status Solver::run_numeric_phase(index_t resume_from_task) {
   so.thresholds = opts_.thresholds;
   so.pivot_tol = opts_.pivot_tol;
   so.faults = opts_.fault_plan;
+  so.elastic = opts_.elastic_plan;
+  so.mtbf_seconds = opts_.mtbf_seconds;
   so.verify_level = opts_.verify_level;
   so.abft = opts_.abft_level;
   so.resume_from_task = resume_from_task;
   if (!opts_.checkpoint_path.empty()) {
-    // Default cadence: ceil(n_tasks / 4) puts snapshots at ~25/50/75% of the
-    // run (never a wasted one just before completion), with a worthiness
-    // floor — when less than ~100ms of work would be lost, re-running it
-    // beats writing (and later restoring) a snapshot, so the safe point is
-    // skipped. An explicit interval is obeyed exactly.
+    // Cadence precedence: an explicit interval is obeyed exactly; with an
+    // MTBF set, interval 0 reaches the simulator, which derives the
+    // Young/Daly optimum from the modelled snapshot cost (no worthiness
+    // floor — the optimum already balances overhead against lost work);
+    // otherwise the fixed default puts snapshots at ~25/50/75% of the run
+    // (never a wasted one just before completion), with a worthiness floor:
+    // when less than ~100ms of work would be lost, re-running it beats
+    // writing (and later restoring) a snapshot, so the safe point is
+    // skipped.
     if (opts_.checkpoint_interval_tasks > 0) {
       so.checkpoint_interval_tasks = opts_.checkpoint_interval_tasks;
+    } else if (opts_.mtbf_seconds > 0) {
+      so.checkpoint_interval_tasks = 0;
     } else {
       so.checkpoint_interval_tasks =
           std::max<index_t>(1, static_cast<index_t>((tasks_.size() + 3) / 4));
       so.checkpoint_min_elapsed_seconds = 0.1;
     }
     so.checkpoint_sink = [this](index_t done) { return write_checkpoint(done); };
+    // Fresh dirty tracking per numeric run: the marks are a pure function
+    // of the committed prefix, so a resume's [0, resume_from_task) prefix
+    // is re-marked by the first checkpoint after the cut.
+    ckpt_dirty_.assign(static_cast<std::size_t>(factors_.n_blocks()), 0);
+    ckpt_marked_upto_ = 0;
   }
   Status s =
       runtime::simulate_factorization(factors_, tasks_, mapping_, so, &stats_.sim);

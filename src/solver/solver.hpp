@@ -53,6 +53,19 @@ struct Options {
   /// unrecoverable plans make factorize() fail with
   /// StatusCode::kUnavailable instead of crashing or hanging.
   runtime::FaultPlan fault_plan;
+  /// Planned elasticity events for the simulated cluster (runtime/elastic.hpp):
+  /// rank drains and additions fired at task-graph safe points. Any valid
+  /// plan leaves the factors bit-identical to a static-grid run (only the
+  /// virtual makespan, traffic and migration accounting change); a drain
+  /// that would take the cluster below ElasticPlan::min_ranks fails
+  /// factorize() with StatusCode::kResourceExhausted instead of deadlocking.
+  runtime::ElasticPlan elastic_plan;
+  /// Mean time between failures of the simulated cluster, in virtual
+  /// seconds. When > 0 and checkpoint_interval_tasks is unset, the
+  /// checkpoint cadence is derived from the Young/Daly optimum
+  /// tau ~ sqrt(2 * C * MTBF) instead of the fixed 25/50/75% default
+  /// (see runtime::young_daly_interval_tasks). 0 keeps the default cadence.
+  double mtbf_seconds = 0;
   /// Static task-graph verification (src/analysis) before any numeric work:
   /// kCheap (default) runs the linear-time invariants, kFull adds the
   /// structural counter recomputation, deadlock-freedom and message
@@ -79,8 +92,16 @@ struct Options {
   /// re-running work that cheap beats writing and restoring a snapshot.
   /// This bounds checkpoint overhead to a few percent of the factorisation
   /// while capping lost work at about a quarter of it. An explicit interval
-  /// is obeyed exactly, with no worthiness floor.
+  /// is obeyed exactly, with no worthiness floor. When `mtbf_seconds` is
+  /// set and this is 0, the Young/Daly cadence replaces the fixed default.
   index_t checkpoint_interval_tasks = 0;
+  /// Write incremental snapshots: only the blocks mutated by the committed
+  /// task prefix carry values in the checkpoint file; every other block's
+  /// initial pre-numeric values are recomputed deterministically on resume.
+  /// Early checkpoints shrink dramatically (the dirty set grows with the
+  /// run); resumed factors stay bitwise identical either way. false writes
+  /// full snapshots (every stored block's values).
+  bool incremental_snapshots = true;
   /// Silent-corruption audits over the numeric phase (runtime/abft.hpp),
   /// mirroring verify_level's off/cheap/full ladder: kCheap audits every
   /// kernel's source blocks, kFull adds targets and a final sweep. Detected
@@ -259,6 +280,12 @@ class Solver {
   runtime::TrsvPlan trsv_bwd_;
   // In-flight background snapshot write (at most one at a time).
   std::future<Status> checkpoint_writer_;
+  // Incremental-checkpoint dirty tracking: ckpt_dirty_[pos] is set once any
+  // canonical task targeting block `pos` has committed; ckpt_marked_upto_ is
+  // the task index the marks cover, advanced lazily at each checkpoint (the
+  // canonical order makes the dirty set a pure function of the task prefix).
+  std::vector<char> ckpt_dirty_;
+  index_t ckpt_marked_upto_ = 0;
   bool factorized_ = false;
 };
 

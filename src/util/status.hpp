@@ -28,7 +28,43 @@ enum class StatusCode {
   /// recomputed from live inputs, or a snapshot section failed its CRC.
   /// The message names the block/section that went bad.
   kDataCorruption,
+  /// A planned capacity change would leave the cluster unable to make
+  /// progress — e.g. an ElasticPlan drain would drop the live rank count
+  /// below Options/ElasticPlan::min_ranks. The runtime sheds the load with
+  /// this code instead of deadlocking; the caller may retry with more
+  /// capacity. Distinct from kUnavailable (unplanned loss).
+  kResourceExhausted,
 };
+
+/// Stable lower_snake_case name for every StatusCode. tools/lint.sh checks
+/// that this switch covers each enumerator — extend both together.
+inline const char* to_string(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid_argument";
+    case StatusCode::kOutOfRange:
+      return "out_of_range";
+    case StatusCode::kFailedPrecondition:
+      return "failed_precondition";
+    case StatusCode::kNumericalError:
+      return "numerical_error";
+    case StatusCode::kIoError:
+      return "io_error";
+    case StatusCode::kInternal:
+      return "internal";
+    case StatusCode::kUnavailable:
+      return "unavailable";
+    case StatusCode::kInvariantViolation:
+      return "invariant_violation";
+    case StatusCode::kDataCorruption:
+      return "data_corruption";
+    case StatusCode::kResourceExhausted:
+      return "resource_exhausted";
+  }
+  return "unknown";
+}
 
 /// Value-semantic status object. `Status::ok()` is the success singleton.
 /// The class is [[nodiscard]]: any call site that drops a returned Status
@@ -66,6 +102,9 @@ class [[nodiscard]] Status {
   }
   static Status data_corruption(std::string m) {
     return Status(StatusCode::kDataCorruption, std::move(m));
+  }
+  static Status resource_exhausted(std::string m) {
+    return Status(StatusCode::kResourceExhausted, std::move(m));
   }
 
   [[nodiscard]] bool is_ok() const { return code_ == StatusCode::kOk; }

@@ -91,6 +91,31 @@ else
   fail=1
 fi
 
+# StatusCode naming gate: every enumerator in util/status.hpp must have a
+# `case StatusCode::kX:` in to_string. A code without a stable name prints
+# as "unknown" in every diagnostic that reaches a user, so adding an
+# enumerator forces extending the switch in the same edit.
+status_hdr=src/util/status.hpp
+enum_codes=$(sed -n '/^enum class StatusCode/,/^};/p' "$status_hdr" \
+               | sed -e 's|//.*||' \
+               | grep -oE '\bk[A-Z][A-Za-z0-9]*\b' | sort -u)
+named_codes=$(sed -e 's|//.*||' "$status_hdr" \
+               | grep -oE 'case StatusCode::k[A-Za-z0-9]+' \
+               | sed 's/.*StatusCode:://' | sort -u)
+missing=$(comm -23 <(printf '%s\n' "$enum_codes") \
+                   <(printf '%s\n' "$named_codes"))
+stale=$(comm -13 <(printf '%s\n' "$enum_codes") \
+                 <(printf '%s\n' "$named_codes"))
+if [ -n "$missing" ]; then
+  echo "LINT: StatusCode enumerator(s) without a to_string case:" $missing
+  fail=1
+fi
+if [ -n "$stale" ]; then
+  echo "LINT: to_string names StatusCode(s) the enum no longer declares:" \
+       $stale
+  fail=1
+fi
+
 # Formatting drift, when the toolchain carries clang-format.
 if command -v clang-format >/dev/null 2>&1; then
   if ! clang-format --dry-run --Werror $(sources) 2>/dev/null; then
