@@ -252,6 +252,18 @@ std::vector<ElasticStep> elastic_steps(const ElasticPlan& plan) {
   return steps;
 }
 
+}  // namespace
+
+std::vector<analysis::ModelOptions::ElasticEvent> flatten_elastic(
+    const ElasticPlan& plan) {
+  std::vector<analysis::ModelOptions::ElasticEvent> out;
+  for (const ElasticStep& s : elastic_steps(plan))
+    out.push_back({s.rank, s.at_commit, s.is_add});
+  return out;
+}
+
+namespace {
+
 /// Post-remap invariant re-check (both schedulers): the remapped state must
 /// still be total over the survivors, and at kFull every expected message
 /// must still have a live route. PR 1's remapping widened the state space
@@ -964,9 +976,14 @@ Status simulate_factorization(BlockMatrix& bm, const std::vector<Task>& tasks,
   if (!fv.is_ok()) return fv;
   // Static load-shed check: an over-draining plan is rejected with
   // kResourceExhausted here, before any work runs (crash interactions are
-  // re-checked dynamically at each drain's safe point).
-  Status ev = opts.elastic.validate(opts.n_ranks);
-  if (!ev.is_ok()) return ev;
+  // re-checked dynamically at each drain's safe point). Forced-schedule
+  // replays skip it: the protocol interpreter enforces every elastic guard
+  // dynamically, including the (test-only) mutated variants whose whole
+  // point is an over-draining schedule.
+  if (opts.forced_schedule.empty()) {
+    Status ev = opts.elastic.validate(opts.n_ranks);
+    if (!ev.is_ok()) return ev;
+  }
   if (opts.mtbf_seconds < 0)
     return Status::invalid_argument("mtbf_seconds must be >= 0");
 
@@ -975,6 +992,35 @@ Status simulate_factorization(BlockMatrix& bm, const std::vector<Task>& tasks,
   for (index_t t = 0; t < nt; ++t)
     plans[static_cast<std::size_t>(t)] =
         plan_task(tasks[static_cast<std::size_t>(t)], bm, opts);
+
+  // Forced-schedule replay (model-checker counterexamples): drive the
+  // protocol interpreter through the explicit event list *before* any
+  // numerics run, so a violating schedule fails fast with the violated
+  // property and never touches the factors.
+  std::optional<analysis::ReplayResult> forced;
+  if (!opts.forced_schedule.empty()) {
+    analysis::ModelOptions mo;
+    mo.elastic = flatten_elastic(opts.elastic);
+    mo.min_ranks = opts.elastic.min_ranks;
+    mo.initially_alive = opts.elastic.initially_active(opts.n_ranks);
+    mo.mutations = opts.protocol_mutations;
+    analysis::ReplayResult rr =
+        analysis::replay_schedule(bm, tasks, mapping, mo,
+                                  opts.forced_schedule);
+    if (!rr.feasible)
+      return Status::invalid_argument("forced schedule is infeasible: " +
+                                      rr.infeasible_reason);
+    if (rr.property != analysis::ProtoProperty::kNone)
+      return Status::invariant_violation(
+          std::string("protocol violation [") +
+          analysis::to_string(rr.property) + "]: " + rr.detail);
+    if (!rr.all_committed)
+      return Status::invalid_argument(
+          "forced schedule is incomplete: only " +
+          std::to_string(rr.commits) + " of " + std::to_string(nt) +
+          " tasks committed");
+    forced = rr;
+  }
 
   // Numerics run once, in canonical (enumeration) order — a fixed
   // topological order of the dependency DAG — before the virtual-time
@@ -1113,6 +1159,38 @@ Status simulate_factorization(BlockMatrix& bm, const std::vector<Task>& tasks,
       if (!s.is_ok()) return s;
     }
     result->perturbed_pivots = pivots.perturbed;
+  }
+
+  if (forced) {
+    // Protocol-level replay: no virtual clock, so makespan is the serial
+    // sum of canonical task costs; protocol counters come from the replay.
+    result->ranks.assign(static_cast<std::size_t>(opts.n_ranks),
+                         RankStats{});
+    double mk = 0;
+    for (index_t t = 0; t < nt; ++t) {
+      const Task& task = tasks[static_cast<std::size_t>(t)];
+      const double cost = plans[static_cast<std::size_t>(t)].cost;
+      mk += cost;
+      if (task.kind == TaskKind::kSsssm)
+        result->schur_busy += cost;
+      else
+        result->panel_busy += cost;
+      result->kind_busy[static_cast<int>(task.kind)] += cost;
+      result->kind_count[static_cast<int>(task.kind)]++;
+      result->total_flops += task.weight;
+    }
+    result->makespan = mk;
+    result->messages = forced->messages;
+    result->retransmits = forced->retransmits;
+    result->duplicates_suppressed = forced->duplicates_suppressed;
+    result->rank_crashes = forced->rank_crashes;
+    result->remapped_blocks = forced->remapped_blocks;
+    result->ranks_drained = forced->ranks_drained;
+    result->ranks_added = forced->ranks_added;
+    result->migrated_blocks = forced->migrated_blocks;
+    if (result->checkpoints_written == 0)
+      result->checkpoints_written = forced->checkpoints;
+    return Status::ok();
   }
 
   Status s = opts.schedule == ScheduleMode::kSyncFree

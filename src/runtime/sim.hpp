@@ -28,6 +28,7 @@
 #include <functional>
 #include <vector>
 
+#include "analysis/model_check.hpp"
 #include "analysis/verify.hpp"
 #include "block/mapping.hpp"
 #include "block/tasks.hpp"
@@ -105,6 +106,21 @@ struct SimOptions {
   /// cost at DeviceModel::checkpoint_write_bps, converted to a task count
   /// through the mean virtual task cost. 0: keep the caller's cadence.
   double mtbf_seconds = 0;
+  /// Non-empty: replay this explicit protocol-event schedule (typically a
+  /// model-checker counterexample, analysis/model_check.hpp) instead of
+  /// running a virtual-time scheduler. The replay is deterministic: each
+  /// event fires in order against the protocol interpreter; an inadmissible
+  /// event fails with kInvalidArgument, a violated protocol property with
+  /// kInvariantViolation naming the property (before any numerics run), and
+  /// an incomplete schedule (tasks left uncommitted) with kInvalidArgument.
+  /// On success the numerics execute canonically as usual and SimResult's
+  /// protocol counters come from the replay; makespan is the serial sum of
+  /// task costs (the replay has no virtual clock).
+  std::vector<analysis::ProtoEvent> forced_schedule;
+  /// Test-only seeded protocol bugs, honoured by the forced-schedule replay
+  /// so checker counterexamples found under a mutation reproduce the same
+  /// violation here. Never enable outside tests.
+  analysis::ProtocolMutations protocol_mutations;
 };
 
 struct RankStats {
@@ -166,6 +182,14 @@ struct SimResult {
     return makespan > 0 ? total_flops / makespan / 1e9 : 0;
   }
 };
+
+/// Flatten an ElasticPlan into the model checker's layer-free event list,
+/// in DES firing order (at_commit ascending, adds before drains on ties).
+/// The entry indices are the plan ids ProtoEvent::edge refers to for
+/// kDrain/kAdd events, so schedules exchanged between `model_check` and
+/// `SimOptions::forced_schedule` must both use this flattening.
+std::vector<analysis::ModelOptions::ElasticEvent> flatten_elastic(
+    const ElasticPlan& plan);
 
 /// Young/Daly optimal checkpoint interval in canonical tasks:
 /// round(sqrt(2 * C * MTBF) / seconds_per_task), clamped to [1, n_tasks].

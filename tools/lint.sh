@@ -24,9 +24,23 @@ fail=0
 sources() {
   find src -name '*.hpp' -o -name '*.cpp' | sort
 }
+# Blank every backslash-escape pair first: without it, an escaped quote like
+# "uses \"new\" here" leaves `s/"[^"]*"//g` misaligned — the \" closes the
+# literal early and text that is really *inside* the string survives to trip
+# the grep bans (or worse, hides real code between adjacent literals).
 strip_noise() {
-  sed -e 's/"[^"]*"//g' -e 's|//.*||' "$1"
+  sed -e 's/\\./ /g' -e 's/"[^"]*"//g' -e 's|//.*||' "$1"
 }
+
+# An unreadable source must fail the gate, not silently skip: sed would emit
+# nothing for it, so every ban below would vacuously pass on that file.
+for f in $(sources); do
+  if [ ! -r "$f" ]; then
+    echo "LINT: cannot read $f; refusing to lint a partial tree"
+    fail=1
+  fi
+done
+[ "$fail" -ne 0 ] && { echo "lint: FAILED"; exit 1; }
 
 ban() {
   local pattern="$1" why="$2" exclude="${3:-^$}"
@@ -114,6 +128,48 @@ if [ -n "$stale" ]; then
   echo "LINT: to_string names StatusCode(s) the enum no longer declares:" \
        $stale
   fail=1
+fi
+
+# Header self-containment: every public header must compile standalone —
+# include-what-you-use at the granularity that actually bites, since a header
+# that leans on its includer's includes breaks the first new call site that
+# includes it alone. Compiled with the same standard the build uses.
+hdr_fail=0
+while IFS= read -r h; do
+  if ! printf '#include "%s"\n' "${h#src/}" \
+       | c++ -std=c++20 -fsyntax-only -I src -x c++ - 2>/tmp/lint_hdr.$$; then
+    echo "LINT: header $h is not self-contained:"
+    sed 's/^/  /' /tmp/lint_hdr.$$
+    hdr_fail=1
+  fi
+done < <(find src -name '*.hpp' | sort)
+rm -f /tmp/lint_hdr.$$
+[ "$hdr_fail" -ne 0 ] && fail=1
+
+# Deeper static analysis, when the toolchain carries clang-tidy. The curated
+# profile lives in .clang-tidy (zero-warning baseline; WarningsAsErrors '*').
+# Prefer the build tree's real compile commands; fall back to the flags the
+# build would use so the gate still runs on a clean checkout.
+if command -v clang-tidy >/dev/null 2>&1; then
+  tidy_db=""
+  for d in build*/; do
+    [ -f "${d}compile_commands.json" ] && tidy_db="${d%/}" && break
+  done
+  if [ -n "$tidy_db" ]; then
+    tidy_cmd=(clang-tidy --quiet -p "$tidy_db")
+    tidy_tail=()
+  else
+    tidy_cmd=(clang-tidy --quiet)
+    tidy_tail=(-- -std=c++20 -Isrc)
+  fi
+  if ! "${tidy_cmd[@]}" $(find src -name '*.cpp' | sort) \
+       "${tidy_tail[@]}" 2>/dev/null; then
+    echo "LINT: clang-tidy reports findings (see above); the baseline is" \
+         "zero warnings — fix or suppress with rationale in .clang-tidy"
+    fail=1
+  fi
+else
+  echo "note: clang-tidy not installed; static-analysis check skipped"
 fi
 
 # Formatting drift, when the toolchain carries clang-format.
