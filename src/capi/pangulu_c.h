@@ -35,7 +35,10 @@ typedef enum pangulu_status {
   PANGULU_INVARIANT_VIOLATION = 8,
   /* Silent data corruption: an ABFT checksum audit failed during the
    * factorisation, or a checkpoint file failed its CRC on load. */
-  PANGULU_DATA_CORRUPTION = 9
+  PANGULU_DATA_CORRUPTION = 9,
+  /* A request exceeds a configured resource budget and can never run
+   * (e.g. a session admission larger than the whole pool). */
+  PANGULU_RESOURCE_EXHAUSTED = 10
 } pangulu_status;
 
 /* Create a solver handle holding a copy of the n x n CSC matrix:
@@ -89,6 +92,56 @@ int32_t pangulu_matrix_order(const pangulu_handle* h);
 const char* pangulu_last_error(const pangulu_handle* h);
 
 void pangulu_destroy(pangulu_handle* h);
+
+/* ------------------------------------------------------------------------
+ * Solver sessions: analyse a sparsity pattern once, then interleave
+ * numeric-only refactorisations (new values, same pattern) with single- and
+ * multi-RHS solves. Refactorisation skips ordering, symbolic analysis,
+ * blocking, mapping and planning outright and produces factors bitwise
+ * identical to a from-scratch factorisation of the same pattern. A session
+ * is internally synchronised: solves may run concurrently from many
+ * threads; refactorisations linearise against them.
+ * (The classic pangulu_factorize/pangulu_solve entry points above run on an
+ * internal session of their own, so both APIs share one code path.)
+ */
+typedef struct pangulu_session pangulu_session;
+
+/* Analyse + factorise the n x n CSC matrix on a simulated cluster of
+ * n_ranks processes (block_size 0 selects the heuristic). */
+int pangulu_session_create(int32_t n, const int64_t* col_ptr,
+                           const int32_t* row_idx, const double* values,
+                           int32_t n_ranks, int32_t block_size,
+                           pangulu_session** out);
+
+/* Numeric-only refactorisation from the new values of the analysed matrix
+ * in its original CSC entry order. Returns PANGULU_FAILED_PRECONDITION when
+ * nnz does not match the analysed pattern. */
+int pangulu_session_refactorize(pangulu_session* s, const double* values,
+                                int64_t nnz);
+
+/* As above from a full CSC matrix; PANGULU_FAILED_PRECONDITION when its
+ * pattern fingerprint differs from the analysed one. */
+int pangulu_session_refactorize_csc(pangulu_session* s, const int64_t* col_ptr,
+                                    const int32_t* row_idx,
+                                    const double* values);
+
+/* Solve A x = b; b_x holds b on entry and x on return (length n). */
+int pangulu_session_solve(pangulu_session* s, double* b_x);
+
+/* Solve A X = B for k right-hand sides: b_x is column-major n x k, holding
+ * B on entry and X on return. Each factor block is visited once per sweep
+ * and applied to all k columns; column j is bitwise identical to a
+ * pangulu_session_solve of that column alone. */
+int pangulu_session_solve_multi(pangulu_session* s, double* b_x, int32_t k);
+
+int32_t pangulu_session_matrix_order(const pangulu_session* s);
+
+/* FNV-1a fingerprint of the analysed sparsity pattern (0 before setup). */
+uint64_t pangulu_session_pattern_hash(const pangulu_session* s);
+
+const char* pangulu_session_last_error(const pangulu_session* s);
+
+void pangulu_session_destroy(pangulu_session* s);
 
 #ifdef __cplusplus
 }

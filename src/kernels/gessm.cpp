@@ -187,6 +187,43 @@ Status gessm(PanelVariant variant, const Csc& diag, Csc& b, Workspace& ws,
   return Status::internal("unreachable");
 }
 
+void gessm_dense_panel(const Csc& diag, value_t* x, index_t stride,
+                       index_t k) {
+  for (index_t j = 0; j < diag.n_cols(); ++j) {
+    // x[c][j] is final once the sweep reaches column j (only rows > j are
+    // written below), so reading it per entry matches the single-vector
+    // sweep that hoists it out of the entry loop.
+    const value_t* xj = x + static_cast<std::size_t>(j) * stride;
+    for (nnz_t p = diag.col_begin(j); p < diag.col_end(j); ++p) {
+      const index_t r = diag.row_idx()[static_cast<std::size_t>(p)];
+      if (r <= j) continue;  // unit diagonal; only the strictly-lower part
+      const value_t v = diag.values()[static_cast<std::size_t>(p)];
+      value_t* xr = x + static_cast<std::size_t>(r) * stride;
+      for (index_t c = 0; c < k; ++c) {
+        const value_t xcj = xj[c];
+        if (xcj == value_t(0)) continue;
+        xr[c] -= v * xcj;
+      }
+    }
+  }
+}
+
+void gessm_dense_panel_transpose(const Csc& diag, value_t* x, index_t stride,
+                                 index_t k, value_t* acc) {
+  for (index_t j = diag.n_cols() - 1; j >= 0; --j) {
+    for (index_t c = 0; c < k; ++c) acc[c] = value_t(0);
+    for (nnz_t p = diag.col_begin(j); p < diag.col_end(j); ++p) {
+      const index_t r = diag.row_idx()[static_cast<std::size_t>(p)];
+      if (r <= j) continue;
+      const value_t v = diag.values()[static_cast<std::size_t>(p)];
+      const value_t* xr = x + static_cast<std::size_t>(r) * stride;
+      for (index_t c = 0; c < k; ++c) acc[c] += v * xr[c];
+    }
+    value_t* xj = x + static_cast<std::size_t>(j) * stride;
+    for (index_t c = 0; c < k; ++c) xj[c] -= acc[c];
+  }
+}
+
 Status gessm_reference(const Csc& diag, Csc& b) {
   const index_t n = diag.n_rows();
   Dense l = Dense::from_csc(diag);

@@ -29,4 +29,18 @@ Status gessm(PanelVariant variant, const Csc& diag, Csc& b, Workspace& ws,
 /// Dense reference (tests): forward-substitution on a dense copy.
 Status gessm_reference(const Csc& diag, Csc& b);
 
+/// Dense-RHS panel variant for the triangular-solve phase: X <- L^-1 X where
+/// X is an n x k row-interleaved panel — column c of row r at
+/// x[r * stride + c] (stride 1 with k == 1 is the plain vector layout). The
+/// block's pattern is decoded once per entry for all k columns and the
+/// k-wide inner loop runs over contiguous memory; per column the operation
+/// sequence (including the zero-skip) is exactly the single-vector sweep's,
+/// so column c of the panel is bitwise identical to solving column c alone.
+void gessm_dense_panel(const Csc& diag, value_t* x, index_t stride, index_t k);
+
+/// Transposed panel variant: X <- L^-T X (backward sweep, unit diagonal).
+/// `acc` is caller-provided scratch of at least k values.
+void gessm_dense_panel_transpose(const Csc& diag, value_t* x, index_t stride,
+                                 index_t k, value_t* acc);
+
 }  // namespace pangulu::kernels

@@ -132,6 +132,38 @@ double getrf_flops(const Csc& a) {
   return f;
 }
 
+void spmm_sub_panel(const Csc& blk, const value_t* x, index_t xstride,
+                    value_t* y, index_t ystride, index_t k) {
+  for (index_t j = 0; j < blk.n_cols(); ++j) {
+    const value_t* xj = x + static_cast<std::size_t>(j) * xstride;
+    for (nnz_t p = blk.col_begin(j); p < blk.col_end(j); ++p) {
+      const index_t r = blk.row_idx()[static_cast<std::size_t>(p)];
+      const value_t v = blk.values()[static_cast<std::size_t>(p)];
+      value_t* yr = y + static_cast<std::size_t>(r) * ystride;
+      for (index_t c = 0; c < k; ++c) {
+        const value_t xcj = xj[c];
+        if (xcj == value_t(0)) continue;
+        yr[c] -= v * xcj;
+      }
+    }
+  }
+}
+
+void spmm_t_sub_panel(const Csc& blk, const value_t* x, index_t xstride,
+                      value_t* y, index_t ystride, index_t k, value_t* acc) {
+  for (index_t j = 0; j < blk.n_cols(); ++j) {
+    for (index_t c = 0; c < k; ++c) acc[c] = value_t(0);
+    for (nnz_t p = blk.col_begin(j); p < blk.col_end(j); ++p) {
+      const index_t r = blk.row_idx()[static_cast<std::size_t>(p)];
+      const value_t v = blk.values()[static_cast<std::size_t>(p)];
+      const value_t* xr = x + static_cast<std::size_t>(r) * xstride;
+      for (index_t c = 0; c < k; ++c) acc[c] += v * xr[c];
+    }
+    value_t* yj = y + static_cast<std::size_t>(j) * ystride;
+    for (index_t c = 0; c < k; ++c) yj[c] -= acc[c];
+  }
+}
+
 double panel_solve_flops(const Csc& diag, const Csc& b, bool lower) {
   // For each column/row pivot k used by an entry of B, the solve applies the
   // corresponding strictly-triangular column of the diagonal block. Estimate

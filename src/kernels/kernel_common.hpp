@@ -158,6 +158,24 @@ class Workspace {
   std::vector<Workspace*> free_ PANGULU_GUARDED_BY(pool_mu_);
 };
 
+/// Panel SpMM accumulate for the multi-RHS triangular-solve sweeps:
+/// Y[:, c] -= Block * X[:, c] for c in [0, k). X/Y are row-interleaved
+/// panels — column c of row r lives at x[r * xstride + c] — so the k-wide
+/// inner loop runs over contiguous memory and the block's indices are
+/// decoded once per entry for all k columns (the amortisation the panel
+/// sweep buys; a stride of 1 with k == 1 is the plain vector layout). Per
+/// column the floating-point operation sequence — including the zero-skip —
+/// is exactly the single-vector SpMV-subtract's, so results are bitwise
+/// identical column-for-column.
+void spmm_sub_panel(const Csc& blk, const value_t* x, index_t xstride,
+                    value_t* y, index_t ystride, index_t k);
+
+/// Transposed panel accumulate: Y[:, c] -= Block^T * X[:, c]. `acc` is
+/// caller-provided scratch of at least k values (one dot accumulator per
+/// column).
+void spmm_t_sub_panel(const Csc& blk, const value_t* x, index_t xstride,
+                      value_t* y, index_t ystride, index_t k, value_t* acc);
+
 /// FLOP estimators (2*mul-add counted as 2 flops, divisions as 1) used for
 /// task weights (§4.2), decision trees (§4.3) and the device time model.
 double getrf_flops(const Csc& a);

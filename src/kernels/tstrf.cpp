@@ -289,6 +289,57 @@ Status tstrf(PanelVariant variant, const Csc& diag, Csc& b, Workspace& ws,
   return Status::internal("unreachable");
 }
 
+void tstrf_dense_panel(const Csc& diag, value_t* x, index_t stride,
+                       index_t k) {
+  for (index_t j = diag.n_cols() - 1; j >= 0; --j) {
+    value_t djj = value_t(0);
+    nnz_t dp = -1;
+    for (nnz_t p = diag.col_begin(j); p < diag.col_end(j); ++p) {
+      if (diag.row_idx()[static_cast<std::size_t>(p)] == j) {
+        djj = diag.values()[static_cast<std::size_t>(p)];
+        dp = p;
+        break;
+      }
+    }
+    PANGULU_CHECK(dp >= 0 && djj != value_t(0),
+                  "panel upper solve: missing/zero diagonal");
+    value_t* xj = x + static_cast<std::size_t>(j) * stride;
+    for (index_t c = 0; c < k; ++c) xj[c] /= djj;
+    // Entries above the diagonal propagate x[j] upward; x[c][j] is final here.
+    for (nnz_t p = diag.col_begin(j); p < dp; ++p) {
+      const index_t r = diag.row_idx()[static_cast<std::size_t>(p)];
+      const value_t v = diag.values()[static_cast<std::size_t>(p)];
+      value_t* xr = x + static_cast<std::size_t>(r) * stride;
+      for (index_t c = 0; c < k; ++c) {
+        const value_t xcj = xj[c];
+        if (xcj == value_t(0)) continue;
+        xr[c] -= v * xcj;
+      }
+    }
+  }
+}
+
+void tstrf_dense_panel_transpose(const Csc& diag, value_t* x, index_t stride,
+                                 index_t k, value_t* acc) {
+  for (index_t j = 0; j < diag.n_cols(); ++j) {
+    for (index_t c = 0; c < k; ++c) acc[c] = value_t(0);
+    value_t djj = value_t(0);
+    for (nnz_t p = diag.col_begin(j); p < diag.col_end(j); ++p) {
+      const index_t r = diag.row_idx()[static_cast<std::size_t>(p)];
+      if (r < j) {
+        const value_t v = diag.values()[static_cast<std::size_t>(p)];
+        const value_t* xr = x + static_cast<std::size_t>(r) * stride;
+        for (index_t c = 0; c < k; ++c) acc[c] += v * xr[c];
+      } else if (r == j) {
+        djj = diag.values()[static_cast<std::size_t>(p)];
+      }
+    }
+    PANGULU_CHECK(djj != value_t(0), "panel transpose solve: zero diagonal");
+    value_t* xj = x + static_cast<std::size_t>(j) * stride;
+    for (index_t c = 0; c < k; ++c) xj[c] = (xj[c] - acc[c]) / djj;
+  }
+}
+
 Status tstrf_reference(const Csc& diag, Csc& b) {
   const index_t n = diag.n_cols();
   Dense u = Dense::from_csc(diag);

@@ -5,54 +5,18 @@
 #include <tuple>
 #include <vector>
 
+#include "kernels/gessm.hpp"
+#include "kernels/tstrf.hpp"
+
 namespace pangulu::runtime {
 
 namespace {
 
 using block::BlockMatrix;
 
-/// seg_y -= Block * seg_x.
-void spmv_sub(const Csc& blk, const value_t* x, value_t* y) {
-  for (index_t j = 0; j < blk.n_cols(); ++j) {
-    const value_t xj = x[j];
-    if (xj == value_t(0)) continue;
-    for (nnz_t p = blk.col_begin(j); p < blk.col_end(j); ++p)
-      y[blk.row_idx()[static_cast<std::size_t>(p)]] -=
-          blk.values()[static_cast<std::size_t>(p)] * xj;
-  }
-}
-
-void diag_solve(const Csc& d, bool lower, value_t* x) {
-  if (lower) {
-    for (index_t j = 0; j < d.n_cols(); ++j) {
-      const value_t xj = x[j];  // unit diagonal
-      if (xj == value_t(0)) continue;
-      for (nnz_t p = d.col_begin(j); p < d.col_end(j); ++p) {
-        const index_t r = d.row_idx()[static_cast<std::size_t>(p)];
-        if (r > j) x[r] -= d.values()[static_cast<std::size_t>(p)] * xj;
-      }
-    }
-  } else {
-    for (index_t j = d.n_cols() - 1; j >= 0; --j) {
-      value_t djj = 0;
-      nnz_t dp = -1;
-      for (nnz_t p = d.col_begin(j); p < d.col_end(j); ++p) {
-        if (d.row_idx()[static_cast<std::size_t>(p)] == j) {
-          djj = d.values()[static_cast<std::size_t>(p)];
-          dp = p;
-          break;
-        }
-      }
-      PANGULU_CHECK(dp >= 0 && djj != value_t(0), "trsv: bad diagonal");
-      x[j] /= djj;
-      const value_t xj = x[j];
-      if (xj == value_t(0)) continue;
-      for (nnz_t p = d.col_begin(j); p < dp; ++p)
-        x[d.row_idx()[static_cast<std::size_t>(p)]] -=
-            d.values()[static_cast<std::size_t>(p)] * xj;
-    }
-  }
-}
+// The scalar diagonal-solve and SpMV-subtract sweeps live on as the k = 1
+// case of the panel kernels (kernels/gessm.hpp, tstrf.hpp,
+// kernel_common.hpp), which this file now uses for every run.
 
 struct Event {
   double time;
@@ -167,10 +131,24 @@ Status build_trsv_plan(const BlockMatrix& f, const block::Mapping& mapping,
 Status simulate_trsv(const BlockMatrix& f, const TrsvPlan& plan,
                      std::span<value_t> x, const TrsvOptions& opts,
                      SimResult* result) {
+  if (static_cast<index_t>(x.size()) != f.grid().n) {
+    *result = SimResult{};
+    return Status::invalid_argument("trsv: vector size mismatch");
+  }
+  // The k = 1 panel is the single-vector solve: same numerics (the panel
+  // kernels reduce to the scalar sweeps column for column), same cost
+  // (x1.0) and message payload (x1), hence the same makespan and traffic.
+  return simulate_trsv_panel(f, plan, x.data(), 1, 1, opts, result);
+}
+
+Status simulate_trsv_panel(const BlockMatrix& f, const TrsvPlan& plan,
+                           value_t* x, index_t stride, index_t k,
+                           const TrsvOptions& opts, SimResult* result) {
   *result = SimResult{};
   const index_t nb = plan.nb;
-  if (static_cast<index_t>(x.size()) != f.grid().n)
-    return Status::invalid_argument("trsv: vector size mismatch");
+  if (k <= 0) return Status::invalid_argument("trsv: panel width must be >= 1");
+  if (stride < k)
+    return Status::invalid_argument("trsv: panel row stride too small");
   if (plan.n_ranks != opts.n_ranks)
     return Status::invalid_argument("trsv: plan rank count mismatch");
   if (nb != f.nb())
@@ -211,16 +189,29 @@ Status simulate_trsv(const BlockMatrix& f, const TrsvPlan& plan,
     const index_t t = q.top();
     q.pop();
 
-    const double cost = plan.cost[static_cast<std::size_t>(t)];
+    // Each task sweeps its block once for all k columns; the modelled kernel
+    // time scales linearly with the panel width.
+    const double cost =
+        plan.cost[static_cast<std::size_t>(t)] * static_cast<double>(k);
     if (opts.execute_numerics) {
       if (t < nb) {
-        diag_solve(f.block(plan.diag_pos[static_cast<std::size_t>(t)]), lower,
-                   x.data() + grid.block_start(t));
+        value_t* seg =
+            x + static_cast<std::size_t>(grid.block_start(t)) * stride;
+        const Csc& d = f.block(plan.diag_pos[static_cast<std::size_t>(t)]);
+        if (lower)
+          kernels::gessm_dense_panel(d, seg, stride, k);
+        else
+          kernels::tstrf_dense_panel(d, seg, stride, k);
       } else {
         const auto u = static_cast<std::size_t>(t - nb);
-        spmv_sub(f.block(plan.upd_pos[u]),
-                 x.data() + grid.block_start(plan.upd_src[u]),
-                 x.data() + grid.block_start(plan.upd_dst[u]));
+        kernels::spmm_sub_panel(
+            f.block(plan.upd_pos[u]),
+            x + static_cast<std::size_t>(grid.block_start(plan.upd_src[u])) *
+                    stride,
+            stride,
+            x + static_cast<std::size_t>(grid.block_start(plan.upd_dst[u])) *
+                    stride,
+            stride, k);
       }
     }
     const double fin = now + cost;
@@ -245,16 +236,19 @@ Status simulate_trsv(const BlockMatrix& f, const TrsvPlan& plan,
       if (--dep[static_cast<std::size_t>(d_task)] == 0)
         events.push({rd, seq++, d_task, 0});
     };
+    // A cross-rank message now carries the segment for all k columns.
     if (t < nb) {
       for (index_t p = plan.from_ptr[static_cast<std::size_t>(t)];
            p < plan.from_ptr[static_cast<std::size_t>(t) + 1]; ++p) {
         release(nb + plan.from_adj[static_cast<std::size_t>(p)],
-                plan.seg_bytes[static_cast<std::size_t>(t)]);
+                plan.seg_bytes[static_cast<std::size_t>(t)] *
+                    static_cast<std::size_t>(k));
       }
     } else {
       const auto u = static_cast<std::size_t>(t - nb);
       release(plan.upd_dst[u],
-              plan.seg_bytes[static_cast<std::size_t>(plan.upd_dst[u])]);
+              plan.seg_bytes[static_cast<std::size_t>(plan.upd_dst[u])] *
+                  static_cast<std::size_t>(k));
     }
     events.push({fin, seq++, -1, r});
   };

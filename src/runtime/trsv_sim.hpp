@@ -72,6 +72,19 @@ Status simulate_trsv(const block::BlockMatrix& f, const TrsvPlan& plan,
                      std::span<value_t> x, const TrsvOptions& opts,
                      SimResult* result);
 
+/// Panel (multi-RHS) run over a prebuilt plan: `x` is an n x k
+/// row-interleaved panel — column c of row r at x[r * stride + c], so each
+/// task's k-wide sweep runs over contiguous memory (stride 1 with k == 1 is
+/// the plain vector layout). The schedule is the single-vector one — each
+/// task visits its block once and sweeps all k columns, with its kernel cost
+/// and message payload scaled by k. Per column the numerics are bitwise
+/// identical to a single-vector run, and with k == 1 the makespan, message
+/// and byte counts also match exactly (the single-vector overload delegates
+/// here).
+Status simulate_trsv_panel(const block::BlockMatrix& f, const TrsvPlan& plan,
+                           value_t* x, index_t stride, index_t k,
+                           const TrsvOptions& opts, SimResult* result);
+
 /// One-shot convenience: build_trsv_plan + the plan-based run above.
 Status simulate_trsv(const block::BlockMatrix& f, const block::Mapping& mapping,
                      bool lower, std::span<value_t> x, const TrsvOptions& opts,

@@ -7,6 +7,8 @@
 
 #include "io/snapshot.hpp"
 #include "kernels/calibrate.hpp"
+#include "kernels/gessm.hpp"
+#include "kernels/tstrf.hpp"
 #include "parallel/thread_pool.hpp"
 #include "runtime/trsv_sim.hpp"
 #include "sparse/ops.hpp"
@@ -296,6 +298,92 @@ void block_lower_transpose_solve(const block::BlockMatrix& f,
   }
 }
 
+void block_lower_solve_multi(const block::BlockMatrix& f, const SolvePlan& plan,
+                             value_t* x, index_t stride, index_t k) {
+  const auto& grid = f.grid();
+  for (index_t bk = 0; bk < f.nb(); ++bk) {
+    value_t* seg =
+        x + static_cast<std::size_t>(grid.block_start(bk)) * stride;
+    for (nnz_t q = plan.low_ptr[static_cast<std::size_t>(bk)];
+         q < plan.low_ptr[static_cast<std::size_t>(bk) + 1]; ++q) {
+      kernels::spmm_sub_panel(
+          f.block(plan.low_pos[static_cast<std::size_t>(q)]),
+          x + static_cast<std::size_t>(grid.block_start(
+                  plan.low_src[static_cast<std::size_t>(q)])) *
+                  stride,
+          stride, seg, stride, k);
+    }
+    kernels::gessm_dense_panel(
+        f.block(plan.diag_pos[static_cast<std::size_t>(bk)]), seg, stride, k);
+  }
+}
+
+void block_upper_solve_multi(const block::BlockMatrix& f, const SolvePlan& plan,
+                             value_t* x, index_t stride, index_t k) {
+  const auto& grid = f.grid();
+  for (index_t bk = f.nb() - 1; bk >= 0; --bk) {
+    value_t* seg =
+        x + static_cast<std::size_t>(grid.block_start(bk)) * stride;
+    for (nnz_t q = plan.up_ptr[static_cast<std::size_t>(bk)];
+         q < plan.up_ptr[static_cast<std::size_t>(bk) + 1]; ++q) {
+      kernels::spmm_sub_panel(
+          f.block(plan.up_pos[static_cast<std::size_t>(q)]),
+          x + static_cast<std::size_t>(grid.block_start(
+                  plan.up_src[static_cast<std::size_t>(q)])) *
+                  stride,
+          stride, seg, stride, k);
+    }
+    kernels::tstrf_dense_panel(
+        f.block(plan.diag_pos[static_cast<std::size_t>(bk)]), seg, stride, k);
+  }
+}
+
+void block_upper_transpose_solve_multi(const block::BlockMatrix& f,
+                                       const SolvePlan& plan, value_t* x,
+                                       index_t stride, index_t k) {
+  const auto& grid = f.grid();
+  std::vector<value_t> acc(static_cast<std::size_t>(k));
+  for (index_t bk = 0; bk < f.nb(); ++bk) {
+    value_t* seg =
+        x + static_cast<std::size_t>(grid.block_start(bk)) * stride;
+    for (nnz_t q = plan.tup_ptr[static_cast<std::size_t>(bk)];
+         q < plan.tup_ptr[static_cast<std::size_t>(bk) + 1]; ++q) {
+      kernels::spmm_t_sub_panel(
+          f.block(plan.tup_pos[static_cast<std::size_t>(q)]),
+          x + static_cast<std::size_t>(grid.block_start(
+                  plan.tup_src[static_cast<std::size_t>(q)])) *
+                  stride,
+          stride, seg, stride, k, acc.data());
+    }
+    kernels::tstrf_dense_panel_transpose(
+        f.block(plan.diag_pos[static_cast<std::size_t>(bk)]), seg, stride, k,
+        acc.data());
+  }
+}
+
+void block_lower_transpose_solve_multi(const block::BlockMatrix& f,
+                                       const SolvePlan& plan, value_t* x,
+                                       index_t stride, index_t k) {
+  const auto& grid = f.grid();
+  std::vector<value_t> acc(static_cast<std::size_t>(k));
+  for (index_t bk = f.nb() - 1; bk >= 0; --bk) {
+    value_t* seg =
+        x + static_cast<std::size_t>(grid.block_start(bk)) * stride;
+    for (nnz_t q = plan.tlow_ptr[static_cast<std::size_t>(bk)];
+         q < plan.tlow_ptr[static_cast<std::size_t>(bk) + 1]; ++q) {
+      kernels::spmm_t_sub_panel(
+          f.block(plan.tlow_pos[static_cast<std::size_t>(q)]),
+          x + static_cast<std::size_t>(grid.block_start(
+                  plan.tlow_src[static_cast<std::size_t>(q)])) *
+                  stride,
+          stride, seg, stride, k, acc.data());
+    }
+    kernels::gessm_dense_panel_transpose(
+        f.block(plan.diag_pos[static_cast<std::size_t>(bk)]), seg, stride, k,
+        acc.data());
+  }
+}
+
 namespace {
 
 /// Live sync-free counter array once canonical tasks [0, done) have
@@ -387,6 +475,8 @@ Status Solver::factorize(const Csc& a, const Options& opts) {
   }
   original_ = a;
   factorized_ = false;
+  permuted_to_filled_.clear();
+  block_src_.clear();
   stats_ = FactorStats{};
   stats_.n = a.n_cols();
   stats_.nnz_a = a.nnz();
@@ -534,6 +624,8 @@ Status Solver::resume_from(const std::string& path, const Options& base) {
     original_ = std::move(a);
   }
   factorized_ = false;
+  permuted_to_filled_.clear();
+  block_src_.clear();
   stats_ = FactorStats{};
   stats_.n = m.n;
   stats_.nnz_a = m.nnz_a;
@@ -709,44 +801,91 @@ Status Solver::refactorize(const Csc& a) {
         "refactorize: sparsity pattern differs from the analysed matrix");
   }
   original_ = a;
+  return refactorize_reuse();
+}
 
-  // Re-apply the frozen scaling + permutations to the new values and scatter
-  // them into the (unchanged) filled pattern.
-  Csc work = a;
-  work.scale(reorder_.row_scale, reorder_.col_scale);
-  reorder_.permuted = work.permuted(reorder_.row_perm, reorder_.col_perm);
-  Csc filled = symbolic_.filled.pattern_copy();
+Status Solver::refactorize_values(std::span<const value_t> values) {
+  if (!factorized_)
+    return Status::failed_precondition("refactorize: factorize() first");
+  if (values.size() != static_cast<std::size_t>(original_.nnz()))
+    return Status::failed_precondition(
+        "refactorize: " + std::to_string(values.size()) +
+        " values do not match the analysed matrix's nnz (" +
+        std::to_string(original_.nnz()) + ")");
+  std::copy(values.begin(), values.end(), original_.values_mut().begin());
+  return refactorize_reuse();
+}
+
+void Solver::build_reuse_maps() {
   const Csc& ap = reorder_.permuted;
+  const Csc& filled = symbolic_.filled;
+  permuted_to_filled_.resize(static_cast<std::size_t>(ap.nnz()));
   for (index_t j = 0; j < ap.n_cols(); ++j) {
     for (nnz_t p = ap.col_begin(j); p < ap.col_end(j); ++p) {
       const nnz_t q = filled.find(ap.row_idx()[static_cast<std::size_t>(p)], j);
       PANGULU_CHECK(q >= 0, "refactorize: entry outside filled pattern");
-      filled.values_mut()[static_cast<std::size_t>(q)] =
-          ap.values()[static_cast<std::size_t>(p)];
+      permuted_to_filled_[static_cast<std::size_t>(p)] = q;
     }
   }
-  symbolic_.filled = std::move(filled);
-  // Same pattern -> identical block positions: tasks_ and mapping_ stay valid.
-  std::unique_ptr<ThreadPool> local_pool;
-  ThreadPool* pool = nullptr;
-  if (opts_.preprocess_threads > 0) {
-    local_pool = std::make_unique<ThreadPool>(
-        static_cast<std::size_t>(opts_.preprocess_threads));
-    pool = local_pool.get();
+  block_src_.clear();
+  block_src_.reserve(static_cast<std::size_t>(factors_.total_nnz()));
+  const auto& grid = factors_.grid();
+  for (nnz_t pos = 0; pos < static_cast<nnz_t>(factors_.n_blocks()); ++pos) {
+    const Csc& blk = factors_.block(pos);
+    const index_t r0 = grid.block_start(factors_.block_row_of(pos));
+    const index_t c0 = grid.block_start(factors_.block_col_of(pos));
+    for (index_t lj = 0; lj < blk.n_cols(); ++lj) {
+      for (nnz_t p = blk.col_begin(lj); p < blk.col_end(lj); ++p) {
+        const nnz_t q = filled.find(
+            r0 + blk.row_idx()[static_cast<std::size_t>(p)], c0 + lj);
+        PANGULU_CHECK(q >= 0, "refactorize: block slot outside filled pattern");
+        block_src_.push_back(q);
+      }
+    }
   }
-  factors_ =
-      block::BlockMatrix::from_filled(symbolic_.filled, stats_.block_size, pool);
+}
+
+Status Solver::refactorize_reuse() {
+  // Re-apply the frozen scaling + permutations to the new values.
+  Csc work = original_;
+  work.scale(reorder_.row_scale, reorder_.col_scale);
+  reorder_.permuted = work.permuted(reorder_.row_perm, reorder_.col_perm);
+  // The scatter maps depend only on the (unchanged) pattern; build them on
+  // the first refactorisation, then reuse forever.
+  if (permuted_to_filled_.empty()) build_reuse_maps();
+  // Scatter into the filled pattern: zero the fill-ins, land the new values.
+  // Bitwise the state a fresh symbolic assembly of these values produces.
+  auto fv = symbolic_.filled.values_mut();
+  std::fill(fv.begin(), fv.end(), value_t(0));
+  const auto apv = reorder_.permuted.values();
+  for (std::size_t p = 0; p < apv.size(); ++p)
+    fv[static_cast<std::size_t>(permuted_to_filled_[p])] = apv[p];
+  // Rewrite the factor blocks' values in place — the slots line up with
+  // from_filled's extraction order, so no structure is rebuilt.
+  std::size_t cur = 0;
+  for (nnz_t pos = 0; pos < static_cast<nnz_t>(factors_.n_blocks()); ++pos) {
+    auto bv = factors_.block(pos).values_mut();
+    for (value_t& v : bv)
+      v = fv[static_cast<std::size_t>(block_src_[cur++])];
+  }
+  // Every structure phase is skipped outright: ordering, symbolic, blocking,
+  // mapping, planning and verification all carry over from the analysis.
+  stats_.reorder_seconds = 0;
+  stats_.symbolic_seconds = 0;
+  stats_.preprocess_seconds = 0;
+  stats_.blocking_seconds = 0;
+  stats_.mapping_seconds = 0;
+  stats_.plan_seconds = 0;
+  stats_.verify_seconds = 0;
+  stats_.resumed_from_task = 0;
   Status s = run_numeric_phase(0);
   if (!s.is_ok()) {
     factorized_ = false;
     return s;
   }
-  // Same pattern means the cached schedules would still be structurally
-  // correct, but the invalidation rule stays simple (and future-proof against
-  // pattern-changing refactorisation) by always rebuilding with the factors.
-  s = build_solve_plans();
-  if (!s.is_ok()) factorized_ = false;
-  return s;
+  // Pattern, mapping and device model are unchanged, and the solve plans
+  // read only those: solve_plan_/trsv_fwd_/trsv_bwd_ stay valid as built.
+  return Status::ok();
 }
 
 Status Solver::solve(std::span<const value_t> b, std::span<value_t> x,
@@ -812,21 +951,138 @@ Status Solver::solve_multi(const Dense& b, Dense* x, SolveStats* worst) const {
   if (!factorized_) return Status::failed_precondition("factorize() first");
   if (b.n_rows() != stats_.n)
     return Status::invalid_argument("solve_multi: row count mismatch");
-  *x = Dense(b.n_rows(), b.n_cols());
-  std::vector<value_t> rhs(static_cast<std::size_t>(b.n_rows()));
-  std::vector<value_t> sol(static_cast<std::size_t>(b.n_rows()));
+  const index_t n = stats_.n;
+  const index_t k = b.n_cols();
+  *x = Dense(n, k);
   if (worst) *worst = SolveStats{};
-  for (index_t j = 0; j < b.n_cols(); ++j) {
-    for (index_t i = 0; i < b.n_rows(); ++i)
-      rhs[static_cast<std::size_t>(i)] = b(i, j);
-    SolveStats ss;
-    Status s = solve(rhs, sol, &ss);
-    if (!s.is_ok()) return s;
-    for (index_t i = 0; i < b.n_rows(); ++i) (*x)(i, j) = sol[static_cast<std::size_t>(i)];
-    if (worst) {
+  if (k == 0) return Status::ok();
+
+  // One panel direct pass for `kk` packed columns: the permute/scale step
+  // packs the column-major rhs into the row-interleaved work panel the
+  // sweeps consume, and the unpermute/scale step unpacks it back. Column for
+  // column this performs exactly solve()'s direct_pass operations.
+  std::vector<value_t> z(static_cast<std::size_t>(n) *
+                         static_cast<std::size_t>(k));
+  auto panel_direct = [&](const value_t* rhs, value_t* sol, index_t kk) {
+    for (index_t c = 0; c < kk; ++c) {
+      const value_t* rc = rhs + static_cast<std::size_t>(c) * n;
+      for (index_t r = 0; r < n; ++r) {
+        z[static_cast<std::size_t>(
+              reorder_.row_perm[static_cast<std::size_t>(r)]) *
+              static_cast<std::size_t>(kk) +
+          static_cast<std::size_t>(c)] =
+            reorder_.row_scale[static_cast<std::size_t>(r)] *
+            rc[static_cast<std::size_t>(r)];
+      }
+    }
+    block_lower_solve_multi(factors_, solve_plan_, z.data(), kk, kk);
+    block_upper_solve_multi(factors_, solve_plan_, z.data(), kk, kk);
+    for (index_t c = 0; c < kk; ++c) {
+      value_t* sc = sol + static_cast<std::size_t>(c) * n;
+      for (index_t cc = 0; cc < n; ++cc) {
+        sc[static_cast<std::size_t>(cc)] =
+            reorder_.col_scale[static_cast<std::size_t>(cc)] *
+            z[static_cast<std::size_t>(
+                  reorder_.col_perm[static_cast<std::size_t>(cc)]) *
+                  static_cast<std::size_t>(kk) +
+              static_cast<std::size_t>(c)];
+      }
+    }
+  };
+
+  // Dense stores columns contiguously, so b/x panels enter and leave
+  // panel_direct column-major; only the internal work panel is interleaved.
+  panel_direct(b.col(0), x->col(0), k);
+
+  // Iterative refinement on the shrinking active set: a column leaves the
+  // panel the moment solve() would have stopped refining it, and the panel
+  // kernels are per-column independent, so each column sees exactly the
+  // operations of its own single-RHS refinement loop.
+  std::vector<value_t> r(static_cast<std::size_t>(n));
+  std::vector<value_t> ax(static_cast<std::size_t>(n));
+  std::vector<value_t> rp(static_cast<std::size_t>(n) *
+                          static_cast<std::size_t>(k));
+  std::vector<value_t> dx(static_cast<std::size_t>(n) *
+                          static_cast<std::size_t>(k));
+  std::vector<int> iters(static_cast<std::size_t>(k), 0);
+  std::vector<value_t> resid(static_cast<std::size_t>(k), 0);
+  std::vector<index_t> active(static_cast<std::size_t>(k));
+  for (index_t j = 0; j < k; ++j) active[static_cast<std::size_t>(j)] = j;
+  for (int it = 0; it <= opts_.refine_iters && !active.empty(); ++it) {
+    std::vector<index_t> next;
+    for (index_t col : active) {
+      value_t* xc = x->col(col);
+      original_.spmv({xc, static_cast<std::size_t>(n)}, ax);
+      for (index_t i = 0; i < n; ++i)
+        r[static_cast<std::size_t>(i)] =
+            b(i, col) - ax[static_cast<std::size_t>(i)];
+      const value_t rn = norm_inf(r);
+      const value_t scale = std::max<value_t>(
+          norm1(original_) *
+                  norm_inf({xc, static_cast<std::size_t>(n)}) +
+              norm_inf({b.col(col), static_cast<std::size_t>(n)}),
+          1);
+      resid[static_cast<std::size_t>(col)] = rn / scale;
+      if (it == opts_.refine_iters ||
+          resid[static_cast<std::size_t>(col)] <= 1e-16)
+        continue;  // this column is done refining
+      std::copy(r.begin(), r.end(),
+                rp.begin() + static_cast<std::ptrdiff_t>(next.size()) * n);
+      next.push_back(col);
+    }
+    if (next.empty()) break;
+    panel_direct(rp.data(), dx.data(), static_cast<index_t>(next.size()));
+    for (std::size_t i = 0; i < next.size(); ++i) {
+      const index_t col = next[i];
+      value_t* xc = x->col(col);
+      const value_t* dc = dx.data() + i * static_cast<std::size_t>(n);
+      for (index_t row = 0; row < n; ++row)
+        xc[static_cast<std::size_t>(row)] += dc[static_cast<std::size_t>(row)];
+      ++iters[static_cast<std::size_t>(col)];
+    }
+    active = std::move(next);
+  }
+  if (worst) {
+    for (index_t j = 0; j < k; ++j) {
       worst->refine_iterations =
-          std::max(worst->refine_iterations, ss.refine_iterations);
-      worst->final_residual = std::max(worst->final_residual, ss.final_residual);
+          std::max(worst->refine_iterations, iters[static_cast<std::size_t>(j)]);
+      worst->final_residual =
+          std::max(worst->final_residual, resid[static_cast<std::size_t>(j)]);
+    }
+  }
+  return Status::ok();
+}
+
+Status Solver::solve_multi_transpose(const Dense& b, Dense* x) const {
+  if (!factorized_) return Status::failed_precondition("factorize() first");
+  if (b.n_rows() != stats_.n)
+    return Status::invalid_argument("solve_multi_transpose: row count mismatch");
+  const index_t n = stats_.n;
+  const index_t k = b.n_cols();
+  *x = Dense(n, k);
+  if (k == 0) return Status::ok();
+  // Row-interleaved work panel, as in solve_multi's panel_direct.
+  std::vector<value_t> z(static_cast<std::size_t>(n) *
+                         static_cast<std::size_t>(k));
+  for (index_t cidx = 0; cidx < k; ++cidx) {
+    for (index_t c = 0; c < n; ++c) {
+      z[static_cast<std::size_t>(
+            reorder_.col_perm[static_cast<std::size_t>(c)]) *
+            static_cast<std::size_t>(k) +
+        static_cast<std::size_t>(cidx)] =
+          reorder_.col_scale[static_cast<std::size_t>(c)] * b(c, cidx);
+    }
+  }
+  block_upper_transpose_solve_multi(factors_, solve_plan_, z.data(), k, k);
+  block_lower_transpose_solve_multi(factors_, solve_plan_, z.data(), k, k);
+  for (index_t cidx = 0; cidx < k; ++cidx) {
+    for (index_t row = 0; row < n; ++row) {
+      (*x)(row, cidx) =
+          reorder_.row_scale[static_cast<std::size_t>(row)] *
+          z[static_cast<std::size_t>(
+                reorder_.row_perm[static_cast<std::size_t>(row)]) *
+                static_cast<std::size_t>(k) +
+            static_cast<std::size_t>(cidx)];
     }
   }
   return Status::ok();

@@ -200,9 +200,20 @@ class Solver {
   /// Numeric-only re-factorisation: `a` must have exactly the pattern of the
   /// previously factorised matrix (the Newton-iteration workflow of circuit
   /// simulation — same topology, new conductances). Reuses the ordering,
-  /// scaling, symbolic pattern, blocking, mapping and task graph; only the
-  /// numeric phase runs. Typically several times faster than factorize().
+  /// scaling, symbolic pattern, blocking, mapping, task graph AND the cached
+  /// solve plans; only the numeric phase runs — every structure phase is
+  /// skipped outright (their stats() timings read 0 after this call). The
+  /// factors are bitwise identical to a from-scratch factorize() on the same
+  /// pattern and options. Note the safe-reuse contract: value-derived MC64
+  /// scaling/permutation is frozen at factorize() time, so with use_mc64 on
+  /// and *different* values, a from-scratch run would pick a different
+  /// scaling — refactorize() deliberately keeps the analysed one.
   Status refactorize(const Csc& a);
+
+  /// As refactorize(), but from a bare value array in the analysed matrix's
+  /// CSC entry order. Fails with kFailedPrecondition when `values` does not
+  /// have exactly matrix().nnz() entries.
+  Status refactorize_values(std::span<const value_t> values);
 
   /// Solve A x = b using the stored factors + iterative refinement against
   /// the original matrix. `solve_stats` (optional) reports the refinement
@@ -210,9 +221,17 @@ class Solver {
   Status solve(std::span<const value_t> b, std::span<value_t> x,
                SolveStats* solve_stats = nullptr) const;
 
-  /// Solve A X = B column by column (multiple right-hand sides).
+  /// Solve A X = B for an n x k right-hand-side panel. Each block of the
+  /// factors is visited once per triangular sweep and applied to all k
+  /// columns (the panel kernels of kernels/gessm.hpp, tstrf.hpp); iterative
+  /// refinement runs on the shrinking set of not-yet-converged columns.
+  /// Column j of the result is bitwise identical to solve(b.col(j)).
   Status solve_multi(const Dense& b, Dense* x,
                      SolveStats* worst = nullptr) const;
+
+  /// Solve A^T X = B for an n x k panel; column j is bitwise identical to
+  /// solve_transpose(b.col(j)).
+  Status solve_multi_transpose(const Dense& b, Dense* x) const;
 
   /// log|det(A)| and sign(det(A)) from the factorisation: the product of
   /// U's diagonal corrected by the parities of the row/column permutations.
@@ -260,9 +279,16 @@ class Solver {
   /// returns, so the checkpoint file is complete even after a kill.
   Status flush_checkpoint_writer();
   /// (Re)build the cached solve-phase schedules from factors_/mapping_.
-  /// Called at the end of factorize() and refactorize(); any failure leaves
-  /// the solver un-factorised, so a valid solver always has valid plans.
+  /// Called at the end of factorize(); any failure leaves the solver
+  /// un-factorised, so a valid solver always has valid plans.
   Status build_solve_plans();
+  /// Shared tail of refactorize()/refactorize_values(): original_ already
+  /// holds the new values on the analysed pattern; re-scatter them through
+  /// the cached reuse maps and run the numeric phase only.
+  Status refactorize_reuse();
+  /// Build the pattern-only scatter maps refactorize_reuse() consumes
+  /// (lazily, on the first refactorisation after an analysis).
+  void build_reuse_maps();
 
   Options opts_;
   Csc original_;
@@ -278,6 +304,13 @@ class Solver {
   SolvePlan solve_plan_;
   runtime::TrsvPlan trsv_fwd_;
   runtime::TrsvPlan trsv_bwd_;
+  // Pattern-derived scatter maps for numeric-only refactorisation, built
+  // lazily on the first refactorize() after an analysis and invalidated by
+  // factorize()/resume_from(): permuted-A entry -> filled-pattern position,
+  // and flattened per-block slot -> filled-pattern position (blocks in
+  // position order, slots in CSC order).
+  std::vector<nnz_t> permuted_to_filled_;
+  std::vector<nnz_t> block_src_;
   // In-flight background snapshot write (at most one at a time).
   std::future<Status> checkpoint_writer_;
   // Incremental-checkpoint dirty tracking: ckpt_dirty_[pos] is set once any
@@ -311,5 +344,24 @@ void block_upper_transpose_solve(const block::BlockMatrix& f,
                                  const SolvePlan& plan, std::span<value_t> x);
 void block_lower_transpose_solve(const block::BlockMatrix& f,
                                  const SolvePlan& plan, std::span<value_t> x);
+
+/// Multi-RHS (panel) variants of the plan-based sweeps: `x` is an n x k
+/// row-interleaved panel — column c of row r at x[r * stride + c], so the
+/// k-wide inner loops run over contiguous memory and each factor entry is
+/// decoded once for all columns (stride 1 with k == 1 is the plain vector
+/// layout). Each block of the sweep is visited once and applied to all k
+/// columns; per column the floating-point operation sequence is exactly the
+/// single-vector sweep's, so column c of the panel result is bitwise
+/// identical to running the single-vector sweep on that column alone.
+void block_lower_solve_multi(const block::BlockMatrix& f, const SolvePlan& plan,
+                             value_t* x, index_t stride, index_t k);
+void block_upper_solve_multi(const block::BlockMatrix& f, const SolvePlan& plan,
+                             value_t* x, index_t stride, index_t k);
+void block_upper_transpose_solve_multi(const block::BlockMatrix& f,
+                                       const SolvePlan& plan, value_t* x,
+                                       index_t stride, index_t k);
+void block_lower_transpose_solve_multi(const block::BlockMatrix& f,
+                                       const SolvePlan& plan, value_t* x,
+                                       index_t stride, index_t k);
 
 }  // namespace pangulu::solver

@@ -166,6 +166,76 @@ TEST(CApi, CheckpointedFactorizeAndResumeRoundTrip) {
             PANGULU_INVALID_ARGUMENT);
 }
 
+TEST(CApi, SessionRefactorizeAndMultiRhsRoundTrip) {
+  Csc m = pangulu::matgen::grid2d_laplacian(12, 12);
+  const int32_t n = m.n_cols();
+  CscArrays a = to_arrays(m);
+  pangulu_session* s = nullptr;
+  ASSERT_EQ(pangulu_session_create(n, a.col_ptr.data(), a.row_idx.data(),
+                                   a.values.data(), 4, 0, &s),
+            PANGULU_OK);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(pangulu_session_matrix_order(s), n);
+  EXPECT_NE(pangulu_session_pattern_hash(s), 0u);
+
+  std::vector<value_t> ones(static_cast<std::size_t>(n), 1.0);
+  std::vector<double> bx(static_cast<std::size_t>(n));
+  m.spmv(ones, bx);
+  ASSERT_EQ(pangulu_session_solve(s, bx.data()), PANGULU_OK);
+  for (double v : bx) EXPECT_NEAR(v, 1.0, 1e-8);
+
+  // Numeric-only refactorisation with scaled values: solves track them.
+  std::vector<double> v2(a.values);
+  for (double& v : v2) v *= 2.0;
+  ASSERT_EQ(pangulu_session_refactorize(s, v2.data(),
+                                        static_cast<int64_t>(v2.size())),
+            PANGULU_OK);
+  Csc m2 = m;
+  for (value_t& v : m2.values_mut()) v *= 2.0;
+  m2.spmv(ones, bx);
+  ASSERT_EQ(pangulu_session_solve(s, bx.data()), PANGULU_OK);
+  for (double v : bx) EXPECT_NEAR(v, 1.0, 1e-8);
+
+  // Multi-RHS: each column comes back bitwise equal to its single solve.
+  const int32_t k = 3;
+  std::vector<double> panel(static_cast<std::size_t>(n) * k);
+  for (std::size_t i = 0; i < panel.size(); ++i)
+    panel[i] = 0.25 + 0.5 * static_cast<double>(i % 7);
+  std::vector<double> cols(panel);
+  ASSERT_EQ(pangulu_session_solve_multi(s, panel.data(), k), PANGULU_OK);
+  for (int32_t j = 0; j < k; ++j) {
+    ASSERT_EQ(pangulu_session_solve(
+                  s, cols.data() + static_cast<std::size_t>(j) * n),
+              PANGULU_OK);
+    for (int32_t i = 0; i < n; ++i)
+      EXPECT_EQ(panel[static_cast<std::size_t>(j) * n + i],
+                cols[static_cast<std::size_t>(j) * n + i]);
+  }
+
+  // Wrong value count: typed precondition failure with a message.
+  EXPECT_EQ(pangulu_session_refactorize(s, v2.data(),
+                                        static_cast<int64_t>(v2.size()) - 1),
+            PANGULU_FAILED_PRECONDITION);
+  EXPECT_NE(std::string(pangulu_session_last_error(s)), "");
+
+  // Different pattern through the CSC path: fingerprint mismatch.
+  Csc other = pangulu::matgen::grid2d_laplacian(16, 9);
+  ASSERT_EQ(other.n_cols(), n);
+  CscArrays oa = to_arrays(other);
+  EXPECT_EQ(pangulu_session_refactorize_csc(s, oa.col_ptr.data(),
+                                            oa.row_idx.data(),
+                                            oa.values.data()),
+            PANGULU_FAILED_PRECONDITION);
+
+  // Null/invalid arguments are tolerated.
+  EXPECT_EQ(pangulu_session_solve(nullptr, bx.data()),
+            PANGULU_INVALID_ARGUMENT);
+  EXPECT_EQ(pangulu_session_matrix_order(nullptr), -1);
+  EXPECT_EQ(pangulu_session_pattern_hash(nullptr), 0u);
+  pangulu_session_destroy(s);
+  pangulu_session_destroy(nullptr);
+}
+
 TEST(CApi, CreateFromFile) {
   Csc m = pangulu::matgen::grid2d_laplacian(6, 6);
   const std::string path = ::testing::TempDir() + "/capi_test.mtx";
