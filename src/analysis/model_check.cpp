@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <functional>
 #include <unordered_map>
 #include <utility>
 
@@ -114,7 +115,13 @@ enum EdgeState : char {
 };
 
 struct Ctx {
-  const block::BlockMatrix* bm = nullptr;
+  /// Type-erased I6 re-proof bound to the caller's block matrix: the
+  /// protocol interpreter itself is structure-only, so it never needs the
+  /// (precision-templated) block matrix beyond this closure.
+  std::function<Status(const block::Mapping& before,
+                       const block::Mapping& after, rank_t rank, int delta,
+                       const std::vector<char>& alive)>
+      rebalance_proof;
   const std::vector<block::Task>* tasks = nullptr;
   const ModelOptions* opts = nullptr;
   rank_t n_ranks = 0;
@@ -196,8 +203,8 @@ rank_t live_count(const ProtoState& st) {
   return n;
 }
 
-Status init_ctx(const block::BlockMatrix& bm,
-                const std::vector<block::Task>& tasks,
+template <class BM>
+Status init_ctx(const BM& bm, const std::vector<block::Task>& tasks,
                 const block::Mapping& mapping, const ModelOptions& opts,
                 Ctx* ctx) {
   if (tasks.empty())
@@ -242,7 +249,13 @@ Status init_ctx(const block::BlockMatrix& bm,
       return Status::invalid_argument(
           "model check: task targets out-of-range block");
 
-  ctx->bm = &bm;
+  ctx->rebalance_proof = [&bm, &tasks](const block::Mapping& before,
+                                       const block::Mapping& after,
+                                       rank_t rank, int delta,
+                                       const std::vector<char>& alive) {
+    return verify_rebalance(bm, tasks, before, after, rank, delta, alive,
+                            VerifyLevel::kCheap);
+  };
   ctx->tasks = &tasks;
   ctx->opts = &opts;
   ctx->n_ranks = mapping.n_ranks;
@@ -535,9 +548,8 @@ ProtoProperty step(const Ctx& ctx, ProtoState* st, const ProtoEvent& ev,
         if (!moved_pos.empty())
           st->mapping.owner[static_cast<std::size_t>(moved_pos[0])] = r;
       } else {
-        Status proof = verify_rebalance(*ctx.bm, *ctx.tasks, before,
-                                        st->mapping, r, -1, st->alive,
-                                        VerifyLevel::kCheap);
+        Status proof =
+            ctx.rebalance_proof(before, st->mapping, r, -1, st->alive);
         if (!proof.is_ok()) {
           *detail = proof.message();
           return ProtoProperty::kMappingTotality;
@@ -557,9 +569,8 @@ ProtoProperty step(const Ctx& ctx, ProtoState* st, const ProtoEvent& ev,
       PANGULU_CHECK(moved >= 0, "add rebalance failed");
       st->migrated += moved;
       if (!mut.skip_rebalance_proof) {
-        Status proof = verify_rebalance(*ctx.bm, *ctx.tasks, before,
-                                        st->mapping, r, +1, st->alive,
-                                        VerifyLevel::kCheap);
+        Status proof =
+            ctx.rebalance_proof(before, st->mapping, r, +1, st->alive);
         if (!proof.is_ok()) {
           *detail = proof.message();
           return ProtoProperty::kMappingTotality;
@@ -886,7 +897,8 @@ void fill_counters(const ProtoState& st, ReplayResult* rr) {
 
 }  // namespace
 
-ReplayResult replay_schedule(const block::BlockMatrix& bm,
+template <class BM>
+ReplayResult replay_schedule(const BM& bm,
                              const std::vector<block::Task>& tasks,
                              const block::Mapping& mapping,
                              const ModelOptions& opts,
@@ -968,7 +980,8 @@ namespace {
 /// single event whose removal still replays to the same violated property.
 /// Replay is the oracle, so minimisation can never "improve" a schedule
 /// into a different bug.
-void minimise_counterexample(const block::BlockMatrix& bm,
+template <class BM>
+void minimise_counterexample(const BM& bm,
                              const std::vector<block::Task>& tasks,
                              const block::Mapping& mapping,
                              const ModelOptions& opts, Counterexample* cex) {
@@ -995,8 +1008,8 @@ void minimise_counterexample(const block::BlockMatrix& bm,
 
 }  // namespace
 
-Status model_check(const block::BlockMatrix& bm,
-                   const std::vector<block::Task>& tasks,
+template <class BM>
+Status model_check(const BM& bm, const std::vector<block::Task>& tasks,
                    const block::Mapping& mapping, const ModelOptions& opts,
                    ModelCheckResult* result) {
   PANGULU_CHECK(result != nullptr, "model_check needs a result sink");
@@ -1179,8 +1192,9 @@ Status model_check(const block::BlockMatrix& bm,
   return Status::ok();
 }
 
+template <class BM>
 std::vector<ProtoEvent> sample_complete_schedule(
-    const block::BlockMatrix& bm, const std::vector<block::Task>& tasks,
+    const BM& bm, const std::vector<block::Task>& tasks,
     const block::Mapping& mapping, const ModelOptions& opts) {
   PANGULU_CHECK(!opts.mutations.any(),
                 "sample_complete_schedule expects an unmutated protocol");
@@ -1220,5 +1234,30 @@ std::vector<ProtoEvent> sample_complete_schedule(
                 "fault-free sample schedule did not commit every task");
   return schedule;
 }
+
+template Status model_check(const block::BlockMatrixT<float>&,
+                            const std::vector<block::Task>&,
+                            const block::Mapping&, const ModelOptions&,
+                            ModelCheckResult*);
+template Status model_check(const block::BlockMatrixT<double>&,
+                            const std::vector<block::Task>&,
+                            const block::Mapping&, const ModelOptions&,
+                            ModelCheckResult*);
+template ReplayResult replay_schedule(const block::BlockMatrixT<float>&,
+                                      const std::vector<block::Task>&,
+                                      const block::Mapping&,
+                                      const ModelOptions&,
+                                      const std::vector<ProtoEvent>&);
+template ReplayResult replay_schedule(const block::BlockMatrixT<double>&,
+                                      const std::vector<block::Task>&,
+                                      const block::Mapping&,
+                                      const ModelOptions&,
+                                      const std::vector<ProtoEvent>&);
+template std::vector<ProtoEvent> sample_complete_schedule(
+    const block::BlockMatrixT<float>&, const std::vector<block::Task>&,
+    const block::Mapping&, const ModelOptions&);
+template std::vector<ProtoEvent> sample_complete_schedule(
+    const block::BlockMatrixT<double>&, const std::vector<block::Task>&,
+    const block::Mapping&, const ModelOptions&);
 
 }  // namespace pangulu::analysis

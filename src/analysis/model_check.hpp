@@ -228,8 +228,8 @@ struct ModelCheckResult {
 /// (result->complete) or with a minimal counterexample (result->violation) —
 /// kResourceExhausted when the state budget ran out inconclusively, and
 /// kInvalidArgument for malformed inputs.
-Status model_check(const block::BlockMatrix& bm,
-                   const std::vector<block::Task>& tasks,
+template <class BM>
+Status model_check(const BM& bm, const std::vector<block::Task>& tasks,
                    const block::Mapping& mapping, const ModelOptions& opts,
                    ModelCheckResult* result);
 
@@ -264,7 +264,8 @@ struct ReplayResult {
 /// commit of an already-committed task reports the kAtMostOnce violation
 /// instead of infeasibility (so the at-most-once property is directly
 /// testable).
-ReplayResult replay_schedule(const block::BlockMatrix& bm,
+template <class BM>
+ReplayResult replay_schedule(const BM& bm,
                              const std::vector<block::Task>& tasks,
                              const block::Mapping& mapping,
                              const ModelOptions& opts,
@@ -274,8 +275,9 @@ ReplayResult replay_schedule(const block::BlockMatrix& bm,
 /// never injects drops/duplicates/crashes) that commits every task and
 /// leaves no message in flight. Used by replay smoke tests to drive the DES
 /// through the forced-schedule path on a healthy run.
+template <class BM>
 std::vector<ProtoEvent> sample_complete_schedule(
-    const block::BlockMatrix& bm, const std::vector<block::Task>& tasks,
+    const BM& bm, const std::vector<block::Task>& tasks,
     const block::Mapping& mapping, const ModelOptions& opts);
 
 }  // namespace pangulu::analysis

@@ -24,7 +24,8 @@ const char* kind_name(TaskKind k) {
   return "?";
 }
 
-std::string block_str(const BlockMatrix& bm, nnz_t pos) {
+template <class BM>
+std::string block_str(const BM& bm, nnz_t pos) {
   return "(" + std::to_string(bm.block_row_of(pos)) + "," +
          std::to_string(bm.block_col_of(pos)) + ")";
 }
@@ -42,13 +43,15 @@ Status violation(const char* invariant, const std::string& detail) {
 }
 
 /// Block position referenced by a task is a valid index into the block list.
-bool pos_ok(const BlockMatrix& bm, nnz_t pos) {
+template <class BM>
+bool pos_ok(const BM& bm, nnz_t pos) {
   return pos >= 0 && pos < static_cast<nnz_t>(bm.n_blocks());
 }
 
 /// Finalising task of every block (the single non-SSSSM task targeting it),
 /// or an I1 violation. Shared by I3 and I5.
-Status build_finalizers(const BlockMatrix& bm, const std::vector<Task>& tasks,
+template <class BM>
+Status build_finalizers(const BM& bm, const std::vector<Task>& tasks,
                         std::vector<index_t>* fin) {
   fin->assign(static_cast<std::size_t>(bm.n_blocks()), -1);
   for (index_t t = 0; t < static_cast<index_t>(tasks.size()); ++t) {
@@ -81,8 +84,8 @@ const char* to_string(VerifyLevel level) {
   return "?";
 }
 
-Status verify_task_structure(const BlockMatrix& bm,
-                             const std::vector<Task>& tasks,
+template <class BM>
+Status verify_task_structure(const BM& bm, const std::vector<Task>& tasks,
                              VerifyReport* report) {
   const index_t nb = bm.nb();
   std::vector<char> getrf_at(static_cast<std::size_t>(nb), 0);
@@ -185,7 +188,8 @@ Status verify_task_structure(const BlockMatrix& bm,
   return Status::ok();
 }
 
-Status verify_counters(const BlockMatrix& bm, const std::vector<Task>& tasks,
+template <class BM>
+Status verify_counters(const BM& bm, const std::vector<Task>& tasks,
                        const std::vector<index_t>& counters, VerifyLevel level,
                        VerifyReport* report) {
   const auto n_blocks = static_cast<std::size_t>(bm.n_blocks());
@@ -228,7 +232,7 @@ Status verify_counters(const BlockMatrix& bm, const std::vector<Task>& tasks,
       for (nnz_t rp = bm.row_begin(k); rp < bm.row_end(k); ++rp) {
         const index_t bj = bm.row_block_col(rp);
         if (bj <= k) continue;
-        const Csc& b = bm.block(bm.row_block_pos(rp));
+        const auto& b = bm.block(bm.row_block_pos(rp));
         std::vector<char> occ(static_cast<std::size_t>(b.n_rows()), 0);
         for (index_t r : b.row_idx()) occ[static_cast<std::size_t>(r)] = 1;
         uside.emplace_back(bj, std::move(occ));
@@ -236,7 +240,7 @@ Status verify_counters(const BlockMatrix& bm, const std::vector<Task>& tasks,
       for (nnz_t cp = bm.col_begin(k); cp < bm.col_end(k); ++cp) {
         const index_t bi = bm.block_row(cp);
         if (bi <= k) continue;
-        const Csc& a = bm.block(cp);
+        const auto& a = bm.block(cp);
         for (const auto& [bj, occ] : uside) {
           bool hit = false;
           for (index_t kk = 0; kk < a.n_cols() && !hit; ++kk) {
@@ -275,8 +279,8 @@ Status verify_counters(const BlockMatrix& bm, const std::vector<Task>& tasks,
   return Status::ok();
 }
 
-Status verify_schedulability(const BlockMatrix& bm,
-                             const std::vector<Task>& tasks,
+template <class BM>
+Status verify_schedulability(const BM& bm, const std::vector<Task>& tasks,
                              VerifyReport* report) {
   const auto nt = static_cast<index_t>(tasks.size());
   std::vector<index_t> fin;
@@ -371,7 +375,8 @@ Status verify_schedulability(const BlockMatrix& bm,
   return Status::ok();
 }
 
-Status verify_mapping(const BlockMatrix& bm, const Mapping& mapping,
+template <class BM>
+Status verify_mapping(const BM& bm, const Mapping& mapping,
                       const std::vector<char>& alive, VerifyReport* report) {
   const auto n_blocks = static_cast<std::size_t>(bm.n_blocks());
   if (mapping.n_ranks < 1)
@@ -404,7 +409,8 @@ Status verify_mapping(const BlockMatrix& bm, const Mapping& mapping,
   return Status::ok();
 }
 
-Status verify_messages(const BlockMatrix& bm, const std::vector<Task>& tasks,
+template <class BM>
+Status verify_messages(const BM& bm, const std::vector<Task>& tasks,
                        const Mapping& mapping, const std::vector<char>& alive,
                        VerifyReport* report) {
   const auto nt = static_cast<index_t>(tasks.size());
@@ -498,7 +504,8 @@ Status verify_messages(const BlockMatrix& bm, const std::vector<Task>& tasks,
   return Status::ok();
 }
 
-Status verify_rebalance(const BlockMatrix& bm, const std::vector<Task>& tasks,
+template <class BM>
+Status verify_rebalance(const BM& bm, const std::vector<Task>& tasks,
                         const Mapping& before, const Mapping& after,
                         rank_t rank, int delta, const std::vector<char>& alive,
                         VerifyLevel level, VerifyReport* report) {
@@ -606,7 +613,8 @@ Status verify_rebalance(const BlockMatrix& bm, const std::vector<Task>& tasks,
   return Status::ok();
 }
 
-Status verify_task_graph(const BlockMatrix& bm, const std::vector<Task>& tasks,
+template <class BM>
+Status verify_task_graph(const BM& bm, const std::vector<Task>& tasks,
                          const Mapping& mapping,
                          const std::vector<index_t>& counters,
                          VerifyLevel level, const std::vector<char>& alive,
@@ -623,5 +631,55 @@ Status verify_task_graph(const BlockMatrix& bm, const std::vector<Task>& tasks,
   if (report) report->seconds += timer.seconds();
   return s;
 }
+
+
+// Explicit instantiations over both precision twins (identical structure,
+// so both prove exactly the same invariants).
+template Status verify_task_structure(const block::BlockMatrixT<float>&,
+                                      const std::vector<Task>&, VerifyReport*);
+template Status verify_task_structure(const block::BlockMatrixT<double>&,
+                                      const std::vector<Task>&, VerifyReport*);
+template Status verify_counters(const block::BlockMatrixT<float>&,
+                                const std::vector<Task>&,
+                                const std::vector<index_t>&, VerifyLevel,
+                                VerifyReport*);
+template Status verify_counters(const block::BlockMatrixT<double>&,
+                                const std::vector<Task>&,
+                                const std::vector<index_t>&, VerifyLevel,
+                                VerifyReport*);
+template Status verify_schedulability(const block::BlockMatrixT<float>&,
+                                      const std::vector<Task>&, VerifyReport*);
+template Status verify_schedulability(const block::BlockMatrixT<double>&,
+                                      const std::vector<Task>&, VerifyReport*);
+template Status verify_mapping(const block::BlockMatrixT<float>&,
+                               const Mapping&, const std::vector<char>&,
+                               VerifyReport*);
+template Status verify_mapping(const block::BlockMatrixT<double>&,
+                               const Mapping&, const std::vector<char>&,
+                               VerifyReport*);
+template Status verify_messages(const block::BlockMatrixT<float>&,
+                                const std::vector<Task>&, const Mapping&,
+                                const std::vector<char>&, VerifyReport*);
+template Status verify_messages(const block::BlockMatrixT<double>&,
+                                const std::vector<Task>&, const Mapping&,
+                                const std::vector<char>&, VerifyReport*);
+template Status verify_rebalance(const block::BlockMatrixT<float>&,
+                                 const std::vector<Task>&, const Mapping&,
+                                 const Mapping&, rank_t, int,
+                                 const std::vector<char>&, VerifyLevel,
+                                 VerifyReport*);
+template Status verify_rebalance(const block::BlockMatrixT<double>&,
+                                 const std::vector<Task>&, const Mapping&,
+                                 const Mapping&, rank_t, int,
+                                 const std::vector<char>&, VerifyLevel,
+                                 VerifyReport*);
+template Status verify_task_graph(const block::BlockMatrixT<float>&,
+                                  const std::vector<Task>&, const Mapping&,
+                                  const std::vector<index_t>&, VerifyLevel,
+                                  const std::vector<char>&, VerifyReport*);
+template Status verify_task_graph(const block::BlockMatrixT<double>&,
+                                  const std::vector<Task>&, const Mapping&,
+                                  const std::vector<index_t>&, VerifyLevel,
+                                  const std::vector<char>&, VerifyReport*);
 
 }  // namespace pangulu::analysis

@@ -63,7 +63,8 @@ struct VerifyReport {
 
 /// I1: indices in range, source/target coordinates consistent with the
 /// task kind, one GETRF per elimination step, one finaliser per block.
-Status verify_task_structure(const block::BlockMatrix& bm,
+template <class BM>
+Status verify_task_structure(const BM& bm,
                              const std::vector<block::Task>& tasks,
                              VerifyReport* report = nullptr);
 
@@ -71,26 +72,30 @@ Status verify_task_structure(const block::BlockMatrix& bm,
 /// the update structure. kCheap recounts from the task list; kFull also
 /// recomputes the SSSSM producer sets from the first-layer block structure,
 /// independently of enumerate_tasks / sync_free_array.
-Status verify_counters(const block::BlockMatrix& bm,
+template <class BM>
+Status verify_counters(const BM& bm,
                        const std::vector<block::Task>& tasks,
                        const std::vector<index_t>& counters, VerifyLevel level,
                        VerifyReport* report = nullptr);
 
 /// I3: Kahn's algorithm over the dependency DAG derived from the task
 /// list; diagnoses cycles and tasks unreachable from the ready frontier.
-Status verify_schedulability(const block::BlockMatrix& bm,
+template <class BM>
+Status verify_schedulability(const BM& bm,
                              const std::vector<block::Task>& tasks,
                              VerifyReport* report = nullptr);
 
 /// I4: every block owned by exactly one in-range, alive rank.
-Status verify_mapping(const block::BlockMatrix& bm,
+template <class BM>
+Status verify_mapping(const BM& bm,
                       const block::Mapping& mapping,
                       const std::vector<char>& alive = {},
                       VerifyReport* report = nullptr);
 
 /// I5: sender-side enumeration of cross-rank dependency edges equals the
 /// receiver-side enumeration, and no endpoint is dead.
-Status verify_messages(const block::BlockMatrix& bm,
+template <class BM>
+Status verify_messages(const BM& bm,
                        const std::vector<block::Task>& tasks,
                        const block::Mapping& mapping,
                        const std::vector<char>& alive = {},
@@ -104,7 +109,8 @@ Status verify_messages(const block::BlockMatrix& bm,
 /// (drain: `rank` ends empty and others only gain; add: others only lose).
 /// kFull additionally re-proves message conservation (I5) on `after` so no
 /// in-flight logical message is orphaned by the migration.
-Status verify_rebalance(const block::BlockMatrix& bm,
+template <class BM>
+Status verify_rebalance(const BM& bm,
                         const std::vector<block::Task>& tasks,
                         const block::Mapping& before,
                         const block::Mapping& after, rank_t rank, int delta,
@@ -114,7 +120,8 @@ Status verify_rebalance(const block::BlockMatrix& bm,
 /// Umbrella: runs the invariants selected by `level` in I1..I5 order and
 /// returns the first violation. `counters` is the array the scheduler will
 /// run on (typically block::sync_free_array(bm, tasks)).
-Status verify_task_graph(const block::BlockMatrix& bm,
+template <class BM>
+Status verify_task_graph(const BM& bm,
                          const std::vector<block::Task>& tasks,
                          const block::Mapping& mapping,
                          const std::vector<index_t>& counters,

@@ -50,11 +50,12 @@ index_t choose_block_size(index_t n, nnz_t nnz_filled, index_t min_blocks) {
   return b;
 }
 
-BlockMatrix BlockMatrix::from_filled_serial(const Csc& filled,
-                                            index_t block_size) {
+template <class V>
+BlockMatrixT<V> BlockMatrixT<V>::from_filled_serial(const CscT<V>& filled,
+                                                    index_t block_size) {
   PANGULU_CHECK(filled.n_rows() == filled.n_cols(), "square matrix expected");
   PANGULU_CHECK(block_size >= 1, "block size >= 1");
-  BlockMatrix bm;
+  BlockMatrixT<V> bm;
   bm.grid_ = BlockGrid(filled.n_cols(), block_size);
   const index_t nb = bm.grid_.nb;
 
@@ -115,7 +116,7 @@ BlockMatrix BlockMatrix::from_filled_serial(const Csc& filled,
   struct Building {
     std::vector<nnz_t> col_ptr;
     std::vector<index_t> rows;
-    std::vector<value_t> vals;
+    std::vector<V> vals;
     nnz_t cursor = 0;
   };
   std::vector<Building> bld(static_cast<std::size_t>(n_blocks));
@@ -155,7 +156,7 @@ BlockMatrix BlockMatrix::from_filled_serial(const Csc& filled,
     const index_t bj = bm.blk_col_of_[static_cast<std::size_t>(pos)];
     // Arrays are sorted by construction (global sweep order); skip the
     // validation pass on this hot path — block_test round-trips cover it.
-    bm.blocks_[static_cast<std::size_t>(pos)] = Csc::from_parts_unchecked(
+    bm.blocks_[static_cast<std::size_t>(pos)] = CscT<V>::from_parts_unchecked(
         bm.grid_.block_dim(bi), bm.grid_.block_dim(bj), std::move(b.col_ptr),
         std::move(b.rows), std::move(b.vals));
   }
@@ -181,13 +182,15 @@ BlockMatrix BlockMatrix::from_filled_serial(const Csc& filled,
   return bm;
 }
 
-BlockMatrix BlockMatrix::from_filled(const Csc& filled, index_t block_size,
-                                     ThreadPool* pool) {
+template <class V>
+BlockMatrixT<V> BlockMatrixT<V>::from_filled(const CscT<V>& filled,
+                                             index_t block_size,
+                                             ThreadPool* pool) {
   ThreadPool& tp = effective_pool(pool);
   if (tp.size() <= 1) return from_filled_serial(filled, block_size);
   PANGULU_CHECK(filled.n_rows() == filled.n_cols(), "square matrix expected");
   PANGULU_CHECK(block_size >= 1, "block size >= 1");
-  BlockMatrix bm;
+  BlockMatrixT<V> bm;
   bm.grid_ = BlockGrid(filled.n_cols(), block_size);
   const index_t nb = bm.grid_.nb;
   const index_t n = bm.grid_.n;
@@ -258,7 +261,7 @@ BlockMatrix BlockMatrix::from_filled(const Csc& filled, index_t block_size,
   struct Building {
     std::vector<nnz_t> col_ptr;
     std::vector<index_t> rows;
-    std::vector<value_t> vals;
+    std::vector<V> vals;
     nnz_t cursor = 0;
   };
   parallel_for(tp, 0, nb, [&](index_t bj) {
@@ -298,7 +301,7 @@ BlockMatrix BlockMatrix::from_filled(const Csc& filled, index_t block_size,
       for (std::size_t c = 1; c < b.col_ptr.size(); ++c)
         b.col_ptr[c] = std::max(b.col_ptr[c], b.col_ptr[c - 1]);
       const index_t bi = bm.blk_row_idx_[static_cast<std::size_t>(pos)];
-      bm.blocks_[static_cast<std::size_t>(pos)] = Csc::from_parts_unchecked(
+      bm.blocks_[static_cast<std::size_t>(pos)] = CscT<V>::from_parts_unchecked(
           bm.grid_.block_dim(bi), bm.grid_.block_dim(bj), std::move(b.col_ptr),
           std::move(b.rows), std::move(b.vals));
     }
@@ -344,7 +347,8 @@ BlockMatrix BlockMatrix::from_filled(const Csc& filled, index_t block_size,
   return bm;
 }
 
-nnz_t BlockMatrix::find_block(index_t bi, index_t bj) const {
+template <class V>
+nnz_t BlockMatrixT<V>::find_block(index_t bi, index_t bj) const {
   const nnz_t lo = col_begin(bj), hi = col_end(bj);
   auto first = blk_row_idx_.begin() + lo;
   auto last = blk_row_idx_.begin() + hi;
@@ -353,11 +357,12 @@ nnz_t BlockMatrix::find_block(index_t bi, index_t bj) const {
   return lo + (it - first);
 }
 
-Csc BlockMatrix::to_csc() const {
-  Coo coo(grid_.n, grid_.n);
+template <class V>
+CscT<V> BlockMatrixT<V>::to_csc() const {
+  CooT<V> coo(grid_.n, grid_.n);
   coo.entries.reserve(static_cast<std::size_t>(total_nnz()));
   for (nnz_t pos = 0; pos < n_blocks(); ++pos) {
-    const Csc& blk = blocks_[static_cast<std::size_t>(pos)];
+    const CscT<V>& blk = blocks_[static_cast<std::size_t>(pos)];
     const index_t r0 = grid_.block_start(blk_row_idx_[static_cast<std::size_t>(pos)]);
     const index_t c0 = grid_.block_start(blk_col_of_[static_cast<std::size_t>(pos)]);
     for (index_t j = 0; j < blk.n_cols(); ++j) {
@@ -367,13 +372,17 @@ Csc BlockMatrix::to_csc() const {
       }
     }
   }
-  return Csc::from_coo(coo);
+  return CscT<V>::from_coo(coo);
 }
 
-nnz_t BlockMatrix::total_nnz() const {
+template <class V>
+nnz_t BlockMatrixT<V>::total_nnz() const {
   nnz_t t = 0;
-  for (const Csc& b : blocks_) t += b.nnz();
+  for (const CscT<V>& b : blocks_) t += b.nnz();
   return t;
 }
+
+template class BlockMatrixT<float>;
+template class BlockMatrixT<double>;
 
 }  // namespace pangulu::block

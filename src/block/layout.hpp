@@ -50,22 +50,49 @@ index_t choose_block_size(index_t n, nnz_t nnz_filled, index_t min_blocks = 8);
 [[nodiscard]] Status check_blocking_bounds(index_t n, index_t block_size,
                                            nnz_t nnz_filled);
 
-/// Two-layer sparse block storage.
-class BlockMatrix {
+/// Two-layer sparse block storage. Templated on the block value type V
+/// (float/double) so the mixed-precision pipeline can hold an FP32 twin of
+/// the FP64 factors with identical structure (DESIGN.md §14); the
+/// unsuffixed `BlockMatrix` alias keeps the historical FP64 spelling.
+template <class V>
+class BlockMatrixT {
  public:
-  BlockMatrix() = default;
+  using value_type = V;
+
+  BlockMatrixT() = default;
 
   /// Split `filled` (output of symbolic factorisation) into blocks. The
   /// two-pass bucket-count/fill parallelises over block columns on `pool`
   /// (nullptr: the global pool); block columns own disjoint slices of every
   /// array involved, so the layout is bitwise identical to the serial sweep
   /// at any thread count. Single-worker pools dispatch to the serial path.
-  static BlockMatrix from_filled(const Csc& filled, index_t block_size,
-                                 ThreadPool* pool = nullptr);
+  static BlockMatrixT from_filled(const CscT<V>& filled, index_t block_size,
+                                  ThreadPool* pool = nullptr);
 
   /// The single-threaded reference splitter (ground truth for the
   /// determinism property tests and the preprocessing bench).
-  static BlockMatrix from_filled_serial(const Csc& filled, index_t block_size);
+  static BlockMatrixT from_filled_serial(const CscT<V>& filled,
+                                         index_t block_size);
+
+  /// Structure-preserving precision conversion: every first-layer array is
+  /// shared verbatim and each block converts via CscT::converted_from, so
+  /// the result is positionally identical to the source — the pattern-only
+  /// scatter maps built against one twin address the other unchanged.
+  template <class U>
+  static BlockMatrixT converted_from(const BlockMatrixT<U>& other) {
+    BlockMatrixT bm;
+    bm.grid_ = other.grid_;
+    bm.blk_col_ptr_ = other.blk_col_ptr_;
+    bm.blk_row_idx_ = other.blk_row_idx_;
+    bm.blk_col_of_ = other.blk_col_of_;
+    bm.blk_row_ptr_ = other.blk_row_ptr_;
+    bm.blk_row_col_ = other.blk_row_col_;
+    bm.blk_row_pos_ = other.blk_row_pos_;
+    bm.blocks_.reserve(other.blocks_.size());
+    for (const CscT<U>& blk : other.blocks_)
+      bm.blocks_.push_back(CscT<V>::template converted_from<U>(blk));
+    return bm;
+  }
 
   const BlockGrid& grid() const { return grid_; }
   index_t nb() const { return grid_.nb; }
@@ -86,28 +113,33 @@ class BlockMatrix {
   /// Position of block (bi, bj) in the block list, or -1 when empty.
   nnz_t find_block(index_t bi, index_t bj) const;
 
-  Csc& block(nnz_t pos) { return blocks_[static_cast<std::size_t>(pos)]; }
-  const Csc& block(nnz_t pos) const { return blocks_[static_cast<std::size_t>(pos)]; }
+  CscT<V>& block(nnz_t pos) { return blocks_[static_cast<std::size_t>(pos)]; }
+  const CscT<V>& block(nnz_t pos) const { return blocks_[static_cast<std::size_t>(pos)]; }
 
   index_t block_row_of(nnz_t pos) const { return blk_row_idx_[static_cast<std::size_t>(pos)]; }
   index_t block_col_of(nnz_t pos) const { return blk_col_of_[static_cast<std::size_t>(pos)]; }
 
   /// Reassemble the full matrix (tests / triangular solve).
-  Csc to_csc() const;
+  CscT<V> to_csc() const;
 
   /// Total stored nonzeros across blocks.
   nnz_t total_nnz() const;
 
  private:
+  template <class U>
+  friend class BlockMatrixT;
+
   BlockGrid grid_;
   std::vector<nnz_t> blk_col_ptr_;   // first layer: per block-column
   std::vector<index_t> blk_row_idx_; // block row of each stored block
   std::vector<index_t> blk_col_of_;  // block col of each stored block
-  std::vector<Csc> blocks_;          // second layer
+  std::vector<CscT<V>> blocks_;      // second layer
   // row-wise first layer
   std::vector<nnz_t> blk_row_ptr_;
   std::vector<index_t> blk_row_col_;
   std::vector<nnz_t> blk_row_pos_;
 };
+
+using BlockMatrix = BlockMatrixT<value_t>;
 
 }  // namespace pangulu::block

@@ -14,7 +14,8 @@ struct DiagTriLengths {
   std::vector<nnz_t> lower;  // per column: entries below the diagonal
   std::vector<nnz_t> upper;  // per column: entries above the diagonal
 
-  explicit DiagTriLengths(const Csc& d)
+  template <class C>
+  explicit DiagTriLengths(const C& d)
       : lower(static_cast<std::size_t>(d.n_cols()), 0),
         upper(static_cast<std::size_t>(d.n_cols()), 0) {
     for (index_t j = 0; j < d.n_cols(); ++j) {
@@ -31,7 +32,8 @@ struct DiagTriLengths {
 
 /// GESSM weight: forward solve of B against the unit-lower part of the
 /// diagonal block — every B entry at row k applies L(:,k)'s strict column.
-double gessm_weight(const DiagTriLengths& tri, const Csc& b) {
+template <class C>
+double gessm_weight(const DiagTriLengths& tri, const C& b) {
   double f = 0;
   for (index_t r : b.row_idx())
     f += 2.0 * static_cast<double>(tri.lower[static_cast<std::size_t>(r)]) + 1.0;
@@ -39,7 +41,8 @@ double gessm_weight(const DiagTriLengths& tri, const Csc& b) {
 }
 
 /// TSTRF weight: each B column j applies U(:,j)'s strict column per entry.
-double tstrf_weight(const DiagTriLengths& tri, const Csc& b) {
+template <class C>
+double tstrf_weight(const DiagTriLengths& tri, const C& b) {
   double f = 0;
   for (index_t j = 0; j < b.n_cols(); ++j) {
     f += static_cast<double>(b.col_end(j) - b.col_begin(j)) *
@@ -50,11 +53,12 @@ double tstrf_weight(const DiagTriLengths& tri, const Csc& b) {
 
 /// Lazily cached per-row nonzero counts of a block (the U-side operand of
 /// SSSSM weights).
-const std::vector<nnz_t>& row_counts(const BlockMatrix& bm, nnz_t pos,
+template <class BM>
+const std::vector<nnz_t>& row_counts(const BM& bm, nnz_t pos,
                                      std::vector<std::vector<nnz_t>>& cache) {
   auto& rc = cache[static_cast<std::size_t>(pos)];
   if (rc.empty()) {
-    const Csc& b = bm.block(pos);
+    const auto& b = bm.block(pos);
     rc.assign(static_cast<std::size_t>(b.n_rows()) + 1, 0);
     rc[0] = 1;  // sentinel marking "computed" even for empty blocks
     for (index_t r : b.row_idx()) rc[static_cast<std::size_t>(r) + 1]++;
@@ -64,7 +68,8 @@ const std::vector<nnz_t>& row_counts(const BlockMatrix& bm, nnz_t pos,
 
 }  // namespace
 
-std::vector<Task> enumerate_tasks(const BlockMatrix& bm) {
+template <class BM>
+std::vector<Task> enumerate_tasks(const BM& bm) {
   std::vector<Task> tasks;
   const index_t nb = bm.nb();
   std::vector<std::vector<nnz_t>> row_cnt_cache(
@@ -102,7 +107,7 @@ std::vector<Task> enumerate_tasks(const BlockMatrix& bm) {
     for (nnz_t cp = bm.col_begin(k); cp < bm.col_end(k); ++cp) {
       const index_t bi = bm.block_row(cp);
       if (bi <= k) continue;
-      const Csc& a = bm.block(cp);
+      const auto& a = bm.block(cp);
       for (nnz_t rp = bm.row_begin(k); rp < bm.row_end(k); ++rp) {
         const index_t bj = bm.row_block_col(rp);
         if (bj <= k) continue;
@@ -130,7 +135,8 @@ std::vector<Task> enumerate_tasks(const BlockMatrix& bm) {
   return tasks;
 }
 
-TaskAdjacency TaskAdjacency::build(const BlockMatrix& bm,
+template <class BM>
+TaskAdjacency TaskAdjacency::build(const BM& bm,
                                    const std::vector<Task>& tasks) {
   TaskAdjacency g;
   const auto nt = static_cast<index_t>(tasks.size());
@@ -204,7 +210,8 @@ TaskAdjacency TaskAdjacency::build(const BlockMatrix& bm,
   return g;
 }
 
-std::vector<index_t> sync_free_array(const BlockMatrix& bm,
+template <class BM>
+std::vector<index_t> sync_free_array(const BM& bm,
                                      const std::vector<Task>& tasks) {
   std::vector<index_t> arr(static_cast<std::size_t>(bm.n_blocks()), 0);
   for (const Task& t : tasks) {
@@ -214,8 +221,8 @@ std::vector<index_t> sync_free_array(const BlockMatrix& bm,
   return arr;
 }
 
-bool is_topological_order(const BlockMatrix& bm,
-                          const std::vector<Task>& tasks) {
+template <class BM>
+bool is_topological_order(const BM& bm, const std::vector<Task>& tasks) {
   std::vector<index_t> pending_updates(static_cast<std::size_t>(bm.n_blocks()),
                                        0);
   std::vector<char> finalized(static_cast<std::size_t>(bm.n_blocks()), 0);
@@ -248,5 +255,20 @@ bool is_topological_order(const BlockMatrix& bm,
   }
   return true;
 }
+
+template std::vector<Task> enumerate_tasks(const BlockMatrixT<float>&);
+template std::vector<Task> enumerate_tasks(const BlockMatrixT<double>&);
+template TaskAdjacency TaskAdjacency::build(const BlockMatrixT<float>&,
+                                            const std::vector<Task>&);
+template TaskAdjacency TaskAdjacency::build(const BlockMatrixT<double>&,
+                                            const std::vector<Task>&);
+template std::vector<index_t> sync_free_array(const BlockMatrixT<float>&,
+                                              const std::vector<Task>&);
+template std::vector<index_t> sync_free_array(const BlockMatrixT<double>&,
+                                              const std::vector<Task>&);
+template bool is_topological_order(const BlockMatrixT<float>&,
+                                   const std::vector<Task>&);
+template bool is_topological_order(const BlockMatrixT<double>&,
+                                   const std::vector<Task>&);
 
 }  // namespace pangulu::block

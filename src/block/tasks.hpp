@@ -23,14 +23,19 @@ struct Task {
 };
 
 /// Enumerate every task of the factorisation in (k, kind, bi, bj) order and
-/// compute its weight from the block patterns.
-std::vector<Task> enumerate_tasks(const BlockMatrix& bm);
+/// compute its weight from the block patterns. Templated on the block-matrix
+/// type (BlockMatrixT<float> or BlockMatrixT<double>): task enumeration is
+/// pattern-only, and the precision twins share identical structure, so both
+/// instantiations produce the same task list (DESIGN.md §14).
+template <class BM>
+std::vector<Task> enumerate_tasks(const BM& bm);
 
 /// Per-block number of incoming updates — the initialisation of the
 /// synchronisation-free array (§4.4): for an off-diagonal block, the number
 /// of SSSSM updates plus the one GESSM/TSTRF solve; for a diagonal block,
 /// the number of SSSSM updates (GETRF fires when it reaches zero).
-std::vector<index_t> sync_free_array(const BlockMatrix& bm,
+template <class BM>
+std::vector<index_t> sync_free_array(const BM& bm,
                                      const std::vector<Task>& tasks);
 
 /// Flattened (CSR) dependency graph over a task list, shared by the DES and
@@ -49,8 +54,8 @@ struct TaskAdjacency {
   std::vector<index_t> out_adj;
   std::vector<index_t> finalizer_of_block;  // -1 if none
 
-  static TaskAdjacency build(const BlockMatrix& bm,
-                             const std::vector<Task>& tasks);
+  template <class BM>
+  static TaskAdjacency build(const BM& bm, const std::vector<Task>& tasks);
 };
 
 /// True when executing `tasks` front to back never consumes a block before
@@ -59,6 +64,7 @@ struct TaskAdjacency {
 /// to execute numerics canonically (independent of the simulated schedule,
 /// so fault injection can never change the computed factors); this verifies
 /// the contract in tests.
-bool is_topological_order(const BlockMatrix& bm, const std::vector<Task>& tasks);
+template <class BM>
+bool is_topological_order(const BM& bm, const std::vector<Task>& tasks);
 
 }  // namespace pangulu::block

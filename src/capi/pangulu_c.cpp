@@ -25,6 +25,11 @@ struct pangulu_handle {
 struct pangulu_session {
   Csc matrix;
   pangulu::solver::Session session;
+  pangulu_precision precision = PANGULU_PRECISION_DOUBLE;
+  /* Refinement stats of the most recent successful solve; iterations < 0
+   * until one completes. */
+  pangulu::solver::SolveStats last_solve;
+  bool solved = false;
   std::string last_error;
 };
 
@@ -47,6 +52,7 @@ int set_status(H* h, const Status& s) {
     case StatusCode::kInvariantViolation: return PANGULU_INVARIANT_VIOLATION;
     case StatusCode::kDataCorruption: return PANGULU_DATA_CORRUPTION;
     case StatusCode::kResourceExhausted: return PANGULU_RESOURCE_EXHAUSTED;
+    case StatusCode::kNumericBreakdown: return PANGULU_NUMERIC_BREAKDOWN;
     default: return PANGULU_INTERNAL;
   }
 }
@@ -223,15 +229,33 @@ int pangulu_session_create(int32_t n, const int64_t* col_ptr,
                            const int32_t* row_idx, const double* values,
                            int32_t n_ranks, int32_t block_size,
                            pangulu_session** out) {
-  if (!out || !col_ptr || n <= 0 || !row_idx || !values)
+  return pangulu_session_create_ex(n, col_ptr, row_idx, values, n_ranks,
+                                   block_size, PANGULU_PRECISION_DOUBLE, 0,
+                                   0, out);
+}
+
+int pangulu_session_create_ex(int32_t n, const int64_t* col_ptr,
+                              const int32_t* row_idx, const double* values,
+                              int32_t n_ranks, int32_t block_size,
+                              pangulu_precision precision,
+                              double ir_tolerance, int32_t ir_max_iters,
+                              pangulu_session** out) {
+  if (!out || !col_ptr || n <= 0 || !row_idx || !values ||
+      precision < PANGULU_PRECISION_DOUBLE ||
+      precision > PANGULU_PRECISION_MIXED_IR || ir_tolerance < 0 ||
+      ir_max_iters < 0)
     return PANGULU_INVALID_ARGUMENT;
   *out = nullptr;
   auto* s = new pangulu_session();
   const int rc = guarded(s, [&]() -> int {
     s->matrix = csc_from_c_parts(n, col_ptr, row_idx, values);
+    s->precision = precision;
     pangulu::solver::Options opts;
     opts.n_ranks = n_ranks > 0 ? n_ranks : 1;
     opts.block_size = block_size;
+    opts.precision = static_cast<pangulu::kernels::Precision>(precision);
+    if (ir_tolerance > 0) opts.ir_tolerance = ir_tolerance;
+    if (ir_max_iters > 0) opts.ir_max_iters = ir_max_iters;
     return set_status(s, s->session.setup(s->matrix, opts));
   });
   if (rc != PANGULU_OK) {
@@ -267,8 +291,13 @@ int pangulu_session_solve(pangulu_session* s, double* b_x) {
   return guarded(s, [&]() -> int {
     const auto n = static_cast<std::size_t>(s->matrix.n_cols());
     std::vector<double> x(n);
-    Status st = s->session.solve({b_x, n}, x);
-    if (st.is_ok()) std::copy(x.begin(), x.end(), b_x);
+    pangulu::solver::SolveStats stats;
+    Status st = s->session.solve({b_x, n}, x, &stats);
+    if (st.is_ok()) {
+      std::copy(x.begin(), x.end(), b_x);
+      s->last_solve = stats;
+      s->solved = true;
+    }
     return set_status(s, st);
   });
 }
@@ -282,11 +311,14 @@ int pangulu_session_solve_multi(pangulu_session* s, double* b_x, int32_t k) {
       std::copy(b_x + static_cast<std::size_t>(j) * n,
                 b_x + static_cast<std::size_t>(j + 1) * n, b.col(j));
     Dense x;
-    Status st = s->session.solve_multi(b, &x);
+    pangulu::solver::SolveStats worst;
+    Status st = s->session.solve_multi(b, &x, &worst);
     if (st.is_ok()) {
       for (int32_t j = 0; j < k; ++j)
         std::copy(x.col(j), x.col(j) + n,
                   b_x + static_cast<std::size_t>(j) * n);
+      s->last_solve = worst;
+      s->solved = true;
     }
     return set_status(s, st);
   });
@@ -294,6 +326,18 @@ int pangulu_session_solve_multi(pangulu_session* s, double* b_x, int32_t k) {
 
 int32_t pangulu_session_matrix_order(const pangulu_session* s) {
   return s ? s->matrix.n_cols() : -1;
+}
+
+pangulu_precision pangulu_session_precision(const pangulu_session* s) {
+  return s ? s->precision : PANGULU_PRECISION_DOUBLE;
+}
+
+int32_t pangulu_session_refine_iterations(const pangulu_session* s) {
+  return s && s->solved ? s->last_solve.refine_iterations : -1;
+}
+
+double pangulu_session_final_residual(const pangulu_session* s) {
+  return s && s->solved ? s->last_solve.final_residual : -1.0;
 }
 
 uint64_t pangulu_session_pattern_hash(const pangulu_session* s) {

@@ -38,8 +38,24 @@ typedef enum pangulu_status {
   PANGULU_DATA_CORRUPTION = 9,
   /* A request exceeds a configured resource budget and can never run
    * (e.g. a session admission larger than the whole pool). */
-  PANGULU_RESOURCE_EXHAUSTED = 10
+  PANGULU_RESOURCE_EXHAUSTED = 10,
+  /* Mixed-precision iterative refinement stalled or ran out of sweeps
+   * before reaching the requested tolerance: the FP32 factorisation is too
+   * weak a preconditioner for this matrix. The factorisation itself
+   * completed; retry the session at PANGULU_PRECISION_DOUBLE. */
+  PANGULU_NUMERIC_BREAKDOWN = 11
 } pangulu_status;
+
+/* Numeric-phase storage precision of a session (DESIGN.md §14).
+ * DOUBLE is the historical FP64 pipeline. SINGLE factors and solves in FP32
+ * storage. MIXED_IR factors in FP32 and wraps every solve in an FP64
+ * iterative-refinement loop against the original matrix, restoring FP64
+ * accuracy at FP32 factorisation cost. */
+typedef enum pangulu_precision {
+  PANGULU_PRECISION_DOUBLE = 0,
+  PANGULU_PRECISION_SINGLE = 1,
+  PANGULU_PRECISION_MIXED_IR = 2
+} pangulu_precision;
 
 /* Create a solver handle holding a copy of the n x n CSC matrix:
  * col_ptr[n+1], row_idx[nnz] (0-based, sorted per column), values[nnz]. */
@@ -113,6 +129,18 @@ int pangulu_session_create(int32_t n, const int64_t* col_ptr,
                            int32_t n_ranks, int32_t block_size,
                            pangulu_session** out);
 
+/* As pangulu_session_create with an explicit numeric precision.
+ * ir_tolerance and ir_max_iters configure the MIXED_IR refinement loop
+ * (pass 0 for the defaults, 1e-12 and 30); both are ignored by the other
+ * precisions. Under MIXED_IR a solve whose refinement stalls or exhausts
+ * ir_max_iters fails with PANGULU_NUMERIC_BREAKDOWN. */
+int pangulu_session_create_ex(int32_t n, const int64_t* col_ptr,
+                              const int32_t* row_idx, const double* values,
+                              int32_t n_ranks, int32_t block_size,
+                              pangulu_precision precision,
+                              double ir_tolerance, int32_t ir_max_iters,
+                              pangulu_session** out);
+
 /* Numeric-only refactorisation from the new values of the analysed matrix
  * in its original CSC entry order. Returns PANGULU_FAILED_PRECONDITION when
  * nnz does not match the analysed pattern. */
@@ -135,6 +163,18 @@ int pangulu_session_solve(pangulu_session* s, double* b_x);
 int pangulu_session_solve_multi(pangulu_session* s, double* b_x, int32_t k);
 
 int32_t pangulu_session_matrix_order(const pangulu_session* s);
+
+/* Precision the session was created with (DOUBLE when s is NULL). */
+pangulu_precision pangulu_session_precision(const pangulu_session* s);
+
+/* Refinement statistics of the most recent successful solve on this
+ * session. Under MIXED_IR, iterations is the number of FP32 correction
+ * solves the FP64 loop needed and residual the final relative residual
+ * ||b - Ax||_inf / (||A||_1 ||x||_inf + ||b||_inf); for multi-RHS solves
+ * they describe the worst column. -1 / -1.0 before the first solve or when
+ * s is NULL. */
+int32_t pangulu_session_refine_iterations(const pangulu_session* s);
+double pangulu_session_final_residual(const pangulu_session* s);
 
 /* FNV-1a fingerprint of the analysed sparsity pattern (0 before setup). */
 uint64_t pangulu_session_pattern_hash(const pangulu_session* s);

@@ -55,7 +55,7 @@ struct CrcTable {
 /// The meta section travels as a fixed array of 64-bit slots (doubles are
 /// bit-cast) so the encoding is independent of struct padding and field
 /// widths on the writing host.
-constexpr std::size_t kMetaSlots = 20;
+constexpr std::size_t kMetaSlots = 21;
 
 void pack_meta(const SnapshotMeta& m, std::int64_t* s) {
   s[0] = m.n;
@@ -78,6 +78,7 @@ void pack_meta(const SnapshotMeta& m, std::int64_t* s) {
   s[17] = m.n_tasks;
   s[18] = m.tasks_done;
   s[19] = m.incremental;
+  s[20] = m.precision;
 }
 
 void unpack_meta(const std::int64_t* s, SnapshotMeta* m) {
@@ -101,6 +102,7 @@ void unpack_meta(const std::int64_t* s, SnapshotMeta* m) {
   m->n_tasks = s[17];
   m->tasks_done = s[18];
   m->incremental = s[19];
+  m->precision = static_cast<std::int32_t>(s[20]);
 }
 
 Status put_u32(std::ostream& out, std::uint32_t v) {
@@ -340,7 +342,8 @@ Status read_snapshot(std::istream& in, Snapshot* out) {
   const SnapshotMeta& m = out->meta;
   if (m.n < 0 || m.nnz_a < 0 || m.block_size <= 0 || m.n_ranks < 1 ||
       m.n_tasks < 0 || m.tasks_done < 0 || m.tasks_done > m.n_tasks ||
-      (m.incremental != 0 && m.incremental != 1))
+      (m.incremental != 0 && m.incremental != 1) || m.precision < 0 ||
+      m.precision > 2)
     return Status::io_error("snapshot: meta scalars out of range");
   if (out->a_col_ptr.size() != static_cast<std::size_t>(m.n) + 1 ||
       out->a_row_idx.size() != static_cast<std::size_t>(m.nnz_a) ||

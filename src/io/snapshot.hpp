@@ -40,7 +40,11 @@ inline constexpr std::uint32_t kSnapshotMagic = 0x50474C55u;
 /// v2 (PR 6): incremental dirty-block snapshots — a `dirty_pos` field lists
 /// the block positions whose values are encoded; `meta.incremental` flags
 /// the mode. v1 files are rejected (old readers reject v2 symmetrically).
-inline constexpr std::uint32_t kSnapshotFormatVersion = 2;
+/// v3: mixed-precision factorisation — `meta.precision` records the numeric
+/// storage precision (kernels::Precision) the snapshot's block values were
+/// computed at. FP32-state values travel widened to FP64 (exact), so resume
+/// narrows them back bit for bit. v2 files are rejected.
+inline constexpr std::uint32_t kSnapshotFormatVersion = 3;
 /// Written as 0x01020304; a reader seeing 0x04030201 is on a foreign-endian
 /// host and rejects the file instead of mis-reading it.
 inline constexpr std::uint32_t kSnapshotEndianTag = 0x01020304;
@@ -72,6 +76,10 @@ struct SnapshotMeta {
   /// Canonical tasks committed when the snapshot was taken; resume replays
   /// tasks [tasks_done, n_tasks).
   std::int64_t tasks_done = 0;
+  /// Numeric storage precision of the block values (kernels::Precision as
+  /// an integer: 0 double, 1 single, 2 mixed-IR). Under FP32 storage the
+  /// encoded values are exact widenings of the FP32 state.
+  std::int32_t precision = 0;
   /// 0: `block_values` covers every stored block (full snapshot). 1:
   /// incremental — `block_values` holds only the blocks listed in
   /// `dirty_pos` (those mutated by tasks [0, tasks_done)); every other

@@ -16,14 +16,15 @@
 
 namespace pangulu::kernels {
 
-double policy_cost(const std::vector<PairedSample>& samples, double threshold) {
-  double cost = 0;
+seconds_t policy_cost(const std::vector<PairedSample>& samples,
+                      metric_t threshold) {
+  seconds_t cost = 0;
   for (const auto& s : samples)
     cost += s.metric < threshold ? s.time_low : s.time_high;
   return cost;
 }
 
-double fit_crossover(std::vector<PairedSample> samples) {
+metric_t fit_crossover(std::vector<PairedSample> samples) {
   if (samples.empty()) return 0.0;
   std::sort(samples.begin(), samples.end(),
             [](const PairedSample& a, const PairedSample& b) {
@@ -32,16 +33,16 @@ double fit_crossover(std::vector<PairedSample> samples) {
   // Suffix sums of time_high; prefix sums of time_low. Candidate thresholds
   // sit between adjacent metrics (plus the two extremes).
   const std::size_t n = samples.size();
-  std::vector<double> suffix_high(n + 1, 0.0);
+  std::vector<seconds_t> suffix_high(n + 1, 0.0);
   for (std::size_t i = n; i > 0; --i)
     suffix_high[i - 1] = suffix_high[i] + samples[i - 1].time_high;
 
-  double best_cost = suffix_high[0];          // threshold below everything
-  double best_threshold = samples.front().metric * 0.5;
-  double prefix_low = 0.0;
+  seconds_t best_cost = suffix_high[0];       // threshold below everything
+  metric_t best_threshold = samples.front().metric * 0.5;
+  seconds_t prefix_low = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
     prefix_low += samples[i].time_low;
-    const double cost = prefix_low + suffix_high[i + 1];
+    const seconds_t cost = prefix_low + suffix_high[i + 1];
     if (cost < best_cost) {
       best_cost = cost;
       best_threshold = i + 1 < n
@@ -57,7 +58,7 @@ namespace {
 // Field table shared by save/load; one line per threshold.
 struct ThresholdField {
   const char* key;
-  double SelectorThresholds::*ptr;
+  metric_t SelectorThresholds::*ptr;
 };
 
 constexpr ThresholdField kThresholdFields[] = {
@@ -84,50 +85,52 @@ constexpr ThresholdField kThresholdFields[] = {
 /// the requested density. Band patterns are closed under LU elimination, so
 /// the block needs no symbolic fill pass before GETRF — every update target
 /// exists. Dominance keeps pivots healthy (no perturbation noise in timing).
-Csc band_block(index_t n, double density, Rng& rng) {
-  auto w = static_cast<index_t>(density * static_cast<double>(n) / 2.0);
+template <class V>
+CscT<V> band_block(index_t n, metric_t density, Rng& rng) {
+  auto w = static_cast<index_t>(density * static_cast<metric_t>(n) / 2.0);
   if (w < 1) w = 1;
   if (w >= n) w = n - 1;
-  Coo coo(n, n);
+  CooT<V> coo(n, n);
   for (index_t j = 0; j < n; ++j) {
     const index_t lo = std::max<index_t>(0, j - w);
     const index_t hi = std::min<index_t>(n - 1, j + w);
     for (index_t i = lo; i <= hi; ++i) {
-      const value_t v = i == j ? static_cast<value_t>(n)
-                               : static_cast<value_t>(rng.uniform(-1.0, 1.0));
+      const V v = i == j ? static_cast<V>(n)
+                         : static_cast<V>(rng.uniform(-1.0, 1.0));
       coo.add(i, j, v);
     }
   }
-  return Csc::from_coo(coo);
+  return CscT<V>::from_coo(coo);
 }
 
 /// Random rectangular block with ~density fill; every column keeps at least
 /// one entry so panel solves and updates have work everywhere.
-Csc random_block(index_t rows, index_t cols, double density, Rng& rng) {
-  Coo coo(rows, cols);
+template <class V>
+CscT<V> random_block(index_t rows, index_t cols, metric_t density, Rng& rng) {
+  CooT<V> coo(rows, cols);
   for (index_t j = 0; j < cols; ++j) {
     bool any = false;
     for (index_t i = 0; i < rows; ++i) {
       if (rng.uniform() < density) {
-        coo.add(i, j, static_cast<value_t>(rng.normal()));
+        coo.add(i, j, static_cast<V>(rng.normal()));
         any = true;
       }
     }
     if (!any)
       coo.add(rng.uniform_index(0, rows - 1), j,
-              static_cast<value_t>(rng.normal()));
+              static_cast<V>(rng.normal()));
   }
-  Csc m = Csc::from_coo(coo);
+  CscT<V> m = CscT<V>::from_coo(coo);
   return m;
 }
 
 /// min-of-repeats wall time of `body` (the operand copy stays outside the
 /// measured region).
 template <typename Body>
-double time_min(int repeats, Body body) {
-  double best = std::numeric_limits<double>::infinity();
+seconds_t time_min(int repeats, Body body) {
+  seconds_t best = std::numeric_limits<seconds_t>::infinity();
   for (int r = 0; r < repeats; ++r) {
-    const double s = body();
+    const seconds_t s = body();
     if (s < best) best = s;
   }
   return best;
@@ -135,33 +138,34 @@ double time_min(int repeats, Body body) {
 
 /// Per-(size, density) grid cell: the synthetic operands every family
 /// benchmarks against, built once and reused by all variants.
+template <class V>
 struct GridCell {
-  Csc diag_raw;       // band block, unfactored (GETRF operand)
-  Csc diag_factored;  // GETRF(kCV1) of diag_raw (GESSM/TSTRF operand)
-  Csc panel;          // rectangular RHS/update block
-  Csc ssssm_a, ssssm_b, ssssm_c;
+  CscT<V> diag_raw;       // band block, unfactored (GETRF operand)
+  CscT<V> diag_factored;  // GETRF(kCV1) of diag_raw (GESSM/TSTRF operand)
+  CscT<V> panel;          // rectangular RHS/update block
+  CscT<V> ssssm_a, ssssm_b, ssssm_c;
 };
 
 struct VariantTimes {
-  std::vector<double> metric;  // one per grid cell
+  std::vector<metric_t> metric;  // one per grid cell
   // times[variant index in the family chain][cell]
-  std::vector<std::vector<double>> times;
+  std::vector<std::vector<seconds_t>> times;
 };
 
 /// Fit every adjacent pair of a family's preference chain and store the
 /// clamped, monotone thresholds through the given member pointers.
 void fit_chain(const VariantTimes& vt,
-               const std::vector<double SelectorThresholds::*>& cuts,
+               const std::vector<metric_t SelectorThresholds::*>& cuts,
                const char* family, const std::vector<std::string>& names,
                SelectorThresholds* out, AutotuneReport* report) {
-  double floor = 1.0;
+  metric_t floor = 1.0;
   for (std::size_t b = 0; b < cuts.size(); ++b) {
     std::vector<PairedSample> samples;
     samples.reserve(vt.metric.size());
     for (std::size_t c = 0; c < vt.metric.size(); ++c)
       samples.push_back(
           {vt.metric[c], vt.times[b][c], vt.times[b + 1][c]});
-    double threshold = fit_crossover(samples);
+    metric_t threshold = fit_crossover(samples);
     // A malformed tree (descending cuts) would shadow variants; clamp to a
     // monotone non-decreasing chain with a positive floor.
     threshold = std::max(threshold, floor);
@@ -174,34 +178,25 @@ void fit_chain(const VariantTimes& vt,
   }
 }
 
-}  // namespace
-
-Status autotune_thresholds(const AutotuneOptions& opts,
-                           SelectorThresholds* out, AutotuneReport* report,
-                           ThreadPool* pool) {
-  if (out == nullptr)
-    return Status::invalid_argument("autotune_thresholds: null output");
-  if (opts.sizes.empty() || opts.densities.empty() || opts.repeats < 1)
-    return Status::invalid_argument("autotune_thresholds: empty grid");
-  for (index_t n : opts.sizes)
-    if (n < 4)
-      return Status::invalid_argument("autotune_thresholds: block size < 4");
-
+template <class V>
+Status autotune_thresholds_impl(const AutotuneOptions& opts,
+                                SelectorThresholds* out,
+                                AutotuneReport* report, ThreadPool* pool) {
   Rng rng(opts.seed);
-  std::vector<GridCell> cells;
+  std::vector<GridCell<V>> cells;
   for (index_t n : opts.sizes) {
-    for (double d : opts.densities) {
-      GridCell cell;
-      cell.diag_raw = band_block(n, d, rng);
+    for (metric_t d : opts.densities) {
+      GridCell<V> cell;
+      cell.diag_raw = band_block<V>(n, d, rng);
       cell.diag_factored = cell.diag_raw;
       Workspace ws;
       PivotStats stats;
       Status st = getrf(GetrfVariant::kCV1, cell.diag_factored, ws, &stats);
       if (!st.is_ok()) return st;
-      cell.panel = random_block(n, n, d, rng);
-      cell.ssssm_a = random_block(n, n, d, rng);
-      cell.ssssm_b = random_block(n, n, d, rng);
-      cell.ssssm_c = random_block(n, n, std::min(1.0, 3.0 * d), rng);
+      cell.panel = random_block<V>(n, n, d, rng);
+      cell.ssssm_a = random_block<V>(n, n, d, rng);
+      cell.ssssm_b = random_block<V>(n, n, d, rng);
+      cell.ssssm_c = random_block<V>(n, n, std::min<metric_t>(1.0, 3.0 * d), rng);
       cells.push_back(std::move(cell));
     }
   }
@@ -215,11 +210,11 @@ Status autotune_thresholds(const AutotuneOptions& opts,
         GetrfVariant::kCV1, GetrfVariant::kGV1, GetrfVariant::kGV2};
     VariantTimes vt;
     vt.times.assign(chain.size(), {});
-    for (const GridCell& cell : cells) {
-      vt.metric.push_back(static_cast<double>(cell.diag_raw.nnz()));
+    for (const GridCell<V>& cell : cells) {
+      vt.metric.push_back(static_cast<metric_t>(cell.diag_raw.nnz()));
       for (std::size_t v = 0; v < chain.size(); ++v) {
-        const double t = time_min(opts.repeats, [&] {
-          Csc a = cell.diag_raw;
+        const seconds_t t = time_min(opts.repeats, [&] {
+          CscT<V> a = cell.diag_raw;
           PivotStats stats;
           Timer timer;
           getrf(chain[v], a, ws, &stats, gopts, pool).check();
@@ -243,11 +238,11 @@ Status autotune_thresholds(const AutotuneOptions& opts,
   {
     VariantTimes vt;
     vt.times.assign(panel_chain.size(), {});
-    for (const GridCell& cell : cells) {
-      vt.metric.push_back(static_cast<double>(cell.panel.nnz()));
+    for (const GridCell<V>& cell : cells) {
+      vt.metric.push_back(static_cast<metric_t>(cell.panel.nnz()));
       for (std::size_t v = 0; v < panel_chain.size(); ++v) {
-        const double t = time_min(opts.repeats, [&] {
-          Csc b = cell.panel;
+        const seconds_t t = time_min(opts.repeats, [&] {
+          CscT<V> b = cell.panel;
           Timer timer;
           gessm(panel_chain[v], cell.diag_factored, b, ws, pool).check();
           return timer.seconds();
@@ -266,11 +261,11 @@ Status autotune_thresholds(const AutotuneOptions& opts,
   {
     VariantTimes vt;
     vt.times.assign(panel_chain.size(), {});
-    for (const GridCell& cell : cells) {
-      vt.metric.push_back(static_cast<double>(cell.panel.nnz()));
+    for (const GridCell<V>& cell : cells) {
+      vt.metric.push_back(static_cast<metric_t>(cell.panel.nnz()));
       for (std::size_t v = 0; v < panel_chain.size(); ++v) {
-        const double t = time_min(opts.repeats, [&] {
-          Csc b = cell.panel;
+        const seconds_t t = time_min(opts.repeats, [&] {
+          CscT<V> b = cell.panel;
           Timer timer;
           tstrf(panel_chain[v], cell.diag_factored, b, ws, pool).check();
           return timer.seconds();
@@ -294,11 +289,11 @@ Status autotune_thresholds(const AutotuneOptions& opts,
         SsssmVariant::kGV1, SsssmVariant::kGV2};
     VariantTimes vt;
     vt.times.assign(chain.size(), {});
-    for (const GridCell& cell : cells) {
+    for (const GridCell<V>& cell : cells) {
       vt.metric.push_back(ssssm_flops(cell.ssssm_a, cell.ssssm_b));
       for (std::size_t v = 0; v < chain.size(); ++v) {
-        const double t = time_min(opts.repeats, [&] {
-          Csc c = cell.ssssm_c;
+        const seconds_t t = time_min(opts.repeats, [&] {
+          CscT<V> c = cell.ssssm_c;
           Timer timer;
           ssssm(chain[v], cell.ssssm_a, cell.ssssm_b, c, ws, pool).check();
           return timer.seconds();
@@ -316,11 +311,37 @@ Status autotune_thresholds(const AutotuneOptions& opts,
   return Status::ok();
 }
 
-Status save_thresholds(const std::string& path, const SelectorThresholds& t) {
+}  // namespace
+
+Status autotune_thresholds(const AutotuneOptions& opts,
+                           SelectorThresholds* out, AutotuneReport* report,
+                           ThreadPool* pool) {
+  if (out == nullptr)
+    return Status::invalid_argument("autotune_thresholds: null output");
+  if (opts.sizes.empty() || opts.densities.empty() || opts.repeats < 1)
+    return Status::invalid_argument("autotune_thresholds: empty grid");
+  for (index_t n : opts.sizes)
+    if (n < 4)
+      return Status::invalid_argument("autotune_thresholds: block size < 4");
+
+  // kSingle and kMixedIR both execute their numeric phase on FP32 blocks,
+  // so both calibrate the float kernel instantiations.
+  if (stores_fp32(opts.precision))
+    return autotune_thresholds_impl<
+        PrecisionTraits<Precision::kSingle>::value_type>(opts, out, report,
+                                                         pool);
+  return autotune_thresholds_impl<
+      PrecisionTraits<Precision::kDouble>::value_type>(opts, out, report,
+                                                       pool);
+}
+
+Status save_thresholds(const std::string& path, const SelectorThresholds& t,
+                       Precision precision) {
   std::ofstream out(path);
   if (!out)
     return Status::io_error("save_thresholds: cannot open " + path);
   out << "# PanguLU kernel selector thresholds (see kernels/calibrate.hpp)\n";
+  out << "precision " << precision_name(precision) << '\n';
   out << std::setprecision(17);
   for (const auto& f : kThresholdFields) out << f.key << ' ' << t.*f.ptr << '\n';
   out.flush();
@@ -328,9 +349,12 @@ Status save_thresholds(const std::string& path, const SelectorThresholds& t) {
   return Status::ok();
 }
 
-Status load_thresholds(const std::string& path, SelectorThresholds* out) {
+Status load_thresholds(const std::string& path, SelectorThresholds* out,
+                       Precision* file_precision) {
   if (out == nullptr)
     return Status::invalid_argument("load_thresholds: null output");
+  // Pre-precision files carry no marker and were always FP64-calibrated.
+  if (file_precision) *file_precision = Precision::kDouble;
   std::ifstream in(path);
   if (!in)
     return Status::io_error("load_thresholds: cannot open " + path);
@@ -339,8 +363,27 @@ Status load_thresholds(const std::string& path, SelectorThresholds* out) {
     if (line.empty() || line[0] == '#') continue;
     std::istringstream ls(line);
     std::string key;
-    double value = 0;
-    if (!(ls >> key >> value))
+    if (!(ls >> key))
+      return Status::io_error("load_thresholds: malformed line: " + line);
+    if (key == "precision") {
+      std::string name;
+      if (!(ls >> name))
+        return Status::io_error("load_thresholds: malformed line: " + line);
+      Precision p;
+      if (name == precision_name(Precision::kDouble)) {
+        p = Precision::kDouble;
+      } else if (name == precision_name(Precision::kSingle)) {
+        p = Precision::kSingle;
+      } else if (name == precision_name(Precision::kMixedIR)) {
+        p = Precision::kMixedIR;
+      } else {
+        return Status::io_error("load_thresholds: unknown precision: " + name);
+      }
+      if (file_precision) *file_precision = p;
+      continue;
+    }
+    metric_t value = 0;
+    if (!(ls >> value))
       return Status::io_error("load_thresholds: malformed line: " + line);
     bool known = false;
     for (const auto& f : kThresholdFields) {

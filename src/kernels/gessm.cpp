@@ -11,10 +11,49 @@ namespace pangulu::kernels {
 
 namespace {
 
+/// Dense-column fast path shared by every addressing strategy: when B's
+/// column holds every row of the block, a row IS its value position (jb + r)
+/// — no slot map, search or merge needed — and a fully dense strictly-lower
+/// tail of L's pivot column turns the update into a contiguous axpy, the
+/// vectorizable bandwidth-bound loop where the FP32 instantiation moves half
+/// the bytes of FP64 (DESIGN.md §14). The floating-point operation sequence
+/// is identical to the addressing variants', so results stay bitwise equal.
+/// Returns false when B(:,j) is not dense.
+template <class V>
+bool solve_column_dense(const CscT<V>& l, CscT<V>& b, index_t j) {
+  const nnz_t jb = b.col_begin(j), je = b.col_end(j);
+  const index_t n = b.n_rows();
+  if (je - jb != static_cast<nnz_t>(n)) return false;
+  V* PANGULU_RESTRICT bv = b.values_mut().data() + static_cast<std::size_t>(jb);
+  auto lrows = l.row_idx();
+  const V* lvals = l.values().data();
+  for (index_t k = 0; k < n; ++k) {
+    const V xk = bv[static_cast<std::size_t>(k)];  // final: unit diag
+    if (xk == V(0)) continue;
+    nnz_t lq = l.col_begin(k);
+    const nnz_t lend = l.col_end(k);
+    while (lq < lend && lrows[static_cast<std::size_t>(lq)] <= k) ++lq;
+    if (lend - lq == static_cast<nnz_t>(n - k - 1)) {
+      const V* PANGULU_RESTRICT lc = lvals + static_cast<std::size_t>(lq);
+      V* PANGULU_RESTRICT bt = bv + static_cast<std::size_t>(k) + 1;
+      const index_t m = n - k - 1;
+      for (index_t i = 0; i < m; ++i)
+        bt[static_cast<std::size_t>(i)] -= lc[static_cast<std::size_t>(i)] * xk;
+    } else {
+      for (; lq < lend; ++lq)
+        bv[static_cast<std::size_t>(lrows[static_cast<std::size_t>(lq)])] -=
+            lvals[static_cast<std::size_t>(lq)] * xk;
+    }
+  }
+  return true;
+}
+
 /// Solve one column of B with Merge addressing: for each pivot row k of the
 /// column (ascending), merge L(:,k)'s strictly-lower rows against the tail
 /// of B's column pattern with two pointers.
-void solve_column_merge(const Csc& l, Csc& b, index_t j) {
+template <class V>
+void solve_column_merge(const CscT<V>& l, CscT<V>& b, index_t j) {
+  if (solve_column_dense(l, b, j)) return;
   auto brows = b.row_idx();
   auto bvals = b.values_mut();
   auto lrows = l.row_idx();
@@ -22,8 +61,8 @@ void solve_column_merge(const Csc& l, Csc& b, index_t j) {
   const nnz_t jb = b.col_begin(j), je = b.col_end(j);
   for (nnz_t p = jb; p < je; ++p) {
     const index_t k = brows[static_cast<std::size_t>(p)];
-    const value_t xk = bvals[static_cast<std::size_t>(p)];  // final: unit diag
-    if (xk == value_t(0)) continue;
+    const V xk = bvals[static_cast<std::size_t>(p)];  // final: unit diag
+    if (xk == V(0)) continue;
     // Merge L(:,k) strict-lower with B(:,j) rows after position p.
     nnz_t lq = l.col_begin(k);
     const nnz_t lend = l.col_end(k);
@@ -48,7 +87,9 @@ void solve_column_merge(const Csc& l, Csc& b, index_t j) {
 
 /// Solve one column with Bin-search addressing: each L entry locates its
 /// target row in B's column by binary search.
-void solve_column_binsearch(const Csc& l, Csc& b, index_t j) {
+template <class V>
+void solve_column_binsearch(const CscT<V>& l, CscT<V>& b, index_t j) {
+  if (solve_column_dense(l, b, j)) return;
   auto brows = b.row_idx();
   auto bvals = b.values_mut();
   auto lrows = l.row_idx();
@@ -56,8 +97,8 @@ void solve_column_binsearch(const Csc& l, Csc& b, index_t j) {
   const nnz_t jb = b.col_begin(j), je = b.col_end(j);
   for (nnz_t p = jb; p < je; ++p) {
     const index_t k = brows[static_cast<std::size_t>(p)];
-    const value_t xk = bvals[static_cast<std::size_t>(p)];
-    if (xk == value_t(0)) continue;
+    const V xk = bvals[static_cast<std::size_t>(p)];
+    if (xk == V(0)) continue;
     for (nnz_t lq = l.col_begin(k); lq < l.col_end(k); ++lq) {
       const index_t r = lrows[static_cast<std::size_t>(lq)];
       if (r <= k) continue;
@@ -81,7 +122,10 @@ void solve_column_binsearch(const Csc& l, Csc& b, index_t j) {
 /// lands in its CSC slot; updates whose row carries a stale stamp fall
 /// outside the column pattern and are skipped. The solve runs entirely in
 /// place — no scatter, gather or dense reset.
-void solve_column_direct(const Csc& l, Csc& b, index_t j, Workspace& ws) {
+template <class V>
+void solve_column_direct(const CscT<V>& l, CscT<V>& b, index_t j,
+                         Workspace& ws) {
+  if (solve_column_dense(l, b, j)) return;
   auto brows = b.row_idx();
   auto bvals = b.values_mut();
   auto lrows = l.row_idx();
@@ -95,8 +139,8 @@ void solve_column_direct(const Csc& l, Csc& b, index_t j, Workspace& ws) {
   }
   for (nnz_t p = jb; p < je; ++p) {
     const index_t k = brows[static_cast<std::size_t>(p)];
-    const value_t xk = bvals[static_cast<std::size_t>(p)];  // final: unit diag
-    if (xk == value_t(0)) continue;
+    const V xk = bvals[static_cast<std::size_t>(p)];  // final: unit diag
+    if (xk == V(0)) continue;
     for (nnz_t lq = l.col_begin(k); lq < l.col_end(k); ++lq) {
       const auto r = static_cast<std::size_t>(lrows[static_cast<std::size_t>(lq)]);
       if (static_cast<index_t>(r) <= k) continue;
@@ -109,14 +153,16 @@ void solve_column_direct(const Csc& l, Csc& b, index_t j, Workspace& ws) {
 
 }  // namespace
 
-Status gessm(PanelVariant variant, const Csc& diag, Csc& b, Workspace& ws,
-             ThreadPool* pool) {
+template <class V>
+Status gessm(PanelVariant variant, const CscT<V>& diag, CscT<V>& b,
+             Workspace& ws, ThreadPool* pool) {
   if (diag.n_rows() != diag.n_cols())
     return Status::invalid_argument("gessm: square diagonal block expected");
   if (diag.n_cols() != b.n_rows())
     return Status::invalid_argument("gessm: dimension mismatch");
   const index_t n = diag.n_rows();
   const index_t ncols = b.n_cols();
+  SubnormalGuard<V> ftz;
 
   switch (variant) {
     case PanelVariant::kCV1:
@@ -129,8 +175,10 @@ Status gessm(PanelVariant variant, const Csc& diag, Csc& b, Workspace& ws,
     }
     case PanelVariant::kGV1: {
       ThreadPool& tp = pool ? *pool : ThreadPool::global();
-      parallel_for(tp, 0, ncols,
-                   [&](index_t j) { solve_column_binsearch(diag, b, j); });
+      parallel_for(tp, 0, ncols, [&](index_t j) {
+        SubnormalGuard<V> worker_ftz;
+        solve_column_binsearch(diag, b, j);
+      });
       return Status::ok();
     }
     case PanelVariant::kGV2: {
@@ -142,6 +190,7 @@ Status gessm(PanelVariant variant, const Csc& diag, Csc& b, Workspace& ws,
       ThreadPool& tp = pool ? *pool : ThreadPool::global();
       std::atomic<index_t> cursor{0};
       auto work = [&]() {
+        SubnormalGuard<V> worker_ftz;
         for (;;) {
           index_t j = cursor.fetch_add(1, std::memory_order_relaxed);
           if (j >= ncols) return;
@@ -169,6 +218,7 @@ Status gessm(PanelVariant variant, const Csc& diag, Csc& b, Workspace& ws,
       // Per-chunk pooled scratch: each contiguous chunk leases a child
       // workspace, so memory stays bounded by the active thread count.
       parallel_for_chunks(tp, 0, ncols, [&](index_t lo, index_t hi) {
+        SubnormalGuard<V> worker_ftz;
         Workspace::Lease lw(ws);
         lw->ensure(n);
         for (index_t j = lo; j < hi; ++j) solve_column_direct(diag, b, j, *lw);
@@ -179,59 +229,63 @@ Status gessm(PanelVariant variant, const Csc& diag, Csc& b, Workspace& ws,
       // Parallel Merge addressing: columns are independent and the merge
       // needs no scratch, matching the GPU merge kernels of Table 1.
       ThreadPool& tp = pool ? *pool : ThreadPool::global();
-      parallel_for(tp, 0, ncols,
-                   [&](index_t j) { solve_column_merge(diag, b, j); });
+      parallel_for(tp, 0, ncols, [&](index_t j) {
+        SubnormalGuard<V> worker_ftz;
+        solve_column_merge(diag, b, j);
+      });
       return Status::ok();
     }
   }
   return Status::internal("unreachable");
 }
 
-void gessm_dense_panel(const Csc& diag, value_t* x, index_t stride,
-                       index_t k) {
+template <class V>
+void gessm_dense_panel(const CscT<V>& diag, V* x, index_t stride, index_t k) {
   for (index_t j = 0; j < diag.n_cols(); ++j) {
     // x[c][j] is final once the sweep reaches column j (only rows > j are
     // written below), so reading it per entry matches the single-vector
     // sweep that hoists it out of the entry loop.
-    const value_t* xj = x + static_cast<std::size_t>(j) * stride;
+    const V* xj = x + static_cast<std::size_t>(j) * stride;
     for (nnz_t p = diag.col_begin(j); p < diag.col_end(j); ++p) {
       const index_t r = diag.row_idx()[static_cast<std::size_t>(p)];
       if (r <= j) continue;  // unit diagonal; only the strictly-lower part
-      const value_t v = diag.values()[static_cast<std::size_t>(p)];
-      value_t* xr = x + static_cast<std::size_t>(r) * stride;
+      const V v = diag.values()[static_cast<std::size_t>(p)];
+      V* xr = x + static_cast<std::size_t>(r) * stride;
       for (index_t c = 0; c < k; ++c) {
-        const value_t xcj = xj[c];
-        if (xcj == value_t(0)) continue;
+        const V xcj = xj[c];
+        if (xcj == V(0)) continue;
         xr[c] -= v * xcj;
       }
     }
   }
 }
 
-void gessm_dense_panel_transpose(const Csc& diag, value_t* x, index_t stride,
-                                 index_t k, value_t* acc) {
+template <class V>
+void gessm_dense_panel_transpose(const CscT<V>& diag, V* x, index_t stride,
+                                 index_t k, V* acc) {
   for (index_t j = diag.n_cols() - 1; j >= 0; --j) {
-    for (index_t c = 0; c < k; ++c) acc[c] = value_t(0);
+    for (index_t c = 0; c < k; ++c) acc[c] = V(0);
     for (nnz_t p = diag.col_begin(j); p < diag.col_end(j); ++p) {
       const index_t r = diag.row_idx()[static_cast<std::size_t>(p)];
       if (r <= j) continue;
-      const value_t v = diag.values()[static_cast<std::size_t>(p)];
-      const value_t* xr = x + static_cast<std::size_t>(r) * stride;
+      const V v = diag.values()[static_cast<std::size_t>(p)];
+      const V* xr = x + static_cast<std::size_t>(r) * stride;
       for (index_t c = 0; c < k; ++c) acc[c] += v * xr[c];
     }
-    value_t* xj = x + static_cast<std::size_t>(j) * stride;
+    V* xj = x + static_cast<std::size_t>(j) * stride;
     for (index_t c = 0; c < k; ++c) xj[c] -= acc[c];
   }
 }
 
-Status gessm_reference(const Csc& diag, Csc& b) {
+template <class V>
+Status gessm_reference(const CscT<V>& diag, CscT<V>& b) {
   const index_t n = diag.n_rows();
-  Dense l = Dense::from_csc(diag);
-  Dense d = Dense::from_csc(b);
+  DenseT<V> l = DenseT<V>::from_csc(diag);
+  DenseT<V> d = DenseT<V>::from_csc(b);
   for (index_t j = 0; j < b.n_cols(); ++j) {
     for (index_t k = 0; k < n; ++k) {
-      const value_t xk = d(k, j);  // unit diagonal: already final
-      if (xk == value_t(0)) continue;
+      const V xk = d(k, j);  // unit diagonal: already final
+      if (xk == V(0)) continue;
       for (index_t i = k + 1; i < n; ++i) d(i, j) -= l(i, k) * xk;
     }
   }
@@ -242,5 +296,20 @@ Status gessm_reference(const Csc& diag, Csc& b) {
   }
   return Status::ok();
 }
+
+template Status gessm<float>(PanelVariant, const CscT<float>&, CscT<float>&,
+                             Workspace&, ThreadPool*);
+template Status gessm<double>(PanelVariant, const CscT<double>&, CscT<double>&,
+                              Workspace&, ThreadPool*);
+template void gessm_dense_panel<float>(const CscT<float>&, float*, index_t,
+                                       index_t);
+template void gessm_dense_panel<double>(const CscT<double>&, double*, index_t,
+                                        index_t);
+template void gessm_dense_panel_transpose<float>(const CscT<float>&, float*,
+                                                 index_t, index_t, float*);
+template void gessm_dense_panel_transpose<double>(const CscT<double>&, double*,
+                                                  index_t, index_t, double*);
+template Status gessm_reference<float>(const CscT<float>&, CscT<float>&);
+template Status gessm_reference<double>(const CscT<double>&, CscT<double>&);
 
 }  // namespace pangulu::kernels

@@ -23,11 +23,13 @@ namespace pangulu::kernels {
 
 /// `diag` must hold a GETRF-factorised block; only its unit-lower part is
 /// read. `b` is updated in place within its fixed pattern.
-Status gessm(PanelVariant variant, const Csc& diag, Csc& b, Workspace& ws,
-             ThreadPool* pool = nullptr);
+template <class V>
+Status gessm(PanelVariant variant, const CscT<V>& diag, CscT<V>& b,
+             Workspace& ws, ThreadPool* pool = nullptr);
 
 /// Dense reference (tests): forward-substitution on a dense copy.
-Status gessm_reference(const Csc& diag, Csc& b);
+template <class V>
+Status gessm_reference(const CscT<V>& diag, CscT<V>& b);
 
 /// Dense-RHS panel variant for the triangular-solve phase: X <- L^-1 X where
 /// X is an n x k row-interleaved panel — column c of row r at
@@ -36,11 +38,13 @@ Status gessm_reference(const Csc& diag, Csc& b);
 /// k-wide inner loop runs over contiguous memory; per column the operation
 /// sequence (including the zero-skip) is exactly the single-vector sweep's,
 /// so column c of the panel is bitwise identical to solving column c alone.
-void gessm_dense_panel(const Csc& diag, value_t* x, index_t stride, index_t k);
+template <class V>
+void gessm_dense_panel(const CscT<V>& diag, V* x, index_t stride, index_t k);
 
 /// Transposed panel variant: X <- L^-T X (backward sweep, unit diagonal).
 /// `acc` is caller-provided scratch of at least k values.
-void gessm_dense_panel_transpose(const Csc& diag, value_t* x, index_t stride,
-                                 index_t k, value_t* acc);
+template <class V>
+void gessm_dense_panel_transpose(const CscT<V>& diag, V* x, index_t stride,
+                                 index_t k, V* acc);
 
 }  // namespace pangulu::kernels

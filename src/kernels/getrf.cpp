@@ -13,10 +13,53 @@ namespace pangulu::kernels {
 
 namespace {
 
-value_t perturb_pivot(value_t pivot, value_t threshold, PivotStats* stats) {
+template <class V>
+V perturb_pivot(V pivot, V threshold, PivotStats* stats) {
   if (std::abs(pivot) >= threshold) return pivot;
   if (stats) stats->perturbed++;
   return pivot >= 0 ? threshold : -threshold;
+}
+
+/// Dense-column fast path shared by both addressing strategies: when column
+/// j holds every row of the block, a row IS its value position (jb + r) and
+/// every earlier column k < j is present in the upper pattern, so the
+/// left-looking sweep needs no slot map or search — and a dense strictly-
+/// lower source tail turns each update into a contiguous axpy, the
+/// vectorizable bandwidth-bound loop where FP32 moves half the bytes of
+/// FP64 (DESIGN.md §14). Identical floating-point operation sequence to the
+/// addressing variants. Returns false when the column is not dense.
+template <class V>
+bool factor_column_dense(CscT<V>& a, index_t j, V threshold,
+                         PivotStats* stats) {
+  auto rows = a.row_idx();
+  auto vals = a.values_mut();
+  const nnz_t jb = a.col_begin(j), je = a.col_end(j);
+  const index_t n = a.n_rows();
+  if (je - jb != static_cast<nnz_t>(n)) return false;
+  V* PANGULU_RESTRICT cv = vals.data() + static_cast<std::size_t>(jb);
+  for (index_t k = 0; k < j; ++k) {
+    const V xk = cv[static_cast<std::size_t>(k)];  // evolving in place
+    if (xk == V(0)) continue;
+    nnz_t q = a.col_begin(k);
+    const nnz_t qe = a.col_end(k);
+    while (q < qe && rows[static_cast<std::size_t>(q)] <= k) ++q;
+    if (qe - q == static_cast<nnz_t>(n - k - 1)) {
+      const V* PANGULU_RESTRICT lc = vals.data() + static_cast<std::size_t>(q);
+      V* PANGULU_RESTRICT bt = cv + static_cast<std::size_t>(k) + 1;
+      const index_t m = n - k - 1;
+      for (index_t i = 0; i < m; ++i)
+        bt[static_cast<std::size_t>(i)] -= lc[static_cast<std::size_t>(i)] * xk;
+    } else {
+      for (; q < qe; ++q)
+        cv[static_cast<std::size_t>(rows[static_cast<std::size_t>(q)])] -=
+            vals[static_cast<std::size_t>(q)] * xk;
+    }
+  }
+  const V pivot =
+      perturb_pivot(cv[static_cast<std::size_t>(j)], threshold, stats);
+  cv[static_cast<std::size_t>(j)] = pivot;
+  for (index_t i = j + 1; i < n; ++i) cv[static_cast<std::size_t>(i)] /= pivot;
+  return true;
 }
 
 /// Left-looking update of one column, Direct addressing via the stamped
@@ -26,8 +69,10 @@ value_t perturb_pivot(value_t pivot, value_t threshold, PivotStats* stats) {
 /// Updates whose row carries a stale stamp fall outside the column pattern
 /// (contributions that are structurally zero at this block position) and
 /// are skipped — no scatter, gather or O(n_rows) reset.
-void factor_column_direct(Csc& a, index_t j, value_t threshold,
+template <class V>
+void factor_column_direct(CscT<V>& a, index_t j, V threshold,
                           PivotStats* stats, Workspace& ws) {
+  if (factor_column_dense(a, j, threshold, stats)) return;
   auto rows = a.row_idx();
   auto vals = a.values_mut();
   const nnz_t jb = a.col_begin(j), je = a.col_end(j);
@@ -44,8 +89,8 @@ void factor_column_direct(Csc& a, index_t j, value_t threshold,
       diag_pos = p;
       break;
     }
-    const value_t xk = vals[static_cast<std::size_t>(p)];  // evolving in place
-    if (xk == value_t(0)) continue;
+    const V xk = vals[static_cast<std::size_t>(p)];  // evolving in place
+    if (xk == V(0)) continue;
     for (nnz_t q = a.col_begin(k); q < a.col_end(k); ++q) {
       const auto r = static_cast<std::size_t>(rows[static_cast<std::size_t>(q)]);
       if (static_cast<index_t>(r) <= k) continue;
@@ -56,7 +101,7 @@ void factor_column_direct(Csc& a, index_t j, value_t threshold,
   }
   PANGULU_CHECK(diag_pos >= 0 && rows[static_cast<std::size_t>(diag_pos)] == j,
                 "GETRF: diagonal entry missing from block pattern");
-  const value_t pivot =
+  const V pivot =
       perturb_pivot(vals[static_cast<std::size_t>(diag_pos)], threshold, stats);
   vals[static_cast<std::size_t>(diag_pos)] = pivot;
   for (nnz_t p = diag_pos + 1; p < je; ++p)
@@ -66,8 +111,10 @@ void factor_column_direct(Csc& a, index_t j, value_t threshold,
 /// Left-looking update of one column with binary-search addressing: the
 /// evolving column stays in its sparse slots; every read/write locates its
 /// entry with a binary search over the column's (sorted) row list.
-void factor_column_binsearch(Csc& a, index_t j, value_t threshold,
+template <class V>
+void factor_column_binsearch(CscT<V>& a, index_t j, V threshold,
                              PivotStats* stats) {
+  if (factor_column_dense(a, j, threshold, stats)) return;
   auto rows = a.row_idx();
   auto vals = a.values_mut();
   const nnz_t jb = a.col_begin(j), je = a.col_end(j);
@@ -85,13 +132,13 @@ void factor_column_binsearch(Csc& a, index_t j, value_t threshold,
       diag_pos = p;
       break;
     }
-    const value_t xk = vals[static_cast<std::size_t>(p)];
-    if (xk == value_t(0)) continue;
+    const V xk = vals[static_cast<std::size_t>(p)];
+    if (xk == V(0)) continue;
     for (nnz_t q = a.col_begin(k); q < a.col_end(k); ++q) {
       const index_t r = rows[static_cast<std::size_t>(q)];
       if (r <= k) continue;
-      const value_t lrk = vals[static_cast<std::size_t>(q)];
-      if (lrk == value_t(0)) continue;
+      const V lrk = vals[static_cast<std::size_t>(q)];
+      if (lrk == V(0)) continue;
       nnz_t t = find_in_j(r);
       PANGULU_CHECK(t >= 0, "GETRF: update target outside block pattern");
       vals[static_cast<std::size_t>(t)] -= lrk * xk;
@@ -99,7 +146,7 @@ void factor_column_binsearch(Csc& a, index_t j, value_t threshold,
   }
   PANGULU_CHECK(diag_pos >= 0 && rows[static_cast<std::size_t>(diag_pos)] == j,
                 "GETRF: diagonal entry missing from block pattern");
-  const value_t pivot =
+  const V pivot =
       perturb_pivot(vals[static_cast<std::size_t>(diag_pos)], threshold, stats);
   vals[static_cast<std::size_t>(diag_pos)] = pivot;
   for (nnz_t p = diag_pos + 1; p < je; ++p)
@@ -107,13 +154,14 @@ void factor_column_binsearch(Csc& a, index_t j, value_t threshold,
 }
 
 /// C_V1: serial left-looking sweep with stamped Direct addressing.
-Status getrf_c_v1(Csc& a, Workspace& ws, PivotStats* stats,
+template <class V>
+Status getrf_c_v1(CscT<V>& a, Workspace& ws, PivotStats* stats,
                   const GetrfOptions& opts) {
   const index_t n = a.n_cols();
   ws.ensure(n);
-  value_t amax = a.max_abs();
-  if (amax == value_t(0)) amax = value_t(1);
-  const value_t threshold = opts.pivot_tol * amax;
+  V amax = a.max_abs();
+  if (amax == V(0)) amax = V(1);
+  const V threshold = static_cast<V>(opts.pivot_tol) * amax;
   for (index_t j = 0; j < n; ++j)
     factor_column_direct(a, j, threshold, stats, ws);
   return Status::ok();
@@ -125,13 +173,14 @@ Status getrf_c_v1(Csc& a, Workspace& ws, PivotStats* stats,
 /// from a lock-free ring, factor them, and release their dependents. Each
 /// column is written by exactly one worker, so no per-entry locking exists
 /// anywhere — hence "un-sync".
-Status getrf_sflu(Csc& a, Workspace& ws, PivotStats* stats,
+template <class V>
+Status getrf_sflu(CscT<V>& a, Workspace& ws, PivotStats* stats,
                   const GetrfOptions& opts, ThreadPool* pool,
                   bool dense_mapping) {
   const index_t n = a.n_cols();
-  value_t amax = a.max_abs();
-  if (amax == value_t(0)) amax = value_t(1);
-  const value_t threshold = opts.pivot_tol * amax;
+  V amax = a.max_abs();
+  if (amax == V(0)) amax = V(1);
+  const V threshold = static_cast<V>(opts.pivot_tol) * amax;
 
   const RowView rv = RowView::build(a);
   auto rows = a.row_idx();
@@ -162,6 +211,7 @@ Status getrf_sflu(Csc& a, Workspace& ws, PivotStats* stats,
   std::atomic<index_t> perturbed{0};
 
   auto worker = [&]() {
+    SubnormalGuard<V> worker_ftz;
     // Pooled per-worker stamped accumulator (bounded by the worker count,
     // reused across calls) instead of thread_local scratch.
     std::optional<Workspace::Lease> lease;
@@ -229,10 +279,12 @@ Status getrf_sflu(Csc& a, Workspace& ws, PivotStats* stats,
 
 }  // namespace
 
-Status getrf(GetrfVariant variant, Csc& a, Workspace& ws, PivotStats* stats,
-             const GetrfOptions& opts, ThreadPool* pool) {
+template <class V>
+Status getrf(GetrfVariant variant, CscT<V>& a, Workspace& ws,
+             PivotStats* stats, const GetrfOptions& opts, ThreadPool* pool) {
   if (a.n_rows() != a.n_cols())
     return Status::invalid_argument("getrf: square block expected");
+  SubnormalGuard<V> ftz;
   switch (variant) {
     case GetrfVariant::kCV1:
       return getrf_c_v1(a, ws, stats, opts);
@@ -244,21 +296,22 @@ Status getrf(GetrfVariant variant, Csc& a, Workspace& ws, PivotStats* stats,
   return Status::internal("unreachable");
 }
 
-Status getrf_reference(Csc& a, const GetrfOptions& opts) {
+template <class V>
+Status getrf_reference(CscT<V>& a, const GetrfOptions& opts) {
   const index_t n = a.n_cols();
-  Dense d = Dense::from_csc(a);
-  value_t amax = a.max_abs();
-  if (amax == value_t(0)) amax = value_t(1);
-  const value_t threshold = opts.pivot_tol * amax;
+  DenseT<V> d = DenseT<V>::from_csc(a);
+  V amax = a.max_abs();
+  if (amax == V(0)) amax = V(1);
+  const V threshold = static_cast<V>(opts.pivot_tol) * amax;
   for (index_t k = 0; k < n; ++k) {
-    value_t pivot = d(k, k);
+    V pivot = d(k, k);
     if (std::abs(pivot) < threshold)
       pivot = pivot >= 0 ? threshold : -threshold;
     d(k, k) = pivot;
     for (index_t i = k + 1; i < n; ++i) d(i, k) /= pivot;
     for (index_t j = k + 1; j < n; ++j) {
-      const value_t ukj = d(k, j);
-      if (ukj == value_t(0)) continue;
+      const V ukj = d(k, j);
+      if (ukj == V(0)) continue;
       for (index_t i = k + 1; i < n; ++i) d(i, j) -= d(i, k) * ukj;
     }
   }
@@ -269,5 +322,12 @@ Status getrf_reference(Csc& a, const GetrfOptions& opts) {
   }
   return Status::ok();
 }
+
+template Status getrf<float>(GetrfVariant, CscT<float>&, Workspace&,
+                             PivotStats*, const GetrfOptions&, ThreadPool*);
+template Status getrf<double>(GetrfVariant, CscT<double>&, Workspace&,
+                              PivotStats*, const GetrfOptions&, ThreadPool*);
+template Status getrf_reference<float>(CscT<float>&, const GetrfOptions&);
+template Status getrf_reference<double>(CscT<double>&, const GetrfOptions&);
 
 }  // namespace pangulu::kernels

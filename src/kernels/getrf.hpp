@@ -17,15 +17,20 @@ namespace pangulu::kernels {
 
 struct GetrfOptions {
   /// A pivot with |u_kk| < pivot_tol * max|A| is perturbed to that threshold
-  /// (sign preserved) — the static-pivoting fallback.
-  value_t pivot_tol = 1e-14;
+  /// (sign preserved) — the static-pivoting fallback. Control data: held at
+  /// FP64 regardless of the block value type (the threshold is cast into the
+  /// block's precision at use).
+  tolerance_t pivot_tol = 1e-14;
 };
 
-Status getrf(GetrfVariant variant, Csc& a, Workspace& ws, PivotStats* stats,
-             const GetrfOptions& opts = {}, ThreadPool* pool = nullptr);
+template <class V>
+Status getrf(GetrfVariant variant, CscT<V>& a, Workspace& ws,
+             PivotStats* stats, const GetrfOptions& opts = {},
+             ThreadPool* pool = nullptr);
 
 /// Dense reference implementation (tests/benches): factorises via a dense
 /// copy and scatters back; fails when a pivot is exactly zero.
-Status getrf_reference(Csc& a, const GetrfOptions& opts = {});
+template <class V>
+Status getrf_reference(CscT<V>& a, const GetrfOptions& opts = {});
 
 }  // namespace pangulu::kernels

@@ -87,7 +87,8 @@ Addressing addressing_of(SsssmVariant v) {
   return Addressing::kDirect;
 }
 
-RowView RowView::build(const Csc& a) {
+template <class V>
+RowView RowView::build(const CscT<V>& a) {
   RowView rv;
   rv.ptr.assign(static_cast<std::size_t>(a.n_rows()) + 1, 0);
   rv.col.resize(static_cast<std::size_t>(a.nnz()));
@@ -107,7 +108,8 @@ RowView RowView::build(const Csc& a) {
   return rv;
 }
 
-double getrf_flops(const Csc& a) {
+template <class V>
+flops_t getrf_flops(const CscT<V>& a) {
   // Exact right-looking count on the block's own pattern: column k
   // contributes |L_k| divisions + 2|L_k||U_k| update flops, where U_k is the
   // strictly-upper part of row k.
@@ -123,48 +125,51 @@ double getrf_flops(const Csc& a) {
         upper_row[static_cast<std::size_t>(r)]++;
     }
   }
-  double f = 0;
+  flops_t f = 0;
   for (index_t k = 0; k < n; ++k) {
-    double lk = static_cast<double>(lower_col[static_cast<std::size_t>(k)]);
-    double uk = static_cast<double>(upper_row[static_cast<std::size_t>(k)]);
+    flops_t lk = static_cast<flops_t>(lower_col[static_cast<std::size_t>(k)]);
+    flops_t uk = static_cast<flops_t>(upper_row[static_cast<std::size_t>(k)]);
     f += lk + 2.0 * lk * uk;
   }
   return f;
 }
 
-void spmm_sub_panel(const Csc& blk, const value_t* x, index_t xstride,
-                    value_t* y, index_t ystride, index_t k) {
+template <class V>
+void spmm_sub_panel(const CscT<V>& blk, const V* x, index_t xstride, V* y,
+                    index_t ystride, index_t k) {
   for (index_t j = 0; j < blk.n_cols(); ++j) {
-    const value_t* xj = x + static_cast<std::size_t>(j) * xstride;
+    const V* xj = x + static_cast<std::size_t>(j) * xstride;
     for (nnz_t p = blk.col_begin(j); p < blk.col_end(j); ++p) {
       const index_t r = blk.row_idx()[static_cast<std::size_t>(p)];
-      const value_t v = blk.values()[static_cast<std::size_t>(p)];
-      value_t* yr = y + static_cast<std::size_t>(r) * ystride;
+      const V v = blk.values()[static_cast<std::size_t>(p)];
+      V* yr = y + static_cast<std::size_t>(r) * ystride;
       for (index_t c = 0; c < k; ++c) {
-        const value_t xcj = xj[c];
-        if (xcj == value_t(0)) continue;
+        const V xcj = xj[c];
+        if (xcj == V(0)) continue;
         yr[c] -= v * xcj;
       }
     }
   }
 }
 
-void spmm_t_sub_panel(const Csc& blk, const value_t* x, index_t xstride,
-                      value_t* y, index_t ystride, index_t k, value_t* acc) {
+template <class V>
+void spmm_t_sub_panel(const CscT<V>& blk, const V* x, index_t xstride, V* y,
+                      index_t ystride, index_t k, V* acc) {
   for (index_t j = 0; j < blk.n_cols(); ++j) {
-    for (index_t c = 0; c < k; ++c) acc[c] = value_t(0);
+    for (index_t c = 0; c < k; ++c) acc[c] = V(0);
     for (nnz_t p = blk.col_begin(j); p < blk.col_end(j); ++p) {
       const index_t r = blk.row_idx()[static_cast<std::size_t>(p)];
-      const value_t v = blk.values()[static_cast<std::size_t>(p)];
-      const value_t* xr = x + static_cast<std::size_t>(r) * xstride;
+      const V v = blk.values()[static_cast<std::size_t>(p)];
+      const V* xr = x + static_cast<std::size_t>(r) * xstride;
       for (index_t c = 0; c < k; ++c) acc[c] += v * xr[c];
     }
-    value_t* yj = y + static_cast<std::size_t>(j) * ystride;
+    V* yj = y + static_cast<std::size_t>(j) * ystride;
     for (index_t c = 0; c < k; ++c) yj[c] -= acc[c];
   }
 }
 
-double panel_solve_flops(const Csc& diag, const Csc& b, bool lower) {
+template <class V>
+flops_t panel_solve_flops(const CscT<V>& diag, const CscT<V>& b, bool lower) {
   // For each column/row pivot k used by an entry of B, the solve applies the
   // corresponding strictly-triangular column of the diagonal block. Estimate
   // 2 * sum over B entries of the triangular column length at that row.
@@ -177,28 +182,50 @@ double panel_solve_flops(const Csc& diag, const Csc& b, bool lower) {
       if (!lower && r < j) tri_len[static_cast<std::size_t>(j)]++;
     }
   }
-  double f = 0;
+  flops_t f = 0;
   for (index_t j = 0; j < b.n_cols(); ++j) {
     for (nnz_t p = b.col_begin(j); p < b.col_end(j); ++p) {
       index_t r = b.row_idx()[static_cast<std::size_t>(p)];
       // lower solve consumes pivot rows r of B; upper solve pivots columns.
       index_t k = lower ? r : j;
-      f += 2.0 * static_cast<double>(tri_len[static_cast<std::size_t>(k)]) + 1.0;
+      f += 2.0 * static_cast<flops_t>(tri_len[static_cast<std::size_t>(k)]) + 1.0;
     }
   }
   return f;
 }
 
-double ssssm_flops(const Csc& a, const Csc& b) {
+template <class V>
+flops_t ssssm_flops(const CscT<V>& a, const CscT<V>& b) {
   // 2 * sum_k |A(:,k)| * |B(k,:)|; computed via B's row counts.
   std::vector<nnz_t> b_row(static_cast<std::size_t>(b.n_rows()), 0);
   for (index_t r : b.row_idx()) b_row[static_cast<std::size_t>(r)]++;
-  double f = 0;
+  flops_t f = 0;
   for (index_t k = 0; k < a.n_cols(); ++k) {
-    f += 2.0 * static_cast<double>(a.col_end(k) - a.col_begin(k)) *
-         static_cast<double>(b_row[static_cast<std::size_t>(k)]);
+    f += 2.0 * static_cast<flops_t>(a.col_end(k) - a.col_begin(k)) *
+         static_cast<flops_t>(b_row[static_cast<std::size_t>(k)]);
   }
   return f;
 }
+
+template RowView RowView::build<float>(const CscT<float>&);
+template RowView RowView::build<double>(const CscT<double>&);
+template void spmm_sub_panel<float>(const CscT<float>&, const float*, index_t,
+                                    float*, index_t, index_t);
+template void spmm_sub_panel<double>(const CscT<double>&, const double*,
+                                     index_t, double*, index_t, index_t);
+template void spmm_t_sub_panel<float>(const CscT<float>&, const float*,
+                                      index_t, float*, index_t, index_t,
+                                      float*);
+template void spmm_t_sub_panel<double>(const CscT<double>&, const double*,
+                                       index_t, double*, index_t, index_t,
+                                       double*);
+template flops_t getrf_flops<float>(const CscT<float>&);
+template flops_t getrf_flops<double>(const CscT<double>&);
+template flops_t panel_solve_flops<float>(const CscT<float>&,
+                                          const CscT<float>&, bool);
+template flops_t panel_solve_flops<double>(const CscT<double>&,
+                                           const CscT<double>&, bool);
+template flops_t ssssm_flops<float>(const CscT<float>&, const CscT<float>&);
+template flops_t ssssm_flops<double>(const CscT<double>&, const CscT<double>&);
 
 }  // namespace pangulu::kernels

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "kernels/precision.hpp"
 #include "parallel/annotations.hpp"
 #include "sparse/csc.hpp"
 #include "util/types.hpp"
@@ -31,6 +32,15 @@
 namespace pangulu {
 class ThreadPool;
 }
+
+/// No-alias hint for the contiguous dense fast paths: the compiler can only
+/// vectorise the axpy loops when it knows source and target values do not
+/// overlap (they never do — kernels write C, read A/B).
+#if defined(__GNUC__) || defined(__clang__)
+#define PANGULU_RESTRICT __restrict__
+#else
+#define PANGULU_RESTRICT
+#endif
 
 namespace pangulu::kernels {
 
@@ -68,7 +78,10 @@ struct RowView {
   std::vector<index_t> col;      // column index of each entry
   std::vector<nnz_t> val_pos;    // position into the CSC values array
 
-  static RowView build(const Csc& a);
+  /// Pattern-only construction — one instantiation per value type even
+  /// though the view itself is value-free.
+  template <class V>
+  static RowView build(const CscT<V>& a);
 };
 
 /// Reusable scratch of the kernel layer; kernels never allocate on the
@@ -99,7 +112,7 @@ class Workspace {
   std::vector<index_t> stamp;  // row -> generation that wrote the slot
   // Per-column FLOP cache of the current SSSSM call, filled once per kernel
   // invocation and shared by every variant that weighs columns.
-  std::vector<double> col_flops;
+  std::vector<flops_t> col_flops;
 
   void ensure(index_t n) {
     if (static_cast<index_t>(slot.size()) < n) {
@@ -167,20 +180,26 @@ class Workspace {
 /// column the floating-point operation sequence — including the zero-skip —
 /// is exactly the single-vector SpMV-subtract's, so results are bitwise
 /// identical column-for-column.
-void spmm_sub_panel(const Csc& blk, const value_t* x, index_t xstride,
-                    value_t* y, index_t ystride, index_t k);
+template <class V>
+void spmm_sub_panel(const CscT<V>& blk, const V* x, index_t xstride, V* y,
+                    index_t ystride, index_t k);
 
 /// Transposed panel accumulate: Y[:, c] -= Block^T * X[:, c]. `acc` is
 /// caller-provided scratch of at least k values (one dot accumulator per
 /// column).
-void spmm_t_sub_panel(const Csc& blk, const value_t* x, index_t xstride,
-                      value_t* y, index_t ystride, index_t k, value_t* acc);
+template <class V>
+void spmm_t_sub_panel(const CscT<V>& blk, const V* x, index_t xstride, V* y,
+                      index_t ystride, index_t k, V* acc);
 
 /// FLOP estimators (2*mul-add counted as 2 flops, divisions as 1) used for
 /// task weights (§4.2), decision trees (§4.3) and the device time model.
-double getrf_flops(const Csc& a);
-double panel_solve_flops(const Csc& diag, const Csc& b, bool lower);
-double ssssm_flops(const Csc& a, const Csc& b);
+/// Pattern-only, so the count is identical at both precisions.
+template <class V>
+flops_t getrf_flops(const CscT<V>& a);
+template <class V>
+flops_t panel_solve_flops(const CscT<V>& diag, const CscT<V>& b, bool lower);
+template <class V>
+flops_t ssssm_flops(const CscT<V>& a, const CscT<V>& b);
 
 /// Statistics of perturbed pivots (static pivoting fallback, like
 /// SuperLU_DIST's GESP): a pivot smaller than tol*max|A| is replaced.

@@ -3,7 +3,7 @@
 namespace pangulu::kernels {
 
 GetrfVariant select_getrf(nnz_t nnz_a, const SelectorThresholds& t) {
-  const auto nz = static_cast<double>(nnz_a);
+  const auto nz = static_cast<metric_t>(nnz_a);
   if (nz < t.getrf_cpu_nnz) return GetrfVariant::kCV1;
   if (nz < t.getrf_gv1_nnz) return GetrfVariant::kGV1;
   return GetrfVariant::kGV2;
@@ -11,10 +11,10 @@ GetrfVariant select_getrf(nnz_t nnz_a, const SelectorThresholds& t) {
 
 PanelVariant select_gessm(nnz_t nnz_b, nnz_t nnz_diag,
                           const SelectorThresholds& t) {
-  const auto nz = static_cast<double>(nnz_b);
+  const auto nz = static_cast<metric_t>(nnz_b);
   // A very large diagonal block would not fit GPU memory alongside the
   // panel: stay on the CPU kernels (the "nnz_A < 5e6" guard of Figure 8).
-  if (static_cast<double>(nnz_diag) >= t.panel_huge_diag_nnz)
+  if (static_cast<metric_t>(nnz_diag) >= t.panel_huge_diag_nnz)
     return nz < t.gessm_cv1_nnz ? PanelVariant::kCV1 : PanelVariant::kCV2;
   if (nz < t.gessm_cv1_nnz) return PanelVariant::kCV1;
   if (nz < t.gessm_cv2_nnz) return PanelVariant::kCV2;
@@ -26,8 +26,8 @@ PanelVariant select_gessm(nnz_t nnz_b, nnz_t nnz_diag,
 
 PanelVariant select_tstrf(nnz_t nnz_b, nnz_t nnz_diag,
                           const SelectorThresholds& t) {
-  const auto nz = static_cast<double>(nnz_b);
-  if (static_cast<double>(nnz_diag) >= t.panel_huge_diag_nnz)
+  const auto nz = static_cast<metric_t>(nnz_b);
+  if (static_cast<metric_t>(nnz_diag) >= t.panel_huge_diag_nnz)
     return nz < t.tstrf_cv1_nnz ? PanelVariant::kCV1 : PanelVariant::kCV2;
   if (nz < t.tstrf_cv1_nnz) return PanelVariant::kCV1;
   if (nz < t.tstrf_cv2_nnz) return PanelVariant::kCV2;
@@ -37,7 +37,7 @@ PanelVariant select_tstrf(nnz_t nnz_b, nnz_t nnz_diag,
   return PanelVariant::kGV3;
 }
 
-SsssmVariant select_ssssm(double flops, const SelectorThresholds& t) {
+SsssmVariant select_ssssm(metric_t flops, const SelectorThresholds& t) {
   if (flops < t.ssssm_cv2_flops) return SsssmVariant::kCV2;
   if (flops < t.ssssm_cv3_flops) return SsssmVariant::kCV3;
   if (flops < t.ssssm_cv1_flops) return SsssmVariant::kCV1;

@@ -16,8 +16,42 @@ namespace {
 /// O(1). Entries whose row carries a stale stamp are outside C's pattern
 /// (structurally zero in the global factorisation) and are skipped — no
 /// scatter, gather or O(n_rows) reset ever happens.
-void column_direct(const Csc& a, const Csc& b, Csc& c, index_t j,
+/// Column j of C -= A * B(:,j) when C(:,j) is fully dense (every row of the
+/// block present). A dense target column needs no slot map at all: row r
+/// lives at cb + r, so sparse A columns scatter by row index directly, and
+/// fully dense A columns reduce to a contiguous axpy — the vectorizable,
+/// bandwidth-bound loop where the FP32 instantiation pays half the memory
+/// traffic of FP64 (DESIGN.md §14). Returns false when C(:,j) is not dense.
+template <class V>
+bool column_dense(const CscT<V>& a, const CscT<V>& b, CscT<V>& c, index_t j) {
+  const nnz_t cb = c.col_begin(j), ce = c.col_end(j);
+  const index_t nrows = a.n_rows();
+  if (ce - cb != static_cast<nnz_t>(nrows)) return false;
+  V* PANGULU_RESTRICT cv = c.values_mut().data() + static_cast<std::size_t>(cb);
+  const auto arows = a.row_idx();
+  const V* av = a.values().data();
+  for (nnz_t q = b.col_begin(j); q < b.col_end(j); ++q) {
+    const index_t k = b.row_idx()[static_cast<std::size_t>(q)];
+    const V bkj = b.values()[static_cast<std::size_t>(q)];
+    if (bkj == V(0)) continue;
+    const nnz_t ab = a.col_begin(k), ae = a.col_end(k);
+    if (ae - ab == static_cast<nnz_t>(nrows)) {
+      const V* PANGULU_RESTRICT ac = av + static_cast<std::size_t>(ab);
+      for (index_t i = 0; i < nrows; ++i)
+        cv[static_cast<std::size_t>(i)] -= ac[static_cast<std::size_t>(i)] * bkj;
+    } else {
+      for (nnz_t p = ab; p < ae; ++p)
+        cv[static_cast<std::size_t>(arows[static_cast<std::size_t>(p)])] -=
+            av[static_cast<std::size_t>(p)] * bkj;
+    }
+  }
+  return true;
+}
+
+template <class V>
+void column_direct(const CscT<V>& a, const CscT<V>& b, CscT<V>& c, index_t j,
                    Workspace& ws) {
+  if (column_dense(a, b, c, j)) return;
   auto crows = c.row_idx();
   auto cvals = c.values_mut();
   const nnz_t cb = c.col_begin(j), ce = c.col_end(j);
@@ -29,8 +63,8 @@ void column_direct(const Csc& a, const Csc& b, Csc& c, index_t j,
   }
   for (nnz_t q = b.col_begin(j); q < b.col_end(j); ++q) {
     const index_t k = b.row_idx()[static_cast<std::size_t>(q)];
-    const value_t bkj = b.values()[static_cast<std::size_t>(q)];
-    if (bkj == value_t(0)) continue;
+    const V bkj = b.values()[static_cast<std::size_t>(q)];
+    if (bkj == V(0)) continue;
     for (nnz_t p = a.col_begin(k); p < a.col_end(k); ++p) {
       const auto r = static_cast<std::size_t>(a.row_idx()[static_cast<std::size_t>(p)]);
       if (ws.stamp[r] != gen) continue;
@@ -42,17 +76,20 @@ void column_direct(const Csc& a, const Csc& b, Csc& c, index_t j,
 
 /// Column j of C -= A * B(:,j), Bin-search addressing: each product entry
 /// locates its slot in C's column by binary search.
-void column_binsearch(const Csc& a, const Csc& b, Csc& c, index_t j) {
+template <class V>
+void column_binsearch(const CscT<V>& a, const CscT<V>& b, CscT<V>& c,
+                      index_t j) {
+  if (column_dense(a, b, c, j)) return;
   auto crows = c.row_idx();
   auto cvals = c.values_mut();
   const nnz_t cb = c.col_begin(j), ce = c.col_end(j);
   for (nnz_t q = b.col_begin(j); q < b.col_end(j); ++q) {
     const index_t k = b.row_idx()[static_cast<std::size_t>(q)];
-    const value_t bkj = b.values()[static_cast<std::size_t>(q)];
-    if (bkj == value_t(0)) continue;
+    const V bkj = b.values()[static_cast<std::size_t>(q)];
+    if (bkj == V(0)) continue;
     for (nnz_t p = a.col_begin(k); p < a.col_end(k); ++p) {
-      const value_t aik = a.values()[static_cast<std::size_t>(p)];
-      if (aik == value_t(0)) continue;
+      const V aik = a.values()[static_cast<std::size_t>(p)];
+      if (aik == V(0)) continue;
       const index_t r = a.row_idx()[static_cast<std::size_t>(p)];
       auto first = crows.begin() + cb;
       auto last = crows.begin() + ce;
@@ -66,7 +103,9 @@ void column_binsearch(const Csc& a, const Csc& b, Csc& c, index_t j) {
 /// Column j of C -= A * B(:,j), Merge addressing (the paper's third
 /// strategy): both A's column and C's column keep ascending row order, so
 /// one two-pointer sweep pairs every product entry with its target slot.
-void column_merge(const Csc& a, const Csc& b, Csc& c, index_t j) {
+template <class V>
+void column_merge(const CscT<V>& a, const CscT<V>& b, CscT<V>& c, index_t j) {
+  if (column_dense(a, b, c, j)) return;
   auto crows = c.row_idx();
   auto cvals = c.values_mut();
   const nnz_t cb = c.col_begin(j), ce = c.col_end(j);
@@ -74,8 +113,8 @@ void column_merge(const Csc& a, const Csc& b, Csc& c, index_t j) {
   auto avals = a.values();
   for (nnz_t q = b.col_begin(j); q < b.col_end(j); ++q) {
     const index_t k = b.row_idx()[static_cast<std::size_t>(q)];
-    const value_t bkj = b.values()[static_cast<std::size_t>(q)];
-    if (bkj == value_t(0)) continue;
+    const V bkj = b.values()[static_cast<std::size_t>(q)];
+    if (bkj == V(0)) continue;
     nnz_t ap = a.col_begin(k);
     const nnz_t ae = a.col_end(k);
     nnz_t cp = cb;
@@ -97,18 +136,20 @@ void column_merge(const Csc& a, const Csc& b, Csc& c, index_t j) {
 }
 
 /// FLOPs of one target column: 2 * sum over B(:,j) entries of |A(:,k)|.
-double column_flops(const Csc& a, const Csc& b, index_t j) {
-  double f = 0;
+template <class V>
+flops_t column_flops(const CscT<V>& a, const CscT<V>& b, index_t j) {
+  flops_t f = 0;
   for (nnz_t q = b.col_begin(j); q < b.col_end(j); ++q) {
     const index_t k = b.row_idx()[static_cast<std::size_t>(q)];
-    f += 2.0 * static_cast<double>(a.col_end(k) - a.col_begin(k));
+    f += 2.0 * static_cast<flops_t>(a.col_end(k) - a.col_begin(k));
   }
   return f;
 }
 
 /// Fill the workspace per-column FLOP cache once per kernel invocation; all
 /// variants that weigh columns read from here instead of recomputing.
-void fill_col_flops(const Csc& a, const Csc& b, Workspace& ws) {
+template <class V>
+void fill_col_flops(const CscT<V>& a, const CscT<V>& b, Workspace& ws) {
   const index_t ncols = b.n_cols();
   ws.col_flops.resize(static_cast<std::size_t>(ncols));
   for (index_t j = 0; j < ncols; ++j)
@@ -117,13 +158,15 @@ void fill_col_flops(const Csc& a, const Csc& b, Workspace& ws) {
 
 }  // namespace
 
-Status ssssm(SsssmVariant variant, const Csc& a, const Csc& b, Csc& c,
-             Workspace& ws, ThreadPool* pool) {
+template <class V>
+Status ssssm(SsssmVariant variant, const CscT<V>& a, const CscT<V>& b,
+             CscT<V>& c, Workspace& ws, ThreadPool* pool) {
   if (a.n_cols() != b.n_rows() || c.n_rows() != a.n_rows() ||
       c.n_cols() != b.n_cols())
     return Status::invalid_argument("ssssm: shape mismatch");
   const index_t ncols = b.n_cols();
   const index_t nrows = a.n_rows();
+  SubnormalGuard<V> ftz;
 
   switch (variant) {
     case SsssmVariant::kCV1: {
@@ -132,13 +175,13 @@ Status ssssm(SsssmVariant variant, const Csc& a, const Csc& b, Csc& c,
       // stamp-mapped target columns.
       ws.ensure(nrows);
       fill_col_flops(a, b, ws);
-      const double total =
-          std::accumulate(ws.col_flops.begin(), ws.col_flops.end(), 0.0);
+      const flops_t total =
+          std::accumulate(ws.col_flops.begin(), ws.col_flops.end(), flops_t(0));
       const int chunks = 8;
-      const double per_chunk = total / chunks;
+      const flops_t per_chunk = total / chunks;
       // The chunk boundaries only affect traversal order/locality here, but
       // they are exactly the split a multicore C_V1 would hand its threads.
-      double acc = 0;
+      flops_t acc = 0;
       for (index_t j = 0; j < ncols; ++j) {
         column_direct(a, b, c, j, ws);
         acc += ws.col_flops[static_cast<std::size_t>(j)];
@@ -171,8 +214,9 @@ Status ssssm(SsssmVariant variant, const Csc& a, const Csc& b, Csc& c,
       // (no slot registration cost). Column weights come from the cache.
       ThreadPool& tp = pool ? *pool : ThreadPool::global();
       fill_col_flops(a, b, ws);
-      const double dense_threshold = 4.0 * static_cast<double>(nrows);
+      const flops_t dense_threshold = 4.0 * static_cast<flops_t>(nrows);
       parallel_for_chunks(tp, 0, ncols, [&](index_t lo, index_t hi) {
+        SubnormalGuard<V> worker_ftz;
         Workspace::Lease lw(ws);
         lw->ensure(nrows);
         for (index_t j = lo; j < hi; ++j) {
@@ -187,6 +231,7 @@ Status ssssm(SsssmVariant variant, const Csc& a, const Csc& b, Csc& c,
     case SsssmVariant::kGV2: {
       ThreadPool& tp = pool ? *pool : ThreadPool::global();
       parallel_for_chunks(tp, 0, ncols, [&](index_t lo, index_t hi) {
+        SubnormalGuard<V> worker_ftz;
         Workspace::Lease lw(ws);
         lw->ensure(nrows);
         for (index_t j = lo; j < hi; ++j) column_direct(a, b, c, j, *lw);
@@ -197,18 +242,22 @@ Status ssssm(SsssmVariant variant, const Csc& a, const Csc& b, Csc& c,
       // Parallel Merge addressing: columns are independent and the merge
       // needs no scratch at all, so this is the simplest parallel variant.
       ThreadPool& tp = pool ? *pool : ThreadPool::global();
-      parallel_for(tp, 0, ncols, [&](index_t j) { column_merge(a, b, c, j); });
+      parallel_for(tp, 0, ncols, [&](index_t j) {
+        SubnormalGuard<V> worker_ftz;
+        column_merge(a, b, c, j);
+      });
       return Status::ok();
     }
   }
   return Status::internal("unreachable");
 }
 
-Status ssssm_reference(const Csc& a, const Csc& b, Csc& c) {
-  Dense da = Dense::from_csc(a);
-  Dense db = Dense::from_csc(b);
-  Dense dc = Dense::from_csc(c);
-  Dense::gemm_sub(da, db, dc);
+template <class V>
+Status ssssm_reference(const CscT<V>& a, const CscT<V>& b, CscT<V>& c) {
+  DenseT<V> da = DenseT<V>::from_csc(a);
+  DenseT<V> db = DenseT<V>::from_csc(b);
+  DenseT<V> dc = DenseT<V>::from_csc(c);
+  DenseT<V>::gemm_sub(da, db, dc);
   for (index_t j = 0; j < c.n_cols(); ++j) {
     for (nnz_t p = c.col_begin(j); p < c.col_end(j); ++p)
       c.values_mut()[static_cast<std::size_t>(p)] =
@@ -216,5 +265,16 @@ Status ssssm_reference(const Csc& a, const Csc& b, Csc& c) {
   }
   return Status::ok();
 }
+
+template Status ssssm<float>(SsssmVariant, const CscT<float>&,
+                             const CscT<float>&, CscT<float>&, Workspace&,
+                             ThreadPool*);
+template Status ssssm<double>(SsssmVariant, const CscT<double>&,
+                              const CscT<double>&, CscT<double>&, Workspace&,
+                              ThreadPool*);
+template Status ssssm_reference<float>(const CscT<float>&, const CscT<float>&,
+                                       CscT<float>&);
+template Status ssssm_reference<double>(const CscT<double>&,
+                                        const CscT<double>&, CscT<double>&);
 
 }  // namespace pangulu::kernels

@@ -27,10 +27,12 @@ namespace pangulu::kernels {
 /// Requires a.n_cols() == b.n_rows(), c.n_rows() == a.n_rows(),
 /// c.n_cols() == b.n_cols(). Product entries outside C's pattern are
 /// structurally guaranteed absent in the solver pipeline (fill closure).
-Status ssssm(SsssmVariant variant, const Csc& a, const Csc& b, Csc& c,
-             Workspace& ws, ThreadPool* pool = nullptr);
+template <class V>
+Status ssssm(SsssmVariant variant, const CscT<V>& a, const CscT<V>& b,
+             CscT<V>& c, Workspace& ws, ThreadPool* pool = nullptr);
 
 /// Dense reference (tests).
-Status ssssm_reference(const Csc& a, const Csc& b, Csc& c);
+template <class V>
+Status ssssm_reference(const CscT<V>& a, const CscT<V>& b, CscT<V>& c);
 
 }  // namespace pangulu::kernels

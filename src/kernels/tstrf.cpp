@@ -12,9 +12,38 @@ namespace pangulu::kernels {
 
 namespace {
 
+/// Dense-target fast path shared by Merge and Bin-search addressing: when
+/// B's target column holds every row, a source row IS its value position, so
+/// the update scatters directly — and a dense source column makes it a
+/// contiguous axpy, the vectorizable loop where FP32 halves the traffic
+/// (DESIGN.md §14). Same subtraction order as the addressing variants, so
+/// results stay bitwise equal. Returns false when B(:,j) is not dense.
+template <class V>
+bool axpy_dense(CscT<V>& b, index_t k, index_t j, V ukj) {
+  const nnz_t tb = b.col_begin(j), te = b.col_end(j);
+  const auto n = static_cast<nnz_t>(b.n_rows());
+  if (te - tb != n) return false;
+  const nnz_t sb = b.col_begin(k), se = b.col_end(k);
+  V* PANGULU_RESTRICT tv = b.values_mut().data() + static_cast<std::size_t>(tb);
+  const V* sv = b.values().data();
+  if (se - sb == n) {
+    const V* PANGULU_RESTRICT sc = sv + static_cast<std::size_t>(sb);
+    for (nnz_t i = 0; i < n; ++i)
+      tv[static_cast<std::size_t>(i)] -= sc[static_cast<std::size_t>(i)] * ukj;
+  } else {
+    auto brows = b.row_idx();
+    for (nnz_t q = sb; q < se; ++q)
+      tv[static_cast<std::size_t>(brows[static_cast<std::size_t>(q)])] -=
+          sv[static_cast<std::size_t>(q)] * ukj;
+  }
+  return true;
+}
+
 /// Apply column k's contribution to column j with Merge addressing.
 /// Source X(:,k) lives in B.
-void axpy_merge(Csc& b, index_t k, index_t j, value_t ukj) {
+template <class V>
+void axpy_merge(CscT<V>& b, index_t k, index_t j, V ukj) {
+  if (axpy_dense(b, k, j, ukj)) return;
   auto brows = b.row_idx();
   auto bvals = b.values_mut();
   nnz_t sq = b.col_begin(k);
@@ -37,13 +66,15 @@ void axpy_merge(Csc& b, index_t k, index_t j, value_t ukj) {
   }
 }
 
-void axpy_binsearch(Csc& b, index_t k, index_t j, value_t ukj) {
+template <class V>
+void axpy_binsearch(CscT<V>& b, index_t k, index_t j, V ukj) {
+  if (axpy_dense(b, k, j, ukj)) return;
   auto brows = b.row_idx();
   auto bvals = b.values_mut();
   const nnz_t tb = b.col_begin(j), te = b.col_end(j);
   for (nnz_t sq = b.col_begin(k); sq < b.col_end(k); ++sq) {
-    const value_t v = bvals[static_cast<std::size_t>(sq)];
-    if (v == value_t(0)) continue;
+    const V v = bvals[static_cast<std::size_t>(sq)];
+    if (v == V(0)) continue;
     const index_t r = brows[static_cast<std::size_t>(sq)];
     auto first = brows.begin() + tb;
     auto last = brows.begin() + te;
@@ -53,7 +84,8 @@ void axpy_binsearch(Csc& b, index_t k, index_t j, value_t ukj) {
   }
 }
 
-void scale_column(Csc& b, index_t j, value_t ujj) {
+template <class V>
+void scale_column(CscT<V>& b, index_t j, V ujj) {
   auto bvals = b.values_mut();
   for (nnz_t p = b.col_begin(j); p < b.col_end(j); ++p)
     bvals[static_cast<std::size_t>(p)] /= ujj;
@@ -61,10 +93,12 @@ void scale_column(Csc& b, index_t j, value_t ujj) {
 
 /// Process column j fully (all incoming axpys then the divide) with Merge or
 /// Bin-search addressing.
-void solve_column_axpy(const Csc& u, Csc& b, index_t j, Addressing addr) {
+template <class V>
+void solve_column_axpy(const CscT<V>& u, CscT<V>& b, index_t j,
+                       Addressing addr) {
   auto urows = u.row_idx();
   auto uvals = u.values();
-  value_t ujj = value_t(0);
+  V ujj = V(0);
   for (nnz_t q = u.col_begin(j); q < u.col_end(j); ++q) {
     const index_t k = urows[static_cast<std::size_t>(q)];
     if (k > j) break;
@@ -72,14 +106,14 @@ void solve_column_axpy(const Csc& u, Csc& b, index_t j, Addressing addr) {
       ujj = uvals[static_cast<std::size_t>(q)];
       continue;
     }
-    const value_t ukj = uvals[static_cast<std::size_t>(q)];
-    if (ukj == value_t(0)) continue;
+    const V ukj = uvals[static_cast<std::size_t>(q)];
+    if (ukj == V(0)) continue;
     if (addr == Addressing::kMerge)
       axpy_merge(b, k, j, ukj);
     else
       axpy_binsearch(b, k, j, ukj);
   }
-  PANGULU_CHECK(ujj != value_t(0), "TSTRF: zero diagonal in U");
+  PANGULU_CHECK(ujj != V(0), "TSTRF: zero diagonal in U");
   scale_column(b, j, ujj);
 }
 
@@ -87,7 +121,14 @@ void solve_column_axpy(const Csc& u, Csc& b, index_t j, Addressing addr) {
 /// target column's rows are registered under a fresh generation; source
 /// entries whose row carries a stale stamp lie outside the column pattern
 /// and are skipped. Fully in place — no scatter/gather/reset.
-void solve_column_direct(const Csc& u, Csc& b, index_t j, Workspace& ws) {
+template <class V>
+void solve_column_direct(const CscT<V>& u, CscT<V>& b, index_t j,
+                         Workspace& ws) {
+  // Dense target: the axpy path needs no slot registration at all.
+  if (b.col_end(j) - b.col_begin(j) == static_cast<nnz_t>(b.n_rows())) {
+    solve_column_axpy(u, b, j, Addressing::kBinSearch);
+    return;
+  }
   auto urows = u.row_idx();
   auto uvals = u.values();
   auto brows = b.row_idx();
@@ -99,7 +140,7 @@ void solve_column_direct(const Csc& u, Csc& b, index_t j, Workspace& ws) {
     ws.slot[r] = p;
     ws.stamp[r] = gen;
   }
-  value_t ujj = value_t(0);
+  V ujj = V(0);
   for (nnz_t q = u.col_begin(j); q < u.col_end(j); ++q) {
     const index_t k = urows[static_cast<std::size_t>(q)];
     if (k > j) break;
@@ -107,8 +148,8 @@ void solve_column_direct(const Csc& u, Csc& b, index_t j, Workspace& ws) {
       ujj = uvals[static_cast<std::size_t>(q)];
       continue;
     }
-    const value_t ukj = uvals[static_cast<std::size_t>(q)];
-    if (ukj == value_t(0)) continue;
+    const V ukj = uvals[static_cast<std::size_t>(q)];
+    if (ukj == V(0)) continue;
     for (nnz_t sq = b.col_begin(k); sq < b.col_end(k); ++sq) {
       const auto r = static_cast<std::size_t>(brows[static_cast<std::size_t>(sq)]);
       if (ws.stamp[r] != gen) continue;
@@ -116,7 +157,7 @@ void solve_column_direct(const Csc& u, Csc& b, index_t j, Workspace& ws) {
           bvals[static_cast<std::size_t>(sq)] * ukj;
     }
   }
-  PANGULU_CHECK(ujj != value_t(0), "TSTRF: zero diagonal in U");
+  PANGULU_CHECK(ujj != V(0), "TSTRF: zero diagonal in U");
   for (nnz_t p = jb; p < je; ++p) bvals[static_cast<std::size_t>(p)] /= ujj;
 }
 
@@ -124,7 +165,8 @@ void solve_column_direct(const Csc& u, Csc& b, index_t j, Workspace& ws) {
 /// strictly-upper entries of U's column j; a finished column releases its
 /// dependents through U's row structure — dependency counters instead of
 /// barriers. Direct addressing leases a pooled child workspace per worker.
-Status solve_columns_parallel(const Csc& u, Csc& b, ThreadPool* pool,
+template <class V>
+Status solve_columns_parallel(const CscT<V>& u, CscT<V>& b, ThreadPool* pool,
                               Addressing addr, Workspace* ws) {
   const index_t n = u.n_cols();
   auto urows = u.row_idx();
@@ -168,6 +210,7 @@ Status solve_columns_parallel(const Csc& u, Csc& b, ThreadPool* pool,
   };
 
   auto worker = [&]() {
+    SubnormalGuard<V> worker_ftz;
     Workspace* local = nullptr;
     std::optional<Workspace::Lease> lease;
     if (addr == Addressing::kDirect) {
@@ -213,7 +256,8 @@ Status solve_columns_parallel(const Csc& u, Csc& b, ThreadPool* pool,
 
 /// Row-parallel un-sync variant (G_V2): each row of B solves x U = b
 /// independently using a row-major view; no inter-row communication.
-Status solve_rows_parallel(const Csc& u, Csc& b, ThreadPool* pool) {
+template <class V>
+Status solve_rows_parallel(const CscT<V>& u, CscT<V>& b, ThreadPool* pool) {
   const RowView rb = RowView::build(b);
   auto bvals = b.values_mut();
   auto urows = u.row_idx();
@@ -221,6 +265,7 @@ Status solve_rows_parallel(const Csc& u, Csc& b, ThreadPool* pool) {
 
   ThreadPool& tp = pool ? *pool : ThreadPool::global();
   parallel_for(tp, 0, b.n_rows(), [&](index_t i) {
+    SubnormalGuard<V> worker_ftz;
     const nnz_t ib = rb.ptr[static_cast<std::size_t>(i)];
     const nnz_t ie = rb.ptr[static_cast<std::size_t>(i) + 1];
     // Row entries are in ascending column order (RowView::build scans
@@ -229,25 +274,25 @@ Status solve_rows_parallel(const Csc& u, Csc& b, ThreadPool* pool) {
       const index_t k = rb.col[static_cast<std::size_t>(p)];
       const nnz_t kpos = rb.val_pos[static_cast<std::size_t>(p)];
       // Divide by U(k,k) first: x_ik becomes final.
-      value_t ukk = value_t(0);
+      V ukk = V(0);
       for (nnz_t q = u.col_begin(k); q < u.col_end(k); ++q) {
         if (urows[static_cast<std::size_t>(q)] == k) {
           ukk = uvals[static_cast<std::size_t>(q)];
           break;
         }
       }
-      PANGULU_CHECK(ukk != value_t(0), "TSTRF: zero diagonal in U");
-      const value_t xik = bvals[static_cast<std::size_t>(kpos)] / ukk;
+      PANGULU_CHECK(ukk != V(0), "TSTRF: zero diagonal in U");
+      const V xik = bvals[static_cast<std::size_t>(kpos)] / ukk;
       bvals[static_cast<std::size_t>(kpos)] = xik;
-      if (xik == value_t(0)) continue;
+      if (xik == V(0)) continue;
       // Propagate to the later entries of this row: for each target column m
       // the coefficient U(k,m) is located by binary search in U's column m.
       for (nnz_t t = p + 1; t < ie; ++t) {
         const index_t m = rb.col[static_cast<std::size_t>(t)];
         const nnz_t upos = u.find(k, m);
         if (upos < 0) continue;
-        const value_t ukm = u.values()[static_cast<std::size_t>(upos)];
-        if (ukm == value_t(0)) continue;
+        const V ukm = u.values()[static_cast<std::size_t>(upos)];
+        if (ukm == V(0)) continue;
         bvals[static_cast<std::size_t>(rb.val_pos[static_cast<std::size_t>(t)])] -=
             xik * ukm;
       }
@@ -258,13 +303,15 @@ Status solve_rows_parallel(const Csc& u, Csc& b, ThreadPool* pool) {
 
 }  // namespace
 
-Status tstrf(PanelVariant variant, const Csc& diag, Csc& b, Workspace& ws,
-             ThreadPool* pool) {
+template <class V>
+Status tstrf(PanelVariant variant, const CscT<V>& diag, CscT<V>& b,
+             Workspace& ws, ThreadPool* pool) {
   if (diag.n_rows() != diag.n_cols())
     return Status::invalid_argument("tstrf: square diagonal block expected");
   if (diag.n_cols() != b.n_cols())
     return Status::invalid_argument("tstrf: dimension mismatch");
   const index_t n = diag.n_cols();
+  SubnormalGuard<V> ftz;
 
   switch (variant) {
     case PanelVariant::kCV1:
@@ -289,10 +336,10 @@ Status tstrf(PanelVariant variant, const Csc& diag, Csc& b, Workspace& ws,
   return Status::internal("unreachable");
 }
 
-void tstrf_dense_panel(const Csc& diag, value_t* x, index_t stride,
-                       index_t k) {
+template <class V>
+void tstrf_dense_panel(const CscT<V>& diag, V* x, index_t stride, index_t k) {
   for (index_t j = diag.n_cols() - 1; j >= 0; --j) {
-    value_t djj = value_t(0);
+    V djj = V(0);
     nnz_t dp = -1;
     for (nnz_t p = diag.col_begin(j); p < diag.col_end(j); ++p) {
       if (diag.row_idx()[static_cast<std::size_t>(p)] == j) {
@@ -301,57 +348,59 @@ void tstrf_dense_panel(const Csc& diag, value_t* x, index_t stride,
         break;
       }
     }
-    PANGULU_CHECK(dp >= 0 && djj != value_t(0),
+    PANGULU_CHECK(dp >= 0 && djj != V(0),
                   "panel upper solve: missing/zero diagonal");
-    value_t* xj = x + static_cast<std::size_t>(j) * stride;
+    V* xj = x + static_cast<std::size_t>(j) * stride;
     for (index_t c = 0; c < k; ++c) xj[c] /= djj;
     // Entries above the diagonal propagate x[j] upward; x[c][j] is final here.
     for (nnz_t p = diag.col_begin(j); p < dp; ++p) {
       const index_t r = diag.row_idx()[static_cast<std::size_t>(p)];
-      const value_t v = diag.values()[static_cast<std::size_t>(p)];
-      value_t* xr = x + static_cast<std::size_t>(r) * stride;
+      const V v = diag.values()[static_cast<std::size_t>(p)];
+      V* xr = x + static_cast<std::size_t>(r) * stride;
       for (index_t c = 0; c < k; ++c) {
-        const value_t xcj = xj[c];
-        if (xcj == value_t(0)) continue;
+        const V xcj = xj[c];
+        if (xcj == V(0)) continue;
         xr[c] -= v * xcj;
       }
     }
   }
 }
 
-void tstrf_dense_panel_transpose(const Csc& diag, value_t* x, index_t stride,
-                                 index_t k, value_t* acc) {
+template <class V>
+void tstrf_dense_panel_transpose(const CscT<V>& diag, V* x, index_t stride,
+                                 index_t k, V* acc) {
   for (index_t j = 0; j < diag.n_cols(); ++j) {
-    for (index_t c = 0; c < k; ++c) acc[c] = value_t(0);
-    value_t djj = value_t(0);
+    for (index_t c = 0; c < k; ++c) acc[c] = V(0);
+    V djj = V(0);
     for (nnz_t p = diag.col_begin(j); p < diag.col_end(j); ++p) {
       const index_t r = diag.row_idx()[static_cast<std::size_t>(p)];
       if (r < j) {
-        const value_t v = diag.values()[static_cast<std::size_t>(p)];
-        const value_t* xr = x + static_cast<std::size_t>(r) * stride;
+        const V v = diag.values()[static_cast<std::size_t>(p)];
+        const V* xr = x + static_cast<std::size_t>(r) * stride;
         for (index_t c = 0; c < k; ++c) acc[c] += v * xr[c];
       } else if (r == j) {
         djj = diag.values()[static_cast<std::size_t>(p)];
       }
     }
-    PANGULU_CHECK(djj != value_t(0), "panel transpose solve: zero diagonal");
-    value_t* xj = x + static_cast<std::size_t>(j) * stride;
+    PANGULU_CHECK(djj != V(0), "panel transpose solve: zero diagonal");
+    V* xj = x + static_cast<std::size_t>(j) * stride;
     for (index_t c = 0; c < k; ++c) xj[c] = (xj[c] - acc[c]) / djj;
   }
 }
 
-Status tstrf_reference(const Csc& diag, Csc& b) {
+template <class V>
+Status tstrf_reference(const CscT<V>& diag, CscT<V>& b) {
   const index_t n = diag.n_cols();
-  Dense u = Dense::from_csc(diag);
-  Dense d = Dense::from_csc(b);
+  DenseT<V> u = DenseT<V>::from_csc(diag);
+  DenseT<V> d = DenseT<V>::from_csc(b);
   for (index_t j = 0; j < n; ++j) {
     for (index_t k = 0; k < j; ++k) {
-      const value_t ukj = u(k, j);
-      if (ukj == value_t(0)) continue;
+      const V ukj = u(k, j);
+      if (ukj == V(0)) continue;
       for (index_t i = 0; i < d.n_rows(); ++i) d(i, j) -= d(i, k) * ukj;
     }
-    const value_t ujj = u(j, j);
-    PANGULU_CHECK(ujj != value_t(0), "TSTRF reference: zero diagonal");
+    const V ujj = u(j, j);
+    PANGULU_CHECK(ujj != V(0), "TSTRF reference: zero diagonal");
     for (index_t i = 0; i < d.n_rows(); ++i) d(i, j) /= ujj;
   }
   for (index_t j = 0; j < b.n_cols(); ++j) {
@@ -361,5 +410,20 @@ Status tstrf_reference(const Csc& diag, Csc& b) {
   }
   return Status::ok();
 }
+
+template Status tstrf<float>(PanelVariant, const CscT<float>&, CscT<float>&,
+                             Workspace&, ThreadPool*);
+template Status tstrf<double>(PanelVariant, const CscT<double>&, CscT<double>&,
+                              Workspace&, ThreadPool*);
+template void tstrf_dense_panel<float>(const CscT<float>&, float*, index_t,
+                                       index_t);
+template void tstrf_dense_panel<double>(const CscT<double>&, double*, index_t,
+                                        index_t);
+template void tstrf_dense_panel_transpose<float>(const CscT<float>&, float*,
+                                                 index_t, index_t, float*);
+template void tstrf_dense_panel_transpose<double>(const CscT<double>&, double*,
+                                                  index_t, index_t, double*);
+template Status tstrf_reference<float>(const CscT<float>&, CscT<float>&);
+template Status tstrf_reference<double>(const CscT<double>&, CscT<double>&);
 
 }  // namespace pangulu::kernels

@@ -22,11 +22,13 @@ namespace pangulu::kernels {
 
 /// `diag` must hold a GETRF-factorised block; only its upper part (with
 /// diagonal) is read. `b` is updated in place within its fixed pattern.
-Status tstrf(PanelVariant variant, const Csc& diag, Csc& b, Workspace& ws,
-             ThreadPool* pool = nullptr);
+template <class V>
+Status tstrf(PanelVariant variant, const CscT<V>& diag, CscT<V>& b,
+             Workspace& ws, ThreadPool* pool = nullptr);
 
 /// Dense reference (tests).
-Status tstrf_reference(const Csc& diag, Csc& b);
+template <class V>
+Status tstrf_reference(const CscT<V>& diag, CscT<V>& b);
 
 /// Dense-RHS panel variant for the triangular-solve phase: X <- U^-1 X where
 /// X is an n x k row-interleaved panel (column c of row r at
@@ -35,11 +37,13 @@ Status tstrf_reference(const Csc& diag, Csc& b);
 /// factor block serves all k columns over a contiguous inner loop; per
 /// column the operation sequence matches the single-vector upper solve bit
 /// for bit.
-void tstrf_dense_panel(const Csc& diag, value_t* x, index_t stride, index_t k);
+template <class V>
+void tstrf_dense_panel(const CscT<V>& diag, V* x, index_t stride, index_t k);
 
 /// Transposed panel variant: X <- U^-T X (forward sweep). `acc` is
 /// caller-provided scratch of at least k values.
-void tstrf_dense_panel_transpose(const Csc& diag, value_t* x, index_t stride,
-                                 index_t k, value_t* acc);
+template <class V>
+void tstrf_dense_panel_transpose(const CscT<V>& diag, V* x, index_t stride,
+                                 index_t k, V* acc);
 
 }  // namespace pangulu::kernels

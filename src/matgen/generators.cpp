@@ -224,6 +224,39 @@ Csc cage_style(index_t n, int out_degree, std::uint64_t seed) {
   return Csc::from_coo(dominate_diagonal(std::move(coo), 0.5));
 }
 
+Csc shifted_illcond(index_t nx, index_t ny, double kappa) {
+  PANGULU_CHECK(nx >= 2 && ny >= 2, "shifted_illcond: grid dims must be >= 2");
+  PANGULU_CHECK(kappa >= 1.0, "shifted_illcond: kappa must be >= 1");
+  // Eigenvalues of the Dirichlet 5-point Laplacian are known in closed form:
+  // lambda_{ij} = 4 - 2cos(pi i/(nx+1)) - 2cos(pi j/(ny+1)). Shifting the
+  // diagonal by (shift - lambda_min) moves the smallest eigenvalue to
+  // `shift` while leaving the near-null sine mode intact, so the condition
+  // number becomes ~ lambda_max / shift = kappa. Diagonal scaling cannot
+  // remove this: it is spectral, not a grading artefact, which is exactly
+  // what an FP32 factorisation cannot absorb (DESIGN.md §14).
+  const double pi = std::acos(-1.0);
+  const double cx1 = std::cos(pi / static_cast<double>(nx + 1));
+  const double cy1 = std::cos(pi / static_cast<double>(ny + 1));
+  const double lmin = 4.0 - 2.0 * cx1 - 2.0 * cy1;
+  const double lmax = 4.0 + 2.0 * cx1 + 2.0 * cy1;
+  const double shift = lmax / kappa;
+  const double diag = 4.0 - lmin + shift;
+  const index_t n = nx * ny;
+  Coo coo(n, n);
+  auto id = [nx](index_t x, index_t y) { return y * nx + x; };
+  for (index_t y = 0; y < ny; ++y) {
+    for (index_t x = 0; x < nx; ++x) {
+      index_t c = id(x, y);
+      coo.add(c, c, diag);
+      if (x > 0) coo.add(c, id(x - 1, y), -1.0);
+      if (x + 1 < nx) coo.add(c, id(x + 1, y), -1.0);
+      if (y > 0) coo.add(c, id(x, y - 1), -1.0);
+      if (y + 1 < ny) coo.add(c, id(x, y + 1), -1.0);
+    }
+  }
+  return Csc::from_coo(std::move(coo));
+}
+
 Csc random_sparse(index_t n, index_t nnz_per_col, std::uint64_t seed,
                   bool diag_dominant) {
   Rng rng(seed);

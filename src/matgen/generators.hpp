@@ -46,6 +46,16 @@ Csc banded_random(index_t n, index_t bandwidth, double band_density,
 /// shift-like connectivity, moderate fill but very expensive Schur updates.
 Csc cage_style(index_t n, int out_degree, std::uint64_t seed);
 
+/// Genuinely ill-conditioned SPD matrix with condition number ~ kappa: the
+/// Dirichlet 5-point Laplacian on an nx x ny grid, diagonally shifted so
+/// its smallest eigenvalue drops to lambda_max / kappa (the near-null
+/// vector is the smooth sine mode — not a scaling artefact, so no
+/// equilibration can repair it). The mixed-precision test matrix
+/// (DESIGN.md §14): kappa ~ 1e5 makes FP64 iterative refinement over FP32
+/// factors take several sweeps; kappa beyond ~1e8 exceeds what an FP32
+/// factorisation can precondition and drives the refinement-stall path.
+Csc shifted_illcond(index_t nx, index_t ny, double kappa);
+
 /// Uniform random pattern with ~nnz_per_col entries per column; optionally
 /// diagonally dominant. The fuzzing workhorse of the test suite.
 Csc random_sparse(index_t n, index_t nnz_per_col, std::uint64_t seed,

@@ -7,7 +7,6 @@ namespace pangulu::runtime {
 
 namespace {
 
-using block::BlockMatrix;
 using block::Task;
 using block::TaskKind;
 
@@ -18,10 +17,11 @@ constexpr int kMaxRepairDepth = 4;
 
 }  // namespace
 
-std::uint64_t block_checksum(const Csc& blk) {
+template <class V>
+std::uint64_t block_checksum(const CscT<V>& blk) {
   const auto vals = blk.values();
   const auto* bytes = reinterpret_cast<const unsigned char*>(vals.data());
-  const std::size_t n = vals.size() * sizeof(value_t);
+  const std::size_t n = vals.size() * sizeof(V);
   std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV offset basis
   for (std::size_t i = 0; i < n; ++i) {
     h ^= bytes[i];
@@ -30,8 +30,10 @@ std::uint64_t block_checksum(const Csc& blk) {
   return h;
 }
 
-AbftGuard::AbftGuard(BlockMatrix& bm, const std::vector<Task>& tasks,
-                     AbftLevel level, index_t first_task, TaskRunner runner)
+template <class V>
+AbftGuardT<V>::AbftGuardT(block::BlockMatrixT<V>& bm,
+                          const std::vector<Task>& tasks, AbftLevel level,
+                          index_t first_task, TaskRunner runner)
     : bm_(bm),
       tasks_(tasks),
       level_(level),
@@ -42,7 +44,7 @@ AbftGuard::AbftGuard(BlockMatrix& bm, const std::vector<Task>& tasks,
   sum_.resize(nblocks);
   base_.resize(nblocks);
   for (std::size_t b = 0; b < nblocks; ++b) {
-    const Csc& blk = bm_.block(static_cast<nnz_t>(b));
+    const CscT<V>& blk = bm_.block(static_cast<nnz_t>(b));
     sum_[b] = block_checksum(blk);
     base_[b].assign(blk.values().begin(), blk.values().end());
   }
@@ -60,7 +62,8 @@ AbftGuard::AbftGuard(BlockMatrix& bm, const std::vector<Task>& tasks,
   }
 }
 
-Status AbftGuard::ensure_clean(nnz_t pos, int depth) {
+template <class V>
+Status AbftGuardT<V>::ensure_clean(nnz_t pos, int depth) {
   ++stats_.audits;
   const auto b = static_cast<std::size_t>(pos);
   if (block_checksum(bm_.block(pos)) == sum_[b]) return Status::ok();
@@ -73,7 +76,7 @@ Status AbftGuard::ensure_clean(nnz_t pos, int depth) {
   // Restore the armed-time values, then replay this block's committed tasks
   // in canonical order. Sources of replayed tasks are audited first so a
   // corrupt input can never be baked into the "repaired" block.
-  Csc& blk = bm_.block(pos);
+  CscT<V>& blk = bm_.block(pos);
   auto vals = blk.values_mut();
   PANGULU_CHECK(vals.size() == base_[b].size(),
                 "abft: block nnz changed under the guard");
@@ -102,7 +105,8 @@ Status AbftGuard::ensure_clean(nnz_t pos, int depth) {
   return Status::ok();
 }
 
-Status AbftGuard::before_task(index_t t) {
+template <class V>
+Status AbftGuardT<V>::before_task(index_t t) {
   if (level_ == AbftLevel::kOff) return Status::ok();
   const Task& task = tasks_[static_cast<std::size_t>(t)];
   if (task.src_a >= 0) {
@@ -120,7 +124,8 @@ Status AbftGuard::before_task(index_t t) {
   return Status::ok();
 }
 
-void AbftGuard::after_task(index_t t) {
+template <class V>
+void AbftGuardT<V>::after_task(index_t t) {
   const Task& task = tasks_[static_cast<std::size_t>(t)];
   if (level_ != AbftLevel::kOff)
     sum_[static_cast<std::size_t>(task.target)] =
@@ -128,7 +133,8 @@ void AbftGuard::after_task(index_t t) {
   cursor_ = t + 1;
 }
 
-Status AbftGuard::final_sweep() {
+template <class V>
+Status AbftGuardT<V>::final_sweep() {
   if (level_ != AbftLevel::kFull) return Status::ok();
   for (nnz_t pos = 0; pos < static_cast<nnz_t>(sum_.size()); ++pos) {
     Status s = ensure_clean(pos, 0);
@@ -136,5 +142,10 @@ Status AbftGuard::final_sweep() {
   }
   return Status::ok();
 }
+
+template std::uint64_t block_checksum<float>(const CscT<float>&);
+template std::uint64_t block_checksum<double>(const CscT<double>&);
+template class AbftGuardT<float>;
+template class AbftGuardT<double>;
 
 }  // namespace pangulu::runtime

@@ -39,7 +39,8 @@ enum class AbftLevel { kOff = 0, kCheap = 1, kFull = 2 };
 /// FNV-1a 64 over the block's raw value bytes: exact (any single bit flip
 /// changes the sum), cheap (one pass, no multiplies per bit), and
 /// deterministic across hosts of the same endianness.
-std::uint64_t block_checksum(const Csc& blk);
+template <class V>
+std::uint64_t block_checksum(const CscT<V>& blk);
 
 struct AbftStats {
   std::int64_t audits = 0;       // blocks checksummed during audits
@@ -52,15 +53,16 @@ struct AbftStats {
 /// factorisation, `tasks_done` for a resumed one): the armed-time block
 /// values are the replay baseline, so recovery only ever replays tasks in
 /// [first_task, last committed].
-class AbftGuard {
+template <class V>
+class AbftGuardT {
  public:
   /// `runner(t)` must re-execute canonical task `t`'s numerics with the same
   /// kernel variant as the original run (bitwise reproducibility is the
   /// whole point); it must not touch blocks other than t's target.
   using TaskRunner = std::function<Status(index_t)>;
 
-  AbftGuard(block::BlockMatrix& bm, const std::vector<block::Task>& tasks,
-            AbftLevel level, index_t first_task, TaskRunner runner);
+  AbftGuardT(block::BlockMatrixT<V>& bm, const std::vector<block::Task>& tasks,
+             AbftLevel level, index_t first_task, TaskRunner runner);
 
   /// Audit the blocks task `t` is about to read (and, at kFull, its target).
   Status before_task(index_t t);
@@ -82,18 +84,20 @@ class AbftGuard {
   /// recursion against pathological corruption storms.
   Status ensure_clean(nnz_t pos, int depth);
 
-  block::BlockMatrix& bm_;
+  block::BlockMatrixT<V>& bm_;
   const std::vector<block::Task>& tasks_;
   AbftLevel level_;
   index_t first_task_;
   index_t cursor_;  // tasks [first_task_, cursor_) have committed
   TaskRunner runner_;
   std::vector<std::uint64_t> sum_;            // recorded checksum per block
-  std::vector<std::vector<value_t>> base_;    // armed-time values per block
+  std::vector<std::vector<V>> base_;          // armed-time values per block
   // CSR: tasks targeting each block, in canonical order.
   std::vector<nnz_t> by_block_ptr_;
   std::vector<index_t> by_block_task_;
   AbftStats stats_;
 };
+
+using AbftGuard = AbftGuardT<value_t>;
 
 }  // namespace pangulu::runtime

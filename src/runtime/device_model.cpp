@@ -90,8 +90,9 @@ double DeviceModel::barrier_time(rank_t ranks) const {
   return barrier_base_s + barrier_per_rank_s * std::log2(static_cast<double>(ranks)) * 8.0;
 }
 
-std::size_t block_message_bytes(nnz_t nnz, index_t cols) {
-  return static_cast<std::size_t>(nnz) * (sizeof(value_t) + sizeof(index_t)) +
+std::size_t block_message_bytes(nnz_t nnz, index_t cols,
+                                std::size_t value_bytes) {
+  return static_cast<std::size_t>(nnz) * (value_bytes + sizeof(index_t)) +
          static_cast<std::size_t>(cols + 1) * sizeof(nnz_t);
 }
 

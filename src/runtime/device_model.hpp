@@ -104,7 +104,10 @@ struct DeviceModel {
 };
 
 /// Bytes on the wire for a sparse block with `nnz` stored entries (values +
-/// row indices + a column-pointer array of `cols+1` entries).
-std::size_t block_message_bytes(nnz_t nnz, index_t cols);
+/// row indices + a column-pointer array of `cols+1` entries). `value_bytes`
+/// is the stored value width — FP32 pipelines ship half the value payload,
+/// which is exactly the bandwidth saving DESIGN.md §14 banks on.
+std::size_t block_message_bytes(nnz_t nnz, index_t cols,
+                                std::size_t value_bytes = sizeof(value_t));
 
 }  // namespace pangulu::runtime

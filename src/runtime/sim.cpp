@@ -21,7 +21,6 @@ namespace pangulu::runtime {
 
 namespace {
 
-using block::BlockMatrix;
 using block::Mapping;
 using block::Task;
 using block::TaskAdjacency;
@@ -37,9 +36,11 @@ struct TaskPlan {
   double cost = 0;
 };
 
-TaskPlan plan_task(const Task& t, const BlockMatrix& bm, const SimOptions& o) {
+template <class V>
+TaskPlan plan_task(const Task& t, const block::BlockMatrixT<V>& bm,
+                   const SimOptions& o) {
   TaskPlan p;
-  const Csc& target = bm.block(t.target);
+  const CscT<V>& target = bm.block(t.target);
   const double nnz_target = static_cast<double>(target.nnz());
   const double dim = static_cast<double>(target.n_rows());
 
@@ -61,7 +62,7 @@ TaskPlan plan_task(const Task& t, const BlockMatrix& bm, const SimOptions& o) {
     }
     case TaskKind::kGessm:
     case TaskKind::kTstrf: {
-      const Csc& diag = bm.block(t.src_a);
+      const CscT<V>& diag = bm.block(t.src_a);
       kernels::PanelVariant v;
       if (o.policy == KernelPolicy::kFixedCpu)
         v = kernels::PanelVariant::kCV1;
@@ -102,9 +103,10 @@ TaskPlan plan_task(const Task& t, const BlockMatrix& bm, const SimOptions& o) {
 }
 
 /// Execute the task's numerics on the host.
-Status run_numerics(const Task& t, const TaskPlan& p, BlockMatrix& bm,
-                    kernels::Workspace& ws, kernels::PivotStats* pivots,
-                    value_t pivot_tol) {
+template <class V>
+Status run_numerics(const Task& t, const TaskPlan& p,
+                    block::BlockMatrixT<V>& bm, kernels::Workspace& ws,
+                    kernels::PivotStats* pivots, kernels::tolerance_t pivot_tol) {
   switch (t.kind) {
     case TaskKind::kGetrf: {
       kernels::GetrfOptions go;
@@ -269,7 +271,8 @@ namespace {
 /// must still have a live route. PR 1's remapping widened the state space
 /// the scheduler can be in; this is the guard that a bad remap is diagnosed
 /// instead of discovered as a hang.
-Status verify_after_remap(const BlockMatrix& bm,
+template <class V>
+Status verify_after_remap(const block::BlockMatrixT<V>& bm,
                           const std::vector<Task>& tasks,
                           const Mapping& mapping,
                           const std::vector<char>& alive,
@@ -281,7 +284,9 @@ Status verify_after_remap(const BlockMatrix& bm,
   return s;
 }
 
-Status run_sync_free(const BlockMatrix& bm, const std::vector<Task>& tasks,
+template <class V>
+Status run_sync_free(const block::BlockMatrixT<V>& bm,
+                     const std::vector<Task>& tasks,
                      const Mapping& mapping_in, const SimOptions& o,
                      const std::vector<TaskPlan>& plans, SimResult* res) {
   const auto nt = static_cast<index_t>(tasks.size());
@@ -379,9 +384,9 @@ Status run_sync_free(const BlockMatrix& bm, const std::vector<Task>& tasks,
     // Posting a send also occupies the sender briefly (pack + NIC doorbell),
     // which is what throttles very fine-grained block traffic at high rank
     // counts — the communication-bound regime §5.3 reports at 128 GPUs.
-    const Csc& produced = bm.block(task.target);
+    const CscT<V>& produced = bm.block(task.target);
     const std::size_t msg_bytes =
-        block_message_bytes(produced.nnz(), produced.n_cols());
+        block_message_bytes(produced.nnz(), produced.n_cols(), sizeof(V));
     std::vector<rank_t> sent_to;
     for (nnz_t e = g.out_ptr[static_cast<std::size_t>(t)];
          e < g.out_ptr[static_cast<std::size_t>(t) + 1]; ++e) {
@@ -585,9 +590,9 @@ Status run_sync_free(const BlockMatrix& bm, const std::vector<Task>& tasks,
       // checksum (the replay-integrity check of the migration protocol).
       double tmig = 0;
       for (nnz_t pos : moved_pos) {
-        const Csc& blk = bm.block(pos);
+        const CscT<V>& blk = bm.block(pos);
         tmig += o.device.message_time(
-                    block_message_bytes(blk.nnz(), blk.n_cols())) +
+                    block_message_bytes(blk.nnz(), blk.n_cols(), sizeof(V))) +
                 o.device.remap_per_block_s;
         if (o.abft != AbftLevel::kOff) {
           (void)block_checksum(blk);
@@ -689,7 +694,9 @@ Status run_sync_free(const BlockMatrix& bm, const std::vector<Task>& tasks,
   return Status::ok();
 }
 
-Status run_level_set(const BlockMatrix& bm, const std::vector<Task>& tasks,
+template <class V>
+Status run_level_set(const block::BlockMatrixT<V>& bm,
+                     const std::vector<Task>& tasks,
                      const Mapping& mapping_in, const SimOptions& o,
                      const std::vector<TaskPlan>& plans, SimResult* res) {
   res->ranks.assign(static_cast<std::size_t>(o.n_ranks), RankStats{});
@@ -805,9 +812,9 @@ Status run_level_set(const BlockMatrix& bm, const std::vector<Task>& tasks,
       if (!vs.is_ok()) return vs;
       double tmig = 0;
       for (nnz_t pos : moved_pos) {
-        const Csc& blk = bm.block(pos);
+        const CscT<V>& blk = bm.block(pos);
         tmig += o.device.message_time(
-                    block_message_bytes(blk.nnz(), blk.n_cols())) +
+                    block_message_bytes(blk.nnz(), blk.n_cols(), sizeof(V))) +
                 o.device.remap_per_block_s;
         if (o.abft != AbftLevel::kOff) {
           (void)block_checksum(blk);
@@ -868,8 +875,9 @@ Status run_level_set(const BlockMatrix& bm, const std::vector<Task>& tasks,
           if (src < 0 || !ferr.is_ok()) return;
           const rank_t sr = mapping.owner[static_cast<std::size_t>(src)];
           if (sr == r) return;
-          const Csc& blk = bm.block(src);
-          const std::size_t bytes = block_message_bytes(blk.nnz(), blk.n_cols());
+          const CscT<V>& blk = bm.block(src);
+          const std::size_t bytes =
+              block_message_bytes(blk.nnz(), blk.n_cols(), sizeof(V));
           FaultCtx::Transfer tr = faults.transfer(now, bytes);
           if (!tr.ok) {
             ferr = Status::unavailable(
@@ -964,7 +972,9 @@ index_t young_daly_interval_tasks(double mtbf_seconds,
   return static_cast<index_t>(tasks);
 }
 
-Status simulate_factorization(BlockMatrix& bm, const std::vector<Task>& tasks,
+template <class V>
+Status simulate_factorization(block::BlockMatrixT<V>& bm,
+                              const std::vector<Task>& tasks,
                               const Mapping& mapping, const SimOptions& opts,
                               SimResult* result) {
   *result = SimResult{};
@@ -1049,7 +1059,7 @@ Status simulate_factorization(BlockMatrix& bm, const std::vector<Task>& tasks,
       double snapshot_bytes = 0;
       for (nnz_t pos = 0; pos < static_cast<nnz_t>(bm.n_blocks()); ++pos)
         snapshot_bytes +=
-            static_cast<double>(bm.block(pos).nnz()) * sizeof(value_t);
+            static_cast<double>(bm.block(pos).nnz()) * sizeof(V);
       snapshot_bytes += static_cast<double>(bm.n_blocks()) *
                         (sizeof(index_t) + sizeof(nnz_t));
       const double ckpt_cost =
@@ -1066,7 +1076,7 @@ Status simulate_factorization(BlockMatrix& bm, const std::vector<Task>& tasks,
     // repair never perturbs the primary run's state or statistics) — the
     // recomputed block is bitwise identical to the uncorrupted one.
     kernels::Workspace replay_ws;
-    std::optional<AbftGuard> guard;
+    std::optional<AbftGuardT<V>> guard;
     if (opts.abft != AbftLevel::kOff) {
       guard.emplace(bm, tasks, opts.abft, opts.resume_from_task,
                     [&](index_t u) -> Status {
@@ -1125,12 +1135,23 @@ Status simulate_factorization(BlockMatrix& bm, const std::vector<Task>& tasks,
         if (f.block_pos >= static_cast<nnz_t>(bm.n_blocks())) continue;
         auto vals = bm.block(f.block_pos).values_mut();
         if (f.value_index >= static_cast<nnz_t>(vals.size())) continue;
-        std::uint64_t bits;
-        std::memcpy(&bits, &vals[static_cast<std::size_t>(f.value_index)],
-                    sizeof bits);
-        bits ^= std::uint64_t(1) << f.bit;
-        std::memcpy(&vals[static_cast<std::size_t>(f.value_index)], &bits,
-                    sizeof bits);
+        // Flip one bit of the stored value at its native width; bit indices
+        // past the FP32 word wrap so FP64-era fault plans stay usable.
+        if constexpr (sizeof(V) == 4) {
+          std::uint32_t bits;
+          std::memcpy(&bits, &vals[static_cast<std::size_t>(f.value_index)],
+                      sizeof bits);
+          bits ^= std::uint32_t(1) << (f.bit % 32);
+          std::memcpy(&vals[static_cast<std::size_t>(f.value_index)], &bits,
+                      sizeof bits);
+        } else {
+          std::uint64_t bits;
+          std::memcpy(&bits, &vals[static_cast<std::size_t>(f.value_index)],
+                      sizeof bits);
+          bits ^= std::uint64_t(1) << f.bit;
+          std::memcpy(&vals[static_cast<std::size_t>(f.value_index)], &bits,
+                      sizeof bits);
+        }
       }
       const index_t done = t + 1;
       if (ckpt_interval > 0 && opts.checkpoint_sink &&
@@ -1204,5 +1225,14 @@ Status simulate_factorization(BlockMatrix& bm, const std::vector<Task>& tasks,
   }
   return Status::ok();
 }
+
+template Status simulate_factorization(block::BlockMatrixT<float>&,
+                                       const std::vector<Task>&,
+                                       const Mapping&, const SimOptions&,
+                                       SimResult*);
+template Status simulate_factorization(block::BlockMatrixT<double>&,
+                                       const std::vector<Task>&,
+                                       const Mapping&, const SimOptions&,
+                                       SimResult*);
 
 }  // namespace pangulu::runtime

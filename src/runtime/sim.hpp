@@ -57,7 +57,7 @@ struct SimOptions {
   ScheduleMode schedule = ScheduleMode::kSyncFree;
   bool execute_numerics = true;
   kernels::SelectorThresholds thresholds;
-  value_t pivot_tol = 1e-14;
+  kernels::tolerance_t pivot_tol = 1e-14;
   /// Optional: record every task's (rank, start, end) for inspection /
   /// chrome-trace export. Not owned.
   TraceRecorder* trace = nullptr;
@@ -202,8 +202,13 @@ index_t young_daly_interval_tasks(double mtbf_seconds,
 
 /// Run the factorisation. When `opts.execute_numerics`, `bm`'s blocks are
 /// overwritten with the LU factors (diagonal blocks hold L\U, off-diagonal
-/// blocks the panel-solve results).
-Status simulate_factorization(block::BlockMatrix& bm,
+/// blocks the panel-solve results). Templated on the block value type
+/// (DESIGN.md §14): the DES schedulers read only block structure, and the
+/// numerics execute once in canonical order, so the FP32 instantiation
+/// inherits the same schedule-independence guarantee as FP64 — identical
+/// factors bit for bit across rank counts, scheduling modes and fault plans.
+template <class V>
+Status simulate_factorization(block::BlockMatrixT<V>& bm,
                               const std::vector<block::Task>& tasks,
                               const block::Mapping& mapping,
                               const SimOptions& opts, SimResult* result);

@@ -22,7 +22,6 @@ namespace pangulu::runtime {
 
 namespace {
 
-using block::BlockMatrix;
 using block::Task;
 using block::TaskAdjacency;
 using block::TaskKind;
@@ -53,7 +52,9 @@ struct PauseCtl {
 
 }  // namespace
 
-Status threaded_factorize(BlockMatrix& bm, const std::vector<Task>& tasks,
+template <class V>
+Status threaded_factorize(block::BlockMatrixT<V>& bm,
+                          const std::vector<Task>& tasks,
                           const block::Mapping& mapping,
                           const ThreadedOptions& opts) {
   const auto nt = static_cast<index_t>(tasks.size());
@@ -100,7 +101,7 @@ Status threaded_factorize(BlockMatrix& bm, const std::vector<Task>& tasks,
   const bool audit = opts.abft != AbftLevel::kOff;
   std::vector<std::atomic<std::uint64_t>> published(
       audit ? static_cast<std::size_t>(bm.n_blocks()) : 0);
-  std::vector<std::vector<value_t>> base(
+  std::vector<std::vector<V>> base(
       audit ? static_cast<std::size_t>(bm.n_blocks()) : 0);
   std::vector<std::vector<index_t>> by_block(
       audit ? static_cast<std::size_t>(bm.n_blocks()) : 0);
@@ -385,12 +386,22 @@ Status threaded_factorize(BlockMatrix& bm, const std::vector<Task>& tasks,
           if (f.value_index < 0 ||
               f.value_index >= static_cast<nnz_t>(vals.size()))
             continue;
-          std::uint64_t bits;
-          std::memcpy(&bits, &vals[static_cast<std::size_t>(f.value_index)],
-                      sizeof bits);
-          bits ^= std::uint64_t(1) << f.bit;
-          std::memcpy(&vals[static_cast<std::size_t>(f.value_index)], &bits,
-                      sizeof bits);
+          // Native-width flip (bit indices wrap at FP32, matching the DES).
+          if constexpr (sizeof(V) == 4) {
+            std::uint32_t bits;
+            std::memcpy(&bits, &vals[static_cast<std::size_t>(f.value_index)],
+                        sizeof bits);
+            bits ^= std::uint32_t(1) << (f.bit % 32);
+            std::memcpy(&vals[static_cast<std::size_t>(f.value_index)], &bits,
+                        sizeof bits);
+          } else {
+            std::uint64_t bits;
+            std::memcpy(&bits, &vals[static_cast<std::size_t>(f.value_index)],
+                        sizeof bits);
+            bits ^= std::uint64_t(1) << f.bit;
+            std::memcpy(&vals[static_cast<std::size_t>(f.value_index)], &bits,
+                        sizeof bits);
+          }
         }
       }
       busy.store(0, std::memory_order_release);
@@ -437,5 +448,14 @@ Status threaded_factorize(BlockMatrix& bm, const std::vector<Task>& tasks,
   if (remaining.load() != 0) return Status::internal("threaded executor stalled");
   return Status::ok();
 }
+
+template Status threaded_factorize(block::BlockMatrixT<float>&,
+                                   const std::vector<Task>&,
+                                   const block::Mapping&,
+                                   const ThreadedOptions&);
+template Status threaded_factorize(block::BlockMatrixT<double>&,
+                                   const std::vector<Task>&,
+                                   const block::Mapping&,
+                                   const ThreadedOptions&);
 
 }  // namespace pangulu::runtime

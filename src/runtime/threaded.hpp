@@ -11,6 +11,7 @@
 
 #include "block/mapping.hpp"
 #include "block/tasks.hpp"
+#include "kernels/precision.hpp"
 #include "runtime/abft.hpp"
 #include "runtime/fault.hpp"
 #include "util/status.hpp"
@@ -19,7 +20,7 @@ namespace pangulu::runtime {
 
 struct ThreadedOptions {
   rank_t n_ranks = 2;
-  value_t pivot_tol = 1e-14;
+  kernels::tolerance_t pivot_tol = 1e-14;
   // Bounded work stealing: an idle rank-thread raids another rank's ready
   // queue instead of sleeping. Block safety is kept by per-block busy flags
   // (a task mutates exactly its target block), so stealing never lets two
@@ -49,7 +50,12 @@ struct ThreadedOptions {
 };
 
 /// Factorise `bm` in place using `n_ranks` concurrent rank-threads.
-Status threaded_factorize(block::BlockMatrix& bm,
+/// Templated on the block value type: the scheduler state (counters, busy
+/// flags, queues) is value-free, so the FP32 instantiation runs the same
+/// interleavings and commits the same canonical factors as the DES
+/// (DESIGN.md §14 relies on this for cross-executor bitwise identity).
+template <class V>
+Status threaded_factorize(block::BlockMatrixT<V>& bm,
                           const std::vector<block::Task>& tasks,
                           const block::Mapping& mapping,
                           const ThreadedOptions& opts);

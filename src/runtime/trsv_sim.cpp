@@ -12,8 +12,6 @@ namespace pangulu::runtime {
 
 namespace {
 
-using block::BlockMatrix;
-
 // The scalar diagonal-solve and SpMV-subtract sweeps live on as the k = 1
 // case of the panel kernels (kernels/gessm.hpp, tstrf.hpp,
 // kernel_common.hpp), which this file now uses for every run.
@@ -30,8 +28,10 @@ struct Event {
 
 }  // namespace
 
-Status build_trsv_plan(const BlockMatrix& f, const block::Mapping& mapping,
-                       bool lower, const TrsvOptions& opts, TrsvPlan* plan) {
+template <class V>
+Status build_trsv_plan(const block::BlockMatrixT<V>& f,
+                       const block::Mapping& mapping, bool lower,
+                       const TrsvOptions& opts, TrsvPlan* plan) {
   *plan = TrsvPlan{};
   const index_t nb = f.nb();
   if (mapping.n_ranks != opts.n_ranks)
@@ -101,14 +101,14 @@ Status build_trsv_plan(const BlockMatrix& f, const block::Mapping& mapping,
   for (index_t t = 0; t < n_tasks; ++t) {
     index_t seg;
     if (t < nb) {
-      const Csc& d = f.block(plan->diag_pos[static_cast<std::size_t>(t)]);
+      const CscT<V>& d = f.block(plan->diag_pos[static_cast<std::size_t>(t)]);
       plan->cost[static_cast<std::size_t>(t)] = opts.device.sparse_kernel_time(
           /*gpu=*/true, /*direct=*/false, 2.0 * static_cast<double>(d.nnz()),
           static_cast<double>(d.nnz()), grid.block_dim(t));
       seg = t;
     } else {
       const auto u = static_cast<std::size_t>(t - nb);
-      const Csc& blk = f.block(plan->upd_pos[u]);
+      const CscT<V>& blk = f.block(plan->upd_pos[u]);
       plan->cost[static_cast<std::size_t>(t)] = opts.device.sparse_kernel_time(
           true, false, 2.0 * static_cast<double>(blk.nnz()),
           static_cast<double>(blk.nnz()), grid.block_dim(plan->upd_dst[u]));
@@ -124,12 +124,13 @@ Status build_trsv_plan(const BlockMatrix& f, const block::Mapping& mapping,
   plan->seg_bytes.resize(static_cast<std::size_t>(nb));
   for (index_t k = 0; k < nb; ++k)
     plan->seg_bytes[static_cast<std::size_t>(k)] =
-        static_cast<std::size_t>(grid.block_dim(k)) * sizeof(value_t);
+        static_cast<std::size_t>(grid.block_dim(k)) * sizeof(V);
   return Status::ok();
 }
 
-Status simulate_trsv(const BlockMatrix& f, const TrsvPlan& plan,
-                     std::span<value_t> x, const TrsvOptions& opts,
+template <class V>
+Status simulate_trsv(const block::BlockMatrixT<V>& f, const TrsvPlan& plan,
+                     std::type_identity_t<std::span<V>> x, const TrsvOptions& opts,
                      SimResult* result) {
   if (static_cast<index_t>(x.size()) != f.grid().n) {
     *result = SimResult{};
@@ -141,9 +142,11 @@ Status simulate_trsv(const BlockMatrix& f, const TrsvPlan& plan,
   return simulate_trsv_panel(f, plan, x.data(), 1, 1, opts, result);
 }
 
-Status simulate_trsv_panel(const BlockMatrix& f, const TrsvPlan& plan,
-                           value_t* x, index_t stride, index_t k,
-                           const TrsvOptions& opts, SimResult* result) {
+template <class V>
+Status simulate_trsv_panel(const block::BlockMatrixT<V>& f,
+                           const TrsvPlan& plan, V* x, index_t stride,
+                           index_t k, const TrsvOptions& opts,
+                           SimResult* result) {
   *result = SimResult{};
   const index_t nb = plan.nb;
   if (k <= 0) return Status::invalid_argument("trsv: panel width must be >= 1");
@@ -195,9 +198,8 @@ Status simulate_trsv_panel(const BlockMatrix& f, const TrsvPlan& plan,
         plan.cost[static_cast<std::size_t>(t)] * static_cast<double>(k);
     if (opts.execute_numerics) {
       if (t < nb) {
-        value_t* seg =
-            x + static_cast<std::size_t>(grid.block_start(t)) * stride;
-        const Csc& d = f.block(plan.diag_pos[static_cast<std::size_t>(t)]);
+        V* seg = x + static_cast<std::size_t>(grid.block_start(t)) * stride;
+        const CscT<V>& d = f.block(plan.diag_pos[static_cast<std::size_t>(t)]);
         if (lower)
           kernels::gessm_dense_panel(d, seg, stride, k);
         else
@@ -282,9 +284,10 @@ Status simulate_trsv_panel(const BlockMatrix& f, const TrsvPlan& plan,
   return Status::ok();
 }
 
-Status simulate_trsv(const BlockMatrix& f, const block::Mapping& mapping,
-                     bool lower, std::span<value_t> x, const TrsvOptions& opts,
-                     SimResult* result) {
+template <class V>
+Status simulate_trsv(const block::BlockMatrixT<V>& f,
+                     const block::Mapping& mapping, bool lower, std::type_identity_t<std::span<V>> x,
+                     const TrsvOptions& opts, SimResult* result) {
   TrsvPlan plan;
   Status s = build_trsv_plan(f, mapping, lower, opts, &plan);
   if (!s.is_ok()) {
@@ -293,5 +296,30 @@ Status simulate_trsv(const BlockMatrix& f, const block::Mapping& mapping,
   }
   return simulate_trsv(f, plan, x, opts, result);
 }
+
+template Status build_trsv_plan(const block::BlockMatrixT<float>&,
+                                const block::Mapping&, bool,
+                                const TrsvOptions&, TrsvPlan*);
+template Status build_trsv_plan(const block::BlockMatrixT<double>&,
+                                const block::Mapping&, bool,
+                                const TrsvOptions&, TrsvPlan*);
+template Status simulate_trsv(const block::BlockMatrixT<float>&,
+                              const TrsvPlan&, std::span<float>,
+                              const TrsvOptions&, SimResult*);
+template Status simulate_trsv(const block::BlockMatrixT<double>&,
+                              const TrsvPlan&, std::span<double>,
+                              const TrsvOptions&, SimResult*);
+template Status simulate_trsv_panel(const block::BlockMatrixT<float>&,
+                                    const TrsvPlan&, float*, index_t, index_t,
+                                    const TrsvOptions&, SimResult*);
+template Status simulate_trsv_panel(const block::BlockMatrixT<double>&,
+                                    const TrsvPlan&, double*, index_t, index_t,
+                                    const TrsvOptions&, SimResult*);
+template Status simulate_trsv(const block::BlockMatrixT<float>&,
+                              const block::Mapping&, bool, std::span<float>,
+                              const TrsvOptions&, SimResult*);
+template Status simulate_trsv(const block::BlockMatrixT<double>&,
+                              const block::Mapping&, bool, std::span<double>,
+                              const TrsvOptions&, SimResult*);
 
 }  // namespace pangulu::runtime

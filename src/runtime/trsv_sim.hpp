@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "block/layout.hpp"
@@ -61,15 +62,19 @@ struct TrsvPlan {
 
 /// Build the solve schedule for L (lower=true) or U against `f`/`mapping`.
 /// Costs are evaluated against `opts.device`, so the plan must be rebuilt if
-/// the device model changes.
-Status build_trsv_plan(const block::BlockMatrix& f,
+/// the device model changes. Templated on the factor value type: the plan is
+/// pure structure except `seg_bytes`, which bakes in sizeof(V) so an FP32
+/// plan models FP32 message traffic (DESIGN.md §14).
+template <class V>
+Status build_trsv_plan(const block::BlockMatrixT<V>& f,
                        const block::Mapping& mapping, bool lower,
                        const TrsvOptions& opts, TrsvPlan* plan);
 
 /// Run one solve over a prebuilt plan, in place on `x`. Bitwise identical —
 /// numerics, makespan and message counts — to the legacy one-shot overload.
-Status simulate_trsv(const block::BlockMatrix& f, const TrsvPlan& plan,
-                     std::span<value_t> x, const TrsvOptions& opts,
+template <class V>
+Status simulate_trsv(const block::BlockMatrixT<V>& f, const TrsvPlan& plan,
+                     std::type_identity_t<std::span<V>> x, const TrsvOptions& opts,
                      SimResult* result);
 
 /// Panel (multi-RHS) run over a prebuilt plan: `x` is an n x k
@@ -81,13 +86,16 @@ Status simulate_trsv(const block::BlockMatrix& f, const TrsvPlan& plan,
 /// identical to a single-vector run, and with k == 1 the makespan, message
 /// and byte counts also match exactly (the single-vector overload delegates
 /// here).
-Status simulate_trsv_panel(const block::BlockMatrix& f, const TrsvPlan& plan,
-                           value_t* x, index_t stride, index_t k,
-                           const TrsvOptions& opts, SimResult* result);
+template <class V>
+Status simulate_trsv_panel(const block::BlockMatrixT<V>& f,
+                           const TrsvPlan& plan, V* x, index_t stride,
+                           index_t k, const TrsvOptions& opts,
+                           SimResult* result);
 
 /// One-shot convenience: build_trsv_plan + the plan-based run above.
-Status simulate_trsv(const block::BlockMatrix& f, const block::Mapping& mapping,
-                     bool lower, std::span<value_t> x, const TrsvOptions& opts,
-                     SimResult* result);
+template <class V>
+Status simulate_trsv(const block::BlockMatrixT<V>& f,
+                     const block::Mapping& mapping, bool lower, std::type_identity_t<std::span<V>> x,
+                     const TrsvOptions& opts, SimResult* result);
 
 }  // namespace pangulu::runtime

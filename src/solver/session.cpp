@@ -125,6 +125,10 @@ std::size_t Session::footprint_bytes() const {
   // the refactorisation scatter maps hold one position per filled entry.
   bytes += 2 * nnz_lu * (sizeof(value_t) + sizeof(index_t));
   bytes += 2 * nnz_lu * sizeof(nnz_t);
+  // FP32 storage keeps the FP32 twin's values alongside the widened FP64
+  // view (the twin shares the structure arrays, so only values count).
+  if (kernels::stores_fp32(solver_.options().precision))
+    bytes += nnz_lu * sizeof(float);
   // Original + permuted copies of A.
   bytes += 2 * nnz_a * (sizeof(value_t) + sizeof(index_t));
   // Task graph, permutations/scalings, solve-plan arrays (order-ish each).

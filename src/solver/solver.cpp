@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <limits>
 #include <memory>
 
@@ -19,10 +20,11 @@ namespace pangulu::solver {
 namespace {
 
 /// y_segment -= Block * x_segment (sparse block SpMV accumulate).
-void block_spmv_sub(const Csc& blk, const value_t* x, value_t* y) {
+template <class V>
+void block_spmv_sub(const CscT<V>& blk, const V* x, V* y) {
   for (index_t j = 0; j < blk.n_cols(); ++j) {
-    const value_t xj = x[j];
-    if (xj == value_t(0)) continue;
+    const V xj = x[j];
+    if (xj == V(0)) continue;
     for (nnz_t p = blk.col_begin(j); p < blk.col_end(j); ++p) {
       y[blk.row_idx()[static_cast<std::size_t>(p)]] -=
           blk.values()[static_cast<std::size_t>(p)] * xj;
@@ -32,10 +34,11 @@ void block_spmv_sub(const Csc& blk, const value_t* x, value_t* y) {
 
 /// In-block forward solve with the unit-lower part of a factorised diagonal
 /// block (strictly-lower entries are L; diagonal is implicit 1).
-void diag_lower_solve(const Csc& d, value_t* x) {
+template <class V>
+void diag_lower_solve(const CscT<V>& d, V* x) {
   for (index_t j = 0; j < d.n_cols(); ++j) {
-    const value_t xj = x[j];
-    if (xj == value_t(0)) continue;
+    const V xj = x[j];
+    if (xj == V(0)) continue;
     for (nnz_t p = d.col_begin(j); p < d.col_end(j); ++p) {
       const index_t r = d.row_idx()[static_cast<std::size_t>(p)];
       if (r > j) x[r] -= d.values()[static_cast<std::size_t>(p)] * xj;
@@ -44,10 +47,11 @@ void diag_lower_solve(const Csc& d, value_t* x) {
 }
 
 /// In-block backward solve with the upper part (diagonal included).
-void diag_upper_solve(const Csc& d, value_t* x) {
+template <class V>
+void diag_upper_solve(const CscT<V>& d, V* x) {
   for (index_t j = d.n_cols() - 1; j >= 0; --j) {
     // Find the diagonal; entries above it are the U column.
-    value_t djj = value_t(0);
+    V djj = V(0);
     nnz_t diag_pos = -1;
     for (nnz_t p = d.col_begin(j); p < d.col_end(j); ++p) {
       if (d.row_idx()[static_cast<std::size_t>(p)] == j) {
@@ -56,11 +60,11 @@ void diag_upper_solve(const Csc& d, value_t* x) {
         break;
       }
     }
-    PANGULU_CHECK(diag_pos >= 0 && djj != value_t(0),
+    PANGULU_CHECK(diag_pos >= 0 && djj != V(0),
                   "upper solve: missing/zero diagonal");
     x[j] /= djj;
-    const value_t xj = x[j];
-    if (xj == value_t(0)) continue;
+    const V xj = x[j];
+    if (xj == V(0)) continue;
     for (nnz_t p = d.col_begin(j); p < diag_pos; ++p) {
       x[d.row_idx()[static_cast<std::size_t>(p)]] -=
           d.values()[static_cast<std::size_t>(p)] * xj;
@@ -70,10 +74,12 @@ void diag_upper_solve(const Csc& d, value_t* x) {
 
 }  // namespace
 
-void block_lower_solve(const block::BlockMatrix& f, std::span<value_t> x) {
+template <class V>
+void block_lower_solve(const block::BlockMatrixT<V>& f,
+                       std::type_identity_t<std::span<V>> x) {
   const auto& grid = f.grid();
   for (index_t bk = 0; bk < f.nb(); ++bk) {
-    value_t* seg = x.data() + grid.block_start(bk);
+    V* seg = x.data() + grid.block_start(bk);
     // Subtract contributions of already-solved block columns to the left.
     for (nnz_t rp = f.row_begin(bk); rp < f.row_end(bk); ++rp) {
       const index_t bj = f.row_block_col(rp);
@@ -87,10 +93,12 @@ void block_lower_solve(const block::BlockMatrix& f, std::span<value_t> x) {
   }
 }
 
-void block_upper_solve(const block::BlockMatrix& f, std::span<value_t> x) {
+template <class V>
+void block_upper_solve(const block::BlockMatrixT<V>& f,
+                       std::type_identity_t<std::span<V>> x) {
   const auto& grid = f.grid();
   for (index_t bk = f.nb() - 1; bk >= 0; --bk) {
-    value_t* seg = x.data() + grid.block_start(bk);
+    V* seg = x.data() + grid.block_start(bk);
     for (nnz_t rp = f.row_begin(bk); rp < f.row_end(bk); ++rp) {
       const index_t bj = f.row_block_col(rp);
       if (bj <= bk) continue;
@@ -107,9 +115,10 @@ namespace {
 
 /// y_segment -= Block^T * x_segment: for each column j of the block, the
 /// dot product of the column with x lands in y[j].
-void block_spmv_t_sub(const Csc& blk, const value_t* x, value_t* y) {
+template <class V>
+void block_spmv_t_sub(const CscT<V>& blk, const V* x, V* y) {
   for (index_t j = 0; j < blk.n_cols(); ++j) {
-    value_t acc = 0;
+    V acc = 0;
     for (nnz_t p = blk.col_begin(j); p < blk.col_end(j); ++p) {
       acc += blk.values()[static_cast<std::size_t>(p)] *
              x[blk.row_idx()[static_cast<std::size_t>(p)]];
@@ -120,10 +129,11 @@ void block_spmv_t_sub(const Csc& blk, const value_t* x, value_t* y) {
 
 /// In-block solve of U^T y = z (U^T is lower-triangular): ascending j,
 /// x[j] = (z[j] - U(:<j, j) . x) / U(j,j) — one CSC column dot per unknown.
-void diag_upper_transpose_solve(const Csc& d, value_t* x) {
+template <class V>
+void diag_upper_transpose_solve(const CscT<V>& d, V* x) {
   for (index_t j = 0; j < d.n_cols(); ++j) {
-    value_t acc = 0;
-    value_t djj = 0;
+    V acc = 0;
+    V djj = 0;
     for (nnz_t p = d.col_begin(j); p < d.col_end(j); ++p) {
       const index_t r = d.row_idx()[static_cast<std::size_t>(p)];
       if (r < j)
@@ -131,16 +141,17 @@ void diag_upper_transpose_solve(const Csc& d, value_t* x) {
       else if (r == j)
         djj = d.values()[static_cast<std::size_t>(p)];
     }
-    PANGULU_CHECK(djj != value_t(0), "transpose solve: zero diagonal");
+    PANGULU_CHECK(djj != V(0), "transpose solve: zero diagonal");
     x[j] = (x[j] - acc) / djj;
   }
 }
 
 /// In-block solve of L^T w = y (L^T upper, unit diagonal): descending j,
 /// x[j] -= L(>j, j) . x.
-void diag_lower_transpose_solve(const Csc& d, value_t* x) {
+template <class V>
+void diag_lower_transpose_solve(const CscT<V>& d, V* x) {
   for (index_t j = d.n_cols() - 1; j >= 0; --j) {
-    value_t acc = 0;
+    V acc = 0;
     for (nnz_t p = d.col_begin(j); p < d.col_end(j); ++p) {
       const index_t r = d.row_idx()[static_cast<std::size_t>(p)];
       if (r > j) acc += d.values()[static_cast<std::size_t>(p)] * x[r];
@@ -151,13 +162,14 @@ void diag_lower_transpose_solve(const Csc& d, value_t* x) {
 
 }  // namespace
 
-void block_upper_transpose_solve(const block::BlockMatrix& f,
-                                 std::span<value_t> x) {
+template <class V>
+void block_upper_transpose_solve(const block::BlockMatrixT<V>& f,
+                                 std::type_identity_t<std::span<V>> x) {
   const auto& grid = f.grid();
   // U^T is lower triangular: forward sweep. The blocks of U^T's block-row
   // bk are the transposes of U's block-column bk (block rows bj < bk).
   for (index_t bk = 0; bk < f.nb(); ++bk) {
-    value_t* seg = x.data() + grid.block_start(bk);
+    V* seg = x.data() + grid.block_start(bk);
     for (nnz_t p = f.col_begin(bk); p < f.col_end(bk); ++p) {
       const index_t bj = f.block_row(p);
       if (bj >= bk) continue;
@@ -169,12 +181,13 @@ void block_upper_transpose_solve(const block::BlockMatrix& f,
   }
 }
 
-void block_lower_transpose_solve(const block::BlockMatrix& f,
-                                 std::span<value_t> x) {
+template <class V>
+void block_lower_transpose_solve(const block::BlockMatrixT<V>& f,
+                                 std::type_identity_t<std::span<V>> x) {
   const auto& grid = f.grid();
   // L^T is upper triangular: backward sweep over block-columns of L.
   for (index_t bk = f.nb() - 1; bk >= 0; --bk) {
-    value_t* seg = x.data() + grid.block_start(bk);
+    V* seg = x.data() + grid.block_start(bk);
     for (nnz_t p = f.col_begin(bk); p < f.col_end(bk); ++p) {
       const index_t bi = f.block_row(p);
       if (bi <= bk) continue;
@@ -186,7 +199,8 @@ void block_lower_transpose_solve(const block::BlockMatrix& f,
   }
 }
 
-SolvePlan SolvePlan::build(const block::BlockMatrix& f) {
+template <class BM>
+SolvePlan SolvePlan::build(const BM& f) {
   SolvePlan plan;
   const index_t nb = f.nb();
   plan.diag_pos.resize(static_cast<std::size_t>(nb));
@@ -232,11 +246,12 @@ SolvePlan SolvePlan::build(const block::BlockMatrix& f) {
   return plan;
 }
 
-void block_lower_solve(const block::BlockMatrix& f, const SolvePlan& plan,
-                       std::span<value_t> x) {
+template <class V>
+void block_lower_solve(const block::BlockMatrixT<V>& f, const SolvePlan& plan,
+                       std::type_identity_t<std::span<V>> x) {
   const auto& grid = f.grid();
   for (index_t bk = 0; bk < f.nb(); ++bk) {
-    value_t* seg = x.data() + grid.block_start(bk);
+    V* seg = x.data() + grid.block_start(bk);
     for (nnz_t q = plan.low_ptr[static_cast<std::size_t>(bk)];
          q < plan.low_ptr[static_cast<std::size_t>(bk) + 1]; ++q) {
       block_spmv_sub(
@@ -248,11 +263,12 @@ void block_lower_solve(const block::BlockMatrix& f, const SolvePlan& plan,
   }
 }
 
-void block_upper_solve(const block::BlockMatrix& f, const SolvePlan& plan,
-                       std::span<value_t> x) {
+template <class V>
+void block_upper_solve(const block::BlockMatrixT<V>& f, const SolvePlan& plan,
+                       std::type_identity_t<std::span<V>> x) {
   const auto& grid = f.grid();
   for (index_t bk = f.nb() - 1; bk >= 0; --bk) {
-    value_t* seg = x.data() + grid.block_start(bk);
+    V* seg = x.data() + grid.block_start(bk);
     for (nnz_t q = plan.up_ptr[static_cast<std::size_t>(bk)];
          q < plan.up_ptr[static_cast<std::size_t>(bk) + 1]; ++q) {
       block_spmv_sub(
@@ -264,11 +280,13 @@ void block_upper_solve(const block::BlockMatrix& f, const SolvePlan& plan,
   }
 }
 
-void block_upper_transpose_solve(const block::BlockMatrix& f,
-                                 const SolvePlan& plan, std::span<value_t> x) {
+template <class V>
+void block_upper_transpose_solve(const block::BlockMatrixT<V>& f,
+                                 const SolvePlan& plan,
+                                 std::type_identity_t<std::span<V>> x) {
   const auto& grid = f.grid();
   for (index_t bk = 0; bk < f.nb(); ++bk) {
-    value_t* seg = x.data() + grid.block_start(bk);
+    V* seg = x.data() + grid.block_start(bk);
     for (nnz_t q = plan.tup_ptr[static_cast<std::size_t>(bk)];
          q < plan.tup_ptr[static_cast<std::size_t>(bk) + 1]; ++q) {
       block_spmv_t_sub(
@@ -281,11 +299,13 @@ void block_upper_transpose_solve(const block::BlockMatrix& f,
   }
 }
 
-void block_lower_transpose_solve(const block::BlockMatrix& f,
-                                 const SolvePlan& plan, std::span<value_t> x) {
+template <class V>
+void block_lower_transpose_solve(const block::BlockMatrixT<V>& f,
+                                 const SolvePlan& plan,
+                                 std::type_identity_t<std::span<V>> x) {
   const auto& grid = f.grid();
   for (index_t bk = f.nb() - 1; bk >= 0; --bk) {
-    value_t* seg = x.data() + grid.block_start(bk);
+    V* seg = x.data() + grid.block_start(bk);
     for (nnz_t q = plan.tlow_ptr[static_cast<std::size_t>(bk)];
          q < plan.tlow_ptr[static_cast<std::size_t>(bk) + 1]; ++q) {
       block_spmv_t_sub(
@@ -298,11 +318,13 @@ void block_lower_transpose_solve(const block::BlockMatrix& f,
   }
 }
 
-void block_lower_solve_multi(const block::BlockMatrix& f, const SolvePlan& plan,
-                             value_t* x, index_t stride, index_t k) {
+template <class V>
+void block_lower_solve_multi(const block::BlockMatrixT<V>& f,
+                             const SolvePlan& plan, V* x, index_t stride,
+                             index_t k) {
   const auto& grid = f.grid();
   for (index_t bk = 0; bk < f.nb(); ++bk) {
-    value_t* seg =
+    V* seg =
         x + static_cast<std::size_t>(grid.block_start(bk)) * stride;
     for (nnz_t q = plan.low_ptr[static_cast<std::size_t>(bk)];
          q < plan.low_ptr[static_cast<std::size_t>(bk) + 1]; ++q) {
@@ -318,11 +340,13 @@ void block_lower_solve_multi(const block::BlockMatrix& f, const SolvePlan& plan,
   }
 }
 
-void block_upper_solve_multi(const block::BlockMatrix& f, const SolvePlan& plan,
-                             value_t* x, index_t stride, index_t k) {
+template <class V>
+void block_upper_solve_multi(const block::BlockMatrixT<V>& f,
+                             const SolvePlan& plan, V* x, index_t stride,
+                             index_t k) {
   const auto& grid = f.grid();
   for (index_t bk = f.nb() - 1; bk >= 0; --bk) {
-    value_t* seg =
+    V* seg =
         x + static_cast<std::size_t>(grid.block_start(bk)) * stride;
     for (nnz_t q = plan.up_ptr[static_cast<std::size_t>(bk)];
          q < plan.up_ptr[static_cast<std::size_t>(bk) + 1]; ++q) {
@@ -338,13 +362,14 @@ void block_upper_solve_multi(const block::BlockMatrix& f, const SolvePlan& plan,
   }
 }
 
-void block_upper_transpose_solve_multi(const block::BlockMatrix& f,
-                                       const SolvePlan& plan, value_t* x,
+template <class V>
+void block_upper_transpose_solve_multi(const block::BlockMatrixT<V>& f,
+                                       const SolvePlan& plan, V* x,
                                        index_t stride, index_t k) {
   const auto& grid = f.grid();
-  std::vector<value_t> acc(static_cast<std::size_t>(k));
+  std::vector<V> acc(static_cast<std::size_t>(k));
   for (index_t bk = 0; bk < f.nb(); ++bk) {
-    value_t* seg =
+    V* seg =
         x + static_cast<std::size_t>(grid.block_start(bk)) * stride;
     for (nnz_t q = plan.tup_ptr[static_cast<std::size_t>(bk)];
          q < plan.tup_ptr[static_cast<std::size_t>(bk) + 1]; ++q) {
@@ -361,13 +386,14 @@ void block_upper_transpose_solve_multi(const block::BlockMatrix& f,
   }
 }
 
-void block_lower_transpose_solve_multi(const block::BlockMatrix& f,
-                                       const SolvePlan& plan, value_t* x,
+template <class V>
+void block_lower_transpose_solve_multi(const block::BlockMatrixT<V>& f,
+                                       const SolvePlan& plan, V* x,
                                        index_t stride, index_t k) {
   const auto& grid = f.grid();
-  std::vector<value_t> acc(static_cast<std::size_t>(k));
+  std::vector<V> acc(static_cast<std::size_t>(k));
   for (index_t bk = f.nb() - 1; bk >= 0; --bk) {
-    value_t* seg =
+    V* seg =
         x + static_cast<std::size_t>(grid.block_start(bk)) * stride;
     for (nnz_t q = plan.tlow_ptr[static_cast<std::size_t>(bk)];
          q < plan.tlow_ptr[static_cast<std::size_t>(bk) + 1]; ++q) {
@@ -383,6 +409,69 @@ void block_lower_transpose_solve_multi(const block::BlockMatrix& f,
         acc.data());
   }
 }
+
+// Explicit instantiations over both precision twins: the FP64 set serves
+// the historical API, the FP32 set backs the kSingle/kMixedIR solve paths.
+template SolvePlan SolvePlan::build(const block::BlockMatrixT<float>&);
+template SolvePlan SolvePlan::build(const block::BlockMatrixT<double>&);
+template void block_lower_solve(const block::BlockMatrixT<float>&,
+                                std::span<float>);
+template void block_lower_solve(const block::BlockMatrixT<double>&,
+                                std::span<double>);
+template void block_upper_solve(const block::BlockMatrixT<float>&,
+                                std::span<float>);
+template void block_upper_solve(const block::BlockMatrixT<double>&,
+                                std::span<double>);
+template void block_upper_transpose_solve(const block::BlockMatrixT<float>&,
+                                          std::span<float>);
+template void block_upper_transpose_solve(const block::BlockMatrixT<double>&,
+                                          std::span<double>);
+template void block_lower_transpose_solve(const block::BlockMatrixT<float>&,
+                                          std::span<float>);
+template void block_lower_transpose_solve(const block::BlockMatrixT<double>&,
+                                          std::span<double>);
+template void block_lower_solve(const block::BlockMatrixT<float>&,
+                                const SolvePlan&, std::span<float>);
+template void block_lower_solve(const block::BlockMatrixT<double>&,
+                                const SolvePlan&, std::span<double>);
+template void block_upper_solve(const block::BlockMatrixT<float>&,
+                                const SolvePlan&, std::span<float>);
+template void block_upper_solve(const block::BlockMatrixT<double>&,
+                                const SolvePlan&, std::span<double>);
+template void block_upper_transpose_solve(const block::BlockMatrixT<float>&,
+                                          const SolvePlan&, std::span<float>);
+template void block_upper_transpose_solve(const block::BlockMatrixT<double>&,
+                                          const SolvePlan&,
+                                          std::span<double>);
+template void block_lower_transpose_solve(const block::BlockMatrixT<float>&,
+                                          const SolvePlan&, std::span<float>);
+template void block_lower_transpose_solve(const block::BlockMatrixT<double>&,
+                                          const SolvePlan&,
+                                          std::span<double>);
+template void block_lower_solve_multi(const block::BlockMatrixT<float>&,
+                                      const SolvePlan&, float*, index_t,
+                                      index_t);
+template void block_lower_solve_multi(const block::BlockMatrixT<double>&,
+                                      const SolvePlan&, double*, index_t,
+                                      index_t);
+template void block_upper_solve_multi(const block::BlockMatrixT<float>&,
+                                      const SolvePlan&, float*, index_t,
+                                      index_t);
+template void block_upper_solve_multi(const block::BlockMatrixT<double>&,
+                                      const SolvePlan&, double*, index_t,
+                                      index_t);
+template void block_upper_transpose_solve_multi(
+    const block::BlockMatrixT<float>&, const SolvePlan&, float*, index_t,
+    index_t);
+template void block_upper_transpose_solve_multi(
+    const block::BlockMatrixT<double>&, const SolvePlan&, double*, index_t,
+    index_t);
+template void block_lower_transpose_solve_multi(
+    const block::BlockMatrixT<float>&, const SolvePlan&, float*, index_t,
+    index_t);
+template void block_lower_transpose_solve_multi(
+    const block::BlockMatrixT<double>&, const SolvePlan&, double*, index_t,
+    index_t);
 
 namespace {
 
@@ -524,6 +613,7 @@ Status Solver::write_checkpoint(index_t tasks_done) {
   m.nd_leaf_size = opts_.reorder.nd_leaf_size;
   m.preprocess_threads = opts_.preprocess_threads;
   m.refine_iters = opts_.refine_iters;
+  m.precision = static_cast<std::int32_t>(opts_.precision);
   m.pivot_tol = opts_.pivot_tol;
   m.checkpoint_interval = opts_.checkpoint_interval_tasks;
   m.n_tasks = static_cast<std::int64_t>(tasks_.size());
@@ -537,6 +627,20 @@ Status Solver::write_checkpoint(index_t tasks_done) {
   snap.block_nnz.reserve(nblocks);
   for (nnz_t pos = 0; pos < static_cast<nnz_t>(nblocks); ++pos)
     snap.block_nnz.push_back(factors_.block(pos).nnz());
+  // Snapshot values always travel as FP64. Under FP32 storage the live
+  // numeric state is factors32_ (factors_ is stale mid-run), widened exactly
+  // on encode so resume's narrowing round-trips bit for bit.
+  const bool ckpt_fp32 = kernels::stores_fp32(opts_.precision);
+  auto append_block_values = [&](nnz_t pos) {
+    if (ckpt_fp32) {
+      const auto v = factors32_.block(pos).values();
+      for (float fv : v)
+        snap.block_values.push_back(static_cast<value_t>(fv));
+    } else {
+      const auto v = factors_.block(pos).values();
+      snap.block_values.insert(snap.block_values.end(), v.begin(), v.end());
+    }
+  };
   if (opts_.incremental_snapshots) {
     // Advance the dirty marks over the newly committed tasks; every task
     // kind mutates exactly its target block, so the dirty set of the prefix
@@ -550,17 +654,12 @@ Status Solver::write_checkpoint(index_t tasks_done) {
     for (nnz_t pos = 0; pos < static_cast<nnz_t>(nblocks); ++pos) {
       if (!ckpt_dirty_[static_cast<std::size_t>(pos)]) continue;
       snap.dirty_pos.push_back(pos);
-      const Csc& blk = factors_.block(pos);
-      snap.block_values.insert(snap.block_values.end(), blk.values().begin(),
-                               blk.values().end());
+      append_block_values(pos);
     }
   } else {
     snap.block_values.reserve(static_cast<std::size_t>(factors_.total_nnz()));
-    for (nnz_t pos = 0; pos < static_cast<nnz_t>(nblocks); ++pos) {
-      const Csc& blk = factors_.block(pos);
-      snap.block_values.insert(snap.block_values.end(), blk.values().begin(),
-                               blk.values().end());
-    }
+    for (nnz_t pos = 0; pos < static_cast<nnz_t>(nblocks); ++pos)
+      append_block_values(pos);
   }
   // The safe point has paid only for the state copy above; CRC, encoding and
   // file I/O overlap the factorisation on the writer thread. One write in
@@ -592,6 +691,7 @@ Status Solver::resume_from(const std::string& path, const Options& base) {
   opts_.schedule = static_cast<runtime::ScheduleMode>(m.schedule);
   opts_.pivot_tol = m.pivot_tol;
   opts_.refine_iters = m.refine_iters;
+  opts_.precision = static_cast<kernels::Precision>(m.precision);
   opts_.preprocess_threads = m.preprocess_threads;
   opts_.abft_level = static_cast<runtime::AbftLevel>(m.abft_level);
   opts_.reorder.use_mc64 = m.use_mc64 != 0;
@@ -724,11 +824,22 @@ Status Solver::build_solve_plans() {
   topts.device = opts_.device;
   topts.n_ranks = opts_.n_ranks;
   topts.execute_numerics = false;
-  Status s = runtime::build_trsv_plan(factors_, mapping_, /*lower=*/true,
-                                      topts, &trsv_fwd_);
-  if (!s.is_ok()) return s;
-  s = runtime::build_trsv_plan(factors_, mapping_, /*lower=*/false, topts,
-                               &trsv_bwd_);
+  Status s;
+  if (kernels::stores_fp32(opts_.precision)) {
+    // Build against the FP32 twin so the plans' segment byte sizes model the
+    // FP32 message payloads (the structure arrays are identical either way).
+    s = runtime::build_trsv_plan(factors32_, mapping_, /*lower=*/true, topts,
+                                 &trsv_fwd_);
+    if (!s.is_ok()) return s;
+    s = runtime::build_trsv_plan(factors32_, mapping_, /*lower=*/false, topts,
+                                 &trsv_bwd_);
+  } else {
+    s = runtime::build_trsv_plan(factors_, mapping_, /*lower=*/true, topts,
+                                 &trsv_fwd_);
+    if (!s.is_ok()) return s;
+    s = runtime::build_trsv_plan(factors_, mapping_, /*lower=*/false, topts,
+                                 &trsv_bwd_);
+  }
   if (!s.is_ok()) return s;
   stats_.plan_seconds = timer.seconds();
   return Status::ok();
@@ -776,8 +887,31 @@ Status Solver::run_numeric_phase(index_t resume_from_task) {
     ckpt_dirty_.assign(static_cast<std::size_t>(factors_.n_blocks()), 0);
     ckpt_marked_upto_ = 0;
   }
-  Status s =
-      runtime::simulate_factorization(factors_, tasks_, mapping_, so, &stats_.sim);
+  Status s;
+  if (kernels::stores_fp32(opts_.precision)) {
+    // FP32 numeric phase (DESIGN.md §14): narrow the assembled FP64 state
+    // through the structure-sharing conversion (a pattern-only scatter — the
+    // twins are positionally identical), run the identical canonical
+    // execution in FP32, then widen the finished factors back so every FP64
+    // consumer (determinant, condest, snapshots) keeps working. The widening
+    // is exact, so factors_ is a faithful view of the FP32 bits, not a
+    // reround.
+    factors32_ = block::BlockMatrixT<float>::converted_from(factors_);
+    s = runtime::simulate_factorization(factors32_, tasks_, mapping_, so,
+                                        &stats_.sim);
+    if (s.is_ok()) {
+      for (nnz_t pos = 0; pos < static_cast<nnz_t>(factors_.n_blocks());
+           ++pos) {
+        auto dst = factors_.block(pos).values_mut();
+        const auto src = factors32_.block(pos).values();
+        for (std::size_t i = 0; i < dst.size(); ++i)
+          dst[i] = static_cast<value_t>(src[i]);
+      }
+    }
+  } else {
+    s = runtime::simulate_factorization(factors_, tasks_, mapping_, so,
+                                        &stats_.sim);
+  }
   // A snapshot write may still be in flight on the writer thread; it must
   // land before we return so the file is complete even when the run was
   // killed mid-task-graph.
@@ -894,6 +1028,8 @@ Status Solver::solve(std::span<const value_t> b, std::span<value_t> x,
   const index_t n = stats_.n;
   if (static_cast<index_t>(b.size()) != n || static_cast<index_t>(x.size()) != n)
     return Status::invalid_argument("solve: size mismatch");
+  if (kernels::stores_fp32(opts_.precision))
+    return solve_fp32(b, x, solve_stats);
 
   // One direct solve pass: permute/scale rhs, two triangular solves,
   // unpermute/scale solution.
@@ -947,10 +1083,103 @@ Status Solver::solve(std::span<const value_t> b, std::span<value_t> x,
   return Status::ok();
 }
 
+Status Solver::solve_fp32(std::span<const value_t> b, std::span<value_t> x,
+                          SolveStats* solve_stats) const {
+  const index_t n = stats_.n;
+  const bool mixed = opts_.precision == kernels::Precision::kMixedIR;
+
+  // FP32 direct pass: permute/scale in FP64, round once into the FP32 work
+  // vector, run the FP32 sweeps on the FP32 factors, widen on the way out.
+  std::vector<float> z(static_cast<std::size_t>(n));
+  auto direct_pass = [&](std::span<const value_t> rhs,
+                         std::span<value_t> sol) {
+    for (index_t r = 0; r < n; ++r) {
+      z[static_cast<std::size_t>(
+          reorder_.row_perm[static_cast<std::size_t>(r)])] =
+          static_cast<float>(
+              reorder_.row_scale[static_cast<std::size_t>(r)] *
+              rhs[static_cast<std::size_t>(r)]);
+    }
+    block_lower_solve(factors32_, solve_plan_, z);
+    block_upper_solve(factors32_, solve_plan_, z);
+    for (index_t c = 0; c < n; ++c) {
+      sol[static_cast<std::size_t>(c)] =
+          reorder_.col_scale[static_cast<std::size_t>(c)] *
+          static_cast<value_t>(z[static_cast<std::size_t>(
+              reorder_.col_perm[static_cast<std::size_t>(c)])]);
+    }
+  };
+
+  direct_pass(b, x);
+
+  // Refinement in FP64 against the original matrix. kSingle runs the same
+  // fixed-budget loop as the FP64 path (accuracy bounded by FP32, never an
+  // error); kMixedIR iterates until Options::ir_tolerance and reports a
+  // stall or an exhausted sweep budget as kNumericBreakdown.
+  std::vector<value_t> r(static_cast<std::size_t>(n));
+  std::vector<value_t> ax(static_cast<std::size_t>(n));
+  std::vector<value_t> dx(static_cast<std::size_t>(n));
+  const int max_iters = mixed ? opts_.ir_max_iters : opts_.refine_iters;
+  int iterations = 0;
+  value_t last_residual = 0;
+  value_t prev_residual = std::numeric_limits<value_t>::infinity();
+  Status result = Status::ok();
+  for (int it = 0;; ++it) {
+    original_.spmv(x, ax);
+    for (index_t i = 0; i < n; ++i)
+      r[static_cast<std::size_t>(i)] =
+          b[static_cast<std::size_t>(i)] - ax[static_cast<std::size_t>(i)];
+    const value_t rn = norm_inf(r);
+    const value_t scale =
+        std::max<value_t>(norm1(original_) * norm_inf(x) + norm_inf(b), 1);
+    last_residual = rn / scale;
+    if (mixed) {
+      if (last_residual <= opts_.ir_tolerance) break;
+      // A sweep that no longer shrinks the residual will not start shrinking
+      // it later: the FP32 factorisation has hit its preconditioning limit.
+      // std::to_string would print these as fixed-point zeros.
+      auto sci = [](value_t v) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.3e", static_cast<double>(v));
+        return std::string(buf);
+      };
+      if (last_residual >= prev_residual * value_t(0.9)) {
+        result = Status::numeric_breakdown(
+            "mixed-precision refinement stalled at relative residual " +
+            sci(last_residual) + " (target " + sci(opts_.ir_tolerance) +
+            ") after " + std::to_string(iterations) +
+            " sweeps — retry at Precision::kDouble");
+        break;
+      }
+      if (it >= max_iters) {
+        result = Status::numeric_breakdown(
+            "mixed-precision refinement did not reach relative residual " +
+            sci(opts_.ir_tolerance) + " within " + std::to_string(max_iters) +
+            " sweeps — retry at Precision::kDouble");
+        break;
+      }
+    } else {
+      if (it == max_iters || last_residual <= 1e-16) break;
+    }
+    direct_pass(r, dx);
+    for (index_t i = 0; i < n; ++i)
+      x[static_cast<std::size_t>(i)] += dx[static_cast<std::size_t>(i)];
+    prev_residual = last_residual;
+    ++iterations;
+  }
+  if (solve_stats) {
+    solve_stats->refine_iterations = iterations;
+    solve_stats->final_residual = last_residual;
+  }
+  return result;
+}
+
 Status Solver::solve_multi(const Dense& b, Dense* x, SolveStats* worst) const {
   if (!factorized_) return Status::failed_precondition("factorize() first");
   if (b.n_rows() != stats_.n)
     return Status::invalid_argument("solve_multi: row count mismatch");
+  if (kernels::stores_fp32(opts_.precision))
+    return solve_multi_fp32(b, x, worst);
   const index_t n = stats_.n;
   const index_t k = b.n_cols();
   *x = Dense(n, k);
@@ -1053,6 +1282,134 @@ Status Solver::solve_multi(const Dense& b, Dense* x, SolveStats* worst) const {
   return Status::ok();
 }
 
+Status Solver::solve_multi_fp32(const Dense& b, Dense* x,
+                                SolveStats* worst) const {
+  const index_t n = stats_.n;
+  const index_t k = b.n_cols();
+  *x = Dense(n, k);
+  if (worst) *worst = SolveStats{};
+  if (k == 0) return Status::ok();
+  const bool mixed = opts_.precision == kernels::Precision::kMixedIR;
+
+  // FP32 panel direct pass: as solve_multi's, but the row-interleaved work
+  // panel is FP32 and the sweeps run on the FP32 factors. Column for column
+  // this performs exactly solve_fp32()'s direct-pass operations.
+  std::vector<float> z(static_cast<std::size_t>(n) *
+                       static_cast<std::size_t>(k));
+  auto panel_direct = [&](const value_t* rhs, value_t* sol, index_t kk) {
+    for (index_t c = 0; c < kk; ++c) {
+      const value_t* rc = rhs + static_cast<std::size_t>(c) * n;
+      for (index_t row = 0; row < n; ++row) {
+        z[static_cast<std::size_t>(
+              reorder_.row_perm[static_cast<std::size_t>(row)]) *
+              static_cast<std::size_t>(kk) +
+          static_cast<std::size_t>(c)] =
+            static_cast<float>(
+                reorder_.row_scale[static_cast<std::size_t>(row)] *
+                rc[static_cast<std::size_t>(row)]);
+      }
+    }
+    block_lower_solve_multi(factors32_, solve_plan_, z.data(), kk, kk);
+    block_upper_solve_multi(factors32_, solve_plan_, z.data(), kk, kk);
+    for (index_t c = 0; c < kk; ++c) {
+      value_t* sc = sol + static_cast<std::size_t>(c) * n;
+      for (index_t cc = 0; cc < n; ++cc) {
+        sc[static_cast<std::size_t>(cc)] =
+            reorder_.col_scale[static_cast<std::size_t>(cc)] *
+            static_cast<value_t>(
+                z[static_cast<std::size_t>(
+                      reorder_.col_perm[static_cast<std::size_t>(cc)]) *
+                      static_cast<std::size_t>(kk) +
+                  static_cast<std::size_t>(c)]);
+      }
+    }
+  };
+
+  panel_direct(b.col(0), x->col(0), k);
+
+  // FP64 refinement on the shrinking active set, column-for-column identical
+  // to solve_fp32's loop: a column leaves when it converges, stalls, or
+  // exhausts the sweep budget; under kMixedIR the latter two mark it failed.
+  std::vector<value_t> r(static_cast<std::size_t>(n));
+  std::vector<value_t> ax(static_cast<std::size_t>(n));
+  std::vector<value_t> rp(static_cast<std::size_t>(n) *
+                          static_cast<std::size_t>(k));
+  std::vector<value_t> dx(static_cast<std::size_t>(n) *
+                          static_cast<std::size_t>(k));
+  std::vector<int> iters(static_cast<std::size_t>(k), 0);
+  std::vector<value_t> resid(static_cast<std::size_t>(k), 0);
+  std::vector<value_t> prev(static_cast<std::size_t>(k),
+                            std::numeric_limits<value_t>::infinity());
+  std::vector<char> failed(static_cast<std::size_t>(k), 0);
+  const int max_iters = mixed ? opts_.ir_max_iters : opts_.refine_iters;
+  std::vector<index_t> active(static_cast<std::size_t>(k));
+  for (index_t j = 0; j < k; ++j) active[static_cast<std::size_t>(j)] = j;
+  for (int it = 0; !active.empty(); ++it) {
+    std::vector<index_t> next;
+    for (index_t col : active) {
+      value_t* xc = x->col(col);
+      original_.spmv({xc, static_cast<std::size_t>(n)}, ax);
+      for (index_t i = 0; i < n; ++i)
+        r[static_cast<std::size_t>(i)] =
+            b(i, col) - ax[static_cast<std::size_t>(i)];
+      const value_t rn = norm_inf(r);
+      const value_t scale = std::max<value_t>(
+          norm1(original_) * norm_inf({xc, static_cast<std::size_t>(n)}) +
+              norm_inf({b.col(col), static_cast<std::size_t>(n)}),
+          1);
+      resid[static_cast<std::size_t>(col)] = rn / scale;
+      if (mixed) {
+        if (resid[static_cast<std::size_t>(col)] <= opts_.ir_tolerance)
+          continue;  // converged
+        if (resid[static_cast<std::size_t>(col)] >=
+                prev[static_cast<std::size_t>(col)] * value_t(0.9) ||
+            it >= max_iters) {
+          failed[static_cast<std::size_t>(col)] = 1;
+          continue;
+        }
+      } else {
+        if (it == max_iters ||
+            resid[static_cast<std::size_t>(col)] <= 1e-16)
+          continue;
+      }
+      std::copy(r.begin(), r.end(),
+                rp.begin() + static_cast<std::ptrdiff_t>(next.size()) * n);
+      prev[static_cast<std::size_t>(col)] =
+          resid[static_cast<std::size_t>(col)];
+      next.push_back(col);
+    }
+    if (next.empty()) break;
+    panel_direct(rp.data(), dx.data(), static_cast<index_t>(next.size()));
+    for (std::size_t i = 0; i < next.size(); ++i) {
+      const index_t col = next[i];
+      value_t* xc = x->col(col);
+      const value_t* dc = dx.data() + i * static_cast<std::size_t>(n);
+      for (index_t row = 0; row < n; ++row)
+        xc[static_cast<std::size_t>(row)] += dc[static_cast<std::size_t>(row)];
+      ++iters[static_cast<std::size_t>(col)];
+    }
+    active = std::move(next);
+  }
+  if (worst) {
+    for (index_t j = 0; j < k; ++j) {
+      worst->refine_iterations = std::max(
+          worst->refine_iterations, iters[static_cast<std::size_t>(j)]);
+      worst->final_residual =
+          std::max(worst->final_residual, resid[static_cast<std::size_t>(j)]);
+    }
+  }
+  if (mixed) {
+    index_t n_failed = 0;
+    for (char fcol : failed) n_failed += fcol != 0;
+    if (n_failed > 0)
+      return Status::numeric_breakdown(
+          "mixed-precision refinement failed to converge on " +
+          std::to_string(n_failed) + " of " + std::to_string(k) +
+          " right-hand sides — retry at Precision::kDouble");
+  }
+  return Status::ok();
+}
+
 Status Solver::solve_multi_transpose(const Dense& b, Dense* x) const {
   if (!factorized_) return Status::failed_precondition("factorize() first");
   if (b.n_rows() != stats_.n)
@@ -1061,6 +1418,37 @@ Status Solver::solve_multi_transpose(const Dense& b, Dense* x) const {
   const index_t k = b.n_cols();
   *x = Dense(n, k);
   if (k == 0) return Status::ok();
+  if (kernels::stores_fp32(opts_.precision)) {
+    // FP32 transposed panel sweeps on the FP32 factors.
+    std::vector<float> z32(static_cast<std::size_t>(n) *
+                           static_cast<std::size_t>(k));
+    for (index_t cidx = 0; cidx < k; ++cidx) {
+      for (index_t c = 0; c < n; ++c) {
+        z32[static_cast<std::size_t>(
+                reorder_.col_perm[static_cast<std::size_t>(c)]) *
+                static_cast<std::size_t>(k) +
+            static_cast<std::size_t>(cidx)] =
+            static_cast<float>(
+                reorder_.col_scale[static_cast<std::size_t>(c)] * b(c, cidx));
+      }
+    }
+    block_upper_transpose_solve_multi(factors32_, solve_plan_, z32.data(), k,
+                                      k);
+    block_lower_transpose_solve_multi(factors32_, solve_plan_, z32.data(), k,
+                                      k);
+    for (index_t cidx = 0; cidx < k; ++cidx) {
+      for (index_t row = 0; row < n; ++row) {
+        (*x)(row, cidx) =
+            reorder_.row_scale[static_cast<std::size_t>(row)] *
+            static_cast<value_t>(
+                z32[static_cast<std::size_t>(
+                        reorder_.row_perm[static_cast<std::size_t>(row)]) *
+                        static_cast<std::size_t>(k) +
+                    static_cast<std::size_t>(cidx)]);
+      }
+    }
+    return Status::ok();
+  }
   // Row-interleaved work panel, as in solve_multi's panel_direct.
   std::vector<value_t> z(static_cast<std::size_t>(n) *
                          static_cast<std::size_t>(k));
@@ -1097,6 +1485,27 @@ Status Solver::solve_transpose(std::span<const value_t> b,
   // A^T x = b with Ap = P_R (D_r A D_c) P_C^T = L U:
   //   z(col_perm[c]) = col_scale[c] * b(c);  U^T y = z;  L^T w = y;
   //   x(r) = row_scale[r] * w(row_perm[r]).
+  if (kernels::stores_fp32(opts_.precision)) {
+    // FP32 transposed sweeps on the FP32 factors (no refinement here, as in
+    // the FP64 path).
+    std::vector<float> z32(static_cast<std::size_t>(n));
+    for (index_t c = 0; c < n; ++c) {
+      z32[static_cast<std::size_t>(
+          reorder_.col_perm[static_cast<std::size_t>(c)])] =
+          static_cast<float>(
+              reorder_.col_scale[static_cast<std::size_t>(c)] *
+              b[static_cast<std::size_t>(c)]);
+    }
+    block_upper_transpose_solve(factors32_, solve_plan_, z32);
+    block_lower_transpose_solve(factors32_, solve_plan_, z32);
+    for (index_t r = 0; r < n; ++r) {
+      x[static_cast<std::size_t>(r)] =
+          reorder_.row_scale[static_cast<std::size_t>(r)] *
+          static_cast<value_t>(z32[static_cast<std::size_t>(
+              reorder_.row_perm[static_cast<std::size_t>(r)])]);
+    }
+    return Status::ok();
+  }
   std::vector<value_t> z(static_cast<std::size_t>(n));
   for (index_t c = 0; c < n; ++c) {
     z[static_cast<std::size_t>(reorder_.col_perm[static_cast<std::size_t>(c)])] =
@@ -1116,13 +1525,22 @@ Status Solver::solve_transpose(std::span<const value_t> b,
 Status Solver::model_triangular_solve(runtime::SimResult* forward,
                                       runtime::SimResult* backward) const {
   if (!factorized_) return Status::failed_precondition("factorize() first");
-  std::vector<value_t> dummy(static_cast<std::size_t>(stats_.n), value_t(0));
   runtime::TrsvOptions opts;
   opts.device = opts_.device;
   opts.n_ranks = opts_.n_ranks;
   opts.execute_numerics = false;
   // The schedules were built at factorise time; repeat calls only replay the
-  // event simulation.
+  // event simulation. Under FP32 storage the replay runs against the FP32
+  // twin, whose plans carry the FP32 message payload sizes.
+  if (kernels::stores_fp32(opts_.precision)) {
+    std::vector<float> dummy(static_cast<std::size_t>(stats_.n), 0.0f);
+    Status s =
+        runtime::simulate_trsv(factors32_, trsv_fwd_, dummy, opts, forward);
+    if (!s.is_ok()) return s;
+    return runtime::simulate_trsv(factors32_, trsv_bwd_, dummy, opts,
+                                  backward);
+  }
+  std::vector<value_t> dummy(static_cast<std::size_t>(stats_.n), value_t(0));
   Status s = runtime::simulate_trsv(factors_, trsv_fwd_, dummy, opts, forward);
   if (!s.is_ok()) return s;
   return runtime::simulate_trsv(factors_, trsv_bwd_, dummy, opts, backward);

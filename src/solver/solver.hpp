@@ -14,11 +14,13 @@
 #include <future>
 #include <span>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "analysis/verify.hpp"
 #include "block/layout.hpp"
 #include "block/mapping.hpp"
+#include "kernels/precision.hpp"
 #include "ordering/reorder.hpp"
 #include "runtime/sim.hpp"
 #include "runtime/trsv_sim.hpp"
@@ -47,6 +49,22 @@ struct Options {
   std::string thresholds_file;
   value_t pivot_tol = 1e-14;
   int refine_iters = 3;
+  /// Numeric-phase storage precision (DESIGN.md §14). kDouble is the
+  /// historical FP64 pipeline. kSingle factors and solves entirely in FP32
+  /// storage (the FP64 `factors()` view is the exact widening). kMixedIR
+  /// factors in FP32 and wraps every solve in an FP64 iterative-refinement
+  /// loop against the original matrix: FP64 residual, FP32 correction solve
+  /// on the cached plans, convergence on the relative residual. The FP32
+  /// factors inherit the full determinism contract — bitwise identical
+  /// across rank counts, schedulers and executors.
+  kernels::Precision precision = kernels::Precision::kDouble;
+  /// kMixedIR only: relative-residual target of the refinement loop
+  /// (||b - Ax||_inf / (||A||_1 ||x||_inf + ||b||_inf)).
+  kernels::tolerance_t ir_tolerance = 1e-12;
+  /// kMixedIR only: refinement sweep cap. Hitting it — or stalling, i.e. a
+  /// sweep that no longer shrinks the residual — fails solve() with
+  /// StatusCode::kNumericBreakdown (retry at kDouble).
+  int ir_max_iters = 30;
   /// Faults to inject into the simulated cluster (runtime/fault.hpp).
   /// Recoverable plans leave the factors (and hence solutions) bit-identical
   /// to a fault-free run and only change the virtual makespan/traffic;
@@ -138,7 +156,9 @@ struct FactorStats {
 };
 
 struct SolveStats {
-  int refine_iterations = 0;     // refinement passes actually taken
+  /// Refinement passes actually taken. Under kMixedIR these are the FP32
+  /// correction solves the FP64 loop needed to reach Options::ir_tolerance.
+  int refine_iterations = 0;
   value_t final_residual = 0;    // ||b - Ax||_inf / (||A||_1||x||_inf+||b||_inf)
 };
 
@@ -172,7 +192,10 @@ struct SolvePlan {
   bool valid() const { return !diag_pos.empty(); }
 
   /// Build from a factorised block matrix (requires all diagonal blocks).
-  static SolvePlan build(const block::BlockMatrix& f);
+  /// The plan is pure structure, so the one built against either precision
+  /// twin drives both the FP64 and FP32 sweeps unchanged.
+  template <class BM>
+  static SolvePlan build(const BM& f);
 };
 
 class Solver {
@@ -256,7 +279,12 @@ class Solver {
                                 runtime::SimResult* backward) const;
 
   const FactorStats& stats() const { return stats_; }
+  const Options& options() const { return opts_; }
   const block::BlockMatrix& factors() const { return factors_; }
+  /// FP32 factor twin, valid after a kSingle/kMixedIR factorisation: the
+  /// matrix the numeric phase actually ran on (factors() is its exact
+  /// widening). Structure-identical to factors() by construction.
+  const block::BlockMatrixT<float>& factors32() const { return factors32_; }
   const block::Mapping& mapping() const { return mapping_; }
   const symbolic::SymbolicResult& symbolic() const { return symbolic_; }
   /// The original (unpermuted, unscaled) matrix held by the solver — after
@@ -289,12 +317,22 @@ class Solver {
   /// Build the pattern-only scatter maps refactorize_reuse() consumes
   /// (lazily, on the first refactorisation after an analysis).
   void build_reuse_maps();
+  /// FP32-storage solve paths (kSingle and kMixedIR): the direct pass runs
+  /// the FP32 sweeps on factors32_; kMixedIR then refines in FP64 until
+  /// Options::ir_tolerance or fails with kNumericBreakdown on a stall.
+  Status solve_fp32(std::span<const value_t> b, std::span<value_t> x,
+                    SolveStats* solve_stats) const;
+  Status solve_multi_fp32(const Dense& b, Dense* x, SolveStats* worst) const;
 
   Options opts_;
   Csc original_;
   ordering::ReorderResult reorder_;
   symbolic::SymbolicResult symbolic_;
   block::BlockMatrix factors_;
+  // FP32 twin of factors_ under kSingle/kMixedIR (empty at kDouble): shares
+  // the first-layer structure via BlockMatrixT::converted_from, holds the
+  // FP32 numeric state, and backs the FP32 solve sweeps.
+  block::BlockMatrixT<float> factors32_;
   std::vector<block::Task> tasks_;
   block::Mapping mapping_;
   FactorStats stats_;
@@ -322,28 +360,43 @@ class Solver {
   bool factorized_ = false;
 };
 
-/// Block-level forward/backward substitution on a factorised BlockMatrix
+/// Block-level forward/backward substitution on a factorised BlockMatrixT
 /// (exposed for the distributed triangular-solve benchmarks and tests).
-void block_lower_solve(const block::BlockMatrix& f, std::span<value_t> x);
-void block_upper_solve(const block::BlockMatrix& f, std::span<value_t> x);
+/// Every sweep is templated on the value type: the FP32 instantiation runs
+/// the identical traversal in FP32 arithmetic, which is what the mixed-IR
+/// correction solves execute (DESIGN.md §14).
+template <class V>
+void block_lower_solve(const block::BlockMatrixT<V>& f,
+                       std::type_identity_t<std::span<V>> x);
+template <class V>
+void block_upper_solve(const block::BlockMatrixT<V>& f,
+                       std::type_identity_t<std::span<V>> x);
 
 /// Transposed sweeps: U^T y = z (forward) and L^T w = y (backward), used by
 /// solve_transpose and the condition estimator.
-void block_upper_transpose_solve(const block::BlockMatrix& f,
-                                 std::span<value_t> x);
-void block_lower_transpose_solve(const block::BlockMatrix& f,
-                                 std::span<value_t> x);
+template <class V>
+void block_upper_transpose_solve(const block::BlockMatrixT<V>& f,
+                                 std::type_identity_t<std::span<V>> x);
+template <class V>
+void block_lower_transpose_solve(const block::BlockMatrixT<V>& f,
+                                 std::type_identity_t<std::span<V>> x);
 
 /// Plan-based variants of the four sweeps: same traversal, same bits, no
 /// per-call schedule discovery.
-void block_lower_solve(const block::BlockMatrix& f, const SolvePlan& plan,
-                       std::span<value_t> x);
-void block_upper_solve(const block::BlockMatrix& f, const SolvePlan& plan,
-                       std::span<value_t> x);
-void block_upper_transpose_solve(const block::BlockMatrix& f,
-                                 const SolvePlan& plan, std::span<value_t> x);
-void block_lower_transpose_solve(const block::BlockMatrix& f,
-                                 const SolvePlan& plan, std::span<value_t> x);
+template <class V>
+void block_lower_solve(const block::BlockMatrixT<V>& f, const SolvePlan& plan,
+                       std::type_identity_t<std::span<V>> x);
+template <class V>
+void block_upper_solve(const block::BlockMatrixT<V>& f, const SolvePlan& plan,
+                       std::type_identity_t<std::span<V>> x);
+template <class V>
+void block_upper_transpose_solve(const block::BlockMatrixT<V>& f,
+                                 const SolvePlan& plan,
+                                 std::type_identity_t<std::span<V>> x);
+template <class V>
+void block_lower_transpose_solve(const block::BlockMatrixT<V>& f,
+                                 const SolvePlan& plan,
+                                 std::type_identity_t<std::span<V>> x);
 
 /// Multi-RHS (panel) variants of the plan-based sweeps: `x` is an n x k
 /// row-interleaved panel — column c of row r at x[r * stride + c], so the
@@ -353,15 +406,21 @@ void block_lower_transpose_solve(const block::BlockMatrix& f,
 /// columns; per column the floating-point operation sequence is exactly the
 /// single-vector sweep's, so column c of the panel result is bitwise
 /// identical to running the single-vector sweep on that column alone.
-void block_lower_solve_multi(const block::BlockMatrix& f, const SolvePlan& plan,
-                             value_t* x, index_t stride, index_t k);
-void block_upper_solve_multi(const block::BlockMatrix& f, const SolvePlan& plan,
-                             value_t* x, index_t stride, index_t k);
-void block_upper_transpose_solve_multi(const block::BlockMatrix& f,
-                                       const SolvePlan& plan, value_t* x,
+template <class V>
+void block_lower_solve_multi(const block::BlockMatrixT<V>& f,
+                             const SolvePlan& plan, V* x, index_t stride,
+                             index_t k);
+template <class V>
+void block_upper_solve_multi(const block::BlockMatrixT<V>& f,
+                             const SolvePlan& plan, V* x, index_t stride,
+                             index_t k);
+template <class V>
+void block_upper_transpose_solve_multi(const block::BlockMatrixT<V>& f,
+                                       const SolvePlan& plan, V* x,
                                        index_t stride, index_t k);
-void block_lower_transpose_solve_multi(const block::BlockMatrix& f,
-                                       const SolvePlan& plan, value_t* x,
+template <class V>
+void block_lower_transpose_solve_multi(const block::BlockMatrixT<V>& f,
+                                       const SolvePlan& plan, V* x,
                                        index_t stride, index_t k);
 
 }  // namespace pangulu::solver

@@ -1,34 +1,56 @@
 // Coordinate-format sparse matrix: the assembly/interchange format. Matrix
 // generators and the Matrix Market reader produce COO; everything else works
-// on CSC (see csc.hpp).
+// on CSC (see csc.hpp). Templated on the value type V (float/double); the
+// unsuffixed aliases keep the historical FP64 spelling.
 #pragma once
 
+#include <algorithm>
 #include <vector>
 
 #include "util/types.hpp"
 
 namespace pangulu {
 
-struct Triplet {
+template <class V>
+struct TripletT {
   index_t row;
   index_t col;
-  value_t value;
+  V value;
 };
 
-struct Coo {
+template <class V>
+struct CooT {
   index_t n_rows = 0;
   index_t n_cols = 0;
-  std::vector<Triplet> entries;
+  std::vector<TripletT<V>> entries;
 
-  Coo() = default;
-  Coo(index_t rows, index_t cols) : n_rows(rows), n_cols(cols) {}
+  CooT() = default;
+  CooT(index_t rows, index_t cols) : n_rows(rows), n_cols(cols) {}
 
-  void add(index_t r, index_t c, value_t v) { entries.push_back({r, c, v}); }
+  void add(index_t r, index_t c, V v) { entries.push_back({r, c, v}); }
 
   nnz_t nnz() const { return static_cast<nnz_t>(entries.size()); }
 
   /// Sort by (col, row) and sum duplicates in place.
-  void sort_and_combine();
+  void sort_and_combine() {
+    std::sort(entries.begin(), entries.end(),
+              [](const TripletT<V>& a, const TripletT<V>& b) {
+                return a.col != b.col ? a.col < b.col : a.row < b.row;
+              });
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      if (out > 0 && entries[out - 1].row == entries[i].row &&
+          entries[out - 1].col == entries[i].col) {
+        entries[out - 1].value += entries[i].value;
+      } else {
+        entries[out++] = entries[i];
+      }
+    }
+    entries.resize(out);
+  }
 };
+
+using Triplet = TripletT<value_t>;
+using Coo = CooT<value_t>;
 
 }  // namespace pangulu

@@ -6,27 +6,11 @@
 
 namespace pangulu {
 
-void Coo::sort_and_combine() {
-  std::sort(entries.begin(), entries.end(),
-            [](const Triplet& a, const Triplet& b) {
-              return a.col != b.col ? a.col < b.col : a.row < b.row;
-            });
-  std::size_t out = 0;
-  for (std::size_t i = 0; i < entries.size(); ++i) {
-    if (out > 0 && entries[out - 1].row == entries[i].row &&
-        entries[out - 1].col == entries[i].col) {
-      entries[out - 1].value += entries[i].value;
-    } else {
-      entries[out++] = entries[i];
-    }
-  }
-  entries.resize(out);
-}
-
-Csc Csc::from_coo(const Coo& coo_in) {
-  Coo coo = coo_in;
+template <class V>
+CscT<V> CscT<V>::from_coo(const CooT<V>& coo_in) {
+  CooT<V> coo = coo_in;
   coo.sort_and_combine();
-  Csc m(coo.n_rows, coo.n_cols);
+  CscT<V> m(coo.n_rows, coo.n_cols);
   m.row_idx_.resize(coo.entries.size());
   m.values_.resize(coo.entries.size());
   for (const auto& t : coo.entries) {
@@ -46,9 +30,12 @@ Csc Csc::from_coo(const Coo& coo_in) {
   return m;
 }
 
-Csc Csc::from_parts(index_t rows, index_t cols, std::vector<nnz_t> col_ptr,
-                    std::vector<index_t> row_idx, std::vector<value_t> values) {
-  Csc m;
+template <class V>
+CscT<V> CscT<V>::from_parts(index_t rows, index_t cols,
+                            std::vector<nnz_t> col_ptr,
+                            std::vector<index_t> row_idx,
+                            std::vector<V> values) {
+  CscT<V> m;
   m.n_rows_ = rows;
   m.n_cols_ = cols;
   m.col_ptr_ = std::move(col_ptr);
@@ -58,11 +45,12 @@ Csc Csc::from_parts(index_t rows, index_t cols, std::vector<nnz_t> col_ptr,
   return m;
 }
 
-Csc Csc::from_parts_unchecked(index_t rows, index_t cols,
-                              std::vector<nnz_t> col_ptr,
-                              std::vector<index_t> row_idx,
-                              std::vector<value_t> values) {
-  Csc m;
+template <class V>
+CscT<V> CscT<V>::from_parts_unchecked(index_t rows, index_t cols,
+                                      std::vector<nnz_t> col_ptr,
+                                      std::vector<index_t> row_idx,
+                                      std::vector<V> values) {
+  CscT<V> m;
   m.n_rows_ = rows;
   m.n_cols_ = cols;
   m.col_ptr_ = std::move(col_ptr);
@@ -71,13 +59,15 @@ Csc Csc::from_parts_unchecked(index_t rows, index_t cols,
   return m;
 }
 
-double Csc::density() const {
+template <class V>
+double CscT<V>::density() const {
   if (n_rows_ == 0 || n_cols_ == 0) return 0.0;
   return static_cast<double>(nnz()) /
          (static_cast<double>(n_rows_) * static_cast<double>(n_cols_));
 }
 
-nnz_t Csc::find(index_t r, index_t c) const {
+template <class V>
+nnz_t CscT<V>::find(index_t r, index_t c) const {
   nnz_t lo = col_begin(c), hi = col_end(c);
   auto first = row_idx_.begin() + lo;
   auto last = row_idx_.begin() + hi;
@@ -86,18 +76,20 @@ nnz_t Csc::find(index_t r, index_t c) const {
   return lo + (it - first);
 }
 
-value_t Csc::at(index_t r, index_t c) const {
+template <class V>
+V CscT<V>::at(index_t r, index_t c) const {
   nnz_t p = find(r, c);
-  return p < 0 ? value_t(0) : values_[static_cast<std::size_t>(p)];
+  return p < 0 ? V(0) : values_[static_cast<std::size_t>(p)];
 }
 
-void Csc::spmv(std::span<const value_t> x, std::span<value_t> y) const {
+template <class V>
+void CscT<V>::spmv(std::span<const V> x, std::span<V> y) const {
   PANGULU_CHECK(static_cast<index_t>(x.size()) == n_cols_, "spmv x size");
   PANGULU_CHECK(static_cast<index_t>(y.size()) == n_rows_, "spmv y size");
-  std::fill(y.begin(), y.end(), value_t(0));
+  std::fill(y.begin(), y.end(), V(0));
   for (index_t j = 0; j < n_cols_; ++j) {
-    const value_t xj = x[static_cast<std::size_t>(j)];
-    if (xj == value_t(0)) continue;
+    const V xj = x[static_cast<std::size_t>(j)];
+    if (xj == V(0)) continue;
     for (nnz_t p = col_begin(j); p < col_end(j); ++p) {
       y[static_cast<std::size_t>(row_idx_[static_cast<std::size_t>(p)])] +=
           values_[static_cast<std::size_t>(p)] * xj;
@@ -105,8 +97,9 @@ void Csc::spmv(std::span<const value_t> x, std::span<value_t> y) const {
   }
 }
 
-Csc Csc::transpose() const {
-  Csc t(n_cols_, n_rows_);
+template <class V>
+CscT<V> CscT<V>::transpose() const {
+  CscT<V> t(n_cols_, n_rows_);
   t.row_idx_.resize(row_idx_.size());
   t.values_.resize(values_.size());
   // Count entries per row of this matrix (= per column of the transpose).
@@ -128,11 +121,12 @@ Csc Csc::transpose() const {
   return t;
 }
 
-Csc Csc::permuted(std::span<const index_t> row_perm,
-                  std::span<const index_t> col_perm) const {
+template <class V>
+CscT<V> CscT<V>::permuted(std::span<const index_t> row_perm,
+                          std::span<const index_t> col_perm) const {
   PANGULU_CHECK(static_cast<index_t>(row_perm.size()) == n_rows_, "row perm size");
   PANGULU_CHECK(static_cast<index_t>(col_perm.size()) == n_cols_, "col perm size");
-  Coo coo(n_rows_, n_cols_);
+  CooT<V> coo(n_rows_, n_cols_);
   coo.entries.reserve(static_cast<std::size_t>(nnz()));
   for (index_t j = 0; j < n_cols_; ++j) {
     for (nnz_t p = col_begin(j); p < col_end(j); ++p) {
@@ -145,12 +139,12 @@ Csc Csc::permuted(std::span<const index_t> row_perm,
   return from_coo(coo);
 }
 
-void Csc::scale(std::span<const value_t> row_scale,
-                std::span<const value_t> col_scale) {
+template <class V>
+void CscT<V>::scale(std::span<const V> row_scale, std::span<const V> col_scale) {
   PANGULU_CHECK(static_cast<index_t>(row_scale.size()) == n_rows_, "row scale");
   PANGULU_CHECK(static_cast<index_t>(col_scale.size()) == n_cols_, "col scale");
   for (index_t j = 0; j < n_cols_; ++j) {
-    const value_t cs = col_scale[static_cast<std::size_t>(j)];
+    const V cs = col_scale[static_cast<std::size_t>(j)];
     for (nnz_t p = col_begin(j); p < col_end(j); ++p) {
       values_[static_cast<std::size_t>(p)] *=
           cs * row_scale[static_cast<std::size_t>(
@@ -159,24 +153,26 @@ void Csc::scale(std::span<const value_t> row_scale,
   }
 }
 
-Csc Csc::symmetrized() const {
+template <class V>
+CscT<V> CscT<V>::symmetrized() const {
   PANGULU_CHECK(n_rows_ == n_cols_, "symmetrize needs a square matrix");
-  Coo coo(n_rows_, n_cols_);
+  CooT<V> coo(n_rows_, n_cols_);
   coo.entries.reserve(2 * static_cast<std::size_t>(nnz()));
   for (index_t j = 0; j < n_cols_; ++j) {
     for (nnz_t p = col_begin(j); p < col_end(j); ++p) {
       index_t r = row_idx_[static_cast<std::size_t>(p)];
-      value_t v = values_[static_cast<std::size_t>(p)];
+      V v = values_[static_cast<std::size_t>(p)];
       coo.add(r, j, v);
-      if (r != j) coo.add(j, r, value_t(0));
+      if (r != j) coo.add(j, r, V(0));
     }
   }
   return from_coo(coo);
 }
 
-Csc Csc::with_full_diagonal() const {
+template <class V>
+CscT<V> CscT<V>::with_full_diagonal() const {
   PANGULU_CHECK(n_rows_ == n_cols_, "needs a square matrix");
-  Coo coo(n_rows_, n_cols_);
+  CooT<V> coo(n_rows_, n_cols_);
   coo.entries.reserve(static_cast<std::size_t>(nnz()) +
                       static_cast<std::size_t>(n_rows_));
   for (index_t j = 0; j < n_cols_; ++j) {
@@ -186,15 +182,17 @@ Csc Csc::with_full_diagonal() const {
       if (r == j) has_diag = true;
       coo.add(r, j, values_[static_cast<std::size_t>(p)]);
     }
-    if (!has_diag) coo.add(j, j, value_t(0));
+    if (!has_diag) coo.add(j, j, V(0));
   }
   return from_coo(coo);
 }
 
-Csc Csc::sub_matrix(index_t r0, index_t r1, index_t c0, index_t c1) const {
+template <class V>
+CscT<V> CscT<V>::sub_matrix(index_t r0, index_t r1, index_t c0,
+                            index_t c1) const {
   PANGULU_CHECK(0 <= r0 && r0 <= r1 && r1 <= n_rows_, "row range");
   PANGULU_CHECK(0 <= c0 && c0 <= c1 && c1 <= n_cols_, "col range");
-  Csc s(r1 - r0, c1 - c0);
+  CscT<V> s(r1 - r0, c1 - c0);
   // First pass: counts.
   for (index_t j = c0; j < c1; ++j) {
     for (nnz_t p = col_begin(j); p < col_end(j); ++p) {
@@ -221,19 +219,22 @@ Csc Csc::sub_matrix(index_t r0, index_t r1, index_t c0, index_t c1) const {
   return s;
 }
 
-Csc Csc::pattern_copy() const {
-  Csc c = *this;
-  std::fill(c.values_.begin(), c.values_.end(), value_t(0));
+template <class V>
+CscT<V> CscT<V>::pattern_copy() const {
+  CscT<V> c = *this;
+  std::fill(c.values_.begin(), c.values_.end(), V(0));
   return c;
 }
 
-value_t Csc::max_abs() const {
-  value_t m = 0;
-  for (value_t v : values_) m = std::max(m, std::abs(v));
+template <class V>
+V CscT<V>::max_abs() const {
+  V m = 0;
+  for (V v : values_) m = std::max(m, std::abs(v));
   return m;
 }
 
-bool Csc::approx_equal(const Csc& other, value_t tol) const {
+template <class V>
+bool CscT<V>::approx_equal(const CscT<V>& other, V tol) const {
   if (n_rows_ != other.n_rows_ || n_cols_ != other.n_cols_) return false;
   // Compare as dense-equivalent: walk both patterns per column.
   for (index_t j = 0; j < n_cols_; ++j) {
@@ -242,17 +243,18 @@ bool Csc::approx_equal(const Csc& other, value_t tol) const {
     while (pa < ea || pb < eb) {
       index_t ra = pa < ea ? row_idx_[static_cast<std::size_t>(pa)] : n_rows_;
       index_t rb = pb < eb ? other.row_idx_[static_cast<std::size_t>(pb)] : n_rows_;
-      value_t va = 0, vb = 0;
+      V va = 0, vb = 0;
       if (ra <= rb) va = values_[static_cast<std::size_t>(pa++)];
       if (rb <= ra) vb = other.values_[static_cast<std::size_t>(pb++)];
-      value_t scale = std::max({std::abs(va), std::abs(vb), value_t(1)});
+      V scale = std::max({std::abs(va), std::abs(vb), V(1)});
       if (std::abs(va - vb) > tol * scale) return false;
     }
   }
   return true;
 }
 
-bool Csc::is_lower_triangular() const {
+template <class V>
+bool CscT<V>::is_lower_triangular() const {
   for (index_t j = 0; j < n_cols_; ++j) {
     if (col_begin(j) < col_end(j) &&
         row_idx_[static_cast<std::size_t>(col_begin(j))] < j)
@@ -261,7 +263,8 @@ bool Csc::is_lower_triangular() const {
   return true;
 }
 
-bool Csc::is_upper_triangular() const {
+template <class V>
+bool CscT<V>::is_upper_triangular() const {
   for (index_t j = 0; j < n_cols_; ++j) {
     if (col_begin(j) < col_end(j) &&
         row_idx_[static_cast<std::size_t>(col_end(j)) - 1] > j)
@@ -270,7 +273,8 @@ bool Csc::is_upper_triangular() const {
   return true;
 }
 
-Status Csc::validate() const {
+template <class V>
+Status CscT<V>::validate() const {
   if (n_rows_ < 0 || n_cols_ < 0)
     return Status::invalid_argument("negative dimensions");
   if (col_ptr_.size() != static_cast<std::size_t>(n_cols_) + 1)
@@ -292,5 +296,8 @@ Status Csc::validate() const {
     return Status::invalid_argument("array size mismatch");
   return Status::ok();
 }
+
+template class CscT<float>;
+template class CscT<double>;
 
 }  // namespace pangulu

@@ -1,6 +1,7 @@
 // Column-major dense matrix. Used as the scratch space of "Direct"
 // (dense-mapping) kernels and as the panel storage of the supernodal
-// baseline.
+// baseline. Templated on the value type V (float/double); the unsuffixed
+// alias keeps the historical FP64 spelling.
 #pragma once
 
 #include <algorithm>
@@ -13,17 +14,18 @@
 
 namespace pangulu {
 
-class Dense {
+template <class V>
+class DenseT {
  public:
-  Dense() = default;
-  Dense(index_t rows, index_t cols)
+  DenseT() = default;
+  DenseT(index_t rows, index_t cols)
       : n_rows_(rows),
         n_cols_(cols),
         data_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols),
-              value_t(0)) {}
+              V(0)) {}
 
-  static Dense from_csc(const Csc& a) {
-    Dense d(a.n_rows(), a.n_cols());
+  static DenseT from_csc(const CscT<V>& a) {
+    DenseT d(a.n_rows(), a.n_cols());
     for (index_t j = 0; j < a.n_cols(); ++j) {
       for (nnz_t p = a.col_begin(j); p < a.col_end(j); ++p) {
         d(a.row_idx()[static_cast<std::size_t>(p)], j) =
@@ -36,44 +38,44 @@ class Dense {
   index_t n_rows() const { return n_rows_; }
   index_t n_cols() const { return n_cols_; }
 
-  value_t& operator()(index_t r, index_t c) {
+  V& operator()(index_t r, index_t c) {
     return data_[static_cast<std::size_t>(c) * n_rows_ + r];
   }
-  value_t operator()(index_t r, index_t c) const {
+  V operator()(index_t r, index_t c) const {
     return data_[static_cast<std::size_t>(c) * n_rows_ + r];
   }
 
-  value_t* col(index_t c) { return data_.data() + static_cast<std::size_t>(c) * n_rows_; }
-  const value_t* col(index_t c) const {
+  V* col(index_t c) { return data_.data() + static_cast<std::size_t>(c) * n_rows_; }
+  const V* col(index_t c) const {
     return data_.data() + static_cast<std::size_t>(c) * n_rows_;
   }
 
-  void set_zero() { std::fill(data_.begin(), data_.end(), value_t(0)); }
+  void set_zero() { std::fill(data_.begin(), data_.end(), V(0)); }
 
   /// Convert to CSC, dropping entries with |v| <= drop_tol.
-  Csc to_csc(value_t drop_tol = value_t(0)) const {
-    Coo coo(n_rows_, n_cols_);
+  CscT<V> to_csc(V drop_tol = V(0)) const {
+    CooT<V> coo(n_rows_, n_cols_);
     for (index_t j = 0; j < n_cols_; ++j) {
       for (index_t i = 0; i < n_rows_; ++i) {
-        value_t v = (*this)(i, j);
+        V v = (*this)(i, j);
         if (std::abs(v) > drop_tol) coo.add(i, j, v);
       }
     }
-    return Csc::from_coo(coo);
+    return CscT<V>::from_coo(coo);
   }
 
   /// C -= A * B (all dense, shapes must agree). Reference GEMM used by the
   /// supernodal baseline's Schur complement and by kernel tests.
-  static void gemm_sub(const Dense& a, const Dense& b, Dense& c) {
+  static void gemm_sub(const DenseT& a, const DenseT& b, DenseT& c) {
     PANGULU_CHECK(a.n_cols() == b.n_rows() && c.n_rows() == a.n_rows() &&
                       c.n_cols() == b.n_cols(),
                   "gemm shape mismatch");
     for (index_t j = 0; j < b.n_cols(); ++j) {
       for (index_t k = 0; k < a.n_cols(); ++k) {
-        const value_t bkj = b(k, j);
-        if (bkj == value_t(0)) continue;
-        const value_t* ak = a.col(k);
-        value_t* cj = c.col(j);
+        const V bkj = b(k, j);
+        if (bkj == V(0)) continue;
+        const V* ak = a.col(k);
+        V* cj = c.col(j);
         for (index_t i = 0; i < a.n_rows(); ++i) cj[i] -= ak[i] * bkj;
       }
     }
@@ -82,7 +84,9 @@ class Dense {
  private:
   index_t n_rows_ = 0;
   index_t n_cols_ = 0;
-  std::vector<value_t> data_;
+  std::vector<V> data_;
 };
+
+using Dense = DenseT<value_t>;
 
 }  // namespace pangulu

@@ -34,6 +34,14 @@ enum class StatusCode {
   /// this code instead of deadlocking; the caller may retry with more
   /// capacity. Distinct from kUnavailable (unplanned loss).
   kResourceExhausted,
+  /// Mixed-precision iterative refinement stalled: the FP32 correction
+  /// solves stopped reducing the FP64 residual before the requested
+  /// tolerance was reached (the matrix is too ill-conditioned for an FP32
+  /// factorisation to precondition). Distinct from kNumericalError (a
+  /// kernel-level breakdown such as a zero pivot): the factorisation itself
+  /// completed, but refinement cannot converge on it. The caller should
+  /// retry at Precision::kDouble.
+  kNumericBreakdown,
 };
 
 /// Stable lower_snake_case name for every StatusCode. tools/lint.sh checks
@@ -62,6 +70,8 @@ inline const char* to_string(StatusCode code) {
       return "data_corruption";
     case StatusCode::kResourceExhausted:
       return "resource_exhausted";
+    case StatusCode::kNumericBreakdown:
+      return "numeric_breakdown";
   }
   return "unknown";
 }
@@ -105,6 +115,9 @@ class [[nodiscard]] Status {
   }
   static Status resource_exhausted(std::string m) {
     return Status(StatusCode::kResourceExhausted, std::move(m));
+  }
+  static Status numeric_breakdown(std::string m) {
+    return Status(StatusCode::kNumericBreakdown, std::move(m));
   }
 
   [[nodiscard]] bool is_ok() const { return code_ == StatusCode::kOk; }

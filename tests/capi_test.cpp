@@ -236,6 +236,63 @@ TEST(CApi, SessionRefactorizeAndMultiRhsRoundTrip) {
   pangulu_session_destroy(nullptr);
 }
 
+TEST(CApi, MixedPrecisionSessionRoundTrip) {
+  Csc m = pangulu::matgen::grid2d_laplacian(12, 12);
+  const int32_t n = m.n_cols();
+  CscArrays a = to_arrays(m);
+  const double tol = 1e-12;
+
+  pangulu_session* s = nullptr;
+  ASSERT_EQ(pangulu_session_create_ex(n, a.col_ptr.data(), a.row_idx.data(),
+                                      a.values.data(), 4, 0,
+                                      PANGULU_PRECISION_MIXED_IR, tol, 0, &s),
+            PANGULU_OK);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(pangulu_session_precision(s), PANGULU_PRECISION_MIXED_IR);
+  EXPECT_EQ(pangulu_session_refine_iterations(s), -1) << "no solve yet";
+  EXPECT_EQ(pangulu_session_final_residual(s), -1.0);
+
+  std::vector<value_t> ones(static_cast<std::size_t>(n), 1.0);
+  std::vector<double> bx(static_cast<std::size_t>(n));
+  m.spmv(ones, bx);
+  ASSERT_EQ(pangulu_session_solve(s, bx.data()), PANGULU_OK);
+  for (double v : bx) EXPECT_NEAR(v, 1.0, 1e-9);
+
+  // IR stats are retrievable and honour the requested tolerance.
+  EXPECT_GE(pangulu_session_refine_iterations(s), 1);
+  EXPECT_GE(pangulu_session_final_residual(s), 0.0);
+  EXPECT_LE(pangulu_session_final_residual(s), tol);
+
+  // Multi-RHS under mixed-IR reports the worst column's stats.
+  const int32_t k = 2;
+  std::vector<double> panel(static_cast<std::size_t>(n) * k, 1.0);
+  ASSERT_EQ(pangulu_session_solve_multi(s, panel.data(), k), PANGULU_OK);
+  EXPECT_LE(pangulu_session_final_residual(s), tol);
+
+  pangulu_session_destroy(s);
+
+  // The classic constructor stays FP64 and reports its precision as such.
+  pangulu_session* d = nullptr;
+  ASSERT_EQ(pangulu_session_create(n, a.col_ptr.data(), a.row_idx.data(),
+                                   a.values.data(), 1, 0, &d),
+            PANGULU_OK);
+  EXPECT_EQ(pangulu_session_precision(d), PANGULU_PRECISION_DOUBLE);
+  pangulu_session_destroy(d);
+
+  // Out-of-range precision and negative IR knobs are rejected up front.
+  EXPECT_EQ(pangulu_session_create_ex(n, a.col_ptr.data(), a.row_idx.data(),
+                                      a.values.data(), 1, 0,
+                                      static_cast<pangulu_precision>(7), 0, 0,
+                                      &s),
+            PANGULU_INVALID_ARGUMENT);
+  EXPECT_EQ(pangulu_session_create_ex(n, a.col_ptr.data(), a.row_idx.data(),
+                                      a.values.data(), 1, 0,
+                                      PANGULU_PRECISION_MIXED_IR, -1.0, 0, &s),
+            PANGULU_INVALID_ARGUMENT);
+  EXPECT_EQ(pangulu_session_precision(nullptr), PANGULU_PRECISION_DOUBLE);
+  EXPECT_EQ(pangulu_session_refine_iterations(nullptr), -1);
+}
+
 TEST(CApi, CreateFromFile) {
   Csc m = pangulu::matgen::grid2d_laplacian(6, 6);
   const std::string path = ::testing::TempDir() + "/capi_test.mtx";

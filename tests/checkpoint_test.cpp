@@ -53,9 +53,10 @@ Prepared prepare(const Csc& a, index_t block_size, rank_t ranks) {
   return p;
 }
 
-bool bitwise_equal(const block::BlockMatrix& x, const block::BlockMatrix& y) {
-  const Csc a = x.to_csc();
-  const Csc b = y.to_csc();
+template <class BM>
+bool bitwise_equal(const BM& x, const BM& y) {
+  const auto a = x.to_csc();
+  const auto b = y.to_csc();
   if (a.nnz() != b.nnz()) return false;
   for (nnz_t p = 0; p < a.nnz(); ++p) {
     if (a.values()[static_cast<std::size_t>(p)] !=
@@ -347,6 +348,56 @@ TEST(Abft, BitFlipDetectedAndRecomputed) {
   EXPECT_GE(prot_res.abft_detected, 1);
   EXPECT_GE(prot_res.abft_recomputed, 1);
   EXPECT_TRUE(bitwise_equal(clean.bm, guarded.bm));
+}
+
+TEST(Abft, Fp32BitFlipDetectedAndRecomputed) {
+  // The precision-aware twin of BitFlipDetectedAndRecomputed: checksums are
+  // computed over the active value type (FNV-1a over FP32 bytes), the flip
+  // lands at the FP32 word width, and replay repair restores the FP32
+  // factors bit for bit (DESIGN.md §14).
+  const rank_t ranks = 2;
+  Csc a = matgen::grid2d_laplacian(9, 9);
+  Prepared base = prepare(a, 16, ranks);
+  const index_t t0 = first_read_getrf(base);
+  ASSERT_GE(t0, 0);
+  FaultPlan::BitFlip flip;
+  flip.after_task = t0;
+  flip.block_pos = base.tasks[static_cast<std::size_t>(t0)].target;
+  flip.value_index = 0;
+  flip.bit = 23;  // FP32 mantissa-exponent boundary: large and silent
+
+  auto clean = block::BlockMatrixT<float>::converted_from(base.bm);
+  SimOptions copts;
+  copts.n_ranks = ranks;
+  SimResult cres;
+  ASSERT_TRUE(runtime::simulate_factorization(clean, base.tasks, base.mapping,
+                                              copts, &cres)
+                  .is_ok());
+
+  // Unprotected: the flip silently lands in the FP32 factors.
+  auto flipped = block::BlockMatrixT<float>::converted_from(base.bm);
+  SimOptions unprot = copts;
+  unprot.faults.bitflips.push_back(flip);
+  SimResult ures;
+  ASSERT_TRUE(runtime::simulate_factorization(flipped, base.tasks,
+                                              base.mapping, unprot, &ures)
+                  .is_ok());
+  EXPECT_EQ(ures.abft_detected, 0);
+  EXPECT_FALSE(bitwise_equal(clean, flipped));
+
+  // Cheap audits over the FP32 checksums: detected, recomputed, restored.
+  auto guarded = block::BlockMatrixT<float>::converted_from(base.bm);
+  SimOptions prot = copts;
+  prot.faults.bitflips.push_back(flip);
+  prot.abft = AbftLevel::kCheap;
+  SimResult pres;
+  Status s = runtime::simulate_factorization(guarded, base.tasks, base.mapping,
+                                             prot, &pres);
+  ASSERT_TRUE(s.is_ok()) << s.message();
+  EXPECT_GT(pres.abft_audits, 0);
+  EXPECT_GE(pres.abft_detected, 1);
+  EXPECT_GE(pres.abft_recomputed, 1);
+  EXPECT_TRUE(bitwise_equal(clean, guarded));
 }
 
 TEST(Abft, FinalSweepCatchesWhatCheapAuditsCannot) {

@@ -74,6 +74,35 @@ ban 'mt19937' \
 ban 'std::(cout|cerr)' \
     'stdout/stderr printing in library code (return Status instead)'
 
+# Precision hygiene (DESIGN.md §14): the numeric stack is templated on its
+# value type, and src/kernels/precision.hpp is the single file allowed to
+# spell a concrete floating-point type. A raw `double` anywhere else under
+# src/kernels/ re-hardwires FP64 behind the template's back — new code must
+# use the template parameter V or the control-data aliases (flops_t,
+# seconds_t, metric_t, tolerance_t). Lines containing `template` are exempt
+# (explicit instantiations must name both widths), and a multi-line explicit
+# instantiation (`template Status f<double>(...` wrapped by clang-format)
+# stays exempt until its closing `;`.
+prec_hits=""
+for f in $(find src/kernels -name '*.hpp' -o -name '*.cpp' | sort); do
+  [ "$f" = "src/kernels/precision.hpp" ] && continue
+  h=$(strip_noise "$f" | awk '
+    skip { if (index($0, ";")) skip = 0; next }
+    /template/ {
+      if ($0 ~ /^template [^<]/ && !index($0, ";")) skip = 1
+      next
+    }
+    /(^|[^_[:alnum:]])double([^_[:alnum:]]|$)/ { printf "%d:%s\n", FNR, $0 }
+  ' | sed "s|^|$f:|") || true
+  [ -n "$h" ] && prec_hits="$prec_hits$h"$'\n'
+done
+if [ -n "$prec_hits" ]; then
+  echo "LINT: raw double in src/kernels/ outside precision.hpp (use the" \
+       "value-type template parameter or the control-data aliases):"
+  printf '%s' "$prec_hits"
+  fail=1
+fi
+
 # Snapshot wire-format gate: the checkpoint format constants and the tagged
 # field registry must agree with tools/snapshot_format.lock. Growing or
 # reordering fields without bumping the version would make old snapshot
