@@ -53,6 +53,9 @@ int set_status(H* h, const Status& s) {
     case StatusCode::kDataCorruption: return PANGULU_DATA_CORRUPTION;
     case StatusCode::kResourceExhausted: return PANGULU_RESOURCE_EXHAUSTED;
     case StatusCode::kNumericBreakdown: return PANGULU_NUMERIC_BREAKDOWN;
+    case StatusCode::kDeadlineExceeded: return PANGULU_DEADLINE_EXCEEDED;
+    case StatusCode::kCancelled: return PANGULU_CANCELLED;
+    case StatusCode::kInternal: return PANGULU_INTERNAL;
     default: return PANGULU_INTERNAL;
   }
 }
@@ -293,6 +296,24 @@ int pangulu_session_solve(pangulu_session* s, double* b_x) {
     std::vector<double> x(n);
     pangulu::solver::SolveStats stats;
     Status st = s->session.solve({b_x, n}, x, &stats);
+    if (st.is_ok()) {
+      std::copy(x.begin(), x.end(), b_x);
+      s->last_solve = stats;
+      s->solved = true;
+    }
+    return set_status(s, st);
+  });
+}
+
+int pangulu_session_solve_deadline(pangulu_session* s, double* b_x,
+                                   double deadline_seconds) {
+  if (!s || !b_x) return PANGULU_INVALID_ARGUMENT;
+  return guarded(s, [&]() -> int {
+    const auto n = static_cast<std::size_t>(s->matrix.n_cols());
+    std::vector<double> x(n);
+    pangulu::solver::SolveStats stats;
+    Status st = s->session.solve_deadline({b_x, n}, x, deadline_seconds,
+                                          &stats);
     if (st.is_ok()) {
       std::copy(x.begin(), x.end(), b_x);
       s->last_solve = stats;

@@ -43,7 +43,15 @@ typedef enum pangulu_status {
    * before reaching the requested tolerance: the FP32 factorisation is too
    * weak a preconditioner for this matrix. The factorisation itself
    * completed; retry the session at PANGULU_PRECISION_DOUBLE. */
-  PANGULU_NUMERIC_BREAKDOWN = 11
+  PANGULU_NUMERIC_BREAKDOWN = 11,
+  /* A request's deadline expired before the work finished. The operation
+   * stopped cooperatively at the next safe point without publishing a
+   * partial factor; the handle/session stays usable and retrying with a
+   * larger budget is safe. */
+  PANGULU_DEADLINE_EXCEEDED = 12,
+  /* The caller revoked the request (cooperative cancellation). Same
+   * no-partial-state guarantees as PANGULU_DEADLINE_EXCEEDED. */
+  PANGULU_CANCELLED = 13
 } pangulu_status;
 
 /* Numeric-phase storage precision of a session (DESIGN.md §14).
@@ -155,6 +163,15 @@ int pangulu_session_refactorize_csc(pangulu_session* s, const int64_t* col_ptr,
 
 /* Solve A x = b; b_x holds b on entry and x on return (length n). */
 int pangulu_session_solve(pangulu_session* s, double* b_x);
+
+/* As pangulu_session_solve under a wall-clock deadline of deadline_seconds
+ * from the call. A solve that cannot finish in time stops cooperatively at
+ * the next sweep level or refinement iteration and fails with
+ * PANGULU_DEADLINE_EXCEEDED, leaving b_x untouched and the session fully
+ * usable — a later solve with a larger (or no) budget succeeds.
+ * deadline_seconds <= 0 sheds immediately. */
+int pangulu_session_solve_deadline(pangulu_session* s, double* b_x,
+                                   double deadline_seconds);
 
 /* Solve A X = B for k right-hand sides: b_x is column-major n x k, holding
  * B on entry and X on return. Each factor block is visited once per sweep

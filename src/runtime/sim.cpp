@@ -644,6 +644,12 @@ Status run_sync_free(const block::BlockMatrixT<V>& bm,
   while (!events.empty()) {
     PendingEvent ev = events.top();
     events.pop();
+    // Virtual-deadline poll: the DES clock has provably reached ev.time, so
+    // a deadline behind it can never be met and the run sheds here.
+    if (o.cancel) {
+      Status s = o.cancel->check_virtual(ev.time, "sync-free event loop");
+      if (!s.is_ok()) return s;
+    }
     if (ev.task == kRecoveryEvent) {
       Status s = recover(ev.rank, ev.time);
       if (!s.is_ok()) return s;
@@ -835,6 +841,13 @@ Status run_level_set(const block::BlockMatrixT<V>& bm,
   };
 
   for (index_t k = 0; k < nb && ti < tasks.size(); ++k) {
+    // Virtual-deadline poll at the slice barrier: every rank is quiesced
+    // here, so shedding leaves no phase half-scheduled.
+    if (o.cancel) {
+      Status cps = o.cancel->check_virtual(
+          now, ("level-set slice " + std::to_string(k)).c_str());
+      if (!cps.is_ok()) return cps;
+    }
     Status cs = handle_crashes();
     if (!cs.is_ok()) return cs;
     cs = handle_elastic(false);
@@ -1112,6 +1125,17 @@ Status simulate_factorization(block::BlockMatrixT<V>& bm,
     Timer ckpt_elapsed;
 
     for (index_t t = opts.resume_from_task; t < nt; ++t) {
+      // Cooperative cancellation at the commit safe point: nothing from
+      // task t onward has been committed, the factor arrays are simply
+      // abandoned with the run (the caller never flips its published flag).
+      if (opts.cancel) {
+        Status s = opts.cancel->check(
+            ("factorization commit safe point " + std::to_string(t)).c_str());
+        if (!s.is_ok()) {
+          finish_abft();
+          return s;
+        }
+      }
       if (guard) {
         Status s = guard->before_task(t);
         if (!s.is_ok()) {

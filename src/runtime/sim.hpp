@@ -38,6 +38,7 @@
 #include "runtime/elastic.hpp"
 #include "runtime/fault.hpp"
 #include "runtime/trace.hpp"
+#include "util/cancel.hpp"
 #include "util/status.hpp"
 
 namespace pangulu::runtime {
@@ -121,6 +122,12 @@ struct SimOptions {
   /// so checker counterexamples found under a mutation reproduce the same
   /// violation here. Never enable outside tests.
   analysis::ProtocolMutations protocol_mutations;
+  /// Optional cooperative cancellation (util/cancel.hpp). Not owned. Polled
+  /// at every canonical commit safe point (manual cancel / wall deadline)
+  /// and at every scheduler event pop against the DES virtual clock
+  /// (virtual deadline). Expiry fails typed with kCancelled /
+  /// kDeadlineExceeded; the factorisation publishes nothing partial.
+  const CancelToken* cancel = nullptr;
 };
 
 struct RankStats {

@@ -348,6 +348,16 @@ Status threaded_factorize(block::BlockMatrixT<V>& bm,
         t = steal_one(r);
         if (t < 0) continue;
       }
+      // Task boundary = safe point: the claimed task has not started, its
+      // dependency counter already fired, and handing the failure to
+      // record_failure wakes every other rank-thread out of its wait.
+      if (opts.cancel) {
+        Status cs = opts.cancel->check("threaded task boundary");
+        if (!cs.is_ok()) {
+          record_failure(std::move(cs));
+          return;
+        }
+      }
       const Task& task = tasks[static_cast<std::size_t>(t)];
       if (audit) enter_exec();
       auto& busy = block_busy[static_cast<std::size_t>(task.target)];

@@ -14,6 +14,7 @@
 #include "kernels/precision.hpp"
 #include "runtime/abft.hpp"
 #include "runtime/fault.hpp"
+#include "util/cancel.hpp"
 #include "util/status.hpp"
 
 namespace pangulu::runtime {
@@ -47,6 +48,12 @@ struct ThreadedOptions {
   // the matching index completes (whatever thread ran it), exercising the
   // detection path above. Kill/message faults are DES-only.
   std::vector<FaultPlan::BitFlip> bitflips;
+  // Optional cooperative cancellation (util/cancel.hpp). Not owned. Every
+  // rank-thread polls the token at its task boundaries against the wall
+  // clock (steady_clock); the first expiry is recorded like any other
+  // failure and quiesces the whole crew. Nothing partial is published: the
+  // caller's factorized flag never flips on a cancelled run.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Factorise `bm` in place using `n_ranks` concurrent rank-threads.

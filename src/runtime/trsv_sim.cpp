@@ -1,7 +1,9 @@
 #include "runtime/trsv_sim.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <queue>
+#include <string>
 #include <tuple>
 #include <vector>
 
@@ -25,6 +27,38 @@ struct Event {
     return std::tie(time, seq) > std::tie(o.time, o.seq);
   }
 };
+
+// Elastic events in firing order on the solve phase's commit clock (the
+// diagonal-solve count): by at_commit, adds before drains on ties, matching
+// ElasticPlan::validate and the factorisation DES.
+struct SolveElasticStep {
+  index_t at_commit;
+  rank_t rank;
+  bool is_add;
+};
+
+std::vector<SolveElasticStep> solve_elastic_steps(const ElasticPlan& plan) {
+  std::vector<SolveElasticStep> steps;
+  steps.reserve(plan.adds.size() + plan.drains.size());
+  for (const auto& e : plan.adds) steps.push_back({e.at_commit, e.rank, true});
+  for (const auto& e : plan.drains)
+    steps.push_back({e.at_commit, e.rank, false});
+  std::stable_sort(steps.begin(), steps.end(),
+                   [](const SolveElasticStep& a, const SolveElasticStep& b) {
+                     if (a.at_commit != b.at_commit)
+                       return a.at_commit < b.at_commit;
+                     return a.is_add && !b.is_add;
+                   });
+  return steps;
+}
+
+// The I5 message-conservation re-proof needs the factorisation task list,
+// which the solve phase does not have: clamp kFull to the structural I6
+// proof (totality, bounded movement, count conservation).
+analysis::VerifyLevel solve_verify_level(analysis::VerifyLevel level) {
+  return level == analysis::VerifyLevel::kOff ? level
+                                              : analysis::VerifyLevel::kCheap;
+}
 
 }  // namespace
 
@@ -142,31 +176,70 @@ Status simulate_trsv(const block::BlockMatrixT<V>& f, const TrsvPlan& plan,
   return simulate_trsv_panel(f, plan, x.data(), 1, 1, opts, result);
 }
 
+namespace {
+
+// Event-driven timing replay of one (possibly elastic) solve over a prebuilt
+// plan. Pure scheduling — no numerics — so it can run *before* the canonical
+// sweep: a virtual-deadline miss or a mid-replay load shed returns with the
+// caller's vector untouched. Elastic drains/adds fire at diagonal-solve
+// commit boundaries, mirroring the factorisation DES protocol: quiesce the
+// rank, Mapping::rebalance a working copy, re-prove it with the I6 verifier,
+// charge migration time, re-route queued work.
 template <class V>
-Status simulate_trsv_panel(const block::BlockMatrixT<V>& f,
-                           const TrsvPlan& plan, V* x, index_t stride,
-                           index_t k, const TrsvOptions& opts,
-                           SimResult* result) {
-  *result = SimResult{};
+Status trsv_replay(const block::BlockMatrixT<V>& f, const TrsvPlan& plan,
+                   index_t k, const TrsvOptions& opts, SimResult* result) {
   const index_t nb = plan.nb;
-  if (k <= 0) return Status::invalid_argument("trsv: panel width must be >= 1");
-  if (stride < k)
-    return Status::invalid_argument("trsv: panel row stride too small");
-  if (plan.n_ranks != opts.n_ranks)
-    return Status::invalid_argument("trsv: plan rank count mismatch");
-  if (nb != f.nb())
-    return Status::invalid_argument("trsv: plan built for a different grid");
-  const bool lower = plan.lower;
   const index_t n_tasks = plan.n_tasks;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  static const std::vector<block::Task> kNoTasks;
 
   std::vector<index_t> dep(plan.init_dep);
   result->ranks.assign(static_cast<std::size_t>(opts.n_ranks), RankStats{});
   std::vector<double> busy_until(static_cast<std::size_t>(opts.n_ranks), 0.0);
   std::vector<double> ready_time(static_cast<std::size_t>(n_tasks), 0.0);
+  std::vector<char> done(static_cast<std::size_t>(n_tasks), 0);
+  // Owners are read fresh at event-pop time, so a rebalance re-routes every
+  // not-yet-run task by rewriting this copy.
+  std::vector<rank_t> owner(plan.owner);
 
-  // Per-rank ready queues ordered by the precomputed packed key: packing
-  // preserves the (crit, kind, id) tuple order, so pops match the legacy
-  // tuple comparator exactly.
+  const bool elastic_run = !opts.elastic.empty();
+  block::Mapping mapping;
+  std::vector<char> alive;
+  std::vector<SolveElasticStep> esteps;
+  std::size_t next_step = 0;
+  const analysis::VerifyLevel vlevel = solve_verify_level(opts.verify_level);
+
+  auto refresh_owners = [&] {
+    for (index_t t = 0; t < n_tasks; ++t) {
+      if (done[static_cast<std::size_t>(t)]) continue;
+      const nnz_t pos =
+          t < nb ? plan.diag_pos[static_cast<std::size_t>(t)]
+                 : plan.upd_pos[static_cast<std::size_t>(t - nb)];
+      owner[static_cast<std::size_t>(t)] =
+          mapping.owner[static_cast<std::size_t>(pos)];
+    }
+  };
+
+  if (elastic_run) {
+    mapping = *opts.mapping;
+    alive = opts.elastic.initially_active(opts.n_ranks);
+    // Provisioning, not migration: a rank whose first event is an add starts
+    // idle, so its blocks re-home at zero cost before any task runs.
+    for (rank_t r = 0; r < opts.n_ranks; ++r) {
+      if (alive[static_cast<std::size_t>(r)]) continue;
+      block::Mapping before = mapping;
+      if (mapping.rebalance(r, -1, alive) < 0)
+        return Status::resource_exhausted(
+            "trsv: elastic plan leaves no rank live before the first solve "
+            "task");
+      Status vs = analysis::verify_rebalance(f, kNoTasks, before, mapping, r,
+                                             -1, alive, vlevel);
+      if (!vs.is_ok()) return vs;
+    }
+    refresh_owners();
+    esteps = solve_elastic_steps(opts.elastic);
+  }
+
   auto priority_less = [&](index_t a, index_t b) {
     return plan.prio[static_cast<std::size_t>(a)] >
            plan.prio[static_cast<std::size_t>(b)];
@@ -182,10 +255,97 @@ Status simulate_trsv_panel(const block::BlockMatrixT<V>& f,
     if (dep[static_cast<std::size_t>(t)] == 0) events.push({0.0, seq++, t, 0});
   }
 
-  const auto& grid = f.grid();
   double makespan = 0;
   index_t completed = 0;
+  index_t diag_done = 0;  // the solve phase's commit clock
 
+  // Mirror of the factorisation DES handle_elastic, on the diagonal-solve
+  // commit clock. Drains quiesce the rank's in-flight task, migrate its
+  // factor blocks (each travelling once over the wire) and park it at +inf;
+  // adds steal from the most-loaded donors and wake the newcomer once the
+  // migrated state lands.
+  auto handle_elastic = [&](double now, bool fire_all) -> Status {
+    for (; next_step < esteps.size() &&
+           (fire_all || esteps[next_step].at_commit <= diag_done);
+         ++next_step) {
+      const SolveElasticStep& st = esteps[next_step];
+      const auto ri = static_cast<std::size_t>(st.rank);
+      block::Mapping before = mapping;
+      std::vector<nnz_t> moved_pos;
+      nnz_t moved = 0;
+      double quiesce = now;
+      if (st.is_add) {
+        if (alive[ri]) continue;  // validate() rejects this; stay defensive
+        alive[ri] = 1;
+        moved = mapping.rebalance(st.rank, +1, alive, &moved_pos);
+        if (moved < 0)
+          return Status::resource_exhausted(
+              "add of rank " + std::to_string(st.rank) +
+              " found no donor blocks");
+      } else {
+        if (!alive[ri] || busy_until[ri] == kInf) continue;
+        rank_t live = 0;
+        for (char a : alive) live += a ? 1 : 0;
+        if (live - 1 < opts.elastic.min_ranks)
+          return Status::resource_exhausted(
+              "drain of rank " + std::to_string(st.rank) + " at solve commit " +
+              std::to_string(diag_done) + " would leave " +
+              std::to_string(live - 1) + " live ranks, below min_ranks " +
+              std::to_string(opts.elastic.min_ranks) + "; load shed");
+        quiesce = std::max(now, busy_until[ri]);
+        alive[ri] = 0;
+        moved = mapping.rebalance(st.rank, -1, alive, &moved_pos);
+        if (moved < 0)
+          return Status::resource_exhausted(
+              "drain of rank " + std::to_string(st.rank) +
+              " found no live rank to adopt its blocks");
+      }
+      refresh_owners();
+      Status vs =
+          analysis::verify_rebalance(f, kNoTasks, before, mapping, st.rank,
+                                     st.is_add ? +1 : -1, alive, vlevel);
+      if (!vs.is_ok()) return vs;
+      double tmig = 0;
+      for (nnz_t pos : moved_pos) {
+        const CscT<V>& blk = f.block(pos);
+        tmig += opts.device.message_time(block_message_bytes(
+                    blk.nnz(), blk.n_cols(), sizeof(V))) +
+                opts.device.remap_per_block_s;
+      }
+      const double ready_at = quiesce + tmig;
+      if (st.is_add) {
+        busy_until[ri] = ready_at;
+        events.push({ready_at, seq++, -1, st.rank});
+        result->ranks_added++;
+      } else {
+        busy_until[ri] = kInf;  // the drained rank takes no more work
+        result->ranks_drained++;
+      }
+      // Re-route queued work through the event queue: owner is read fresh at
+      // pop time, so tasks whose block migrated land on the new owner and
+      // become runnable once the migrated state has arrived.
+      for (rank_t q = 0; q < opts.n_ranks; ++q) {
+        auto& rq = ready[static_cast<std::size_t>(q)];
+        while (!rq.empty()) {
+          const index_t t = rq.top();
+          rq.pop();
+          const auto pos = static_cast<std::size_t>(
+              t < nb ? plan.diag_pos[static_cast<std::size_t>(t)]
+                     : plan.upd_pos[static_cast<std::size_t>(t - nb)]);
+          const bool migrated = before.owner[pos] != mapping.owner[pos];
+          events.push({std::max(migrated ? ready_at : now,
+                                ready_time[static_cast<std::size_t>(t)]),
+                       seq++, t, 0});
+        }
+      }
+      result->migrated_blocks += moved;
+      result->migration_time += (quiesce - now) + tmig;
+      makespan = std::max(makespan, ready_at);
+    }
+    return Status::ok();
+  };
+
+  Status es = Status::ok();
   auto start_one = [&](rank_t r, double now) {
     auto& q = ready[static_cast<std::size_t>(r)];
     if (q.empty()) return;
@@ -196,37 +356,17 @@ Status simulate_trsv_panel(const block::BlockMatrixT<V>& f,
     // time scales linearly with the panel width.
     const double cost =
         plan.cost[static_cast<std::size_t>(t)] * static_cast<double>(k);
-    if (opts.execute_numerics) {
-      if (t < nb) {
-        V* seg = x + static_cast<std::size_t>(grid.block_start(t)) * stride;
-        const CscT<V>& d = f.block(plan.diag_pos[static_cast<std::size_t>(t)]);
-        if (lower)
-          kernels::gessm_dense_panel(d, seg, stride, k);
-        else
-          kernels::tstrf_dense_panel(d, seg, stride, k);
-      } else {
-        const auto u = static_cast<std::size_t>(t - nb);
-        kernels::spmm_sub_panel(
-            f.block(plan.upd_pos[u]),
-            x + static_cast<std::size_t>(grid.block_start(plan.upd_src[u])) *
-                    stride,
-            stride,
-            x + static_cast<std::size_t>(grid.block_start(plan.upd_dst[u])) *
-                    stride,
-            stride, k);
-      }
-    }
     const double fin = now + cost;
     busy_until[static_cast<std::size_t>(r)] = fin;
     makespan = std::max(makespan, fin);
     auto& rs = result->ranks[static_cast<std::size_t>(r)];
     rs.busy += cost;
-    result->total_flops += cost;  // placeholder: flops tracked via cost inputs
     ++completed;
+    done[static_cast<std::size_t>(t)] = 1;
 
     // Release dependents.
     auto release = [&](index_t d_task, std::size_t msg_bytes) {
-      const rank_t dr = plan.owner[static_cast<std::size_t>(d_task)];
+      const rank_t dr = owner[static_cast<std::size_t>(d_task)];
       double arrive = fin;
       if (dr != r) {
         arrive += opts.device.message_time(msg_bytes);
@@ -238,7 +378,7 @@ Status simulate_trsv_panel(const block::BlockMatrixT<V>& f,
       if (--dep[static_cast<std::size_t>(d_task)] == 0)
         events.push({rd, seq++, d_task, 0});
     };
-    // A cross-rank message now carries the segment for all k columns.
+    // A cross-rank message carries the segment for all k columns.
     if (t < nb) {
       for (index_t p = plan.from_ptr[static_cast<std::size_t>(t)];
            p < plan.from_ptr[static_cast<std::size_t>(t) + 1]; ++p) {
@@ -253,22 +393,47 @@ Status simulate_trsv_panel(const block::BlockMatrixT<V>& f,
                   static_cast<std::size_t>(k));
     }
     events.push({fin, seq++, -1, r});
+    // A committed diagonal solve advances the commit clock; elastic events
+    // due at this boundary fire at its completion time.
+    if (t < nb) {
+      ++diag_done;
+      if (elastic_run) es = handle_elastic(fin, false);
+    }
   };
+
+  // Commit 0 is itself a safe point (events scheduled before any task).
+  if (elastic_run) {
+    Status s0 = handle_elastic(0.0, false);
+    if (!s0.is_ok()) return s0;
+  }
 
   while (!events.empty()) {
     Event ev = events.top();
     events.pop();
+    // Virtual-deadline poll: the DES clock has provably reached ev.time, so
+    // a deadline behind it can never be met and the solve sheds here.
+    if (opts.cancel) {
+      Status cs = opts.cancel->check_virtual(ev.time, "trsv event loop");
+      if (!cs.is_ok()) return cs;
+    }
     rank_t r;
     if (ev.task >= 0) {
-      r = plan.owner[static_cast<std::size_t>(ev.task)];
+      r = owner[static_cast<std::size_t>(ev.task)];
       ready[static_cast<std::size_t>(r)].push(ev.task);
     } else {
       r = ev.rank;
     }
     if (busy_until[static_cast<std::size_t>(r)] > ev.time + 1e-30) continue;
     start_one(r, ev.time);
+    if (!es.is_ok()) return es;
   }
   PANGULU_CHECK(completed == n_tasks, "trsv DES deadlocked");
+  // Elastic events scheduled past the final commit still fire (the cluster
+  // reshapes after the solve drains), at the end of the schedule.
+  if (elastic_run) {
+    Status sf = handle_elastic(makespan, true);
+    if (!sf.is_ok()) return sf;
+  }
 
   result->makespan = makespan;
   result->total_flops = 0;  // not meaningful for trsv; callers use makespan
@@ -281,6 +446,82 @@ Status simulate_trsv_panel(const block::BlockMatrixT<V>& f,
     result->bytes += rs.bytes_sent;
   }
   result->avg_sync /= std::max<rank_t>(1, opts.n_ranks);
+  return Status::ok();
+}
+
+}  // namespace
+
+template <class V>
+Status simulate_trsv_panel(const block::BlockMatrixT<V>& f,
+                           const TrsvPlan& plan, V* x, index_t stride,
+                           index_t k, const TrsvOptions& opts,
+                           SimResult* result) {
+  *result = SimResult{};
+  const index_t nb = plan.nb;
+  if (k <= 0) return Status::invalid_argument("trsv: panel width must be >= 1");
+  if (stride < k)
+    return Status::invalid_argument("trsv: panel row stride too small");
+  if (plan.n_ranks != opts.n_ranks)
+    return Status::invalid_argument("trsv: plan rank count mismatch");
+  if (nb != f.nb())
+    return Status::invalid_argument("trsv: plan built for a different grid");
+  if (!opts.elastic.empty()) {
+    if (!opts.mapping)
+      return Status::invalid_argument(
+          "trsv: an elastic plan requires TrsvOptions::mapping (the mapping "
+          "the solve plan was built against)");
+    if (opts.mapping->n_ranks != opts.n_ranks)
+      return Status::invalid_argument("trsv: mapping rank count mismatch");
+    Status es = opts.elastic.validate(opts.n_ranks);
+    if (!es.is_ok()) return es;
+  }
+
+  // Phase 1: the event-driven timing replay, including elastic events and
+  // virtual-deadline polls. Failing here leaves `x` untouched.
+  Status rs = trsv_replay(f, plan, k, opts, result);
+  if (!rs.is_ok()) {
+    *result = SimResult{};
+    return rs;
+  }
+
+  // Phase 2: canonical numerics, decoupled from the schedule — segment by
+  // segment in sweep order, each diagonal solve followed by the updates it
+  // releases (ascending block row within the column). Any valid schedule,
+  // mapping or elastic plan replays to this same order, so the solution is
+  // bitwise identical across all of them.
+  if (opts.execute_numerics) {
+    const auto& grid = f.grid();
+    const bool lower = plan.lower;
+    for (index_t level = 0; level < nb; ++level) {
+      const index_t bj = lower ? level : nb - 1 - level;
+      // Sweep-level boundary = solve safe point: segment bj and everything
+      // it feeds are not yet committed when the poll sheds the solve.
+      if (opts.cancel) {
+        Status cs = opts.cancel->check(
+            ("trsv sweep level " + std::to_string(level)).c_str());
+        if (!cs.is_ok()) return cs;
+      }
+      V* seg = x + static_cast<std::size_t>(grid.block_start(bj)) * stride;
+      const CscT<V>& d = f.block(plan.diag_pos[static_cast<std::size_t>(bj)]);
+      if (lower)
+        kernels::gessm_dense_panel(d, seg, stride, k);
+      else
+        kernels::tstrf_dense_panel(d, seg, stride, k);
+      for (index_t p = plan.from_ptr[static_cast<std::size_t>(bj)];
+           p < plan.from_ptr[static_cast<std::size_t>(bj) + 1]; ++p) {
+        const auto u =
+            static_cast<std::size_t>(plan.from_adj[static_cast<std::size_t>(p)]);
+        kernels::spmm_sub_panel(
+            f.block(plan.upd_pos[u]),
+            x + static_cast<std::size_t>(grid.block_start(plan.upd_src[u])) *
+                    stride,
+            stride,
+            x + static_cast<std::size_t>(grid.block_start(plan.upd_dst[u])) *
+                    stride,
+            stride, k);
+      }
+    }
+  }
   return Status::ok();
 }
 

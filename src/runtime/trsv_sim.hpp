@@ -1,6 +1,10 @@
 // Distributed block sparse triangular solve (step 5 of the pipeline, §4.1)
 // on the simulated cluster. Like the factorisation DES, the numerics execute
-// for real on the host while ranks accrue virtual time; scheduling is
+// for real on the host in *canonical sweep order* (segment by segment, each
+// diagonal solve followed by the updates it releases), decoupled from the
+// event replay that accrues virtual time — so the solution is bitwise
+// identical for every rank count, schedule and elastic plan, and only
+// makespan/sync/communication vary. Scheduling in the replay is
 // synchronisation-free in the style of Liu et al. [58]: a per-segment
 // counter of outstanding updates releases the diagonal solve the moment the
 // last update lands, with no level barriers.
@@ -28,6 +32,27 @@ struct TrsvOptions {
   DeviceModel device = DeviceModel::a100_like();
   rank_t n_ranks = 1;
   bool execute_numerics = true;
+  /// Planned capacity changes during the solve phase (runtime/elastic.hpp).
+  /// The solve phase's commit clock is the count of committed diagonal
+  /// solves: a drain/add with at_commit = c fires at the first level
+  /// boundary where c segments have committed (drain quiesce ->
+  /// Mapping::rebalance -> I6 re-proof -> continue). Requires `mapping`.
+  /// Because the numerics run canonically, the solution is bitwise
+  /// identical to the static run; only the replay's timing/traffic move.
+  ElasticPlan elastic;
+  /// The mapping the plan was built against — required (not owned) whenever
+  /// `elastic` is non-empty, so capacity changes rebalance a working copy.
+  const block::Mapping* mapping = nullptr;
+  /// Re-proof level for each solve-phase rebalance. kFull clamps to kCheap
+  /// here: the I5 message-conservation proof wants the factorisation task
+  /// list, which does not exist during the solve phase.
+  analysis::VerifyLevel verify_level = analysis::VerifyLevel::kCheap;
+  /// Optional cooperative cancellation (util/cancel.hpp). Not owned. Polled
+  /// between sweep levels (manual cancel / wall deadline) and at every
+  /// event pop against the DES virtual clock (virtual deadline). The
+  /// timing replay runs before the canonical numerics, so a
+  /// virtual-deadline miss sheds the solve with `x` untouched.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Cached triangular-solve schedule. Task ids: [0, nb) are diagonal solves

@@ -1,8 +1,21 @@
 #include "solver/session.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 
 namespace pangulu::solver {
+
+namespace {
+
+/// The two cooperative-stop codes: the request was shed, not broken, so
+/// session state rolls back instead of degrading to not-ready.
+bool is_shed_code(const Status& s) {
+  return s.code() == StatusCode::kCancelled ||
+         s.code() == StatusCode::kDeadlineExceeded;
+}
+
+}  // namespace
 
 std::uint64_t pattern_fingerprint(const Csc& a) {
   // FNV-1a over the order and the pattern arrays, byte for byte. Values are
@@ -55,7 +68,9 @@ Status Session::refactorize(std::span<const value_t> values) {
         " values do not match the analysed pattern's nnz (" +
         std::to_string(pattern_nnz_) + ")");
   Status s = solver_.refactorize_values(values);
-  if (!s.is_ok()) ready_ = false;
+  // A cancelled/deadline-shed refactorize rolled back to the previous
+  // factors inside the solver; the session stays serviceable with them.
+  if (!s.is_ok() && !is_shed_code(s)) ready_ = false;
   return s;
 }
 
@@ -67,7 +82,7 @@ Status Session::refactorize(const Csc& a) {
         "session: sparsity-pattern fingerprint mismatch — refactorize() "
         "requires the analysed pattern; run setup() for a new one");
   Status s = solver_.refactorize(a);
-  if (!s.is_ok()) ready_ = false;
+  if (!s.is_ok() && !is_shed_code(s)) ready_ = false;
   return s;
 }
 
@@ -76,6 +91,16 @@ Status Session::solve(std::span<const value_t> b, std::span<value_t> x,
   std::shared_lock lk(mu_);
   if (!ready_) return Status::failed_precondition("session: setup() first");
   return solver_.solve(b, x, solve_stats);
+}
+
+Status Session::solve_deadline(std::span<const value_t> b,
+                               std::span<value_t> x, double deadline_seconds,
+                               SolveStats* solve_stats) const {
+  CancelToken token;
+  token.set_wall_deadline_after(deadline_seconds);
+  std::shared_lock lk(mu_);
+  if (!ready_) return Status::failed_precondition("session: setup() first");
+  return solver_.solve(b, x, solve_stats, &token);
 }
 
 Status Session::solve_multi(const Dense& b, Dense* x,
@@ -145,7 +170,19 @@ void SessionPool::Ticket::release() {
   }
 }
 
+double jittered_backoff_seconds(int attempt, double base_seconds,
+                                double cap_seconds, Rng& rng) {
+  const double exp =
+      base_seconds * std::ldexp(1.0, std::clamp(attempt, 0, 60));
+  return std::min(exp, cap_seconds) * rng.uniform(0.5, 1.0);
+}
+
 Status SessionPool::admit(std::size_t bytes, Ticket* ticket) {
+  return admit(bytes, ticket, nullptr);
+}
+
+Status SessionPool::admit(std::size_t bytes, Ticket* ticket,
+                          const CancelToken* cancel) {
   if (!ticket) return Status::invalid_argument("session pool: null ticket");
   if (opts_.memory_budget_bytes > 0 && bytes > opts_.memory_budget_bytes)
     return Status::resource_exhausted(
@@ -155,22 +192,116 @@ Status SessionPool::admit(std::size_t bytes, Ticket* ticket) {
   // Drop any slot the ticket still holds before blocking — re-admitting a
   // live ticket must not deadlock against its own reservation.
   ticket->release();
+
+  using clock = std::chrono::steady_clock;
+  const clock::time_point start = clock::now();
   std::unique_lock lk(mu_);
-  cv_.wait(lk, [&] {
+  auto fits = [&] {
     if (opts_.max_concurrent > 0 && active_ >= opts_.max_concurrent)
       return false;
     if (opts_.memory_budget_bytes > 0 &&
         active_bytes_ + bytes > opts_.memory_budget_bytes)
       return false;
     return true;
-  });
-  ++active_;
-  active_bytes_ += bytes;
-  peak_active_ = std::max(peak_active_, active_);
-  peak_bytes_ = std::max(peak_bytes_, active_bytes_);
-  ticket->pool_ = this;
-  ticket->bytes_ = bytes;
-  return Status::ok();
+  };
+  auto grant = [&] {
+    ++active_;
+    active_bytes_ += bytes;
+    peak_active_ = std::max(peak_active_, active_);
+    peak_bytes_ = std::max(peak_bytes_, active_bytes_);
+    ++admitted_;
+    record_wait(std::chrono::duration<double>(clock::now() - start).count());
+    ticket->pool_ = this;
+    ticket->bytes_ = bytes;
+    return Status::ok();
+  };
+  if (fits()) return grant();
+
+  // The pool is full: shed before queuing when the deadline cannot cover
+  // the wait. "Cannot cover" = already expired / cancelled, or the
+  // remaining budget is below the running mean of recent admission waits
+  // (requests doomed to time out in the queue would only deepen it).
+  if (cancel) {
+    Status cs = cancel->check("session pool admission");
+    if (!cs.is_ok()) {
+      ++shed_;
+      return cs;
+    }
+    const double remaining = cancel->wall_seconds_remaining();
+    if (remaining < mean_wait_seconds_) {
+      ++shed_;
+      return Status::deadline_exceeded(
+          "session pool: remaining deadline cannot cover the expected "
+          "admission wait — shed on arrival");
+    }
+  }
+  if (opts_.max_queue_depth > 0 && waiters_ >= opts_.max_queue_depth) {
+    ++rejected_queue_full_;
+    return Status::resource_exhausted(
+        "session pool: admission queue full (" + std::to_string(waiters_) +
+        " waiters) — back off and retry");
+  }
+
+  // Park. With a deadline (token or pool default) the wait is bounded and
+  // expiry surfaces typed; without one this is the historical wait-forever.
+  const bool wall_bounded = cancel && cancel->has_wall_deadline();
+  const bool timeout_bounded = opts_.default_admit_timeout_seconds > 0;
+  ++waiters_;
+  peak_waiters_ = std::max(peak_waiters_, waiters_);
+  Status verdict = Status::ok();
+  for (;;) {
+    if (fits()) break;
+    clock::time_point wake;
+    bool bounded = false;
+    if (wall_bounded) {
+      wake = clock::now() + std::chrono::duration_cast<clock::duration>(
+                                std::chrono::duration<double>(
+                                    cancel->wall_seconds_remaining()));
+      bounded = true;
+    }
+    if (timeout_bounded) {
+      const clock::time_point cap =
+          start + std::chrono::duration_cast<clock::duration>(
+                      std::chrono::duration<double>(
+                          opts_.default_admit_timeout_seconds));
+      wake = bounded ? std::min(wake, cap) : cap;
+      bounded = true;
+    }
+    if (cancel && !bounded) {
+      // Manual-cancel-only token: poll so cancel() is honoured promptly
+      // even though no deadline bounds the wait.
+      wake = clock::now() + std::chrono::milliseconds(50);
+      bounded = true;
+    }
+    if (bounded) {
+      cv_.wait_until(lk, wake);
+    } else {
+      cv_.wait(lk);
+    }
+    if (fits()) break;
+    if (cancel) {
+      Status cs = cancel->check("session pool admission");
+      if (!cs.is_ok()) {
+        verdict = std::move(cs);
+        break;
+      }
+    }
+    if (timeout_bounded &&
+        std::chrono::duration<double>(clock::now() - start).count() >=
+            opts_.default_admit_timeout_seconds) {
+      verdict = Status::deadline_exceeded(
+          "session pool: admission wait exceeded the pool timeout (" +
+          std::to_string(opts_.default_admit_timeout_seconds) + " s)");
+      break;
+    }
+  }
+  --waiters_;
+  if (!verdict.is_ok()) {
+    ++shed_;
+    record_wait(std::chrono::duration<double>(clock::now() - start).count());
+    return verdict;
+  }
+  return grant();
 }
 
 void SessionPool::release_slot(std::size_t bytes) {
@@ -200,6 +331,45 @@ int SessionPool::peak_in_flight() const {
 std::size_t SessionPool::peak_bytes() const {
   std::lock_guard lk(mu_);
   return peak_bytes_;
+}
+
+void SessionPool::record_wait(double seconds) {
+  // Called with mu_ held. EWMA for the shed predictor; fixed 512-sample
+  // ring for the percentile report.
+  constexpr std::size_t kReservoir = 512;
+  constexpr double kAlpha = 0.2;
+  mean_wait_seconds_ = wait_count_ == 0
+                           ? seconds
+                           : (1 - kAlpha) * mean_wait_seconds_ +
+                                 kAlpha * seconds;
+  ++wait_count_;
+  if (wait_samples_.size() < kReservoir) {
+    wait_samples_.push_back(seconds);
+  } else {
+    wait_samples_[wait_cursor_] = seconds;
+    wait_cursor_ = (wait_cursor_ + 1) % kReservoir;
+  }
+}
+
+SessionPoolStats SessionPool::stats() const {
+  std::lock_guard lk(mu_);
+  SessionPoolStats st;
+  st.queue_depth = waiters_;
+  st.peak_queue_depth = peak_waiters_;
+  st.admitted = admitted_;
+  st.shed = shed_;
+  st.rejected_queue_full = rejected_queue_full_;
+  if (!wait_samples_.empty()) {
+    std::vector<double> s(wait_samples_);
+    std::sort(s.begin(), s.end());
+    double sum = 0;
+    for (double v : s) sum += v;
+    st.mean_wait_seconds = sum / static_cast<double>(s.size());
+    const auto idx = static_cast<std::size_t>(
+        0.95 * static_cast<double>(s.size() - 1) + 0.5);
+    st.p95_wait_seconds = s[std::min(idx, s.size() - 1)];
+  }
+  return st;
 }
 
 }  // namespace pangulu::solver

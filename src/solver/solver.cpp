@@ -246,11 +246,23 @@ SolvePlan SolvePlan::build(const BM& f) {
   return plan;
 }
 
+// Sweep-level cancellation poll shared by the plan-based sweeps: one poll
+// per block row/column, the solve phase's safe-point granularity.
+inline Status sweep_poll(const CancelToken* cancel, const char* sweep,
+                         index_t bk) {
+  if (!cancel) return Status::ok();
+  return cancel->check(
+      (std::string(sweep) + " sweep level " + std::to_string(bk)).c_str());
+}
+
 template <class V>
-void block_lower_solve(const block::BlockMatrixT<V>& f, const SolvePlan& plan,
-                       std::type_identity_t<std::span<V>> x) {
+Status block_lower_solve(const block::BlockMatrixT<V>& f, const SolvePlan& plan,
+                         std::type_identity_t<std::span<V>> x,
+                         const CancelToken* cancel) {
   const auto& grid = f.grid();
   for (index_t bk = 0; bk < f.nb(); ++bk) {
+    Status cs = sweep_poll(cancel, "lower", bk);
+    if (!cs.is_ok()) return cs;
     V* seg = x.data() + grid.block_start(bk);
     for (nnz_t q = plan.low_ptr[static_cast<std::size_t>(bk)];
          q < plan.low_ptr[static_cast<std::size_t>(bk) + 1]; ++q) {
@@ -261,13 +273,17 @@ void block_lower_solve(const block::BlockMatrixT<V>& f, const SolvePlan& plan,
     }
     diag_lower_solve(f.block(plan.diag_pos[static_cast<std::size_t>(bk)]), seg);
   }
+  return Status::ok();
 }
 
 template <class V>
-void block_upper_solve(const block::BlockMatrixT<V>& f, const SolvePlan& plan,
-                       std::type_identity_t<std::span<V>> x) {
+Status block_upper_solve(const block::BlockMatrixT<V>& f, const SolvePlan& plan,
+                         std::type_identity_t<std::span<V>> x,
+                         const CancelToken* cancel) {
   const auto& grid = f.grid();
   for (index_t bk = f.nb() - 1; bk >= 0; --bk) {
+    Status cs = sweep_poll(cancel, "upper", bk);
+    if (!cs.is_ok()) return cs;
     V* seg = x.data() + grid.block_start(bk);
     for (nnz_t q = plan.up_ptr[static_cast<std::size_t>(bk)];
          q < plan.up_ptr[static_cast<std::size_t>(bk) + 1]; ++q) {
@@ -278,14 +294,18 @@ void block_upper_solve(const block::BlockMatrixT<V>& f, const SolvePlan& plan,
     }
     diag_upper_solve(f.block(plan.diag_pos[static_cast<std::size_t>(bk)]), seg);
   }
+  return Status::ok();
 }
 
 template <class V>
-void block_upper_transpose_solve(const block::BlockMatrixT<V>& f,
-                                 const SolvePlan& plan,
-                                 std::type_identity_t<std::span<V>> x) {
+Status block_upper_transpose_solve(const block::BlockMatrixT<V>& f,
+                                   const SolvePlan& plan,
+                                   std::type_identity_t<std::span<V>> x,
+                                   const CancelToken* cancel) {
   const auto& grid = f.grid();
   for (index_t bk = 0; bk < f.nb(); ++bk) {
+    Status cs = sweep_poll(cancel, "upper-transpose", bk);
+    if (!cs.is_ok()) return cs;
     V* seg = x.data() + grid.block_start(bk);
     for (nnz_t q = plan.tup_ptr[static_cast<std::size_t>(bk)];
          q < plan.tup_ptr[static_cast<std::size_t>(bk) + 1]; ++q) {
@@ -297,14 +317,18 @@ void block_upper_transpose_solve(const block::BlockMatrixT<V>& f,
     diag_upper_transpose_solve(
         f.block(plan.diag_pos[static_cast<std::size_t>(bk)]), seg);
   }
+  return Status::ok();
 }
 
 template <class V>
-void block_lower_transpose_solve(const block::BlockMatrixT<V>& f,
-                                 const SolvePlan& plan,
-                                 std::type_identity_t<std::span<V>> x) {
+Status block_lower_transpose_solve(const block::BlockMatrixT<V>& f,
+                                   const SolvePlan& plan,
+                                   std::type_identity_t<std::span<V>> x,
+                                   const CancelToken* cancel) {
   const auto& grid = f.grid();
   for (index_t bk = f.nb() - 1; bk >= 0; --bk) {
+    Status cs = sweep_poll(cancel, "lower-transpose", bk);
+    if (!cs.is_ok()) return cs;
     V* seg = x.data() + grid.block_start(bk);
     for (nnz_t q = plan.tlow_ptr[static_cast<std::size_t>(bk)];
          q < plan.tlow_ptr[static_cast<std::size_t>(bk) + 1]; ++q) {
@@ -316,14 +340,17 @@ void block_lower_transpose_solve(const block::BlockMatrixT<V>& f,
     diag_lower_transpose_solve(
         f.block(plan.diag_pos[static_cast<std::size_t>(bk)]), seg);
   }
+  return Status::ok();
 }
 
 template <class V>
-void block_lower_solve_multi(const block::BlockMatrixT<V>& f,
-                             const SolvePlan& plan, V* x, index_t stride,
-                             index_t k) {
+Status block_lower_solve_multi(const block::BlockMatrixT<V>& f,
+                               const SolvePlan& plan, V* x, index_t stride,
+                               index_t k, const CancelToken* cancel) {
   const auto& grid = f.grid();
   for (index_t bk = 0; bk < f.nb(); ++bk) {
+    Status cs = sweep_poll(cancel, "lower-panel", bk);
+    if (!cs.is_ok()) return cs;
     V* seg =
         x + static_cast<std::size_t>(grid.block_start(bk)) * stride;
     for (nnz_t q = plan.low_ptr[static_cast<std::size_t>(bk)];
@@ -338,14 +365,17 @@ void block_lower_solve_multi(const block::BlockMatrixT<V>& f,
     kernels::gessm_dense_panel(
         f.block(plan.diag_pos[static_cast<std::size_t>(bk)]), seg, stride, k);
   }
+  return Status::ok();
 }
 
 template <class V>
-void block_upper_solve_multi(const block::BlockMatrixT<V>& f,
-                             const SolvePlan& plan, V* x, index_t stride,
-                             index_t k) {
+Status block_upper_solve_multi(const block::BlockMatrixT<V>& f,
+                               const SolvePlan& plan, V* x, index_t stride,
+                               index_t k, const CancelToken* cancel) {
   const auto& grid = f.grid();
   for (index_t bk = f.nb() - 1; bk >= 0; --bk) {
+    Status cs = sweep_poll(cancel, "upper-panel", bk);
+    if (!cs.is_ok()) return cs;
     V* seg =
         x + static_cast<std::size_t>(grid.block_start(bk)) * stride;
     for (nnz_t q = plan.up_ptr[static_cast<std::size_t>(bk)];
@@ -360,15 +390,19 @@ void block_upper_solve_multi(const block::BlockMatrixT<V>& f,
     kernels::tstrf_dense_panel(
         f.block(plan.diag_pos[static_cast<std::size_t>(bk)]), seg, stride, k);
   }
+  return Status::ok();
 }
 
 template <class V>
-void block_upper_transpose_solve_multi(const block::BlockMatrixT<V>& f,
-                                       const SolvePlan& plan, V* x,
-                                       index_t stride, index_t k) {
+Status block_upper_transpose_solve_multi(const block::BlockMatrixT<V>& f,
+                                         const SolvePlan& plan, V* x,
+                                         index_t stride, index_t k,
+                                         const CancelToken* cancel) {
   const auto& grid = f.grid();
   std::vector<V> acc(static_cast<std::size_t>(k));
   for (index_t bk = 0; bk < f.nb(); ++bk) {
+    Status cs = sweep_poll(cancel, "upper-transpose-panel", bk);
+    if (!cs.is_ok()) return cs;
     V* seg =
         x + static_cast<std::size_t>(grid.block_start(bk)) * stride;
     for (nnz_t q = plan.tup_ptr[static_cast<std::size_t>(bk)];
@@ -384,15 +418,19 @@ void block_upper_transpose_solve_multi(const block::BlockMatrixT<V>& f,
         f.block(plan.diag_pos[static_cast<std::size_t>(bk)]), seg, stride, k,
         acc.data());
   }
+  return Status::ok();
 }
 
 template <class V>
-void block_lower_transpose_solve_multi(const block::BlockMatrixT<V>& f,
-                                       const SolvePlan& plan, V* x,
-                                       index_t stride, index_t k) {
+Status block_lower_transpose_solve_multi(const block::BlockMatrixT<V>& f,
+                                         const SolvePlan& plan, V* x,
+                                         index_t stride, index_t k,
+                                         const CancelToken* cancel) {
   const auto& grid = f.grid();
   std::vector<V> acc(static_cast<std::size_t>(k));
   for (index_t bk = f.nb() - 1; bk >= 0; --bk) {
+    Status cs = sweep_poll(cancel, "lower-transpose-panel", bk);
+    if (!cs.is_ok()) return cs;
     V* seg =
         x + static_cast<std::size_t>(grid.block_start(bk)) * stride;
     for (nnz_t q = plan.tlow_ptr[static_cast<std::size_t>(bk)];
@@ -408,6 +446,7 @@ void block_lower_transpose_solve_multi(const block::BlockMatrixT<V>& f,
         f.block(plan.diag_pos[static_cast<std::size_t>(bk)]), seg, stride, k,
         acc.data());
   }
+  return Status::ok();
 }
 
 // Explicit instantiations over both precision twins: the FP64 set serves
@@ -430,48 +469,56 @@ template void block_lower_transpose_solve(const block::BlockMatrixT<float>&,
                                           std::span<float>);
 template void block_lower_transpose_solve(const block::BlockMatrixT<double>&,
                                           std::span<double>);
-template void block_lower_solve(const block::BlockMatrixT<float>&,
-                                const SolvePlan&, std::span<float>);
-template void block_lower_solve(const block::BlockMatrixT<double>&,
-                                const SolvePlan&, std::span<double>);
-template void block_upper_solve(const block::BlockMatrixT<float>&,
-                                const SolvePlan&, std::span<float>);
-template void block_upper_solve(const block::BlockMatrixT<double>&,
-                                const SolvePlan&, std::span<double>);
-template void block_upper_transpose_solve(const block::BlockMatrixT<float>&,
-                                          const SolvePlan&, std::span<float>);
-template void block_upper_transpose_solve(const block::BlockMatrixT<double>&,
-                                          const SolvePlan&,
-                                          std::span<double>);
-template void block_lower_transpose_solve(const block::BlockMatrixT<float>&,
-                                          const SolvePlan&, std::span<float>);
-template void block_lower_transpose_solve(const block::BlockMatrixT<double>&,
-                                          const SolvePlan&,
-                                          std::span<double>);
-template void block_lower_solve_multi(const block::BlockMatrixT<float>&,
-                                      const SolvePlan&, float*, index_t,
-                                      index_t);
-template void block_lower_solve_multi(const block::BlockMatrixT<double>&,
-                                      const SolvePlan&, double*, index_t,
-                                      index_t);
-template void block_upper_solve_multi(const block::BlockMatrixT<float>&,
-                                      const SolvePlan&, float*, index_t,
-                                      index_t);
-template void block_upper_solve_multi(const block::BlockMatrixT<double>&,
-                                      const SolvePlan&, double*, index_t,
-                                      index_t);
-template void block_upper_transpose_solve_multi(
+template Status block_lower_solve(const block::BlockMatrixT<float>&,
+                                  const SolvePlan&, std::span<float>,
+                                  const CancelToken*);
+template Status block_lower_solve(const block::BlockMatrixT<double>&,
+                                  const SolvePlan&, std::span<double>,
+                                  const CancelToken*);
+template Status block_upper_solve(const block::BlockMatrixT<float>&,
+                                  const SolvePlan&, std::span<float>,
+                                  const CancelToken*);
+template Status block_upper_solve(const block::BlockMatrixT<double>&,
+                                  const SolvePlan&, std::span<double>,
+                                  const CancelToken*);
+template Status block_upper_transpose_solve(const block::BlockMatrixT<float>&,
+                                            const SolvePlan&, std::span<float>,
+                                            const CancelToken*);
+template Status block_upper_transpose_solve(const block::BlockMatrixT<double>&,
+                                            const SolvePlan&,
+                                            std::span<double>,
+                                            const CancelToken*);
+template Status block_lower_transpose_solve(const block::BlockMatrixT<float>&,
+                                            const SolvePlan&, std::span<float>,
+                                            const CancelToken*);
+template Status block_lower_transpose_solve(const block::BlockMatrixT<double>&,
+                                            const SolvePlan&,
+                                            std::span<double>,
+                                            const CancelToken*);
+template Status block_lower_solve_multi(const block::BlockMatrixT<float>&,
+                                        const SolvePlan&, float*, index_t,
+                                        index_t, const CancelToken*);
+template Status block_lower_solve_multi(const block::BlockMatrixT<double>&,
+                                        const SolvePlan&, double*, index_t,
+                                        index_t, const CancelToken*);
+template Status block_upper_solve_multi(const block::BlockMatrixT<float>&,
+                                        const SolvePlan&, float*, index_t,
+                                        index_t, const CancelToken*);
+template Status block_upper_solve_multi(const block::BlockMatrixT<double>&,
+                                        const SolvePlan&, double*, index_t,
+                                        index_t, const CancelToken*);
+template Status block_upper_transpose_solve_multi(
     const block::BlockMatrixT<float>&, const SolvePlan&, float*, index_t,
-    index_t);
-template void block_upper_transpose_solve_multi(
+    index_t, const CancelToken*);
+template Status block_upper_transpose_solve_multi(
     const block::BlockMatrixT<double>&, const SolvePlan&, double*, index_t,
-    index_t);
-template void block_lower_transpose_solve_multi(
+    index_t, const CancelToken*);
+template Status block_lower_transpose_solve_multi(
     const block::BlockMatrixT<float>&, const SolvePlan&, float*, index_t,
-    index_t);
-template void block_lower_transpose_solve_multi(
+    index_t, const CancelToken*);
+template Status block_lower_transpose_solve_multi(
     const block::BlockMatrixT<double>&, const SolvePlan&, double*, index_t,
-    index_t);
+    index_t, const CancelToken*);
 
 namespace {
 
@@ -860,6 +907,7 @@ Status Solver::run_numeric_phase(index_t resume_from_task) {
   so.mtbf_seconds = opts_.mtbf_seconds;
   so.verify_level = opts_.verify_level;
   so.abft = opts_.abft_level;
+  so.cancel = opts_.cancel;
   so.resume_from_task = resume_from_task;
   if (!opts_.checkpoint_path.empty()) {
     // Cadence precedence: an explicit interval is obeyed exactly; with an
@@ -921,6 +969,17 @@ Status Solver::run_numeric_phase(index_t resume_from_task) {
   return s;
 }
 
+namespace {
+
+/// True for the two cooperative-stop codes: the operation was shed on
+/// purpose and the pre-call state is still meaningful to roll back to.
+bool is_cancel_code(const Status& s) {
+  return s.code() == StatusCode::kCancelled ||
+         s.code() == StatusCode::kDeadlineExceeded;
+}
+
+}  // namespace
+
 Status Solver::refactorize(const Csc& a) {
   if (!factorized_)
     return Status::failed_precondition("refactorize: factorize() first");
@@ -934,8 +993,20 @@ Status Solver::refactorize(const Csc& a) {
     return Status::failed_precondition(
         "refactorize: sparsity pattern differs from the analysed matrix");
   }
+  std::vector<value_t> prev_values;
+  if (opts_.cancel) {
+    const auto ov = original_.values();
+    prev_values.assign(ov.begin(), ov.end());
+  }
   original_ = a;
-  return refactorize_reuse();
+  Status s = refactorize_reuse();
+  if (!s.is_ok() && opts_.cancel && is_cancel_code(s)) {
+    // Pair with refactorize_reuse's rollback: the analysed matrix must
+    // match the reinstated factors, or refinement would mix the two.
+    std::copy(prev_values.begin(), prev_values.end(),
+              original_.values_mut().begin());
+  }
+  return s;
 }
 
 Status Solver::refactorize_values(std::span<const value_t> values) {
@@ -946,8 +1017,18 @@ Status Solver::refactorize_values(std::span<const value_t> values) {
         "refactorize: " + std::to_string(values.size()) +
         " values do not match the analysed matrix's nnz (" +
         std::to_string(original_.nnz()) + ")");
+  std::vector<value_t> prev_values;
+  if (opts_.cancel) {
+    const auto ov = original_.values();
+    prev_values.assign(ov.begin(), ov.end());
+  }
   std::copy(values.begin(), values.end(), original_.values_mut().begin());
-  return refactorize_reuse();
+  Status s = refactorize_reuse();
+  if (!s.is_ok() && opts_.cancel && is_cancel_code(s)) {
+    std::copy(prev_values.begin(), prev_values.end(),
+              original_.values_mut().begin());
+  }
+  return s;
 }
 
 void Solver::build_reuse_maps() {
@@ -980,6 +1061,37 @@ void Solver::build_reuse_maps() {
 }
 
 Status Solver::refactorize_reuse() {
+  // With a cancel token armed, a refactorisation can stop at any commit
+  // safe point. The contract is that a cancelled refactorize never
+  // publishes a partial factor AND keeps the previous one solvable, so
+  // snapshot every value array the re-scatter and numeric phase overwrite
+  // (patterns never change here) and reinstate them on a cancel-typed
+  // failure. Other failures keep the historical behaviour: the solver
+  // drops to un-factorised.
+  const bool snapshot = opts_.cancel != nullptr;
+  std::vector<value_t> prev_permuted;
+  std::vector<value_t> prev_filled;
+  std::vector<value_t> prev_factors;
+  std::vector<float> prev_factors32;
+  if (snapshot) {
+    const auto pv = reorder_.permuted.values();
+    prev_permuted.assign(pv.begin(), pv.end());
+    const auto sfv = symbolic_.filled.values();
+    prev_filled.assign(sfv.begin(), sfv.end());
+    prev_factors.reserve(static_cast<std::size_t>(factors_.total_nnz()));
+    for (nnz_t pos = 0; pos < static_cast<nnz_t>(factors_.n_blocks()); ++pos) {
+      const auto bv = factors_.block(pos).values();
+      prev_factors.insert(prev_factors.end(), bv.begin(), bv.end());
+    }
+    if (kernels::stores_fp32(opts_.precision)) {
+      prev_factors32.reserve(static_cast<std::size_t>(factors32_.total_nnz()));
+      for (nnz_t pos = 0; pos < static_cast<nnz_t>(factors32_.n_blocks());
+           ++pos) {
+        const auto bv = factors32_.block(pos).values();
+        prev_factors32.insert(prev_factors32.end(), bv.begin(), bv.end());
+      }
+    }
+  }
   // Re-apply the frozen scaling + permutations to the new values.
   Csc work = original_;
   work.scale(reorder_.row_scale, reorder_.col_scale);
@@ -1014,6 +1126,29 @@ Status Solver::refactorize_reuse() {
   stats_.resumed_from_task = 0;
   Status s = run_numeric_phase(0);
   if (!s.is_ok()) {
+    if (snapshot && is_cancel_code(s)) {
+      // Reinstate the previous factorisation value-for-value; the solver
+      // stays solvable with the pre-refactorize factors.
+      std::copy(prev_permuted.begin(), prev_permuted.end(),
+                reorder_.permuted.values_mut().begin());
+      std::copy(prev_filled.begin(), prev_filled.end(),
+                symbolic_.filled.values_mut().begin());
+      std::size_t at = 0;
+      for (nnz_t pos = 0; pos < static_cast<nnz_t>(factors_.n_blocks());
+           ++pos) {
+        auto bv = factors_.block(pos).values_mut();
+        for (value_t& v : bv) v = prev_factors[at++];
+      }
+      if (kernels::stores_fp32(opts_.precision)) {
+        std::size_t at32 = 0;
+        for (nnz_t pos = 0; pos < static_cast<nnz_t>(factors32_.n_blocks());
+             ++pos) {
+          auto bv = factors32_.block(pos).values_mut();
+          for (float& v : bv) v = prev_factors32[at32++];
+        }
+      }
+      return s;
+    }
     factorized_ = false;
     return s;
   }
@@ -1024,35 +1159,49 @@ Status Solver::refactorize_reuse() {
 
 Status Solver::solve(std::span<const value_t> b, std::span<value_t> x,
                      SolveStats* solve_stats) const {
+  return solve(b, x, solve_stats, opts_.cancel);
+}
+
+Status Solver::solve(std::span<const value_t> b, std::span<value_t> x,
+                     SolveStats* solve_stats, const CancelToken* cancel) const {
   if (!factorized_) return Status::failed_precondition("factorize() first");
   const index_t n = stats_.n;
   if (static_cast<index_t>(b.size()) != n || static_cast<index_t>(x.size()) != n)
     return Status::invalid_argument("solve: size mismatch");
   if (kernels::stores_fp32(opts_.precision))
-    return solve_fp32(b, x, solve_stats);
+    return solve_fp32(b, x, solve_stats, cancel);
 
   // One direct solve pass: permute/scale rhs, two triangular solves,
   // unpermute/scale solution.
   std::vector<value_t> z(static_cast<std::size_t>(n));
   auto direct_pass = [&](std::span<const value_t> rhs,
-                         std::span<value_t> sol) {
+                         std::span<value_t> sol) -> Status {
     // bp(row_perm[r]) = row_scale[r] * rhs(r)
     for (index_t r = 0; r < n; ++r) {
       z[static_cast<std::size_t>(reorder_.row_perm[static_cast<std::size_t>(r)])] =
           reorder_.row_scale[static_cast<std::size_t>(r)] *
           rhs[static_cast<std::size_t>(r)];
     }
-    block_lower_solve(factors_, solve_plan_, z);
-    block_upper_solve(factors_, solve_plan_, z);
+    // Cancellation between sweep levels leaves only the internal work
+    // vector partial; `sol` is written after both sweeps complete.
+    Status ss = block_lower_solve(factors_, solve_plan_, z, cancel);
+    if (!ss.is_ok()) return ss;
+    ss = block_upper_solve(factors_, solve_plan_, z, cancel);
+    if (!ss.is_ok()) return ss;
     // x(c) = col_scale[c] * z(col_perm[c])
     for (index_t c = 0; c < n; ++c) {
       sol[static_cast<std::size_t>(c)] =
           reorder_.col_scale[static_cast<std::size_t>(c)] *
           z[static_cast<std::size_t>(reorder_.col_perm[static_cast<std::size_t>(c)])];
     }
+    return Status::ok();
   };
 
-  direct_pass(b, x);
+  // The whole pass works on an internal iterate; the caller's x is written
+  // only on success, so a cancel-typed return leaves it bitwise untouched.
+  std::vector<value_t> xi(static_cast<std::size_t>(n));
+  Status ds = direct_pass(b, xi);
+  if (!ds.is_ok()) return ds;
 
   // Iterative refinement against the original matrix recovers the digits a
   // perturbed pivot may have cost (the GESP recipe).
@@ -1062,20 +1211,27 @@ Status Solver::solve(std::span<const value_t> b, std::span<value_t> x,
   int iterations = 0;
   value_t last_residual = 0;
   for (int it = 0; it <= opts_.refine_iters; ++it) {
-    original_.spmv(x, ax);
+    if (cancel) {
+      Status cs = cancel->check(
+          ("refinement iteration " + std::to_string(it)).c_str());
+      if (!cs.is_ok()) return cs;
+    }
+    original_.spmv(xi, ax);
     for (index_t i = 0; i < n; ++i)
       r[static_cast<std::size_t>(i)] =
           b[static_cast<std::size_t>(i)] - ax[static_cast<std::size_t>(i)];
     const value_t rn = norm_inf(r);
     const value_t scale =
-        std::max<value_t>(norm1(original_) * norm_inf(x) + norm_inf(b), 1);
+        std::max<value_t>(norm1(original_) * norm_inf(xi) + norm_inf(b), 1);
     last_residual = rn / scale;
     if (it == opts_.refine_iters || last_residual <= 1e-16) break;
-    direct_pass(r, dx);
+    ds = direct_pass(r, dx);
+    if (!ds.is_ok()) return ds;
     for (index_t i = 0; i < n; ++i)
-      x[static_cast<std::size_t>(i)] += dx[static_cast<std::size_t>(i)];
+      xi[static_cast<std::size_t>(i)] += dx[static_cast<std::size_t>(i)];
     ++iterations;
   }
+  std::copy(xi.begin(), xi.end(), x.begin());
   if (solve_stats) {
     solve_stats->refine_iterations = iterations;
     solve_stats->final_residual = last_residual;
@@ -1084,7 +1240,8 @@ Status Solver::solve(std::span<const value_t> b, std::span<value_t> x,
 }
 
 Status Solver::solve_fp32(std::span<const value_t> b, std::span<value_t> x,
-                          SolveStats* solve_stats) const {
+                          SolveStats* solve_stats,
+                          const CancelToken* cancel) const {
   const index_t n = stats_.n;
   const bool mixed = opts_.precision == kernels::Precision::kMixedIR;
 
@@ -1092,7 +1249,7 @@ Status Solver::solve_fp32(std::span<const value_t> b, std::span<value_t> x,
   // vector, run the FP32 sweeps on the FP32 factors, widen on the way out.
   std::vector<float> z(static_cast<std::size_t>(n));
   auto direct_pass = [&](std::span<const value_t> rhs,
-                         std::span<value_t> sol) {
+                         std::span<value_t> sol) -> Status {
     for (index_t r = 0; r < n; ++r) {
       z[static_cast<std::size_t>(
           reorder_.row_perm[static_cast<std::size_t>(r)])] =
@@ -1100,17 +1257,25 @@ Status Solver::solve_fp32(std::span<const value_t> b, std::span<value_t> x,
               reorder_.row_scale[static_cast<std::size_t>(r)] *
               rhs[static_cast<std::size_t>(r)]);
     }
-    block_lower_solve(factors32_, solve_plan_, z);
-    block_upper_solve(factors32_, solve_plan_, z);
+    Status ss = block_lower_solve(factors32_, solve_plan_, z, cancel);
+    if (!ss.is_ok()) return ss;
+    ss = block_upper_solve(factors32_, solve_plan_, z, cancel);
+    if (!ss.is_ok()) return ss;
     for (index_t c = 0; c < n; ++c) {
       sol[static_cast<std::size_t>(c)] =
           reorder_.col_scale[static_cast<std::size_t>(c)] *
           static_cast<value_t>(z[static_cast<std::size_t>(
               reorder_.col_perm[static_cast<std::size_t>(c)])]);
     }
+    return Status::ok();
   };
 
-  direct_pass(b, x);
+  // As in the FP64 path, refine an internal iterate and publish only on a
+  // non-cancelled return; a numeric breakdown still surfaces its best
+  // iterate, a cancel leaves the caller's x bitwise untouched.
+  std::vector<value_t> xi(static_cast<std::size_t>(n));
+  Status ds = direct_pass(b, xi);
+  if (!ds.is_ok()) return ds;
 
   // Refinement in FP64 against the original matrix. kSingle runs the same
   // fixed-budget loop as the FP64 path (accuracy bounded by FP32, never an
@@ -1125,13 +1290,18 @@ Status Solver::solve_fp32(std::span<const value_t> b, std::span<value_t> x,
   value_t prev_residual = std::numeric_limits<value_t>::infinity();
   Status result = Status::ok();
   for (int it = 0;; ++it) {
-    original_.spmv(x, ax);
+    if (cancel) {
+      Status cs = cancel->check(
+          ("refinement iteration " + std::to_string(it)).c_str());
+      if (!cs.is_ok()) return cs;
+    }
+    original_.spmv(xi, ax);
     for (index_t i = 0; i < n; ++i)
       r[static_cast<std::size_t>(i)] =
           b[static_cast<std::size_t>(i)] - ax[static_cast<std::size_t>(i)];
     const value_t rn = norm_inf(r);
     const value_t scale =
-        std::max<value_t>(norm1(original_) * norm_inf(x) + norm_inf(b), 1);
+        std::max<value_t>(norm1(original_) * norm_inf(xi) + norm_inf(b), 1);
     last_residual = rn / scale;
     if (mixed) {
       if (last_residual <= opts_.ir_tolerance) break;
@@ -1161,12 +1331,14 @@ Status Solver::solve_fp32(std::span<const value_t> b, std::span<value_t> x,
     } else {
       if (it == max_iters || last_residual <= 1e-16) break;
     }
-    direct_pass(r, dx);
+    ds = direct_pass(r, dx);
+    if (!ds.is_ok()) return ds;
     for (index_t i = 0; i < n; ++i)
-      x[static_cast<std::size_t>(i)] += dx[static_cast<std::size_t>(i)];
+      xi[static_cast<std::size_t>(i)] += dx[static_cast<std::size_t>(i)];
     prev_residual = last_residual;
     ++iterations;
   }
+  std::copy(xi.begin(), xi.end(), x.begin());
   if (solve_stats) {
     solve_stats->refine_iterations = iterations;
     solve_stats->final_residual = last_residual;
@@ -1192,7 +1364,8 @@ Status Solver::solve_multi(const Dense& b, Dense* x, SolveStats* worst) const {
   // column this performs exactly solve()'s direct_pass operations.
   std::vector<value_t> z(static_cast<std::size_t>(n) *
                          static_cast<std::size_t>(k));
-  auto panel_direct = [&](const value_t* rhs, value_t* sol, index_t kk) {
+  auto panel_direct = [&](const value_t* rhs, value_t* sol,
+                          index_t kk) -> Status {
     for (index_t c = 0; c < kk; ++c) {
       const value_t* rc = rhs + static_cast<std::size_t>(c) * n;
       for (index_t r = 0; r < n; ++r) {
@@ -1204,8 +1377,12 @@ Status Solver::solve_multi(const Dense& b, Dense* x, SolveStats* worst) const {
             rc[static_cast<std::size_t>(r)];
       }
     }
-    block_lower_solve_multi(factors_, solve_plan_, z.data(), kk, kk);
-    block_upper_solve_multi(factors_, solve_plan_, z.data(), kk, kk);
+    Status ss = block_lower_solve_multi(factors_, solve_plan_, z.data(), kk,
+                                        kk, opts_.cancel);
+    if (!ss.is_ok()) return ss;
+    ss = block_upper_solve_multi(factors_, solve_plan_, z.data(), kk, kk,
+                                 opts_.cancel);
+    if (!ss.is_ok()) return ss;
     for (index_t c = 0; c < kk; ++c) {
       value_t* sc = sol + static_cast<std::size_t>(c) * n;
       for (index_t cc = 0; cc < n; ++cc) {
@@ -1217,11 +1394,13 @@ Status Solver::solve_multi(const Dense& b, Dense* x, SolveStats* worst) const {
               static_cast<std::size_t>(c)];
       }
     }
+    return Status::ok();
   };
 
   // Dense stores columns contiguously, so b/x panels enter and leave
   // panel_direct column-major; only the internal work panel is interleaved.
-  panel_direct(b.col(0), x->col(0), k);
+  Status ds = panel_direct(b.col(0), x->col(0), k);
+  if (!ds.is_ok()) return ds;
 
   // Iterative refinement on the shrinking active set: a column leaves the
   // panel the moment solve() would have stopped refining it, and the panel
@@ -1238,6 +1417,11 @@ Status Solver::solve_multi(const Dense& b, Dense* x, SolveStats* worst) const {
   std::vector<index_t> active(static_cast<std::size_t>(k));
   for (index_t j = 0; j < k; ++j) active[static_cast<std::size_t>(j)] = j;
   for (int it = 0; it <= opts_.refine_iters && !active.empty(); ++it) {
+    if (opts_.cancel) {
+      Status cs = opts_.cancel->check(
+          ("refinement iteration " + std::to_string(it)).c_str());
+      if (!cs.is_ok()) return cs;
+    }
     std::vector<index_t> next;
     for (index_t col : active) {
       value_t* xc = x->col(col);
@@ -1260,7 +1444,8 @@ Status Solver::solve_multi(const Dense& b, Dense* x, SolveStats* worst) const {
       next.push_back(col);
     }
     if (next.empty()) break;
-    panel_direct(rp.data(), dx.data(), static_cast<index_t>(next.size()));
+    ds = panel_direct(rp.data(), dx.data(), static_cast<index_t>(next.size()));
+    if (!ds.is_ok()) return ds;
     for (std::size_t i = 0; i < next.size(); ++i) {
       const index_t col = next[i];
       value_t* xc = x->col(col);
@@ -1296,7 +1481,8 @@ Status Solver::solve_multi_fp32(const Dense& b, Dense* x,
   // this performs exactly solve_fp32()'s direct-pass operations.
   std::vector<float> z(static_cast<std::size_t>(n) *
                        static_cast<std::size_t>(k));
-  auto panel_direct = [&](const value_t* rhs, value_t* sol, index_t kk) {
+  auto panel_direct = [&](const value_t* rhs, value_t* sol,
+                          index_t kk) -> Status {
     for (index_t c = 0; c < kk; ++c) {
       const value_t* rc = rhs + static_cast<std::size_t>(c) * n;
       for (index_t row = 0; row < n; ++row) {
@@ -1309,8 +1495,12 @@ Status Solver::solve_multi_fp32(const Dense& b, Dense* x,
                 rc[static_cast<std::size_t>(row)]);
       }
     }
-    block_lower_solve_multi(factors32_, solve_plan_, z.data(), kk, kk);
-    block_upper_solve_multi(factors32_, solve_plan_, z.data(), kk, kk);
+    Status ss = block_lower_solve_multi(factors32_, solve_plan_, z.data(), kk,
+                                        kk, opts_.cancel);
+    if (!ss.is_ok()) return ss;
+    ss = block_upper_solve_multi(factors32_, solve_plan_, z.data(), kk, kk,
+                                 opts_.cancel);
+    if (!ss.is_ok()) return ss;
     for (index_t c = 0; c < kk; ++c) {
       value_t* sc = sol + static_cast<std::size_t>(c) * n;
       for (index_t cc = 0; cc < n; ++cc) {
@@ -1323,9 +1513,11 @@ Status Solver::solve_multi_fp32(const Dense& b, Dense* x,
                   static_cast<std::size_t>(c)]);
       }
     }
+    return Status::ok();
   };
 
-  panel_direct(b.col(0), x->col(0), k);
+  Status ds = panel_direct(b.col(0), x->col(0), k);
+  if (!ds.is_ok()) return ds;
 
   // FP64 refinement on the shrinking active set, column-for-column identical
   // to solve_fp32's loop: a column leaves when it converges, stalls, or
@@ -1345,6 +1537,11 @@ Status Solver::solve_multi_fp32(const Dense& b, Dense* x,
   std::vector<index_t> active(static_cast<std::size_t>(k));
   for (index_t j = 0; j < k; ++j) active[static_cast<std::size_t>(j)] = j;
   for (int it = 0; !active.empty(); ++it) {
+    if (opts_.cancel) {
+      Status cs = opts_.cancel->check(
+          ("refinement iteration " + std::to_string(it)).c_str());
+      if (!cs.is_ok()) return cs;
+    }
     std::vector<index_t> next;
     for (index_t col : active) {
       value_t* xc = x->col(col);
@@ -1379,7 +1576,8 @@ Status Solver::solve_multi_fp32(const Dense& b, Dense* x,
       next.push_back(col);
     }
     if (next.empty()) break;
-    panel_direct(rp.data(), dx.data(), static_cast<index_t>(next.size()));
+    ds = panel_direct(rp.data(), dx.data(), static_cast<index_t>(next.size()));
+    if (!ds.is_ok()) return ds;
     for (std::size_t i = 0; i < next.size(); ++i) {
       const index_t col = next[i];
       value_t* xc = x->col(col);
@@ -1432,10 +1630,13 @@ Status Solver::solve_multi_transpose(const Dense& b, Dense* x) const {
                 reorder_.col_scale[static_cast<std::size_t>(c)] * b(c, cidx));
       }
     }
-    block_upper_transpose_solve_multi(factors32_, solve_plan_, z32.data(), k,
-                                      k);
-    block_lower_transpose_solve_multi(factors32_, solve_plan_, z32.data(), k,
-                                      k);
+    Status ss = block_upper_transpose_solve_multi(factors32_, solve_plan_,
+                                                  z32.data(), k, k,
+                                                  opts_.cancel);
+    if (!ss.is_ok()) return ss;
+    ss = block_lower_transpose_solve_multi(factors32_, solve_plan_,
+                                           z32.data(), k, k, opts_.cancel);
+    if (!ss.is_ok()) return ss;
     for (index_t cidx = 0; cidx < k; ++cidx) {
       for (index_t row = 0; row < n; ++row) {
         (*x)(row, cidx) =
@@ -1461,8 +1662,12 @@ Status Solver::solve_multi_transpose(const Dense& b, Dense* x) const {
           reorder_.col_scale[static_cast<std::size_t>(c)] * b(c, cidx);
     }
   }
-  block_upper_transpose_solve_multi(factors_, solve_plan_, z.data(), k, k);
-  block_lower_transpose_solve_multi(factors_, solve_plan_, z.data(), k, k);
+  Status ss = block_upper_transpose_solve_multi(factors_, solve_plan_,
+                                                z.data(), k, k, opts_.cancel);
+  if (!ss.is_ok()) return ss;
+  ss = block_lower_transpose_solve_multi(factors_, solve_plan_, z.data(), k, k,
+                                         opts_.cancel);
+  if (!ss.is_ok()) return ss;
   for (index_t cidx = 0; cidx < k; ++cidx) {
     for (index_t row = 0; row < n; ++row) {
       (*x)(row, cidx) =
@@ -1496,8 +1701,12 @@ Status Solver::solve_transpose(std::span<const value_t> b,
               reorder_.col_scale[static_cast<std::size_t>(c)] *
               b[static_cast<std::size_t>(c)]);
     }
-    block_upper_transpose_solve(factors32_, solve_plan_, z32);
-    block_lower_transpose_solve(factors32_, solve_plan_, z32);
+    Status ss =
+        block_upper_transpose_solve(factors32_, solve_plan_, z32, opts_.cancel);
+    if (!ss.is_ok()) return ss;
+    ss = block_lower_transpose_solve(factors32_, solve_plan_, z32,
+                                     opts_.cancel);
+    if (!ss.is_ok()) return ss;
     for (index_t r = 0; r < n; ++r) {
       x[static_cast<std::size_t>(r)] =
           reorder_.row_scale[static_cast<std::size_t>(r)] *
@@ -1512,8 +1721,11 @@ Status Solver::solve_transpose(std::span<const value_t> b,
         reorder_.col_scale[static_cast<std::size_t>(c)] *
         b[static_cast<std::size_t>(c)];
   }
-  block_upper_transpose_solve(factors_, solve_plan_, z);
-  block_lower_transpose_solve(factors_, solve_plan_, z);
+  Status ss =
+      block_upper_transpose_solve(factors_, solve_plan_, z, opts_.cancel);
+  if (!ss.is_ok()) return ss;
+  ss = block_lower_transpose_solve(factors_, solve_plan_, z, opts_.cancel);
+  if (!ss.is_ok()) return ss;
   for (index_t r = 0; r < n; ++r) {
     x[static_cast<std::size_t>(r)] =
         reorder_.row_scale[static_cast<std::size_t>(r)] *

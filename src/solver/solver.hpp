@@ -27,6 +27,7 @@
 #include "sparse/csc.hpp"
 #include "sparse/dense.hpp"
 #include "symbolic/fill.hpp"
+#include "util/cancel.hpp"
 #include "util/status.hpp"
 
 namespace pangulu::solver {
@@ -126,6 +127,17 @@ struct Options {
   /// corruption is recomputed from live inputs when possible; otherwise
   /// factorize() fails with StatusCode::kDataCorruption.
   runtime::AbftLevel abft_level = runtime::AbftLevel::kOff;
+  /// Optional cooperative cancellation (util/cancel.hpp). Not owned; must
+  /// outlive every call made with these options. factorize()/refactorize()
+  /// poll it at each canonical commit safe point, solve() between sweep
+  /// levels and refinement iterations. Expiry fails typed (kCancelled /
+  /// kDeadlineExceeded) and never publishes a partial factor: a cancelled
+  /// factorize() leaves the solver un-factorised, a cancelled refactorize()
+  /// rolls back to the previous factors (the solver stays solvable), and a
+  /// cancelled solve() never publishes a partially-swept vector — the output
+  /// is untouched, or (when refinement had already begun) holds the last
+  /// fully-refined iterate, itself a complete solution.
+  const CancelToken* cancel = nullptr;
 };
 
 struct FactorStats {
@@ -244,6 +256,12 @@ class Solver {
   Status solve(std::span<const value_t> b, std::span<value_t> x,
                SolveStats* solve_stats = nullptr) const;
 
+  /// solve() under a per-call CancelToken that overrides Options::cancel —
+  /// the hook Session::solve_deadline uses to arm one token per request
+  /// without mutating the shared Options. Pass nullptr for no cancellation.
+  Status solve(std::span<const value_t> b, std::span<value_t> x,
+               SolveStats* solve_stats, const CancelToken* cancel) const;
+
   /// Solve A X = B for an n x k right-hand-side panel. Each block of the
   /// factors is visited once per triangular sweep and applied to all k
   /// columns (the panel kernels of kernels/gessm.hpp, tstrf.hpp); iterative
@@ -321,7 +339,7 @@ class Solver {
   /// the FP32 sweeps on factors32_; kMixedIR then refines in FP64 until
   /// Options::ir_tolerance or fails with kNumericBreakdown on a stall.
   Status solve_fp32(std::span<const value_t> b, std::span<value_t> x,
-                    SolveStats* solve_stats) const;
+                    SolveStats* solve_stats, const CancelToken* cancel) const;
   Status solve_multi_fp32(const Dense& b, Dense* x, SolveStats* worst) const;
 
   Options opts_;
@@ -382,21 +400,28 @@ void block_lower_transpose_solve(const block::BlockMatrixT<V>& f,
                                  std::type_identity_t<std::span<V>> x);
 
 /// Plan-based variants of the four sweeps: same traversal, same bits, no
-/// per-call schedule discovery.
+/// per-call schedule discovery. Each polls the optional CancelToken at every
+/// sweep level (one block row/column) and stops typed on expiry — the
+/// caller's working vector is then partial and must be discarded, which
+/// Solver::solve does by never copying it into the output.
 template <class V>
-void block_lower_solve(const block::BlockMatrixT<V>& f, const SolvePlan& plan,
-                       std::type_identity_t<std::span<V>> x);
+Status block_lower_solve(const block::BlockMatrixT<V>& f, const SolvePlan& plan,
+                         std::type_identity_t<std::span<V>> x,
+                         const CancelToken* cancel = nullptr);
 template <class V>
-void block_upper_solve(const block::BlockMatrixT<V>& f, const SolvePlan& plan,
-                       std::type_identity_t<std::span<V>> x);
+Status block_upper_solve(const block::BlockMatrixT<V>& f, const SolvePlan& plan,
+                         std::type_identity_t<std::span<V>> x,
+                         const CancelToken* cancel = nullptr);
 template <class V>
-void block_upper_transpose_solve(const block::BlockMatrixT<V>& f,
-                                 const SolvePlan& plan,
-                                 std::type_identity_t<std::span<V>> x);
+Status block_upper_transpose_solve(const block::BlockMatrixT<V>& f,
+                                   const SolvePlan& plan,
+                                   std::type_identity_t<std::span<V>> x,
+                                   const CancelToken* cancel = nullptr);
 template <class V>
-void block_lower_transpose_solve(const block::BlockMatrixT<V>& f,
-                                 const SolvePlan& plan,
-                                 std::type_identity_t<std::span<V>> x);
+Status block_lower_transpose_solve(const block::BlockMatrixT<V>& f,
+                                   const SolvePlan& plan,
+                                   std::type_identity_t<std::span<V>> x,
+                                   const CancelToken* cancel = nullptr);
 
 /// Multi-RHS (panel) variants of the plan-based sweeps: `x` is an n x k
 /// row-interleaved panel — column c of row r at x[r * stride + c], so the
@@ -406,21 +431,25 @@ void block_lower_transpose_solve(const block::BlockMatrixT<V>& f,
 /// columns; per column the floating-point operation sequence is exactly the
 /// single-vector sweep's, so column c of the panel result is bitwise
 /// identical to running the single-vector sweep on that column alone.
+/// Like the plan-based single-vector sweeps, each polls the optional
+/// CancelToken at every sweep level.
 template <class V>
-void block_lower_solve_multi(const block::BlockMatrixT<V>& f,
-                             const SolvePlan& plan, V* x, index_t stride,
-                             index_t k);
+Status block_lower_solve_multi(const block::BlockMatrixT<V>& f,
+                               const SolvePlan& plan, V* x, index_t stride,
+                               index_t k, const CancelToken* cancel = nullptr);
 template <class V>
-void block_upper_solve_multi(const block::BlockMatrixT<V>& f,
-                             const SolvePlan& plan, V* x, index_t stride,
-                             index_t k);
+Status block_upper_solve_multi(const block::BlockMatrixT<V>& f,
+                               const SolvePlan& plan, V* x, index_t stride,
+                               index_t k, const CancelToken* cancel = nullptr);
 template <class V>
-void block_upper_transpose_solve_multi(const block::BlockMatrixT<V>& f,
-                                       const SolvePlan& plan, V* x,
-                                       index_t stride, index_t k);
+Status block_upper_transpose_solve_multi(const block::BlockMatrixT<V>& f,
+                                         const SolvePlan& plan, V* x,
+                                         index_t stride, index_t k,
+                                         const CancelToken* cancel = nullptr);
 template <class V>
-void block_lower_transpose_solve_multi(const block::BlockMatrixT<V>& f,
-                                       const SolvePlan& plan, V* x,
-                                       index_t stride, index_t k);
+Status block_lower_transpose_solve_multi(const block::BlockMatrixT<V>& f,
+                                         const SolvePlan& plan, V* x,
+                                         index_t stride, index_t k,
+                                         const CancelToken* cancel = nullptr);
 
 }  // namespace pangulu::solver

@@ -1,0 +1,281 @@
+#include "solver/traffic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <fstream>
+#include <queue>
+#include <sstream>
+
+#include "util/rng.hpp"
+
+namespace pangulu::solver {
+
+namespace {
+
+Status parse_error(int line, const std::string& what) {
+  return Status::invalid_argument("traffic DSL line " + std::to_string(line) +
+                                  ": " + what);
+}
+
+bool parse_bool(const std::string& tok, bool* out) {
+  if (tok == "on" || tok == "true" || tok == "1") {
+    *out = true;
+    return true;
+  }
+  if (tok == "off" || tok == "false" || tok == "0") {
+    *out = false;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Status parse_traffic_scenarios(const std::string& text,
+                               std::vector<TrafficScenario>* out) {
+  if (!out) return Status::invalid_argument("traffic DSL: null output");
+  out->clear();
+  std::istringstream in(text);
+  std::string raw;
+  int lineno = 0;
+  bool open = false;
+  TrafficScenario cur;
+  while (std::getline(in, raw)) {
+    ++lineno;
+    const auto hash = raw.find('#');
+    if (hash != std::string::npos) raw.erase(hash);
+    std::istringstream ls(raw);
+    std::string key;
+    if (!(ls >> key)) continue;  // blank / comment-only line
+    if (key == "scenario") {
+      if (open) return parse_error(lineno, "nested scenario (missing 'end')");
+      std::string name;
+      if (!(ls >> name)) return parse_error(lineno, "scenario needs a name");
+      cur = TrafficScenario{};
+      cur.name = name;
+      open = true;
+      continue;
+    }
+    if (key == "end") {
+      if (!open) return parse_error(lineno, "'end' outside a scenario");
+      out->push_back(cur);
+      open = false;
+      continue;
+    }
+    if (!open)
+      return parse_error(lineno, "directive '" + key +
+                                     "' outside a scenario block");
+    std::string val;
+    if (!(ls >> val)) return parse_error(lineno, "'" + key + "' needs a value");
+    bool bval = false;
+    if (key == "kind") {
+      cur.kind = val;
+    } else if (key == "request") {
+      if (val != "solve" && val != "refactorize" && val != "factorize" &&
+          val != "ckpt_factorize")
+        return parse_error(lineno, "unknown request kind '" + val + "'");
+      cur.request = val;
+    } else if (key == "requests") {
+      cur.requests = std::atoi(val.c_str());
+      if (cur.requests < 1) return parse_error(lineno, "requests must be >= 1");
+    } else if (key == "overload") {
+      cur.overload = std::atof(val.c_str());
+      if (cur.overload <= 0) return parse_error(lineno, "overload must be > 0");
+    } else if (key == "deadline_mult") {
+      cur.deadline_mult = std::atof(val.c_str());
+      if (cur.deadline_mult < 0)
+        return parse_error(lineno, "deadline_mult must be >= 0");
+    } else if (key == "deadline_mix") {
+      if (!parse_bool(val, &bval))
+        return parse_error(lineno, "deadline_mix wants on/off");
+      cur.deadline_mix = bval;
+    } else if (key == "queue") {
+      cur.queue = std::atoi(val.c_str());
+      if (cur.queue < 0) return parse_error(lineno, "queue must be >= 0");
+    } else if (key == "shed") {
+      if (!parse_bool(val, &bval)) return parse_error(lineno, "shed wants on/off");
+      cur.shed = bval;
+    } else if (key == "scale_down_at") {
+      cur.scale_down_at = std::atof(val.c_str());
+      if (cur.scale_down_at > 1.0)
+        return parse_error(lineno, "scale_down_at is a trace fraction in [0, 1]");
+    } else if (key == "jitter") {
+      cur.jitter = std::atof(val.c_str());
+      if (cur.jitter < 0 || cur.jitter >= 1)
+        return parse_error(lineno, "jitter must be in [0, 1)");
+    } else if (key == "seed") {
+      cur.seed = static_cast<std::uint64_t>(std::atoll(val.c_str()));
+    } else {
+      return parse_error(lineno, "unknown directive '" + key + "'");
+    }
+  }
+  if (open)
+    return parse_error(lineno, "scenario '" + cur.name + "' never ends");
+  if (out->empty())
+    return Status::invalid_argument("traffic DSL: no scenarios found");
+  return Status::ok();
+}
+
+Status load_traffic_scenarios(const std::string& path,
+                              std::vector<TrafficScenario>* out) {
+  std::ifstream in(path);
+  if (!in)
+    return Status::io_error("traffic DSL: cannot read '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_traffic_scenarios(buf.str(), out);
+}
+
+Status replay_traffic(const TrafficScenario& sc, const TrafficShape& shape,
+                      double mean_service_seconds, TrafficReport* report) {
+  if (!report) return Status::invalid_argument("traffic replay: null report");
+  if (shape.servers < 1)
+    return Status::invalid_argument("traffic replay: shape needs >= 1 server");
+  if (sc.requests < 1)
+    return Status::invalid_argument("traffic replay: empty trace");
+  if (!(mean_service_seconds > 0))
+    return Status::invalid_argument(
+        "traffic replay: mean service time must be > 0");
+  *report = TrafficReport{};
+  report->offered = sc.requests;
+
+  Rng rng(sc.seed);
+  const int n = sc.requests;
+  // Arrival rate: `overload` x the shape's service capacity. overload 2.0
+  // on an 8-server shape offers twice what the shape can drain.
+  const double rate =
+      sc.overload * static_cast<double>(shape.servers) / mean_service_seconds;
+  std::vector<double> arrival(static_cast<std::size_t>(n));
+  std::vector<double> service(static_cast<std::size_t>(n));
+  std::vector<double> deadline(static_cast<std::size_t>(n), 0);
+  double t = 0;
+  for (int i = 0; i < n; ++i) {
+    // Exponential inter-arrivals (Poisson process), inverse-CDF sampled so
+    // the trace is a pure function of the seed.
+    t += -std::log(1.0 - rng.uniform(0.0, 1.0)) / rate;
+    arrival[static_cast<std::size_t>(i)] = t;
+    service[static_cast<std::size_t>(i)] =
+        mean_service_seconds *
+        (1.0 + sc.jitter * rng.uniform(-1.0, 1.0));
+    double mult = sc.deadline_mult;
+    if (sc.deadline_mix && (i % 2) == 1 && mult > 0) mult /= 4.0;
+    if (mult > 0)
+      deadline[static_cast<std::size_t>(i)] =
+          arrival[static_cast<std::size_t>(i)] + mult * mean_service_seconds;
+  }
+  // Planned capacity change: after this instant the shape runs on half its
+  // servers (rank drain during scale-down); in-flight work finishes, the
+  // freed slots just never refill past the new cap.
+  const double scale_down_time =
+      sc.scale_down_at >= 0
+          ? arrival[static_cast<std::size_t>(n - 1)] * sc.scale_down_at
+          : -1.0;
+
+  struct Ev {
+    double time;
+    int seq;      // tie-break: deterministic order for equal times
+    int id;       // request id; completions carry the finishing request
+    bool is_completion;
+    bool operator>(const Ev& o) const {
+      if (time != o.time) return time > o.time;
+      return seq > o.seq;
+    }
+  };
+  std::priority_queue<Ev, std::vector<Ev>, std::greater<Ev>> events;
+  int seq = 0;
+  for (int i = 0; i < n; ++i)
+    events.push({arrival[static_cast<std::size_t>(i)], seq++, i, false});
+
+  std::deque<int> waiting;
+  int busy = 0;
+  std::vector<double> latency;
+  std::vector<double> waits;
+  latency.reserve(static_cast<std::size_t>(n));
+  double makespan = 0;
+
+  auto capacity_at = [&](double now) {
+    if (scale_down_time >= 0 && now >= scale_down_time)
+      return std::max(1, shape.servers / 2);
+    return shape.servers;
+  };
+  auto predicted_wait = [&](double /*now*/) {
+    // SessionPool's shed predictor: the queue ahead plus this request, each
+    // taking a mean service slot, drained by the current server count.
+    return (static_cast<double>(waiting.size()) + 1.0) *
+           mean_service_seconds / static_cast<double>(shape.servers);
+  };
+  auto start = [&](double now, int id) {
+    ++busy;
+    const double fin = now + service[static_cast<std::size_t>(id)];
+    waits.push_back(now - arrival[static_cast<std::size_t>(id)]);
+    events.push({fin, seq++, id, true});
+  };
+
+  while (!events.empty()) {
+    const Ev ev = events.top();
+    events.pop();
+    makespan = std::max(makespan, ev.time);
+    if (!ev.is_completion) {
+      if (busy < capacity_at(ev.time)) {
+        start(ev.time, ev.id);
+        continue;
+      }
+      const double dl = deadline[static_cast<std::size_t>(ev.id)];
+      if (sc.shed && dl > 0 && ev.time + predicted_wait(ev.time) > dl) {
+        ++report->shed;  // shed on arrival: deadline cannot cover the wait
+        continue;
+      }
+      if (sc.queue > 0 && static_cast<int>(waiting.size()) >= sc.queue) {
+        ++report->rejected;
+        continue;
+      }
+      waiting.push_back(ev.id);
+      report->peak_queue_depth = std::max(
+          report->peak_queue_depth, static_cast<int>(waiting.size()));
+      continue;
+    }
+    // Completion: account the finished request, then backfill from the
+    // queue — skipping (shedding) waiters whose deadline already lapsed.
+    --busy;
+    ++report->admitted;
+    latency.push_back(ev.time - arrival[static_cast<std::size_t>(ev.id)]);
+    while (!waiting.empty() && busy < capacity_at(ev.time)) {
+      const int next = waiting.front();
+      waiting.pop_front();
+      const double dl = deadline[static_cast<std::size_t>(next)];
+      if (sc.shed && dl > 0 && ev.time >= dl) {
+        ++report->shed;  // shed in queue: deadline lapsed before dispatch
+        continue;
+      }
+      start(ev.time, next);
+    }
+  }
+
+  report->shed_rate =
+      static_cast<double>(report->shed + report->rejected) /
+      static_cast<double>(report->offered);
+  report->makespan_seconds = makespan;
+  if (report->admitted > 0 && makespan > 0)
+    report->throughput_rps =
+        static_cast<double>(report->admitted) / makespan;
+  if (!latency.empty()) {
+    std::sort(latency.begin(), latency.end());
+    auto pct = [&](double p) {
+      const auto idx = static_cast<std::size_t>(
+          p * static_cast<double>(latency.size() - 1) + 0.5);
+      return latency[std::min(idx, latency.size() - 1)];
+    };
+    report->p50_latency = pct(0.50);
+    report->p95_latency = pct(0.95);
+    report->p99_latency = pct(0.99);
+  }
+  if (!waits.empty()) {
+    double sum = 0;
+    for (double w : waits) sum += w;
+    report->mean_wait = sum / static_cast<double>(waits.size());
+  }
+  return Status::ok();
+}
+
+}  // namespace pangulu::solver

@@ -1,0 +1,96 @@
+// Traffic-replay capacity harness: a tiny line-oriented scenario DSL plus a
+// deterministic virtual-time replay of the described load against a resource
+// shape, mirroring SessionPool's admission semantics (bounded queue,
+// deadline-aware shedding). The replay is a closed-form DES — no threads, no
+// wall clock — so capacity questions ("does this shape hold its p95 under a
+// 2x solve storm?") get byte-stable answers in CI, calibrated by one real
+// measured service time per request kind (bench_traffic_replay does the
+// measuring; tests feed synthetic service times).
+//
+// DSL (tools/traffic/*.trace): one directive per line, '#' comments,
+// scenarios open with `scenario <name>` and close with `end`:
+//
+//   scenario solve_storm_2x
+//     kind solve_storm        # free-form label, reported verbatim
+//     request solve           # solve | refactorize | factorize | ckpt_factorize
+//     requests 96             # trace length
+//     overload 2.0            # arrival rate as a multiple of shape capacity
+//     deadline_mult 3.0       # deadline = mult x mean service; 0 = none
+//     deadline_mix on         # alternate tight (mult/4) and loose deadlines
+//     queue 16                # admission queue bound; 0 = unbounded
+//     shed on                 # deadline-aware shedding (off = wait forever)
+//     scale_down_at 0.5       # capacity halves this far into the trace
+//     jitter 0.1              # +-10% per-request service-time jitter
+//     seed 7                  # Rng seed; the replay is a pure function
+//   end
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace pangulu::solver {
+
+struct TrafficScenario {
+  std::string name;
+  std::string kind = "solve_storm";
+  std::string request = "solve";
+  int requests = 32;
+  double overload = 1.0;
+  double deadline_mult = 0.0;
+  bool deadline_mix = false;
+  int queue = 0;
+  bool shed = true;
+  double scale_down_at = -1.0;  // < 0 = capacity never changes
+  double jitter = 0.1;
+  std::uint64_t seed = 1;
+};
+
+/// A resource shape the trace replays against: `servers` concurrent
+/// in-flight requests (SessionPoolOptions::max_concurrent).
+struct TrafficShape {
+  std::string name;
+  int servers = 1;
+};
+
+/// Per-(scenario, shape) replay outcome. Latency percentiles cover admitted
+/// AND completed requests only — shed requests fail fast by design and are
+/// reported through shed_rate instead of polluting the latency story.
+struct TrafficReport {
+  int offered = 0;    // requests in the trace
+  int admitted = 0;   // ran to completion
+  int shed = 0;       // deadline-shed: on arrival or while queued
+  int rejected = 0;   // bounced off the queue bound
+  double shed_rate = 0;          // (shed + rejected) / offered
+  double makespan_seconds = 0;   // virtual time to drain the trace
+  double throughput_rps = 0;     // admitted / makespan
+  double p50_latency = 0;        // arrival -> completion, virtual seconds
+  double p95_latency = 0;
+  double p99_latency = 0;
+  double mean_wait = 0;          // queueing delay of admitted requests
+  int peak_queue_depth = 0;
+};
+
+/// Parse scenarios out of DSL text. Unknown directives, out-of-range values
+/// and unterminated scenarios fail typed with the offending line number.
+Status parse_traffic_scenarios(const std::string& text,
+                               std::vector<TrafficScenario>* out);
+
+/// Parse a .trace file from disk (kIoError when unreadable).
+Status load_traffic_scenarios(const std::string& path,
+                              std::vector<TrafficScenario>* out);
+
+/// Replay `sc` against `shape` with the given calibrated mean service time.
+/// Deterministic: same inputs, same report, byte for byte. Mirrors
+/// SessionPool admission: a full pool parks arrivals in a FIFO queue bounded
+/// by sc.queue; with shedding on, a request whose deadline cannot cover its
+/// predicted wait ((queued + 1) x mean service / servers) is shed on
+/// arrival, and a queued request whose deadline lapses before dispatch is
+/// shed at dispatch time. kInvalidArgument on nonsensical inputs
+/// (servers < 1, requests < 1, mean_service <= 0).
+Status replay_traffic(const TrafficScenario& sc, const TrafficShape& shape,
+                      double mean_service_seconds, TrafficReport* report);
+
+}  // namespace pangulu::solver

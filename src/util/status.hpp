@@ -42,6 +42,18 @@ enum class StatusCode {
   /// completed, but refinement cannot converge on it. The caller should
   /// retry at Precision::kDouble.
   kNumericBreakdown,
+  /// A request's deadline expired before the work finished — either the
+  /// wall-clock deadline of a CancelToken (threaded executor, SessionPool
+  /// admission) or its virtual deadline on the DES clock (simulated runs).
+  /// The operation stopped at the next safe point without publishing a
+  /// partial factor; sessions remain usable. Retrying with a larger budget
+  /// is safe. Distinct from kCancelled (an explicit caller decision).
+  kDeadlineExceeded,
+  /// The caller revoked the request through CancelToken::cancel() and the
+  /// operation stopped cooperatively at the next safe point. Like
+  /// kDeadlineExceeded nothing partial is published, but this code marks a
+  /// deliberate abort rather than an expired time budget.
+  kCancelled,
 };
 
 /// Stable lower_snake_case name for every StatusCode. tools/lint.sh checks
@@ -72,6 +84,10 @@ inline const char* to_string(StatusCode code) {
       return "resource_exhausted";
     case StatusCode::kNumericBreakdown:
       return "numeric_breakdown";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case StatusCode::kCancelled:
+      return "cancelled";
   }
   return "unknown";
 }
@@ -118,6 +134,12 @@ class [[nodiscard]] Status {
   }
   static Status numeric_breakdown(std::string m) {
     return Status(StatusCode::kNumericBreakdown, std::move(m));
+  }
+  static Status deadline_exceeded(std::string m) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(m));
+  }
+  static Status cancelled(std::string m) {
+    return Status(StatusCode::kCancelled, std::move(m));
   }
 
   [[nodiscard]] bool is_ok() const { return code_ == StatusCode::kOk; }

@@ -293,6 +293,48 @@ TEST(CApi, MixedPrecisionSessionRoundTrip) {
   EXPECT_EQ(pangulu_session_refine_iterations(nullptr), -1);
 }
 
+// Deadline round trip: a missed deadline sheds typed, leaves b_x bitwise
+// untouched, and the session remains fully usable — the same solve then
+// succeeds without a deadline and with a generous one.
+TEST(CApiSession, SolveDeadlineRoundTrip) {
+  Csc m = pangulu::matgen::grid2d_laplacian(12, 12);
+  const int32_t n = m.n_cols();
+  CscArrays a = to_arrays(m);
+  pangulu_session* s = nullptr;
+  ASSERT_EQ(pangulu_session_create(n, a.col_ptr.data(), a.row_idx.data(),
+                                   a.values.data(), 4, 0, &s),
+            PANGULU_OK);
+
+  std::vector<value_t> ones(static_cast<std::size_t>(n), 1.0);
+  std::vector<double> rhs(static_cast<std::size_t>(n));
+  m.spmv(ones, rhs);
+
+  // deadline <= 0 sheds immediately; 1 ns expires at the first sweep level.
+  for (double dl : {0.0, 1e-9}) {
+    std::vector<double> bx = rhs;
+    EXPECT_EQ(pangulu_session_solve_deadline(s, bx.data(), dl),
+              PANGULU_DEADLINE_EXCEEDED);
+    EXPECT_EQ(bx, rhs) << "a shed solve must not touch b_x";
+    EXPECT_NE(std::string(pangulu_session_last_error(s)), "");
+  }
+
+  std::vector<double> bx = rhs;
+  ASSERT_EQ(pangulu_session_solve(s, bx.data()), PANGULU_OK);
+  for (double v : bx) EXPECT_NEAR(v, 1.0, 1e-8);
+
+  std::vector<double> bx2 = rhs;
+  ASSERT_EQ(pangulu_session_solve_deadline(s, bx2.data(), 60.0), PANGULU_OK);
+  EXPECT_EQ(bx2, bx) << "a roomy deadline behaves exactly like solve";
+
+  EXPECT_EQ(pangulu_session_solve_deadline(nullptr, bx.data(), 1.0),
+            PANGULU_INVALID_ARGUMENT);
+  EXPECT_EQ(pangulu_session_solve_deadline(s, nullptr, 1.0),
+            PANGULU_INVALID_ARGUMENT);
+  // The two shed codes are distinct, stable enum members.
+  EXPECT_NE(PANGULU_DEADLINE_EXCEEDED, PANGULU_CANCELLED);
+  pangulu_session_destroy(s);
+}
+
 TEST(CApi, CreateFromFile) {
   Csc m = pangulu::matgen::grid2d_laplacian(6, 6);
   const std::string path = ::testing::TempDir() + "/capi_test.mtx";

@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <cmath>
 #include <thread>
 #include <vector>
 
@@ -14,6 +16,7 @@
 #include "solver/solver.hpp"
 #include "sparse/ops.hpp"
 #include "util/rng.hpp"
+#include "util/timer.hpp"
 
 namespace pangulu::solver {
 namespace {
@@ -403,6 +406,159 @@ TEST(SessionStress, ConcurrentRefactorizeAndSolve) {
   std::vector<value_t> x(b.size(), 0.0);
   ASSERT_TRUE(session.solve(b, x).is_ok());
   EXPECT_LT(relative_residual(a, x, b), 1e-9);
+}
+
+// Regression: admit() used to park forever on a full pool. With the pool
+// timeout set it must come back typed — and fast enough to notice a hang.
+TEST(SessionPool, StarvedAdmitTimesOutTyped) {
+  SessionPoolOptions popts;
+  popts.max_concurrent = 1;
+  popts.default_admit_timeout_seconds = 0.05;
+  SessionPool pool(popts);
+  SessionPool::Ticket holder;
+  ASSERT_TRUE(pool.admit(1, &holder).is_ok());
+
+  SessionPool::Ticket blocked;
+  Timer t;
+  const Status st = pool.admit(1, &blocked);
+  EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded) << st.message();
+  EXPECT_FALSE(blocked.admitted());
+  EXPECT_LT(t.seconds(), 5.0) << "starved admit must not hang";
+
+  holder.release();
+  ASSERT_TRUE(pool.admit(1, &blocked).is_ok());
+}
+
+TEST(SessionPool, AdmitShedsExpiredDeadlineImmediately) {
+  SessionPoolOptions popts;
+  popts.max_concurrent = 1;
+  SessionPool pool(popts);
+  SessionPool::Ticket holder;
+  ASSERT_TRUE(pool.admit(1, &holder).is_ok());
+
+  CancelToken expired;
+  expired.set_wall_deadline_after(-1.0);
+  SessionPool::Ticket t;
+  EXPECT_EQ(pool.admit(1, &t, &expired).code(),
+            StatusCode::kDeadlineExceeded);
+
+  // An unconstrained token on a free pool sails through.
+  holder.release();
+  CancelToken fine;
+  EXPECT_TRUE(pool.admit(1, &t, &fine).is_ok());
+}
+
+TEST(SessionPool, AdmitManualCancelUnparksWaiter) {
+  SessionPoolOptions popts;
+  popts.max_concurrent = 1;
+  SessionPool pool(popts);
+  SessionPool::Ticket holder;
+  ASSERT_TRUE(pool.admit(1, &holder).is_ok());
+
+  CancelToken tok;
+  std::atomic<int> code{-1};
+  std::thread waiter([&] {
+    SessionPool::Ticket t;
+    code.store(static_cast<int>(pool.admit(1, &t, &tok).code()));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  tok.cancel();
+  waiter.join();
+  EXPECT_EQ(code.load(), static_cast<int>(StatusCode::kCancelled));
+}
+
+TEST(SessionPool, QueueFullRejectsTyped) {
+  SessionPoolOptions popts;
+  popts.max_concurrent = 1;
+  popts.max_queue_depth = 1;
+  popts.default_admit_timeout_seconds = 2.0;
+  SessionPool pool(popts);
+  SessionPool::Ticket holder;
+  ASSERT_TRUE(pool.admit(1, &holder).is_ok());
+
+  std::atomic<bool> queued_ok{false};
+  std::thread queued([&] {
+    SessionPool::Ticket t;
+    queued_ok.store(pool.admit(1, &t).is_ok());
+  });
+  // Wait until the first waiter is actually parked, then overflow the queue.
+  while (pool.stats().queue_depth < 1) std::this_thread::yield();
+  SessionPool::Ticket overflow;
+  EXPECT_EQ(pool.admit(1, &overflow).code(),
+            StatusCode::kResourceExhausted);
+
+  holder.release();
+  queued.join();
+  EXPECT_TRUE(queued_ok.load()) << "the parked waiter still gets its slot";
+
+  const SessionPoolStats ps = pool.stats();
+  EXPECT_EQ(ps.rejected_queue_full, 1);
+  EXPECT_GE(ps.peak_queue_depth, 1);
+}
+
+TEST(SessionPool, StatsCountAdmissionOutcomes) {
+  SessionPoolOptions popts;
+  popts.max_concurrent = 1;
+  popts.default_admit_timeout_seconds = 0.02;
+  SessionPool pool(popts);
+  {
+    SessionPool::Ticket a1;
+    ASSERT_TRUE(pool.admit(1, &a1).is_ok());
+    SessionPool::Ticket starved;
+    EXPECT_FALSE(pool.admit(1, &starved).is_ok());
+  }
+  SessionPool::Ticket a2;
+  ASSERT_TRUE(pool.admit(1, &a2).is_ok());
+
+  const SessionPoolStats ps = pool.stats();
+  EXPECT_EQ(ps.admitted, 2);
+  EXPECT_EQ(ps.shed, 1);
+  EXPECT_EQ(ps.queue_depth, 0);
+  EXPECT_GE(ps.p95_wait_seconds, 0.0);
+  EXPECT_GE(ps.mean_wait_seconds, 0.0);
+}
+
+TEST(Session, SolveDeadlineShedsAndStaysUsable) {
+  Csc a = matgen::grid2d_laplacian(12, 12);
+  Session session;
+  ASSERT_TRUE(session.setup(a, no_mc64_options()).is_ok());
+  const auto b = make_rhs(a);
+  std::vector<value_t> want(b.size(), 0.0);
+  ASSERT_TRUE(session.solve(b, want).is_ok());
+
+  const value_t sentinel = static_cast<value_t>(-99.25);
+  for (double dl : {0.0, -1.0, 1e-9}) {
+    SCOPED_TRACE("deadline " + std::to_string(dl));
+    std::vector<value_t> x(b.size(), sentinel);
+    const Status st = session.solve_deadline(b, x, dl);
+    EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded) << st.message();
+    for (value_t v : x) ASSERT_EQ(v, sentinel) << "shed must not touch x";
+    EXPECT_TRUE(session.ready()) << "a missed deadline is not a broken session";
+  }
+
+  // A roomy deadline behaves exactly like solve().
+  std::vector<value_t> x(b.size(), 0.0);
+  SolveStats stats;
+  ASSERT_TRUE(session.solve_deadline(b, x, 60.0, &stats).is_ok());
+  EXPECT_EQ(x, want);
+}
+
+TEST(SessionPool, JitteredBackoffIsBoundedAndDeterministic) {
+  const double base = 0.01, cap = 0.5;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const double nominal = std::min(cap, base * std::ldexp(1.0, attempt));
+    // Deterministic: the same Rng state gives the same suggestion.
+    Rng probe(42), probe2(42);
+    const double s1 = jittered_backoff_seconds(attempt, base, cap, probe);
+    const double s2 = jittered_backoff_seconds(attempt, base, cap, probe2);
+    EXPECT_EQ(s1, s2);
+    // Jitter keeps the suggestion in [nominal / 2, nominal].
+    EXPECT_GE(s1, nominal * 0.5);
+    EXPECT_LE(s1, nominal);
+  }
+  // The cap holds even for absurd attempt counts (no shift overflow).
+  Rng late(7);
+  EXPECT_LE(jittered_backoff_seconds(1000, base, cap, late), cap);
 }
 
 }  // namespace

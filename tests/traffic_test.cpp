@@ -1,0 +1,211 @@
+// Traffic-replay harness (solver/traffic.hpp): scenario DSL parsing with
+// typed per-line errors, and the deterministic virtual-time replay —
+// conservation of requests, deadline shedding, queue bounds, scale-down,
+// and byte-stable repeatability.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "solver/traffic.hpp"
+
+namespace pangulu::solver {
+namespace {
+
+const char* kStorm = R"(
+# a comment line
+scenario storm          # trailing comment
+  kind solve_storm
+  request refactorize
+  requests 64
+  overload 2.0
+  deadline_mult 0.5
+  deadline_mix on
+  queue 12
+  shed on
+  scale_down_at 0.5
+  jitter 0.2
+  seed 7
+end
+scenario second
+  request solve
+  requests 8
+end
+)";
+
+TEST(TrafficDsl, ParsesEveryDirective) {
+  std::vector<TrafficScenario> scs;
+  ASSERT_TRUE(parse_traffic_scenarios(kStorm, &scs).is_ok());
+  ASSERT_EQ(scs.size(), 2u);
+  const TrafficScenario& s = scs[0];
+  EXPECT_EQ(s.name, "storm");
+  EXPECT_EQ(s.kind, "solve_storm");
+  EXPECT_EQ(s.request, "refactorize");
+  EXPECT_EQ(s.requests, 64);
+  EXPECT_DOUBLE_EQ(s.overload, 2.0);
+  EXPECT_DOUBLE_EQ(s.deadline_mult, 0.5);
+  EXPECT_TRUE(s.deadline_mix);
+  EXPECT_EQ(s.queue, 12);
+  EXPECT_TRUE(s.shed);
+  EXPECT_DOUBLE_EQ(s.scale_down_at, 0.5);
+  EXPECT_DOUBLE_EQ(s.jitter, 0.2);
+  EXPECT_EQ(s.seed, 7u);
+  // Unset directives keep their documented defaults.
+  const TrafficScenario& d = scs[1];
+  EXPECT_EQ(d.name, "second");
+  EXPECT_EQ(d.request, "solve");
+  EXPECT_EQ(d.requests, 8);
+  EXPECT_TRUE(d.shed);
+  EXPECT_LT(d.scale_down_at, 0.0);
+}
+
+TEST(TrafficDsl, TypedErrorsNameTheOffendingLine) {
+  std::vector<TrafficScenario> scs;
+  struct Case {
+    const char* text;
+    const char* needle;
+  };
+  const Case cases[] = {
+      {"scenario a\nscenario b\nend\n", "nested"},
+      {"end\n", "outside"},
+      {"requests 5\n", "outside"},
+      {"scenario a\n  bogus 1\nend\n", "unknown directive"},
+      {"scenario a\n  request launder\nend\n", "unknown request kind"},
+      {"scenario a\n  requests 0\nend\n", ">= 1"},
+      {"scenario a\n  overload -2\nend\n", "> 0"},
+      {"scenario a\n  jitter 1.0\nend\n", "[0, 1)"},
+      {"scenario a\n  shed maybe\nend\n", "on/off"},
+      {"scenario a\n  requests\nend\n", "needs a value"},
+      {"scenario\nend\n", "needs a name"},
+      {"scenario a\n  requests 5\n", "never ends"},
+      {"# nothing here\n", "no scenarios"},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.text);
+    const Status st = parse_traffic_scenarios(c.text, &scs);
+    EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(st.message().find(c.needle), std::string::npos) << st.message();
+  }
+}
+
+TEST(TrafficDsl, MissingFileIsIoError) {
+  std::vector<TrafficScenario> scs;
+  EXPECT_EQ(load_traffic_scenarios("/no/such/dir/x.trace", &scs).code(),
+            StatusCode::kIoError);
+}
+
+TrafficScenario storm_scenario() {
+  TrafficScenario sc;
+  sc.name = "storm";
+  sc.requests = 200;
+  sc.overload = 2.0;
+  sc.deadline_mult = 0.5;
+  sc.queue = 16;
+  sc.seed = 11;
+  return sc;
+}
+
+TEST(TrafficReplay, DeterministicGivenSeed) {
+  const TrafficScenario sc = storm_scenario();
+  const TrafficShape shape{"small", 2};
+  TrafficReport r1, r2;
+  ASSERT_TRUE(replay_traffic(sc, shape, 0.01, &r1).is_ok());
+  ASSERT_TRUE(replay_traffic(sc, shape, 0.01, &r2).is_ok());
+  EXPECT_EQ(r1.admitted, r2.admitted);
+  EXPECT_EQ(r1.shed, r2.shed);
+  EXPECT_EQ(r1.rejected, r2.rejected);
+  EXPECT_EQ(r1.p95_latency, r2.p95_latency);  // bitwise, not approximately
+  EXPECT_EQ(r1.makespan_seconds, r2.makespan_seconds);
+
+  // A different seed is a different trace.
+  TrafficScenario other = sc;
+  other.seed = 12;
+  TrafficReport r3;
+  ASSERT_TRUE(replay_traffic(other, shape, 0.01, &r3).is_ok());
+  EXPECT_NE(r1.makespan_seconds, r3.makespan_seconds);
+}
+
+TEST(TrafficReplay, ConservesEveryOfferedRequest) {
+  // admitted + shed + rejected == offered for every configuration: shed on
+  // and off, bounded and unbounded queues, scale-down mid-trace.
+  std::vector<TrafficScenario> variants;
+  variants.push_back(storm_scenario());
+  variants.push_back(storm_scenario());
+  variants.back().shed = false;
+  variants.back().deadline_mult = 0;
+  variants.back().queue = 0;
+  variants.push_back(storm_scenario());
+  variants.back().scale_down_at = 0.4;
+  variants.push_back(storm_scenario());
+  variants.back().queue = 2;
+  variants.back().deadline_mix = true;
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    SCOPED_TRACE("variant " + std::to_string(i));
+    for (int servers : {1, 2, 8}) {
+      TrafficReport r;
+      ASSERT_TRUE(
+          replay_traffic(variants[i], {"s", servers}, 0.01, &r).is_ok());
+      EXPECT_EQ(r.admitted + r.shed + r.rejected, r.offered);
+      EXPECT_EQ(r.offered, variants[i].requests);
+    }
+  }
+}
+
+TEST(TrafficReplay, DeadlineShedKeepsLatencyBounded) {
+  const TrafficShape shape{"small", 2};
+  TrafficReport shed, noshed;
+  TrafficScenario sc = storm_scenario();
+  ASSERT_TRUE(replay_traffic(sc, shape, 0.01, &shed).is_ok());
+  sc.shed = false;
+  sc.deadline_mult = 0;
+  sc.queue = 0;
+  ASSERT_TRUE(replay_traffic(sc, shape, 0.01, &noshed).is_ok());
+  EXPECT_GT(shed.shed, 0);
+  EXPECT_EQ(noshed.shed, 0);
+  EXPECT_EQ(noshed.admitted, noshed.offered);
+  // The whole point: shedding trades completions for bounded latency.
+  EXPECT_LT(shed.p95_latency, noshed.p95_latency);
+  EXPECT_GT(shed.shed_rate, 0.0);
+}
+
+TEST(TrafficReplay, QueueBoundRejectsOverflow) {
+  TrafficScenario sc = storm_scenario();
+  sc.shed = false;
+  sc.deadline_mult = 0;
+  sc.queue = 2;
+  TrafficReport r;
+  ASSERT_TRUE(replay_traffic(sc, {"small", 2}, 0.01, &r).is_ok());
+  EXPECT_GT(r.rejected, 0);
+  EXPECT_LE(r.peak_queue_depth, 2);
+}
+
+TEST(TrafficReplay, ScaleDownStretchesTheDrain) {
+  TrafficScenario sc = storm_scenario();
+  sc.shed = false;
+  sc.deadline_mult = 0;
+  sc.queue = 0;
+  TrafficReport full, halved;
+  ASSERT_TRUE(replay_traffic(sc, {"large", 8}, 0.01, &full).is_ok());
+  sc.scale_down_at = 0.25;
+  ASSERT_TRUE(replay_traffic(sc, {"large", 8}, 0.01, &halved).is_ok());
+  // Same arrivals, half the servers for most of the trace: the backlog
+  // takes strictly longer to drain.
+  EXPECT_GT(halved.makespan_seconds, full.makespan_seconds);
+  EXPECT_GE(halved.p95_latency, full.p95_latency);
+}
+
+TEST(TrafficReplay, RejectsNonsenseInputs) {
+  const TrafficScenario sc = storm_scenario();
+  TrafficReport r;
+  EXPECT_EQ(replay_traffic(sc, {"bad", 0}, 0.01, &r).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(replay_traffic(sc, {"ok", 2}, 0.0, &r).code(),
+            StatusCode::kInvalidArgument);
+  TrafficScenario empty = sc;
+  empty.requests = 0;
+  EXPECT_EQ(replay_traffic(empty, {"ok", 2}, 0.01, &r).code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace pangulu::solver

@@ -265,5 +265,135 @@ TEST(Trsv, SolverPlansSurviveRepeatAndTransposeSolves) {
   EXPECT_GT(bwd.makespan, 0);
 }
 
+// Solve-phase elasticity: drains/adds fire at diagonal-solve commit
+// boundaries (quiesce -> Mapping::rebalance -> I6 re-proof -> continue),
+// and because the numerics run in canonical sweep order, both sweeps stay
+// bitwise identical to the static run for ANY elastic plan.
+TEST(TrsvElastic, DrainMidSolveBitwiseIdenticalToStatic) {
+  Csc a = matgen::grid2d_laplacian(20, 20);
+  Factored f = factorize_blocks(a, 20, 4);
+  std::vector<value_t> x_static(static_cast<std::size_t>(a.n_cols()), 1.0);
+  std::vector<value_t> x_elastic = x_static;
+
+  TrsvOptions opts;
+  opts.n_ranks = 4;
+  for (bool lower : {true, false}) {
+    SCOPED_TRACE(lower ? "lower" : "upper");
+    SimResult rs, re;
+    ASSERT_TRUE(
+        simulate_trsv(f.bm, f.mapping, lower, x_static, opts, &rs).is_ok());
+    TrsvOptions eopts = opts;
+    eopts.elastic.drains.push_back({1, 5});
+    eopts.elastic.drains.push_back({2, 10});
+    eopts.mapping = &f.mapping;
+    ASSERT_TRUE(
+        simulate_trsv(f.bm, f.mapping, lower, x_elastic, eopts, &re).is_ok());
+    EXPECT_EQ(x_static, x_elastic);
+    EXPECT_EQ(re.ranks_drained, 2);
+    EXPECT_GT(re.migrated_blocks, 0);
+    EXPECT_EQ(rs.ranks_drained, 0);
+  }
+}
+
+TEST(TrsvElastic, AddStartsInactiveThenJoinsBitwiseIdentical) {
+  Csc a = matgen::circuit(300, 2.0, 2.2, 7);
+  Factored f = factorize_blocks(a, 24, 4);
+  std::vector<value_t> x_static(static_cast<std::size_t>(a.n_cols()), 1.0);
+  std::vector<value_t> x_elastic = x_static;
+
+  TrsvOptions opts;
+  opts.n_ranks = 4;
+  SimResult rs, re;
+  ASSERT_TRUE(
+      simulate_trsv(f.bm, f.mapping, true, x_static, opts, &rs).is_ok());
+  // Rank 3's first event is an add: it starts the solve inactive (its
+  // blocks rebalance away up front) and joins at commit 6.
+  TrsvOptions eopts = opts;
+  eopts.elastic.adds.push_back({3, 6});
+  eopts.mapping = &f.mapping;
+  ASSERT_TRUE(
+      simulate_trsv(f.bm, f.mapping, true, x_elastic, eopts, &re).is_ok());
+  EXPECT_EQ(x_static, x_elastic);
+  EXPECT_EQ(re.ranks_added, 1);
+}
+
+TEST(TrsvElastic, PlanRequiresTheMapping) {
+  Csc a = matgen::grid2d_laplacian(10, 10);
+  Factored f = factorize_blocks(a, 20, 2);
+  std::vector<value_t> x(static_cast<std::size_t>(a.n_cols()), 1.0);
+  TrsvOptions opts;
+  opts.n_ranks = 2;
+  opts.elastic.drains.push_back({1, 2});
+  // opts.mapping deliberately left null.
+  SimResult res;
+  const Status st = simulate_trsv(f.bm, f.mapping, true, x, opts, &res);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument) << st.message();
+}
+
+TEST(TrsvElastic, DrainBelowMinRanksShedsLoad) {
+  Csc a = matgen::grid2d_laplacian(10, 10);
+  Factored f = factorize_blocks(a, 20, 2);
+  std::vector<value_t> sentinel_x(static_cast<std::size_t>(a.n_cols()), 7.5);
+  std::vector<value_t> x = sentinel_x;
+  TrsvOptions opts;
+  opts.n_ranks = 2;
+  opts.elastic.drains.push_back({0, 1});
+  opts.elastic.drains.push_back({1, 2});
+  opts.elastic.min_ranks = 1;
+  opts.mapping = &f.mapping;
+  SimResult res;
+  const Status st = simulate_trsv(f.bm, f.mapping, true, x, opts, &res);
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted) << st.message();
+  // A failed elastic solve leaves the vector untouched (phase 1 runs the
+  // timing replay before any numerics execute).
+  EXPECT_EQ(x, sentinel_x);
+}
+
+TEST(TrsvElastic, InvalidPlanRejectedTyped) {
+  Csc a = matgen::grid2d_laplacian(10, 10);
+  Factored f = factorize_blocks(a, 20, 2);
+  std::vector<value_t> x(static_cast<std::size_t>(a.n_cols()), 1.0);
+  TrsvOptions opts;
+  opts.n_ranks = 2;
+  opts.elastic.drains.push_back({7, 2});  // rank id out of range
+  opts.mapping = &f.mapping;
+  SimResult res;
+  EXPECT_FALSE(simulate_trsv(f.bm, f.mapping, true, x, opts, &res).is_ok());
+}
+
+// Virtual-clock deadline on the solve phase: the timing replay runs before
+// the canonical numerics, so a virtual-deadline miss sheds with the
+// caller's vector bitwise untouched, and a budget at the static makespan
+// still completes with the static answer.
+TEST(TrsvVirtualDeadline, ShedsWithVectorUntouched) {
+  Csc a = matgen::grid2d_laplacian(14, 14);
+  Factored f = factorize_blocks(a, 20, 4);
+  std::vector<value_t> x_static(static_cast<std::size_t>(a.n_cols()), 1.0);
+  TrsvOptions opts;
+  opts.n_ranks = 4;
+  SimResult rs;
+  ASSERT_TRUE(
+      simulate_trsv(f.bm, f.mapping, true, x_static, opts, &rs).is_ok());
+  ASSERT_GT(rs.makespan, 0);
+
+  CancelToken tight;
+  tight.set_virtual_deadline(rs.makespan / 2);
+  TrsvOptions topts = opts;
+  topts.cancel = &tight;
+  std::vector<value_t> sentinel_x(static_cast<std::size_t>(a.n_cols()), 7.5);
+  std::vector<value_t> x = sentinel_x;
+  SimResult res;
+  const Status st = simulate_trsv(f.bm, f.mapping, true, x, topts, &res);
+  EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded) << st.message();
+  EXPECT_EQ(x, sentinel_x);
+
+  CancelToken roomy;
+  roomy.set_virtual_deadline(rs.makespan);
+  topts.cancel = &roomy;
+  x.assign(static_cast<std::size_t>(a.n_cols()), 1.0);  // the static run's RHS
+  ASSERT_TRUE(simulate_trsv(f.bm, f.mapping, true, x, topts, &res).is_ok());
+  EXPECT_EQ(x, x_static);
+}
+
 }  // namespace
 }  // namespace pangulu::runtime

@@ -159,6 +159,29 @@ if [ -n "$stale" ]; then
   fail=1
 fi
 
+# C API error-code mapping gate: every StatusCode must also map to a
+# pangulu_status in pangulu_c.cpp's set_status switch — a new code without a
+# C mapping silently degrades to PANGULU_INTERNAL at the C boundary. kOk is
+# handled by set_status's early is_ok() return, not a case label.
+capi_src=src/capi/pangulu_c.cpp
+capi_codes=$(sed -e 's|/\*.*\*/||' -e 's|//.*||' "$capi_src" \
+               | grep -oE 'case StatusCode::k[A-Za-z0-9]+' \
+               | sed 's/.*StatusCode:://' | sort -u)
+capi_missing=$(comm -23 <(printf '%s\n' "$enum_codes" | grep -v '^kOk$') \
+                        <(printf '%s\n' "$capi_codes"))
+capi_stale=$(comm -13 <(printf '%s\n' "$enum_codes") \
+                      <(printf '%s\n' "$capi_codes"))
+if [ -n "$capi_missing" ]; then
+  echo "LINT: StatusCode enumerator(s) without a C API mapping in" \
+       "$capi_src:" $capi_missing
+  fail=1
+fi
+if [ -n "$capi_stale" ]; then
+  echo "LINT: $capi_src maps StatusCode(s) the enum no longer declares:" \
+       $capi_stale
+  fail=1
+fi
+
 # Header self-containment: every public header must compile standalone —
 # include-what-you-use at the granularity that actually bites, since a header
 # that leans on its includer's includes breaks the first new call site that
